@@ -1,0 +1,26 @@
+# Convenience targets; everything is plain `go` underneath.
+
+.PHONY: all build test bench repro vet cover clean
+
+all: build test
+
+build:
+	go build ./...
+
+vet:
+	go vet ./...
+
+test:
+	go test ./...
+
+bench:
+	go test -bench=. -benchmem ./...
+
+repro:
+	go run ./cmd/repro -j 8
+
+cover:
+	go test -cover ./internal/... .
+
+clean:
+	go clean ./...

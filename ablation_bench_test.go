@@ -1,0 +1,145 @@
+package hlpower
+
+// Ablation benchmarks for the substrate design choices DESIGN.md calls
+// out: the delay model (zero-delay vs glitch-aware event-driven), the
+// two-level vs factored controller synthesis, and exact vs greedy cover
+// minimization. Run with `go test -bench=Ablation -benchmem`.
+
+import (
+	"math/rand"
+	"testing"
+
+	"hlpower/internal/bitutil"
+	"hlpower/internal/cover"
+	"hlpower/internal/fsm"
+	"hlpower/internal/logic"
+	"hlpower/internal/rtlib"
+	"hlpower/internal/sim"
+	"hlpower/internal/trace"
+)
+
+// BenchmarkAblationZeroDelay measures the functional-transition-only
+// delay model on the 8x8 multiplier.
+func BenchmarkAblationZeroDelay(b *testing.B) {
+	benchDelayModel(b, sim.ZeroDelay)
+}
+
+// BenchmarkAblationEventDriven measures the glitch-aware model on the
+// same circuit — the cost of counting spurious transitions.
+func BenchmarkAblationEventDriven(b *testing.B) {
+	benchDelayModel(b, sim.EventDriven)
+}
+
+func benchDelayModel(b *testing.B, model sim.DelayModel) {
+	rng := rand.New(rand.NewSource(1))
+	mul := rtlib.NewMultiplier(8)
+	as := trace.Uniform(200, 8, rng)
+	bs := trace.Uniform(200, 8, rng)
+	b.ResetTimer()
+	var cap float64
+	for i := 0; i < b.N; i++ {
+		res, err := mul.SimulateStream(as, bs, model)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cap = res.SwitchedCap
+	}
+	b.ReportMetric(cap/float64(len(as)), "cap/cycle")
+}
+
+// BenchmarkAblationTwoLevelFSM synthesizes and simulates a controller
+// with two-level next-state logic.
+func BenchmarkAblationTwoLevelFSM(b *testing.B) { benchFSMSynth(b, false) }
+
+// BenchmarkAblationFactoredFSM does the same with algebraically
+// factored multilevel logic.
+func BenchmarkAblationFactoredFSM(b *testing.B) { benchFSMSynth(b, true) }
+
+func benchFSMSynth(b *testing.B, multilevel bool) {
+	rng := rand.New(rand.NewSource(2))
+	f := fsm.Random(10, 2, 2, 0.3, rng)
+	enc := fsm.BinaryEncoding(f.NumStates)
+	symbols := make([]int, 300)
+	for i := range symbols {
+		symbols[i] = rng.Intn(f.NumSymbols())
+	}
+	prov := func(c int) []bool { return bitutil.ToBits(uint64(symbols[c]), f.NumInputs) }
+	b.ResetTimer()
+	var cap float64
+	for i := 0; i < b.N; i++ {
+		var net interface {
+			NumGates() int
+		}
+		var err error
+		if multilevel {
+			n, e := fsm.SynthesizeMultilevel(f, enc)
+			net, err = n, e
+			if err == nil {
+				res, err2 := sim.Run(n, prov, len(symbols), sim.Options{Model: sim.EventDriven})
+				if err2 != nil {
+					b.Fatal(err2)
+				}
+				cap = res.SwitchedCap
+			}
+		} else {
+			n, e := fsm.Synthesize(f, enc)
+			net, err = n, e
+			if err == nil {
+				res, err2 := sim.Run(n, prov, len(symbols), sim.Options{Model: sim.EventDriven})
+				if err2 != nil {
+					b.Fatal(err2)
+				}
+				cap = res.SwitchedCap
+			}
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = net
+	}
+	b.ReportMetric(cap, "switched-cap")
+}
+
+// BenchmarkAblationMintermCover evaluates an unminimized minterm cover
+// netlist — what skipping Quine–McCluskey costs in switched capacitance.
+func BenchmarkAblationMintermCover(b *testing.B) { benchCoverSynth(b, false) }
+
+// BenchmarkAblationMinimizedCover evaluates the QM-minimized equivalent.
+func BenchmarkAblationMinimizedCover(b *testing.B) { benchCoverSynth(b, true) }
+
+func benchCoverSynth(b *testing.B, minimize bool) {
+	rng := rand.New(rand.NewSource(3))
+	n := 8
+	var ms []uint64
+	for i := uint64(0); i < 1<<uint(n); i++ {
+		if rng.Float64() < 0.4 {
+			ms = append(ms, i)
+		}
+	}
+	stream := trace.Uniform(300, n, rng)
+	b.ResetTimer()
+	var cap float64
+	for i := 0; i < b.N; i++ {
+		var cv *cover.Cover
+		if minimize {
+			m, err := cover.Minimize(ms, n)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cv = m
+		} else {
+			cv = cover.FromMinterms(ms, n)
+		}
+		net := NewNetlist()
+		in := net.AddInputBus("x", n)
+		net.MarkOutput(logic.FromCover(net, cv, in, "g"))
+		res, err := sim.Run(net, func(c int) []bool {
+			return bitutil.ToBits(stream[c], n)
+		}, len(stream), sim.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		cap = res.SwitchedCap
+	}
+	b.ReportMetric(cap, "switched-cap")
+}

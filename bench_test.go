@@ -1,0 +1,85 @@
+package hlpower
+
+// One benchmark per reproduced paper artifact: each regenerates the
+// corresponding table/claim end to end (workload generation, model
+// characterization, simulation, reporting). `go test -bench=. -benchmem`
+// therefore re-derives every number in EXPERIMENTS.md.
+
+import (
+	"testing"
+
+	"hlpower/internal/experiments"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		rep, err := experiments.Run(id)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rep.Figures) == 0 {
+			b.Fatalf("%s produced no figures", id)
+		}
+	}
+}
+
+// BenchmarkE1TableI regenerates Table I (FIR constant-mult conversion).
+func BenchmarkE1TableI(b *testing.B) { benchExperiment(b, "E1") }
+
+// BenchmarkE2MemAccess regenerates the Fig. 2 memory-access optimization.
+func BenchmarkE2MemAccess(b *testing.B) { benchExperiment(b, "E2") }
+
+// BenchmarkE3Shutdown regenerates the §III-B shutdown-policy comparison.
+func BenchmarkE3Shutdown(b *testing.B) { benchExperiment(b, "E3") }
+
+// BenchmarkE4Transforms regenerates the Figs. 4-5 transformation shapes.
+func BenchmarkE4Transforms(b *testing.B) { benchExperiment(b, "E4") }
+
+// BenchmarkE5Tiwari regenerates the instruction-level model accuracy.
+func BenchmarkE5Tiwari(b *testing.B) { benchExperiment(b, "E5") }
+
+// BenchmarkE6ProfileSynthesis regenerates the profile-driven synthesis claim.
+func BenchmarkE6ProfileSynthesis(b *testing.B) { benchExperiment(b, "E6") }
+
+// BenchmarkE7Entropy regenerates the information-theoretic estimation study.
+func BenchmarkE7Entropy(b *testing.B) { benchExperiment(b, "E7") }
+
+// BenchmarkE8TyagiBound regenerates the FSM entropic-bound check.
+func BenchmarkE8TyagiBound(b *testing.B) { benchExperiment(b, "E8") }
+
+// BenchmarkE9AreaModel regenerates the linear-measure area regressions.
+func BenchmarkE9AreaModel(b *testing.B) { benchExperiment(b, "E9") }
+
+// BenchmarkE10MacroLadder regenerates the macro-model accuracy ladder.
+func BenchmarkE10MacroLadder(b *testing.B) { benchExperiment(b, "E10") }
+
+// BenchmarkE11Sampling regenerates the census/sampler/adaptive comparison.
+func BenchmarkE11Sampling(b *testing.B) { benchExperiment(b, "E11") }
+
+// BenchmarkE12ColdScheduling regenerates the cold-scheduling reduction.
+func BenchmarkE12ColdScheduling(b *testing.B) { benchExperiment(b, "E12") }
+
+// BenchmarkE13PMSched regenerates the power-management scheduling saving.
+func BenchmarkE13PMSched(b *testing.B) { benchExperiment(b, "E13") }
+
+// BenchmarkE14Allocation regenerates the activity-aware binding saving.
+func BenchmarkE14Allocation(b *testing.B) { benchExperiment(b, "E14") }
+
+// BenchmarkE15MultiVdd regenerates the multi-voltage energy-delay curve.
+func BenchmarkE15MultiVdd(b *testing.B) { benchExperiment(b, "E15") }
+
+// BenchmarkE16BusEncoding regenerates the bus-code comparison matrix.
+func BenchmarkE16BusEncoding(b *testing.B) { benchExperiment(b, "E16") }
+
+// BenchmarkE17FSMEncoding regenerates the state-encoding comparison.
+func BenchmarkE17FSMEncoding(b *testing.B) { benchExperiment(b, "E17") }
+
+// BenchmarkE18Shutdown regenerates the gate-level shutdown savings.
+func BenchmarkE18Shutdown(b *testing.B) { benchExperiment(b, "E18") }
+
+// BenchmarkE19Retiming regenerates the power-driven retiming sweep.
+func BenchmarkE19Retiming(b *testing.B) { benchExperiment(b, "E19") }
+
+// BenchmarkE20Memory regenerates the SRAM organization sweep.
+func BenchmarkE20Memory(b *testing.B) { benchExperiment(b, "E20") }

@@ -1,0 +1,65 @@
+// Command busenc compares the §III-G bus codes on a chosen stream type
+// and width, printing transitions per transmitted word.
+//
+// Usage:
+//
+//	busenc -stream sequential -width 16 -n 5000
+//	busenc -stream zones -zones 4
+//	busenc -stream random|sequential|zones|correlated
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"hlpower/internal/bus"
+	"hlpower/internal/trace"
+)
+
+func main() {
+	streamKind := flag.String("stream", "sequential", "stream type: random|sequential|zones|correlated")
+	width := flag.Int("width", 16, "bus width in bits")
+	n := flag.Int("n", 5000, "stream length")
+	nZones := flag.Int("zones", 3, "working zones in the 'zones' stream")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	rng := rand.New(rand.NewSource(*seed))
+	var stream []uint64
+	switch *streamKind {
+	case "random":
+		stream = trace.Uniform(*n, *width, rng)
+	case "sequential":
+		stream = trace.Sequential(*n, *width, 0x100)
+	case "zones":
+		var zs []trace.ZoneSpec
+		for i := 0; i < *nZones; i++ {
+			zs = append(zs, trace.ZoneSpec{Base: uint64(0x1000 * (i + 1) * 7), Length: 256})
+		}
+		stream = trace.InterleavedZones(*n, *width, zs)
+	case "correlated":
+		stream = trace.BlockCorrelated(*n, *width, 4, 4, 0.92, rng)
+	default:
+		fmt.Fprintf(os.Stderr, "busenc: unknown stream %q\n", *streamKind)
+		os.Exit(2)
+	}
+	train, test := stream[:len(stream)/2], stream[len(stream)/2:]
+
+	codes := []bus.Encoder{
+		&bus.Raw{Width: *width},
+		&bus.BusInvert{Width: *width},
+		&bus.GrayCode{Width: *width},
+		&bus.T0{Width: *width},
+		bus.NewWorkingZone(*width, 4, 10),
+		bus.TrainBeach(train, *width, 4, 4),
+	}
+	fmt.Printf("stream=%s width=%d words=%d\n\n", *streamKind, *width, len(test))
+	fmt.Printf("%-14s %8s %12s %10s\n", "code", "lines", "transitions", "per word")
+	for _, e := range codes {
+		tr := bus.Transitions(e, test)
+		fmt.Printf("%-14s %8d %12d %10.3f\n", e.Name(), e.BusWidth(), tr,
+			float64(tr)/float64(len(test)-1))
+	}
+}

@@ -1,0 +1,60 @@
+// Command dpmsim runs the §III-B shutdown policies over a synthetic
+// event-driven workload and prints the power/latency comparison.
+//
+// Usage:
+//
+//	dpmsim -sessions 100 -longidle 300 -trestart 0.15
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+
+	"hlpower/internal/dpm"
+)
+
+func main() {
+	sessions := flag.Int("sessions", 60, "number of activity sessions")
+	bursts := flag.Int("bursts", 6, "activity bursts per session")
+	meanActive := flag.Float64("active", 1.0, "mean activity burst length")
+	shortIdle := flag.Float64("shortidle", 0.4, "mean intra-session idle")
+	longIdle := flag.Float64("longidle", 300, "mean inter-session idle")
+	tRestart := flag.Float64("trestart", 0.15, "device restart latency")
+	eRestart := flag.Float64("erestart", 0.9, "device restart energy")
+	timeout := flag.Float64("timeout", 5, "static policy timeout")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	dev := dpm.DefaultDevice()
+	dev.TRestart = *tRestart
+	dev.ERestart = *eRestart
+
+	params := dpm.DefaultWorkload()
+	params.Sessions = *sessions
+	params.BurstsPer = *bursts
+	params.MeanActive = *meanActive
+	params.MeanShortIdle = *shortIdle
+	params.MeanLongIdle = *longIdle
+
+	rng := rand.New(rand.NewSource(*seed))
+	w := dpm.Generate(params, rng)
+	on := dpm.Simulate(dev, dpm.AlwaysOn{}, w)
+
+	fmt.Printf("periods=%d  total=%.0f  idle=%.0f%%  bound=%.1fx  breakeven=%.2f\n\n",
+		len(w), on.TotalTime, 100*on.IdleTime/on.TotalTime,
+		dpm.MaxImprovement(w), dev.Breakeven())
+	fmt.Printf("%-24s %10s %12s %14s %10s\n", "policy", "energy", "improvement", "delay penalty", "shutdowns")
+	for _, pol := range []dpm.Policy{
+		dpm.AlwaysOn{},
+		&dpm.StaticTimeout{T: *timeout},
+		&dpm.Threshold{ActiveThreshold: *meanActive / 2},
+		&dpm.Regression{Dev: dev},
+		&dpm.HwangWu{Dev: dev, Prewake: true},
+		&dpm.Oracle{Dev: dev, Workload: w},
+	} {
+		res := dpm.Simulate(dev, pol, w)
+		fmt.Printf("%-24s %10.1f %11.2fx %13.1f%% %10d\n",
+			pol.Name(), res.Energy, dpm.Improvement(on, res), 100*res.DelayPenalty, res.Shutdowns)
+	}
+}

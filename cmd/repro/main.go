@@ -1,0 +1,100 @@
+// Command repro regenerates the paper's tables and quantitative claims.
+//
+// Usage:
+//
+//	repro                 # run every experiment
+//	repro -j 8            # run them concurrently
+//	repro -e E16          # run one experiment
+//	repro -list           # list experiment ids and titles
+//	repro -j 8 -markdown  # regenerate EXPERIMENTS.md content
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sync"
+
+	"hlpower/internal/experiments"
+)
+
+func main() {
+	one := flag.String("e", "", "run a single experiment id (e.g. E1)")
+	list := flag.Bool("list", false, "list experiments")
+	parallel := flag.Int("j", 1, "run experiments concurrently with this many workers")
+	markdown := flag.Bool("markdown", false, "emit EXPERIMENTS.md content instead of plain reports")
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Printf("%-5s %s\n", id, experiments.Title(id))
+		}
+		return
+	}
+	ids := experiments.IDs()
+	if *one != "" {
+		ids = []string{*one}
+	}
+	if *parallel < 2 || len(ids) < 2 {
+		var reports []*experiments.Report
+		for _, id := range ids {
+			rep, err := experiments.Run(id)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "repro: %v\n", err)
+				os.Exit(1)
+			}
+			reports = append(reports, rep)
+		}
+		emit(reports, *markdown)
+		return
+	}
+	// Concurrent execution with ordered output: a worker pool fills one
+	// result slot per experiment; printing happens in index order.
+	type outcome struct {
+		rep *experiments.Report
+		err error
+	}
+	results := make([]outcome, len(ids))
+	work := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < *parallel; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				rep, err := experiments.Run(ids[i])
+				results[i] = outcome{rep, err}
+			}
+		}()
+	}
+	for i := range ids {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	failed := false
+	var reports []*experiments.Report
+	for _, r := range results {
+		if r.err != nil {
+			fmt.Fprintf(os.Stderr, "repro: %v\n", r.err)
+			failed = true
+			continue
+		}
+		reports = append(reports, r.rep)
+	}
+	if failed {
+		os.Exit(1)
+	}
+	emit(reports, *markdown)
+}
+
+// emit prints reports as plain text or as the EXPERIMENTS.md document.
+func emit(reports []*experiments.Report, markdown bool) {
+	if markdown {
+		fmt.Print(experiments.Markdown(reports))
+		return
+	}
+	for _, rep := range reports {
+		fmt.Printf("=== %s: %s ===\n%s\n", rep.ID, rep.Title, rep.Text)
+	}
+}

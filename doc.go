@@ -1,0 +1,29 @@
+// Package hlpower is a from-scratch Go reproduction of "High-Level Power
+// Modeling, Estimation, and Optimization" (Macii, Pedram, Somenzi; DAC
+// 1997 / IEEE TCAD 17(11), 1998): every estimation model and every
+// optimization technique the survey covers, implemented on substrates
+// built in this repository — a gate-level netlist simulator with
+// switched-capacitance power metering, a BDD package, a two-level logic
+// minimizer, an FSM synthesis path, and a small RISC processor simulator.
+//
+// The root package is a facade over the implementation packages; it
+// re-exports the main entry points so a downstream user can drive the
+// common flows without reaching into internal paths. The full surface
+// lives in the internal packages (one per subsystem — see DESIGN.md for
+// the inventory):
+//
+//   - power estimation: entropy (information-theoretic, §II-B1),
+//     complexity (§II-B2), macromodel (RT-level macro-models, §II-C),
+//     memmodel (Liu–Svensson parametric models), isa (instruction-level
+//     software estimation, §II-A)
+//   - power optimization: dpm (predictive shutdown, §III-B), cdfg
+//     (behavioral transformations and scheduling, §III-C/D), hls
+//     (allocation/binding, §III-E), vsched (multi-voltage scheduling,
+//     §III-F), bus (encodings, §III-G), fsm (state encoding, §III-H),
+//     lopt (precomputation / clock gating / guarded evaluation /
+//     retiming, §III-I/J)
+//   - substrates: logic, sim, bdd, cover, rtlib, trace, stats, bitutil
+//   - core: the Fig. 1 design-improvement loop tying them together
+//   - experiments: regenerates Table I and every quantitative claim
+//     (run via cmd/repro or the root benchmarks)
+package hlpower

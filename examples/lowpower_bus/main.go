@@ -1,0 +1,57 @@
+// lowpower_bus encodes the address trace of a real program (running on
+// the repository's RISC simulator) with each §III-G bus code and reports
+// the transition counts — the decision a memory-interface designer would
+// make with this library.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hlpower/internal/bus"
+	"hlpower/internal/isa"
+)
+
+func main() {
+	// Generate a genuine address trace: the FIR program's data accesses.
+	prog, err := isa.FIRFilter(8, 256)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m := isa.NewMachine(isa.DefaultConfig())
+	_, trace, err := m.Run(prog, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var addrs []uint64
+	for _, e := range trace {
+		if e.Instr.Op.IsMem() {
+			addrs = append(addrs, uint64(e.SrcA))
+		}
+	}
+	fmt.Printf("program address trace: %d accesses\n\n", len(addrs))
+
+	const w = 16
+	train := addrs[:len(addrs)/2]
+	test := addrs[len(addrs)/2:]
+	codes := []bus.Encoder{
+		&bus.Raw{Width: w},
+		&bus.BusInvert{Width: w},
+		&bus.GrayCode{Width: w},
+		&bus.T0{Width: w},
+		bus.NewWorkingZone(w, 4, 10),
+		bus.TrainBeach(train, w, 4, 4),
+	}
+	fmt.Printf("%-14s %12s %10s\n", "code", "transitions", "per word")
+	base := 0
+	for i, e := range codes {
+		tr := bus.Transitions(e, test)
+		if i == 0 {
+			base = tr
+		}
+		fmt.Printf("%-14s %12d %10.2f   (%.0f%% of binary)\n",
+			e.Name(), tr, float64(tr)/float64(len(test)-1), 100*float64(tr)/float64(base))
+	}
+	fmt.Println("\nthe FIR inner loop interleaves coefficient, input, and output arrays —")
+	fmt.Println("exactly the working-zone access pattern of §III-G")
+}

@@ -1,0 +1,41 @@
+// powermanaged_device simulates the §III-B scenario: an event-driven
+// device (think display server) under several shutdown policies, showing
+// the oracle bound, the static-timeout baseline, and the predictive
+// schemes' power/latency tradeoff.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hlpower"
+	"hlpower/internal/dpm"
+)
+
+func main() {
+	dev := dpm.DefaultDevice()
+	rng := rand.New(rand.NewSource(7))
+	workload := dpm.Generate(dpm.DefaultWorkload(), rng)
+
+	on := hlpower.SimulatePM(dev, dpm.AlwaysOn{}, workload)
+	fmt.Printf("workload: %d active/idle periods, %.0f time units, %.0f%% idle\n",
+		len(workload), on.TotalTime, 100*on.IdleTime/on.TotalTime)
+	fmt.Printf("upper bound on improvement (1+TI/TA): %.1fx\n\n", dpm.MaxImprovement(workload))
+
+	policies := []dpm.Policy{
+		dpm.AlwaysOn{},
+		&dpm.StaticTimeout{T: 5},
+		&dpm.Threshold{ActiveThreshold: 0.5},
+		&dpm.Regression{Dev: dev},
+		&dpm.HwangWu{Dev: dev, Prewake: true},
+		&dpm.Oracle{Dev: dev, Workload: workload},
+	}
+	fmt.Printf("%-24s %10s %12s %14s %10s\n", "policy", "energy", "improvement", "delay penalty", "shutdowns")
+	for _, pol := range policies {
+		res := hlpower.SimulatePM(dev, pol, workload)
+		fmt.Printf("%-24s %10.1f %11.2fx %13.1f%% %10d\n",
+			pol.Name(), res.Energy, dpm.Improvement(on, res), 100*res.DelayPenalty, res.Shutdowns)
+	}
+	fmt.Println("\npredictive shutdown sleeps immediately on predicted-long idles instead of")
+	fmt.Println("burning the timeout in every one — the §III-B argument, reproduced")
+}

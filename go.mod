@@ -1,0 +1,3 @@
+module hlpower
+
+go 1.22

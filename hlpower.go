@@ -1,0 +1,91 @@
+package hlpower
+
+import (
+	"hlpower/internal/bus"
+	"hlpower/internal/core"
+	"hlpower/internal/dpm"
+	"hlpower/internal/logic"
+	"hlpower/internal/rtlib"
+	"hlpower/internal/sim"
+)
+
+// Re-exported core types: the design-improvement loop of Fig. 1.
+type (
+	// Candidate is one design option in an improvement loop.
+	Candidate = core.Candidate
+	// Estimator produces a power estimate for a candidate.
+	Estimator = core.Estimator
+	// EstimatorFunc adapts a closure into an Estimator.
+	EstimatorFunc = core.Func
+	// Ranking is an evaluated, power-ordered candidate list.
+	Ranking = core.Ranking
+	// Level is an abstraction level of the design flow.
+	Level = core.Level
+)
+
+// Abstraction levels of the Fig. 1 flow.
+const (
+	Software   = core.Software
+	Behavioral = core.Behavioral
+	RTL        = core.RTL
+	Gate       = core.Gate
+)
+
+// Rank evaluates candidates and orders them by estimated power — one
+// turn of the design-improvement loop.
+func Rank(candidates []Candidate) Ranking { return core.Rank(candidates) }
+
+// Gate-level substrate.
+type (
+	// Netlist is a synchronous gate-level circuit.
+	Netlist = logic.Netlist
+	// Module is a standalone datapath block ready for characterization.
+	Module = rtlib.Module
+	// SimResult is a power-metered simulation outcome.
+	SimResult = sim.Result
+	// SimOptions configures delay model and clock accounting.
+	SimOptions = sim.Options
+)
+
+// NewNetlist returns an empty netlist with the default capacitance model.
+func NewNetlist() *Netlist { return logic.New() }
+
+// NewAdder returns a gate-level ripple-carry adder module.
+func NewAdder(width int) *Module { return rtlib.NewAdder(width) }
+
+// NewMultiplier returns a gate-level array multiplier module.
+func NewMultiplier(width int) *Module { return rtlib.NewMultiplier(width) }
+
+// Simulate runs a netlist with switched-capacitance power metering.
+func Simulate(n *Netlist, inputs func(cycle int) []bool, cycles int, opts SimOptions) (*SimResult, error) {
+	return sim.Run(n, inputs, cycles, opts)
+}
+
+// Bus encoding (§III-G).
+type (
+	// BusEncoder is a stateful low-power bus code.
+	BusEncoder = bus.Encoder
+	// BusDecoder recovers the word stream.
+	BusDecoder = bus.Decoder
+)
+
+// BusTransitionsPerWord measures a code's average bus-line transitions
+// per transmitted word.
+func BusTransitionsPerWord(e BusEncoder, stream []uint64) float64 {
+	return bus.PerWord(e, stream)
+}
+
+// Dynamic power management (§III-B).
+type (
+	// PMDevice is a power-managed resource's parameter set.
+	PMDevice = dpm.Device
+	// PMPolicy decides shutdowns from observed history.
+	PMPolicy = dpm.Policy
+	// PMResult aggregates a simulated management run.
+	PMResult = dpm.Result
+)
+
+// SimulatePM runs a shutdown policy over an active/idle workload.
+func SimulatePM(dev PMDevice, pol PMPolicy, workload []dpm.Period) PMResult {
+	return dpm.Simulate(dev, pol, workload)
+}

@@ -1,0 +1,78 @@
+package hlpower
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"hlpower/internal/bitutil"
+	"hlpower/internal/bus"
+	"hlpower/internal/dpm"
+	"hlpower/internal/logic"
+	"hlpower/internal/trace"
+)
+
+func TestFacadeNetlistFlow(t *testing.T) {
+	n := NewNetlist()
+	a := n.AddInput("a")
+	b := n.AddInput("b")
+	n.MarkOutput(n.Add(logic.And, a, b))
+	res, err := Simulate(n, func(c int) []bool {
+		return []bool{c%2 == 0, true}
+	}, 10, SimOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SwitchedCap <= 0 {
+		t.Error("toggling input should switch capacitance")
+	}
+}
+
+func TestFacadeModules(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	add := NewAdder(6)
+	mul := NewMultiplier(6)
+	as := trace.Uniform(100, 6, rng)
+	bs := trace.Uniform(100, 6, rng)
+	ea, err := add.EnergyPerPair(as, bs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	em, err := mul.EnergyPerPair(as, bs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if em <= ea {
+		t.Error("multiplier should dissipate more than adder")
+	}
+}
+
+func TestFacadeRanking(t *testing.T) {
+	r := Rank([]Candidate{
+		{Name: "good", Estimator: EstimatorFunc{
+			EstimatorName: "m", EstimatorLevel: RTL,
+			Fn: func() (float64, error) { return 1, nil }}},
+		{Name: "bad", Estimator: EstimatorFunc{
+			EstimatorName: "m", EstimatorLevel: RTL,
+			Fn: func() (float64, error) { return 0, errors.New("x") }}},
+	})
+	best, err := r.Best()
+	if err != nil || best.Candidate.Name != "good" {
+		t.Errorf("Best = %v, %v", best.Candidate.Name, err)
+	}
+}
+
+func TestFacadeBusAndPM(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	stream := trace.Sequential(100, 8, 0)
+	var enc BusEncoder = &bus.GrayCode{Width: 8}
+	if got := BusTransitionsPerWord(enc, stream); got > 1.01 {
+		t.Errorf("gray per-word = %v", got)
+	}
+	w := dpm.Generate(dpm.DefaultWorkload(), rng)
+	res := SimulatePM(dpm.DefaultDevice(), dpm.AlwaysOn{}, w)
+	if res.Energy <= 0 {
+		t.Error("always-on energy must be positive")
+	}
+	_ = bitutil.Mask(4)
+}

@@ -1,0 +1,389 @@
+// Package bdd implements reduced ordered binary decision diagrams
+// (Bryant, IEEE ToC 1986), the symbolic substrate the paper's control-
+// logic synthesis section (§III-H) builds on, and the node-count input to
+// the Ferrandi total-capacitance estimate (§II-B1). Nodes are hash-consed
+// in a manager; all operations go through ITE with a computed table.
+package bdd
+
+import (
+	"fmt"
+	"math"
+)
+
+// Node is a reference to a BDD node inside a Manager. The zero Node is
+// the constant false; use Manager methods to build anything else.
+type Node int32
+
+// Terminal node references.
+const (
+	False Node = 0
+	True  Node = 1
+)
+
+type nodeData struct {
+	level  int32 // variable level; terminals use math.MaxInt32
+	lo, hi Node
+}
+
+type triple struct {
+	level  int32
+	lo, hi Node
+}
+
+type iteKey struct{ f, g, h Node }
+
+const terminalLevel = math.MaxInt32
+
+// Manager owns the node store and hash tables for one BDD universe with
+// a fixed variable order (level i = i-th variable in the order).
+type Manager struct {
+	nodes    []nodeData
+	unique   map[triple]Node
+	iteCache map[iteKey]Node
+	nvars    int
+}
+
+// New returns a manager with nvars variables, ordered by index.
+func New(nvars int) *Manager {
+	m := &Manager{
+		unique:   make(map[triple]Node),
+		iteCache: make(map[iteKey]Node),
+		nvars:    nvars,
+	}
+	// Index 0 = False, 1 = True.
+	m.nodes = append(m.nodes,
+		nodeData{level: terminalLevel},
+		nodeData{level: terminalLevel})
+	return m
+}
+
+// NumVars returns the number of variables in the manager.
+func (m *Manager) NumVars() int { return m.nvars }
+
+// Size returns the total number of live nodes in the manager (including
+// the two terminals).
+func (m *Manager) Size() int { return len(m.nodes) }
+
+// Var returns the BDD for variable i.
+func (m *Manager) Var(i int) Node {
+	if i < 0 || i >= m.nvars {
+		panic(fmt.Sprintf("bdd: variable %d out of range [0,%d)", i, m.nvars))
+	}
+	return m.mk(int32(i), False, True)
+}
+
+// NVar returns the BDD for the complement of variable i.
+func (m *Manager) NVar(i int) Node {
+	if i < 0 || i >= m.nvars {
+		panic(fmt.Sprintf("bdd: variable %d out of range [0,%d)", i, m.nvars))
+	}
+	return m.mk(int32(i), True, False)
+}
+
+func (m *Manager) level(n Node) int32 { return m.nodes[n].level }
+
+// mk returns the canonical node (level, lo, hi), applying the reduction
+// rule lo==hi.
+func (m *Manager) mk(level int32, lo, hi Node) Node {
+	if lo == hi {
+		return lo
+	}
+	k := triple{level, lo, hi}
+	if n, ok := m.unique[k]; ok {
+		return n
+	}
+	n := Node(len(m.nodes))
+	m.nodes = append(m.nodes, nodeData{level: level, lo: lo, hi: hi})
+	m.unique[k] = n
+	return n
+}
+
+// ITE computes if-then-else(f, g, h) = f·g + f'·h.
+func (m *Manager) ITE(f, g, h Node) Node {
+	// Terminal cases.
+	switch {
+	case f == True:
+		return g
+	case f == False:
+		return h
+	case g == h:
+		return g
+	case g == True && h == False:
+		return f
+	}
+	key := iteKey{f, g, h}
+	if r, ok := m.iteCache[key]; ok {
+		return r
+	}
+	// Top variable among f, g, h.
+	top := m.level(f)
+	if l := m.level(g); l < top {
+		top = l
+	}
+	if l := m.level(h); l < top {
+		top = l
+	}
+	f0, f1 := m.cofactors(f, top)
+	g0, g1 := m.cofactors(g, top)
+	h0, h1 := m.cofactors(h, top)
+	r := m.mk(top, m.ITE(f0, g0, h0), m.ITE(f1, g1, h1))
+	m.iteCache[key] = r
+	return r
+}
+
+func (m *Manager) cofactors(n Node, level int32) (lo, hi Node) {
+	d := m.nodes[n]
+	if d.level != level {
+		return n, n
+	}
+	return d.lo, d.hi
+}
+
+// Not returns the complement of f.
+func (m *Manager) Not(f Node) Node { return m.ITE(f, False, True) }
+
+// And returns the conjunction of f and g.
+func (m *Manager) And(f, g Node) Node { return m.ITE(f, g, False) }
+
+// Or returns the disjunction of f and g.
+func (m *Manager) Or(f, g Node) Node { return m.ITE(f, True, g) }
+
+// Xor returns the exclusive-or of f and g.
+func (m *Manager) Xor(f, g Node) Node { return m.ITE(f, m.Not(g), g) }
+
+// Xnor returns the complement of Xor(f, g).
+func (m *Manager) Xnor(f, g Node) Node { return m.ITE(f, g, m.Not(g)) }
+
+// Implies returns f' + g.
+func (m *Manager) Implies(f, g Node) Node { return m.ITE(f, g, True) }
+
+// AndN folds And over its arguments (True for none).
+func (m *Manager) AndN(fs ...Node) Node {
+	r := True
+	for _, f := range fs {
+		r = m.And(r, f)
+	}
+	return r
+}
+
+// OrN folds Or over its arguments (False for none).
+func (m *Manager) OrN(fs ...Node) Node {
+	r := False
+	for _, f := range fs {
+		r = m.Or(r, f)
+	}
+	return r
+}
+
+// Restrict returns f with variable i fixed to value.
+func (m *Manager) Restrict(f Node, i int, value bool) Node {
+	cache := make(map[Node]Node)
+	level := int32(i)
+	var rec func(Node) Node
+	rec = func(n Node) Node {
+		d := m.nodes[n]
+		if d.level > level {
+			return n
+		}
+		if r, ok := cache[n]; ok {
+			return r
+		}
+		var r Node
+		if d.level == level {
+			if value {
+				r = d.hi
+			} else {
+				r = d.lo
+			}
+		} else {
+			r = m.mk(d.level, rec(d.lo), rec(d.hi))
+		}
+		cache[n] = r
+		return r
+	}
+	return rec(f)
+}
+
+// Exists existentially quantifies variable i out of f.
+func (m *Manager) Exists(f Node, i int) Node {
+	return m.Or(m.Restrict(f, i, false), m.Restrict(f, i, true))
+}
+
+// Forall universally quantifies variable i out of f.
+func (m *Manager) Forall(f Node, i int) Node {
+	return m.And(m.Restrict(f, i, false), m.Restrict(f, i, true))
+}
+
+// ExistsSet existentially quantifies every variable in vars out of f.
+func (m *Manager) ExistsSet(f Node, vars []int) Node {
+	for _, v := range vars {
+		f = m.Exists(f, v)
+	}
+	return f
+}
+
+// Eval evaluates f under the given assignment (len == NumVars).
+func (m *Manager) Eval(f Node, assignment []bool) bool {
+	for f != True && f != False {
+		d := m.nodes[f]
+		if assignment[d.level] {
+			f = d.hi
+		} else {
+			f = d.lo
+		}
+	}
+	return f == True
+}
+
+// Decompose returns the top variable index and the (lo, hi) cofactor
+// children of an internal node. It panics on terminals.
+func (m *Manager) Decompose(n Node) (variable int, lo, hi Node) {
+	if n == True || n == False {
+		panic("bdd: Decompose on terminal")
+	}
+	d := m.nodes[n]
+	return int(d.level), d.lo, d.hi
+}
+
+// NodeCount returns the number of distinct internal (non-terminal) nodes
+// reachable from f — the N of the Ferrandi capacitance model, where each
+// node is one two-to-one multiplexor.
+func (m *Manager) NodeCount(f Node) int {
+	seen := make(map[Node]bool)
+	var rec func(Node)
+	rec = func(n Node) {
+		if n == True || n == False || seen[n] {
+			return
+		}
+		seen[n] = true
+		rec(m.nodes[n].lo)
+		rec(m.nodes[n].hi)
+	}
+	rec(f)
+	return len(seen)
+}
+
+// SharedNodeCount returns the number of distinct internal nodes reachable
+// from any of the given roots (multi-output circuit size).
+func (m *Manager) SharedNodeCount(roots []Node) int {
+	seen := make(map[Node]bool)
+	var rec func(Node)
+	rec = func(n Node) {
+		if n == True || n == False || seen[n] {
+			return
+		}
+		seen[n] = true
+		rec(m.nodes[n].lo)
+		rec(m.nodes[n].hi)
+	}
+	for _, r := range roots {
+		rec(r)
+	}
+	return len(seen)
+}
+
+// SatCount returns the number of satisfying assignments of f over all
+// NumVars variables. It is the uniform-input probability of f scaled by
+// 2^NumVars, which handles skipped levels uniformly.
+func (m *Manager) SatCount(f Node) float64 {
+	p := make([]float64, m.nvars)
+	for i := range p {
+		p[i] = 0.5
+	}
+	return m.Probability(f, p) * math.Pow(2, float64(m.nvars))
+}
+
+// Probability returns Pr[f = 1] when each variable i is independently 1
+// with probability p[i]. This is the signal-probability computation used
+// throughout the entropy and encoding models.
+func (m *Manager) Probability(f Node, p []float64) float64 {
+	cache := make(map[Node]float64)
+	var rec func(Node) float64
+	rec = func(n Node) float64 {
+		if n == False {
+			return 0
+		}
+		if n == True {
+			return 1
+		}
+		if v, ok := cache[n]; ok {
+			return v
+		}
+		d := m.nodes[n]
+		pi := p[d.level]
+		v := (1-pi)*rec(d.lo) + pi*rec(d.hi)
+		cache[n] = v
+		return v
+	}
+	return rec(f)
+}
+
+// FromTruthTable builds the BDD of an n-input function given its truth
+// table tt, where bit j of the function is tt[j] for input assignment j
+// (variable i is bit i of j).
+func (m *Manager) FromTruthTable(tt []bool, n int) Node {
+	if len(tt) != 1<<uint(n) {
+		panic(fmt.Sprintf("bdd: truth table length %d, want %d", len(tt), 1<<uint(n)))
+	}
+	var rec func(level, idx int) Node
+	rec = func(level, idx int) Node {
+		if level == n {
+			if tt[idx] {
+				return True
+			}
+			return False
+		}
+		// Variable `level` is bit `level` of the assignment index.
+		stride := 1 << uint(level)
+		return m.mk(int32(level), rec(level+1, idx), rec(level+1, idx+stride))
+	}
+	return rec(0, 0)
+}
+
+// AndExists computes ∃vars.(f ∧ g) without materializing the full
+// conjunction — the relational-product step at the heart of symbolic
+// image computation (§III-H's "avoid explicit enumeration").
+func (m *Manager) AndExists(f, g Node, vars []int) Node {
+	inSet := make(map[int32]bool, len(vars))
+	for _, v := range vars {
+		inSet[int32(v)] = true
+	}
+	type key struct{ f, g Node }
+	cache := make(map[key]Node)
+	var rec func(f, g Node) Node
+	rec = func(f, g Node) Node {
+		if f == False || g == False {
+			return False
+		}
+		if f == True && g == True {
+			return True
+		}
+		k := key{f, g}
+		if f > g {
+			k = key{g, f}
+		}
+		if r, ok := cache[k]; ok {
+			return r
+		}
+		top := m.level(f)
+		if l := m.level(g); l < top {
+			top = l
+		}
+		f0, f1 := m.cofactors(f, top)
+		g0, g1 := m.cofactors(g, top)
+		var r Node
+		if inSet[top] {
+			lo := rec(f0, g0)
+			if lo == True {
+				r = True // short-circuit: ∃ already satisfied
+			} else {
+				r = m.Or(lo, rec(f1, g1))
+			}
+		} else {
+			r = m.mk(top, rec(f0, g0), rec(f1, g1))
+		}
+		cache[k] = r
+		return r
+	}
+	return rec(f, g)
+}

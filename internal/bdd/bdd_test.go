@@ -1,0 +1,357 @@
+package bdd
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTerminals(t *testing.T) {
+	m := New(2)
+	if m.Not(True) != False || m.Not(False) != True {
+		t.Error("Not on terminals broken")
+	}
+	if m.And(True, False) != False || m.Or(True, False) != True {
+		t.Error("And/Or on terminals broken")
+	}
+}
+
+func TestVarCanonical(t *testing.T) {
+	m := New(3)
+	if m.Var(0) != m.Var(0) {
+		t.Error("Var not hash-consed")
+	}
+	if m.Var(0) == m.Var(1) {
+		t.Error("distinct variables identical")
+	}
+}
+
+func TestDeMorgan(t *testing.T) {
+	m := New(4)
+	a, b := m.Var(0), m.Var(1)
+	lhs := m.Not(m.And(a, b))
+	rhs := m.Or(m.Not(a), m.Not(b))
+	if lhs != rhs {
+		t.Error("De Morgan violated: canonical forms differ")
+	}
+}
+
+func TestXorProperties(t *testing.T) {
+	m := New(3)
+	a, b := m.Var(0), m.Var(1)
+	if m.Xor(a, a) != False {
+		t.Error("a^a != 0")
+	}
+	if m.Xor(a, False) != a {
+		t.Error("a^0 != a")
+	}
+	if m.Xor(a, True) != m.Not(a) {
+		t.Error("a^1 != a'")
+	}
+	if m.Xor(a, b) != m.Xor(b, a) {
+		t.Error("xor not commutative")
+	}
+	if m.Xnor(a, b) != m.Not(m.Xor(a, b)) {
+		t.Error("xnor != not xor")
+	}
+}
+
+func TestEvalMatchesConstruction(t *testing.T) {
+	m := New(3)
+	a, b, c := m.Var(0), m.Var(1), m.Var(2)
+	f := m.Or(m.And(a, b), m.And(m.Not(a), c)) // mux(a; c, b)
+	for i := 0; i < 8; i++ {
+		asg := []bool{i&1 == 1, i&2 == 2, i&4 == 4}
+		want := (asg[0] && asg[1]) || (!asg[0] && asg[2])
+		if got := m.Eval(f, asg); got != want {
+			t.Errorf("Eval(%v) = %v, want %v", asg, got, want)
+		}
+	}
+}
+
+func TestCanonicityRandom(t *testing.T) {
+	// Two structurally different constructions of the same function must
+	// yield the identical node.
+	m := New(4)
+	vars := []Node{m.Var(0), m.Var(1), m.Var(2), m.Var(3)}
+	a, b, c, d := vars[0], vars[1], vars[2], vars[3]
+	f1 := m.Or(m.Or(m.And(a, b), m.And(c, d)), m.And(a, d))
+	f2 := m.Or(m.And(a, m.Or(b, d)), m.And(c, d))
+	if f1 != f2 {
+		t.Error("equivalent functions got different nodes")
+	}
+}
+
+func TestRestrict(t *testing.T) {
+	m := New(2)
+	a, b := m.Var(0), m.Var(1)
+	f := m.And(a, b)
+	if m.Restrict(f, 0, true) != b {
+		t.Error("(a·b)|a=1 != b")
+	}
+	if m.Restrict(f, 0, false) != False {
+		t.Error("(a·b)|a=0 != 0")
+	}
+	if m.Restrict(f, 1, true) != a {
+		t.Error("(a·b)|b=1 != a")
+	}
+}
+
+func TestQuantification(t *testing.T) {
+	m := New(3)
+	a, b := m.Var(0), m.Var(1)
+	f := m.And(a, b)
+	if m.Exists(f, 0) != b {
+		t.Error("∃a.(a·b) != b")
+	}
+	if m.Forall(f, 0) != False {
+		t.Error("∀a.(a·b) != 0")
+	}
+	g := m.Or(a, b)
+	if m.Forall(g, 0) != b {
+		t.Error("∀a.(a+b) != b")
+	}
+	if m.ExistsSet(f, []int{0, 1}) != True {
+		t.Error("∃ab.(a·b) != 1")
+	}
+}
+
+func TestSatCount(t *testing.T) {
+	m := New(3)
+	a, b := m.Var(0), m.Var(1)
+	if got := m.SatCount(m.And(a, b)); got != 2 { // c free
+		t.Errorf("SatCount(a·b) = %v, want 2", got)
+	}
+	if got := m.SatCount(m.Or(a, b)); got != 6 {
+		t.Errorf("SatCount(a+b) = %v, want 6", got)
+	}
+	if got := m.SatCount(True); got != 8 {
+		t.Errorf("SatCount(1) = %v, want 8", got)
+	}
+	if got := m.SatCount(False); got != 0 {
+		t.Errorf("SatCount(0) = %v, want 0", got)
+	}
+}
+
+func TestProbability(t *testing.T) {
+	m := New(2)
+	a, b := m.Var(0), m.Var(1)
+	f := m.And(a, b)
+	p := m.Probability(f, []float64{0.5, 0.5})
+	if math.Abs(p-0.25) > 1e-12 {
+		t.Errorf("Pr[ab] = %v, want 0.25", p)
+	}
+	p = m.Probability(m.Or(a, b), []float64{0.1, 0.2})
+	want := 1 - 0.9*0.8
+	if math.Abs(p-want) > 1e-12 {
+		t.Errorf("Pr[a+b] = %v, want %v", p, want)
+	}
+}
+
+func TestFromTruthTable(t *testing.T) {
+	// Majority of 3.
+	n := 3
+	tt := make([]bool, 8)
+	for i := range tt {
+		ones := 0
+		for j := 0; j < n; j++ {
+			if i>>uint(j)&1 == 1 {
+				ones++
+			}
+		}
+		tt[i] = ones >= 2
+	}
+	m := New(n)
+	f := m.FromTruthTable(tt, n)
+	for i := 0; i < 8; i++ {
+		asg := []bool{i&1 == 1, i&2 == 2, i&4 == 4}
+		if m.Eval(f, asg) != tt[i] {
+			t.Errorf("truth table mismatch at %d", i)
+		}
+	}
+	if got := m.SatCount(f); got != 4 {
+		t.Errorf("SatCount(maj3) = %v, want 4", got)
+	}
+}
+
+func TestFromTruthTableRandomEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(5)
+		tt := make([]bool, 1<<uint(n))
+		for i := range tt {
+			tt[i] = rng.Intn(2) == 1
+		}
+		m := New(n)
+		f := m.FromTruthTable(tt, n)
+		for i := range tt {
+			asg := make([]bool, n)
+			for j := 0; j < n; j++ {
+				asg[j] = i>>uint(j)&1 == 1
+			}
+			if m.Eval(f, asg) != tt[i] {
+				t.Fatalf("trial %d: mismatch at input %d", trial, i)
+			}
+		}
+	}
+}
+
+func TestNodeCount(t *testing.T) {
+	m := New(2)
+	if m.NodeCount(True) != 0 || m.NodeCount(False) != 0 {
+		t.Error("terminal node count should be 0")
+	}
+	a, b := m.Var(0), m.Var(1)
+	if got := m.NodeCount(a); got != 1 {
+		t.Errorf("NodeCount(a) = %d, want 1", got)
+	}
+	f := m.Xor(a, b)
+	if got := m.NodeCount(f); got != 3 {
+		t.Errorf("NodeCount(a^b) = %d, want 3", got)
+	}
+	// a^b contains {root, b, b'}; a is a distinct fourth node.
+	if got := m.SharedNodeCount([]Node{a, f}); got != 4 {
+		t.Errorf("SharedNodeCount = %d, want 4", got)
+	}
+	if got := m.SharedNodeCount([]Node{f, f}); got != 3 {
+		t.Errorf("SharedNodeCount dup roots = %d, want 3", got)
+	}
+}
+
+func TestImplies(t *testing.T) {
+	m := New(2)
+	a, b := m.Var(0), m.Var(1)
+	f := m.Implies(m.And(a, b), a)
+	if f != True {
+		t.Error("ab -> a should be a tautology")
+	}
+}
+
+func TestITEConsistencyProperty(t *testing.T) {
+	// Shannon expansion: f == ITE(x, f|x=1, f|x=0) for random functions.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(3)
+		tt := make([]bool, 1<<uint(n))
+		for i := range tt {
+			tt[i] = rng.Intn(2) == 1
+		}
+		m := New(n)
+		g := m.FromTruthTable(tt, n)
+		v := rng.Intn(n)
+		return m.ITE(m.Var(v), m.Restrict(g, v, true), m.Restrict(g, v, false)) == g
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVarPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for out-of-range variable")
+		}
+	}()
+	New(2).Var(5)
+}
+
+// interleavedAndBuilder builds f = Σ x_i·y_i where the x block occupies
+// original variables 0..k-1 and y block k..2k-1: the identity (blocked)
+// order is exponential, the interleaved order linear — the canonical
+// reordering example.
+func interleavedAndBuilder(k int) (int, Builder) {
+	n := 2 * k
+	return n, func(m *Manager, level []int) []Node {
+		f := False
+		for i := 0; i < k; i++ {
+			f = m.Or(f, m.And(m.Var(level[i]), m.Var(level[k+i])))
+		}
+		return []Node{f}
+	}
+}
+
+func TestOrderSizeBlockedVsInterleaved(t *testing.T) {
+	k := 6
+	n, build := interleavedAndBuilder(k)
+	blocked := make([]int, n)
+	for i := range blocked {
+		blocked[i] = i
+	}
+	interleaved := make([]int, 0, n)
+	for i := 0; i < k; i++ {
+		interleaved = append(interleaved, i, k+i)
+	}
+	sb := OrderSize(n, build, blocked)
+	si := OrderSize(n, build, interleaved)
+	if si >= sb {
+		t.Fatalf("interleaved order (%d nodes) should beat blocked (%d)", si, sb)
+	}
+	if si > 3*n {
+		t.Errorf("interleaved size %d should be linear in n=%d", si, n)
+	}
+}
+
+func TestSiftFindsGoodOrder(t *testing.T) {
+	k := 5
+	n, build := interleavedAndBuilder(k)
+	identity := make([]int, n)
+	for i := range identity {
+		identity[i] = i
+	}
+	base := OrderSize(n, build, identity)
+	_, sifted := Sift(n, build)
+	if sifted > base/2 {
+		t.Errorf("sifting got %d nodes, want well below identity's %d", sifted, base)
+	}
+	_, greedy := ReorderGreedy(n, build, 10)
+	if greedy > base {
+		t.Errorf("greedy reorder %d should never exceed identity %d", greedy, base)
+	}
+}
+
+func TestMoveTo(t *testing.T) {
+	o := []int{0, 1, 2, 3}
+	got := moveTo(o, 0, 3)
+	want := []int{1, 2, 3, 0}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("moveTo = %v, want %v", got, want)
+		}
+	}
+	got = moveTo(o, 2, 0)
+	want = []int{2, 0, 1, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("moveTo = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestAndExistsMatchesComposition(t *testing.T) {
+	// ∃vars.(f·g) computed relationally must equal And followed by
+	// ExistsSet, on random functions.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(3)
+		m := New(n)
+		tt1 := make([]bool, 1<<uint(n))
+		tt2 := make([]bool, 1<<uint(n))
+		for i := range tt1 {
+			tt1[i] = rng.Intn(2) == 1
+			tt2[i] = rng.Intn(2) == 1
+		}
+		a := m.FromTruthTable(tt1, n)
+		b := m.FromTruthTable(tt2, n)
+		var vars []int
+		for v := 0; v < n; v++ {
+			if rng.Intn(2) == 1 {
+				vars = append(vars, v)
+			}
+		}
+		return m.AndExists(a, b, vars) == m.ExistsSet(m.And(a, b), vars)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,105 @@
+package bdd
+
+// Variable reordering. This manager hash-conses nodes without garbage
+// collection, so reordering is implemented by rebuilding the functions
+// under a candidate order and measuring the shared node count — the
+// robust (if not the fastest) formulation. Greedy sifting over adjacent
+// transpositions captures the classic wins (e.g. interleaving the
+// operands of a comparator collapses an exponential BDD to linear).
+
+// Builder constructs the root functions in a fresh manager under a
+// variable placement: level[i] is the manager level assigned to original
+// variable i (use m.Var(level[i]) wherever variable i is meant).
+type Builder func(m *Manager, level []int) []Node
+
+// OrderSize rebuilds under the given order (order[k] = original variable
+// placed at level k) and returns the shared node count of the roots.
+func OrderSize(nvars int, build Builder, order []int) int {
+	level := make([]int, nvars)
+	for pos, v := range order {
+		level[v] = pos
+	}
+	m := New(nvars)
+	roots := build(m, level)
+	return m.SharedNodeCount(roots)
+}
+
+// ReorderGreedy hill-climbs over adjacent transpositions of the
+// identity order for at most the given number of passes, returning the
+// best order found and its shared node count.
+func ReorderGreedy(nvars int, build Builder, passes int) ([]int, int) {
+	order := make([]int, nvars)
+	for i := range order {
+		order[i] = i
+	}
+	best := OrderSize(nvars, build, order)
+	if passes <= 0 {
+		passes = 3
+	}
+	for p := 0; p < passes; p++ {
+		improved := false
+		for i := 0; i+1 < nvars; i++ {
+			order[i], order[i+1] = order[i+1], order[i]
+			if size := OrderSize(nvars, build, order); size < best {
+				best = size
+				improved = true
+			} else {
+				order[i], order[i+1] = order[i+1], order[i]
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	return order, best
+}
+
+// Sift moves each variable in turn to its locally best position
+// (a rebuild-based rendition of Rudell's sifting), returning the best
+// order and node count. More thorough than ReorderGreedy, more rebuilds.
+func Sift(nvars int, build Builder) ([]int, int) {
+	order := make([]int, nvars)
+	for i := range order {
+		order[i] = i
+	}
+	best := OrderSize(nvars, build, order)
+	for v := 0; v < nvars; v++ {
+		// Current position of variable v.
+		pos := 0
+		for i, ov := range order {
+			if ov == v {
+				pos = i
+			}
+		}
+		bestPos := pos
+		// Try every position, tracking the best.
+		cur := append([]int{}, order...)
+		for target := 0; target < nvars; target++ {
+			cand := moveTo(cur, pos, target)
+			if size := OrderSize(nvars, build, cand); size < best {
+				best = size
+				bestPos = target
+			}
+		}
+		order = moveTo(order, pos, bestPos)
+	}
+	return order, best
+}
+
+// moveTo returns a copy of order with the element at from moved to
+// position to.
+func moveTo(order []int, from, to int) []int {
+	out := make([]int, 0, len(order))
+	v := order[from]
+	for i, ov := range order {
+		if i == from {
+			continue
+		}
+		out = append(out, ov)
+	}
+	if to > len(out) {
+		to = len(out)
+	}
+	out = append(out[:to], append([]int{v}, out[to:]...)...)
+	return out
+}

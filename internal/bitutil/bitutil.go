@@ -1,0 +1,154 @@
+// Package bitutil provides small bit-level helpers shared by the power
+// models: Hamming distance, transition counting over vector streams, and
+// conversions between integer words and bit slices.
+package bitutil
+
+import "math/bits"
+
+// Hamming returns the number of bit positions in which a and b differ.
+func Hamming(a, b uint64) int {
+	return bits.OnesCount64(a ^ b)
+}
+
+// HammingBits returns the number of positions where the bool slices differ.
+// The slices must have equal length.
+func HammingBits(a, b []bool) int {
+	d := 0
+	for i := range a {
+		if a[i] != b[i] {
+			d++
+		}
+	}
+	return d
+}
+
+// Transitions returns the total number of bit transitions between
+// consecutive words of the stream, counting the low n bits of each word.
+func Transitions(stream []uint64, n int) int {
+	if len(stream) < 2 {
+		return 0
+	}
+	mask := Mask(n)
+	total := 0
+	for i := 1; i < len(stream); i++ {
+		total += bits.OnesCount64((stream[i] ^ stream[i-1]) & mask)
+	}
+	return total
+}
+
+// Mask returns a mask with the low n bits set. n must be in [0, 64].
+func Mask(n int) uint64 {
+	if n >= 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << uint(n)) - 1
+}
+
+// Bit reports whether bit i of w is set.
+func Bit(w uint64, i int) bool {
+	return w>>uint(i)&1 == 1
+}
+
+// SetBit returns w with bit i set to v.
+func SetBit(w uint64, i int, v bool) uint64 {
+	if v {
+		return w | 1<<uint(i)
+	}
+	return w &^ (1 << uint(i))
+}
+
+// ToBits expands the low n bits of w into a bool slice, LSB first.
+func ToBits(w uint64, n int) []bool {
+	b := make([]bool, n)
+	for i := 0; i < n; i++ {
+		b[i] = Bit(w, i)
+	}
+	return b
+}
+
+// FromBits packs a bool slice (LSB first) into a word. len(b) must be <= 64.
+func FromBits(b []bool) uint64 {
+	var w uint64
+	for i, v := range b {
+		if v {
+			w |= 1 << uint(i)
+		}
+	}
+	return w
+}
+
+// OnesCount returns the popcount of w.
+func OnesCount(w uint64) int { return bits.OnesCount64(w) }
+
+// Gray returns the Gray-code image of w: w XOR (w >> 1).
+func Gray(w uint64) uint64 { return w ^ (w >> 1) }
+
+// GrayInverse returns the binary value whose Gray code is g.
+func GrayInverse(g uint64) uint64 {
+	b := g
+	for s := uint(1); s < 64; s <<= 1 {
+		b ^= b >> s
+	}
+	return b
+}
+
+// SignExtend sign-extends the low n bits of w to a signed 64-bit value.
+func SignExtend(w uint64, n int) int64 {
+	if n <= 0 || n >= 64 {
+		return int64(w)
+	}
+	shift := uint(64 - n)
+	return int64(w<<shift) >> shift
+}
+
+// BitProbabilities returns, for each of the low n bit positions, the
+// fraction of words in the stream that have the bit set.
+func BitProbabilities(stream []uint64, n int) []float64 {
+	p := make([]float64, n)
+	if len(stream) == 0 {
+		return p
+	}
+	for _, w := range stream {
+		for i := 0; i < n; i++ {
+			if Bit(w, i) {
+				p[i]++
+			}
+		}
+	}
+	inv := 1 / float64(len(stream))
+	for i := range p {
+		p[i] *= inv
+	}
+	return p
+}
+
+// BitActivities returns, for each of the low n bit positions, the average
+// number of transitions per cycle (0..1) over the stream.
+func BitActivities(stream []uint64, n int) []float64 {
+	a := make([]float64, n)
+	if len(stream) < 2 {
+		return a
+	}
+	for i := 1; i < len(stream); i++ {
+		d := stream[i] ^ stream[i-1]
+		for b := 0; b < n; b++ {
+			if Bit(d, b) {
+				a[b]++
+			}
+		}
+	}
+	inv := 1 / float64(len(stream)-1)
+	for i := range a {
+		a[i] *= inv
+	}
+	return a
+}
+
+// MeanActivity returns the average per-bit switching activity of the low n
+// bits of the stream: total transitions / ((len-1) * n).
+func MeanActivity(stream []uint64, n int) float64 {
+	if len(stream) < 2 || n == 0 {
+		return 0
+	}
+	return float64(Transitions(stream, n)) / (float64(len(stream)-1) * float64(n))
+}

@@ -1,0 +1,170 @@
+package bitutil
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestHamming(t *testing.T) {
+	cases := []struct {
+		a, b uint64
+		want int
+	}{
+		{0, 0, 0},
+		{0, 1, 1},
+		{0b1010, 0b0101, 4},
+		{^uint64(0), 0, 64},
+		{0xFF, 0xF0, 4},
+	}
+	for _, c := range cases {
+		if got := Hamming(c.a, c.b); got != c.want {
+			t.Errorf("Hamming(%#x,%#x) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestHammingBits(t *testing.T) {
+	a := []bool{true, false, true}
+	b := []bool{false, false, true}
+	if got := HammingBits(a, b); got != 1 {
+		t.Errorf("HammingBits = %d, want 1", got)
+	}
+}
+
+func TestHammingSymmetry(t *testing.T) {
+	f := func(a, b uint64) bool { return Hamming(a, b) == Hamming(b, a) }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHammingTriangle(t *testing.T) {
+	f := func(a, b, c uint64) bool {
+		return Hamming(a, c) <= Hamming(a, b)+Hamming(b, c)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTransitions(t *testing.T) {
+	stream := []uint64{0b00, 0b01, 0b11, 0b00}
+	if got := Transitions(stream, 2); got != 4 {
+		t.Errorf("Transitions = %d, want 4", got)
+	}
+	if got := Transitions(stream[:1], 2); got != 0 {
+		t.Errorf("Transitions single = %d, want 0", got)
+	}
+	if got := Transitions(nil, 8); got != 0 {
+		t.Errorf("Transitions nil = %d, want 0", got)
+	}
+}
+
+func TestTransitionsMasked(t *testing.T) {
+	// Changes above the mask must not count.
+	stream := []uint64{0x100, 0x200}
+	if got := Transitions(stream, 8); got != 0 {
+		t.Errorf("masked Transitions = %d, want 0", got)
+	}
+}
+
+func TestMask(t *testing.T) {
+	if Mask(0) != 0 {
+		t.Error("Mask(0) != 0")
+	}
+	if Mask(8) != 0xFF {
+		t.Error("Mask(8) != 0xFF")
+	}
+	if Mask(64) != ^uint64(0) {
+		t.Error("Mask(64) != all ones")
+	}
+}
+
+func TestBitsRoundTrip(t *testing.T) {
+	f := func(w uint64) bool {
+		return FromBits(ToBits(w, 64)) == w
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSetBit(t *testing.T) {
+	w := SetBit(0, 5, true)
+	if !Bit(w, 5) {
+		t.Error("SetBit true failed")
+	}
+	w = SetBit(w, 5, false)
+	if Bit(w, 5) {
+		t.Error("SetBit false failed")
+	}
+}
+
+func TestGrayRoundTrip(t *testing.T) {
+	f := func(w uint64) bool { return GrayInverse(Gray(w)) == w }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGrayAdjacent(t *testing.T) {
+	// Consecutive integers have Gray codes at Hamming distance exactly 1.
+	for i := uint64(0); i < 1000; i++ {
+		if Hamming(Gray(i), Gray(i+1)) != 1 {
+			t.Fatalf("Gray(%d) vs Gray(%d) not adjacent", i, i+1)
+		}
+	}
+}
+
+func TestSignExtend(t *testing.T) {
+	if SignExtend(0xFF, 8) != -1 {
+		t.Errorf("SignExtend(0xFF,8) = %d, want -1", SignExtend(0xFF, 8))
+	}
+	if SignExtend(0x7F, 8) != 127 {
+		t.Errorf("SignExtend(0x7F,8) = %d, want 127", SignExtend(0x7F, 8))
+	}
+	if SignExtend(0x80, 8) != -128 {
+		t.Errorf("SignExtend(0x80,8) = %d, want -128", SignExtend(0x80, 8))
+	}
+}
+
+func TestBitProbabilities(t *testing.T) {
+	stream := []uint64{0b01, 0b01, 0b11, 0b00}
+	p := BitProbabilities(stream, 2)
+	if p[0] != 0.75 {
+		t.Errorf("p[0] = %v, want 0.75", p[0])
+	}
+	if p[1] != 0.25 {
+		t.Errorf("p[1] = %v, want 0.25", p[1])
+	}
+}
+
+func TestBitActivities(t *testing.T) {
+	stream := []uint64{0b0, 0b1, 0b0, 0b1}
+	a := BitActivities(stream, 1)
+	if a[0] != 1 {
+		t.Errorf("a[0] = %v, want 1 (toggles every cycle)", a[0])
+	}
+}
+
+func TestMeanActivityRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	stream := make([]uint64, 20000)
+	for i := range stream {
+		stream[i] = rng.Uint64()
+	}
+	got := MeanActivity(stream, 32)
+	if got < 0.48 || got > 0.52 {
+		t.Errorf("random stream activity = %v, want ~0.5", got)
+	}
+}
+
+func TestMeanActivityEdge(t *testing.T) {
+	if MeanActivity(nil, 8) != 0 {
+		t.Error("nil stream should have 0 activity")
+	}
+	if MeanActivity([]uint64{1, 2}, 0) != 0 {
+		t.Error("0-width stream should have 0 activity")
+	}
+}

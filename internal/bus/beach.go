@@ -1,0 +1,204 @@
+package bus
+
+import (
+	"math"
+	"sort"
+
+	"hlpower/internal/bitutil"
+	"hlpower/internal/stats"
+)
+
+// Beach implements the trace-driven code of Benini et al. [83]: bus
+// lines are grouped into clusters by pairwise correlation measured on a
+// typical execution trace, and each cluster receives a value-permutation
+// encoding function chosen to minimize the weighted Hamming distance
+// between temporally adjacent cluster patterns (the same machinery as
+// low-power FSM encoding). The code is irredundant — same bus width —
+// and is a bijection per cluster, so decoding is the inverse permutation.
+type Beach struct {
+	Width    int
+	clusters [][]int    // line indices per cluster
+	perm     [][]uint64 // per cluster: pattern -> code
+	inverse  [][]uint64 // per cluster: code -> pattern
+}
+
+// TrainBeach builds the code from a training trace. maxClusterBits
+// bounds cluster size (2^bits permutation tables).
+func TrainBeach(trace []uint64, width, maxClusterBits int, iters int) *Beach {
+	b := &Beach{Width: width}
+	b.clusters = clusterLines(trace, width, maxClusterBits)
+	for _, cl := range b.clusters {
+		b.perm = append(b.perm, trainCluster(trace, cl, iters))
+	}
+	b.inverse = make([][]uint64, len(b.perm))
+	for i, p := range b.perm {
+		inv := make([]uint64, len(p))
+		for pattern, code := range p {
+			inv[code] = uint64(pattern)
+		}
+		b.inverse[i] = inv
+	}
+	return b
+}
+
+// clusterLines groups bus lines greedily by descending |correlation|.
+func clusterLines(trace []uint64, width, maxBits int) [][]int {
+	// Line value series.
+	series := make([][]float64, width)
+	for i := range series {
+		series[i] = make([]float64, len(trace))
+		for t, w := range trace {
+			if bitutil.Bit(w, i) {
+				series[i][t] = 1
+			}
+		}
+	}
+	type pair struct {
+		i, j int
+		c    float64
+	}
+	var pairs []pair
+	for i := 0; i < width; i++ {
+		for j := i + 1; j < width; j++ {
+			c := math.Abs(stats.Pearson(series[i], series[j]))
+			pairs = append(pairs, pair{i, j, c})
+		}
+	}
+	sort.Slice(pairs, func(a, b int) bool { return pairs[a].c > pairs[b].c })
+	clusterOf := make([]int, width)
+	for i := range clusterOf {
+		clusterOf[i] = -1
+	}
+	var clusters [][]int
+	for _, p := range pairs {
+		ci, cj := clusterOf[p.i], clusterOf[p.j]
+		switch {
+		case ci < 0 && cj < 0:
+			if maxBits >= 2 {
+				clusterOf[p.i] = len(clusters)
+				clusterOf[p.j] = len(clusters)
+				clusters = append(clusters, []int{p.i, p.j})
+			}
+		case ci >= 0 && cj < 0:
+			if len(clusters[ci]) < maxBits {
+				clusterOf[p.j] = ci
+				clusters[ci] = append(clusters[ci], p.j)
+			}
+		case ci < 0 && cj >= 0:
+			if len(clusters[cj]) < maxBits {
+				clusterOf[p.i] = cj
+				clusters[cj] = append(clusters[cj], p.i)
+			}
+		}
+	}
+	for i := 0; i < width; i++ {
+		if clusterOf[i] < 0 {
+			clusters = append(clusters, []int{i})
+		}
+	}
+	for _, cl := range clusters {
+		sort.Ints(cl)
+	}
+	return clusters
+}
+
+// extract pulls the cluster-local pattern out of a word.
+func extract(w uint64, lines []int) uint64 {
+	var p uint64
+	for i, l := range lines {
+		if bitutil.Bit(w, l) {
+			p |= 1 << uint(i)
+		}
+	}
+	return p
+}
+
+// deposit writes a cluster-local pattern back into a word.
+func deposit(w uint64, lines []int, p uint64) uint64 {
+	for i, l := range lines {
+		w = bitutil.SetBit(w, l, bitutil.Bit(p, i))
+	}
+	return w
+}
+
+// trainCluster finds a pattern permutation minimizing the transition-
+// weighted Hamming cost on the training trace, by greedy pairwise code
+// swaps (hill climbing with full cost evaluation; cluster spaces are
+// tiny).
+func trainCluster(trace []uint64, lines []int, iters int) []uint64 {
+	size := 1 << uint(len(lines))
+	// Transition counts between consecutive patterns.
+	counts := make([][]int, size)
+	for i := range counts {
+		counts[i] = make([]int, size)
+	}
+	var prev uint64
+	for t, w := range trace {
+		p := extract(w, lines)
+		if t > 0 {
+			counts[prev][p]++
+		}
+		prev = p
+	}
+	perm := make([]uint64, size)
+	for i := range perm {
+		perm[i] = uint64(i)
+	}
+	cost := func() int {
+		c := 0
+		for a := 0; a < size; a++ {
+			for b, n := range counts[a] {
+				if n > 0 {
+					c += n * bitutil.Hamming(perm[a], perm[b])
+				}
+			}
+		}
+		return c
+	}
+	cur := cost()
+	if iters <= 0 {
+		iters = 3
+	}
+	for pass := 0; pass < iters; pass++ {
+		improved := false
+		for a := 0; a < size; a++ {
+			for b := a + 1; b < size; b++ {
+				perm[a], perm[b] = perm[b], perm[a]
+				if nc := cost(); nc < cur {
+					cur = nc
+					improved = true
+				} else {
+					perm[a], perm[b] = perm[b], perm[a]
+				}
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	return perm
+}
+
+func (b *Beach) Name() string  { return "beach" }
+func (b *Beach) BusWidth() int { return b.Width }
+func (b *Beach) Reset()        {}
+
+func (b *Beach) Encode(w uint64) uint64 {
+	w &= bitutil.Mask(b.Width)
+	out := w
+	for ci, cl := range b.clusters {
+		p := extract(w, cl)
+		out = deposit(out, cl, b.perm[ci][p])
+	}
+	return out
+}
+
+// Decode inverts the per-cluster permutations.
+func (b *Beach) Decode(v uint64) uint64 {
+	out := v & bitutil.Mask(b.Width)
+	for ci, cl := range b.clusters {
+		p := extract(v, cl)
+		out = deposit(out, cl, b.inverse[ci][p])
+	}
+	return out
+}

@@ -1,0 +1,235 @@
+package bus
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hlpower/internal/trace"
+)
+
+const w = 16
+
+func roundTrip(t *testing.T, e Encoder, d Decoder, stream []uint64) {
+	t.Helper()
+	e.Reset()
+	d.Reset()
+	for i, word := range stream {
+		got := d.Decode(e.Encode(word))
+		if got != word {
+			t.Fatalf("%s: round-trip failed at %d: sent %#x got %#x", e.Name(), i, word, got)
+		}
+	}
+}
+
+func TestRoundTrips(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	streams := map[string][]uint64{
+		"random":     trace.Uniform(2000, w, rng),
+		"sequential": trace.Sequential(2000, w, 100),
+		"zones": trace.InterleavedZones(2000, w, []trace.ZoneSpec{
+			{Base: 0x1000, Length: 64}, {Base: 0x8000, Length: 64}, {Base: 0x4000, Length: 64},
+		}),
+		"correlated": trace.BlockCorrelated(2000, w, 4, 3, 0.9, rng),
+	}
+	for name, s := range streams {
+		roundTrip(t, &Raw{Width: w}, &Raw{Width: w}, s)
+		roundTrip(t, &BusInvert{Width: w}, &BusInvertDecoder{Width: w}, s)
+		roundTrip(t, &GrayCode{Width: w}, &GrayDecoder{Width: w}, s)
+		roundTrip(t, &T0{Width: w}, &T0Decoder{Width: w}, s)
+		roundTrip(t, NewWorkingZone(w, 4, 8), NewWorkingZoneDecoder(w, 4, 8), s)
+		b := TrainBeach(s[:1000], w, 4, 3)
+		roundTrip(t, b, b, s)
+		_ = name
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := trace.Uniform(200, w, rng)
+		enc := &T0{Width: w}
+		dec := &T0Decoder{Width: w}
+		enc.Reset()
+		dec.Reset()
+		for _, word := range s {
+			if dec.Decode(enc.Encode(word)) != word {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBusInvertBound(t *testing.T) {
+	// At most ceil(N/2)+1 transitions per cycle, even on adversarial
+	// alternating data.
+	var stream []uint64
+	for i := 0; i < 500; i++ {
+		if i%2 == 0 {
+			stream = append(stream, 0)
+		} else {
+			stream = append(stream, 0xFFFF)
+		}
+	}
+	e := &BusInvert{Width: w}
+	e.Reset()
+	var prev uint64
+	for i, word := range stream {
+		v := e.Encode(word)
+		if i > 0 {
+			d := 0
+			for b := 0; b < e.BusWidth(); b++ {
+				if (prev^v)>>uint(b)&1 == 1 {
+					d++
+				}
+			}
+			if d > w/2+1 {
+				t.Fatalf("bus-invert exceeded bound at %d: %d transitions", i, d)
+			}
+		}
+		prev = v
+	}
+}
+
+func TestBusInvertBeatsRawOnRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	s := trace.Uniform(5000, w, rng)
+	raw := PerWord(&Raw{Width: w}, s)
+	bi := PerWord(&BusInvert{Width: w}, s)
+	if bi >= raw {
+		t.Errorf("bus-invert %v should beat raw %v on random data", bi, raw)
+	}
+}
+
+func TestGraySingleTransitionOnSequential(t *testing.T) {
+	s := trace.Sequential(4096, w, 0)
+	per := PerWord(&GrayCode{Width: w}, s)
+	if per > 1.0001 || per < 0.999 {
+		t.Errorf("gray sequential transitions/word = %v, want exactly 1", per)
+	}
+	// Raw binary averages ~2 on sequential streams.
+	raw := PerWord(&Raw{Width: w}, s)
+	if raw <= per {
+		t.Errorf("raw %v should exceed gray %v on sequential addresses", raw, per)
+	}
+}
+
+func TestT0ZeroTransitionsOnSequential(t *testing.T) {
+	s := trace.Sequential(4096, w, 0)
+	tr := Transitions(&T0{Width: w}, s)
+	// Only the first INC raise may toggle lines.
+	if tr > 2 {
+		t.Errorf("T0 sequential transitions = %d, want <= 2", tr)
+	}
+}
+
+func TestWorkingZoneBeatsGrayOnInterleaved(t *testing.T) {
+	zones := []trace.ZoneSpec{
+		{Base: 0x1000, Length: 200}, {Base: 0x8000, Length: 200}, {Base: 0x4000, Length: 200},
+	}
+	s := trace.InterleavedZones(6000, w, zones)
+	wz := PerWord(NewWorkingZone(w, 4, 10), s)
+	gray := PerWord(&GrayCode{Width: w}, s)
+	t0 := PerWord(&T0{Width: w}, s)
+	if wz >= gray {
+		t.Errorf("working-zone %v should beat gray %v on interleaved zones", wz, gray)
+	}
+	if wz >= t0 {
+		t.Errorf("working-zone %v should beat t0 %v on interleaved zones", wz, t0)
+	}
+}
+
+func TestBeachBeatsRawOnCorrelated(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	s := trace.BlockCorrelated(8000, w, 4, 4, 0.92, rng)
+	train, test := s[:4000], s[4000:]
+	b := TrainBeach(train, w, 4, 4)
+	raw := PerWord(&Raw{Width: w}, test)
+	beach := PerWord(b, test)
+	if beach >= raw {
+		t.Errorf("beach %v should beat raw %v on block-correlated streams", beach, raw)
+	}
+}
+
+func TestBeachIsBijective(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	s := trace.BlockCorrelated(1000, 8, 4, 3, 0.9, rng)
+	b := TrainBeach(s, 8, 4, 3)
+	seen := make(map[uint64]bool)
+	for v := uint64(0); v < 256; v++ {
+		e := b.Encode(v)
+		if seen[e] {
+			t.Fatalf("beach not injective at %#x", v)
+		}
+		seen[e] = true
+		if b.Decode(e) != v {
+			t.Fatalf("beach decode broken at %#x", v)
+		}
+	}
+}
+
+func TestClusterLinesCoversAllLines(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	s := trace.Uniform(500, 12, rng)
+	clusters := clusterLines(s, 12, 4)
+	covered := make(map[int]bool)
+	for _, cl := range clusters {
+		if len(cl) > 4 {
+			t.Errorf("cluster too large: %v", cl)
+		}
+		for _, l := range cl {
+			if covered[l] {
+				t.Errorf("line %d in two clusters", l)
+			}
+			covered[l] = true
+		}
+	}
+	if len(covered) != 12 {
+		t.Errorf("covered %d lines, want 12", len(covered))
+	}
+}
+
+func TestTransitionsEdgeCases(t *testing.T) {
+	if Transitions(&Raw{Width: 8}, nil) != 0 {
+		t.Error("empty stream should have no transitions")
+	}
+	if PerWord(&Raw{Width: 8}, []uint64{5}) != 0 {
+		t.Error("single word should have no transitions")
+	}
+}
+
+func TestT0BIRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	streams := [][]uint64{
+		trace.Uniform(1500, w, rng),
+		trace.Sequential(1500, w, 7),
+		trace.Mixed(trace.Sequential(500, w, 0), trace.Uniform(500, w, rng)),
+	}
+	for _, s := range streams {
+		roundTrip(t, &T0BI{Width: w}, &T0BIDecoder{Width: w}, s)
+	}
+}
+
+func TestT0BICombinesBothStrengths(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	// Sequential: as good as T0 (~0).
+	seq := trace.Sequential(3000, w, 0)
+	if tr := Transitions(&T0BI{Width: w}, seq); tr > 3 {
+		t.Errorf("t0-bi on sequential = %d transitions, want ~0", tr)
+	}
+	// Random: as good as bus-invert (beats raw).
+	rnd := trace.Uniform(3000, w, rng)
+	bi := PerWord(&BusInvert{Width: w}, rnd)
+	tbi := PerWord(&T0BI{Width: w}, rnd)
+	raw := PerWord(&Raw{Width: w}, rnd)
+	if tbi >= raw {
+		t.Errorf("t0-bi %v should beat raw %v on random data", tbi, raw)
+	}
+	if tbi > bi*1.1 {
+		t.Errorf("t0-bi %v should track bus-invert %v on random data", tbi, bi)
+	}
+}

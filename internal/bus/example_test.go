@@ -1,0 +1,19 @@
+package bus_test
+
+import (
+	"fmt"
+
+	"hlpower/internal/bus"
+	"hlpower/internal/trace"
+)
+
+func ExamplePerWord() {
+	addrs := trace.Sequential(1024, 16, 0)
+	gray := bus.PerWord(&bus.GrayCode{Width: 16}, addrs)
+	t0 := bus.PerWord(&bus.T0{Width: 16}, addrs)
+	fmt.Printf("gray: %.2f transitions/word\n", gray)
+	fmt.Printf("t0:   %.2f transitions/word\n", t0)
+	// Output:
+	// gray: 1.00 transitions/word
+	// t0:   0.00 transitions/word
+}

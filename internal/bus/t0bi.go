@@ -1,0 +1,86 @@
+package bus
+
+import (
+	"math/bits"
+
+	"hlpower/internal/bitutil"
+)
+
+// T0BI combines the T0 and Bus-Invert principles (the [81] variant the
+// paper mentions): in-sequence addresses freeze the bus with INC raised;
+// out-of-sequence addresses are transmitted with Bus-Invert polarity
+// selection. Two redundant lines: INC at bit Width, INV at bit Width+1.
+type T0BI struct {
+	Width    int
+	started  bool
+	lastWord uint64
+	prevBus  uint64
+}
+
+// Name identifies the code.
+func (t *T0BI) Name() string { return "t0-bi" }
+
+// BusWidth includes the INC and INV lines.
+func (t *T0BI) BusWidth() int { return t.Width + 2 }
+
+// Reset restores the initial state.
+func (t *T0BI) Reset() { t.started = false; t.lastWord = 0; t.prevBus = 0 }
+
+// Encode maps the next address to the bus value.
+func (t *T0BI) Encode(w uint64) uint64 {
+	mask := bitutil.Mask(t.Width)
+	incBit := uint64(1) << uint(t.Width)
+	invBit := uint64(1) << uint(t.Width+1)
+	w &= mask
+	var out uint64
+	if t.started && w == (t.lastWord+1)&mask {
+		// Freeze data and INV lines, raise INC.
+		out = (t.prevBus &^ incBit) | incBit
+	} else {
+		prevINV := t.prevBus & invBit
+		dPlain := bits.OnesCount64((t.prevBus ^ w) & mask)
+		if prevINV != 0 {
+			dPlain++ // INV would fall
+		}
+		dInv := bits.OnesCount64((t.prevBus ^ (^w)) & mask)
+		if prevINV == 0 {
+			dInv++ // INV would rise
+		}
+		if dInv < dPlain {
+			out = (^w & mask) | invBit
+		} else {
+			out = w
+		}
+	}
+	t.started = true
+	t.lastWord = w
+	t.prevBus = out
+	return out
+}
+
+// T0BIDecoder inverts the combined code.
+type T0BIDecoder struct {
+	Width    int
+	started  bool
+	lastWord uint64
+}
+
+// Reset restores the initial state.
+func (d *T0BIDecoder) Reset() { d.started = false; d.lastWord = 0 }
+
+// Decode recovers the address.
+func (d *T0BIDecoder) Decode(v uint64) uint64 {
+	mask := bitutil.Mask(d.Width)
+	var w uint64
+	switch {
+	case v>>uint(d.Width)&1 == 1 && d.started:
+		w = (d.lastWord + 1) & mask
+	case v>>uint(d.Width+1)&1 == 1:
+		w = ^v & mask
+	default:
+		w = v & mask
+	}
+	d.started = true
+	d.lastWord = w
+	return w
+}

@@ -1,0 +1,118 @@
+package bus
+
+import (
+	"hlpower/internal/bitutil"
+)
+
+// WorkingZone implements the Musoll–Lang–Cortadella code [82]: the
+// receiver holds one reference address per working zone; an address
+// falling in a zone is transmitted as a one-hot zone selector plus the
+// Gray-coded offset from the zone reference (high temporal locality
+// makes consecutive offsets differ by one line), with the redundant HIT
+// line raised. A miss transmits the raw address with HIT low and
+// installs it as the new reference of the round-robin victim zone.
+//
+// Bus layout: [Width-1:0] data/offset, [Width+Zones-1:Width] one-hot
+// zone id, [Width+Zones] HIT.
+type WorkingZone struct {
+	Width      int
+	Zones      int
+	OffsetBits int
+
+	refs    []uint64
+	valid   []bool
+	victim  int
+	prevBus uint64
+}
+
+// NewWorkingZone returns a code with the given zone count and offset
+// range (2^offsetBits addresses per zone).
+func NewWorkingZone(width, zones, offsetBits int) *WorkingZone {
+	wz := &WorkingZone{Width: width, Zones: zones, OffsetBits: offsetBits}
+	wz.Reset()
+	return wz
+}
+
+func (z *WorkingZone) Name() string  { return "working-zone" }
+func (z *WorkingZone) BusWidth() int { return z.Width + z.Zones + 1 }
+
+func (z *WorkingZone) Reset() {
+	z.refs = make([]uint64, z.Zones)
+	z.valid = make([]bool, z.Zones)
+	z.victim = 0
+	z.prevBus = 0
+}
+
+func (z *WorkingZone) hitBit() uint64 { return 1 << uint(z.Width+z.Zones) }
+
+func (z *WorkingZone) Encode(w uint64) uint64 {
+	mask := bitutil.Mask(z.Width)
+	w &= mask
+	span := uint64(1) << uint(z.OffsetBits)
+	for i := 0; i < z.Zones; i++ {
+		if !z.valid[i] {
+			continue
+		}
+		// Offsets are relative to the zone's most recent access, so an
+		// in-sequence revisit always transmits gray(1) — the stationary
+		// pattern the code is built around.
+		off := (w - z.refs[i]) & mask
+		if off < span {
+			out := bitutil.Gray(off) |
+				uint64(1)<<uint(z.Width+i) |
+				z.hitBit()
+			z.refs[i] = w
+			z.prevBus = out
+			return out
+		}
+	}
+	// Miss: install as new reference and send raw.
+	z.refs[z.victim] = w
+	z.valid[z.victim] = true
+	z.victim = (z.victim + 1) % z.Zones
+	z.prevBus = w
+	return w
+}
+
+// WorkingZoneDecoder mirrors the encoder's zone state.
+type WorkingZoneDecoder struct {
+	Width      int
+	Zones      int
+	OffsetBits int
+	refs       []uint64
+	victim     int
+}
+
+// NewWorkingZoneDecoder returns the matching decoder.
+func NewWorkingZoneDecoder(width, zones, offsetBits int) *WorkingZoneDecoder {
+	d := &WorkingZoneDecoder{Width: width, Zones: zones, OffsetBits: offsetBits}
+	d.Reset()
+	return d
+}
+
+func (d *WorkingZoneDecoder) Reset() {
+	d.refs = make([]uint64, d.Zones)
+	d.victim = 0
+}
+
+func (d *WorkingZoneDecoder) Decode(v uint64) uint64 {
+	mask := bitutil.Mask(d.Width)
+	hit := v>>uint(d.Width+d.Zones)&1 == 1
+	if !hit {
+		w := v & mask
+		d.refs[d.victim] = w
+		d.victim = (d.victim + 1) % d.Zones
+		return w
+	}
+	zone := 0
+	for i := 0; i < d.Zones; i++ {
+		if v>>uint(d.Width+i)&1 == 1 {
+			zone = i
+			break
+		}
+	}
+	off := bitutil.GrayInverse(v & mask)
+	w := (d.refs[zone] + off) & mask
+	d.refs[zone] = w
+	return w
+}

@@ -1,0 +1,424 @@
+// Package cdfg implements the control-data-flow-graph layer of the
+// high-level synthesis sections: graph construction and evaluation,
+// ASAP/ALAP/resource-constrained list scheduling (§III-D), the Monteiro
+// power-management scheduling that shuts down mutually exclusive mux
+// branches, and the behavioral transformations of §III-C (Horner
+// restructuring, strength reduction, constant-multiplication to
+// shift/add).
+package cdfg
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// OpKind enumerates CDFG node types.
+type OpKind uint8
+
+// Node kinds. Input and Const are sources; Mux selects In1 when the
+// control value is nonzero.
+const (
+	Input OpKind = iota
+	Const
+	Add
+	Sub
+	Mul
+	Shl
+	Shr
+	Mux
+	Cmp // 1 if a < b
+)
+
+var kindNames = [...]string{
+	Input: "in", Const: "const", Add: "add", Sub: "sub", Mul: "mul",
+	Shl: "shl", Shr: "shr", Mux: "mux", Cmp: "cmp",
+}
+
+func (k OpKind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("op(%d)", uint8(k))
+}
+
+// IsOperation reports whether the node consumes a functional unit.
+func (k OpKind) IsOperation() bool { return k != Input && k != Const }
+
+// DefaultDelay is the schedule delay (control steps) per operation kind;
+// the paper's Figs. 4–5 count every operation as one step.
+func DefaultDelay(k OpKind) int {
+	if !k.IsOperation() {
+		return 0
+	}
+	return 1
+}
+
+// DefaultEnergy is the per-execution energy weight of each operation,
+// reflecting the §III-C observation that multiplications dominate.
+func DefaultEnergy(k OpKind) float64 {
+	switch k {
+	case Mul:
+		return 8
+	case Add, Sub:
+		return 1
+	case Shl, Shr:
+		return 0.3
+	case Mux:
+		return 0.2
+	case Cmp:
+		return 0.8
+	default:
+		return 0
+	}
+}
+
+// Node is one CDFG vertex. Args are node ids; Mux args are
+// (control, in0, in1).
+type Node struct {
+	ID    int
+	Kind  OpKind
+	Args  []int
+	Value int64 // Const only
+	Name  string
+}
+
+// Graph is a DAG of operations with designated outputs.
+type Graph struct {
+	Nodes   []Node
+	Outputs []int
+	nameIdx map[string]int
+}
+
+// New returns an empty graph.
+func New() *Graph { return &Graph{nameIdx: make(map[string]int)} }
+
+func (g *Graph) add(n Node) int {
+	n.ID = len(g.Nodes)
+	g.Nodes = append(g.Nodes, n)
+	return n.ID
+}
+
+// Input declares a named input.
+func (g *Graph) Input(name string) int {
+	id := g.add(Node{Kind: Input, Name: name})
+	g.nameIdx[name] = id
+	return id
+}
+
+// Const declares a constant.
+func (g *Graph) Const(v int64) int { return g.add(Node{Kind: Const, Value: v}) }
+
+// Op appends an operation node.
+func (g *Graph) Op(k OpKind, args ...int) int {
+	for _, a := range args {
+		if a < 0 || a >= len(g.Nodes) {
+			panic(fmt.Sprintf("cdfg: arg %d out of range", a))
+		}
+	}
+	want := 2
+	if k == Mux {
+		want = 3
+	}
+	if len(args) != want {
+		panic(fmt.Sprintf("cdfg: %v takes %d args, got %d", k, want, len(args)))
+	}
+	return g.add(Node{Kind: k, Args: append([]int(nil), args...)})
+}
+
+// MarkOutput marks a node as a graph output.
+func (g *Graph) MarkOutput(id int) { g.Outputs = append(g.Outputs, id) }
+
+// InputIDs returns input node ids in declaration order.
+func (g *Graph) InputIDs() []int {
+	var ids []int
+	for _, n := range g.Nodes {
+		if n.Kind == Input {
+			ids = append(ids, n.ID)
+		}
+	}
+	return ids
+}
+
+// OpCounts tallies operation nodes by kind.
+func (g *Graph) OpCounts() map[OpKind]int {
+	c := make(map[OpKind]int)
+	for _, n := range g.Nodes {
+		if n.Kind.IsOperation() {
+			c[n.Kind]++
+		}
+	}
+	return c
+}
+
+// CriticalPath returns the longest operation-weighted path length using
+// the given delay function (DefaultDelay when nil).
+func (g *Graph) CriticalPath(delay func(OpKind) int) int {
+	if delay == nil {
+		delay = DefaultDelay
+	}
+	depth := make([]int, len(g.Nodes))
+	max := 0
+	for i, n := range g.Nodes { // nodes are in topological order by construction
+		d := 0
+		for _, a := range n.Args {
+			if depth[a] > d {
+				d = depth[a]
+			}
+		}
+		depth[i] = d + delay(n.Kind)
+		if depth[i] > max {
+			max = depth[i]
+		}
+	}
+	return max
+}
+
+// Eval computes all node values for the given input assignment.
+func (g *Graph) Eval(inputs map[string]int64) ([]int64, error) {
+	vals := make([]int64, len(g.Nodes))
+	for i, n := range g.Nodes {
+		switch n.Kind {
+		case Input:
+			v, ok := inputs[n.Name]
+			if !ok {
+				return nil, fmt.Errorf("cdfg: missing input %q", n.Name)
+			}
+			vals[i] = v
+		case Const:
+			vals[i] = n.Value
+		case Add:
+			vals[i] = vals[n.Args[0]] + vals[n.Args[1]]
+		case Sub:
+			vals[i] = vals[n.Args[0]] - vals[n.Args[1]]
+		case Mul:
+			vals[i] = vals[n.Args[0]] * vals[n.Args[1]]
+		case Shl:
+			vals[i] = vals[n.Args[0]] << uint(vals[n.Args[1]]&63)
+		case Shr:
+			vals[i] = vals[n.Args[0]] >> uint(vals[n.Args[1]]&63)
+		case Mux:
+			if vals[n.Args[0]] != 0 {
+				vals[i] = vals[n.Args[2]]
+			} else {
+				vals[i] = vals[n.Args[1]]
+			}
+		case Cmp:
+			if vals[n.Args[0]] < vals[n.Args[1]] {
+				vals[i] = 1
+			}
+		default:
+			return nil, fmt.Errorf("cdfg: unknown kind %v", n.Kind)
+		}
+	}
+	return vals, nil
+}
+
+// OutputValues evaluates the graph and returns just the outputs.
+func (g *Graph) OutputValues(inputs map[string]int64) ([]int64, error) {
+	vals, err := g.Eval(inputs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int64, len(g.Outputs))
+	for i, o := range g.Outputs {
+		out[i] = vals[o]
+	}
+	return out, nil
+}
+
+// TotalEnergy returns the summed energy weight of one full evaluation
+// (every operation executes once).
+func (g *Graph) TotalEnergy(energy func(OpKind) float64) float64 {
+	if energy == nil {
+		energy = DefaultEnergy
+	}
+	var e float64
+	for _, n := range g.Nodes {
+		e += energy(n.Kind)
+	}
+	return e
+}
+
+// TransitiveFanin returns the set of node ids feeding the given node
+// (inclusive of the node itself when inclusive is true).
+func (g *Graph) TransitiveFanin(id int, inclusive bool) map[int]bool {
+	seen := make(map[int]bool)
+	var rec func(int)
+	rec = func(n int) {
+		if seen[n] {
+			return
+		}
+		seen[n] = true
+		for _, a := range g.Nodes[n].Args {
+			rec(a)
+		}
+	}
+	rec(id)
+	if !inclusive {
+		delete(seen, id)
+	}
+	return seen
+}
+
+// ---------------------------------------------------------------------
+// Canonical example graphs (Figs. 4 and 5).
+
+// Poly2Direct builds a·x² + b·x + c in the balanced straightforward
+// form of Fig. 4 (left): x² and b·x in parallel, then a·x² and b·x+c,
+// then the final add — 3 multiplications, 2 additions, critical path 3.
+func Poly2Direct() *Graph {
+	g := New()
+	x := g.Input("x")
+	a := g.Input("a")
+	b := g.Input("b")
+	c := g.Input("c")
+	x2 := g.Op(Mul, x, x)
+	bx := g.Op(Mul, b, x)
+	ax2 := g.Op(Mul, a, x2)
+	s1 := g.Op(Add, bx, c)
+	y := g.Op(Add, ax2, s1)
+	g.MarkOutput(y)
+	return g
+}
+
+// Poly2Horner builds ((a·x + b)·x + c): 2 multiplies, 2 adds, critical
+// path 4 ops but only one multiplier needed.
+func Poly2Horner() *Graph {
+	g := New()
+	x := g.Input("x")
+	a := g.Input("a")
+	b := g.Input("b")
+	c := g.Input("c")
+	t1 := g.Op(Mul, a, x)
+	s1 := g.Op(Add, t1, b)
+	t2 := g.Op(Mul, s1, x)
+	y := g.Op(Add, t2, c)
+	g.MarkOutput(y)
+	return g
+}
+
+// Poly3Direct builds a·x³ + b·x² + c·x + d in the balanced form of
+// Fig. 5 (left): (a·x + b)·x² + (c·x + d) — 4 multiplications,
+// 3 additions, critical path 4.
+func Poly3Direct() *Graph {
+	g := New()
+	x := g.Input("x")
+	a := g.Input("a")
+	b := g.Input("b")
+	c := g.Input("c")
+	d := g.Input("d")
+	x2 := g.Op(Mul, x, x)
+	ax := g.Op(Mul, a, x)
+	cx := g.Op(Mul, c, x)
+	t := g.Op(Add, ax, b)
+	v := g.Op(Add, cx, d)
+	u := g.Op(Mul, t, x2)
+	y := g.Op(Add, u, v)
+	g.MarkOutput(y)
+	return g
+}
+
+// Poly3Horner builds (((a·x + b)·x + c)·x + d): 3 multiplies, 3 adds,
+// critical path 6 — fewer operations but slower than the direct form,
+// the paper's example of the transformation's contradictory effects.
+func Poly3Horner() *Graph {
+	g := New()
+	x := g.Input("x")
+	a := g.Input("a")
+	b := g.Input("b")
+	c := g.Input("c")
+	d := g.Input("d")
+	t1 := g.Op(Mul, a, x)
+	s1 := g.Op(Add, t1, b)
+	t2 := g.Op(Mul, s1, x)
+	s2 := g.Op(Add, t2, c)
+	t3 := g.Op(Mul, s2, x)
+	y := g.Op(Add, t3, d)
+	g.MarkOutput(y)
+	return g
+}
+
+// FIR builds a taps-tap FIR filter CDFG y = Σ c_i·x_i with the
+// coefficients as constants — the Table I workload.
+func FIR(coeffs []int64) *Graph {
+	g := New()
+	var acc int = -1
+	for i, c := range coeffs {
+		x := g.Input(fmt.Sprintf("x%d", i))
+		k := g.Const(c)
+		t := g.Op(Mul, x, k)
+		if acc < 0 {
+			acc = t
+		} else {
+			acc = g.Op(Add, acc, t)
+		}
+	}
+	g.MarkOutput(acc)
+	return g
+}
+
+// ---------------------------------------------------------------------
+// Transformations (§III-C).
+
+// StrengthReduce rewrites multiplications by constant operands into
+// shift-and-add chains over the constant's set bits, returning a new
+// graph. Non-constant multiplications are preserved.
+func StrengthReduce(g *Graph) *Graph {
+	out := New()
+	remap := make([]int, len(g.Nodes))
+	for _, n := range g.Nodes {
+		switch n.Kind {
+		case Input:
+			remap[n.ID] = out.Input(n.Name)
+		case Const:
+			remap[n.ID] = out.Const(n.Value)
+		case Mul:
+			a, b := n.Args[0], n.Args[1]
+			var varArg, constVal = -1, int64(0)
+			if g.Nodes[a].Kind == Const {
+				varArg, constVal = b, g.Nodes[a].Value
+			} else if g.Nodes[b].Kind == Const {
+				varArg, constVal = a, g.Nodes[b].Value
+			}
+			if varArg < 0 || constVal < 0 {
+				remap[n.ID] = out.Op(Mul, remap[a], remap[b])
+				continue
+			}
+			remap[n.ID] = emitShiftAdd(out, remap[varArg], uint64(constVal))
+		default:
+			args := make([]int, len(n.Args))
+			for i, a := range n.Args {
+				args[i] = remap[a]
+			}
+			remap[n.ID] = out.Op(n.Kind, args...)
+		}
+	}
+	for _, o := range g.Outputs {
+		out.MarkOutput(remap[o])
+	}
+	return out
+}
+
+// emitShiftAdd builds x*k as a sum of shifted copies of x.
+func emitShiftAdd(g *Graph, x int, k uint64) int {
+	if k == 0 {
+		return g.Const(0)
+	}
+	acc := -1
+	for k != 0 {
+		sh := bits.TrailingZeros64(k)
+		k &^= 1 << uint(sh)
+		var term int
+		if sh == 0 {
+			term = x
+		} else {
+			term = g.Op(Shl, x, g.Const(int64(sh)))
+		}
+		if acc < 0 {
+			acc = term
+		} else {
+			acc = g.Op(Add, acc, term)
+		}
+	}
+	return acc
+}

@@ -1,0 +1,445 @@
+package cdfg
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// quickCheck wraps testing/quick with a bounded count.
+func quickCheck(f func(int64) bool, count int) error {
+	return quick.Check(f, &quick.Config{MaxCount: count})
+}
+
+func randomInputs(g *Graph, rng *rand.Rand) map[string]int64 {
+	in := make(map[string]int64)
+	for _, n := range g.Nodes {
+		if n.Kind == Input {
+			in[n.Name] = int64(rng.Intn(64) - 32)
+		}
+	}
+	return in
+}
+
+func TestPoly2Equivalence(t *testing.T) {
+	d, h := Poly2Direct(), Poly2Horner()
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100; i++ {
+		in := randomInputs(d, rng)
+		a, err := d.OutputValues(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := h.OutputValues(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a[0] != b[0] {
+			t.Fatalf("poly2 mismatch on %v: %d vs %d", in, a[0], b[0])
+		}
+	}
+}
+
+func TestPoly3Equivalence(t *testing.T) {
+	d, h := Poly3Direct(), Poly3Horner()
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 100; i++ {
+		in := randomInputs(d, rng)
+		a, _ := d.OutputValues(in)
+		b, _ := h.OutputValues(in)
+		if a[0] != b[0] {
+			t.Fatalf("poly3 mismatch on %v", in)
+		}
+	}
+}
+
+func TestFig4Shape(t *testing.T) {
+	// 2nd order: the transformation removes a multiplication while the
+	// critical path grows by at most one step.
+	d, h := Poly2Direct(), Poly2Horner()
+	dc, hc := d.OpCounts(), h.OpCounts()
+	if dc[Mul] != 3 || dc[Add] != 2 {
+		t.Errorf("direct2 ops = %v", dc)
+	}
+	if hc[Mul] != 2 || hc[Add] != 2 {
+		t.Errorf("horner2 ops = %v", hc)
+	}
+	if d.CriticalPath(nil) != 3 {
+		t.Errorf("direct2 CP = %d, want 3", d.CriticalPath(nil))
+	}
+	if h.CriticalPath(nil) != 4 {
+		t.Errorf("horner2 CP = %d, want 4", h.CriticalPath(nil))
+	}
+}
+
+func TestFig5Shape(t *testing.T) {
+	// 3rd order: fewer multiplications but a longer critical path — the
+	// paper's "contradictory effects" case.
+	d, h := Poly3Direct(), Poly3Horner()
+	dc, hc := d.OpCounts(), h.OpCounts()
+	if dc[Mul] != 4 || dc[Add] != 3 {
+		t.Errorf("direct3 ops = %v", dc)
+	}
+	if hc[Mul] != 3 || hc[Add] != 3 {
+		t.Errorf("horner3 ops = %v", hc)
+	}
+	dCP, hCP := d.CriticalPath(nil), h.CriticalPath(nil)
+	if dCP != 4 {
+		t.Errorf("direct3 CP = %d, want 4", dCP)
+	}
+	if hCP <= dCP {
+		t.Errorf("horner3 CP %d should exceed direct3 %d", hCP, dCP)
+	}
+}
+
+func TestStrengthReduceEquivalence(t *testing.T) {
+	coeffs := []int64{5, 3, 12, 1, 9, 6}
+	g := FIR(coeffs)
+	sr := StrengthReduce(g)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 100; i++ {
+		in := randomInputs(g, rng)
+		a, err := g.OutputValues(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := sr.OutputValues(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a[0] != b[0] {
+			t.Fatalf("strength-reduced FIR differs on %v", in)
+		}
+	}
+	// No multiplications remain, and the energy drops sharply.
+	if sr.OpCounts()[Mul] != 0 {
+		t.Errorf("muls remain after strength reduction: %v", sr.OpCounts())
+	}
+	if sr.TotalEnergy(nil) >= g.TotalEnergy(nil)/2 {
+		t.Errorf("shift-add energy %v not well below multiplier energy %v",
+			sr.TotalEnergy(nil), g.TotalEnergy(nil))
+	}
+}
+
+func TestStrengthReducePreservesVariableMul(t *testing.T) {
+	g := New()
+	x := g.Input("x")
+	y := g.Input("y")
+	g.MarkOutput(g.Op(Mul, x, y))
+	sr := StrengthReduce(g)
+	if sr.OpCounts()[Mul] != 1 {
+		t.Error("variable multiplication must be preserved")
+	}
+}
+
+func TestStrengthReduceZeroConstant(t *testing.T) {
+	g := New()
+	x := g.Input("x")
+	k := g.Const(0)
+	g.MarkOutput(g.Op(Mul, x, k))
+	sr := StrengthReduce(g)
+	v, err := sr.OutputValues(map[string]int64{"x": 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v[0] != 0 {
+		t.Errorf("x*0 = %d", v[0])
+	}
+}
+
+func TestASAPRespectsDependencies(t *testing.T) {
+	g := Poly3Horner()
+	s := g.ASAP(nil)
+	if err := s.Verify(g, nil); err != nil {
+		t.Fatal(err)
+	}
+	if s.NumSteps != g.CriticalPath(nil) {
+		t.Errorf("ASAP steps %d != critical path %d", s.NumSteps, g.CriticalPath(nil))
+	}
+}
+
+func TestALAPRespectsDeadline(t *testing.T) {
+	g := Poly2Direct()
+	cp := g.CriticalPath(nil)
+	s, err := g.ALAP(cp+2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Verify(g, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.ALAP(cp-1, nil); err == nil {
+		t.Error("infeasible latency must error")
+	}
+}
+
+func TestListScheduleResourceLimit(t *testing.T) {
+	g := Poly2Direct() // 3 muls: two are ready at step 0
+	s, err := g.ListSchedule(map[OpKind]int{Mul: 1, Add: 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Verify(g, nil); err != nil {
+		t.Fatal(err)
+	}
+	use := s.ResourceUsage(g, nil)
+	if use[Mul] > 1 || use[Add] > 1 {
+		t.Errorf("resource limits violated: %v", use)
+	}
+	// With one multiplier the schedule must be longer than the CP.
+	if s.NumSteps <= g.CriticalPath(nil) {
+		t.Errorf("constrained schedule %d should exceed CP %d", s.NumSteps, g.CriticalPath(nil))
+	}
+	// Unconstrained scheduling achieves the critical path.
+	s2, err := g.ListSchedule(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.NumSteps != g.CriticalPath(nil) {
+		t.Errorf("unconstrained list schedule %d != CP %d", s2.NumSteps, g.CriticalPath(nil))
+	}
+}
+
+// condGraph builds a conditional datapath: out = sel ? (a*b + a) : (c+d),
+// where both branches are expensive and exclusive.
+func condGraph() *Graph {
+	g := New()
+	sel := g.Input("sel")
+	a := g.Input("a")
+	b := g.Input("b")
+	c := g.Input("c")
+	d := g.Input("d")
+	ab := g.Op(Mul, a, b)
+	t1 := g.Op(Add, ab, a)
+	t2 := g.Op(Add, c, d)
+	y := g.Op(Mux, sel, t2, t1)
+	g.MarkOutput(y)
+	return g
+}
+
+func TestPMPlanFindsManageableMux(t *testing.T) {
+	g := condGraph()
+	plan := PlanPowerManagement(g, nil)
+	if len(plan.Manageable) != 1 {
+		t.Fatalf("manageable muxes = %d, want 1", len(plan.Manageable))
+	}
+	for id := range plan.Manageable {
+		if len(plan.Branch0[id]) == 0 || len(plan.Branch1[id]) == 0 {
+			t.Error("both branches should have exclusive nodes")
+		}
+	}
+}
+
+func TestPMEnergySavings(t *testing.T) {
+	g := condGraph()
+	plan := PlanPowerManagement(g, nil)
+	baseline := plan.BaselineEnergy(nil)
+	rng := rand.New(rand.NewSource(4))
+	var managed float64
+	trials := 200
+	for i := 0; i < trials; i++ {
+		in := randomInputs(g, rng)
+		e, err := plan.EvalEnergy(in, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e > baseline {
+			t.Fatal("managed energy cannot exceed baseline")
+		}
+		managed += e
+	}
+	managed /= float64(trials)
+	if managed >= baseline*0.95 {
+		t.Errorf("power management saved too little: %v vs %v", managed, baseline)
+	}
+}
+
+func TestPMPreservesFunction(t *testing.T) {
+	// Power management must not change outputs (it only disables unused
+	// branches).
+	g := condGraph()
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 50; i++ {
+		in := randomInputs(g, rng)
+		want, err := g.OutputValues(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// EvalEnergy reuses Eval internally; just re-check Eval is stable.
+		got, err := g.OutputValues(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want[0] != got[0] {
+			t.Fatal("evaluation is nondeterministic?")
+		}
+	}
+}
+
+func TestSharedOperandNotManaged(t *testing.T) {
+	// A node feeding both mux branches must never be shut down.
+	g := New()
+	sel := g.Input("sel")
+	a := g.Input("a")
+	b := g.Input("b")
+	shared := g.Op(Mul, a, b)
+	t1 := g.Op(Add, shared, a)
+	t2 := g.Op(Sub, shared, b)
+	y := g.Op(Mux, sel, t2, t1)
+	g.MarkOutput(y)
+	plan := PlanPowerManagement(g, nil)
+	for id := range plan.Manageable {
+		for _, v := range append(plan.Branch0[id], plan.Branch1[id]...) {
+			if v == shared {
+				t.Fatal("shared node listed as exclusive")
+			}
+		}
+	}
+}
+
+func TestOpPanicsOnBadArity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	g := New()
+	x := g.Input("x")
+	g.Op(Add, x)
+}
+
+func TestEvalMissingInput(t *testing.T) {
+	g := New()
+	g.Input("x")
+	if _, err := g.Eval(map[string]int64{}); err == nil {
+		t.Error("expected missing-input error")
+	}
+}
+
+func TestFIRValues(t *testing.T) {
+	g := FIR([]int64{2, -3, 4})
+	in := map[string]int64{"x0": 1, "x1": 5, "x2": 7}
+	v, err := g.OutputValues(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int64(2*1 - 3*5 + 4*7)
+	if v[0] != want {
+		t.Errorf("FIR = %d, want %d", v[0], want)
+	}
+}
+
+func TestPropertyStrengthReduceEquivalence(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nTaps := 2 + rng.Intn(6)
+		coeffs := make([]int64, nTaps)
+		for i := range coeffs {
+			coeffs[i] = int64(rng.Intn(64))
+		}
+		g := FIR(coeffs)
+		sr := StrengthReduce(g)
+		for trial := 0; trial < 10; trial++ {
+			in := randomInputs(g, rng)
+			a, err := g.OutputValues(in)
+			if err != nil {
+				return false
+			}
+			b, err := sr.OutputValues(in)
+			if err != nil {
+				return false
+			}
+			if a[0] != b[0] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quickCheck(f, 25); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyScheduleRespectsDeps(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := New()
+		var pool []int
+		for i := 0; i < 4; i++ {
+			pool = append(pool, g.Input(string(rune('a'+i))))
+		}
+		for i := 0; i < 10; i++ {
+			kinds := []OpKind{Add, Sub, Mul}
+			a := pool[rng.Intn(len(pool))]
+			b := pool[rng.Intn(len(pool))]
+			pool = append(pool, g.Op(kinds[rng.Intn(len(kinds))], a, b))
+		}
+		g.MarkOutput(pool[len(pool)-1])
+		s, err := g.ListSchedule(map[OpKind]int{Add: 1, Mul: 1, Sub: 1}, nil)
+		if err != nil {
+			return false
+		}
+		return s.Verify(g, nil) == nil
+	}
+	if err := quickCheck(f, 25); err != nil {
+		t.Error(err)
+	}
+}
+
+// sharedOperandGraph: many adds where pairs share an operand — the
+// shape activity-aware scheduling exploits.
+func sharedOperandGraph() *Graph {
+	g := New()
+	x := g.Input("x")
+	var ins []int
+	for i := 0; i < 6; i++ {
+		ins = append(ins, g.Input(string(rune('a'+i))))
+	}
+	var sums []int
+	// Half the adds share x; half are unrelated pairs.
+	for i := 0; i < 6; i++ {
+		if i%2 == 0 {
+			sums = append(sums, g.Op(Add, x, ins[i]))
+		} else {
+			sums = append(sums, g.Op(Add, ins[i-1], ins[i]))
+		}
+	}
+	acc := sums[0]
+	for i := 1; i < len(sums); i++ {
+		acc = g.Op(Mul, acc, sums[i])
+	}
+	g.MarkOutput(acc)
+	return g
+}
+
+func TestListScheduleLowActivityValidAndQuieter(t *testing.T) {
+	g := sharedOperandGraph()
+	res := map[OpKind]int{Add: 1, Mul: 1}
+	plain, err := g.ListSchedule(res, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	quiet, err := g.ListScheduleLowActivity(res, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := quiet.Verify(g, nil); err != nil {
+		t.Fatal(err)
+	}
+	use := quiet.ResourceUsage(g, nil)
+	if use[Add] > 1 || use[Mul] > 1 {
+		t.Errorf("resource limits violated: %v", use)
+	}
+	// Operand switching on units: the activity-aware order must not be
+	// worse than the plain mobility order.
+	sp := UnitOperandSwitching(g, plain, res)
+	sq := UnitOperandSwitching(g, quiet, res)
+	if sq > sp {
+		t.Errorf("activity-aware operand switching %d exceeds plain %d", sq, sp)
+	}
+	// Same latency class: activity tie-breaking must not blow up the
+	// schedule length.
+	if quiet.NumSteps > plain.NumSteps+2 {
+		t.Errorf("activity schedule %d steps vs plain %d", quiet.NumSteps, plain.NumSteps)
+	}
+}

@@ -1,0 +1,20 @@
+package cdfg_test
+
+import (
+	"fmt"
+
+	"hlpower/internal/cdfg"
+)
+
+func ExampleStrengthReduce() {
+	g := cdfg.FIR([]int64{5, 3})
+	sr := cdfg.StrengthReduce(g)
+	fmt.Println("multiplications before:", g.OpCounts()[cdfg.Mul])
+	fmt.Println("multiplications after: ", sr.OpCounts()[cdfg.Mul])
+	y, _ := sr.OutputValues(map[string]int64{"x0": 7, "x1": 2})
+	fmt.Println("5*7 + 3*2 =", y[0])
+	// Output:
+	// multiplications before: 2
+	// multiplications after:  0
+	// 5*7 + 3*2 = 41
+}

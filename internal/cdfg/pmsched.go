@@ -1,0 +1,175 @@
+package cdfg
+
+// Power-management scheduling (Monteiro et al. [63], §III-D): schedule
+// the control logic of each multiplexor as late as possible ahead of the
+// data computations it gates, so that the non-selected branch can be
+// shut down. Nodes feeding both branches are needed regardless and are
+// excluded; a mux is power-manageable when its control can finish before
+// either exclusive branch must start.
+
+// PMPlan records, for each manageable mux, the exclusive node sets of
+// its two branches.
+type PMPlan struct {
+	Graph *Graph
+	// Manageable[id] is set for muxes where shutdown is feasible.
+	Manageable map[int]bool
+	// Branch0/Branch1 list the nodes exclusive to the 0/1 inputs of each
+	// manageable mux.
+	Branch0 map[int][]int
+	Branch1 map[int][]int
+}
+
+// PlanPowerManagement analyzes every mux bottom-up (muxes nearer the
+// outputs first, the paper's heuristic order) and decides manageability
+// by the ASAP/ALAP feasibility test: the control cone must be able to
+// finish (ALAP) no later than the earliest start (ASAP) of every
+// exclusive branch node.
+func PlanPowerManagement(g *Graph, delay func(OpKind) int) *PMPlan {
+	if delay == nil {
+		delay = DefaultDelay
+	}
+	plan := &PMPlan{
+		Graph:      g,
+		Manageable: make(map[int]bool),
+		Branch0:    make(map[int][]int),
+		Branch1:    make(map[int][]int),
+	}
+	asap := g.ASAP(delay)
+	// Process muxes in reverse topological order (closest to outputs
+	// first).
+	for id := len(g.Nodes) - 1; id >= 0; id-- {
+		n := g.Nodes[id]
+		if n.Kind != Mux {
+			continue
+		}
+		nc := g.TransitiveFanin(n.Args[0], true)
+		n0 := g.TransitiveFanin(n.Args[1], true)
+		n1 := g.TransitiveFanin(n.Args[2], true)
+		// Nodes in both branches (or also needed by the control) are not
+		// shut-downable.
+		excl0, excl1 := []int{}, []int{}
+		for v := range n0 {
+			if !n1[v] && !nc[v] && g.Nodes[v].Kind.IsOperation() {
+				excl0 = append(excl0, v)
+			}
+		}
+		for v := range n1 {
+			if !n0[v] && !nc[v] && g.Nodes[v].Kind.IsOperation() {
+				excl1 = append(excl1, v)
+			}
+		}
+		if len(excl0) == 0 && len(excl1) == 0 {
+			continue // nothing to save
+		}
+		// Control completion time (ASAP of the control cone's sink).
+		ctrlFinish := 0
+		if g.Nodes[n.Args[0]].Kind.IsOperation() {
+			ctrlFinish = asap.Step[n.Args[0]] + delay(g.Nodes[n.Args[0]].Kind)
+		}
+		// Feasible iff every exclusive node can start (ALAP within the
+		// mux's own ASAP window) after the control finishes. We test
+		// against the node's latest feasible start given the mux's
+		// unchanged start time.
+		muxStart := asap.Step[id]
+		feasible := true
+		for _, sets := range [][]int{excl0, excl1} {
+			for _, v := range sets {
+				// Latest start for v so the mux is not delayed: the
+				// longest delay-path from v to the mux input bounds it.
+				slack := muxStart - pathDelay(g, v, id, delay)
+				if slack < ctrlFinish {
+					feasible = false
+					break
+				}
+			}
+			if !feasible {
+				break
+			}
+		}
+		if !feasible {
+			continue
+		}
+		plan.Manageable[id] = true
+		plan.Branch0[id] = excl0
+		plan.Branch1[id] = excl1
+	}
+	return plan
+}
+
+// pathDelay returns the maximum delay from the *start* of node v to the
+// *start* of node target along any dependence path (v's delay counted,
+// target's excluded), or 0 if no path exists.
+func pathDelay(g *Graph, v, target int, delay func(OpKind) int) int {
+	memo := make(map[int]int)
+	var rec func(int) int // start-of-n to start-of-target
+	rec = func(n int) int {
+		if n == target {
+			return 0
+		}
+		if d, ok := memo[n]; ok {
+			return d
+		}
+		best := -1 // no path
+		for id := n + 1; id <= target; id++ {
+			for _, a := range g.Nodes[id].Args {
+				if a != n {
+					continue
+				}
+				if d := rec(id); d >= 0 && d > best {
+					best = d
+				}
+			}
+		}
+		if best >= 0 {
+			best += delay(g.Nodes[n].Kind)
+		}
+		memo[n] = best
+		return best
+	}
+	d := rec(v)
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
+// EvalEnergy evaluates the graph on one input assignment and returns the
+// energy of the operations actually powered: without a plan every
+// operation executes; with the plan, the non-selected exclusive branch
+// of every manageable mux is shut down.
+func (p *PMPlan) EvalEnergy(inputs map[string]int64, energy func(OpKind) float64) (float64, error) {
+	if energy == nil {
+		energy = DefaultEnergy
+	}
+	g := p.Graph
+	vals, err := g.Eval(inputs)
+	if err != nil {
+		return 0, err
+	}
+	disabled := make(map[int]bool)
+	for id := range p.Manageable {
+		n := g.Nodes[id]
+		var off []int
+		if vals[n.Args[0]] != 0 {
+			off = p.Branch0[id] // branch 1 selected: shut branch 0
+		} else {
+			off = p.Branch1[id]
+		}
+		for _, v := range off {
+			disabled[v] = true
+		}
+	}
+	var e float64
+	for _, n := range g.Nodes {
+		if !n.Kind.IsOperation() || disabled[n.ID] {
+			continue
+		}
+		e += energy(n.Kind)
+	}
+	return e, nil
+}
+
+// BaselineEnergy is the energy with no power management (all ops run).
+func (p *PMPlan) BaselineEnergy(energy func(OpKind) float64) float64 {
+	return p.Graph.TotalEnergy(energy)
+}

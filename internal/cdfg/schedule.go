@@ -1,0 +1,375 @@
+package cdfg
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Schedule assigns each operation node a control step (sources get -1).
+type Schedule struct {
+	Step     []int
+	NumSteps int
+}
+
+// ASAP computes the as-soon-as-possible schedule under the delay model.
+func (g *Graph) ASAP(delay func(OpKind) int) Schedule {
+	if delay == nil {
+		delay = DefaultDelay
+	}
+	s := Schedule{Step: make([]int, len(g.Nodes))}
+	finish := make([]int, len(g.Nodes)) // completion step + 1
+	for i, n := range g.Nodes {
+		if !n.Kind.IsOperation() {
+			s.Step[i] = -1
+			continue
+		}
+		start := 0
+		for _, a := range n.Args {
+			if finish[a] > start {
+				start = finish[a]
+			}
+		}
+		s.Step[i] = start
+		finish[i] = start + delay(n.Kind)
+		if finish[i] > s.NumSteps {
+			s.NumSteps = finish[i]
+		}
+	}
+	return s
+}
+
+// ALAP computes the as-late-as-possible schedule for the given latency
+// (total control steps). It returns an error if latency is infeasible.
+func (g *Graph) ALAP(latency int, delay func(OpKind) int) (Schedule, error) {
+	if delay == nil {
+		delay = DefaultDelay
+	}
+	asap := g.ASAP(delay)
+	if latency < asap.NumSteps {
+		return Schedule{}, fmt.Errorf("cdfg: latency %d below critical path %d", latency, asap.NumSteps)
+	}
+	s := Schedule{Step: make([]int, len(g.Nodes)), NumSteps: latency}
+	deadline := make([]int, len(g.Nodes)) // latest finish step + 1
+	for i := range deadline {
+		deadline[i] = latency
+	}
+	for i := len(g.Nodes) - 1; i >= 0; i-- {
+		n := g.Nodes[i]
+		if !n.Kind.IsOperation() {
+			s.Step[i] = -1
+			continue
+		}
+		start := deadline[i] - delay(n.Kind)
+		s.Step[i] = start
+		for _, a := range n.Args {
+			if start < deadline[a] {
+				deadline[a] = start
+			}
+		}
+	}
+	return s, nil
+}
+
+// Mobility returns ALAP − ASAP slack per node for the given latency.
+func (g *Graph) Mobility(latency int, delay func(OpKind) int) ([]int, error) {
+	asap := g.ASAP(delay)
+	alap, err := g.ALAP(latency, delay)
+	if err != nil {
+		return nil, err
+	}
+	mob := make([]int, len(g.Nodes))
+	for i := range mob {
+		if g.Nodes[i].Kind.IsOperation() {
+			mob[i] = alap.Step[i] - asap.Step[i]
+		}
+	}
+	return mob, nil
+}
+
+// ListSchedule performs resource-constrained list scheduling: at each
+// step, ready operations are issued in increasing-mobility order while
+// units of their kind remain. resources maps an operation kind to its
+// unit count (kinds absent from the map are unconstrained). Mux and
+// shift operations are customarily unconstrained (wiring/steering).
+func (g *Graph) ListSchedule(resources map[OpKind]int, delay func(OpKind) int) (Schedule, error) {
+	if delay == nil {
+		delay = DefaultDelay
+	}
+	asap := g.ASAP(delay)
+	// Generous latency bound for mobility: critical path + total ops.
+	bound := asap.NumSteps
+	for _, n := range g.Nodes {
+		if n.Kind.IsOperation() {
+			bound += delay(n.Kind)
+		}
+	}
+	mob, err := g.Mobility(bound, delay)
+	if err != nil {
+		return Schedule{}, err
+	}
+	s := Schedule{Step: make([]int, len(g.Nodes))}
+	finish := make([]int, len(g.Nodes))
+	scheduled := make([]bool, len(g.Nodes))
+	for i, n := range g.Nodes {
+		if !n.Kind.IsOperation() {
+			s.Step[i] = -1
+			scheduled[i] = true
+		}
+	}
+	remaining := 0
+	for i := range g.Nodes {
+		if !scheduled[i] {
+			remaining++
+		}
+	}
+	for step := 0; remaining > 0; step++ {
+		if step > bound+len(g.Nodes) {
+			return Schedule{}, fmt.Errorf("cdfg: list scheduling did not converge")
+		}
+		// Ready: all args finished by this step; running units occupy
+		// their resource for delay steps.
+		var ready []int
+		for i, n := range g.Nodes {
+			if scheduled[i] || !n.Kind.IsOperation() {
+				continue
+			}
+			ok := true
+			for _, a := range n.Args {
+				if g.Nodes[a].Kind.IsOperation() && (!scheduled[a] || finish[a] > step) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				ready = append(ready, i)
+			}
+		}
+		sort.Slice(ready, func(x, y int) bool {
+			if mob[ready[x]] != mob[ready[y]] {
+				return mob[ready[x]] < mob[ready[y]]
+			}
+			return ready[x] < ready[y]
+		})
+		// Count units busy at this step.
+		busy := make(map[OpKind]int)
+		for i, n := range g.Nodes {
+			if scheduled[i] && n.Kind.IsOperation() && s.Step[i] <= step && step < finish[i] {
+				busy[n.Kind]++
+			}
+		}
+		for _, i := range ready {
+			k := g.Nodes[i].Kind
+			if limit, constrained := resources[k]; constrained && busy[k] >= limit {
+				continue
+			}
+			s.Step[i] = step
+			finish[i] = step + delay(k)
+			scheduled[i] = true
+			busy[k]++
+			remaining--
+			if finish[i] > s.NumSteps {
+				s.NumSteps = finish[i]
+			}
+		}
+	}
+	return s, nil
+}
+
+// Verify checks schedule consistency: every operation starts after its
+// operands finish.
+func (s Schedule) Verify(g *Graph, delay func(OpKind) int) error {
+	if delay == nil {
+		delay = DefaultDelay
+	}
+	for i, n := range g.Nodes {
+		if !n.Kind.IsOperation() {
+			continue
+		}
+		for _, a := range n.Args {
+			an := g.Nodes[a]
+			if !an.Kind.IsOperation() {
+				continue
+			}
+			if s.Step[a]+delay(an.Kind) > s.Step[i] {
+				return fmt.Errorf("cdfg: node %d starts at %d before arg %d finishes at %d",
+					i, s.Step[i], a, s.Step[a]+delay(an.Kind))
+			}
+		}
+	}
+	return nil
+}
+
+// ResourceUsage returns the peak number of simultaneously busy units per
+// kind under the schedule.
+func (s Schedule) ResourceUsage(g *Graph, delay func(OpKind) int) map[OpKind]int {
+	if delay == nil {
+		delay = DefaultDelay
+	}
+	peak := make(map[OpKind]int)
+	for step := 0; step < s.NumSteps; step++ {
+		busy := make(map[OpKind]int)
+		for i, n := range g.Nodes {
+			if n.Kind.IsOperation() && s.Step[i] <= step && step < s.Step[i]+delay(n.Kind) {
+				busy[n.Kind]++
+			}
+		}
+		for k, b := range busy {
+			if b > peak[k] {
+				peak[k] = b
+			}
+		}
+	}
+	return peak
+}
+
+// ListScheduleLowActivity is the activity-aware variant of [60]
+// (Musoll–Cortadella): among equally mobile ready operations, prefer the
+// one sharing the most operands with the operation most recently issued
+// on a unit of its kind, so consecutive bindings see quiet inputs. The
+// schedule is resource-feasible exactly like ListSchedule.
+func (g *Graph) ListScheduleLowActivity(resources map[OpKind]int, delay func(OpKind) int) (Schedule, error) {
+	if delay == nil {
+		delay = DefaultDelay
+	}
+	asap := g.ASAP(delay)
+	bound := asap.NumSteps
+	for _, n := range g.Nodes {
+		if n.Kind.IsOperation() {
+			bound += delay(n.Kind)
+		}
+	}
+	mob, err := g.Mobility(bound, delay)
+	if err != nil {
+		return Schedule{}, err
+	}
+	s := Schedule{Step: make([]int, len(g.Nodes))}
+	finish := make([]int, len(g.Nodes))
+	scheduled := make([]bool, len(g.Nodes))
+	lastIssued := make(map[OpKind]int) // most recent op per kind
+	for i, n := range g.Nodes {
+		if !n.Kind.IsOperation() {
+			s.Step[i] = -1
+			scheduled[i] = true
+		}
+	}
+	remaining := 0
+	for i := range g.Nodes {
+		if !scheduled[i] {
+			remaining++
+		}
+	}
+	overlap := func(a, b int) int {
+		if b < 0 {
+			return 0
+		}
+		n := 0
+		for _, x := range g.Nodes[a].Args {
+			for _, y := range g.Nodes[b].Args {
+				if x == y {
+					n++
+				}
+			}
+		}
+		return n
+	}
+	for step := 0; remaining > 0; step++ {
+		if step > bound+len(g.Nodes) {
+			return Schedule{}, fmt.Errorf("cdfg: activity scheduling did not converge")
+		}
+		var ready []int
+		for i, n := range g.Nodes {
+			if scheduled[i] || !n.Kind.IsOperation() {
+				continue
+			}
+			ok := true
+			for _, a := range n.Args {
+				if g.Nodes[a].Kind.IsOperation() && (!scheduled[a] || finish[a] > step) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				ready = append(ready, i)
+			}
+		}
+		sort.Slice(ready, func(x, y int) bool {
+			a, b := ready[x], ready[y]
+			if mob[a] != mob[b] {
+				return mob[a] < mob[b]
+			}
+			last := -1
+			if p, ok := lastIssued[g.Nodes[a].Kind]; ok {
+				last = p
+			}
+			oa, ob := overlap(a, last), overlap(b, last)
+			if oa != ob {
+				return oa > ob
+			}
+			return a < b
+		})
+		busy := make(map[OpKind]int)
+		for i, n := range g.Nodes {
+			if scheduled[i] && n.Kind.IsOperation() && s.Step[i] <= step && step < finish[i] {
+				busy[n.Kind]++
+			}
+		}
+		for _, i := range ready {
+			k := g.Nodes[i].Kind
+			if limit, constrained := resources[k]; constrained && busy[k] >= limit {
+				continue
+			}
+			s.Step[i] = step
+			finish[i] = step + delay(k)
+			scheduled[i] = true
+			busy[k]++
+			lastIssued[k] = i
+			remaining--
+			if finish[i] > s.NumSteps {
+				s.NumSteps = finish[i]
+			}
+		}
+	}
+	return s, nil
+}
+
+// UnitOperandSwitching scores a schedule's functional-unit input
+// activity: operations of each kind are assigned round-robin by step to
+// the constrained unit count, and the operand-set changes between
+// consecutive operations on each unit are counted (structural proxy for
+// the switching the activity-aware scheduler minimizes).
+func UnitOperandSwitching(g *Graph, s Schedule, resources map[OpKind]int) int {
+	type unitKey struct {
+		kind OpKind
+		unit int
+	}
+	// Collect ops per kind ordered by step.
+	byKind := make(map[OpKind][]int)
+	for _, n := range g.Nodes {
+		if n.Kind.IsOperation() && n.Kind != Mux {
+			byKind[n.Kind] = append(byKind[n.Kind], n.ID)
+		}
+	}
+	total := 0
+	for kind, ops := range byKind {
+		sort.Slice(ops, func(i, j int) bool { return s.Step[ops[i]] < s.Step[ops[j]] })
+		units := resources[kind]
+		if units <= 0 {
+			units = 1
+		}
+		last := make(map[unitKey]int)
+		for idx, op := range ops {
+			k := unitKey{kind, idx % units}
+			if prev, ok := last[k]; ok {
+				changed := 0
+				for pi, a := range g.Nodes[op].Args {
+					if pi < len(g.Nodes[prev].Args) && g.Nodes[prev].Args[pi] != a {
+						changed++
+					}
+				}
+				total += changed
+			}
+			last[k] = op
+		}
+	}
+	return total
+}

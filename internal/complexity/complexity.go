@@ -1,0 +1,231 @@
+// Package complexity implements the complexity-based power models of
+// §II-B2: the Nemani–Najm linear measure relating a Boolean function's
+// on/off-set prime structure to its optimized area (with the exponential
+// regression family), the gate-equivalent "chip estimation system" power
+// model [14], and the Landman–Rabaey activity-sensitive controller model
+// [17].
+package complexity
+
+import (
+	"errors"
+	"math"
+	"math/bits"
+
+	"hlpower/internal/cover"
+	"hlpower/internal/stats"
+)
+
+// LinearMeasure computes the Nemani–Najm area-complexity measure of a
+// single-output function given as a truth table over n variables:
+// C(f) = (C1(f) + C0(f)) / 2, where C1 assigns each on-set minterm the
+// literal count of the largest essential prime covering it (falling back
+// to all primes for minterms no essential covers) weighted by minterm
+// probability, and C0 does the same on the complement.
+func LinearMeasure(tt []bool, n int) float64 {
+	if len(tt) != 1<<uint(n) {
+		panic("complexity: truth table size mismatch")
+	}
+	var on, off []uint64
+	for i, v := range tt {
+		if v {
+			on = append(on, uint64(i))
+		} else {
+			off = append(off, uint64(i))
+		}
+	}
+	c1 := setComplexity(on, n)
+	c0 := setComplexity(off, n)
+	return (c1 + c0) / 2
+}
+
+// setComplexity returns Σ over minterms of P(m)·minLiterals(m) where
+// minLiterals is the literal count of the largest covering essential
+// prime (all primes as fallback) and P(m) = 2^-n (uniform inputs).
+func setComplexity(minterms []uint64, n int) float64 {
+	if len(minterms) == 0 {
+		return 0
+	}
+	primes := cover.Primes(minterms, n)
+	ess := cover.EssentialPrimes(primes, minterms)
+	var total float64
+	for _, m := range minterms {
+		lits := bestLiterals(ess, m, n)
+		if lits < 0 {
+			lits = bestLiterals(primes, m, n)
+		}
+		if lits < 0 {
+			lits = n // isolated minterm (cannot happen: it is its own prime)
+		}
+		total += float64(lits)
+	}
+	return total / math.Pow(2, float64(n))
+}
+
+// bestLiterals returns the literal count of the largest (fewest-literal)
+// cube covering m, or -1 if none covers it.
+func bestLiterals(cubes []cover.Cube, m uint64, n int) int {
+	best := -1
+	for _, c := range cubes {
+		if !c.Contains(m) {
+			continue
+		}
+		l := c.Literals()
+		if best < 0 || l < best {
+			best = l
+		}
+	}
+	return best
+}
+
+// OutputProbability returns the fraction of on-set minterms.
+func OutputProbability(tt []bool) float64 {
+	if len(tt) == 0 {
+		return 0
+	}
+	on := 0
+	for _, v := range tt {
+		if v {
+			on++
+		}
+	}
+	return float64(on) / float64(len(tt))
+}
+
+// AreaModel is the exponential regression family A(C) = a·e^(b·C) that
+// [15] fits per output-probability band.
+type AreaModel struct {
+	A, B float64
+	R2   float64
+}
+
+// Predict returns the predicted optimized area for complexity c.
+func (m *AreaModel) Predict(c float64) float64 { return m.A * math.Exp(m.B*c) }
+
+// FitAreaModel fits log(area) = log a + b·C by least squares. Areas must
+// be positive; zero-area samples are shifted by +1.
+func FitAreaModel(complexities, areas []float64) (*AreaModel, error) {
+	if len(complexities) != len(areas) || len(complexities) < 3 {
+		return nil, errors.New("complexity: need >=3 matched samples")
+	}
+	X := make([][]float64, len(areas))
+	y := make([]float64, len(areas))
+	for i := range areas {
+		X[i] = []float64{1, complexities[i]}
+		y[i] = math.Log(areas[i] + 1)
+	}
+	fit, err := stats.OLS(X, y)
+	if err != nil {
+		return nil, err
+	}
+	return &AreaModel{A: math.Exp(fit.Beta[0]), B: fit.Beta[1], R2: fit.R2}, nil
+}
+
+// OptimizedArea synthesizes the function two-level (our SIS stand-in)
+// and returns its literal count, the area ground truth the model is
+// regressed against.
+func OptimizedArea(tt []bool, n int) (int, error) {
+	var on []uint64
+	for i, v := range tt {
+		if v {
+			on = append(on, uint64(i))
+		}
+	}
+	cv, err := cover.Minimize(on, n)
+	if err != nil {
+		return 0, err
+	}
+	return cv.Literals(), nil
+}
+
+// GateEquivalentParams parameterizes the chip-estimation-system model
+// [14]: Power = f·N·(E_gate + 0.5·V²·C_load)·E_activity.
+type GateEquivalentParams struct {
+	Freq         float64 // clock frequency
+	Vdd          float64
+	EnergyGate   float64 // internal energy per equivalent-gate transition
+	CLoad        float64 // average load per equivalent gate
+	GateActivity float64 // average output activity per gate per cycle
+}
+
+// GateEquivalentPower evaluates the model for a block of n equivalent
+// gates.
+func GateEquivalentPower(p GateEquivalentParams, nGates int) float64 {
+	return p.Freq * float64(nGates) * (p.EnergyGate + 0.5*p.Vdd*p.Vdd*p.CLoad) * p.GateActivity
+}
+
+// LandmanRabaeySample is one observed controller: structural counts,
+// measured line activities, the minterm count of its optimized cover,
+// and the measured power.
+type LandmanRabaeySample struct {
+	NI, NO int     // input+state lines, output+state lines
+	EI, EO float64 // mean switching activity on those lines
+	NM     int     // minterms in the optimized cover
+	Power  float64 // measured
+}
+
+// LandmanRabaeyModel holds the fitted capacitive regression coefficients
+// of the standard-cell controller power model [17]:
+// Power = 0.5·V²·f·(NI·CI·EI + NO·CO·EO)·NM.
+type LandmanRabaeyModel struct {
+	CI, CO    float64
+	Vdd, Freq float64
+}
+
+// FitLandmanRabaey regresses CI and CO from measured controllers.
+func FitLandmanRabaey(samples []LandmanRabaeySample, vdd, freq float64) (*LandmanRabaeyModel, error) {
+	if len(samples) < 2 {
+		return nil, errors.New("complexity: need >=2 controller samples")
+	}
+	X := make([][]float64, len(samples))
+	y := make([]float64, len(samples))
+	for i, s := range samples {
+		k := 0.5 * vdd * vdd * freq * float64(s.NM)
+		X[i] = []float64{k * float64(s.NI) * s.EI, k * float64(s.NO) * s.EO}
+		y[i] = s.Power
+	}
+	fit, err := stats.OLS(X, y)
+	if err != nil {
+		return nil, err
+	}
+	return &LandmanRabaeyModel{CI: fit.Beta[0], CO: fit.Beta[1], Vdd: vdd, Freq: freq}, nil
+}
+
+// Predict evaluates the fitted controller model.
+func (m *LandmanRabaeyModel) Predict(s LandmanRabaeySample) float64 {
+	return 0.5 * m.Vdd * m.Vdd * m.Freq *
+		(float64(s.NI)*m.CI*s.EI + float64(s.NO)*m.CO*s.EO) * float64(s.NM)
+}
+
+// RandomFunction builds a random truth table over n variables whose
+// output probability is approximately q, using the given 64-bit source.
+func RandomFunction(n int, q float64, next func() uint64) []bool {
+	tt := make([]bool, 1<<uint(n))
+	threshold := uint64(q * float64(^uint64(0)))
+	for i := range tt {
+		tt[i] = next() <= threshold
+	}
+	return tt
+}
+
+// PopcountThresholdFunction returns the structured family f(x) =
+// [popcount(x) >= k], whose complexity varies smoothly with k — useful
+// for populating regression datasets with non-random functions.
+func PopcountThresholdFunction(n, k int) []bool {
+	tt := make([]bool, 1<<uint(n))
+	for i := range tt {
+		tt[i] = bits.OnesCount(uint(i)) >= k
+	}
+	return tt
+}
+
+// LinearMeasureMulti extends the linear measure to multiple-output
+// functions ([16]): the complexity of the ensemble is the sum of the
+// per-output measures (each output synthesizes its own cover in the
+// two-level model this measure calibrates against).
+func LinearMeasureMulti(tts [][]bool, n int) float64 {
+	var total float64
+	for _, tt := range tts {
+		total += LinearMeasure(tt, n)
+	}
+	return total
+}

@@ -1,0 +1,221 @@
+package complexity
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestLinearMeasureExtremes(t *testing.T) {
+	n := 4
+	// Constant functions: one side empty, other side one empty-mask prime
+	// with 0 literals -> complexity 0.
+	tt := make([]bool, 16)
+	if c := LinearMeasure(tt, n); c != 0 {
+		t.Errorf("constant-0 complexity = %v, want 0", c)
+	}
+	for i := range tt {
+		tt[i] = true
+	}
+	if c := LinearMeasure(tt, n); c != 0 {
+		t.Errorf("constant-1 complexity = %v, want 0", c)
+	}
+}
+
+func TestLinearMeasureParityIsMaximal(t *testing.T) {
+	// Parity has only minterm primes (n literals each) on both sets; the
+	// on-set and off-set each carry probability 1/2, so C1 = C0 = n/2 and
+	// C = n/2 — the maximum over all n-variable functions. It must exceed
+	// a simple AND function.
+	n := 4
+	parity := make([]bool, 16)
+	for i := range parity {
+		parity[i] = (i&1 ^ i>>1&1 ^ i>>2&1 ^ i>>3&1) == 1
+	}
+	cp := LinearMeasure(parity, n)
+	if math.Abs(cp-float64(n)/2) > 1e-12 {
+		t.Errorf("parity complexity = %v, want %v", cp, float64(n)/2)
+	}
+	andF := make([]bool, 16)
+	andF[15] = true // x0x1x2x3
+	ca := LinearMeasure(andF, n)
+	if ca >= cp {
+		t.Errorf("AND complexity %v should be below parity %v", ca, cp)
+	}
+}
+
+func TestLinearMeasureSingleVariable(t *testing.T) {
+	// f = x0 over 3 vars: both on-set and off-set are covered by a single
+	// 1-literal prime -> complexity 0.5*(0.5*1*... actually each minterm
+	// gets 1 literal, weighted by its probability: C1 = 0.5, C0 = 0.5.
+	tt := make([]bool, 8)
+	for i := range tt {
+		tt[i] = i&1 == 1
+	}
+	c := LinearMeasure(tt, 3)
+	if math.Abs(c-0.5) > 1e-12 {
+		t.Errorf("x0 complexity = %v, want 0.5", c)
+	}
+}
+
+func TestOutputProbability(t *testing.T) {
+	if OutputProbability([]bool{true, false, true, false}) != 0.5 {
+		t.Error("output probability wrong")
+	}
+	if OutputProbability(nil) != 0 {
+		t.Error("empty truth table should be 0")
+	}
+}
+
+func TestOptimizedAreaTracksComplexity(t *testing.T) {
+	// Across the popcount-threshold family, higher linear measure should
+	// correspond to higher optimized literal count (monotone trend).
+	n := 5
+	var cs, as []float64
+	for k := 0; k <= n; k++ {
+		tt := PopcountThresholdFunction(n, k)
+		c := LinearMeasure(tt, n)
+		a, err := OptimizedArea(tt, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cs = append(cs, c)
+		as = append(as, float64(a))
+	}
+	// Extremes are constants: zero complexity and zero-ish area.
+	if cs[0] != 0 || as[0] != 0 {
+		t.Errorf("k=0 should be constant-1: C=%v A=%v", cs[0], as[0])
+	}
+	// The middle threshold (majority) must be the most complex.
+	mid := (n + 1) / 2
+	for k := range cs {
+		if cs[k] > cs[mid]+1e-9 {
+			t.Errorf("complexity at k=%d (%v) exceeds majority (%v)", k, cs[k], cs[mid])
+		}
+	}
+}
+
+func TestFitAreaModelRecoversExponential(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a, b := 2.0, 1.1
+	var cs, as []float64
+	for i := 0; i < 60; i++ {
+		c := rng.Float64() * 4
+		cs = append(cs, c)
+		as = append(as, a*math.Exp(b*c)*(1+rng.NormFloat64()*0.01)-1)
+	}
+	m, err := FitAreaModel(cs, as)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.B-b) > 0.05 {
+		t.Errorf("fitted b = %v, want ~%v", m.B, b)
+	}
+	if m.R2 < 0.98 {
+		t.Errorf("R2 = %v, want near 1", m.R2)
+	}
+	if p := m.Predict(2); math.Abs(p-a*math.Exp(2*b)) > 0.5 {
+		t.Errorf("prediction %v, want ~%v", p, a*math.Exp(2*b))
+	}
+}
+
+func TestFitAreaModelOnRealFunctions(t *testing.T) {
+	// Fit on random functions at q≈0.5 and require a positive trend
+	// (area grows with complexity).
+	rng := rand.New(rand.NewSource(9))
+	n := 6
+	var cs, as []float64
+	for i := 0; i < 40; i++ {
+		tt := RandomFunction(n, 0.5, rng.Uint64)
+		c := LinearMeasure(tt, n)
+		area, err := OptimizedArea(tt, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cs = append(cs, c)
+		as = append(as, float64(area))
+	}
+	m, err := FitAreaModel(cs, as)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.B <= 0 {
+		t.Errorf("area model slope = %v, want positive (area grows with complexity)", m.B)
+	}
+}
+
+func TestFitAreaModelErrors(t *testing.T) {
+	if _, err := FitAreaModel([]float64{1}, []float64{1}); err == nil {
+		t.Error("expected error for tiny sample")
+	}
+	if _, err := FitAreaModel([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("expected error for mismatched lengths")
+	}
+}
+
+func TestGateEquivalentPower(t *testing.T) {
+	p := GateEquivalentParams{Freq: 2, Vdd: 1, EnergyGate: 0.5, CLoad: 1, GateActivity: 0.25}
+	got := GateEquivalentPower(p, 100)
+	want := 2.0 * 100 * (0.5 + 0.5) * 0.25
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("power = %v, want %v", got, want)
+	}
+	if GateEquivalentPower(p, 0) != 0 {
+		t.Error("zero gates should be zero power")
+	}
+}
+
+func TestLandmanRabaeyFitAndPredict(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	trueCI, trueCO := 2.5, 4.0
+	vdd, freq := 1.0, 1.0
+	var samples []LandmanRabaeySample
+	for i := 0; i < 30; i++ {
+		s := LandmanRabaeySample{
+			NI: 4 + rng.Intn(12),
+			NO: 2 + rng.Intn(10),
+			EI: 0.1 + 0.4*rng.Float64(),
+			EO: 0.1 + 0.4*rng.Float64(),
+			NM: 5 + rng.Intn(40),
+		}
+		k := 0.5 * vdd * vdd * freq * float64(s.NM)
+		s.Power = k*(float64(s.NI)*trueCI*s.EI+float64(s.NO)*trueCO*s.EO) +
+			rng.NormFloat64()*0.01
+		samples = append(samples, s)
+	}
+	m, err := FitLandmanRabaey(samples, vdd, freq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.CI-trueCI) > 0.1 || math.Abs(m.CO-trueCO) > 0.1 {
+		t.Errorf("fit = (%v, %v), want (%v, %v)", m.CI, m.CO, trueCI, trueCO)
+	}
+	s := samples[0]
+	if rel := math.Abs(m.Predict(s)-s.Power) / s.Power; rel > 0.05 {
+		t.Errorf("prediction error %v too large", rel)
+	}
+}
+
+func TestPopcountThresholdFunction(t *testing.T) {
+	tt := PopcountThresholdFunction(3, 2)
+	want := []bool{false, false, false, true, false, true, true, true}
+	for i := range want {
+		if tt[i] != want[i] {
+			t.Errorf("tt[%d] = %v, want %v", i, tt[i], want[i])
+		}
+	}
+}
+
+func TestLinearMeasureMulti(t *testing.T) {
+	n := 4
+	a := PopcountThresholdFunction(n, 2)
+	b := PopcountThresholdFunction(n, 3)
+	got := LinearMeasureMulti([][]bool{a, b}, n)
+	want := LinearMeasure(a, n) + LinearMeasure(b, n)
+	if got != want {
+		t.Errorf("multi measure %v != sum of singles %v", got, want)
+	}
+	if LinearMeasureMulti(nil, n) != 0 {
+		t.Error("no outputs should be zero complexity")
+	}
+}

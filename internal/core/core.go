@@ -1,0 +1,133 @@
+// Package core ties the repository together into the paper's Fig. 1
+// methodology: power estimators at several abstraction levels presented
+// behind one interface, and the "design improvement loop" — rank a set
+// of candidate design/synthesis/optimization options by estimated power
+// and pick the most effective one, at any level, without descending to
+// the gate level first.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Level is an abstraction level of the Fig. 1 flow.
+type Level int
+
+// Abstraction levels, highest first.
+const (
+	Software Level = iota
+	Behavioral
+	RTL
+	Gate
+)
+
+var levelNames = [...]string{
+	Software: "software", Behavioral: "behavioral", RTL: "rtl", Gate: "gate",
+}
+
+func (l Level) String() string {
+	if int(l) < len(levelNames) {
+		return levelNames[l]
+	}
+	return fmt.Sprintf("level(%d)", int(l))
+}
+
+// Estimate is one power figure with its provenance.
+type Estimate struct {
+	Power float64
+	Level Level
+	Model string // which estimation technique produced it
+}
+
+// Estimator produces a power estimate for a fixed design under a fixed
+// workload. Implementations wrap the entropy, macromodel, complexity,
+// and sim packages.
+type Estimator interface {
+	Name() string
+	Level() Level
+	Estimate() (float64, error)
+}
+
+// Func adapts a closure into an Estimator.
+type Func struct {
+	EstimatorName  string
+	EstimatorLevel Level
+	Fn             func() (float64, error)
+}
+
+// Name returns the estimator's name.
+func (f Func) Name() string { return f.EstimatorName }
+
+// Level returns the estimator's abstraction level.
+func (f Func) Level() Level { return f.EstimatorLevel }
+
+// Estimate invokes the closure.
+func (f Func) Estimate() (float64, error) { return f.Fn() }
+
+// Candidate is one design option in an improvement loop: a name and an
+// estimator for its power under the target workload.
+type Candidate struct {
+	Name      string
+	Estimator Estimator
+}
+
+// Ranked is a candidate with its evaluated estimate.
+type Ranked struct {
+	Candidate Candidate
+	Estimate  Estimate
+	Err       error
+}
+
+// Ranking is the outcome of one improvement-loop evaluation, cheapest
+// first. Candidates whose estimators failed sort last and carry Err.
+type Ranking []Ranked
+
+// Best returns the lowest-power successfully estimated candidate.
+func (r Ranking) Best() (Ranked, error) {
+	for _, c := range r {
+		if c.Err == nil {
+			return c, nil
+		}
+	}
+	return Ranked{}, errors.New("core: no candidate could be estimated")
+}
+
+// Rank evaluates every candidate and orders them by estimated power.
+// This is one turn of the design-improvement loop: the caller applies
+// the winning option and re-enters with the next round of candidates.
+func Rank(candidates []Candidate) Ranking {
+	out := make(Ranking, 0, len(candidates))
+	for _, c := range candidates {
+		p, err := c.Estimator.Estimate()
+		out = append(out, Ranked{
+			Candidate: c,
+			Estimate:  Estimate{Power: p, Level: c.Estimator.Level(), Model: c.Estimator.Name()},
+			Err:       err,
+		})
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if (out[i].Err == nil) != (out[j].Err == nil) {
+			return out[i].Err == nil
+		}
+		return out[i].Estimate.Power < out[j].Estimate.Power
+	})
+	return out
+}
+
+// String renders the ranking as a small report table.
+func (r Ranking) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-28s %-12s %-20s %12s\n", "candidate", "level", "model", "power")
+	for _, c := range r {
+		if c.Err != nil {
+			fmt.Fprintf(&b, "%-28s %-12s %-20s %12s\n", c.Candidate.Name, "-", "-", "error: "+c.Err.Error())
+			continue
+		}
+		fmt.Fprintf(&b, "%-28s %-12s %-20s %12.4f\n",
+			c.Candidate.Name, c.Estimate.Level, c.Estimate.Model, c.Estimate.Power)
+	}
+	return b.String()
+}

@@ -1,0 +1,148 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"hlpower/internal/macromodel"
+	"hlpower/internal/rtlib"
+	"hlpower/internal/sim"
+	"hlpower/internal/trace"
+)
+
+func est(name string, l Level, p float64, err error) Estimator {
+	return Func{EstimatorName: name, EstimatorLevel: l, Fn: func() (float64, error) { return p, err }}
+}
+
+func TestRankOrdersByPower(t *testing.T) {
+	r := Rank([]Candidate{
+		{Name: "big", Estimator: est("m", RTL, 10, nil)},
+		{Name: "small", Estimator: est("m", RTL, 2, nil)},
+		{Name: "mid", Estimator: est("m", RTL, 5, nil)},
+	})
+	if r[0].Candidate.Name != "small" || r[2].Candidate.Name != "big" {
+		t.Errorf("ranking order wrong: %v, %v, %v",
+			r[0].Candidate.Name, r[1].Candidate.Name, r[2].Candidate.Name)
+	}
+	best, err := r.Best()
+	if err != nil || best.Candidate.Name != "small" {
+		t.Errorf("Best = %v, %v", best.Candidate.Name, err)
+	}
+}
+
+func TestRankFailuresSortLast(t *testing.T) {
+	r := Rank([]Candidate{
+		{Name: "broken", Estimator: est("m", Gate, 0, errors.New("boom"))},
+		{Name: "fine", Estimator: est("m", Gate, 7, nil)},
+	})
+	if r[0].Candidate.Name != "fine" {
+		t.Error("failing estimator should sort last")
+	}
+	if r[1].Err == nil {
+		t.Error("error not preserved")
+	}
+}
+
+func TestBestAllFailed(t *testing.T) {
+	r := Rank([]Candidate{
+		{Name: "a", Estimator: est("m", Software, 0, errors.New("x"))},
+	})
+	if _, err := r.Best(); err == nil {
+		t.Error("expected error when everything failed")
+	}
+}
+
+func TestRankingString(t *testing.T) {
+	r := Rank([]Candidate{
+		{Name: "opt", Estimator: est("macro", RTL, 3.5, nil)},
+		{Name: "bad", Estimator: est("macro", RTL, 0, errors.New("nope"))},
+	})
+	s := r.String()
+	if !strings.Contains(s, "opt") || !strings.Contains(s, "3.5") {
+		t.Errorf("report missing content:\n%s", s)
+	}
+	if !strings.Contains(s, "error: nope") {
+		t.Errorf("report missing error:\n%s", s)
+	}
+}
+
+func TestLevelString(t *testing.T) {
+	if Software.String() != "software" || Gate.String() != "gate" {
+		t.Error("level names wrong")
+	}
+	if Level(99).String() == "" {
+		t.Error("unknown level should still print")
+	}
+}
+
+func TestAdaptersEstimateAndRank(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	mod := rtlib.NewAdder(6)
+	a := trace.Uniform(400, 6, rng)
+	b := trace.Uniform(400, 6, rng)
+
+	gate := &GateLevelEstimator{
+		Net: mod.Net,
+		Inputs: func(c int) []bool {
+			return mod.InputVector(a[c], b[c])
+		},
+		Cycles: len(a),
+	}
+	mm, err := macromodel.FitBitwise(mod, a, b, sim.ZeroDelay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	macro := &MacroModelEstimator{Model: mm, A: a, B: b}
+	ent := &EntropyEstimator{Module: mod, A: a, B: b}
+
+	pg, err := gate.Estimate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm, err := macro.Estimate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pe, err := ent.Estimate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pg <= 0 || pm <= 0 || pe <= 0 {
+		t.Fatalf("estimates must be positive: %v %v %v", pg, pm, pe)
+	}
+	// The macro-model was trained on this module: it should land close
+	// to the gate-level figure; the entropy estimate is rougher but must
+	// be the right order of magnitude.
+	if r := pm / pg; r < 0.8 || r > 1.25 {
+		t.Errorf("macro/gate ratio %v out of range", r)
+	}
+	if r := pe / pg; r < 0.2 || r > 5 {
+		t.Errorf("entropy/gate ratio %v out of range", r)
+	}
+
+	ranking := Rank([]Candidate{
+		{Name: "gate", Estimator: gate},
+		{Name: "macro", Estimator: macro},
+		{Name: "entropy", Estimator: ent},
+	})
+	if _, err := ranking.Best(); err != nil {
+		t.Fatal(err)
+	}
+	if ranking[0].Estimate.Power > ranking[2].Estimate.Power {
+		t.Error("ranking not sorted")
+	}
+}
+
+func TestAdapterValidation(t *testing.T) {
+	if _, err := (&GateLevelEstimator{}).Estimate(); err == nil {
+		t.Error("empty gate estimator should fail")
+	}
+	if _, err := (&MacroModelEstimator{}).Estimate(); err == nil {
+		t.Error("empty macro estimator should fail")
+	}
+	if _, err := (&EntropyEstimator{}).Estimate(); err == nil {
+		t.Error("empty entropy estimator should fail")
+	}
+}

@@ -1,0 +1,341 @@
+package cover
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCubeContains(t *testing.T) {
+	c := Cube{Mask: 0b011, Val: 0b001} // x0=1, x1=0, x2 free
+	if !c.Contains(0b001) || !c.Contains(0b101) {
+		t.Error("cube should contain 001 and 101")
+	}
+	if c.Contains(0b011) || c.Contains(0b000) {
+		t.Error("cube should not contain 011 or 000")
+	}
+}
+
+func TestCubeCovers(t *testing.T) {
+	big := Cube{Mask: 0b001, Val: 0b001}   // x0=1
+	small := Cube{Mask: 0b011, Val: 0b001} // x0=1, x1=0
+	if !big.Covers(small) {
+		t.Error("x0 should cover x0·x1'")
+	}
+	if small.Covers(big) {
+		t.Error("x0·x1' should not cover x0")
+	}
+	if !big.Covers(big) {
+		t.Error("cube should cover itself")
+	}
+}
+
+func TestCubePattern(t *testing.T) {
+	c := Cube{Mask: 0b011, Val: 0b001}
+	if got := c.Pattern(3); got != "10-" {
+		t.Errorf("Pattern = %q, want \"10-\"", got)
+	}
+}
+
+func TestDimensionAndLiterals(t *testing.T) {
+	c := Cube{Mask: 0b0101, Val: 0b0001}
+	if c.Literals() != 2 {
+		t.Errorf("Literals = %d, want 2", c.Literals())
+	}
+	if c.Dimension(4) != 2 {
+		t.Errorf("Dimension = %d, want 2", c.Dimension(4))
+	}
+}
+
+func TestPrimesXor(t *testing.T) {
+	// XOR has no merging: primes are exactly the two minterms.
+	primes := Primes([]uint64{0b01, 0b10}, 2)
+	if len(primes) != 2 {
+		t.Fatalf("xor primes = %v, want 2 minterms", primes)
+	}
+	for _, p := range primes {
+		if p.Literals() != 2 {
+			t.Errorf("xor prime %v should have 2 literals", p)
+		}
+	}
+}
+
+func TestPrimesAbsorption(t *testing.T) {
+	// f = a (on-set {10,11} over 2 vars, a = x1): single prime x1.
+	primes := Primes([]uint64{0b10, 0b11}, 2)
+	if len(primes) != 1 {
+		t.Fatalf("primes = %v, want 1", primes)
+	}
+	if primes[0].Mask != 0b10 || primes[0].Val != 0b10 {
+		t.Errorf("prime = %+v, want mask=10 val=10", primes[0])
+	}
+}
+
+func TestPrimesTautology(t *testing.T) {
+	ms := []uint64{0, 1, 2, 3}
+	primes := Primes(ms, 2)
+	if len(primes) != 1 || primes[0].Mask != 0 {
+		t.Fatalf("tautology primes = %v, want single empty cube", primes)
+	}
+}
+
+func TestEssentialPrimes(t *testing.T) {
+	// On-set {0,1,2,3,7}: primes are 0-- and -11, both essential.
+	ms := []uint64{0, 1, 2, 3, 7}
+	primes := Primes(ms, 3)
+	ess := EssentialPrimes(primes, ms)
+	if len(ess) != 2 {
+		t.Fatalf("essential primes = %v, want 2", ess)
+	}
+	for _, e := range ess {
+		unique := false
+		for _, m := range ms {
+			if !e.Contains(m) {
+				continue
+			}
+			others := 0
+			for _, p := range primes {
+				if p != e && p.Contains(m) {
+					others++
+				}
+			}
+			if others == 0 {
+				unique = true
+			}
+		}
+		if !unique {
+			t.Errorf("prime %v marked essential but uniquely covers nothing", e)
+		}
+	}
+}
+
+func TestCyclicCoverHasNoEssentials(t *testing.T) {
+	// {0,1,2,5,6,7} over 3 vars is the classic cyclic core: every
+	// minterm is covered by exactly two primes, so none is essential —
+	// and Minimize must still produce a correct (greedy) cover.
+	ms := []uint64{0, 1, 2, 5, 6, 7}
+	primes := Primes(ms, 3)
+	if len(primes) != 6 {
+		t.Fatalf("cyclic core primes = %d, want 6", len(primes))
+	}
+	if ess := EssentialPrimes(primes, ms); len(ess) != 0 {
+		t.Fatalf("cyclic core should have no essentials, got %v", ess)
+	}
+	cv, err := Minimize(ms, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 8; i++ {
+		on := false
+		for _, m := range ms {
+			if m == i {
+				on = true
+			}
+		}
+		if cv.Eval(i) != on {
+			t.Fatalf("cyclic cover wrong at %d", i)
+		}
+	}
+	if len(cv.Cubes) > 4 {
+		t.Errorf("cyclic cover used %d cubes, want <=4 (optimum is 3)", len(cv.Cubes))
+	}
+}
+
+func TestMinimizeEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(6)
+		var ms []uint64
+		tt := make([]bool, 1<<uint(n))
+		for i := range tt {
+			if rng.Float64() < 0.4 {
+				tt[i] = true
+				ms = append(ms, uint64(i))
+			}
+		}
+		cv, err := Minimize(ms, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range tt {
+			if cv.Eval(uint64(i)) != tt[i] {
+				t.Fatalf("trial %d: minimized cover differs at input %d", trial, i)
+			}
+		}
+		// Minimized cover must not exceed the minterm cover in cubes.
+		if len(cv.Cubes) > len(ms) {
+			t.Fatalf("trial %d: minimization grew the cover", trial)
+		}
+	}
+}
+
+func TestMinimizeEmptyAndFull(t *testing.T) {
+	cv, err := Minimize(nil, 4)
+	if err != nil || len(cv.Cubes) != 0 {
+		t.Errorf("empty on-set: %v, %v", cv, err)
+	}
+	var all []uint64
+	for i := uint64(0); i < 16; i++ {
+		all = append(all, i)
+	}
+	cv, err = Minimize(all, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cv.Cubes) != 1 || cv.Cubes[0].Literals() != 0 {
+		t.Errorf("tautology should minimize to one empty cube, got %v", cv.Cubes)
+	}
+}
+
+func TestMinimizeTooManyVars(t *testing.T) {
+	if _, err := Minimize([]uint64{1}, 30); err == nil {
+		t.Error("expected error for too many variables")
+	}
+}
+
+func TestMinimizeReducesLiterals(t *testing.T) {
+	// f = a over 4 vars: 8 minterms collapse to one 1-literal cube.
+	var ms []uint64
+	for i := uint64(0); i < 16; i++ {
+		if i&1 == 1 {
+			ms = append(ms, i)
+		}
+	}
+	cv, err := Minimize(ms, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cv.Literals() != 1 {
+		t.Errorf("literals = %d, want 1", cv.Literals())
+	}
+}
+
+func TestCoverEvalFromTruthTable(t *testing.T) {
+	tt := []bool{false, true, true, false} // xor
+	cv := FromTruthTable(tt, 2)
+	for i := range tt {
+		if cv.Eval(uint64(i)) != tt[i] {
+			t.Errorf("eval mismatch at %d", i)
+		}
+	}
+	ms := cv.Minterms()
+	if len(ms) != 2 {
+		t.Errorf("minterms = %v", ms)
+	}
+}
+
+func TestPrimesCoverOnSetProperty(t *testing.T) {
+	// Every minterm must be covered by at least one prime; no prime may
+	// cover an off-set point.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(5)
+		onset := make(map[uint64]bool)
+		var ms []uint64
+		for i := uint64(0); i < 1<<uint(n); i++ {
+			if rng.Float64() < 0.5 {
+				onset[i] = true
+				ms = append(ms, i)
+			}
+		}
+		primes := Primes(ms, n)
+		for _, m := range ms {
+			covered := false
+			for _, p := range primes {
+				if p.Contains(m) {
+					covered = true
+					break
+				}
+			}
+			if !covered {
+				return false
+			}
+		}
+		for i := uint64(0); i < 1<<uint(n); i++ {
+			if onset[i] {
+				continue
+			}
+			for _, p := range primes {
+				if p.Contains(i) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMinimizeDCExpandsThroughDontCares(t *testing.T) {
+	// on = {00}, dc = {01, 10, 11} over 2 vars: with DCs the whole space
+	// is coverable by the empty cube (constant 1).
+	cv, err := MinimizeDC([]uint64{0}, []uint64{1, 2, 3}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cv.Cubes) != 1 || cv.Cubes[0].Literals() != 0 {
+		t.Errorf("expected constant-1 cover, got %v", cv.Cubes)
+	}
+	// Without DCs the same on-set needs 2 literals.
+	plain, err := Minimize([]uint64{0}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Literals() != 2 {
+		t.Errorf("plain cover literals = %d, want 2", plain.Literals())
+	}
+}
+
+func TestMinimizeDCCoversOnSetOnly(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 20; trial++ {
+		n := 3 + rng.Intn(4)
+		var on, dc []uint64
+		offSet := make(map[uint64]bool)
+		for i := uint64(0); i < 1<<uint(n); i++ {
+			switch rng.Intn(3) {
+			case 0:
+				on = append(on, i)
+			case 1:
+				dc = append(dc, i)
+			default:
+				offSet[i] = true
+			}
+		}
+		if len(on) == 0 {
+			continue
+		}
+		cv, err := MinimizeDC(on, dc, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range on {
+			if !cv.Eval(m) {
+				t.Fatalf("trial %d: on-set minterm %d uncovered", trial, m)
+			}
+		}
+		for m := range offSet {
+			if cv.Eval(m) {
+				t.Fatalf("trial %d: off-set minterm %d covered", trial, m)
+			}
+		}
+		// DC cover never uses more literals than the DC-free cover.
+		plain, err := Minimize(on, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cv.Literals() > plain.Literals() {
+			t.Fatalf("trial %d: DC cover (%d lits) worse than plain (%d)",
+				trial, cv.Literals(), plain.Literals())
+		}
+	}
+}
+
+func TestMinimizeDCEmpty(t *testing.T) {
+	cv, err := MinimizeDC(nil, []uint64{1, 2}, 3)
+	if err != nil || len(cv.Cubes) != 0 {
+		t.Errorf("empty on-set should give empty cover: %v %v", cv, err)
+	}
+}

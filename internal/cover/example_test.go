@@ -1,0 +1,33 @@
+package cover_test
+
+import (
+	"fmt"
+
+	"hlpower/internal/cover"
+)
+
+func ExampleFactor() {
+	// f = ab + ac + ad over four variables (a = x0).
+	cv := &cover.Cover{NumVars: 4, Cubes: []cover.Cube{
+		{Mask: 0b0011, Val: 0b0011},
+		{Mask: 0b0101, Val: 0b0101},
+		{Mask: 0b1001, Val: 0b1001},
+	}}
+	e := cover.Factor(cv)
+	fmt.Println(e)
+	fmt.Println("two-level literals:", cv.Literals(), "factored:", e.Literals())
+	// Output:
+	// x0·(x1 + x2 + x3)
+	// two-level literals: 6 factored: 4
+}
+
+func ExampleMinimize() {
+	// The on-set of x0 over two variables: {01, 11} -> single literal.
+	cv, err := cover.Minimize([]uint64{0b01, 0b11}, 2)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(cv.Cubes[0].Pattern(2))
+	// Output:
+	// 1-
+}

@@ -1,0 +1,208 @@
+package cover
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Algebraic factoring (§III-H, after Minato [98]): turn a two-level
+// cover into a factored multilevel expression with fewer literals —
+// the link from symbolic covers to multilevel logic optimization. The
+// algorithm is classical quick factoring: recursively divide by the
+// most frequent literal.
+
+// ExprKind discriminates factored-expression nodes.
+type ExprKind uint8
+
+// Expression node kinds.
+const (
+	ExprLit ExprKind = iota
+	ExprAnd
+	ExprOr
+	ExprConst
+)
+
+// Expr is a factored Boolean expression over the cover's variables.
+type Expr struct {
+	Kind     ExprKind
+	Var      int  // ExprLit: variable index
+	Positive bool // ExprLit: polarity; ExprConst: value
+	Args     []*Expr
+}
+
+// Literals counts literal leaves — the factored-form area proxy.
+func (e *Expr) Literals() int {
+	switch e.Kind {
+	case ExprLit:
+		return 1
+	case ExprConst:
+		return 0
+	default:
+		n := 0
+		for _, a := range e.Args {
+			n += a.Literals()
+		}
+		return n
+	}
+}
+
+// Eval evaluates the expression on an input assignment.
+func (e *Expr) Eval(input uint64) bool {
+	switch e.Kind {
+	case ExprConst:
+		return e.Positive
+	case ExprLit:
+		bit := input>>uint(e.Var)&1 == 1
+		return bit == e.Positive
+	case ExprAnd:
+		for _, a := range e.Args {
+			if !a.Eval(input) {
+				return false
+			}
+		}
+		return true
+	default: // ExprOr
+		for _, a := range e.Args {
+			if a.Eval(input) {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// String renders the expression with x<i> and ' for complements.
+func (e *Expr) String() string {
+	switch e.Kind {
+	case ExprConst:
+		if e.Positive {
+			return "1"
+		}
+		return "0"
+	case ExprLit:
+		s := fmt.Sprintf("x%d", e.Var)
+		if !e.Positive {
+			s += "'"
+		}
+		return s
+	case ExprAnd:
+		parts := make([]string, len(e.Args))
+		for i, a := range e.Args {
+			p := a.String()
+			if a.Kind == ExprOr {
+				p = "(" + p + ")"
+			}
+			parts[i] = p
+		}
+		return strings.Join(parts, "·")
+	default:
+		parts := make([]string, len(e.Args))
+		for i, a := range e.Args {
+			parts[i] = a.String()
+		}
+		return strings.Join(parts, " + ")
+	}
+}
+
+// Factor produces a factored expression equivalent to the cover.
+func Factor(cv *Cover) *Expr {
+	return factorCubes(cv.Cubes)
+}
+
+func constExpr(v bool) *Expr { return &Expr{Kind: ExprConst, Positive: v} }
+
+func litExpr(v int, pos bool) *Expr { return &Expr{Kind: ExprLit, Var: v, Positive: pos} }
+
+// cubeExpr renders a single cube as an AND of literals.
+func cubeExpr(c Cube) *Expr {
+	var lits []*Expr
+	for v := 0; v < 64; v++ {
+		if c.Mask>>uint(v)&1 == 0 {
+			continue
+		}
+		lits = append(lits, litExpr(v, c.Val>>uint(v)&1 == 1))
+	}
+	switch len(lits) {
+	case 0:
+		return constExpr(true)
+	case 1:
+		return lits[0]
+	default:
+		return &Expr{Kind: ExprAnd, Args: lits}
+	}
+}
+
+func factorCubes(cubes []Cube) *Expr {
+	switch len(cubes) {
+	case 0:
+		return constExpr(false)
+	case 1:
+		return cubeExpr(cubes[0])
+	}
+	// Most frequent literal (variable, polarity).
+	type lit struct {
+		v   int
+		pos bool
+	}
+	counts := make(map[lit]int)
+	for _, c := range cubes {
+		for v := 0; v < 64; v++ {
+			if c.Mask>>uint(v)&1 == 0 {
+				continue
+			}
+			counts[lit{v, c.Val>>uint(v)&1 == 1}]++
+		}
+	}
+	var best lit
+	bestCount := 0
+	// Deterministic tie-break: sort keys.
+	keys := make([]lit, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].v != keys[j].v {
+			return keys[i].v < keys[j].v
+		}
+		return keys[i].pos && !keys[j].pos
+	})
+	for _, k := range keys {
+		if counts[k] > bestCount {
+			best, bestCount = k, counts[k]
+		}
+	}
+	if bestCount <= 1 {
+		// No sharing: plain sum of cubes.
+		args := make([]*Expr, len(cubes))
+		for i, c := range cubes {
+			args[i] = cubeExpr(c)
+		}
+		return &Expr{Kind: ExprOr, Args: args}
+	}
+	// Divide: F = l·Q + R.
+	var quotient, remainder []Cube
+	bit := uint64(1) << uint(best.v)
+	for _, c := range cubes {
+		hasLit := c.Mask&bit != 0 && (c.Val&bit != 0) == best.pos
+		if hasLit {
+			q := Cube{Mask: c.Mask &^ bit, Val: c.Val &^ bit}
+			quotient = append(quotient, q)
+		} else {
+			remainder = append(remainder, c)
+		}
+	}
+	qe := factorCubes(quotient)
+	le := litExpr(best.v, best.pos)
+	var prod *Expr
+	if qe.Kind == ExprConst && qe.Positive {
+		prod = le
+	} else {
+		prod = &Expr{Kind: ExprAnd, Args: []*Expr{le, qe}}
+	}
+	if len(remainder) == 0 {
+		return prod
+	}
+	re := factorCubes(remainder)
+	return &Expr{Kind: ExprOr, Args: []*Expr{prod, re}}
+}

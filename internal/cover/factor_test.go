@@ -1,0 +1,101 @@
+package cover
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFactorEquivalentToCover(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(5)
+		var ms []uint64
+		for i := uint64(0); i < 1<<uint(n); i++ {
+			if rng.Float64() < 0.4 {
+				ms = append(ms, i)
+			}
+		}
+		cv, err := Minimize(ms, n)
+		if err != nil {
+			return false
+		}
+		e := Factor(cv)
+		for i := uint64(0); i < 1<<uint(n); i++ {
+			if e.Eval(i) != cv.Eval(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFactorReducesLiterals(t *testing.T) {
+	// f = ab + ac + ad factors to a(b+c+d): 6 -> 4 literals.
+	cv := &Cover{NumVars: 4, Cubes: []Cube{
+		{Mask: 0b0011, Val: 0b0011},
+		{Mask: 0b0101, Val: 0b0101},
+		{Mask: 0b1001, Val: 0b1001},
+	}}
+	e := Factor(cv)
+	if cv.Literals() != 6 {
+		t.Fatalf("two-level literals = %d, want 6", cv.Literals())
+	}
+	if e.Literals() != 4 {
+		t.Errorf("factored literals = %d, want 4 (%s)", e.Literals(), e)
+	}
+	for i := uint64(0); i < 16; i++ {
+		if e.Eval(i) != cv.Eval(i) {
+			t.Fatalf("factored form differs at %d", i)
+		}
+	}
+}
+
+func TestFactorDegenerate(t *testing.T) {
+	empty := Factor(&Cover{NumVars: 3})
+	if empty.Kind != ExprConst || empty.Positive {
+		t.Error("empty cover should factor to constant 0")
+	}
+	taut := Factor(&Cover{NumVars: 3, Cubes: []Cube{{}}})
+	if taut.Kind != ExprConst || !taut.Positive {
+		t.Error("tautology should factor to constant 1")
+	}
+	single := Factor(&Cover{NumVars: 3, Cubes: []Cube{{Mask: 0b1, Val: 0b1}}})
+	if single.Kind != ExprLit {
+		t.Errorf("single literal cover should stay a literal, got %s", single)
+	}
+}
+
+func TestFactorString(t *testing.T) {
+	cv := &Cover{NumVars: 2, Cubes: []Cube{
+		{Mask: 0b11, Val: 0b01},
+	}}
+	e := Factor(cv)
+	if e.String() == "" {
+		t.Error("expression should render")
+	}
+}
+
+func TestFactorNeverIncreasesLiterals(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(4)
+		var ms []uint64
+		for i := uint64(0); i < 1<<uint(n); i++ {
+			if rng.Float64() < 0.5 {
+				ms = append(ms, i)
+			}
+		}
+		cv, err := Minimize(ms, n)
+		if err != nil {
+			return false
+		}
+		return Factor(cv).Literals() <= cv.Literals()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

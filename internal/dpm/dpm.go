@@ -1,0 +1,394 @@
+// Package dpm implements the system-level dynamic power management of
+// §III-B: an event-driven device alternating Active and Idle states, a
+// session-structured workload generator, and the shutdown policies the
+// paper surveys — always-on, the clairvoyant oracle, the static timeout
+// of Fig. 3, Srivastava's regression and threshold predictors [58], and
+// the Hwang–Wu exponential-average predictor with prewakeup [59].
+package dpm
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Period is one completed activity burst followed by its idle interval.
+type Period struct {
+	Active float64
+	Idle   float64
+}
+
+// Device holds the power/transition parameters of the managed resource.
+type Device struct {
+	PActive  float64 // power while serving
+	PIdle    float64 // power while idle but powered
+	PSleep   float64 // power while shut down
+	TRestart float64 // wake-up latency
+	ERestart float64 // wake-up energy overhead
+}
+
+// DefaultDevice resembles the paper's X-server scenario: idling costs
+// nearly as much as working, sleep is nearly free, and restarting is
+// fast relative to session gaps.
+func DefaultDevice() Device {
+	return Device{PActive: 1.0, PIdle: 0.9, PSleep: 0.01, TRestart: 0.15, ERestart: 0.9}
+}
+
+// Breakeven returns the minimum idle length for which sleeping pays off.
+func (d Device) Breakeven() float64 {
+	if d.PIdle <= d.PSleep {
+		return math.Inf(1)
+	}
+	return d.ERestart / (d.PIdle - d.PSleep)
+}
+
+// Decision is a policy's answer on entering the Idle state: sleep after
+// Timeout (Inf = stay powered), and optionally pre-wake after Prewake
+// time from idle start (0 = wake on demand only).
+type Decision struct {
+	Timeout float64
+	Prewake float64
+}
+
+// Policy decides shutdowns from the observed history.
+type Policy interface {
+	Name() string
+	// Decide is called at each idle-state entry with the just-finished
+	// activity burst and the completed history.
+	Decide(lastActive float64, history []Period) Decision
+	Reset()
+}
+
+// Result aggregates a simulated run.
+type Result struct {
+	Energy       float64
+	TotalTime    float64
+	ActiveTime   float64
+	IdleTime     float64
+	Shutdowns    int
+	LatencyCost  float64 // total restart delay suffered on demand wakes
+	DelayPenalty float64 // LatencyCost / ActiveTime
+	AvgPower     float64
+}
+
+// Simulate runs the policy over the workload.
+func Simulate(dev Device, pol Policy, workload []Period) Result {
+	pol.Reset()
+	var res Result
+	var history []Period
+	for _, p := range workload {
+		res.ActiveTime += p.Active
+		res.IdleTime += p.Idle
+		res.Energy += dev.PActive * p.Active
+		d := pol.Decide(p.Active, history)
+		timeout := math.Max(d.Timeout, 0)
+		if timeout >= p.Idle {
+			// Never slept during this idle interval.
+			res.Energy += dev.PIdle * p.Idle
+		} else {
+			res.Shutdowns++
+			sleepStart := timeout
+			sleepEnd := p.Idle
+			wokeEarly := false
+			if d.Prewake > 0 && d.Prewake > sleepStart && d.Prewake < p.Idle {
+				sleepEnd = d.Prewake
+				wokeEarly = true
+			}
+			res.Energy += dev.PIdle * sleepStart
+			res.Energy += dev.PSleep * (sleepEnd - sleepStart)
+			res.Energy += dev.ERestart
+			if wokeEarly {
+				// Pre-woken: the device polls for one TRestart window.
+				// If demand arrives within it, the restart latency is
+				// hidden; otherwise the device re-sleeps until demand.
+				poll := dev.TRestart
+				remaining := p.Idle - sleepEnd
+				if remaining <= poll {
+					res.Energy += dev.PIdle * remaining
+				} else {
+					res.Energy += dev.PIdle * poll
+					res.Energy += dev.PSleep * (remaining - poll)
+					res.Energy += dev.ERestart
+					res.LatencyCost += dev.TRestart
+				}
+			} else {
+				res.LatencyCost += dev.TRestart
+			}
+		}
+		history = append(history, p)
+	}
+	res.TotalTime = res.ActiveTime + res.IdleTime
+	if res.ActiveTime > 0 {
+		res.DelayPenalty = res.LatencyCost / res.ActiveTime
+	}
+	if res.TotalTime > 0 {
+		res.AvgPower = res.Energy / res.TotalTime
+	}
+	return res
+}
+
+// MaxImprovement is the paper's upper bound on shutdown gains:
+// 1 + TI/TA (achieved by free, instant sleeping of all idle time).
+func MaxImprovement(workload []Period) float64 {
+	var ta, ti float64
+	for _, p := range workload {
+		ta += p.Active
+		ti += p.Idle
+	}
+	if ta == 0 {
+		return math.Inf(1)
+	}
+	return 1 + ti/ta
+}
+
+// ---------------------------------------------------------------------
+// Policies.
+
+// AlwaysOn never sleeps.
+type AlwaysOn struct{}
+
+func (AlwaysOn) Name() string { return "always-on" }
+func (AlwaysOn) Reset()       {}
+func (AlwaysOn) Decide(float64, []Period) Decision {
+	return Decision{Timeout: math.Inf(1)}
+}
+
+// Oracle knows each idle interval's length in advance and sleeps
+// immediately exactly when it pays off. Construct with the workload.
+type Oracle struct {
+	Dev      Device
+	Workload []Period
+	idx      int
+}
+
+func (o *Oracle) Name() string { return "oracle" }
+func (o *Oracle) Reset()       { o.idx = 0 }
+func (o *Oracle) Decide(lastActive float64, history []Period) Decision {
+	idle := o.Workload[o.idx].Idle
+	o.idx++
+	if idle > o.Dev.Breakeven()+o.Dev.TRestart {
+		return Decision{Timeout: 0}
+	}
+	return Decision{Timeout: math.Inf(1)}
+}
+
+// StaticTimeout is the conventional Fig. 3 policy: sleep after a fixed
+// wait T in the Idle state.
+type StaticTimeout struct{ T float64 }
+
+func (s *StaticTimeout) Name() string { return "static-timeout" }
+func (s *StaticTimeout) Reset()       {}
+func (s *StaticTimeout) Decide(float64, []Period) Decision {
+	return Decision{Timeout: s.T}
+}
+
+// Threshold is Srivastava's simple predictive rule: when the activity
+// burst that just ended is shorter than the threshold, the coming idle
+// period is predicted long and the device sleeps at once; otherwise it
+// stays powered.
+type Threshold struct{ ActiveThreshold float64 }
+
+func (t *Threshold) Name() string { return "srivastava-threshold" }
+func (t *Threshold) Reset()       {}
+func (t *Threshold) Decide(lastActive float64, history []Period) Decision {
+	if lastActive < t.ActiveThreshold {
+		return Decision{Timeout: 0}
+	}
+	return Decision{Timeout: math.Inf(1)}
+}
+
+// Regression is Srivastava's second scheme: an online least-squares fit
+// predicting the next idle length from a quadratic function of the
+// previous active and idle durations; sleep immediately when the
+// prediction exceeds the breakeven.
+type Regression struct {
+	Dev    Device
+	Window int // history window used for the fit (default 32)
+}
+
+func (r *Regression) Name() string { return "srivastava-regression" }
+func (r *Regression) Reset()       {}
+
+func (r *Regression) Decide(lastActive float64, history []Period) Decision {
+	if len(history) < 4 {
+		return Decision{Timeout: math.Inf(1)}
+	}
+	window := r.Window
+	if window <= 0 {
+		window = 32
+	}
+	start := len(history) - window
+	if start < 1 {
+		start = 1
+	}
+	// Fit idle_i ~ c0 + c1·active_i + c2·active_i² + c3·idle_{i-1} by
+	// least squares on the window (a small normal-equations solve).
+	var X [][]float64
+	var y []float64
+	for i := start; i < len(history); i++ {
+		a := history[i].Active
+		X = append(X, []float64{1, a, a * a, history[i-1].Idle})
+		y = append(y, history[i].Idle)
+	}
+	pred, ok := predictOLS(X, y, []float64{1, lastActive, lastActive * lastActive, history[len(history)-1].Idle})
+	if !ok {
+		return Decision{Timeout: math.Inf(1)}
+	}
+	if pred > r.Dev.Breakeven()+r.Dev.TRestart {
+		return Decision{Timeout: 0}
+	}
+	return Decision{Timeout: math.Inf(1)}
+}
+
+// predictOLS solves the tiny least-squares system inline (degenerate
+// windows return ok=false).
+func predictOLS(X [][]float64, y []float64, x []float64) (float64, bool) {
+	p := len(x)
+	xtx := make([][]float64, p)
+	for i := range xtx {
+		xtx[i] = make([]float64, p+1)
+	}
+	for r := range X {
+		for i := 0; i < p; i++ {
+			for j := 0; j < p; j++ {
+				xtx[i][j] += X[r][i] * X[r][j]
+			}
+			xtx[i][p] += X[r][i] * y[r]
+		}
+	}
+	// Gaussian elimination with partial pivoting.
+	for col := 0; col < p; col++ {
+		piv := col
+		for r := col + 1; r < p; r++ {
+			if math.Abs(xtx[r][col]) > math.Abs(xtx[piv][col]) {
+				piv = r
+			}
+		}
+		if math.Abs(xtx[piv][col]) < 1e-9 {
+			return 0, false
+		}
+		xtx[col], xtx[piv] = xtx[piv], xtx[col]
+		for r := col + 1; r < p; r++ {
+			f := xtx[r][col] / xtx[col][col]
+			for c := col; c <= p; c++ {
+				xtx[r][c] -= f * xtx[col][c]
+			}
+		}
+	}
+	beta := make([]float64, p)
+	for i := p - 1; i >= 0; i-- {
+		s := xtx[i][p]
+		for j := i + 1; j < p; j++ {
+			s -= xtx[i][j] * beta[j]
+		}
+		beta[i] = s / xtx[i][i]
+	}
+	var pred float64
+	for i := range x {
+		pred += beta[i] * x[i]
+	}
+	return pred, true
+}
+
+// HwangWu keeps an exponential average of idle lengths
+// (I ← a·i + (1−a)·I), sleeps immediately when the prediction clears
+// the breakeven, and pre-wakes at the predicted idle end to avoid the
+// restart latency. The misprediction-correction mechanism of [59] is
+// modeled as a watchdog: when the prediction says "stay powered," a
+// fallback timeout still catches underpredicted long idles (default
+// 5× breakeven).
+type HwangWu struct {
+	Dev      Device
+	Alpha    float64 // smoothing constant (default 0.5)
+	Prewake  bool
+	Watchdog float64 // fallback timeout (default 5× breakeven)
+	avg      float64
+	seeded   bool
+}
+
+func (h *HwangWu) Name() string { return "hwang-wu" }
+func (h *HwangWu) Reset()       { h.avg = 0; h.seeded = false }
+
+func (h *HwangWu) Decide(lastActive float64, history []Period) Decision {
+	alpha := h.Alpha
+	if alpha == 0 {
+		alpha = 0.5
+	}
+	if len(history) > 0 {
+		last := history[len(history)-1].Idle
+		if !h.seeded {
+			h.avg = last
+			h.seeded = true
+		} else {
+			h.avg = alpha*last + (1-alpha)*h.avg
+		}
+	}
+	watchdog := h.Watchdog
+	if watchdog == 0 {
+		watchdog = 5 * h.Dev.Breakeven()
+	}
+	if !h.seeded || h.avg <= h.Dev.Breakeven()+h.Dev.TRestart {
+		// Prediction says short idle: stay powered, but let the
+		// watchdog correct an underprediction.
+		return Decision{Timeout: watchdog}
+	}
+	d := Decision{Timeout: 0}
+	if h.Prewake {
+		// Wake slightly before the predicted idle end.
+		d.Prewake = h.avg - h.Dev.TRestart
+	}
+	return d
+}
+
+// ---------------------------------------------------------------------
+// Workload generation.
+
+// WorkloadParams shapes the session-structured event-driven workload:
+// within a session, substantial activity bursts with short gaps; the
+// burst closing a session is brief (the user's final interaction) and is
+// followed by a long inter-session idle — the correlation Srivastava's
+// threshold predictor exploits.
+type WorkloadParams struct {
+	Sessions      int
+	BurstsPer     int
+	MeanActive    float64
+	MeanShortIdle float64
+	MeanFinalAct  float64
+	MeanLongIdle  float64
+}
+
+// DefaultWorkload resembles interactive traces: activity seconds, gaps
+// under a second, inter-session idles of minutes.
+func DefaultWorkload() WorkloadParams {
+	return WorkloadParams{
+		Sessions: 60, BurstsPer: 6,
+		MeanActive: 1.0, MeanShortIdle: 0.4,
+		MeanFinalAct: 0.1, MeanLongIdle: 300,
+	}
+}
+
+// Generate draws a workload.
+func Generate(p WorkloadParams, rng *rand.Rand) []Period {
+	var w []Period
+	for s := 0; s < p.Sessions; s++ {
+		for b := 0; b < p.BurstsPer; b++ {
+			w = append(w, Period{
+				Active: rng.ExpFloat64() * p.MeanActive,
+				Idle:   rng.ExpFloat64() * p.MeanShortIdle,
+			})
+		}
+		w = append(w, Period{
+			Active: rng.ExpFloat64() * p.MeanFinalAct,
+			Idle:   rng.ExpFloat64() * p.MeanLongIdle,
+		})
+	}
+	return w
+}
+
+// Improvement returns the power-improvement factor of a policy result
+// relative to a baseline result on the same workload.
+func Improvement(baseline, policy Result) float64 {
+	if policy.Energy == 0 {
+		return math.Inf(1)
+	}
+	return baseline.Energy / policy.Energy
+}

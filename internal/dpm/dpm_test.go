@@ -1,0 +1,201 @@
+package dpm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func testWorkload(seed int64) []Period {
+	return Generate(DefaultWorkload(), rand.New(rand.NewSource(seed)))
+}
+
+func TestBreakeven(t *testing.T) {
+	d := Device{PIdle: 1, PSleep: 0, ERestart: 5}
+	if d.Breakeven() != 5 {
+		t.Errorf("breakeven = %v, want 5", d.Breakeven())
+	}
+	d.PSleep = 1
+	if !math.IsInf(d.Breakeven(), 1) {
+		t.Error("no idle saving should mean infinite breakeven")
+	}
+}
+
+func TestAlwaysOnEnergy(t *testing.T) {
+	dev := DefaultDevice()
+	w := []Period{{Active: 2, Idle: 3}, {Active: 1, Idle: 4}}
+	res := Simulate(dev, AlwaysOn{}, w)
+	want := dev.PActive*3 + dev.PIdle*7
+	if math.Abs(res.Energy-want) > 1e-9 {
+		t.Errorf("energy = %v, want %v", res.Energy, want)
+	}
+	if res.Shutdowns != 0 || res.LatencyCost != 0 {
+		t.Error("always-on must never sleep")
+	}
+}
+
+func TestStaticTimeoutAccounting(t *testing.T) {
+	dev := Device{PActive: 1, PIdle: 1, PSleep: 0, TRestart: 0.1, ERestart: 0.5}
+	w := []Period{{Active: 1, Idle: 10}}
+	res := Simulate(dev, &StaticTimeout{T: 2}, w)
+	// active 1 + idle-powered 2 + sleep 8*0 + restart 0.5
+	want := 1.0 + 2.0 + 0.5
+	if math.Abs(res.Energy-want) > 1e-9 {
+		t.Errorf("energy = %v, want %v", res.Energy, want)
+	}
+	if res.Shutdowns != 1 {
+		t.Errorf("shutdowns = %d, want 1", res.Shutdowns)
+	}
+	if math.Abs(res.LatencyCost-0.1) > 1e-9 {
+		t.Errorf("latency = %v, want 0.1", res.LatencyCost)
+	}
+}
+
+func TestTimeoutLongerThanIdleNeverSleeps(t *testing.T) {
+	dev := DefaultDevice()
+	w := []Period{{Active: 1, Idle: 1}}
+	res := Simulate(dev, &StaticTimeout{T: 5}, w)
+	if res.Shutdowns != 0 {
+		t.Error("timeout longer than idle must not sleep")
+	}
+}
+
+func TestOracleBeatsEveryoneAndRespectsBound(t *testing.T) {
+	dev := DefaultDevice()
+	w := testWorkload(1)
+	on := Simulate(dev, AlwaysOn{}, w)
+	oracle := Simulate(dev, &Oracle{Dev: dev, Workload: w}, w)
+	bound := MaxImprovement(w)
+	imp := Improvement(on, oracle)
+	if imp <= 1 {
+		t.Fatalf("oracle improvement %v should exceed 1", imp)
+	}
+	// The oracle cannot beat the theoretical maximum... it can approach
+	// it. Allow a tiny numeric margin.
+	if imp > bound*1.001 {
+		t.Errorf("oracle improvement %v exceeds the 1+TI/TA bound %v", imp, bound)
+	}
+	for _, pol := range []Policy{
+		&StaticTimeout{T: 2},
+		&Threshold{ActiveThreshold: 0.5},
+		&HwangWu{Dev: dev, Prewake: true},
+		&Regression{Dev: dev},
+	} {
+		res := Simulate(dev, pol, w)
+		if res.Energy < oracle.Energy*0.999 {
+			t.Errorf("%s beat the oracle: %v < %v", pol.Name(), res.Energy, oracle.Energy)
+		}
+	}
+}
+
+func TestPredictiveBeatsStaticTimeout(t *testing.T) {
+	// The §III-B claim: predictive shutdown recovers the power a static
+	// timeout wastes waiting out its timer in every long idle period.
+	dev := DefaultDevice()
+	w := testWorkload(2)
+	on := Simulate(dev, AlwaysOn{}, w)
+	static := Simulate(dev, &StaticTimeout{T: 5}, w)
+	thr := Simulate(dev, &Threshold{ActiveThreshold: 0.5}, w)
+	if thr.Energy >= static.Energy {
+		t.Errorf("threshold predictor energy %v should beat static %v", thr.Energy, static.Energy)
+	}
+	impStatic := Improvement(on, static)
+	impThr := Improvement(on, thr)
+	if impThr <= impStatic {
+		t.Errorf("predictive improvement %v should exceed static %v", impThr, impStatic)
+	}
+	// Large improvements over always-on with small delay penalty.
+	if impThr < 3 {
+		t.Errorf("threshold improvement %v unexpectedly small", impThr)
+	}
+	if thr.DelayPenalty > 0.10 {
+		t.Errorf("delay penalty %v too high", thr.DelayPenalty)
+	}
+}
+
+func TestRegressionPredictorWorks(t *testing.T) {
+	dev := DefaultDevice()
+	w := testWorkload(3)
+	on := Simulate(dev, AlwaysOn{}, w)
+	reg := Simulate(dev, &Regression{Dev: dev}, w)
+	if Improvement(on, reg) < 2 {
+		t.Errorf("regression predictor improvement %v too small", Improvement(on, reg))
+	}
+}
+
+func TestHwangWuPrewakeCutsLatency(t *testing.T) {
+	// Prewakeup pays off when idle lengths are predictable: on a
+	// constant-idle workload the exponential average converges and the
+	// scheduled wake lands within the poll window, hiding the restart
+	// latency entirely.
+	dev := DefaultDevice()
+	var w []Period
+	for i := 0; i < 100; i++ {
+		w = append(w, Period{Active: 1, Idle: 20})
+	}
+	noPre := Simulate(dev, &HwangWu{Dev: dev, Prewake: false}, w)
+	pre := Simulate(dev, &HwangWu{Dev: dev, Prewake: true}, w)
+	if noPre.Shutdowns == 0 {
+		t.Fatal("hwang-wu never slept; workload too tame")
+	}
+	if pre.LatencyCost >= noPre.LatencyCost/2 {
+		t.Errorf("prewakeup latency %v should be well below %v", pre.LatencyCost, noPre.LatencyCost)
+	}
+	if pre.Energy > noPre.Energy*1.1 {
+		t.Errorf("prewakeup energy %v should stay near %v", pre.Energy, noPre.Energy)
+	}
+}
+
+func TestMaxImprovement(t *testing.T) {
+	w := []Period{{Active: 1, Idle: 9}}
+	if MaxImprovement(w) != 10 {
+		t.Errorf("bound = %v, want 10", MaxImprovement(w))
+	}
+	if !math.IsInf(MaxImprovement([]Period{{Active: 0, Idle: 1}}), 1) {
+		t.Error("all-idle workload should have infinite bound")
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	p := DefaultWorkload()
+	w := Generate(p, rand.New(rand.NewSource(5)))
+	if len(w) != p.Sessions*(p.BurstsPer+1) {
+		t.Fatalf("workload length %d", len(w))
+	}
+	for _, per := range w {
+		if per.Active < 0 || per.Idle < 0 {
+			t.Fatal("negative period")
+		}
+	}
+	// Idle time should dominate (the premise of shutdown techniques).
+	if MaxImprovement(w) < 3 {
+		t.Errorf("workload not idle-dominated: bound %v", MaxImprovement(w))
+	}
+}
+
+func TestSimulateDeterministic(t *testing.T) {
+	dev := DefaultDevice()
+	w := testWorkload(6)
+	a := Simulate(dev, &Threshold{ActiveThreshold: 0.5}, w)
+	b := Simulate(dev, &Threshold{ActiveThreshold: 0.5}, w)
+	if a != b {
+		t.Error("simulation must be deterministic")
+	}
+}
+
+func TestBreakevenTimeoutIsTwoCompetitive(t *testing.T) {
+	// The classical ski-rental result: a static timeout equal to the
+	// breakeven time never uses more than ~2x the oracle's energy beyond
+	// the mandatory active energy, on any workload.
+	dev := DefaultDevice()
+	for seed := int64(0); seed < 10; seed++ {
+		w := Generate(DefaultWorkload(), rand.New(rand.NewSource(seed)))
+		static := Simulate(dev, &StaticTimeout{T: dev.Breakeven()}, w)
+		oracle := Simulate(dev, &Oracle{Dev: dev, Workload: w}, w)
+		activeE := dev.PActive * static.ActiveTime
+		ratio := (static.Energy - activeE) / (oracle.Energy - activeE)
+		if ratio > 2.05 {
+			t.Errorf("seed %d: breakeven timeout competitive ratio %v > 2", seed, ratio)
+		}
+	}
+}

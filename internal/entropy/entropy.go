@@ -1,0 +1,142 @@
+// Package entropy implements the information-theoretic power models of
+// §II-B1: the Marculescu–Marculescu–Pedram average-entropy expression for
+// a linear gate distribution, the Nemani–Najm sectional-entropy variant,
+// the Cheng–Agrawal and Ferrandi total-capacitance estimates, the
+// entropic power estimate P = 0.5·V²·f·Ctot·E_avg with E_avg ≈ h_avg/2,
+// and Tyagi's entropic lower bound on FSM register switching.
+package entropy
+
+import (
+	"errors"
+	"math"
+
+	"hlpower/internal/stats"
+)
+
+// MarculescuHavg returns the average per-line entropy of a circuit with
+// n inputs, m outputs, average input bit entropy hin and average output
+// bit entropy hout, assuming the node count scales linearly from inputs
+// to outputs and bit entropy decays exponentially per level ([9]).
+func MarculescuHavg(n, m int, hin, hout float64) float64 {
+	if hin <= 0 {
+		return 0
+	}
+	if hout <= 0 {
+		hout = 1e-6 * hin
+	}
+	// The expression is singular at hout == hin; nudge off the pole (the
+	// limit is the average of in/out entropies).
+	if math.Abs(hin-hout) < 1e-9*hin {
+		hout = hin * (1 - 1e-6)
+	}
+	r := hout / hin
+	ln := math.Log(hin / hout)
+	fn := float64(n)
+	fm := float64(m)
+	lead := 2 * fn * hin / ((fn + fm) * ln)
+	inner := 1 - (fm/fn)*r - (1-fm/fn)*(1-r)/ln
+	return lead * inner
+}
+
+// NemaniHavg returns the Nemani–Najm average line entropy from the
+// sectional (word-level) input and output entropies Hin and Hout ([10]):
+// h_avg = 2/(3(n+m)) · (Hin + Hout).
+func NemaniHavg(n, m int, Hin, Hout float64) float64 {
+	return 2 * (Hin + Hout) / (3 * float64(n+m))
+}
+
+// Power returns the entropic power estimate
+// P = 0.5·V²·f·Ctot·E_avg with the average line activity approximated by
+// half the average line entropy (the temporal-independence upper bound).
+func Power(ctot, havg, vdd, freq float64) float64 {
+	return 0.5 * vdd * vdd * freq * ctot * (havg / 2)
+}
+
+// ChengAgrawalCtot estimates total module capacitance from the output
+// entropy ([11]): Ctot = (m/n)·2^n·hout. The paper notes it becomes very
+// pessimistic for large n.
+func ChengAgrawalCtot(n, m int, hout float64) float64 {
+	return float64(m) / float64(n) * math.Pow(2, float64(n)) * hout
+}
+
+// FerrandiCtot estimates total capacitance from the BDD node count N of
+// the circuit's function ([12]): Ctot = α·(m/n)·N·hout + β.
+func FerrandiCtot(alpha, beta float64, bddNodes, n, m int, hout float64) float64 {
+	return alpha*float64(m)/float64(n)*float64(bddNodes)*hout + beta
+}
+
+// FerrandiSample is one circuit observation used to fit the Ferrandi
+// capacitance model coefficients.
+type FerrandiSample struct {
+	BDDNodes int
+	NumIn    int
+	NumOut   int
+	Hout     float64
+	Ctot     float64 // measured total capacitance
+}
+
+// FitFerrandi performs the linear regression of [12], returning α and β.
+func FitFerrandi(samples []FerrandiSample) (alpha, beta float64, err error) {
+	if len(samples) < 2 {
+		return 0, 0, errors.New("entropy: need at least 2 samples")
+	}
+	X := make([][]float64, len(samples))
+	y := make([]float64, len(samples))
+	for i, s := range samples {
+		x := float64(s.NumOut) / float64(s.NumIn) * float64(s.BDDNodes) * s.Hout
+		X[i] = []float64{1, x}
+		y[i] = s.Ctot
+	}
+	fit, err := stats.OLS(X, y)
+	if err != nil {
+		return 0, 0, err
+	}
+	return fit.Beta[1], fit.Beta[0], nil
+}
+
+// TransitionEntropy returns the entropy h(p) = −Σ p_ij·log2 p_ij of a
+// steady-state transition probability distribution, together with the
+// number t of transitions with nonzero probability.
+func TransitionEntropy(p [][]float64) (h float64, t int) {
+	for i := range p {
+		for _, pij := range p[i] {
+			if pij <= 0 {
+				continue
+			}
+			h -= pij * math.Log2(pij)
+			t++
+		}
+	}
+	return h, t
+}
+
+// TyagiBound returns Tyagi's entropic lower bound ([13]) on the expected
+// state-register Hamming switching Σ p_ij·H(s_i,s_j) of a T-state FSM,
+// valid for any encoding:
+//
+//	h(p) − 1.52·log2 T − 2.16 + 0.5·log2(log2 T)
+//
+// The bound applies to sparse machines (t ≤ 2.23·T^1.72/√log2 T); Sparse
+// reports whether the machine qualifies. For small or dense machines the
+// bound is typically vacuous (negative).
+func TyagiBound(p [][]float64) float64 {
+	T := float64(len(p))
+	if T < 2 {
+		return 0
+	}
+	h, _ := TransitionEntropy(p)
+	logT := math.Log2(T)
+	return h - 1.52*logT - 2.16 + 0.5*math.Log2(logT)
+}
+
+// Sparse reports whether the transition structure satisfies Tyagi's
+// sparsity condition t ≤ 2.23·T^1.72/√(log2 T).
+func Sparse(p [][]float64) bool {
+	T := float64(len(p))
+	if T < 2 {
+		return true
+	}
+	_, t := TransitionEntropy(p)
+	limit := 2.23 * math.Pow(T, 1.72) / math.Sqrt(math.Log2(T))
+	return float64(t) <= limit
+}

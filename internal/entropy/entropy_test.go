@@ -1,0 +1,258 @@
+package entropy
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"hlpower/internal/bitutil"
+	"hlpower/internal/fsm"
+	"hlpower/internal/rtlib"
+	"hlpower/internal/trace"
+)
+
+// thin wrappers keep the test bodies readable
+func rtlibNewAdder(w int) *rtlib.Module         { return rtlib.NewAdder(w) }
+func bitutilFromBits(b []bool) uint64           { return bitutil.FromBits(b) }
+func traceBitEntropy(s []uint64, w int) float64 { return trace.BitEntropy(s, w) }
+
+func TestMarculescuHavgBetweenInOut(t *testing.T) {
+	// For a shrinking pipeline the average line entropy lies between the
+	// output and input entropies.
+	h := MarculescuHavg(16, 8, 1.0, 0.4)
+	if h <= 0.4 || h >= 1.0 {
+		t.Errorf("havg = %v, want in (0.4, 1.0)", h)
+	}
+}
+
+func TestMarculescuHavgDegenerate(t *testing.T) {
+	if h := MarculescuHavg(8, 8, 0, 0.5); h != 0 {
+		t.Errorf("hin=0 should give 0, got %v", h)
+	}
+	// hout == hin must not blow up.
+	h := MarculescuHavg(8, 8, 0.8, 0.8)
+	if math.IsNaN(h) || math.IsInf(h, 0) {
+		t.Fatalf("singular point returned %v", h)
+	}
+	if math.Abs(h-0.8) > 0.05 {
+		t.Errorf("hout==hin: havg = %v, want ~0.8", h)
+	}
+	// hout == 0 must not blow up either.
+	h = MarculescuHavg(8, 4, 0.9, 0)
+	if math.IsNaN(h) || math.IsInf(h, 0) || h < 0 {
+		t.Errorf("hout=0 returned %v", h)
+	}
+}
+
+func TestNemaniHavg(t *testing.T) {
+	got := NemaniHavg(16, 8, 12, 6)
+	want := 2.0 * 18 / (3 * 24)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("NemaniHavg = %v, want %v", got, want)
+	}
+}
+
+func TestPowerScaling(t *testing.T) {
+	p1 := Power(100, 0.8, 1, 1)
+	p2 := Power(100, 0.8, 2, 1)
+	if math.Abs(p2/p1-4) > 1e-12 {
+		t.Errorf("power should scale with V²: %v vs %v", p1, p2)
+	}
+	if Power(0, 1, 1, 1) != 0 {
+		t.Error("zero capacitance means zero power")
+	}
+}
+
+func TestChengAgrawalPessimisticAtLargeN(t *testing.T) {
+	// The 2^n factor makes the estimate explode with n at fixed hout.
+	small := ChengAgrawalCtot(8, 8, 0.9)
+	big := ChengAgrawalCtot(16, 8, 0.9)
+	if big < 100*small {
+		t.Errorf("expected exponential growth: n=8 %v, n=16 %v", small, big)
+	}
+}
+
+func TestFerrandiFitRecoversCoefficients(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	trueAlpha, trueBeta := 3.5, 42.0
+	var samples []FerrandiSample
+	for i := 0; i < 50; i++ {
+		s := FerrandiSample{
+			BDDNodes: 10 + rng.Intn(500),
+			NumIn:    8 + rng.Intn(8),
+			NumOut:   1 + rng.Intn(8),
+			Hout:     0.2 + 0.8*rng.Float64(),
+		}
+		x := float64(s.NumOut) / float64(s.NumIn) * float64(s.BDDNodes) * s.Hout
+		s.Ctot = trueAlpha*x + trueBeta + rng.NormFloat64()*0.1
+		samples = append(samples, s)
+	}
+	alpha, beta, err := FitFerrandi(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(alpha-trueAlpha) > 0.05 || math.Abs(beta-trueBeta) > 1 {
+		t.Errorf("fit = (%v, %v), want (%v, %v)", alpha, beta, trueAlpha, trueBeta)
+	}
+	// Prediction should be close on a fresh sample.
+	pred := FerrandiCtot(alpha, beta, 100, 10, 5, 0.5)
+	want := trueAlpha*(0.5*100*0.5) + trueBeta
+	if math.Abs(pred-want)/want > 0.05 {
+		t.Errorf("prediction %v, want ~%v", pred, want)
+	}
+}
+
+func TestFitFerrandiErrors(t *testing.T) {
+	if _, _, err := FitFerrandi(nil); err == nil {
+		t.Error("expected error on empty sample set")
+	}
+}
+
+func TestTransitionEntropy(t *testing.T) {
+	// Uniform over 4 transitions: h = 2 bits.
+	p := [][]float64{{0.25, 0.25}, {0.25, 0.25}}
+	h, n := TransitionEntropy(p)
+	if math.Abs(h-2) > 1e-12 || n != 4 {
+		t.Errorf("h = %v (t=%d), want 2 (4)", h, n)
+	}
+}
+
+func TestTyagiBoundHoldsForAllEncodings(t *testing.T) {
+	// The bound must lower-bound the weighted Hamming switching of every
+	// encoding of a sparse machine.
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 8; trial++ {
+		m := fsm.Random(24, 2, 1, 0.15, rng)
+		p, err := m.TransitionProbabilities(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Zero out the ergodicity epsilon noise: keep only edges that
+		// exist structurally.
+		structural := make(map[[2]int]bool)
+		for s := 0; s < m.NumStates; s++ {
+			for sym := 0; sym < m.NumSymbols(); sym++ {
+				structural[[2]int{s, m.Next[s][sym]}] = true
+			}
+		}
+		for i := range p {
+			for j := range p[i] {
+				if !structural[[2]int{i, j}] {
+					p[i][j] = 0
+				}
+			}
+		}
+		bound := TyagiBound(p)
+		encs := []*fsm.Encoding{
+			fsm.BinaryEncoding(m.NumStates),
+			fsm.GrayEncoding(m.NumStates),
+			fsm.OneHotEncoding(m.NumStates),
+			fsm.RandomEncoding(m.NumStates, 8, rng),
+		}
+		for _, e := range encs {
+			cost := fsm.WeightedHamming(e, p)
+			if cost < bound-1e-9 {
+				t.Errorf("trial %d: encoding width %d beats the Tyagi bound: %v < %v",
+					trial, e.Width, cost, bound)
+			}
+		}
+	}
+}
+
+func TestSparse(t *testing.T) {
+	// A cycle (T transitions over T states) is clearly sparse.
+	T := 16
+	p := make([][]float64, T)
+	for i := range p {
+		p[i] = make([]float64, T)
+		p[i][(i+1)%T] = 1.0 / float64(T)
+	}
+	if !Sparse(p) {
+		t.Error("a simple cycle should be sparse")
+	}
+}
+
+func TestBitutilEntropyLink(t *testing.T) {
+	// Sanity: the Hamming distance used in the FSM costs matches bitutil.
+	if bitutil.Hamming(0b0110, 0b0101) != 2 {
+		t.Error("unexpected Hamming result")
+	}
+}
+
+func TestPropagationModelPredictsOutputEntropy(t *testing.T) {
+	mod := rtlibNewAdder(8)
+	pm, err := FitPropagation(mod, 512, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ground truth at a fresh bias: simulate and measure.
+	rng := rand.New(rand.NewSource(99))
+	a := make([]uint64, 600)
+	b := make([]uint64, 600)
+	for i := range a {
+		var va, vb uint64
+		for bit := 0; bit < 8; bit++ {
+			if rng.Float64() < 0.85 {
+				va |= 1 << uint(bit)
+			}
+			if rng.Float64() < 0.85 {
+				vb |= 1 << uint(bit)
+			}
+		}
+		a[i], b[i] = va, vb
+	}
+	res, err := mod.SimulateStream(a, b, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outWords := make([]uint64, len(res.Outputs))
+	for i, o := range res.Outputs {
+		outWords[i] = bitutilFromBits(o)
+	}
+	nOut := len(mod.Net.Outputs)
+	combined := append(append([]uint64{}, a...), b...)
+	hin := traceBitEntropy(combined, 8) / 8
+	houtTrue := traceBitEntropy(outWords, nOut) / float64(nOut)
+	houtPred := pm.Predict(hin)
+	if math.Abs(houtPred-houtTrue) > 0.12 {
+		t.Errorf("propagated hout %v vs measured %v", houtPred, houtTrue)
+	}
+	// The full no-simulation power estimate must be positive and finite.
+	p := pm.EstimatePower(mod, hin, 1, 1)
+	if p <= 0 || math.IsNaN(p) || math.IsInf(p, 0) {
+		t.Errorf("propagated power estimate = %v", p)
+	}
+}
+
+func TestPropagationPredictClamps(t *testing.T) {
+	m := &PropagationModel{C: [3]float64{-1, 0, 0}}
+	if m.Predict(0.5) != 0 {
+		t.Error("negative prediction should clamp to 0")
+	}
+	m = &PropagationModel{C: [3]float64{2, 0, 0}}
+	if m.Predict(0.5) != 1 {
+		t.Error("oversized prediction should clamp to 1")
+	}
+}
+
+func TestFitQuadraticExact(t *testing.T) {
+	// y = 1 + 2x + 3x² recovered from 5 points.
+	xs := []float64{0, 0.25, 0.5, 0.75, 1}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 1 + 2*x + 3*x*x
+	}
+	c, err := fitQuadratic(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [3]float64{1, 2, 3}
+	for i := range want {
+		if math.Abs(c[i]-want[i]) > 1e-6 {
+			t.Errorf("c[%d] = %v, want %v", i, c[i], want[i])
+		}
+	}
+	if _, err := fitQuadratic([]float64{1}, []float64{1}); err == nil {
+		t.Error("too few points should fail")
+	}
+}

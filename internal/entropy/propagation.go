@@ -1,0 +1,161 @@
+package entropy
+
+import (
+	"errors"
+	"math"
+
+	"hlpower/internal/bitutil"
+	"hlpower/internal/rtlib"
+	"hlpower/internal/sim"
+	"hlpower/internal/trace"
+)
+
+// Entropy propagation for precharacterized library modules (§II-B1:
+// h_out may be "calculated ... by empirical entropy propagation
+// techniques for precharacterized library modules"): fit, once per
+// module, a low-order polynomial mapping average input bit entropy to
+// average output bit entropy; afterwards output entropy — and hence the
+// whole entropic power estimate — needs no simulation of the target
+// stream at all.
+
+// PropagationModel maps input bit entropy to output bit entropy for one
+// characterized module: hout ≈ c0 + c1·hin + c2·hin².
+type PropagationModel struct {
+	ModuleName string
+	C          [3]float64
+}
+
+// FitPropagation characterizes the module by sweeping input streams of
+// varying entropy (mixing a constant stream with a uniform one) and
+// fitting the quadratic by least squares.
+func FitPropagation(mod *rtlib.Module, samplesPerPoint int, seed int64) (*PropagationModel, error) {
+	if samplesPerPoint < 64 {
+		samplesPerPoint = 64
+	}
+	var hins, houts []float64
+	rng := newRand(seed)
+	w := len(mod.A)
+	for _, bias := range []float64{0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 0.99} {
+		a := biasedStream(samplesPerPoint, w, bias, rng)
+		b := biasedStream(samplesPerPoint, w, bias, rng)
+		res, err := mod.SimulateStream(a, b, sim.ZeroDelay)
+		if err != nil {
+			return nil, err
+		}
+		outWords := make([]uint64, len(res.Outputs))
+		for i, o := range res.Outputs {
+			outWords[i] = bitutil.FromBits(o)
+		}
+		nOut := len(mod.Net.Outputs)
+		combined := append(append([]uint64{}, a...), b...)
+		hins = append(hins, trace.BitEntropy(combined, w)/float64(w))
+		houts = append(houts, trace.BitEntropy(outWords, nOut)/float64(nOut))
+	}
+	c, err := fitQuadratic(hins, houts)
+	if err != nil {
+		return nil, err
+	}
+	return &PropagationModel{ModuleName: mod.Name, C: c}, nil
+}
+
+// Predict returns the propagated output bit entropy for an input bit
+// entropy, clamped to [0, 1].
+func (m *PropagationModel) Predict(hin float64) float64 {
+	h := m.C[0] + m.C[1]*hin + m.C[2]*hin*hin
+	if h < 0 {
+		return 0
+	}
+	if h > 1 {
+		return 1
+	}
+	return h
+}
+
+// EstimatePower combines the propagation model with the Marculescu
+// average-entropy expression: a full §II-B1 estimate from nothing but
+// the input stream's entropy and the module's structure.
+func (m *PropagationModel) EstimatePower(mod *rtlib.Module, hin, vdd, freq float64) float64 {
+	nIn := len(mod.Net.Inputs)
+	nOut := len(mod.Net.Outputs)
+	hout := m.Predict(hin)
+	havg := MarculescuHavg(nIn, nOut, hin, hout)
+	return Power(mod.Net.TotalCapacitance(), havg, vdd, freq)
+}
+
+// biasedStream draws words whose bits are 1 with probability bias —
+// bit entropy H(bias) per line.
+func biasedStream(n, w int, bias float64, next func() float64) []uint64 {
+	out := make([]uint64, n)
+	for i := range out {
+		var v uint64
+		for b := 0; b < w; b++ {
+			if next() < bias {
+				v |= 1 << uint(b)
+			}
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// newRand returns a deterministic float64 source without importing
+// math/rand at every call site.
+func newRand(seed int64) func() float64 {
+	s := uint64(seed)*6364136223846793005 + 1442695040888963407
+	return func() float64 {
+		s = s*6364136223846793005 + 1442695040888963407
+		return float64(s>>11) / float64(1<<53)
+	}
+}
+
+// fitQuadratic solves the 3-parameter least squares fit.
+func fitQuadratic(x, y []float64) ([3]float64, error) {
+	if len(x) != len(y) || len(x) < 3 {
+		return [3]float64{}, errors.New("entropy: need >= 3 points")
+	}
+	var s [5]float64 // Σ x^k
+	var t [3]float64 // Σ y·x^k
+	for i := range x {
+		xi := x[i]
+		p := 1.0
+		for k := 0; k < 5; k++ {
+			s[k] += p
+			if k < 3 {
+				t[k] += y[i] * p
+			}
+			p *= xi
+		}
+	}
+	A := [3][4]float64{
+		{s[0], s[1], s[2], t[0]},
+		{s[1], s[2], s[3], t[1]},
+		{s[2], s[3], s[4], t[2]},
+	}
+	for col := 0; col < 3; col++ {
+		piv := col
+		for r := col + 1; r < 3; r++ {
+			if math.Abs(A[r][col]) > math.Abs(A[piv][col]) {
+				piv = r
+			}
+		}
+		if math.Abs(A[piv][col]) < 1e-12 {
+			return [3]float64{}, errors.New("entropy: singular quadratic fit")
+		}
+		A[col], A[piv] = A[piv], A[col]
+		for r := col + 1; r < 3; r++ {
+			f := A[r][col] / A[col][col]
+			for c := col; c < 4; c++ {
+				A[r][c] -= f * A[col][c]
+			}
+		}
+	}
+	var c [3]float64
+	for i := 2; i >= 0; i-- {
+		v := A[i][3]
+		for j := i + 1; j < 3; j++ {
+			v -= A[i][j] * c[j]
+		}
+		c[i] = v / A[i][i]
+	}
+	return c, nil
+}

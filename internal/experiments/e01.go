@@ -1,0 +1,261 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hlpower/internal/bitutil"
+	"hlpower/internal/fsm"
+	"hlpower/internal/logic"
+	"hlpower/internal/rtlib"
+	"hlpower/internal/sim"
+	"hlpower/internal/trace"
+)
+
+func init() {
+	register("E1", "Table I: FIR filter capacitance before/after constant-multiplication conversion", runE1)
+}
+
+// firCoeffs are the 11 constant taps of the experiment's filter.
+var firCoeffs = []uint64{3, 7, 12, 21, 28, 31, 28, 21, 12, 7, 3}
+
+const (
+	e1Width   = 10
+	e1AccW    = 21
+	e1Samples = 50
+)
+
+// e1Schedule is the operand sequence of the time-multiplexed datapath
+// for one implementation: per control step, the operands presented to
+// the shared execution units and the accumulator value written back.
+type e1Schedule struct {
+	mulA, mulB []uint64 // shared multiplier operands (empty after the transformation)
+	addA, addB []uint64 // shared accumulator-adder operands
+	accWrites  []uint64 // accumulator register contents per step
+	steps      int      // schedule length per sample
+}
+
+// buildSchedules walks the sample stream through both schedules. Before:
+// one multiply (c_i × x_{t-i}) and one accumulate per tap. After: one
+// accumulate per set coefficient bit (x_{t-i} << s), no multiplier.
+func buildSchedules(xs []uint64) (before, after e1Schedule) {
+	taps := len(firCoeffs)
+	accMask := bitutil.Mask(e1AccW)
+	for t := taps - 1; t < len(xs); t++ {
+		var acc uint64
+		for i, c := range firCoeffs {
+			x := xs[t-i]
+			p := (c * x) & accMask
+			before.mulA = append(before.mulA, c)
+			before.mulB = append(before.mulB, x)
+			before.addA = append(before.addA, acc)
+			before.addB = append(before.addB, p)
+			acc = (acc + p) & accMask
+			before.accWrites = append(before.accWrites, acc)
+		}
+		acc = 0
+		for i, c := range firCoeffs {
+			x := xs[t-i]
+			for sh := 0; sh < 8; sh++ {
+				if c>>uint(sh)&1 == 0 {
+					continue
+				}
+				term := (x << uint(sh)) & accMask
+				after.addA = append(after.addA, acc)
+				after.addB = append(after.addB, term)
+				acc = (acc + term) & accMask
+				after.accWrites = append(after.accWrites, acc)
+			}
+		}
+	}
+	samples := len(xs) - taps + 1
+	before.steps = len(before.accWrites) / samples
+	after.steps = len(after.accWrites) / samples
+	return before, after
+}
+
+// buildCounterController synthesizes a mod-N counter FSM (the step
+// sequencer of the scheduled datapath) as the "control logic" row.
+func buildCounterController(steps int) (*logic.Netlist, error) {
+	if steps < 2 {
+		steps = 2
+	}
+	if steps > 40 {
+		steps = 40
+	}
+	f := &fsm.FSM{NumInputs: 1, NumOutputs: 2, NumStates: steps,
+		Next: make([][]int, steps), Out: make([][]uint64, steps)}
+	for s := 0; s < steps; s++ {
+		nxt := (s + 1) % steps
+		f.Next[s] = []int{nxt, nxt}
+		// Outputs: phase flags the steering logic decodes.
+		f.Out[s] = []uint64{uint64(s & 3), uint64(s & 3)}
+	}
+	return fsm.Synthesize(f, fsm.BinaryEncoding(steps))
+}
+
+// tableIRow aggregates the four Table I accounting rows: interconnect is
+// the statistical wire-load share of every toggle; the rest stays with
+// its row.
+type tableIRow struct {
+	Exec, RegClock, Ctrl, Interconnect float64
+}
+
+func (r tableIRow) total() float64 { return r.Exec + r.RegClock + r.Ctrl + r.Interconnect }
+
+// splitWire separates a simulation's switched capacitance into the wire
+// share (interconnect row) and the gate share (caller's row), returning
+// (gate, wire). Clock capacitance stays with the gate share.
+func splitWire(n *logic.Netlist, res *sim.Result) (gate, wire float64) {
+	fo := n.Fanouts()
+	isOut := make(map[int]bool)
+	for _, o := range n.Outputs {
+		isOut[o] = true
+	}
+	for id := range n.Gates {
+		toggles := float64(res.Toggles[id])
+		w := float64(len(fo[id])) * n.WireCapPerFanout
+		g := float64(len(fo[id])) * n.InputCap
+		if isOut[id] {
+			g += n.OutputLoad
+		}
+		wire += toggles * w
+		gate += toggles * g
+	}
+	gate += res.ByGroup["clock"]
+	return gate, wire
+}
+
+// simWords runs a netlist whose inputs form one bus over a word stream.
+func simWords(n *logic.Netlist, words []uint64, width int, opts sim.Options) (*sim.Result, error) {
+	prov := func(c int) []bool { return bitutil.ToBits(words[c], width) }
+	return sim.Run(n, prov, len(words), opts)
+}
+
+// measureImpl evaluates one implementation: shared execution units over
+// their operand schedules, the tap delay line, the accumulator register,
+// and the sized controller.
+func measureImpl(s e1Schedule, xs []uint64) (tableIRow, error) {
+	var row tableIRow
+	opts := sim.Options{Model: sim.EventDriven}
+
+	// Execution units.
+	if len(s.mulA) > 0 {
+		mul := rtlib.NewMultiplier(e1Width)
+		res, err := mul.SimulateStream(s.mulA, s.mulB, sim.EventDriven)
+		if err != nil {
+			return row, err
+		}
+		g, w := splitWire(mul.Net, res)
+		row.Exec += g
+		row.Interconnect += w
+	}
+	add := rtlib.NewAdder(e1AccW)
+	res, err := add.SimulateStream(s.addA, s.addB, sim.EventDriven)
+	if err != nil {
+		return row, err
+	}
+	g, w := splitWire(add.Net, res)
+	row.Exec += g
+	row.Interconnect += w
+
+	// Tap delay line: 11 chained 8-bit registers, one shift per sample.
+	line := logic.New()
+	in := line.AddInputBus("x", e1Width)
+	cur := in
+	for i := 0; i < len(firCoeffs); i++ {
+		cur = line.RegisterBus(cur, "reg")
+	}
+	line.MarkOutputBus(cur)
+	lres, err := simWords(line, xs, e1Width, sim.Options{Model: sim.ZeroDelay, TrackClock: true})
+	if err != nil {
+		return row, err
+	}
+	g, w = splitWire(line, lres)
+	row.RegClock += g
+	row.Interconnect += w
+
+	// Accumulator register: written every control step.
+	accN := logic.New()
+	accIn := accN.AddInputBus("d", e1AccW)
+	accQ := accN.RegisterBus(accIn, "reg")
+	accN.MarkOutputBus(accQ)
+	ares, err := simWords(accN, s.accWrites, e1AccW, sim.Options{Model: sim.ZeroDelay, TrackClock: true})
+	if err != nil {
+		return row, err
+	}
+	g, w = splitWire(accN, ares)
+	row.RegClock += g
+	row.Interconnect += w
+
+	// Controller: cycles once through its schedule per sample.
+	ctrl, err := buildCounterController(s.steps)
+	if err != nil {
+		return row, err
+	}
+	tick := make([][]bool, len(s.accWrites))
+	for i := range tick {
+		tick[i] = []bool{true}
+	}
+	cres, err := sim.Run(ctrl, sim.VectorInputs(tick), len(tick),
+		sim.Options{Model: opts.Model, TrackClock: true})
+	if err != nil {
+		return row, err
+	}
+	g, w = splitWire(ctrl, cres)
+	row.Ctrl += g
+	row.Interconnect += w
+	return row, nil
+}
+
+func runE1() (*Report, error) {
+	rng := rand.New(rand.NewSource(42))
+	xs := trace.AR1(e1Samples+len(firCoeffs), e1Width, 0.95, 0.15, rng)
+	schedBefore, schedAfter := buildSchedules(xs)
+
+	before, err := measureImpl(schedBefore, xs)
+	if err != nil {
+		return nil, err
+	}
+	after, err := measureImpl(schedAfter, xs)
+	if err != nil {
+		return nil, err
+	}
+
+	t := newTable(18, 14, 10, 14, 10)
+	t.row("", "before", "", "after", "")
+	t.row("component", "switched cap", "% total", "switched cap", "% total")
+	t.rule()
+	rows := []struct {
+		name string
+		b, a float64
+	}{
+		{"Execution units", before.Exec, after.Exec},
+		{"Registers/clock", before.RegClock, after.RegClock},
+		{"Control logic", before.Ctrl, after.Ctrl},
+		{"Interconnect", before.Interconnect, after.Interconnect},
+	}
+	for _, r := range rows {
+		t.row(r.name, f1(r.b), pct(r.b/before.total()), f1(r.a), pct(r.a/after.total()))
+	}
+	t.rule()
+	t.row("Total", f1(before.total()), "100.0%", f1(after.total()), "100.0%")
+
+	text := t.String() + fmt.Sprintf(
+		"\nschedule length: %d steps -> %d steps per sample\n"+
+			"execution-unit reduction: %.2fx (paper: ~7.9x)\n"+
+			"total reduction: %.2fx (paper: ~2.65x)\n"+
+			"control increased: %v (paper: yes)\n",
+		schedBefore.steps, schedAfter.steps,
+		before.Exec/after.Exec, before.total()/after.total(), after.Ctrl > before.Ctrl)
+
+	return &Report{
+		Text: text,
+		Figures: map[string]float64{
+			"exec_reduction":  before.Exec / after.Exec,
+			"total_reduction": before.total() / after.total(),
+			"ctrl_before":     before.Ctrl,
+			"ctrl_after":      after.Ctrl,
+		},
+	}, nil
+}

@@ -1,0 +1,404 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"hlpower/internal/bdd"
+	"hlpower/internal/bitutil"
+	"hlpower/internal/complexity"
+	"hlpower/internal/cover"
+	"hlpower/internal/entropy"
+	"hlpower/internal/fsm"
+	"hlpower/internal/isa"
+	"hlpower/internal/logic"
+	"hlpower/internal/rtlib"
+	"hlpower/internal/sim"
+	"hlpower/internal/stats"
+	"hlpower/internal/trace"
+	"hlpower/internal/verify"
+)
+
+func init() {
+	register("E6", "§II-A: profile-driven program synthesis (Hsieh et al.)", runE6)
+	register("E7", "§II-B1: information-theoretic power estimation", runE7)
+	register("E8", "§II-B1: Tyagi entropic lower bound on FSM switching", runE8)
+	register("E9", "§II-B2: Nemani–Najm linear-measure area model", runE9)
+}
+
+func runE6() (*Report, error) {
+	cfg := isa.DefaultConfig()
+	ep := isa.DefaultEnergyParams()
+	rng := rand.New(rand.NewSource(17))
+
+	refs := []struct {
+		name  string
+		prog  func() (isa.Program, error)
+		setup func(m *isa.Machine)
+	}{
+		{"fir-8x512", func() (isa.Program, error) { return isa.FIRFilter(8, 512) },
+			func(m *isa.Machine) {
+				isa.InitMem(m, 50, isa.RandomData(8, rng))
+				isa.InitMem(m, 100, isa.RandomData(600, rng))
+			}},
+		{"dot-2000", func() (isa.Program, error) { return isa.DotProduct(2000) },
+			func(m *isa.Machine) {
+				isa.InitMem(m, 100, isa.RandomData(4200, rng))
+			}},
+	}
+	t := newTable(12, 12, 12, 12, 10)
+	t.row("reference", "ref instrs", "syn instrs", "len ratio", "EPI err")
+	t.rule()
+	figures := map[string]float64{}
+	for _, r := range refs {
+		prog, err := r.prog()
+		if err != nil {
+			return nil, err
+		}
+		rep, err := isa.RunProfileSynthesis(prog, r.setup, cfg, ep, 120, 15, rng)
+		if err != nil {
+			return nil, err
+		}
+		t.row(r.name, fmt.Sprint(rep.OriginalInstructions), fmt.Sprint(rep.SyntheticInstructions),
+			f1(rep.LengthRatio), pct(rep.EPIError))
+		figures["ratio_"+r.name] = rep.LengthRatio
+		figures["err_"+r.name] = rep.EPIError
+	}
+	text := t.String() + "\npaper: 3-5 orders of magnitude simulation-time reduction at negligible error;\n" +
+		"the ratio here scales directly with the reference trace length (kept laptop-sized)\n"
+	return &Report{Text: text, Figures: figures}, nil
+}
+
+func runE7() (*Report, error) {
+	rng := rand.New(rand.NewSource(19))
+	vdd, freq := 1.0, 1.0
+
+	type circuit struct {
+		name string
+		net  *logic.Netlist
+		nIn  int
+	}
+	var circuits []circuit
+	add := rtlib.NewAdder(6)
+	mul := rtlib.NewMultiplier(5)
+	sub := rtlib.NewSubtractor(6)
+	cmp := rtlib.NewComparator(6)
+	circuits = append(circuits,
+		circuit{"add6", add.Net, 12},
+		circuit{"mul5", mul.Net, 10},
+		circuit{"sub6", sub.Net, 12},
+		circuit{"cmp6", cmp.Net, 12},
+	)
+	// Random two-level logic of several sizes.
+	for i, nv := range []int{8, 9, 10} {
+		n := logic.New()
+		in := n.AddInputBus("x", nv)
+		for o := 0; o < 4; o++ {
+			tt := complexity.RandomFunction(nv, 0.5, rng.Uint64)
+			var on []uint64
+			for j, v := range tt {
+				if v {
+					on = append(on, uint64(j))
+				}
+			}
+			cv, err := cover.Minimize(on, nv)
+			if err != nil {
+				return nil, err
+			}
+			n.MarkOutput(logic.FromCover(n, cv, in, "exec"))
+		}
+		circuits = append(circuits, circuit{fmt.Sprintf("rand%d_%d", nv, i), n, nv})
+	}
+
+	t := newTable(10, 10, 10, 10, 10, 10, 10)
+	t.row("circuit", "measured", "marcule.", "nemani", "ratioM", "ratioN", "hout")
+	t.rule()
+	var measuredAll, marcAll, nemAll []float64
+	var ferrandiSamples []entropy.FerrandiSample
+	var caRatios, feRatios []float64
+	for _, c := range circuits {
+		nIn := len(c.net.Inputs)
+		nOut := len(c.net.Outputs)
+		stream := trace.Uniform(1500, nIn, rng)
+		prov := func(cyc int) []bool { return bitutil.ToBits(stream[cyc], nIn) }
+		res, err := sim.Run(c.net, prov, len(stream), sim.Options{Model: sim.ZeroDelay})
+		if err != nil {
+			return nil, err
+		}
+		measured := 0.5 * vdd * vdd * freq * res.SwitchedCap / float64(res.Cycles)
+
+		// Entropies from the observed streams.
+		hin := trace.BitEntropy(stream, nIn) / float64(nIn)
+		outWords := make([]uint64, len(res.Outputs))
+		for i, o := range res.Outputs {
+			outWords[i] = bitutil.FromBits(o)
+		}
+		hout := trace.BitEntropy(outWords, nOut) / float64(nOut)
+		ctot := c.net.TotalCapacitance()
+		hM := entropy.MarculescuHavg(nIn, nOut, hin, hout)
+		hN := entropy.NemaniHavg(nIn, nOut, hin*float64(nIn), hout*float64(nOut))
+		pM := entropy.Power(ctot, hM, vdd, freq)
+		pN := entropy.Power(ctot, hN, vdd, freq)
+		measuredAll = append(measuredAll, measured)
+		marcAll = append(marcAll, pM)
+		nemAll = append(nemAll, pN)
+		t.row(c.name, f1(measured), f1(pM), f1(pN), f2(pM/measured), f2(pN/measured), f2(hout))
+		// Cheng–Agrawal pessimism shows on the arithmetic modules, whose
+		// real structure is far smaller than 2^n.
+		caRatios = append(caRatios, entropy.ChengAgrawalCtot(nIn, nOut, hout)/ctot)
+
+	}
+	corrM := stats.Pearson(measuredAll, marcAll)
+	corrN := stats.Pearson(measuredAll, nemAll)
+
+	// Capacitance models fitted over a homogeneous population of random
+	// synthesized logic ([12] regresses over "a large number of
+	// synthesized circuits" of one style).
+	for _, nv := range []int{7, 8, 9, 10} {
+		for rep := 0; rep < 3; rep++ {
+			nOut := 2 + rng.Intn(2)
+			n := logic.New()
+			in := n.AddInputBus("x", nv)
+			m := bdd.New(nv)
+			var houts float64
+			for o := 0; o < nOut; o++ {
+				tt := complexity.RandomFunction(nv, 0.3+0.4*rng.Float64(), rng.Uint64)
+				var on []uint64
+				for j, v := range tt {
+					if v {
+						on = append(on, uint64(j))
+					}
+				}
+				cv, err := cover.Minimize(on, nv)
+				if err != nil {
+					return nil, err
+				}
+				n.MarkOutput(logic.FromCover(n, cv, in, "exec"))
+				houts += trace.BinaryEntropy(complexity.OutputProbability(tt))
+			}
+			roots, err := verify.OutputBDDs(m, n)
+			if err != nil {
+				return nil, err
+			}
+			ferrandiSamples = append(ferrandiSamples, entropy.FerrandiSample{
+				BDDNodes: m.SharedNodeCount(roots), NumIn: nv, NumOut: nOut,
+				Hout: houts / float64(nOut), Ctot: n.TotalCapacitance(),
+			})
+		}
+	}
+	alpha, beta, err := entropy.FitFerrandi(ferrandiSamples)
+	if err != nil {
+		return nil, err
+	}
+	for _, s := range ferrandiSamples {
+		fe := entropy.FerrandiCtot(alpha, beta, s.BDDNodes, s.NumIn, s.NumOut, s.Hout)
+		feRatios = append(feRatios, fe/s.Ctot)
+	}
+	var caWorst float64
+	for _, r := range caRatios {
+		if r > caWorst {
+			caWorst = r
+		}
+	}
+	text := t.String() + fmt.Sprintf(
+		"\ncorrelation with gate-level power: marculescu %.2f, nemani-najm %.2f\n"+
+			"Ctot estimates: cheng-agrawal overestimates up to %.0fx at larger n (paper: pessimistic);\n"+
+			"ferrandi BDD-node regression mean |ratio-1| = %.2f (paper: improved fit)\n",
+		corrM, corrN, caWorst, meanAbsDev(feRatios))
+	return &Report{Text: text, Figures: map[string]float64{
+		"corr_marculescu": corrM,
+		"corr_nemani":     corrN,
+		"ca_worst_ratio":  caWorst,
+		"ferrandi_dev":    meanAbsDev(feRatios),
+	}}, nil
+}
+
+func meanAbsDev(ratios []float64) float64 {
+	var s float64
+	for _, r := range ratios {
+		d := r - 1
+		if d < 0 {
+			d = -d
+		}
+		s += d
+	}
+	if len(ratios) == 0 {
+		return 0
+	}
+	return s / float64(len(ratios))
+}
+
+func runE8() (*Report, error) {
+	rng := rand.New(rand.NewSource(23))
+	t := newTable(8, 8, 10, 10, 10, 10, 10)
+	t.row("states", "sparse", "bound", "binary", "gray", "one-hot", "low-power")
+	t.rule()
+	figures := map[string]float64{}
+	violations := 0
+	for trial, nStates := range []int{16, 24, 32, 48} {
+		f := fsm.Random(nStates, 2, 1, 0.12, rng)
+		p, err := f.TransitionProbabilities(nil)
+		if err != nil {
+			return nil, err
+		}
+		// Strip the ergodicity epsilon from non-structural edges.
+		structural := make(map[[2]int]bool)
+		for s := 0; s < f.NumStates; s++ {
+			for sym := 0; sym < f.NumSymbols(); sym++ {
+				structural[[2]int{s, f.Next[s][sym]}] = true
+			}
+		}
+		for i := range p {
+			for j := range p[i] {
+				if !structural[[2]int{i, j}] {
+					p[i][j] = 0
+				}
+			}
+		}
+		bound := entropy.TyagiBound(p)
+		sparse := entropy.Sparse(p)
+		costs := map[string]float64{
+			"binary":    fsm.WeightedHamming(fsm.BinaryEncoding(nStates), p),
+			"gray":      fsm.WeightedHamming(fsm.GrayEncoding(nStates), p),
+			"one-hot":   fsm.WeightedHamming(fsm.OneHotEncoding(nStates), p),
+			"low-power": fsm.WeightedHamming(fsm.LowPowerEncoding(f, p, 6000, rng), p),
+		}
+		for _, c := range costs {
+			if c < bound-1e-9 {
+				violations++
+			}
+		}
+		t.row(fmt.Sprint(nStates), fmt.Sprint(sparse), f3(bound),
+			f3(costs["binary"]), f3(costs["gray"]), f3(costs["one-hot"]), f3(costs["low-power"]))
+		figures[fmt.Sprintf("bound_%d", nStates)] = bound
+		figures[fmt.Sprintf("lp_%d", nStates)] = costs["low-power"]
+		_ = trial
+	}
+	figures["violations"] = float64(violations)
+
+	// Tyagi's asymptotic regime: the bound only becomes informative
+	// (positive) for thousands of states with near-uniform transition
+	// probabilities at the sparsity limit t = 2.23·T^1.72/sqrt(log T).
+	T := 4096
+	logT := math.Log2(float64(T))
+	tEdges := int(2.23 * math.Pow(float64(T), 1.72) / math.Sqrt(logT))
+	posBound := math.Log2(float64(tEdges)) - 1.52*logT - 2.16 + 0.5*math.Log2(logT)
+	// Expected Hamming switching of a random binary encoding over
+	// uniformly random edges: width/2 per transition.
+	width := 12 // minimal encoding of 4096 states
+	randomCost := float64(width) / 2
+	figures["asymptotic_bound"] = posBound
+	figures["asymptotic_random_cost"] = randomCost
+
+	text := t.String() + fmt.Sprintf(
+		"\nbound violations across all encodings: %d (paper: the bound holds for any encoding)\n"+
+			"asymptotic regime (T=%d, t=%d uniform edges): bound = %.2f > 0, while a\n"+
+			"minimal-width random encoding switches %.1f bits/transition — the bound is\n"+
+			"informative exactly where the paper derives it\n",
+		violations, T, tEdges, posBound, randomCost)
+	return &Report{Text: text, Figures: figures}, nil
+}
+
+func runE9() (*Report, error) {
+	rng := rand.New(rand.NewSource(29))
+	n := 7
+	t := newTable(10, 10, 10, 10)
+	t.row("out prob", "samples", "slope b", "R2")
+	t.rule()
+	figures := map[string]float64{}
+	for _, q := range []float64{0.2, 0.5, 0.8} {
+		var cs, as []float64
+		for i := 0; i < 50; i++ {
+			tt := complexity.RandomFunction(n, q, rng.Uint64)
+			c := complexity.LinearMeasure(tt, n)
+			a, err := complexity.OptimizedArea(tt, n)
+			if err != nil {
+				return nil, err
+			}
+			cs = append(cs, c)
+			as = append(as, float64(a))
+		}
+		m, err := complexity.FitAreaModel(cs, as)
+		if err != nil {
+			return nil, err
+		}
+		t.row(f2(q), "50", f3(m.B), f3(m.R2))
+		figures[fmt.Sprintf("slope_q%.1f", q)] = m.B
+		figures[fmt.Sprintf("r2_q%.1f", q)] = m.R2
+	}
+
+	// Landman–Rabaey controller model: fit CI/CO on a training population
+	// of synthesized random controllers, then predict fresh ones.
+	mkSample := func(seed int64) (complexity.LandmanRabaeySample, error) {
+		r := rand.New(rand.NewSource(seed))
+		f := fsm.Random(4+r.Intn(8), 2, 2, 0.4, r)
+		enc := fsm.BinaryEncoding(f.NumStates)
+		net, err := fsm.Synthesize(f, enc)
+		if err != nil {
+			return complexity.LandmanRabaeySample{}, err
+		}
+		symbols := make([]int, 600)
+		for i := range symbols {
+			symbols[i] = r.Intn(f.NumSymbols())
+		}
+		prov := func(c int) []bool { return bitutil.ToBits(uint64(symbols[c]), f.NumInputs) }
+		res, err := sim.Run(net, prov, len(symbols), sim.Options{})
+		if err != nil {
+			return complexity.LandmanRabaeySample{}, err
+		}
+		// Structural counts and measured line activities.
+		stateStream := make([]uint64, len(symbols))
+		states, _ := f.Simulate(symbols)
+		for c := range symbols {
+			stateStream[c] = uint64(symbols[c]) | enc.Codes[states[c]]<<uint(f.NumInputs)
+		}
+		outWords := make([]uint64, len(res.Outputs))
+		for c, o := range res.Outputs {
+			outWords[c] = bitutil.FromBits(o)
+		}
+		nm := 0
+		// Minterms of the synthesized covers ~ use the simple proxy of the
+		// machine's transition count, matching the model's NM role.
+		nm = f.NumStates * f.NumSymbols()
+		return complexity.LandmanRabaeySample{
+			NI:    f.NumInputs + enc.Width,
+			NO:    f.NumOutputs + enc.Width,
+			EI:    bitutil.MeanActivity(stateStream, f.NumInputs+enc.Width),
+			EO:    bitutil.MeanActivity(outWords, f.NumOutputs),
+			NM:    nm,
+			Power: res.Power(),
+		}, nil
+	}
+	var train []complexity.LandmanRabaeySample
+	for i := int64(0); i < 24; i++ {
+		smp, err := mkSample(1000 + i)
+		if err != nil {
+			return nil, err
+		}
+		train = append(train, smp)
+	}
+	lr, err := complexity.FitLandmanRabaey(train, 1, 1)
+	if err != nil {
+		return nil, err
+	}
+	var relSum float64
+	nTest := 8
+	for i := int64(0); i < int64(nTest); i++ {
+		smp, err := mkSample(5000 + i)
+		if err != nil {
+			return nil, err
+		}
+		relSum += stats.RelError(lr.Predict(smp), smp.Power)
+	}
+	lrErr := relSum / float64(nTest)
+	figures["landman_err"] = lrErr
+
+	text := t.String() + fmt.Sprintf(
+		"\npaper: optimized area follows an exponential-family regression in the\n"+
+			"linear complexity measure, fit per output-probability band (positive slopes)\n"+
+			"landman-rabaey controller model (CI=%.2f, CO=%.2f) predicts fresh\n"+
+			"controllers with %.0f%% mean error (paper: empirical coefficients raise accuracy)\n",
+		lr.CI, lr.CO, lrErr*100)
+	return &Report{Text: text, Figures: figures}, nil
+}

@@ -1,0 +1,248 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hlpower/internal/bitutil"
+	"hlpower/internal/bus"
+	"hlpower/internal/cdfg"
+	"hlpower/internal/fsm"
+	"hlpower/internal/hls"
+	"hlpower/internal/sim"
+	"hlpower/internal/trace"
+	"hlpower/internal/vsched"
+)
+
+func init() {
+	register("E14", "§III-E: activity-aware resource allocation (Raghunathan-Jha)", runE14)
+	register("E15", "§III-F: multiple supply-voltage scheduling (Chang-Pedram)", runE15)
+	register("E16", "§III-G: bus encoding comparison", runE16)
+	register("E17", "§III-H: low-power FSM state encoding", runE17)
+}
+
+// e14Graph is a wider variant of the slow/fast contrast datapath.
+func e14Graph(pairs int) (*cdfg.Graph, cdfg.Schedule, error) {
+	g := cdfg.New()
+	var slow, fast []int
+	for i := 0; i < pairs; i++ {
+		a := g.Input(fmt.Sprintf("s%da", i))
+		b := g.Input(fmt.Sprintf("s%db", i))
+		slow = append(slow, g.Op(cdfg.Add, a, b))
+	}
+	for i := 0; i < pairs; i++ {
+		a := g.Input(fmt.Sprintf("f%da", i))
+		b := g.Input(fmt.Sprintf("f%db", i))
+		fast = append(fast, g.Op(cdfg.Add, a, b))
+	}
+	var prods []int
+	for i := 0; i < pairs; i++ {
+		prods = append(prods, g.Op(cdfg.Mul, slow[i], fast[i]))
+	}
+	acc := prods[0]
+	for i := 1; i < len(prods); i++ {
+		acc = g.Op(cdfg.Add, acc, prods[i])
+	}
+	g.MarkOutput(acc)
+	s, err := g.ListSchedule(map[cdfg.OpKind]int{cdfg.Add: 2, cdfg.Mul: 2}, nil)
+	return g, s, err
+}
+
+func runE14() (*Report, error) {
+	g, s, err := e14Graph(4)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(47))
+	walk := map[string]int64{}
+	gen := func(name string, sample int) int64 {
+		if name[0] == 's' {
+			v := walk[name] + int64(rng.Intn(3)-1)
+			walk[name] = v
+			return v & 0xFFF
+		}
+		return int64(rng.Intn(1 << hls.WordWidth))
+	}
+	tr, err := hls.SimulateTraces(g, 500, gen)
+	if err != nil {
+		return nil, err
+	}
+	var oblivious float64
+	const runs = 9
+	for i := 0; i < runs; i++ {
+		ob, err := hls.Allocate(g, s, tr, hls.Options{Rng: rand.New(rand.NewSource(int64(900 + i)))})
+		if err != nil {
+			return nil, err
+		}
+		oblivious += ob.SwitchedBits(tr)
+	}
+	oblivious /= runs
+	aware, err := hls.Allocate(g, s, tr, hls.Options{ActivityAware: true, Rng: rng})
+	if err != nil {
+		return nil, err
+	}
+	awareCost := aware.SwitchedBits(tr)
+	saving := 1 - awareCost/oblivious
+
+	t := newTable(30, 14)
+	t.row("metric", "value")
+	t.rule()
+	t.row("registers allocated", fmt.Sprint(aware.NumRegs))
+	t.row("adders / multipliers", fmt.Sprintf("%d / %d", aware.NumFUs[cdfg.Add], aware.NumFUs[cdfg.Mul]))
+	t.row("oblivious switched bits", f1(oblivious))
+	t.row("activity-aware switched bits", f1(awareCost))
+	t.row("saving", pct(saving))
+	t.row("mux inputs (steering)", fmt.Sprint(aware.MuxInputs()))
+	text := t.String() + "\npaper: activity-aware allocation saves ~5-33% over conventional binding,\n" +
+		"while keeping the steering/interconnect requirement under control\n"
+	return &Report{Text: text, Figures: map[string]float64{
+		"saving":     saving,
+		"mux_inputs": float64(aware.MuxInputs()),
+	}}, nil
+}
+
+func runE15() (*Report, error) {
+	g := cdfg.FIR([]int64{3, 7, 12, 21, 12, 7, 3})
+	lib := vsched.DefaultLibrary()
+	cp := g.CriticalPath(nil)
+	full := vsched.FullVoltageEnergy(g, lib)
+
+	times, energies, err := vsched.Curve(g, lib)
+	if err != nil {
+		return nil, err
+	}
+	t := newTable(12, 14, 12)
+	t.row("latency", "energy", "vs 5V-only")
+	t.rule()
+	for i := range times {
+		t.row(fmt.Sprint(times[i]), f2(energies[i]), pct(1-energies[i]/full))
+	}
+	relaxed, err := vsched.Schedule(g, lib, cp*3)
+	if err != nil {
+		return nil, err
+	}
+	lowOps := 0
+	totalOps := 0
+	for _, l := range relaxed.Level {
+		if l >= 0 {
+			totalOps++
+			if l > 0 {
+				lowOps++
+			}
+		}
+	}
+	saving := 1 - relaxed.Energy/full
+	text := t.String() + fmt.Sprintf(
+		"\ncritical path %d steps; at 3x latency, %d/%d ops run below 5V, saving %.0f%%\n"+
+			"paper: off-critical operations at reduced Vdd cut energy at bounded latency cost\n",
+		cp, lowOps, totalOps, saving*100)
+	return &Report{Text: text, Figures: map[string]float64{
+		"curve_points": float64(len(times)),
+		"saving_3x":    saving,
+		"low_ops":      float64(lowOps),
+	}}, nil
+}
+
+func runE16() (*Report, error) {
+	rng := rand.New(rand.NewSource(53))
+	const w = 16
+	streams := []struct {
+		name string
+		data []uint64
+	}{
+		{"random data", trace.Uniform(6000, w, rng)},
+		{"sequential addr", trace.Sequential(6000, w, 0x100)},
+		{"interleaved zones", trace.InterleavedZones(6000, w, []trace.ZoneSpec{
+			{Base: 0x1000, Length: 300}, {Base: 0x8000, Length: 300}, {Base: 0x4000, Length: 300},
+		})},
+		{"block-correlated", trace.BlockCorrelated(6000, w, 4, 4, 0.92, rng)},
+	}
+	mkCodes := func(train []uint64) []bus.Encoder {
+		return []bus.Encoder{
+			&bus.Raw{Width: w},
+			&bus.BusInvert{Width: w},
+			&bus.GrayCode{Width: w},
+			&bus.T0{Width: w},
+			bus.NewWorkingZone(w, 4, 10),
+			bus.TrainBeach(train, w, 4, 4),
+		}
+	}
+	t := newTable(18, 9, 9, 9, 9, 9, 9)
+	t.row("stream", "binary", "businv", "gray", "t0", "wzone", "beach")
+	t.rule()
+	figures := map[string]float64{}
+	for _, s := range streams {
+		train, test := s.data[:3000], s.data[3000:]
+		cells := []string{s.name}
+		for _, e := range mkCodes(train) {
+			per := bus.PerWord(e, test)
+			cells = append(cells, f2(per))
+			figures[s.name+"/"+e.Name()] = per
+		}
+		t.row(cells...)
+	}
+	text := t.String() + "\ntransitions per transmitted word (lower is better). paper: bus-invert wins on\n" +
+		"random data (<= N/2+1 worst case); gray ~1 and t0 ~0 on sequential addresses;\n" +
+		"working-zone on interleaved arrays; beach on block-correlated traces\n"
+	return &Report{Text: text, Figures: figures}, nil
+}
+
+func runE17() (*Report, error) {
+	rng := rand.New(rand.NewSource(59))
+	f := fsm.Random(12, 2, 2, 0.15, rng)
+	p, err := f.TransitionProbabilities(nil)
+	if err != nil {
+		return nil, err
+	}
+	encs := []struct {
+		name string
+		enc  *fsm.Encoding
+	}{
+		{"binary", fsm.BinaryEncoding(f.NumStates)},
+		{"gray", fsm.GrayEncoding(f.NumStates)},
+		{"one-hot", fsm.OneHotEncoding(f.NumStates)},
+		{"low-power", fsm.LowPowerEncoding(f, p, 8000, rng)},
+	}
+	// Common input stream for synthesized-netlist power measurement.
+	symbols := make([]int, 1500)
+	for i := range symbols {
+		symbols[i] = rng.Intn(f.NumSymbols())
+	}
+	t := newTable(12, 14, 14, 12)
+	t.row("encoding", "wham (model)", "netlist cap", "state bits")
+	t.rule()
+	figures := map[string]float64{}
+	var outputsRef []uint64
+	for i, e := range encs {
+		cost := fsm.WeightedHamming(e.enc, p)
+		net, err := fsm.Synthesize(f, e.enc)
+		if err != nil {
+			return nil, err
+		}
+		prov := func(c int) []bool { return bitutil.ToBits(uint64(symbols[c]), f.NumInputs) }
+		res, err := sim.Run(net, prov, len(symbols), sim.Options{Model: sim.EventDriven, TrackClock: true})
+		if err != nil {
+			return nil, err
+		}
+		// Functional cross-check across encodings.
+		outs := make([]uint64, len(res.Outputs))
+		for c, o := range res.Outputs {
+			outs[c] = bitutil.FromBits(o)
+		}
+		if i == 0 {
+			outputsRef = outs
+		} else {
+			for c := range outs {
+				if outs[c] != outputsRef[c] {
+					return nil, fmt.Errorf("encoding %s diverges at cycle %d", e.name, c)
+				}
+			}
+		}
+		t.row(e.name, f3(cost), f1(res.SwitchedCap), fmt.Sprint(e.enc.Width))
+		figures["wham_"+e.name] = cost
+		figures["cap_"+e.name] = res.SwitchedCap
+	}
+	text := t.String() + "\npaper: embedding high-probability transitions at low Hamming distance cuts\n" +
+		"state-register switching; the synthesized netlist tracks the weighted-Hamming model\n"
+	return &Report{Text: text, Figures: figures}, nil
+}

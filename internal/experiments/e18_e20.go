@@ -1,0 +1,253 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hlpower/internal/bitutil"
+	"hlpower/internal/fsm"
+	"hlpower/internal/logic"
+	"hlpower/internal/lopt"
+	"hlpower/internal/memmodel"
+	"hlpower/internal/sim"
+	"hlpower/internal/trace"
+)
+
+func init() {
+	register("E18", "§III-I: precomputation, gated clocks, guarded evaluation", runE18)
+	register("E19", "§III-J: power-driven retiming (glitch filtering)", runE19)
+	register("E20", "§II-C1: Liu-Svensson SRAM organization sweep", runE20)
+}
+
+func runE18() (*Report, error) {
+	figures := map[string]float64{}
+	t := newTable(22, 16, 16, 10)
+	t.row("technique", "baseline cap", "optimized cap", "saving")
+	t.rule()
+
+	// --- Precomputation on the structural comparator (the canonical
+	// example of [99], wide enough that block A dominates the predictors).
+	w := 12
+	nIn := 2 * w
+	res := lopt.PrecomputeComparator(w)
+	rng := rand.New(rand.NewSource(61))
+	stream := trace.Uniform(800, nIn, rng)
+	prov := func(c int) []bool { return bitutil.ToBits(stream[c], nIn) }
+	base, err := sim.Run(res.Baseline, prov, len(stream), sim.Options{Model: sim.EventDriven})
+	if err != nil {
+		return nil, err
+	}
+	pre, err := sim.Run(res.Precomputed, prov, len(stream), sim.Options{Model: sim.EventDriven})
+	if err != nil {
+		return nil, err
+	}
+	s1 := 1 - pre.SwitchedCap/base.SwitchedCap
+	t.row("precomputation", f1(base.SwitchedCap), f1(pre.SwitchedCap), pct(s1))
+	figures["precompute_saving"] = s1
+	figures["precompute_prob"] = res.ProbShut
+
+	// --- Gated clock on a hold-heavy controller.
+	f := &fsm.FSM{NumInputs: 1, NumOutputs: 2, NumStates: 8,
+		Next: make([][]int, 8), Out: make([][]uint64, 8)}
+	for s := 0; s < 8; s++ {
+		f.Next[s] = []int{s, (s + 1) % 8}
+		f.Out[s] = []uint64{uint64(s & 3), uint64(s & 3)}
+	}
+	enc := fsm.BinaryEncoding(8)
+	plain, err := fsm.Synthesize(f, enc)
+	if err != nil {
+		return nil, err
+	}
+	gated, err := lopt.GatedController(f, enc)
+	if err != nil {
+		return nil, err
+	}
+	symbols := make([][]bool, 1000)
+	for i := range symbols {
+		symbols[i] = []bool{rng.Float64() < 0.15} // 85% hold
+	}
+	a, err := sim.Run(plain, sim.VectorInputs(symbols), len(symbols),
+		sim.Options{Model: sim.EventDriven, TrackClock: true})
+	if err != nil {
+		return nil, err
+	}
+	b, err := sim.Run(gated, sim.VectorInputs(symbols), len(symbols),
+		sim.Options{Model: sim.EventDriven, TrackClock: true, GateClock: true})
+	if err != nil {
+		return nil, err
+	}
+	s2 := 1 - b.SwitchedCap/a.SwitchedCap
+	t.row("gated clock", f1(a.SwitchedCap), f1(b.SwitchedCap), pct(s2))
+	figures["gated_saving"] = s2
+	figures["gated_clock_saving"] = 1 - b.ByGroup["clock"]/a.ByGroup["clock"]
+
+	// --- Guarded evaluation on a mux of deep cones.
+	nl := logic.New()
+	sel := nl.AddInput("sel")
+	x := nl.AddInputBus("x", 12)
+	z := nl.AddInputBus("z", 12)
+	h := x[0]
+	for i := 1; i < 12; i++ {
+		h = nl.Add(logic.Xor, h, x[i])
+	}
+	gg := z[0]
+	for i := 1; i < 12; i++ {
+		if i%2 == 0 {
+			gg = nl.Add(logic.And, gg, z[i])
+		} else {
+			gg = nl.Add(logic.Or, gg, z[i])
+		}
+	}
+	nl.MarkOutput(nl.Add(logic.Mux, sel, h, gg))
+	guarded, cones := lopt.GuardEvaluation(nl)
+	vectors := make([][]bool, 1000)
+	for c := range vectors {
+		vec := make([]bool, 25)
+		vec[0] = rng.Float64() < 0.9 // xor cone deselected 90% of cycles
+		for i := 1; i < len(vec); i++ {
+			vec[i] = rng.Intn(2) == 1
+		}
+		vectors[c] = vec
+	}
+	ga, err := sim.Run(nl, sim.VectorInputs(vectors), len(vectors), sim.Options{Model: sim.EventDriven})
+	if err != nil {
+		return nil, err
+	}
+	gb, err := sim.Run(guarded, sim.VectorInputs(vectors), len(vectors), sim.Options{Model: sim.EventDriven})
+	if err != nil {
+		return nil, err
+	}
+	s3 := 1 - gb.SwitchedCap/ga.SwitchedCap
+	t.row("guarded evaluation", f1(ga.SwitchedCap), f1(gb.SwitchedCap), pct(s3))
+	figures["guarded_saving"] = s3
+	figures["guarded_cones"] = float64(cones)
+
+	text := t.String() + fmt.Sprintf(
+		"\nprecomputation shutdown probability: %.2f; gated-clock tree saving: %s\n"+
+			"paper: each shutdown technique pays off in proportion to its idle probability\n",
+		res.ProbShut, pct(figures["gated_clock_saving"]))
+	return &Report{Text: text, Figures: figures}, nil
+}
+
+func runE19() (*Report, error) {
+	// Deep unbalanced xor network (glitch generator) feeding further
+	// logic: compare output-register-only vs power-driven register
+	// placement.
+	n := logic.New()
+	in := n.AddInputBus("x", 12)
+	cur := in[0]
+	var mids []int
+	for i := 1; i < 12; i++ {
+		cur = n.Add(logic.Xor, cur, in[i])
+		mids = append(mids, cur)
+	}
+	tail := cur
+	for i := 0; i < 10; i++ {
+		tail = n.Add(logic.Xor, tail, mids[i%len(mids)])
+	}
+	n.MarkOutput(tail)
+
+	rng := rand.New(rand.NewSource(67))
+	stream := trace.Uniform(250, 12, rng)
+	prov := func(c int) []bool { return bitutil.ToBits(stream[c], 12) }
+
+	baseline, err := sim.Run(n, prov, len(stream), sim.Options{Model: sim.EventDriven})
+	if err != nil {
+		return nil, err
+	}
+	t := newTable(12, 16, 14)
+	t.row("cut depth", "switched cap", "vs baseline")
+	t.rule()
+	t.row("none", f1(baseline.SwitchedCap), "-")
+	maxDepth := n.Depth()
+	figures := map[string]float64{"baseline": baseline.SwitchedCap}
+	bestDepth, bestNet, err := lopt.RetimeForPower(n, prov, len(stream))
+	if err != nil {
+		return nil, err
+	}
+	for d := 1; d < maxDepth; d += 3 {
+		cut, err := lopt.PipelineCut(n, d)
+		if err != nil {
+			return nil, err
+		}
+		res, err := sim.Run(cut, prov, len(stream), sim.Options{Model: sim.EventDriven})
+		if err != nil {
+			return nil, err
+		}
+		t.row(fmt.Sprint(d), f1(res.SwitchedCap), f2(res.SwitchedCap/baseline.SwitchedCap))
+		figures[fmt.Sprintf("cut_%d", d)] = res.SwitchedCap
+	}
+	bestRes, err := sim.Run(bestNet, prov, len(stream), sim.Options{Model: sim.EventDriven})
+	if err != nil {
+		return nil, err
+	}
+	figures["best_depth"] = float64(bestDepth)
+	figures["best_cap"] = bestRes.SwitchedCap
+	figures["logic_saving"] = 1 - bestRes.ByGroup["logic"]/baseline.ByGroup["logic"]
+	text := t.String() + fmt.Sprintf(
+		"\npower-driven choice: cut at depth %d, logic switching saving %s\n"+
+			"paper: registers placed after glitchy gates filter spurious transitions\n",
+		bestDepth, pct(figures["logic_saving"]))
+	return &Report{Text: text, Figures: figures}, nil
+}
+
+func runE20() (*Report, error) {
+	p := memmodel.DefaultMemoryParams()
+	n := 14
+	sweep, err := memmodel.MemorySweep(p, n)
+	if err != nil {
+		return nil, err
+	}
+	best, err := memmodel.OptimalK(p, n)
+	if err != nil {
+		return nil, err
+	}
+	t := newTable(6, 12, 12, 12, 12, 12, 12)
+	t.row("k", "cells", "rowdec", "wordline", "colsel", "sense", "total")
+	t.rule()
+	for _, b := range sweep {
+		mark := ""
+		if b.K == best {
+			mark = " *"
+		}
+		t.row(fmt.Sprint(b.K)+mark, f1(b.Cells), f1(b.RowDecoder), f1(b.WordLine),
+			f1(b.ColumnSel), f1(b.SenseAmps), f1(b.Total()))
+	}
+	figures := map[string]float64{
+		"optimal_k":    float64(best),
+		"best_total":   sweep[best].Total(),
+		"k0_total":     sweep[0].Total(),
+		"kn_total":     sweep[n].Total(),
+		"edge_penalty": sweep[n].Total() / sweep[best].Total(),
+	}
+	// Whole-chip parametric estimate (the [42] processor decomposition).
+	cfg := memmodel.ProcessorConfig{
+		Mem: p, MemBits: n, MemSplitK: best,
+		NumFF: 4096, DieSide: 10, LogicGates: 80000, Activity: 0.15,
+		BusWidth: 32, BusLength: 8, Pins: 96, Vdd: 1, Freq: 1,
+	}
+	proc, err := memmodel.Processor(cfg)
+	if err != nil {
+		return nil, err
+	}
+	t2 := newTable(10, 12, 10)
+	t2.row("component", "power", "% total")
+	t2.rule()
+	for _, c := range []struct {
+		name string
+		v    float64
+	}{
+		{"memory", proc.Memory}, {"clock", proc.Clock}, {"logic", proc.Logic},
+		{"bus", proc.Bus}, {"pads", proc.Pads},
+	} {
+		t2.row(c.name, f1(c.v), pct(c.v/proc.Total()))
+	}
+	figures["proc_total"] = proc.Total()
+	figures["proc_mem_share"] = proc.Memory / proc.Total()
+
+	text := t.String() + "\n" + t2.String() + fmt.Sprintf(
+		"\n2^%d-bit SRAM: optimal column split k=%d (interior); extreme aspect ratios cost up to %.1fx\n"+
+			"paper: the parametric model decomposes whole-chip power by component without a netlist\n",
+		n, best, figures["edge_penalty"])
+	return &Report{Text: text, Figures: figures}, nil
+}

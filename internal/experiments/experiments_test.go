@@ -1,0 +1,301 @@
+package experiments
+
+// These tests pin the *shape* of every reproduced result: who wins, in
+// which direction, and within which band — the reproduction contract
+// stated in DESIGN.md. Absolute values are allowed to differ from the
+// paper (our substrate is a unit-capacitance simulator, not the authors'
+// testbed).
+
+import (
+	"strings"
+	"testing"
+)
+
+func run(t *testing.T, id string) *Report {
+	t.Helper()
+	rep, err := Run(id)
+	if err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	if rep.Text == "" || len(rep.Figures) == 0 {
+		t.Fatalf("%s: empty report", id)
+	}
+	return rep
+}
+
+func TestRegistryComplete(t *testing.T) {
+	ids := IDs()
+	if len(ids) != 20 {
+		t.Fatalf("registered %d experiments, want 20: %v", len(ids), ids)
+	}
+	if ids[0] != "E1" || ids[19] != "E20" {
+		t.Errorf("ordering wrong: %v", ids)
+	}
+	for _, id := range ids {
+		if Title(id) == "" {
+			t.Errorf("%s has no title", id)
+		}
+	}
+	if _, err := Run("E99"); err == nil {
+		t.Error("unknown id should fail")
+	}
+}
+
+func TestE1TableIShape(t *testing.T) {
+	rep := run(t, "E1")
+	if rep.Figures["exec_reduction"] < 2 {
+		t.Errorf("execution-unit reduction %v, want substantial (paper ~7.9x)", rep.Figures["exec_reduction"])
+	}
+	if rep.Figures["total_reduction"] < 1.2 {
+		t.Errorf("total reduction %v, want >1.2 (paper ~2.65x)", rep.Figures["total_reduction"])
+	}
+	if rep.Figures["ctrl_after"] <= rep.Figures["ctrl_before"] {
+		t.Error("control capacitance should increase after the transformation (paper: yes)")
+	}
+	if !strings.Contains(rep.Text, "Execution units") {
+		t.Error("table missing")
+	}
+}
+
+func TestE2MemoryShape(t *testing.T) {
+	rep := run(t, "E2")
+	if rep.Figures["removed_accesses"] != rep.Figures["expected_2n"] {
+		t.Errorf("removed %v accesses, want exactly 2n = %v",
+			rep.Figures["removed_accesses"], rep.Figures["expected_2n"])
+	}
+	if rep.Figures["energy_ratio"] <= 1 {
+		t.Error("transformation must reduce energy")
+	}
+}
+
+func TestE3ShutdownShape(t *testing.T) {
+	rep := run(t, "E3")
+	imp := func(k string) float64 { return rep.Figures["imp_"+k] }
+	if imp("srivastava-threshold") <= imp("static-timeout") {
+		t.Errorf("predictive %v should beat static %v", imp("srivastava-threshold"), imp("static-timeout"))
+	}
+	if imp("oracle") < imp("srivastava-threshold") {
+		t.Error("nothing beats the oracle")
+	}
+	if imp("oracle") > rep.Figures["bound"] {
+		t.Error("oracle exceeds the 1+TI/TA bound")
+	}
+	if imp("srivastava-threshold") < 10 {
+		t.Errorf("predictive improvement %v too small for an idle-dominated trace", imp("srivastava-threshold"))
+	}
+	if rep.Figures["delay_srivastava-threshold"] > 0.15 {
+		t.Errorf("delay penalty %v too large", rep.Figures["delay_srivastava-threshold"])
+	}
+}
+
+func TestE4TransformShape(t *testing.T) {
+	rep := run(t, "E4")
+	if rep.Figures["poly2_energy_saving"] <= 0 || rep.Figures["poly3_energy_saving"] <= 0 {
+		t.Error("transformations must save operation energy")
+	}
+	if rep.Figures["poly3_cp_cost"] <= 0 {
+		t.Error("3rd-order transformation must lengthen the critical path (the paper's point)")
+	}
+}
+
+func TestE5TiwariShape(t *testing.T) {
+	rep := run(t, "E5")
+	if rep.Figures["mean_error"] > 0.08 {
+		t.Errorf("mean error %v, want < 8%%", rep.Figures["mean_error"])
+	}
+	if rep.Figures["worst_error"] > 0.15 {
+		t.Errorf("worst error %v, want < 15%%", rep.Figures["worst_error"])
+	}
+}
+
+func TestE6SynthesisShape(t *testing.T) {
+	rep := run(t, "E6")
+	for k, v := range rep.Figures {
+		if strings.HasPrefix(k, "ratio_") && v < 5 {
+			t.Errorf("%s = %v, want a large trace-length reduction", k, v)
+		}
+		if strings.HasPrefix(k, "err_") && v > 0.2 {
+			t.Errorf("%s = %v, want small power error", k, v)
+		}
+	}
+}
+
+func TestE7EntropyShape(t *testing.T) {
+	rep := run(t, "E7")
+	if rep.Figures["corr_marculescu"] < 0.9 || rep.Figures["corr_nemani"] < 0.9 {
+		t.Errorf("entropy estimates should track measured power: corrs %v, %v",
+			rep.Figures["corr_marculescu"], rep.Figures["corr_nemani"])
+	}
+	if rep.Figures["ca_worst_ratio"] < 3 {
+		t.Errorf("cheng-agrawal should be pessimistic on structured circuits, worst ratio %v",
+			rep.Figures["ca_worst_ratio"])
+	}
+	if rep.Figures["ferrandi_dev"] > 1.0 {
+		t.Errorf("ferrandi fit deviation %v too large", rep.Figures["ferrandi_dev"])
+	}
+}
+
+func TestE8TyagiShape(t *testing.T) {
+	rep := run(t, "E8")
+	if rep.Figures["violations"] != 0 {
+		t.Errorf("%v encodings beat the lower bound — impossible", rep.Figures["violations"])
+	}
+	if rep.Figures["asymptotic_bound"] <= 0 {
+		t.Error("the asymptotic-regime bound should be positive")
+	}
+	if rep.Figures["asymptotic_bound"] > rep.Figures["asymptotic_random_cost"] {
+		t.Error("bound must stay below the random-encoding cost")
+	}
+}
+
+func TestE9AreaShape(t *testing.T) {
+	rep := run(t, "E9")
+	for _, q := range []string{"0.2", "0.5", "0.8"} {
+		if rep.Figures["slope_q"+q] <= 0 {
+			t.Errorf("area-vs-complexity slope at q=%s should be positive", q)
+		}
+	}
+	if rep.Figures["landman_err"] > 0.25 {
+		t.Errorf("landman-rabaey prediction error %v too large", rep.Figures["landman_err"])
+	}
+}
+
+func TestE10LadderShape(t *testing.T) {
+	rep := run(t, "E10")
+	for _, mod := range []string{"add8", "mul8"} {
+		pfa := rep.Figures[mod+"_pfa_cycle"]
+		ca := rep.Figures[mod+"_cycle-accurate_cycle"]
+		if ca >= pfa {
+			t.Errorf("%s: cycle-accurate (%v) should beat PFA (%v) on cycle error", mod, ca, pfa)
+		}
+		if rep.Figures[mod+"_cycle-accurate_avg"] > 0.10 {
+			t.Errorf("%s: cycle-accurate avg error %v exceeds the paper's 5-10%% band",
+				mod, rep.Figures[mod+"_cycle-accurate_avg"])
+		}
+		if rep.Figures[mod+"_cycle-accurate_cycle"] > 0.25 {
+			t.Errorf("%s: cycle error %v well above the 10-20%% band",
+				mod, rep.Figures[mod+"_cycle-accurate_cycle"])
+		}
+	}
+}
+
+func TestE11SamplingShape(t *testing.T) {
+	rep := run(t, "E11")
+	if rep.Figures["sampler_speedup"] < 20 {
+		t.Errorf("sampler speedup %v, want >= 20x (paper ~50x)", rep.Figures["sampler_speedup"])
+	}
+	if rep.Figures["sampler_vs_census"] > 0.05 {
+		t.Errorf("sampler deviation from census %v, want ~1%%", rep.Figures["sampler_vs_census"])
+	}
+	if rep.Figures["adaptive_error"] > rep.Figures["census_bias"]/3 {
+		t.Errorf("adaptive error %v should slash the census bias %v",
+			rep.Figures["adaptive_error"], rep.Figures["census_bias"])
+	}
+}
+
+func TestE12ColdShape(t *testing.T) {
+	rep := run(t, "E12")
+	if rep.Figures["reduction"] < 0.05 {
+		t.Errorf("cold scheduling reduction %v too small", rep.Figures["reduction"])
+	}
+}
+
+func TestE13PMShape(t *testing.T) {
+	rep := run(t, "E13")
+	if rep.Figures["manageable"] < 1 {
+		t.Error("no manageable muxes found")
+	}
+	if rep.Figures["saving"] < 0.1 {
+		t.Errorf("PM scheduling saving %v too small", rep.Figures["saving"])
+	}
+}
+
+func TestE14AllocationShape(t *testing.T) {
+	rep := run(t, "E14")
+	if s := rep.Figures["saving"]; s < 0.02 || s > 0.5 {
+		t.Errorf("allocation saving %v outside the plausible 5-33%% region", s)
+	}
+}
+
+func TestE15MultiVddShape(t *testing.T) {
+	rep := run(t, "E15")
+	if rep.Figures["curve_points"] < 3 {
+		t.Error("energy-delay curve should have several tradeoff points")
+	}
+	if rep.Figures["saving_3x"] < 0.3 {
+		t.Errorf("3x-latency saving %v too small", rep.Figures["saving_3x"])
+	}
+	if rep.Figures["low_ops"] < 1 {
+		t.Error("some operations should run at reduced voltage")
+	}
+}
+
+func TestE16BusShape(t *testing.T) {
+	rep := run(t, "E16")
+	f := rep.Figures
+	if f["random data/bus-invert"] >= f["random data/binary"] {
+		t.Error("bus-invert should win on random data")
+	}
+	if f["sequential addr/gray"] > 1.01 {
+		t.Errorf("gray on sequential = %v, want ~1", f["sequential addr/gray"])
+	}
+	if f["sequential addr/t0"] > 0.01 {
+		t.Errorf("t0 on sequential = %v, want ~0", f["sequential addr/t0"])
+	}
+	if f["interleaved zones/working-zone"] >= f["interleaved zones/gray"] ||
+		f["interleaved zones/working-zone"] >= f["interleaved zones/t0"] {
+		t.Error("working-zone should win over gray and t0 on interleaved arrays")
+	}
+	if f["block-correlated/beach"] >= f["block-correlated/binary"] {
+		t.Error("beach should win on block-correlated traces")
+	}
+}
+
+func TestE17EncodingShape(t *testing.T) {
+	rep := run(t, "E17")
+	f := rep.Figures
+	if f["wham_low-power"] >= f["wham_binary"] {
+		t.Error("low-power encoding should beat binary on the weighted-Hamming model")
+	}
+	if f["cap_low-power"] >= f["cap_binary"] {
+		t.Error("low-power encoding should beat binary on synthesized-netlist power")
+	}
+	if f["cap_one-hot"] <= f["cap_binary"] {
+		t.Error("one-hot should cost more than binary at this state count")
+	}
+}
+
+func TestE18ShutdownShape(t *testing.T) {
+	rep := run(t, "E18")
+	for _, k := range []string{"precompute_saving", "gated_saving", "guarded_saving"} {
+		if rep.Figures[k] <= 0.01 {
+			t.Errorf("%s = %v, want positive savings", k, rep.Figures[k])
+		}
+	}
+	if rep.Figures["gated_clock_saving"] < 0.5 {
+		t.Errorf("gated clock-tree saving %v too small for an 85%%-hold controller",
+			rep.Figures["gated_clock_saving"])
+	}
+}
+
+func TestE19RetimingShape(t *testing.T) {
+	rep := run(t, "E19")
+	if rep.Figures["best_cap"] >= rep.Figures["baseline"] {
+		t.Error("best cut should beat the unpipelined baseline's total switching")
+	}
+	if rep.Figures["logic_saving"] < 0.1 {
+		t.Errorf("glitch-filtering saving %v too small", rep.Figures["logic_saving"])
+	}
+}
+
+func TestE20MemoryShape(t *testing.T) {
+	rep := run(t, "E20")
+	k := rep.Figures["optimal_k"]
+	if k <= 0 || k >= 14 {
+		t.Errorf("optimal k = %v should be interior", k)
+	}
+	if rep.Figures["best_total"] >= rep.Figures["k0_total"] ||
+		rep.Figures["best_total"] >= rep.Figures["kn_total"] {
+		t.Error("interior optimum should beat both extremes")
+	}
+}

@@ -1,0 +1,329 @@
+package fsm
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hlpower/internal/bitutil"
+	"hlpower/internal/logic"
+	"hlpower/internal/sim"
+)
+
+// FSM decomposition (§III-H, [86][87]): split one controller into two
+// interconnected submachines, each augmented with a WAIT state, so that
+// only one is active at any time and the other can be shut down
+// (clock-gated). The partition minimizes the steady-state probability of
+// crossing the boundary, since handoffs wake the peer and drive the
+// heavily loaded interconnect lines.
+
+// Partition is a two-way split of the state set.
+type Partition struct {
+	Side  []int // 0 or 1 per state
+	Cross float64
+}
+
+// PartitionStates greedily bipartitions the machine to minimize the
+// crossing probability Σ p[i][j] over boundary edges, by random balanced
+// starts followed by best-improvement swaps (a small Kernighan–Lin).
+func PartitionStates(f *FSM, p [][]float64, restarts int, rng *rand.Rand) *Partition {
+	n := f.NumStates
+	if restarts <= 0 {
+		restarts = 4
+	}
+	cross := func(side []int) float64 {
+		var c float64
+		for i := range p {
+			for j, pij := range p[i] {
+				if pij > 0 && side[i] != side[j] {
+					c += pij
+				}
+			}
+		}
+		return c
+	}
+	var best []int
+	bestCost := -1.0
+	for r := 0; r < restarts; r++ {
+		side := make([]int, n)
+		perm := rng.Perm(n)
+		for i, s := range perm {
+			if i >= n/2 {
+				side[s] = 1
+			}
+		}
+		improved := true
+		for improved {
+			improved = false
+			cur := cross(side)
+			for a := 0; a < n; a++ {
+				for b := a + 1; b < n; b++ {
+					if side[a] == side[b] {
+						continue
+					}
+					side[a], side[b] = side[b], side[a]
+					if nc := cross(side); nc < cur {
+						cur = nc
+						improved = true
+					} else {
+						side[a], side[b] = side[b], side[a]
+					}
+				}
+			}
+		}
+		if c := cross(side); bestCost < 0 || c < bestCost {
+			bestCost = c
+			best = append([]int{}, side...)
+		}
+	}
+	return &Partition{Side: best, Cross: bestCost}
+}
+
+// Submachine is one half of a decomposition: a synthesized netlist plus
+// the bookkeeping to drive it. Input layout: global inputs, then entry-
+// state code (local bits), then the resume flag. State 0 is WAIT.
+type Submachine struct {
+	Net      *logic.Netlist
+	Local    []int // local id per member state (1-based; WAIT is 0)
+	Members  []int // global state per local id (index 1..)
+	Bits     int   // local state-code width
+	GlobalIn int   // global input bits
+}
+
+// Decomposition packages both submachines and the partition.
+type Decomposition struct {
+	A, B *Submachine
+	Part *Partition
+	F    *FSM
+}
+
+// Decompose builds the two interacting submachines. Each submachine's
+// FSM has: WAIT (state 0) plus its member states; on a symbol whose
+// successor leaves the cluster it falls to WAIT; from WAIT it resumes at
+// the entry code when the resume flag is raised. Outputs are the
+// original output bits (valid while active).
+func Decompose(f *FSM, part *Partition) (*Decomposition, error) {
+	d := &Decomposition{Part: part, F: f}
+	var err error
+	if d.A, err = buildSubmachine(f, part, 0); err != nil {
+		return nil, err
+	}
+	if d.B, err = buildSubmachine(f, part, 1); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+func buildSubmachine(f *FSM, part *Partition, side int) (*Submachine, error) {
+	sm := &Submachine{GlobalIn: f.NumInputs}
+	sm.Local = make([]int, f.NumStates)
+	sm.Members = []int{-1} // local 0 = WAIT
+	for s := 0; s < f.NumStates; s++ {
+		if part.Side[s] == side {
+			sm.Local[s] = len(sm.Members)
+			sm.Members = append(sm.Members, s)
+		} else {
+			sm.Local[s] = -1
+		}
+	}
+	nLocal := len(sm.Members)
+	sm.Bits = minWidth(nLocal)
+
+	// The lifted FSM's inputs: global inputs + entry code + resume.
+	nIn := f.NumInputs + sm.Bits + 1
+	if nIn > 16 {
+		return nil, fmt.Errorf("fsm: decomposed input width %d too large", nIn)
+	}
+	nsym := 1 << uint(nIn)
+	lifted := &FSM{
+		NumInputs:  nIn,
+		NumOutputs: f.NumOutputs,
+		NumStates:  nLocal,
+		Next:       make([][]int, nLocal),
+		Out:        make([][]uint64, nLocal),
+	}
+	entryOf := func(sym int) int {
+		return sym >> uint(f.NumInputs) & int(bitutil.Mask(sm.Bits))
+	}
+	resumeOf := func(sym int) bool {
+		return sym>>uint(f.NumInputs+sm.Bits)&1 == 1
+	}
+	for ls := 0; ls < nLocal; ls++ {
+		lifted.Next[ls] = make([]int, nsym)
+		lifted.Out[ls] = make([]uint64, nsym)
+		for sym := 0; sym < nsym; sym++ {
+			gsym := sym & int(bitutil.Mask(f.NumInputs))
+			if ls == 0 { // WAIT
+				if resumeOf(sym) && entryOf(sym) < nLocal && entryOf(sym) > 0 {
+					lifted.Next[0][sym] = entryOf(sym)
+				} else {
+					lifted.Next[0][sym] = 0
+				}
+				lifted.Out[0][sym] = 0
+				continue
+			}
+			gState := sm.Members[ls]
+			gNext := f.Next[gState][gsym]
+			if l := sm.Local[gNext]; l > 0 {
+				lifted.Next[ls][sym] = l
+			} else {
+				lifted.Next[ls][sym] = 0 // hand off
+			}
+			lifted.Out[ls][sym] = f.Out[gState][gsym]
+		}
+	}
+	net, err := Synthesize(lifted, BinaryEncoding(nLocal))
+	if err != nil {
+		return nil, err
+	}
+	// If this side owns the global reset state, the local registers must
+	// reset to its code rather than WAIT.
+	if l := sm.Local[0]; l > 0 {
+		bit := 0
+		for id, g := range net.Gates {
+			if g.Kind == logic.DFF && g.Group == GroupStateReg {
+				net.SetInit(id, l>>uint(bit)&1 == 1)
+				bit++
+			}
+		}
+	}
+	sm.Net = net
+	return sm, nil
+}
+
+// DecompositionResult compares the monolithic controller against the
+// decomposed pair under the same symbol stream.
+type DecompositionResult struct {
+	MonolithicCap float64
+	DecomposedCap float64
+	Handoffs      int
+	OutputsMatch  bool
+}
+
+// Simulate runs both implementations over the symbol stream: the
+// monolithic netlist plainly, and the decomposed pair with the inactive
+// submachine clock-gated and fed frozen inputs (its logic sees no
+// transitions). The supervisor — the small amount of glue the paper's
+// decomposed controllers carry — is evaluated behaviourally and charged
+// the handoff count on the boundary lines.
+func (d *Decomposition) Simulate(symbols []int, handoffLineCap float64) (*DecompositionResult, error) {
+	mono, err := Synthesize(d.F, BinaryEncoding(d.F.NumStates))
+	if err != nil {
+		return nil, err
+	}
+	prov := func(c int) []bool { return bitutil.ToBits(uint64(symbols[c]), d.F.NumInputs) }
+	mres, err := sim.Run(mono, prov, len(symbols), sim.Options{Model: sim.EventDriven, TrackClock: true})
+	if err != nil {
+		return nil, err
+	}
+
+	// Reference walk for activity, handoffs, and expected outputs.
+	states, outs := d.F.Simulate(symbols)
+	handoffs := 0
+	for i := 1; i < len(states); i++ {
+		if d.Part.Side[states[i-1]] != d.Part.Side[states[i]] {
+			handoffs++
+		}
+	}
+
+	// Build each submachine's input stream: real symbols while active
+	// (or resuming), frozen zeros while asleep; enable = active|resuming.
+	run := func(sm *Submachine, side int) (*sim.Result, []uint64, error) {
+		vectors := make([][]bool, len(symbols))
+		enables := make([]bool, len(symbols))
+		lastVec := make([]bool, sm.GlobalIn+sm.Bits+1)
+		for c := range symbols {
+			active := d.Part.Side[states[c]] == side
+			// The peer hands off during cycle c when this side owns the
+			// state of cycle c+1 but not that of cycle c: the resume flag
+			// and entry code must be on the inputs during cycle c so the
+			// edge into c+1 captures the entry state.
+			handingIn := !active && c+1 < len(states) &&
+				d.Part.Side[states[c+1]] == side
+			word := uint64(symbols[c])
+			if handingIn {
+				word |= uint64(sm.Local[states[c+1]]) << uint(sm.GlobalIn)
+				word |= 1 << uint(sm.GlobalIn+sm.Bits)
+			}
+			if active || handingIn {
+				lastVec = bitutil.ToBits(word, sm.GlobalIn+sm.Bits+1)
+				enables[c] = true
+			}
+			vec := make([]bool, len(lastVec))
+			copy(vec, lastVec)
+			vectors[c] = vec
+		}
+		// Clock gating is modeled by the enables: replace the state DFFs
+		// with EnDFFs driven by an extra enable input.
+		gated, enSig := addClockEnable(sm.Net)
+		full := make([][]bool, len(vectors))
+		for c := range vectors {
+			full[c] = append(append([]bool{}, vectors[c]...), enables[c])
+		}
+		_ = enSig
+		res, err := sim.Run(gated, sim.VectorInputs(full), len(full),
+			sim.Options{Model: sim.EventDriven, TrackClock: true, GateClock: true})
+		if err != nil {
+			return nil, nil, err
+		}
+		outWords := make([]uint64, len(res.Outputs))
+		for c, o := range res.Outputs {
+			outWords[c] = bitutil.FromBits(o)
+		}
+		return res, outWords, nil
+	}
+	resA, outA, err := run(d.A, 0)
+	if err != nil {
+		return nil, err
+	}
+	resB, outB, err := run(d.B, 1)
+	if err != nil {
+		return nil, err
+	}
+
+	match := true
+	for c := range outs {
+		var got uint64
+		if d.Part.Side[states[c]] == 0 {
+			got = outA[c]
+		} else {
+			got = outB[c]
+		}
+		if got != outs[c] {
+			match = false
+			break
+		}
+	}
+	return &DecompositionResult{
+		MonolithicCap: mres.SwitchedCap,
+		DecomposedCap: resA.SwitchedCap + resB.SwitchedCap + float64(handoffs)*handoffLineCap,
+		Handoffs:      handoffs,
+		OutputsMatch:  match,
+	}, nil
+}
+
+// addClockEnable clones a synthesized controller, converts its state
+// DFFs to enable-gated registers, and appends an enable primary input.
+func addClockEnable(n *logic.Netlist) (*logic.Netlist, int) {
+	out := logic.New()
+	out.InputCap = n.InputCap
+	out.WireCapPerFanout = n.WireCapPerFanout
+	out.OutputLoad = n.OutputLoad
+	out.ClockCap = n.ClockCap
+	out.Gates = make([]logic.Gate, len(n.Gates))
+	for i, g := range n.Gates {
+		ng := g
+		ng.Fanin = append([]int(nil), g.Fanin...)
+		out.Gates[i] = ng
+	}
+	out.Inputs = append([]int(nil), n.Inputs...)
+	out.Outputs = append([]int(nil), n.Outputs...)
+	en := out.AddInput("clk_en")
+	for id := range out.Gates {
+		if out.Gates[id].Kind == logic.DFF {
+			d := out.Gates[id].Fanin[0]
+			out.Gates[id].Kind = logic.EnDFF
+			out.Gates[id].Fanin = []int{en, d}
+		}
+	}
+	return out, en
+}

@@ -1,0 +1,155 @@
+package fsm
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// twoPhaseFSM builds a machine with two tightly connected clusters and
+// rare cross transitions: states 0..4 cycle among themselves, states
+// 5..9 likewise; input symbol 3 jumps across.
+func twoPhaseFSM() *FSM {
+	n := 10
+	f := &FSM{NumInputs: 2, NumOutputs: 2, NumStates: n,
+		Next: make([][]int, n), Out: make([][]uint64, n)}
+	for s := 0; s < n; s++ {
+		f.Next[s] = make([]int, 4)
+		f.Out[s] = make([]uint64, 4)
+		cluster := s / 5
+		base := cluster * 5
+		for sym := 0; sym < 4; sym++ {
+			switch sym {
+			case 3: // cross to the other cluster
+				f.Next[s][sym] = (1-cluster)*5 + (s+1)%5
+			default:
+				f.Next[s][sym] = base + (s+sym+1)%5
+			}
+			f.Out[s][sym] = uint64((s + sym) & 3)
+		}
+	}
+	return f
+}
+
+func TestPartitionFindsClusters(t *testing.T) {
+	f := twoPhaseFSM()
+	// Symbol distribution heavily favouring intra-cluster moves.
+	dist := []float64{0.4, 0.3, 0.25, 0.05}
+	p, err := f.TransitionProbabilities(dist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	part := PartitionStates(f, p, 6, rng)
+	// The natural split puts 0-4 on one side, 5-9 on the other.
+	for s := 1; s < 5; s++ {
+		if part.Side[s] != part.Side[0] {
+			t.Errorf("state %d should share a side with state 0", s)
+		}
+	}
+	for s := 6; s < 10; s++ {
+		if part.Side[s] != part.Side[5] {
+			t.Errorf("state %d should share a side with state 5", s)
+		}
+	}
+	if part.Side[0] == part.Side[5] {
+		t.Error("clusters should be separated")
+	}
+	if part.Cross > 0.1 {
+		t.Errorf("crossing probability %v too high for this structure", part.Cross)
+	}
+}
+
+func TestDecomposeBehaviourMatches(t *testing.T) {
+	f := twoPhaseFSM()
+	dist := []float64{0.4, 0.3, 0.25, 0.05}
+	p, err := f.TransitionProbabilities(dist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	part := PartitionStates(f, p, 6, rng)
+	d, err := Decompose(f, part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Random symbols biased toward intra-cluster motion.
+	symbols := make([]int, 400)
+	for i := range symbols {
+		r := rng.Float64()
+		switch {
+		case r < 0.4:
+			symbols[i] = 0
+		case r < 0.7:
+			symbols[i] = 1
+		case r < 0.95:
+			symbols[i] = 2
+		default:
+			symbols[i] = 3
+		}
+	}
+	res, err := d.Simulate(symbols, 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OutputsMatch {
+		t.Fatal("decomposed outputs diverge from the monolithic machine")
+	}
+	if res.Handoffs == 0 {
+		t.Error("workload should include some handoffs")
+	}
+}
+
+func TestDecomposeSavesPowerOnClusteredWorkload(t *testing.T) {
+	f := twoPhaseFSM()
+	dist := []float64{0.4, 0.3, 0.25, 0.05}
+	p, err := f.TransitionProbabilities(dist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	part := PartitionStates(f, p, 6, rng)
+	d, err := Decompose(f, part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	symbols := make([]int, 800)
+	for i := range symbols {
+		if rng.Float64() < 0.97 {
+			symbols[i] = rng.Intn(3)
+		} else {
+			symbols[i] = 3
+		}
+	}
+	res, err := d.Simulate(symbols, 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OutputsMatch {
+		t.Fatal("behaviour broken")
+	}
+	if res.DecomposedCap >= res.MonolithicCap {
+		t.Errorf("decomposed cap %v should beat monolithic %v on a clustered workload",
+			res.DecomposedCap, res.MonolithicCap)
+	}
+}
+
+func TestDecomposeRejectsHugeInterfaces(t *testing.T) {
+	// 200 local states would need > 16 lifted input bits.
+	n := 300
+	f := &FSM{NumInputs: 8, NumOutputs: 1, NumStates: n,
+		Next: make([][]int, n), Out: make([][]uint64, n)}
+	for s := 0; s < n; s++ {
+		f.Next[s] = make([]int, 256)
+		f.Out[s] = make([]uint64, 256)
+		for sym := 0; sym < 256; sym++ {
+			f.Next[s][sym] = (s + 1) % n
+		}
+	}
+	part := &Partition{Side: make([]int, n)}
+	for s := n / 2; s < n; s++ {
+		part.Side[s] = 1
+	}
+	if _, err := Decompose(f, part); err == nil {
+		t.Error("expected width rejection")
+	}
+}

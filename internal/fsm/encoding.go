@@ -1,0 +1,227 @@
+package fsm
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hlpower/internal/bitutil"
+)
+
+// Encoding assigns each state a distinct binary code of the given width.
+type Encoding struct {
+	Width int
+	Codes []uint64
+}
+
+// Validate checks distinctness and width.
+func (e *Encoding) Validate(nStates int) error {
+	if len(e.Codes) != nStates {
+		return fmt.Errorf("fsm: encoding has %d codes, want %d", len(e.Codes), nStates)
+	}
+	if nStates > 1<<uint(e.Width) {
+		return fmt.Errorf("fsm: %d states do not fit in %d bits", nStates, e.Width)
+	}
+	seen := make(map[uint64]bool)
+	for s, c := range e.Codes {
+		if c > bitutil.Mask(e.Width) {
+			return fmt.Errorf("fsm: code %#x of state %d exceeds width %d", c, s, e.Width)
+		}
+		if seen[c] {
+			return fmt.Errorf("fsm: duplicate code %#x", c)
+		}
+		seen[c] = true
+	}
+	return nil
+}
+
+// minWidth returns ceil(log2(nStates)).
+func minWidth(nStates int) int {
+	w := 0
+	for 1<<uint(w) < nStates {
+		w++
+	}
+	if w == 0 {
+		w = 1
+	}
+	return w
+}
+
+// BinaryEncoding numbers states in order with minimal width.
+func BinaryEncoding(nStates int) *Encoding {
+	e := &Encoding{Width: minWidth(nStates), Codes: make([]uint64, nStates)}
+	for s := range e.Codes {
+		e.Codes[s] = uint64(s)
+	}
+	return e
+}
+
+// GrayEncoding numbers states along the reflected Gray sequence.
+func GrayEncoding(nStates int) *Encoding {
+	e := &Encoding{Width: minWidth(nStates), Codes: make([]uint64, nStates)}
+	for s := range e.Codes {
+		e.Codes[s] = bitutil.Gray(uint64(s))
+	}
+	return e
+}
+
+// OneHotEncoding uses one bit per state.
+func OneHotEncoding(nStates int) *Encoding {
+	e := &Encoding{Width: nStates, Codes: make([]uint64, nStates)}
+	for s := range e.Codes {
+		e.Codes[s] = 1 << uint(s)
+	}
+	return e
+}
+
+// RandomEncoding draws distinct random codes of the given width.
+func RandomEncoding(nStates, width int, rng *rand.Rand) *Encoding {
+	if nStates > 1<<uint(width) {
+		panic("fsm: random encoding width too small")
+	}
+	perm := rng.Perm(1 << uint(width))
+	e := &Encoding{Width: width, Codes: make([]uint64, nStates)}
+	for s := range e.Codes {
+		e.Codes[s] = uint64(perm[s])
+	}
+	return e
+}
+
+// WeightedHamming returns Σ p[i][j]·H(code_i, code_j), the switching cost
+// the low-power encoding algorithms minimize (§III-H): the expected
+// number of state-register bits toggling per cycle.
+func WeightedHamming(enc *Encoding, p [][]float64) float64 {
+	var cost float64
+	for i := range p {
+		for j, pij := range p[i] {
+			if pij == 0 || i == j {
+				continue
+			}
+			cost += pij * float64(bitutil.Hamming(enc.Codes[i], enc.Codes[j]))
+		}
+	}
+	return cost
+}
+
+// LowPowerEncoding searches for a minimal-width encoding that embeds the
+// STG into the hypercube so high-probability transitions land at small
+// Hamming distance. It runs simulated annealing over code swaps and
+// reassignments starting from the binary encoding, preserving code 0 for
+// state 0 (the reset state). iters of a few thousand suffices for
+// machines with tens of states.
+func LowPowerEncoding(f *FSM, p [][]float64, iters int, rng *rand.Rand) *Encoding {
+	width := minWidth(f.NumStates)
+	enc := &Encoding{Width: width, Codes: make([]uint64, f.NumStates)}
+	copy(enc.Codes, BinaryEncoding(f.NumStates).Codes)
+
+	used := make(map[uint64]int) // code -> state
+	for s, c := range enc.Codes {
+		used[c] = s
+	}
+	cost := WeightedHamming(enc, p)
+	best := &Encoding{Width: width, Codes: append([]uint64{}, enc.Codes...)}
+	bestCost := cost
+
+	if iters <= 0 {
+		iters = 4000
+	}
+	temp := 1.0
+	cool := 0.999
+	allCodes := 1 << uint(width)
+	for it := 0; it < iters; it++ {
+		temp *= cool
+		// Propose: either swap two states' codes, or move one state to a
+		// free code. State 0 keeps code 0.
+		s := 1 + rng.Intn(f.NumStates-1)
+		var delta float64
+		oldCode := enc.Codes[s]
+		newCode := uint64(rng.Intn(allCodes))
+		if newCode == 0 || newCode == oldCode {
+			continue
+		}
+		other, taken := used[newCode]
+		apply := func(code uint64, st int) {
+			enc.Codes[st] = code
+		}
+		// Compute cost delta by recomputing affected rows/cols (cheap for
+		// moderate state counts: full recompute keeps it simple & correct).
+		apply(newCode, s)
+		if taken {
+			apply(oldCode, other)
+		}
+		newCost := WeightedHamming(enc, p)
+		delta = newCost - cost
+		accept := delta < 0 || rng.Float64() < temp*0.5
+		if accept {
+			cost = newCost
+			delete(used, oldCode)
+			used[newCode] = s
+			if taken {
+				used[oldCode] = other
+			}
+			if cost < bestCost {
+				bestCost = cost
+				copy(best.Codes, enc.Codes)
+			}
+		} else {
+			// Revert.
+			apply(oldCode, s)
+			if taken {
+				apply(newCode, other)
+			}
+		}
+	}
+	return best
+}
+
+// ReEncode improves an existing encoding in place of starting from
+// binary — the §III-H reencoding scenario where a manual or legacy
+// assignment is the starting point. The result keeps the start
+// encoding's width and the reset state's code.
+func ReEncode(f *FSM, p [][]float64, start *Encoding, iters int, rng *rand.Rand) *Encoding {
+	enc := &Encoding{Width: start.Width, Codes: append([]uint64{}, start.Codes...)}
+	used := make(map[uint64]int)
+	for s, c := range enc.Codes {
+		used[c] = s
+	}
+	cost := WeightedHamming(enc, p)
+	best := &Encoding{Width: enc.Width, Codes: append([]uint64{}, enc.Codes...)}
+	bestCost := cost
+	if iters <= 0 {
+		iters = 4000
+	}
+	temp := 1.0
+	allCodes := 1 << uint(enc.Width)
+	for it := 0; it < iters; it++ {
+		temp *= 0.999
+		s := 1 + rng.Intn(f.NumStates-1)
+		oldCode := enc.Codes[s]
+		newCode := uint64(rng.Intn(allCodes))
+		if newCode == enc.Codes[0] || newCode == oldCode {
+			continue
+		}
+		other, taken := used[newCode]
+		enc.Codes[s] = newCode
+		if taken {
+			enc.Codes[other] = oldCode
+		}
+		newCost := WeightedHamming(enc, p)
+		if newCost < cost || rng.Float64() < temp*0.5 {
+			cost = newCost
+			delete(used, oldCode)
+			used[newCode] = s
+			if taken {
+				used[oldCode] = other
+			}
+			if cost < bestCost {
+				bestCost = cost
+				copy(best.Codes, enc.Codes)
+			}
+		} else {
+			enc.Codes[s] = oldCode
+			if taken {
+				enc.Codes[other] = newCode
+			}
+		}
+	}
+	return best
+}

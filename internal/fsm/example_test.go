@@ -1,0 +1,27 @@
+package fsm_test
+
+import (
+	"os"
+
+	"hlpower/internal/fsm"
+)
+
+func ExampleWriteKISS() {
+	// A two-state toggle machine.
+	f := &fsm.FSM{NumInputs: 1, NumOutputs: 1, NumStates: 2,
+		Next: [][]int{{0, 1}, {1, 0}},
+		Out:  [][]uint64{{0, 0}, {1, 1}},
+	}
+	fsm.WriteKISS(os.Stdout, f)
+	// Output:
+	// .i 1
+	// .o 1
+	// .s 2
+	// .p 4
+	// .r s0
+	// 0 s0 s0 0
+	// 1 s0 s1 0
+	// 0 s1 s1 1
+	// 1 s1 s0 1
+	// .e
+}

@@ -1,0 +1,171 @@
+// Package fsm provides the finite-state-machine substrate of the
+// control-oriented techniques: explicit state transition graphs, Markov
+// steady-state analysis, state encodings (binary, Gray, one-hot, and
+// low-power hypercube embedding by annealed swaps), synthesis of encoded
+// machines to gate-level netlists, classical state minimization, and a
+// symbolic (BDD) representation of the transition relation for the
+// §III-H reencoding flow.
+package fsm
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hlpower/internal/bitutil"
+	"hlpower/internal/stats"
+)
+
+// FSM is a deterministic completely specified Mealy machine: for every
+// state and every input symbol there is exactly one next state and one
+// output word.
+type FSM struct {
+	NumInputs  int // input bits; symbols are 0..2^NumInputs-1
+	NumOutputs int
+	NumStates  int
+	Next       [][]int    // Next[s][symbol] = next state
+	Out        [][]uint64 // Out[s][symbol] = output word
+}
+
+// NumSymbols returns the number of input symbols (2^NumInputs).
+func (f *FSM) NumSymbols() int { return 1 << uint(f.NumInputs) }
+
+// Validate checks structural consistency.
+func (f *FSM) Validate() error {
+	if f.NumStates <= 0 {
+		return fmt.Errorf("fsm: no states")
+	}
+	if len(f.Next) != f.NumStates || len(f.Out) != f.NumStates {
+		return fmt.Errorf("fsm: table sizes disagree with NumStates")
+	}
+	for s := 0; s < f.NumStates; s++ {
+		if len(f.Next[s]) != f.NumSymbols() || len(f.Out[s]) != f.NumSymbols() {
+			return fmt.Errorf("fsm: state %d row width wrong", s)
+		}
+		for _, nx := range f.Next[s] {
+			if nx < 0 || nx >= f.NumStates {
+				return fmt.Errorf("fsm: state %d has next state %d out of range", s, nx)
+			}
+		}
+	}
+	return nil
+}
+
+// Random generates a random machine. locality in (0,1] biases next
+// states toward a few favourites per state, producing the sparse,
+// structured graphs real controllers have (and that Tyagi's bound
+// addresses); locality 1 is uniform.
+func Random(nStates, nInputs, nOutputs int, locality float64, rng *rand.Rand) *FSM {
+	f := &FSM{
+		NumInputs:  nInputs,
+		NumOutputs: nOutputs,
+		NumStates:  nStates,
+		Next:       make([][]int, nStates),
+		Out:        make([][]uint64, nStates),
+	}
+	nsym := f.NumSymbols()
+	outMask := bitutil.Mask(nOutputs)
+	for s := 0; s < nStates; s++ {
+		next := make([]int, nsym)
+		out := make([]uint64, nsym)
+		// Favourite targets for this state.
+		nFav := 2
+		if nFav > nStates {
+			nFav = nStates
+		}
+		favs := rng.Perm(nStates)[:nFav]
+		for sym := 0; sym < nsym; sym++ {
+			if rng.Float64() > locality {
+				next[sym] = favs[rng.Intn(len(favs))]
+			} else {
+				next[sym] = rng.Intn(nStates)
+			}
+			out[sym] = rng.Uint64() & outMask
+		}
+		f.Next[s] = next
+		f.Out[s] = out
+	}
+	return f
+}
+
+// StationaryDistribution returns the steady-state probability of each
+// state under independent uniform input symbols (or the supplied symbol
+// distribution if non-nil).
+func (f *FSM) StationaryDistribution(symbolDist []float64) ([]float64, error) {
+	nsym := f.NumSymbols()
+	if symbolDist == nil {
+		symbolDist = make([]float64, nsym)
+		for i := range symbolDist {
+			symbolDist[i] = 1 / float64(nsym)
+		}
+	}
+	P := make([][]float64, f.NumStates)
+	for s := 0; s < f.NumStates; s++ {
+		P[s] = make([]float64, f.NumStates)
+		for sym := 0; sym < nsym; sym++ {
+			P[s][f.Next[s][sym]] += symbolDist[sym]
+		}
+	}
+	// Small uniform restart keeps the chain ergodic even when the random
+	// graph is periodic or has transient states.
+	const eps = 1e-6
+	for s := range P {
+		for j := range P[s] {
+			P[s][j] = (1-eps)*P[s][j] + eps/float64(f.NumStates)
+		}
+	}
+	return stats.Stationary(P, 1e-12, 0)
+}
+
+// TransitionProbabilities returns the steady-state joint probability
+// p[i][j] of traversing the edge i→j per cycle, under the given (or
+// uniform) input-symbol distribution.
+func (f *FSM) TransitionProbabilities(symbolDist []float64) ([][]float64, error) {
+	nsym := f.NumSymbols()
+	if symbolDist == nil {
+		symbolDist = make([]float64, nsym)
+		for i := range symbolDist {
+			symbolDist[i] = 1 / float64(nsym)
+		}
+	}
+	pi, err := f.StationaryDistribution(symbolDist)
+	if err != nil {
+		return nil, err
+	}
+	p := make([][]float64, f.NumStates)
+	for s := range p {
+		p[s] = make([]float64, f.NumStates)
+		for sym := 0; sym < nsym; sym++ {
+			p[s][f.Next[s][sym]] += pi[s] * symbolDist[sym]
+		}
+	}
+	return p, nil
+}
+
+// Simulate runs the machine from state 0 over the symbol stream and
+// returns the visited state sequence (length len(symbols)+1) and the
+// emitted outputs.
+func (f *FSM) Simulate(symbols []int) (states []int, outputs []uint64) {
+	states = make([]int, len(symbols)+1)
+	outputs = make([]uint64, len(symbols))
+	s := 0
+	states[0] = s
+	for i, sym := range symbols {
+		outputs[i] = f.Out[s][sym]
+		s = f.Next[s][sym]
+		states[i+1] = s
+	}
+	return states, outputs
+}
+
+// CountTransitions tallies edge traversals of a simulated run into a
+// state×state count matrix.
+func (f *FSM) CountTransitions(states []int) [][]int {
+	c := make([][]int, f.NumStates)
+	for i := range c {
+		c[i] = make([]int, f.NumStates)
+	}
+	for i := 1; i < len(states); i++ {
+		c[states[i-1]][states[i]]++
+	}
+	return c
+}

@@ -1,0 +1,338 @@
+package fsm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"hlpower/internal/bitutil"
+	"hlpower/internal/logic"
+	"hlpower/internal/sim"
+)
+
+// counterFSM is a 4-state cycle that advances on input 1 and holds on 0;
+// output is the state index.
+func counterFSM() *FSM {
+	f := &FSM{NumInputs: 1, NumOutputs: 2, NumStates: 4,
+		Next: make([][]int, 4), Out: make([][]uint64, 4)}
+	for s := 0; s < 4; s++ {
+		f.Next[s] = []int{s, (s + 1) % 4}
+		f.Out[s] = []uint64{uint64(s), uint64(s)}
+	}
+	return f
+}
+
+func TestValidate(t *testing.T) {
+	f := counterFSM()
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := counterFSM()
+	bad.Next[0][0] = 99
+	if err := bad.Validate(); err == nil {
+		t.Error("expected validation failure for out-of-range next state")
+	}
+}
+
+func TestRandomFSMValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 10; trial++ {
+		f := Random(5+rng.Intn(10), 1+rng.Intn(3), 1+rng.Intn(4), 0.5, rng)
+		if err := f.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestSimulate(t *testing.T) {
+	f := counterFSM()
+	states, outs := f.Simulate([]int{1, 1, 1, 1, 0})
+	wantStates := []int{0, 1, 2, 3, 0, 0}
+	for i := range wantStates {
+		if states[i] != wantStates[i] {
+			t.Errorf("state[%d] = %d, want %d", i, states[i], wantStates[i])
+		}
+	}
+	if outs[2] != 2 {
+		t.Errorf("out[2] = %d, want 2", outs[2])
+	}
+}
+
+func TestStationaryCounter(t *testing.T) {
+	// With always-advance inputs the cycle is symmetric: pi = 1/4 each.
+	f := counterFSM()
+	pi, err := f.StationaryDistribution([]float64{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s, p := range pi {
+		if math.Abs(p-0.25) > 1e-3 {
+			t.Errorf("pi[%d] = %v, want 0.25", s, p)
+		}
+	}
+}
+
+func TestTransitionProbabilitiesSumToOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	f := Random(8, 2, 2, 0.4, rng)
+	p, err := f.TransitionProbabilities(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for i := range p {
+		for _, v := range p[i] {
+			sum += v
+		}
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		t.Errorf("transition probabilities sum to %v, want 1", sum)
+	}
+}
+
+func TestEncodingsValid(t *testing.T) {
+	for _, n := range []int{1, 2, 5, 8, 16} {
+		if err := BinaryEncoding(n).Validate(n); err != nil {
+			t.Errorf("binary(%d): %v", n, err)
+		}
+		if err := GrayEncoding(n).Validate(n); err != nil {
+			t.Errorf("gray(%d): %v", n, err)
+		}
+		if err := OneHotEncoding(n).Validate(n); err != nil {
+			t.Errorf("onehot(%d): %v", n, err)
+		}
+	}
+	rng := rand.New(rand.NewSource(3))
+	if err := RandomEncoding(10, 5, rng).Validate(10); err != nil {
+		t.Errorf("random: %v", err)
+	}
+}
+
+func TestEncodingValidateRejects(t *testing.T) {
+	e := &Encoding{Width: 2, Codes: []uint64{0, 0, 1}}
+	if err := e.Validate(3); err == nil {
+		t.Error("duplicate codes must be rejected")
+	}
+	e = &Encoding{Width: 1, Codes: []uint64{0, 1, 2}}
+	if err := e.Validate(3); err == nil {
+		t.Error("overflow codes must be rejected")
+	}
+}
+
+func TestWeightedHammingCounterGray(t *testing.T) {
+	// On the pure cycle, Gray encoding gives exactly 1 bit flip per
+	// transition except the wraparound... for 4 states Gray wraps at
+	// distance 1 too, so the weighted cost under always-advance is 1.
+	f := counterFSM()
+	p, err := f.TransitionProbabilities([]float64{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gray := GrayEncoding(4)
+	cost := WeightedHamming(gray, p)
+	if math.Abs(cost-1.0) > 1e-3 {
+		t.Errorf("gray cycle cost = %v, want 1", cost)
+	}
+	binary := BinaryEncoding(4)
+	bcost := WeightedHamming(binary, p)
+	if bcost <= cost {
+		t.Errorf("binary cost %v should exceed gray %v on a cycle", bcost, cost)
+	}
+}
+
+func TestLowPowerEncodingBeatsRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	f := Random(12, 2, 2, 0.2, rng)
+	p, err := f.TransitionProbabilities(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lp := LowPowerEncoding(f, p, 6000, rng)
+	if err := lp.Validate(f.NumStates); err != nil {
+		t.Fatal(err)
+	}
+	if lp.Codes[0] != 0 {
+		t.Error("low-power encoding must preserve reset code 0")
+	}
+	lpCost := WeightedHamming(lp, p)
+	rnd := RandomEncoding(f.NumStates, lp.Width, rng)
+	rndCost := WeightedHamming(rnd, p)
+	bin := WeightedHamming(BinaryEncoding(f.NumStates), p)
+	if lpCost > rndCost || lpCost > bin {
+		t.Errorf("low-power cost %v should not exceed random %v or binary %v", lpCost, rndCost, bin)
+	}
+}
+
+func TestSynthesizeMatchesSimulation(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 5; trial++ {
+		f := Random(6, 2, 3, 0.5, rng)
+		for _, enc := range []*Encoding{BinaryEncoding(6), GrayEncoding(6), OneHotEncoding(6)} {
+			net, err := Synthesize(f, enc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Drive both with the same random symbol stream.
+			symbols := make([]int, 100)
+			for i := range symbols {
+				symbols[i] = rng.Intn(f.NumSymbols())
+			}
+			_, wantOut := f.Simulate(symbols)
+			prov := func(c int) []bool { return bitutil.ToBits(uint64(symbols[c]), f.NumInputs) }
+			res, err := sim.Run(net, prov, len(symbols), sim.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for c := range wantOut {
+				got := bitutil.FromBits(res.Outputs[c])
+				if got != wantOut[c] {
+					t.Fatalf("trial %d enc width %d cycle %d: out %d, want %d",
+						trial, enc.Width, c, got, wantOut[c])
+				}
+			}
+		}
+	}
+}
+
+func TestMinimizeCollapsesDuplicates(t *testing.T) {
+	// Duplicate the counter's states: 8 states where s and s+4 behave
+	// identically; minimization must find 4.
+	f := &FSM{NumInputs: 1, NumOutputs: 2, NumStates: 8,
+		Next: make([][]int, 8), Out: make([][]uint64, 8)}
+	for s := 0; s < 8; s++ {
+		base := s % 4
+		f.Next[s] = []int{s % 4, (base+1)%4 + 4} // hold goes low copy, advance goes high copy
+		f.Out[s] = []uint64{uint64(base), uint64(base)}
+	}
+	min, mapping := Minimize(f)
+	if min.NumStates != 4 {
+		t.Fatalf("minimized to %d states, want 4", min.NumStates)
+	}
+	for s := 0; s < 8; s++ {
+		if mapping[s] != mapping[s%4] {
+			t.Errorf("states %d and %d should merge", s, s%4)
+		}
+	}
+	// Behaviour must be preserved.
+	symbols := []int{1, 0, 1, 1, 1, 0, 1, 1, 1}
+	_, a := f.Simulate(symbols)
+	_, b := min.Simulate(symbols)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("minimized machine diverges at step %d", i)
+		}
+	}
+}
+
+func TestMinimizeAlreadyMinimal(t *testing.T) {
+	f := counterFSM()
+	min, _ := Minimize(f)
+	if min.NumStates != 4 {
+		t.Errorf("counter should stay at 4 states, got %d", min.NumStates)
+	}
+}
+
+func TestSymbolicReachabilityMatchesExplicit(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 5; trial++ {
+		f := Random(6, 1, 1, 0.3, rng)
+		enc := BinaryEncoding(f.NumStates)
+		rel := BuildRelation(f, enc)
+		reached := rel.Reachable()
+		explicit := f.ReachableStates()
+		// Check every state code's membership.
+		for s := 0; s < f.NumStates; s++ {
+			asg := make([]bool, rel.M.NumVars())
+			for i, v := range rel.StateVars {
+				asg[v] = enc.Codes[s]>>uint(i)&1 == 1
+			}
+			inSet := rel.M.Eval(reached, asg)
+			if inSet != explicit[s] {
+				t.Errorf("trial %d: state %d symbolic=%v explicit=%v", trial, s, inSet, explicit[s])
+			}
+		}
+	}
+}
+
+func TestCountTransitions(t *testing.T) {
+	f := counterFSM()
+	states, _ := f.Simulate([]int{1, 1, 0})
+	c := f.CountTransitions(states)
+	if c[0][1] != 1 || c[1][2] != 1 || c[2][2] != 1 {
+		t.Errorf("transition counts wrong: %v", c)
+	}
+}
+
+func TestSynthesizeMultilevelMatchesTwoLevel(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	f := Random(8, 2, 3, 0.5, rng)
+	enc := BinaryEncoding(8)
+	two, err := Synthesize(f, enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ml, err := SynthesizeMultilevel(f, enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	symbols := make([]int, 200)
+	for i := range symbols {
+		symbols[i] = rng.Intn(f.NumSymbols())
+	}
+	prov := func(c int) []bool { return bitutil.ToBits(uint64(symbols[c]), f.NumInputs) }
+	a, err := sim.Run(two, prov, len(symbols), sim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sim.Run(ml, prov, len(symbols), sim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := range a.Outputs {
+		if bitutil.FromBits(a.Outputs[c]) != bitutil.FromBits(b.Outputs[c]) {
+			t.Fatalf("cycle %d: multilevel controller diverges", c)
+		}
+	}
+	// Factoring trades a few more (smaller) gates for fewer literal
+	// connections: compare total gate input pins, the area/cap proxy.
+	pins := func(n *logic.Netlist) int {
+		total := 0
+		for _, g := range n.Gates {
+			total += len(g.Fanin)
+		}
+		return total
+	}
+	if p1, p2 := pins(ml), pins(two); p1 > p2 {
+		t.Logf("note: multilevel pins %d vs two-level %d", p1, p2)
+	}
+}
+
+func TestReEncodeImprovesLegacyEncoding(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	f := Random(14, 2, 2, 0.2, rng)
+	p, err := f.TransitionProbabilities(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A deliberately poor "legacy" start: reversed binary codes with the
+	// reset state kept at 0.
+	legacy := BinaryEncoding(f.NumStates)
+	for i, j := 1, f.NumStates-1; i < j; i, j = i+1, j-1 {
+		legacy.Codes[i], legacy.Codes[j] = legacy.Codes[j], legacy.Codes[i]
+	}
+	re := ReEncode(f, p, legacy, 6000, rng)
+	if err := re.Validate(f.NumStates); err != nil {
+		t.Fatal(err)
+	}
+	if re.Codes[0] != legacy.Codes[0] {
+		t.Error("reencoding must keep the reset code")
+	}
+	if re.Width != legacy.Width {
+		t.Error("reencoding must keep the width")
+	}
+	before := WeightedHamming(legacy, p)
+	after := WeightedHamming(re, p)
+	if after > before {
+		t.Errorf("reencoding cost %v should not exceed start %v", after, before)
+	}
+}

@@ -1,0 +1,214 @@
+package fsm
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"hlpower/internal/bitutil"
+)
+
+// KISS2 interchange: the standard text format for FSM benchmarks (used
+// by SIS and the MCNC suite the surveyed encoding papers evaluate on).
+// Deterministic, completely specified machines only; input cubes with
+// don't-cares ('-') are expanded over the missing bits.
+
+// WriteKISS serializes the machine in kiss2 format. State names are
+// s0..sN-1; the reset state is s0.
+func WriteKISS(w io.Writer, f *FSM) error {
+	if err := f.Validate(); err != nil {
+		return err
+	}
+	nsym := f.NumSymbols()
+	fmt.Fprintf(w, ".i %d\n.o %d\n.s %d\n.p %d\n.r s0\n",
+		f.NumInputs, f.NumOutputs, f.NumStates, f.NumStates*nsym)
+	for s := 0; s < f.NumStates; s++ {
+		for sym := 0; sym < nsym; sym++ {
+			in := formatBits(uint64(sym), f.NumInputs)
+			out := formatBits(f.Out[s][sym], f.NumOutputs)
+			fmt.Fprintf(w, "%s s%d s%d %s\n", in, s, f.Next[s][sym], out)
+		}
+	}
+	fmt.Fprintln(w, ".e")
+	return nil
+}
+
+// formatBits renders the low n bits MSB-first (kiss2 convention).
+func formatBits(v uint64, n int) string {
+	b := make([]byte, n)
+	for i := 0; i < n; i++ {
+		if v>>uint(n-1-i)&1 == 1 {
+			b[i] = '1'
+		} else {
+			b[i] = '0'
+		}
+	}
+	return string(b)
+}
+
+// ParseKISS reads a kiss2 machine. Transitions may use '-' don't-cares
+// in the input field (expanded) and any state names; the reset state
+// (.r, or the first transition's source) becomes state 0. Every
+// (state, symbol) pair must be covered exactly once; uncovered pairs are
+// an error (the surveyed techniques assume completely specified
+// machines).
+func ParseKISS(r io.Reader) (*FSM, error) {
+	sc := bufio.NewScanner(r)
+	var nIn, nOut int
+	var resetName string
+	type transition struct {
+		in       string
+		from, to string
+		out      string
+	}
+	var trs []transition
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch {
+		case strings.HasPrefix(line, ".i "):
+			nIn, _ = strconv.Atoi(fields[1])
+		case strings.HasPrefix(line, ".o "):
+			nOut, _ = strconv.Atoi(fields[1])
+		case strings.HasPrefix(line, ".r "):
+			resetName = fields[1]
+		case strings.HasPrefix(line, ".s "), strings.HasPrefix(line, ".p "):
+			// advisory; recomputed
+		case strings.HasPrefix(line, ".e"):
+			// end
+		case strings.HasPrefix(line, "."):
+			return nil, fmt.Errorf("fsm: unknown kiss directive %q", fields[0])
+		default:
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("fsm: malformed kiss line %q", line)
+			}
+			trs = append(trs, transition{fields[0], fields[1], fields[2], fields[3]})
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if nIn <= 0 || nOut < 0 || len(trs) == 0 {
+		return nil, fmt.Errorf("fsm: kiss header incomplete (i=%d o=%d p=%d)", nIn, nOut, len(trs))
+	}
+	if nIn > 16 {
+		return nil, fmt.Errorf("fsm: %d inputs too many to expand", nIn)
+	}
+	// Collect state names deterministically: reset first, then by first
+	// appearance.
+	nameID := make(map[string]int)
+	var names []string
+	intern := func(name string) int {
+		if id, ok := nameID[name]; ok {
+			return id
+		}
+		id := len(names)
+		nameID[name] = id
+		names = append(names, name)
+		return id
+	}
+	if resetName == "" {
+		resetName = trs[0].from
+	}
+	intern(resetName)
+	for _, t := range trs {
+		intern(t.from)
+		intern(t.to)
+	}
+	n := len(names)
+	nsym := 1 << uint(nIn)
+	f := &FSM{NumInputs: nIn, NumOutputs: nOut, NumStates: n,
+		Next: make([][]int, n), Out: make([][]uint64, n)}
+	covered := make([][]bool, n)
+	for s := range f.Next {
+		f.Next[s] = make([]int, nsym)
+		f.Out[s] = make([]uint64, nsym)
+		covered[s] = make([]bool, nsym)
+	}
+	for _, t := range trs {
+		from, to := nameID[t.from], nameID[t.to]
+		outVal, err := parseBits(t.out, nOut)
+		if err != nil {
+			return nil, fmt.Errorf("fsm: output field %q: %w", t.out, err)
+		}
+		syms, err := expandCube(t.in, nIn)
+		if err != nil {
+			return nil, fmt.Errorf("fsm: input field %q: %w", t.in, err)
+		}
+		for _, sym := range syms {
+			if covered[from][sym] {
+				return nil, fmt.Errorf("fsm: state %s symbol %s specified twice", t.from, t.in)
+			}
+			covered[from][sym] = true
+			f.Next[from][sym] = to
+			f.Out[from][sym] = outVal
+		}
+	}
+	for s := range covered {
+		for sym, ok := range covered[s] {
+			if !ok {
+				return nil, fmt.Errorf("fsm: state %s uncovered for symbol %s",
+					names[s], formatBits(uint64(sym), nIn))
+			}
+		}
+	}
+	return f, nil
+}
+
+// parseBits reads an MSB-first 0/1 string ('-' outputs read as 0).
+func parseBits(s string, n int) (uint64, error) {
+	if len(s) != n {
+		return 0, fmt.Errorf("want %d bits, got %d", n, len(s))
+	}
+	var v uint64
+	for i := 0; i < n; i++ {
+		switch s[i] {
+		case '1':
+			v |= 1 << uint(n-1-i)
+		case '0', '-':
+		default:
+			return 0, fmt.Errorf("bad bit %q", s[i])
+		}
+	}
+	return v, nil
+}
+
+// expandCube enumerates the symbols matched by an MSB-first pattern with
+// '-' don't-cares.
+func expandCube(s string, n int) ([]int, error) {
+	if len(s) != n {
+		return nil, fmt.Errorf("want %d bits, got %d", n, len(s))
+	}
+	var free []int // bit positions (LSB indexing)
+	var base uint64
+	for i := 0; i < n; i++ {
+		bit := n - 1 - i
+		switch s[i] {
+		case '1':
+			base |= 1 << uint(bit)
+		case '0':
+		case '-':
+			free = append(free, bit)
+		default:
+			return nil, fmt.Errorf("bad bit %q", s[i])
+		}
+	}
+	out := make([]int, 0, 1<<uint(len(free)))
+	for m := uint64(0); m < 1<<uint(len(free)); m++ {
+		v := base
+		for j, bit := range free {
+			if bitutil.Bit(m, j) {
+				v |= 1 << uint(bit)
+			}
+		}
+		out = append(out, int(v))
+	}
+	sort.Ints(out)
+	return out, nil
+}

@@ -1,0 +1,133 @@
+package fsm
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"strings"
+	"testing"
+)
+
+func TestKISSRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 5; trial++ {
+		f := Random(6+rng.Intn(6), 1+rng.Intn(3), 1+rng.Intn(3), 0.5, rng)
+		var buf bytes.Buffer
+		if err := WriteKISS(&buf, f); err != nil {
+			t.Fatal(err)
+		}
+		g, err := ParseKISS(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.NumStates != f.NumStates || g.NumInputs != f.NumInputs || g.NumOutputs != f.NumOutputs {
+			t.Fatalf("shape mismatch: %d/%d/%d vs %d/%d/%d",
+				g.NumStates, g.NumInputs, g.NumOutputs, f.NumStates, f.NumInputs, f.NumOutputs)
+		}
+		// Behavioural equivalence from reset.
+		symbols := make([]int, 200)
+		for i := range symbols {
+			symbols[i] = rng.Intn(f.NumSymbols())
+		}
+		_, a := f.Simulate(symbols)
+		_, b := g.Simulate(symbols)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("trial %d: kiss round-trip diverges at step %d", trial, i)
+			}
+		}
+	}
+}
+
+func TestParseKISSDontCares(t *testing.T) {
+	// A 2-input machine written compactly with don't-cares.
+	src := `
+.i 2
+.o 1
+.s 2
+.p 4
+.r idle
+-1 idle run 1
+-0 idle idle 0
+1- run idle 1
+0- run run 0
+.e
+`
+	f, err := ParseKISS(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.NumStates != 2 {
+		t.Fatalf("states = %d", f.NumStates)
+	}
+	// idle is state 0 (reset). Input bit 0 is the LSB ('-1' means x0=1).
+	if f.Next[0][0b01] != 1 || f.Next[0][0b11] != 1 {
+		t.Error("idle should run when x0=1")
+	}
+	if f.Next[0][0b00] != 0 || f.Next[0][0b10] != 0 {
+		t.Error("idle should hold when x0=0")
+	}
+	if f.Next[1][0b10] != 0 || f.Next[1][0b11] != 0 {
+		t.Error("run should return to idle when x1=1")
+	}
+	if f.Out[0][0b01] != 1 {
+		t.Error("output bit wrong")
+	}
+}
+
+func TestParseKISSErrors(t *testing.T) {
+	cases := map[string]string{
+		"incomplete": ".i 1\n.o 1\n.e\n",
+		"overlap":    ".i 1\n.o 1\n.r a\n- a a 1\n0 a a 0\n.e\n",
+		"uncovered":  ".i 1\n.o 1\n.r a\n0 a a 0\n.e\n",
+		"badline":    ".i 1\n.o 1\n.r a\n0 a a\n.e\n",
+		"badbit":     ".i 1\n.o 1\n.r a\nx a a 0\n.e\n",
+	}
+	for name, src := range cases {
+		if _, err := ParseKISS(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: expected parse error", name)
+		}
+	}
+}
+
+func TestWriteKISSFormat(t *testing.T) {
+	f := counterFSM()
+	var buf bytes.Buffer
+	if err := WriteKISS(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	for _, want := range []string{".i 1", ".o 2", ".s 4", ".r s0", ".e"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("missing %q in output", want)
+		}
+	}
+}
+
+func TestParseKISSFile(t *testing.T) {
+	file, err := os.Open("testdata/traffic.kiss2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer file.Close()
+	f, err := ParseKISS(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.NumStates != 4 || f.NumInputs != 2 || f.NumOutputs != 3 {
+		t.Fatalf("shape: %d states %d in %d out", f.NumStates, f.NumInputs, f.NumOutputs)
+	}
+	// green (state 0) holds while no car (x0=0, the MSB-first field's
+	// second character is bit 0).
+	if f.Next[0][0b00] != 0 {
+		t.Error("green should hold without a car")
+	}
+	// Synthesize and run it end to end.
+	net, err := Synthesize(f, BinaryEncoding(f.NumStates))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.NumGates() == 0 {
+		t.Fatal("empty controller")
+	}
+}

@@ -1,0 +1,102 @@
+package fsm
+
+// Minimize collapses equivalent states of the completely specified
+// machine by partition refinement (Moore's algorithm, the classical
+// "restructuring" transformation of §III-H) and returns the reduced
+// machine together with the old→new state mapping.
+func Minimize(f *FSM) (*FSM, []int) {
+	nsym := f.NumSymbols()
+	// Initial partition: group states by their full output rows.
+	sig := make(map[string][]int)
+	rowKey := func(s int) string {
+		key := make([]byte, 0, nsym*8)
+		for sym := 0; sym < nsym; sym++ {
+			v := f.Out[s][sym]
+			for b := 0; b < 8; b++ {
+				key = append(key, byte(v>>uint(8*b)))
+			}
+		}
+		return string(key)
+	}
+	block := make([]int, f.NumStates)
+	nBlocks := 0
+	for s := 0; s < f.NumStates; s++ {
+		k := rowKey(s)
+		if _, ok := sig[k]; !ok {
+			sig[k] = []int{nBlocks}
+			nBlocks++
+		}
+		block[s] = sig[k][0]
+	}
+	// Refine until stable: two states stay together iff all successors
+	// agree blockwise.
+	for {
+		type refineKey struct {
+			oldBlock int
+			succ     string
+		}
+		next := make(map[refineKey]int)
+		newBlock := make([]int, f.NumStates)
+		newCount := 0
+		for s := 0; s < f.NumStates; s++ {
+			succ := make([]byte, 0, nsym*4)
+			for sym := 0; sym < nsym; sym++ {
+				b := block[f.Next[s][sym]]
+				succ = append(succ, byte(b), byte(b>>8), byte(b>>16), byte(b>>24))
+			}
+			k := refineKey{block[s], string(succ)}
+			id, ok := next[k]
+			if !ok {
+				id = newCount
+				newCount++
+				next[k] = id
+			}
+			newBlock[s] = id
+		}
+		if newCount == nBlocks {
+			block = newBlock
+			break
+		}
+		block, nBlocks = newBlock, newCount
+	}
+	// Build the quotient machine; block ids are renumbered so that the
+	// block containing state 0 becomes state 0 (preserving reset).
+	remap := make([]int, nBlocks)
+	for i := range remap {
+		remap[i] = -1
+	}
+	order := 0
+	assign := func(b int) int {
+		if remap[b] < 0 {
+			remap[b] = order
+			order++
+		}
+		return remap[b]
+	}
+	assign(block[0])
+	for s := 0; s < f.NumStates; s++ {
+		assign(block[s])
+	}
+	min := &FSM{
+		NumInputs:  f.NumInputs,
+		NumOutputs: f.NumOutputs,
+		NumStates:  nBlocks,
+		Next:       make([][]int, nBlocks),
+		Out:        make([][]uint64, nBlocks),
+	}
+	mapping := make([]int, f.NumStates)
+	for s := 0; s < f.NumStates; s++ {
+		nb := remap[block[s]]
+		mapping[s] = nb
+		if min.Next[nb] != nil {
+			continue
+		}
+		min.Next[nb] = make([]int, nsym)
+		min.Out[nb] = make([]uint64, nsym)
+		for sym := 0; sym < nsym; sym++ {
+			min.Next[nb][sym] = remap[block[f.Next[s][sym]]]
+			min.Out[nb][sym] = f.Out[s][sym]
+		}
+	}
+	return min, mapping
+}

@@ -1,0 +1,128 @@
+package fsm
+
+import (
+	"hlpower/internal/bdd"
+)
+
+// SymbolicRelation is the BDD transition relation T(x, s, s') of an
+// encoded machine — the representation the §III-H reencoding algorithms
+// manipulate when the STG is too large to enumerate. Variable order is
+// inputs, present-state bits, next-state bits.
+type SymbolicRelation struct {
+	M         *bdd.Manager
+	F         *FSM
+	Enc       *Encoding
+	T         bdd.Node
+	InputVars []int
+	StateVars []int
+	NextVars  []int
+}
+
+// BuildRelation constructs the monolithic transition relation.
+func BuildRelation(f *FSM, enc *Encoding) *SymbolicRelation {
+	nIn, w := f.NumInputs, enc.Width
+	m := bdd.New(nIn + 2*w)
+	r := &SymbolicRelation{M: m, F: f, Enc: enc}
+	for i := 0; i < nIn; i++ {
+		r.InputVars = append(r.InputVars, i)
+	}
+	for i := 0; i < w; i++ {
+		r.StateVars = append(r.StateVars, nIn+i)
+		r.NextVars = append(r.NextVars, nIn+w+i)
+	}
+	cubeEq := func(vars []int, code uint64) bdd.Node {
+		c := bdd.True
+		for i, v := range vars {
+			lit := m.Var(v)
+			if code>>uint(i)&1 == 0 {
+				lit = m.Not(lit)
+			}
+			c = m.And(c, lit)
+		}
+		return c
+	}
+	inputEq := func(sym int) bdd.Node {
+		c := bdd.True
+		for i, v := range r.InputVars {
+			lit := m.Var(v)
+			if sym>>uint(i)&1 == 0 {
+				lit = m.Not(lit)
+			}
+			c = m.And(c, lit)
+		}
+		return c
+	}
+	T := bdd.False
+	for s := 0; s < f.NumStates; s++ {
+		pres := cubeEq(r.StateVars, enc.Codes[s])
+		for sym := 0; sym < f.NumSymbols(); sym++ {
+			nxt := cubeEq(r.NextVars, enc.Codes[f.Next[s][sym]])
+			T = m.Or(T, m.AndN(inputEq(sym), pres, nxt))
+		}
+	}
+	r.T = T
+	return r
+}
+
+// Reachable returns the characteristic function (over the present-state
+// variables) of the states reachable from state 0, by least-fixpoint
+// image computation — the core symbolic traversal of §III-H.
+func (r *SymbolicRelation) Reachable() bdd.Node {
+	m := r.M
+	stateEq := func(code uint64) bdd.Node {
+		c := bdd.True
+		for i, v := range r.StateVars {
+			lit := m.Var(v)
+			if code>>uint(i)&1 == 0 {
+				lit = m.Not(lit)
+			}
+			c = m.And(c, lit)
+		}
+		return c
+	}
+	reached := stateEq(r.Enc.Codes[0])
+	quantify := append(append([]int{}, r.InputVars...), r.StateVars...)
+	for {
+		// Image: ∃x,s. T(x,s,s') ∧ reached(s) via the relational product,
+		// then rename s'→s.
+		img := m.AndExists(r.T, reached, quantify)
+		img = r.renameNextToState(img)
+		next := m.Or(reached, img)
+		if next == reached {
+			return reached
+		}
+		reached = next
+	}
+}
+
+// renameNextToState substitutes next-state variables by the matching
+// present-state variables (valid because f contains only next vars).
+func (r *SymbolicRelation) renameNextToState(f bdd.Node) bdd.Node {
+	m := r.M
+	// Compose one variable at a time: f[s'_i := s_i].
+	for i, nv := range r.NextVars {
+		sv := r.StateVars[i]
+		f = m.ITE(m.Var(sv), m.Restrict(f, nv, true), m.Restrict(f, nv, false))
+	}
+	return f
+}
+
+// ReachableStates enumerates reachable state indices explicitly (for
+// validation against the symbolic computation).
+func (f *FSM) ReachableStates() []bool {
+	seen := make([]bool, f.NumStates)
+	stack := []int{0}
+	seen[0] = true
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for sym := 0; sym < f.NumSymbols(); sym++ {
+			n := f.Next[s][sym]
+			if !seen[n] {
+				seen[n] = true
+				stack = append(stack, n)
+			}
+		}
+	}
+	return seen
+}

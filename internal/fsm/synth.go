@@ -1,0 +1,130 @@
+package fsm
+
+import (
+	"fmt"
+
+	"hlpower/internal/cover"
+	"hlpower/internal/logic"
+)
+
+// SynthGroups names the accounting groups of a synthesized controller.
+const (
+	GroupNextState = "ctrl-next"
+	GroupOutput    = "ctrl-out"
+	GroupStateReg  = "ctrl-reg"
+)
+
+// SynthesizeMultilevel is Synthesize with algebraically factored
+// next-state and output logic (cover.Factor): the §III-H path from
+// symbolic covers to a multilevel network, usually smaller than the
+// two-level form.
+func SynthesizeMultilevel(f *FSM, enc *Encoding) (*logic.Netlist, error) {
+	return synthesize(f, enc, true)
+}
+
+// Synthesize translates the encoded machine into a gate-level netlist:
+// two-level next-state and output logic (each cover minimized with our
+// Quine–McCluskey engine) plus a state register bank. Unused codes are
+// don't-cares treated as off-set. The register reset value is the code of
+// state 0.
+func Synthesize(f *FSM, enc *Encoding) (*logic.Netlist, error) {
+	return synthesize(f, enc, false)
+}
+
+func synthesize(f *FSM, enc *Encoding, multilevel bool) (*logic.Netlist, error) {
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	if err := enc.Validate(f.NumStates); err != nil {
+		return nil, err
+	}
+	nVars := f.NumInputs + enc.Width
+	if nVars > 24 {
+		return nil, fmt.Errorf("fsm: %d input+state bits too many for two-level synthesis", nVars)
+	}
+	n := logic.New()
+	in := n.AddInputBus("x", f.NumInputs)
+
+	// State registers with placeholder D inputs, patched after the
+	// next-state logic exists. Reset to state 0's code.
+	zero := n.AddG(logic.Const0, GroupStateReg)
+	stateQ := make(logic.Bus, enc.Width)
+	for b := range stateQ {
+		stateQ[b] = n.AddG(logic.DFF, GroupStateReg, zero)
+		n.SetInit(stateQ[b], enc.Codes[0]>>uint(b)&1 == 1)
+		n.SetName(stateQ[b], fmt.Sprintf("state[%d]", b))
+	}
+
+	vars := append(append(logic.Bus{}, in...), stateQ...)
+
+	// Collect on-set minterms per next-state bit and per output bit over
+	// (input bits, state bits).
+	nextOn := make([][]uint64, enc.Width)
+	outOn := make([][]uint64, f.NumOutputs)
+	nsym := f.NumSymbols()
+	for s := 0; s < f.NumStates; s++ {
+		codeBits := enc.Codes[s] << uint(f.NumInputs)
+		for sym := 0; sym < nsym; sym++ {
+			minterm := uint64(sym) | codeBits
+			nextCode := enc.Codes[f.Next[s][sym]]
+			for b := 0; b < enc.Width; b++ {
+				if nextCode>>uint(b)&1 == 1 {
+					nextOn[b] = append(nextOn[b], minterm)
+				}
+			}
+			outWord := f.Out[s][sym]
+			for b := 0; b < f.NumOutputs; b++ {
+				if outWord>>uint(b)&1 == 1 {
+					outOn[b] = append(outOn[b], minterm)
+				}
+			}
+		}
+	}
+	// Unused state codes are unreachable from reset: exploit them as
+	// don't-cares when the expanded set stays tractable.
+	var dcMinterms []uint64
+	used := make(map[uint64]bool, f.NumStates)
+	for _, c := range enc.Codes {
+		used[c] = true
+	}
+	unusedCodes := (1 << uint(enc.Width)) - f.NumStates
+	if unusedCodes > 0 && unusedCodes*nsym <= 2048 {
+		for code := uint64(0); code < 1<<uint(enc.Width); code++ {
+			if used[code] {
+				continue
+			}
+			for sym := 0; sym < nsym; sym++ {
+				dcMinterms = append(dcMinterms, uint64(sym)|code<<uint(f.NumInputs))
+			}
+		}
+	}
+	minimize := func(on []uint64) (*cover.Cover, error) {
+		if len(dcMinterms) > 0 {
+			return cover.MinimizeDC(on, dcMinterms, nVars)
+		}
+		return cover.Minimize(on, nVars)
+	}
+	build := func(cv *cover.Cover, group string) int {
+		if multilevel {
+			return logic.FromExpr(n, cover.Factor(cv), vars, group)
+		}
+		return logic.FromCover(n, cv, vars, group)
+	}
+	for b := 0; b < enc.Width; b++ {
+		cv, err := minimize(nextOn[b])
+		if err != nil {
+			return nil, fmt.Errorf("fsm: next-state bit %d: %w", b, err)
+		}
+		n.Gates[stateQ[b]].Fanin[0] = build(cv, GroupNextState)
+	}
+	for b := 0; b < f.NumOutputs; b++ {
+		cv, err := minimize(outOn[b])
+		if err != nil {
+			return nil, fmt.Errorf("fsm: output bit %d: %w", b, err)
+		}
+		o := build(cv, GroupOutput)
+		n.SetName(o, fmt.Sprintf("out[%d]", b))
+		n.MarkOutput(o)
+	}
+	return n, nil
+}

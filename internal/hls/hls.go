@@ -1,0 +1,407 @@
+// Package hls implements the low-power resource allocation and binding
+// of §III-E (Raghunathan–Jha [65]): variables and operations of a
+// scheduled CDFG are merged onto registers and functional units through
+// a compatibility graph whose edge weights W = Wc·(1−Ws) combine the
+// capacitance saving of sharing with the switching activity induced
+// between the occupants, measured by high-level simulation. An
+// activity-oblivious mode (W = Wc) provides the baseline the paper's
+// 5–33% savings are measured against.
+package hls
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"hlpower/internal/bitutil"
+	"hlpower/internal/cdfg"
+)
+
+// WordWidth is the datapath width used when counting register and
+// functional-unit bit switching.
+const WordWidth = 16
+
+// Binding maps CDFG variables to registers and operations to functional
+// units (unit namespaces are per operation kind).
+type Binding struct {
+	Graph *cdfg.Graph
+	Sched cdfg.Schedule
+	// RegOf[node] = register id for nodes whose value is registered.
+	RegOf map[int]int
+	// FUOf[node] = unit id within the node kind's unit pool.
+	FUOf map[int]int
+	// NumRegs and NumFUs report resource totals.
+	NumRegs int
+	NumFUs  map[cdfg.OpKind]int
+}
+
+// Traces holds per-node value sequences from high-level simulation: one
+// row per input sample, one column per node.
+type Traces struct {
+	Values [][]int64
+}
+
+// SimulateTraces evaluates the graph over n random input samples.
+func SimulateTraces(g *cdfg.Graph, n int, gen func(name string, sample int) int64) (*Traces, error) {
+	tr := &Traces{}
+	for s := 0; s < n; s++ {
+		in := make(map[string]int64)
+		for _, node := range g.Nodes {
+			if node.Kind == cdfg.Input {
+				in[node.Name] = gen(node.Name, s)
+			}
+		}
+		vals, err := g.Eval(in)
+		if err != nil {
+			return nil, err
+		}
+		tr.Values = append(tr.Values, vals)
+	}
+	return tr, nil
+}
+
+// variables returns the nodes whose results must be registered: any
+// operation or input consumed at a strictly later control step, plus
+// graph outputs.
+func variables(g *cdfg.Graph, s cdfg.Schedule) []int {
+	need := make(map[int]bool)
+	for _, n := range g.Nodes {
+		for _, a := range n.Args {
+			if defStep(g, s, a) < s.Step[n.ID] {
+				need[a] = true
+			}
+		}
+	}
+	for _, o := range g.Outputs {
+		need[o] = true
+	}
+	vars := make([]int, 0, len(need))
+	for v := range need {
+		vars = append(vars, v)
+	}
+	sort.Ints(vars)
+	return vars
+}
+
+// defStep is the step at which a node's value becomes available
+// (sources are available at step 0... before step 0).
+func defStep(g *cdfg.Graph, s cdfg.Schedule, id int) int {
+	if !g.Nodes[id].Kind.IsOperation() {
+		return -1
+	}
+	return s.Step[id] // value ready after this step
+}
+
+// lifetime returns [def, lastUse] in control steps.
+func lifetime(g *cdfg.Graph, s cdfg.Schedule, id int) (int, int) {
+	def := defStep(g, s, id)
+	last := def
+	for _, n := range g.Nodes {
+		for _, a := range n.Args {
+			if a == id && s.Step[n.ID] > last {
+				last = s.Step[n.ID]
+			}
+		}
+	}
+	for _, o := range g.Outputs {
+		if o == id && s.NumSteps > last {
+			last = s.NumSteps
+		}
+	}
+	return def, last
+}
+
+// Options selects the allocation policy.
+type Options struct {
+	ActivityAware bool
+	// Rng breaks ties for the oblivious baseline; required.
+	Rng *rand.Rand
+	// CapWeight is Wc, the per-merge capacitance saving (default 1).
+	CapWeight float64
+}
+
+// Allocate performs the greedy compatibility-graph merging for both
+// registers and functional units.
+func Allocate(g *cdfg.Graph, s cdfg.Schedule, tr *Traces, opts Options) (*Binding, error) {
+	if opts.Rng == nil {
+		return nil, fmt.Errorf("hls: Options.Rng is required")
+	}
+	if opts.CapWeight == 0 {
+		opts.CapWeight = 1
+	}
+	b := &Binding{
+		Graph:  g,
+		Sched:  s,
+		RegOf:  make(map[int]int),
+		FUOf:   make(map[int]int),
+		NumFUs: make(map[cdfg.OpKind]int),
+	}
+	if err := allocateRegisters(g, s, tr, opts, b); err != nil {
+		return nil, err
+	}
+	if err := allocateUnits(g, s, tr, opts, b); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// meanSwitch returns the mean normalized Hamming distance between the
+// value streams of two nodes — the Ws of the compatibility edge.
+func meanSwitch(tr *Traces, a, b int) float64 {
+	if len(tr.Values) == 0 {
+		return 0
+	}
+	total := 0
+	for _, row := range tr.Values {
+		total += bitutil.Hamming(uint64(row[a]), uint64(row[b]))
+	}
+	return float64(total) / (float64(len(tr.Values)) * WordWidth)
+}
+
+type group struct{ members []int }
+
+// greedyMerge merges compatible groups by descending weight until no
+// positive-weight compatible pair remains.
+func greedyMerge(items []int, compatible func(a, b []int) bool, weight func(a, b []int) float64) []group {
+	groups := make([]group, len(items))
+	for i, it := range items {
+		groups[i] = group{members: []int{it}}
+	}
+	for {
+		bi, bj := -1, -1
+		var bw float64
+		for i := 0; i < len(groups); i++ {
+			for j := i + 1; j < len(groups); j++ {
+				if !compatible(groups[i].members, groups[j].members) {
+					continue
+				}
+				w := weight(groups[i].members, groups[j].members)
+				if bi < 0 || w > bw {
+					bi, bj, bw = i, j, w
+				}
+			}
+		}
+		if bi < 0 {
+			break
+		}
+		groups[bi].members = append(groups[bi].members, groups[bj].members...)
+		groups = append(groups[:bj], groups[bj+1:]...)
+	}
+	return groups
+}
+
+func allocateRegisters(g *cdfg.Graph, s cdfg.Schedule, tr *Traces, opts Options, b *Binding) error {
+	vars := variables(g, s)
+	lifetimes := make(map[int][2]int)
+	for _, v := range vars {
+		d, l := lifetime(g, s, v)
+		lifetimes[v] = [2]int{d, l}
+	}
+	compatible := func(a, c []int) bool {
+		for _, x := range a {
+			for _, y := range c {
+				lx, ly := lifetimes[x], lifetimes[y]
+				if lx[0] < ly[1] && ly[0] < lx[1] {
+					return false // lifetimes overlap
+				}
+			}
+		}
+		return true
+	}
+	weight := func(a, c []int) float64 {
+		if !opts.ActivityAware {
+			return opts.CapWeight * (1 + opts.Rng.Float64()*1e-6)
+		}
+		// Average pairwise Ws across the merged occupants.
+		var ws float64
+		n := 0
+		for _, x := range a {
+			for _, y := range c {
+				ws += meanSwitch(tr, x, y)
+				n++
+			}
+		}
+		if n > 0 {
+			ws /= float64(n)
+		}
+		return opts.CapWeight * (1 - ws)
+	}
+	groups := greedyMerge(vars, compatible, weight)
+	for rid, grp := range groups {
+		for _, v := range grp.members {
+			b.RegOf[v] = rid
+		}
+	}
+	b.NumRegs = len(groups)
+	return nil
+}
+
+func allocateUnits(g *cdfg.Graph, s cdfg.Schedule, tr *Traces, opts Options, b *Binding) error {
+	byKind := make(map[cdfg.OpKind][]int)
+	for _, n := range g.Nodes {
+		if n.Kind.IsOperation() && n.Kind != cdfg.Mux {
+			byKind[n.Kind] = append(byKind[n.Kind], n.ID)
+		}
+	}
+	kinds := make([]cdfg.OpKind, 0, len(byKind))
+	for k := range byKind {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+	for _, kind := range kinds {
+		ops := byKind[kind]
+		compatible := func(a, c []int) bool {
+			for _, x := range a {
+				for _, y := range c {
+					if s.Step[x] == s.Step[y] {
+						return false
+					}
+				}
+			}
+			return true
+		}
+		weight := func(a, c []int) float64 {
+			if !opts.ActivityAware {
+				return opts.CapWeight * (1 + opts.Rng.Float64()*1e-6)
+			}
+			// Ws between operations: switching of their operand streams.
+			var ws float64
+			n := 0
+			for _, x := range a {
+				for _, y := range c {
+					ws += operandSwitch(g, tr, x, y)
+					n++
+				}
+			}
+			if n > 0 {
+				ws /= float64(n)
+			}
+			return opts.CapWeight * (1 - ws)
+		}
+		groups := greedyMerge(ops, compatible, weight)
+		for uid, grp := range groups {
+			for _, op := range grp.members {
+				b.FUOf[op] = uid
+			}
+		}
+		b.NumFUs[kind] = len(groups)
+	}
+	return nil
+}
+
+// operandSwitch is the mean normalized Hamming distance between the
+// operand pairs of two operations.
+func operandSwitch(g *cdfg.Graph, tr *Traces, x, y int) float64 {
+	ax, ay := g.Nodes[x].Args, g.Nodes[y].Args
+	if len(tr.Values) == 0 || len(ax) < 2 || len(ay) < 2 {
+		return 0
+	}
+	total := 0
+	for _, row := range tr.Values {
+		total += bitutil.Hamming(uint64(row[ax[0]]), uint64(row[ay[0]]))
+		total += bitutil.Hamming(uint64(row[ax[1]]), uint64(row[ay[1]]))
+	}
+	return float64(total) / (float64(len(tr.Values)) * 2 * WordWidth)
+}
+
+// SwitchedBits evaluates a binding's switching cost over the traces: for
+// every register, the bits flipped by consecutive writes; for every
+// functional unit, the bits flipped on its operand inputs between
+// consecutive operations it serves (within and across samples).
+func (b *Binding) SwitchedBits(tr *Traces) float64 {
+	g, s := b.Graph, b.Sched
+	mask := bitutil.Mask(WordWidth)
+
+	// Registers: writes ordered by def step.
+	regWrites := make(map[int][]int) // reg -> node ids sorted by def step
+	for v, r := range b.RegOf {
+		regWrites[r] = append(regWrites[r], v)
+	}
+	for _, vs := range regWrites {
+		sort.Slice(vs, func(i, j int) bool { return defStep(g, s, vs[i]) < defStep(g, s, vs[j]) })
+	}
+	// Units: ops ordered by step.
+	unitOps := make(map[[2]int][]int) // (kind, unit) -> ops
+	for op, u := range b.FUOf {
+		k := [2]int{int(g.Nodes[op].Kind), u}
+		unitOps[k] = append(unitOps[k], op)
+	}
+	for _, ops := range unitOps {
+		sort.Slice(ops, func(i, j int) bool { return s.Step[ops[i]] < s.Step[ops[j]] })
+	}
+
+	var total float64
+	for _, vs := range regWrites {
+		var prev uint64
+		first := true
+		for _, row := range tr.Values {
+			for _, v := range vs {
+				cur := uint64(row[v]) & mask
+				if !first {
+					total += float64(bitutil.Hamming(prev, cur))
+				}
+				prev, first = cur, false
+			}
+		}
+	}
+	for _, ops := range unitOps {
+		var prevA, prevB uint64
+		first := true
+		for _, row := range tr.Values {
+			for _, op := range ops {
+				args := g.Nodes[op].Args
+				a := uint64(row[args[0]]) & mask
+				var c uint64
+				if len(args) > 1 {
+					c = uint64(row[args[1]]) & mask
+				}
+				if !first {
+					total += float64(bitutil.Hamming(prevA, a) + bitutil.Hamming(prevB, c))
+				}
+				prevA, prevB, first = a, c, false
+			}
+		}
+	}
+	return total
+}
+
+// MuxInputs estimates the steering-logic cost of the binding: for every
+// register and functional-unit input port, one multiplexer input per
+// distinct source beyond the first. Sharing more aggressively saves
+// units but grows this number — the §III-E tension that motivates
+// simultaneous allocation.
+func (b *Binding) MuxInputs() int {
+	g, s := b.Graph, b.Sched
+	total := 0
+	// Register write ports: distinct producing operations per register.
+	regSources := make(map[int]map[int]bool)
+	for v, r := range b.RegOf {
+		if regSources[r] == nil {
+			regSources[r] = make(map[int]bool)
+		}
+		regSources[r][v] = true
+	}
+	for _, src := range regSources {
+		if len(src) > 1 {
+			total += len(src) - 1
+		}
+	}
+	// Unit operand ports: distinct argument sources per port.
+	unitSources := make(map[[3]int]map[int]bool) // (kind, unit, port) -> sources
+	for op, u := range b.FUOf {
+		for port, a := range g.Nodes[op].Args {
+			k := [3]int{int(g.Nodes[op].Kind), u, port}
+			if unitSources[k] == nil {
+				unitSources[k] = make(map[int]bool)
+			}
+			unitSources[k][a] = true
+		}
+	}
+	for _, src := range unitSources {
+		if len(src) > 1 {
+			total += len(src) - 1
+		}
+	}
+	_ = s
+	return total
+}

@@ -1,0 +1,75 @@
+package isa
+
+import "fmt"
+
+// Assembler builds programs with symbolic branch labels, resolving the
+// relative displacements at Assemble time.
+type Assembler struct {
+	prog   Program
+	labels map[string]int
+	fixups map[int]string // instruction index -> target label
+}
+
+// NewAssembler returns an empty assembler.
+func NewAssembler() *Assembler {
+	return &Assembler{labels: make(map[string]int), fixups: make(map[int]string)}
+}
+
+// Label binds a name to the next emitted instruction.
+func (a *Assembler) Label(name string) { a.labels[name] = len(a.prog) }
+
+// Emit appends an instruction verbatim.
+func (a *Assembler) Emit(i Instr) { a.prog = append(a.prog, i) }
+
+// Ldi emits Rd = imm.
+func (a *Assembler) Ldi(rd int, imm int64) { a.Emit(Instr{Op: LDI, Rd: rd, Imm: imm}) }
+
+// Addi emits Rd = Rs1 + imm.
+func (a *Assembler) Addi(rd, rs1 int, imm int64) {
+	a.Emit(Instr{Op: ADDI, Rd: rd, Rs1: rs1, Imm: imm})
+}
+
+// Alu emits a three-register ALU operation.
+func (a *Assembler) Alu(op Op, rd, rs1, rs2 int) {
+	a.Emit(Instr{Op: op, Rd: rd, Rs1: rs1, Rs2: rs2})
+}
+
+// Ld emits Rd = mem[Rs1+imm].
+func (a *Assembler) Ld(rd, rs1 int, imm int64) {
+	a.Emit(Instr{Op: LD, Rd: rd, Rs1: rs1, Imm: imm})
+}
+
+// St emits mem[Rs1+imm] = Rs2.
+func (a *Assembler) St(rs1 int, imm int64, rs2 int) {
+	a.Emit(Instr{Op: ST, Rs1: rs1, Rs2: rs2, Imm: imm})
+}
+
+// Branch emits a branch to a label (resolved later).
+func (a *Assembler) Branch(op Op, rs1, rs2 int, label string) {
+	a.fixups[len(a.prog)] = label
+	a.Emit(Instr{Op: op, Rs1: rs1, Rs2: rs2})
+}
+
+// Jmp emits an unconditional jump to a label.
+func (a *Assembler) Jmp(label string) {
+	a.fixups[len(a.prog)] = label
+	a.Emit(Instr{Op: JMP})
+}
+
+// Halt terminates the program.
+func (a *Assembler) Halt() { a.Emit(Instr{Op: HALT}) }
+
+// Assemble resolves labels and validates the program.
+func (a *Assembler) Assemble() (Program, error) {
+	for idx, label := range a.fixups {
+		tgt, ok := a.labels[label]
+		if !ok {
+			return nil, fmt.Errorf("isa: undefined label %q", label)
+		}
+		a.prog[idx].Imm = int64(tgt - (idx + 1))
+	}
+	if err := a.prog.Validate(); err != nil {
+		return nil, err
+	}
+	return a.prog, nil
+}

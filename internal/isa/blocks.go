@@ -1,0 +1,72 @@
+package isa
+
+// Whole-program instruction-bus optimization: split a program into basic
+// blocks at branch boundaries (and targets), then apply cold scheduling
+// and operand swapping per block. Branch instructions and block borders
+// are never moved, so all displacements stay valid.
+
+// basicBlocks returns [start, end) index ranges of branch-free,
+// fallthrough-only regions that are safe to reorder internally.
+func basicBlocks(p Program) [][2]int {
+	leader := make([]bool, len(p)+1)
+	leader[0] = true
+	for pc, ins := range p {
+		if ins.Op.IsBranch() {
+			leader[pc] = true // branches stay fixed: make them 1-blocks
+			leader[pc+1] = true
+			tgt := pc + 1 + int(ins.Imm)
+			if tgt >= 0 && tgt <= len(p) {
+				leader[tgt] = true
+			}
+		}
+		if ins.Op == HALT {
+			leader[pc] = true
+			leader[pc+1] = true
+		}
+	}
+	var blocks [][2]int
+	start := 0
+	for pc := 1; pc <= len(p); pc++ {
+		if leader[pc] {
+			if pc > start {
+				blocks = append(blocks, [2]int{start, pc})
+			}
+			start = pc
+		}
+	}
+	return blocks
+}
+
+// OptimizeBusTraffic applies cold scheduling and operand swapping to
+// every reorderable basic block of the program, returning the rewritten
+// program. Semantics are preserved: reordering honours data dependencies
+// and never crosses a branch, branch target, or HALT.
+func OptimizeBusTraffic(p Program) Program {
+	out := make(Program, len(p))
+	copy(out, p)
+	for _, blk := range basicBlocks(out) {
+		lo, hi := blk[0], blk[1]
+		if hi-lo < 2 {
+			continue
+		}
+		// Skip blocks containing branches or halts (they are 1-blocks by
+		// construction, but be defensive).
+		safe := true
+		for _, ins := range out[lo:hi] {
+			if ins.Op.IsBranch() || ins.Op == HALT {
+				safe = false
+				break
+			}
+		}
+		if !safe {
+			continue
+		}
+		prev := Instr{Op: NOP}
+		if lo > 0 {
+			prev = out[lo-1]
+		}
+		sched := ColdSchedule(out[lo:hi], prev, nil)
+		copy(out[lo:hi], sched)
+	}
+	return OperandSwap(out)
+}

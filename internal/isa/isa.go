@@ -1,0 +1,152 @@
+// Package isa implements the processor substrate for the software-level
+// techniques of §II-A and §III-A: a small load/store RISC ISA, an
+// architectural (fast) simulator with instruction/data caches, a branch
+// predictor and pipeline-stall modeling, a detailed (slow) reference
+// simulator acting as the power ground truth, the Tiwari instruction-
+// level energy model (base + circuit-state + other effects), cold
+// scheduling, characteristic-profile extraction, and profile-driven
+// program synthesis.
+package isa
+
+import (
+	"fmt"
+)
+
+// Op enumerates the instruction set.
+type Op uint8
+
+// Instruction opcodes. Loads/stores address memory as Rs1+Imm; branches
+// compare Rs1 against Rs2 and jump by Imm instructions.
+const (
+	NOP Op = iota
+	ADD
+	SUB
+	MUL
+	AND
+	OR
+	XOR
+	SHL
+	SHR
+	ADDI // Rd = Rs1 + Imm
+	LDI  // Rd = Imm
+	LD   // Rd = mem[Rs1+Imm]
+	ST   // mem[Rs1+Imm] = Rs2
+	BEQ  // if R[Rs1] == R[Rs2]: pc += Imm
+	BNE  // if R[Rs1] != R[Rs2]: pc += Imm
+	JMP  // pc += Imm
+	HALT
+	numOps
+)
+
+// NumOps is the number of distinct opcodes.
+const NumOps = int(numOps)
+
+var opNames = [...]string{
+	NOP: "nop", ADD: "add", SUB: "sub", MUL: "mul", AND: "and", OR: "or",
+	XOR: "xor", SHL: "shl", SHR: "shr", ADDI: "addi", LDI: "ldi",
+	LD: "ld", ST: "st", BEQ: "beq", BNE: "bne", JMP: "jmp", HALT: "halt",
+}
+
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// IsBranch reports whether the opcode can redirect control flow.
+func (o Op) IsBranch() bool { return o == BEQ || o == BNE || o == JMP }
+
+// IsMem reports whether the opcode accesses data memory.
+func (o Op) IsMem() bool { return o == LD || o == ST }
+
+// NumRegs is the architectural register count.
+const NumRegs = 16
+
+// Instr is one instruction. Rd/Rs1/Rs2 index registers; Imm is a signed
+// immediate (branch displacement in instructions, or address offset).
+type Instr struct {
+	Op           Op
+	Rd, Rs1, Rs2 int
+	Imm          int64
+}
+
+// Encode packs the instruction into a 32-bit word (returned as uint64
+// for the bit utilities): [31:26]=op, [25:22]=rd, [21:18]=rs1,
+// [17:14]=rs2, [13:0]=imm (two's complement). This is the word whose
+// transitions the instruction-bus techniques count.
+func (i Instr) Encode() uint64 {
+	imm := uint64(i.Imm) & 0x3FFF
+	return uint64(i.Op)<<26 |
+		uint64(i.Rd&0xF)<<22 |
+		uint64(i.Rs1&0xF)<<18 |
+		uint64(i.Rs2&0xF)<<14 |
+		imm
+}
+
+func (i Instr) String() string {
+	switch {
+	case i.Op == HALT || i.Op == NOP:
+		return i.Op.String()
+	case i.Op == JMP:
+		return fmt.Sprintf("jmp %+d", i.Imm)
+	case i.Op == BEQ || i.Op == BNE:
+		return fmt.Sprintf("%s r%d, r%d, %+d", i.Op, i.Rs1, i.Rs2, i.Imm)
+	case i.Op == LD:
+		return fmt.Sprintf("ld r%d, %d(r%d)", i.Rd, i.Imm, i.Rs1)
+	case i.Op == ST:
+		return fmt.Sprintf("st r%d, %d(r%d)", i.Rs2, i.Imm, i.Rs1)
+	case i.Op == LDI:
+		return fmt.Sprintf("ldi r%d, %d", i.Rd, i.Imm)
+	case i.Op == ADDI:
+		return fmt.Sprintf("addi r%d, r%d, %d", i.Rd, i.Rs1, i.Imm)
+	default:
+		return fmt.Sprintf("%s r%d, r%d, r%d", i.Op, i.Rd, i.Rs1, i.Rs2)
+	}
+}
+
+// Program is an instruction sequence; execution starts at index 0.
+type Program []Instr
+
+// Validate checks register indices and branch targets.
+func (p Program) Validate() error {
+	for pc, ins := range p {
+		if ins.Rd < 0 || ins.Rd >= NumRegs || ins.Rs1 < 0 || ins.Rs1 >= NumRegs ||
+			ins.Rs2 < 0 || ins.Rs2 >= NumRegs {
+			return fmt.Errorf("isa: instruction %d: register out of range", pc)
+		}
+		if ins.Op.IsBranch() {
+			tgt := pc + 1 + int(ins.Imm)
+			if tgt < 0 || tgt > len(p) {
+				return fmt.Errorf("isa: instruction %d: branch target %d out of range", pc, tgt)
+			}
+		}
+	}
+	return nil
+}
+
+// Reads returns the registers an instruction reads.
+func (i Instr) Reads() []int {
+	switch i.Op {
+	case ADD, SUB, MUL, AND, OR, XOR, SHL, SHR:
+		return []int{i.Rs1, i.Rs2}
+	case ADDI, LD:
+		return []int{i.Rs1}
+	case ST:
+		return []int{i.Rs1, i.Rs2}
+	case BEQ, BNE:
+		return []int{i.Rs1, i.Rs2}
+	default:
+		return nil
+	}
+}
+
+// Writes returns the register the instruction writes, or -1.
+func (i Instr) Writes() int {
+	switch i.Op {
+	case ADD, SUB, MUL, AND, OR, XOR, SHL, SHR, ADDI, LDI, LD:
+		return i.Rd
+	default:
+		return -1
+	}
+}

@@ -1,0 +1,299 @@
+package isa
+
+import (
+	"errors"
+	"fmt"
+
+	"hlpower/internal/bitutil"
+)
+
+// CacheConfig sizes a direct-mapped cache.
+type CacheConfig struct {
+	Lines    int // number of lines (power of two)
+	LineSize int // words per line (power of two)
+}
+
+// cache is a direct-mapped cache model.
+type cache struct {
+	cfg  CacheConfig
+	tags []int64 // -1 = invalid
+}
+
+func newCache(cfg CacheConfig) *cache {
+	if cfg.Lines <= 0 {
+		cfg.Lines = 64
+	}
+	if cfg.LineSize <= 0 {
+		cfg.LineSize = 4
+	}
+	t := make([]int64, cfg.Lines)
+	for i := range t {
+		t[i] = -1
+	}
+	return &cache{cfg: cfg, tags: t}
+}
+
+// access returns true on hit and updates the line on miss.
+func (c *cache) access(addr int64) bool {
+	block := addr / int64(c.cfg.LineSize)
+	line := int(block % int64(c.cfg.Lines))
+	if line < 0 {
+		line += c.cfg.Lines
+	}
+	if c.tags[line] == block {
+		return true
+	}
+	c.tags[line] = block
+	return false
+}
+
+// MachineConfig parameterizes the simulated core.
+type MachineConfig struct {
+	ICache, DCache CacheConfig
+	// Penalties in cycles.
+	ICacheMissPenalty int
+	DCacheMissPenalty int
+	BranchMissPenalty int
+	LoadUsePenalty    int
+	MemSize           int
+	MaxInstructions   int64
+}
+
+// DefaultConfig returns a small two-way-of-nothing laptop-scale core: a
+// direct-mapped 64-line I-cache and D-cache, 2-bit branch predictors,
+// and classic 5-stage-pipeline penalties.
+func DefaultConfig() MachineConfig {
+	return MachineConfig{
+		ICache:            CacheConfig{Lines: 64, LineSize: 4},
+		DCache:            CacheConfig{Lines: 64, LineSize: 4},
+		ICacheMissPenalty: 8,
+		DCacheMissPenalty: 10,
+		BranchMissPenalty: 2,
+		LoadUsePenalty:    1,
+		MemSize:           1 << 16,
+		MaxInstructions:   5_000_000,
+	}
+}
+
+// Stats aggregates everything the profile extractor and the energy
+// models need from one run.
+type Stats struct {
+	Instructions int64
+	Cycles       int64
+	OpCounts     [NumOps]int64
+	PairCounts   map[[2]Op]int64 // consecutive (prev, cur) executions
+	ICacheMisses int64
+	DCacheMisses int64
+	BranchCount  int64
+	BranchMisses int64
+	LoadUseStall int64
+	MemReads     int64
+	MemWrites    int64
+	BusTraffic   int64 // instruction-bus bit transitions
+}
+
+// MissRateI returns the instruction-cache miss rate.
+func (s *Stats) MissRateI() float64 { return rate(s.ICacheMisses, s.Instructions) }
+
+// MissRateD returns the data-cache miss rate per memory op.
+func (s *Stats) MissRateD() float64 { return rate(s.DCacheMisses, s.MemReads+s.MemWrites) }
+
+// BranchMissRate returns the predictor miss rate.
+func (s *Stats) BranchMissRate() float64 { return rate(s.BranchMisses, s.BranchCount) }
+
+func rate(num, den int64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}
+
+// Machine is the architectural simulator.
+type Machine struct {
+	Cfg    MachineConfig
+	Regs   [NumRegs]int64
+	Mem    []int64
+	icache *cache
+	dcache *cache
+	// 2-bit saturating branch predictor, direct-mapped on PC.
+	predictor []uint8
+}
+
+// NewMachine builds a machine with zeroed registers and memory.
+func NewMachine(cfg MachineConfig) *Machine {
+	if cfg.MemSize <= 0 {
+		cfg.MemSize = 1 << 16
+	}
+	if cfg.MaxInstructions <= 0 {
+		cfg.MaxInstructions = 5_000_000
+	}
+	return &Machine{
+		Cfg:       cfg,
+		Mem:       make([]int64, cfg.MemSize),
+		icache:    newCache(cfg.ICache),
+		dcache:    newCache(cfg.DCache),
+		predictor: make([]uint8, 256),
+	}
+}
+
+// TraceEntry records one executed instruction for trace-driven analyses.
+type TraceEntry struct {
+	PC      int
+	Instr   Instr
+	EncWord uint64
+	// Per-instruction event flags for the energy model.
+	ICacheMiss bool
+	DCacheMiss bool
+	BranchMiss bool
+	LoadUse    bool
+	// Operand values at execution (for data-dependent energy).
+	SrcA, SrcB int64
+	Result     int64
+}
+
+// Run executes the program until HALT, the end of the program, or the
+// instruction limit. When keepTrace is set the full execution trace is
+// returned (memory-hungry for long runs).
+func (m *Machine) Run(p Program, keepTrace bool) (*Stats, []TraceEntry, error) {
+	if err := p.Validate(); err != nil {
+		return nil, nil, err
+	}
+	st := &Stats{PairCounts: make(map[[2]Op]int64)}
+	var trace []TraceEntry
+	pc := 0
+	var prevOp Op = NOP
+	var prevWord uint64
+	var prevWrote = -1
+	first := true
+	for pc < len(p) {
+		if st.Instructions >= m.Cfg.MaxInstructions {
+			return st, trace, errors.New("isa: instruction limit exceeded")
+		}
+		ins := p[pc]
+		if ins.Op == HALT {
+			break
+		}
+		e := TraceEntry{PC: pc, Instr: ins, EncWord: ins.Encode()}
+
+		// Fetch.
+		if !m.icache.access(int64(pc)) {
+			e.ICacheMiss = true
+			st.ICacheMisses++
+			st.Cycles += int64(m.Cfg.ICacheMissPenalty)
+		}
+		if !first {
+			st.PairCounts[[2]Op{prevOp, ins.Op}]++
+			st.BusTraffic += int64(bitutil.Hamming(prevWord, e.EncWord))
+		}
+		// Load-use hazard: previous instruction loaded a register we read.
+		if prevOp == LD && prevWrote >= 0 {
+			for _, r := range ins.Reads() {
+				if r == prevWrote {
+					e.LoadUse = true
+					st.LoadUseStall++
+					st.Cycles += int64(m.Cfg.LoadUsePenalty)
+					break
+				}
+			}
+		}
+
+		// Execute.
+		nextPC := pc + 1
+		switch ins.Op {
+		case NOP:
+		case ADD, SUB, MUL, AND, OR, XOR, SHL, SHR:
+			a, b := m.Regs[ins.Rs1], m.Regs[ins.Rs2]
+			e.SrcA, e.SrcB = a, b
+			var r int64
+			switch ins.Op {
+			case ADD:
+				r = a + b
+			case SUB:
+				r = a - b
+			case MUL:
+				r = a * b
+			case AND:
+				r = a & b
+			case OR:
+				r = a | b
+			case XOR:
+				r = a ^ b
+			case SHL:
+				r = a << uint(b&63)
+			case SHR:
+				r = int64(uint64(a) >> uint(b&63))
+			}
+			m.Regs[ins.Rd] = r
+			e.Result = r
+		case ADDI:
+			e.SrcA = m.Regs[ins.Rs1]
+			m.Regs[ins.Rd] = m.Regs[ins.Rs1] + ins.Imm
+			e.Result = m.Regs[ins.Rd]
+		case LDI:
+			m.Regs[ins.Rd] = ins.Imm
+			e.Result = ins.Imm
+		case LD, ST:
+			addr := m.Regs[ins.Rs1] + ins.Imm
+			if addr < 0 || addr >= int64(len(m.Mem)) {
+				return st, trace, fmt.Errorf("isa: pc %d: address %d out of range", pc, addr)
+			}
+			e.SrcA = addr
+			if !m.dcache.access(addr) {
+				e.DCacheMiss = true
+				st.DCacheMisses++
+				st.Cycles += int64(m.Cfg.DCacheMissPenalty)
+			}
+			if ins.Op == LD {
+				st.MemReads++
+				m.Regs[ins.Rd] = m.Mem[addr]
+				e.Result = m.Regs[ins.Rd]
+			} else {
+				st.MemWrites++
+				e.SrcB = m.Regs[ins.Rs2]
+				m.Mem[addr] = m.Regs[ins.Rs2]
+			}
+		case BEQ, BNE, JMP:
+			st.BranchCount++
+			taken := false
+			switch ins.Op {
+			case BEQ:
+				taken = m.Regs[ins.Rs1] == m.Regs[ins.Rs2]
+			case BNE:
+				taken = m.Regs[ins.Rs1] != m.Regs[ins.Rs2]
+			case JMP:
+				taken = true
+			}
+			slot := pc & 0xFF
+			predictTaken := m.predictor[slot] >= 2
+			if predictTaken != taken {
+				e.BranchMiss = true
+				st.BranchMisses++
+				st.Cycles += int64(m.Cfg.BranchMissPenalty)
+			}
+			// Update the 2-bit counter.
+			if taken && m.predictor[slot] < 3 {
+				m.predictor[slot]++
+			} else if !taken && m.predictor[slot] > 0 {
+				m.predictor[slot]--
+			}
+			if taken {
+				nextPC = pc + 1 + int(ins.Imm)
+			}
+		default:
+			return st, trace, fmt.Errorf("isa: pc %d: unknown op %v", pc, ins.Op)
+		}
+
+		st.Instructions++
+		st.Cycles++
+		st.OpCounts[ins.Op]++
+		if keepTrace {
+			trace = append(trace, e)
+		}
+		prevOp = ins.Op
+		prevWord = e.EncWord
+		prevWrote = ins.Writes()
+		first = false
+		pc = nextPC
+	}
+	return st, trace, nil
+}

@@ -1,0 +1,47 @@
+package isa
+
+// Operand swapping (§III-A, Lee/Tiwari [50][51]): commutative operations
+// can present their source registers in either order; choosing the order
+// that minimizes the Hamming distance between consecutive instruction
+// words lowers instruction-bus switching at zero cost.
+
+// isCommutative reports whether swapping Rs1/Rs2 preserves semantics.
+func (o Op) isCommutative() bool {
+	switch o {
+	case ADD, MUL, AND, OR, XOR:
+		return true
+	}
+	return false
+}
+
+// OperandSwap returns a copy of the program with commutative operand
+// orders chosen greedily to minimize consecutive encoding distance.
+// Instruction count and semantics are unchanged, so branch displacements
+// stay valid.
+func OperandSwap(p Program) Program {
+	out := make(Program, len(p))
+	copy(out, p)
+	var prev uint64
+	for i, ins := range out {
+		if ins.Op.isCommutative() && ins.Rs1 != ins.Rs2 {
+			swapped := ins
+			swapped.Rs1, swapped.Rs2 = ins.Rs2, ins.Rs1
+			if i > 0 && hammingTo(prev, swapped) < hammingTo(prev, ins) {
+				out[i] = swapped
+			}
+		}
+		prev = out[i].Encode()
+	}
+	return out
+}
+
+func hammingTo(prev uint64, ins Instr) int {
+	w := ins.Encode()
+	d := prev ^ w
+	n := 0
+	for d != 0 {
+		d &= d - 1
+		n++
+	}
+	return n
+}

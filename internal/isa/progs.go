@@ -1,0 +1,279 @@
+package isa
+
+import "math/rand"
+
+// Benchmark programs for the software-level experiments. Register
+// conventions are local to each program; memory layout starts arrays at
+// fixed bases.
+
+// VectorSum returns a program summing n array elements at base 100 into
+// r3.
+func VectorSum(n int) (Program, error) {
+	a := NewAssembler()
+	a.Ldi(1, 0) // i
+	a.Ldi(2, int64(n))
+	a.Ldi(3, 0)   // sum
+	a.Ldi(4, 100) // pointer
+	a.Label("loop")
+	a.Ld(5, 4, 0)
+	a.Alu(ADD, 3, 3, 5)
+	a.Addi(4, 4, 1)
+	a.Addi(1, 1, 1)
+	a.Branch(BNE, 1, 2, "loop")
+	a.Halt()
+	return a.Assemble()
+}
+
+// DotProduct returns a program computing Σ x[i]·y[i] with x at 100 and
+// y at 100+n, result in r3.
+func DotProduct(n int) (Program, error) {
+	a := NewAssembler()
+	a.Ldi(1, 0)
+	a.Ldi(2, int64(n))
+	a.Ldi(3, 0)
+	a.Ldi(4, 100)
+	a.Ldi(5, int64(100+n))
+	a.Label("loop")
+	a.Ld(6, 4, 0)
+	a.Ld(7, 5, 0)
+	a.Alu(MUL, 8, 6, 7)
+	a.Alu(ADD, 3, 3, 8)
+	a.Addi(4, 4, 1)
+	a.Addi(5, 5, 1)
+	a.Addi(1, 1, 1)
+	a.Branch(BNE, 1, 2, "loop")
+	a.Halt()
+	return a.Assemble()
+}
+
+// FIRFilter returns a program running a taps-tap FIR over n input
+// samples: coefficients at base 50, input at 100, output at 100+n+taps.
+func FIRFilter(taps, n int) (Program, error) {
+	a := NewAssembler()
+	a.Ldi(1, 0) // output index
+	a.Ldi(2, int64(n))
+	a.Label("outer")
+	a.Ldi(3, 0) // acc
+	a.Ldi(4, 0) // tap index
+	a.Ldi(5, int64(taps))
+	a.Label("inner")
+	// r6 = coeff[t]; r7 = x[i+t]
+	a.Alu(ADD, 8, 4, 0) // r8 = t (r0 always 0)
+	a.Addi(8, 8, 50)
+	a.Ld(6, 8, 0)
+	a.Alu(ADD, 9, 1, 4)
+	a.Addi(9, 9, 100)
+	a.Ld(7, 9, 0)
+	a.Alu(MUL, 10, 6, 7)
+	a.Alu(ADD, 3, 3, 10)
+	a.Addi(4, 4, 1)
+	a.Branch(BNE, 4, 5, "inner")
+	a.Alu(ADD, 11, 1, 0)
+	a.Addi(11, 11, int64(100+n+taps))
+	a.St(11, 0, 3)
+	a.Addi(1, 1, 1)
+	a.Branch(BNE, 1, 2, "outer")
+	a.Halt()
+	return a.Assemble()
+}
+
+// StridedWalk touches n addresses with the given stride starting at
+// base 200 — the cache-behaviour knob.
+func StridedWalk(n, stride int) (Program, error) {
+	a := NewAssembler()
+	a.Ldi(1, 0)
+	a.Ldi(2, int64(n))
+	a.Ldi(4, 200)
+	a.Label("loop")
+	a.Ld(5, 4, 0)
+	a.Addi(4, 4, int64(stride))
+	a.Addi(1, 1, 1)
+	a.Branch(BNE, 1, 2, "loop")
+	a.Halt()
+	return a.Assemble()
+}
+
+// MixedALU runs n iterations of a varied ALU body (no memory traffic),
+// exercising many instruction pairs for the Tiwari experiments.
+func MixedALU(n int) (Program, error) {
+	a := NewAssembler()
+	a.Ldi(1, 0)
+	a.Ldi(2, int64(n))
+	a.Ldi(3, 0x55)
+	a.Ldi(4, 0x0F)
+	a.Label("loop")
+	a.Alu(ADD, 5, 3, 4)
+	a.Alu(MUL, 6, 5, 3)
+	a.Alu(XOR, 3, 6, 4)
+	a.Alu(AND, 7, 3, 5)
+	a.Alu(OR, 4, 7, 6)
+	a.Alu(SHR, 4, 4, 0) // shift by r0 = 0 keeps values bounded
+	a.Addi(1, 1, 1)
+	a.Branch(BNE, 1, 2, "loop")
+	a.Halt()
+	return a.Assemble()
+}
+
+// InitMem fills machine memory starting at base with the given values.
+func InitMem(m *Machine, base int, values []int64) {
+	for i, v := range values {
+		if base+i < len(m.Mem) {
+			m.Mem[base+i] = v
+		}
+	}
+}
+
+// RandomData returns n pseudo-random words bounded to keep MUL results
+// small.
+func RandomData(n int, rng *rand.Rand) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = int64(rng.Intn(256))
+	}
+	return out
+}
+
+// MemOptPair builds the Fig. 2 example: the "before" program writes the
+// intermediate array b to memory in one loop and reads it back in a
+// second (2n extra memory accesses); the "after" program fuses the loops
+// and keeps b[i] in a register. Both compute c[i] = (a[i]+k1)*k2 over n
+// elements with a at 100, b at 100+n, c at 100+2n.
+func MemOptPair(n int) (before, after Program, err error) {
+	// Before: loop 1 computes b[i] = a[i] + k1; loop 2 computes
+	// c[i] = b[i] * k2.
+	a := NewAssembler()
+	a.Ldi(1, 0)
+	a.Ldi(2, int64(n))
+	a.Ldi(3, 7) // k1
+	a.Label("loop1")
+	a.Alu(ADD, 8, 1, 0)
+	a.Addi(8, 8, 100) // &a[i]
+	a.Ld(5, 8, 0)
+	a.Alu(ADD, 6, 5, 3)
+	a.Addi(8, 8, int64(n)) // &b[i]
+	a.St(8, 0, 6)
+	a.Addi(1, 1, 1)
+	a.Branch(BNE, 1, 2, "loop1")
+	a.Ldi(1, 0)
+	a.Ldi(4, 3) // k2
+	a.Label("loop2")
+	a.Alu(ADD, 8, 1, 0)
+	a.Addi(8, 8, int64(100+n)) // &b[i]
+	a.Ld(6, 8, 0)
+	a.Alu(MUL, 7, 6, 4)
+	a.Addi(8, 8, int64(n)) // &c[i]
+	a.St(8, 0, 7)
+	a.Addi(1, 1, 1)
+	a.Branch(BNE, 1, 2, "loop2")
+	a.Halt()
+	before, err = a.Assemble()
+	if err != nil {
+		return nil, nil, err
+	}
+
+	b := NewAssembler()
+	b.Ldi(1, 0)
+	b.Ldi(2, int64(n))
+	b.Ldi(3, 7)
+	b.Ldi(4, 3)
+	b.Label("loop")
+	b.Alu(ADD, 8, 1, 0)
+	b.Addi(8, 8, 100) // &a[i]
+	b.Ld(5, 8, 0)
+	b.Alu(ADD, 6, 5, 3) // b[i] stays in r6
+	b.Alu(MUL, 7, 6, 4)
+	b.Addi(8, 8, int64(2*n)) // &c[i]
+	b.St(8, 0, 7)
+	b.Addi(1, 1, 1)
+	b.Branch(BNE, 1, 2, "loop")
+	b.Halt()
+	after, err = b.Assemble()
+	if err != nil {
+		return nil, nil, err
+	}
+	return before, after, nil
+}
+
+// MatMul multiplies two n×n matrices: A at base 1000, B at 1000+n²,
+// C at 1000+2n² (row-major). A heavier, cache-interesting workload.
+func MatMul(n int) (Program, error) {
+	a := NewAssembler()
+	base := int64(1000)
+	a.Ldi(1, 0) // i
+	a.Ldi(2, int64(n))
+	a.Label("iloop")
+	a.Ldi(3, 0) // j
+	a.Label("jloop")
+	a.Ldi(4, 0) // k
+	a.Ldi(5, 0) // acc
+	a.Label("kloop")
+	// r6 = A[i*n+k]
+	a.Alu(MUL, 6, 1, 2)
+	a.Alu(ADD, 6, 6, 4)
+	a.Addi(6, 6, base)
+	a.Ld(7, 6, 0)
+	// r8 = B[k*n+j]
+	a.Alu(MUL, 8, 4, 2)
+	a.Alu(ADD, 8, 8, 3)
+	a.Addi(8, 8, base+int64(n*n))
+	a.Ld(9, 8, 0)
+	a.Alu(MUL, 10, 7, 9)
+	a.Alu(ADD, 5, 5, 10)
+	a.Addi(4, 4, 1)
+	a.Branch(BNE, 4, 2, "kloop")
+	// C[i*n+j] = acc
+	a.Alu(MUL, 11, 1, 2)
+	a.Alu(ADD, 11, 11, 3)
+	a.Addi(11, 11, base+int64(2*n*n))
+	a.St(11, 0, 5)
+	a.Addi(3, 3, 1)
+	a.Branch(BNE, 3, 2, "jloop")
+	a.Addi(1, 1, 1)
+	a.Branch(BNE, 1, 2, "iloop")
+	a.Halt()
+	return a.Assemble()
+}
+
+// BubbleSort sorts n words at base 3000 in place — a branchy,
+// data-dependent control-flow workload (bad for the branch predictor).
+func BubbleSort(n int) (Program, error) {
+	a := NewAssembler()
+	base := int64(3000)
+	a.Ldi(1, 0) // i
+	a.Ldi(2, int64(n-1))
+	a.Label("outer")
+	a.Ldi(3, 0)         // j
+	a.Alu(SUB, 4, 2, 1) // limit = n-1-i
+	a.Label("inner")
+	a.Alu(ADD, 5, 3, 0)
+	a.Addi(5, 5, base)
+	a.Ld(6, 5, 0) // x[j]
+	a.Ld(7, 5, 1) // x[j+1]
+	// if x[j] <= x[j+1] skip the swap: compute lt = x[j+1] < x[j]
+	a.Emit(Instr{Op: SUB, Rd: 8, Rs1: 6, Rs2: 7}) // r8 = x[j]-x[j+1]
+	// Branch if r8 <= 0: we only have BEQ/BNE, so shift sign bit down.
+	a.Emit(Instr{Op: SHR, Rd: 9, Rs1: 8, Rs2: 10}) // r10 preloaded with 63
+	a.Branch(BNE, 9, 11, "noswap")                 // r11 preloaded with 0... sign=1 means negative: skip swap when NOT positive
+	a.Branch(BEQ, 8, 11, "noswap")                 // equal: no swap
+	a.St(5, 0, 7)
+	a.St(5, 1, 6)
+	a.Label("noswap")
+	a.Addi(3, 3, 1)
+	a.Branch(BNE, 3, 4, "inner")
+	a.Addi(1, 1, 1)
+	a.Branch(BNE, 1, 2, "outer")
+	a.Halt()
+	prog := append(Program{
+		{Op: LDI, Rd: 10, Imm: 63},
+		{Op: LDI, Rd: 11, Imm: 0},
+	}, nil...)
+	body, err := a.Assemble()
+	if err != nil {
+		return nil, err
+	}
+	prog = append(prog, body...)
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}

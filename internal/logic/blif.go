@@ -1,0 +1,134 @@
+package logic
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteBLIF serializes the netlist in Berkeley Logic Interchange Format
+// (the SIS-era interchange the surveyed flows exchange circuits in).
+// Combinational gates become .names tables; DFFs become .latch lines
+// (EnDFFs and transparent latches are rejected — BLIF has no standard
+// encoding for them).
+func WriteBLIF(w io.Writer, n *Netlist, modelName string) error {
+	if modelName == "" {
+		modelName = "hlpower"
+	}
+	sigName := func(id int) string {
+		if name := n.Gates[id].Name; name != "" {
+			return sanitize(name)
+		}
+		return fmt.Sprintf("n%d", id)
+	}
+	fmt.Fprintf(w, ".model %s\n", modelName)
+	fmt.Fprint(w, ".inputs")
+	for _, in := range n.Inputs {
+		fmt.Fprintf(w, " %s", sigName(in))
+	}
+	fmt.Fprintln(w)
+	fmt.Fprint(w, ".outputs")
+	for i, out := range n.Outputs {
+		fmt.Fprintf(w, " out%d", i)
+		_ = out
+	}
+	fmt.Fprintln(w)
+	// Alias outputs through buffers so duplicate output signals and
+	// internal names stay legal.
+	for i, out := range n.Outputs {
+		fmt.Fprintf(w, ".names %s out%d\n1 1\n", sigName(out), i)
+	}
+	for id, g := range n.Gates {
+		name := sigName(id)
+		switch g.Kind {
+		case Input:
+			// declared above
+		case Const0:
+			fmt.Fprintf(w, ".names %s\n", name) // empty table = constant 0
+		case Const1:
+			fmt.Fprintf(w, ".names %s\n1\n", name)
+		case Buf:
+			fmt.Fprintf(w, ".names %s %s\n1 1\n", sigName(g.Fanin[0]), name)
+		case Not:
+			fmt.Fprintf(w, ".names %s %s\n0 1\n", sigName(g.Fanin[0]), name)
+		case And, Or, Nand, Nor:
+			fmt.Fprint(w, ".names")
+			for _, f := range g.Fanin {
+				fmt.Fprintf(w, " %s", sigName(f))
+			}
+			fmt.Fprintf(w, " %s\n", name)
+			k := len(g.Fanin)
+			switch g.Kind {
+			case And:
+				fmt.Fprintf(w, "%s 1\n", ones(k))
+			case Nand:
+				for i := 0; i < k; i++ {
+					fmt.Fprintf(w, "%s 1\n", oneZeroAt(k, i))
+				}
+			case Or:
+				for i := 0; i < k; i++ {
+					fmt.Fprintf(w, "%s 1\n", oneOneAt(k, i))
+				}
+			case Nor:
+				fmt.Fprintf(w, "%s 1\n", zeros(k))
+			}
+		case Xor, Xnor:
+			fmt.Fprintf(w, ".names %s %s %s\n", sigName(g.Fanin[0]), sigName(g.Fanin[1]), name)
+			if g.Kind == Xor {
+				fmt.Fprint(w, "01 1\n10 1\n")
+			} else {
+				fmt.Fprint(w, "00 1\n11 1\n")
+			}
+		case Mux:
+			fmt.Fprintf(w, ".names %s %s %s %s\n", sigName(g.Fanin[0]),
+				sigName(g.Fanin[1]), sigName(g.Fanin[2]), name)
+			fmt.Fprint(w, "01- 1\n1-1 1\n")
+		case DFF:
+			init := 0
+			if g.Init {
+				init = 1
+			}
+			fmt.Fprintf(w, ".latch %s %s re clk %d\n", sigName(g.Fanin[0]), name, init)
+		default:
+			return fmt.Errorf("logic: BLIF cannot express %v (gate %d)", g.Kind, id)
+		}
+	}
+	fmt.Fprintln(w, ".end")
+	return nil
+}
+
+func sanitize(s string) string {
+	b := []byte(s)
+	for i, c := range b {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_':
+		default:
+			b[i] = '_'
+		}
+	}
+	return string(b)
+}
+
+func ones(k int) string  { return repeatByte('1', k) }
+func zeros(k int) string { return repeatByte('0', k) }
+
+func repeatByte(c byte, k int) string {
+	b := make([]byte, k)
+	for i := range b {
+		b[i] = c
+	}
+	return string(b)
+}
+
+// oneZeroAt: pattern of '-' with a single '0' at position i (NAND rows).
+func oneZeroAt(k, i int) string {
+	b := []byte(repeatByte('-', k))
+	b[i] = '0'
+	return string(b)
+}
+
+// oneOneAt: pattern of '-' with a single '1' at position i (OR rows).
+func oneOneAt(k, i int) string {
+	b := []byte(repeatByte('-', k))
+	b[i] = '1'
+	return string(b)
+}

@@ -1,0 +1,66 @@
+package logic
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteBLIFCombinational(t *testing.T) {
+	n := New()
+	a := n.AddInput("a")
+	b := n.AddInput("b")
+	x := n.Add(And, a, b)
+	y := n.Add(Xor, x, a)
+	n.MarkOutput(y)
+	var buf bytes.Buffer
+	if err := WriteBLIF(&buf, n, "tiny"); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	for _, want := range []string{".model tiny", ".inputs a b", ".outputs out0", ".names", ".end"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("missing %q in BLIF:\n%s", want, s)
+		}
+	}
+}
+
+func TestWriteBLIFSequential(t *testing.T) {
+	n := New()
+	d := n.AddInput("d")
+	q := n.Add(DFF, d)
+	n.SetInit(q, true)
+	n.MarkOutput(q)
+	var buf bytes.Buffer
+	if err := WriteBLIF(&buf, n, ""); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), ".latch d n1 re clk 1") {
+		t.Errorf("latch line missing or wrong:\n%s", buf.String())
+	}
+}
+
+func TestWriteBLIFRejectsLatches(t *testing.T) {
+	n := New()
+	en := n.AddInput("en")
+	d := n.AddInput("d")
+	l := n.Add(Latch, en, d)
+	n.MarkOutput(l)
+	var buf bytes.Buffer
+	if err := WriteBLIF(&buf, n, ""); err == nil {
+		t.Error("transparent latch should be rejected")
+	}
+}
+
+func TestBLIFNameSanitization(t *testing.T) {
+	n := New()
+	a := n.AddInput("x[0]")
+	n.MarkOutput(n.Add(Not, a))
+	var buf bytes.Buffer
+	if err := WriteBLIF(&buf, n, ""); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "[") {
+		t.Error("names not sanitized")
+	}
+}

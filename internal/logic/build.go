@@ -1,0 +1,197 @@
+package logic
+
+import (
+	"fmt"
+
+	"hlpower/internal/bdd"
+	"hlpower/internal/cover"
+)
+
+// FromCover synthesizes a two-level AND-OR network computing the cover
+// over the given input signals (inputs[i] is variable i) and returns the
+// output signal id. Complemented literals share a single inverter rail.
+func FromCover(n *Netlist, cv *cover.Cover, inputs []int, group string) int {
+	if cv.NumVars > len(inputs) {
+		panic(fmt.Sprintf("logic: cover has %d vars, only %d inputs", cv.NumVars, len(inputs)))
+	}
+	if len(cv.Cubes) == 0 {
+		return n.AddG(Const0, group)
+	}
+	inverters := make(map[int]int)
+	inv := func(sig int) int {
+		if g, ok := inverters[sig]; ok {
+			return g
+		}
+		g := n.AddG(Not, group, sig)
+		inverters[sig] = g
+		return g
+	}
+	var products []int
+	for _, c := range cv.Cubes {
+		var lits []int
+		for v := 0; v < cv.NumVars; v++ {
+			if c.Mask>>uint(v)&1 == 0 {
+				continue
+			}
+			if c.Val>>uint(v)&1 == 1 {
+				lits = append(lits, inputs[v])
+			} else {
+				lits = append(lits, inv(inputs[v]))
+			}
+		}
+		switch len(lits) {
+		case 0:
+			return n.AddG(Const1, group) // tautological cube
+		case 1:
+			products = append(products, lits[0])
+		default:
+			products = append(products, n.AddG(And, group, lits...))
+		}
+	}
+	if len(products) == 1 {
+		return products[0]
+	}
+	return n.AddG(Or, group, products...)
+}
+
+// FromBDD synthesizes a multiplexor network mirroring the BDD of f: one
+// 2:1 mux per BDD node (the direct mapping §III-H warns can be deep), and
+// returns the output signal id. vars[i] is the signal for BDD variable i.
+func FromBDD(n *Netlist, m *bdd.Manager, f bdd.Node, vars []int, group string) int {
+	memo := make(map[bdd.Node]int)
+	var zero, one = -1, -1
+	constSig := func(v bool) int {
+		if v {
+			if one < 0 {
+				one = n.AddG(Const1, group)
+			}
+			return one
+		}
+		if zero < 0 {
+			zero = n.AddG(Const0, group)
+		}
+		return zero
+	}
+	var rec func(bdd.Node) int
+	rec = func(node bdd.Node) int {
+		if node == bdd.True {
+			return constSig(true)
+		}
+		if node == bdd.False {
+			return constSig(false)
+		}
+		if sig, ok := memo[node]; ok {
+			return sig
+		}
+		v, lo, hi := m.Decompose(node)
+		sig := n.AddG(Mux, group, vars[v], rec(lo), rec(hi))
+		memo[node] = sig
+		return sig
+	}
+	return rec(f)
+}
+
+// Bus is an ordered set of signal ids representing a word, LSB first.
+type Bus []int
+
+// AddInputBus declares width named inputs ("name[0]"... LSB first).
+func (n *Netlist) AddInputBus(name string, width int) Bus {
+	b := make(Bus, width)
+	for i := range b {
+		b[i] = n.AddInput(fmt.Sprintf("%s[%d]", name, i))
+	}
+	return b
+}
+
+// MarkOutputBus declares every signal of the bus as a primary output.
+func (n *Netlist) MarkOutputBus(b Bus) {
+	for _, s := range b {
+		n.MarkOutput(s)
+	}
+}
+
+// RegisterBus inserts a DFF on each bus line and returns the registered
+// bus. The registers are placed in the given accounting group.
+func (n *Netlist) RegisterBus(b Bus, group string) Bus {
+	out := make(Bus, len(b))
+	for i, s := range b {
+		out[i] = n.AddG(DFF, group, s)
+	}
+	return out
+}
+
+// EnRegisterBus inserts enabled (gated-clock) DFFs on each line.
+func (n *Netlist) EnRegisterBus(b Bus, enable int, group string) Bus {
+	out := make(Bus, len(b))
+	for i, s := range b {
+		out[i] = n.AddG(EnDFF, group, enable, s)
+	}
+	return out
+}
+
+// LatchBus inserts transparent latches (guard logic) on each line,
+// transparent while enable is true.
+func (n *Netlist) LatchBus(b Bus, enable int, group string) Bus {
+	out := make(Bus, len(b))
+	for i, s := range b {
+		out[i] = n.AddG(Latch, group, enable, s)
+	}
+	return out
+}
+
+// MuxBus selects b1 when sel is true, b0 otherwise, bit by bit.
+func (n *Netlist) MuxBus(sel int, b0, b1 Bus, group string) Bus {
+	if len(b0) != len(b1) {
+		panic("logic: MuxBus width mismatch")
+	}
+	out := make(Bus, len(b0))
+	for i := range b0 {
+		out[i] = n.AddG(Mux, group, sel, b0[i], b1[i])
+	}
+	return out
+}
+
+// FromExpr synthesizes a factored expression (cover.Factor output) as a
+// multilevel network — the §III-H path from symbolic covers to gates.
+func FromExpr(n *Netlist, e *cover.Expr, inputs []int, group string) int {
+	inverters := make(map[int]int)
+	inv := func(sig int) int {
+		if g, ok := inverters[sig]; ok {
+			return g
+		}
+		g := n.AddG(Not, group, sig)
+		inverters[sig] = g
+		return g
+	}
+	var rec func(*cover.Expr) int
+	rec = func(e *cover.Expr) int {
+		switch e.Kind {
+		case cover.ExprConst:
+			if e.Positive {
+				return n.AddG(Const1, group)
+			}
+			return n.AddG(Const0, group)
+		case cover.ExprLit:
+			if e.Positive {
+				return inputs[e.Var]
+			}
+			return inv(inputs[e.Var])
+		case cover.ExprAnd, cover.ExprOr:
+			kind := And
+			if e.Kind == cover.ExprOr {
+				kind = Or
+			}
+			args := make([]int, len(e.Args))
+			for i, a := range e.Args {
+				args[i] = rec(a)
+			}
+			if len(args) == 1 {
+				return args[0]
+			}
+			return n.AddG(kind, group, args...)
+		default:
+			panic("logic: unknown expression kind")
+		}
+	}
+	return rec(e)
+}

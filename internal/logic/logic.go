@@ -1,0 +1,364 @@
+// Package logic provides the gate-level netlist substrate: a small
+// structural cell library (standard gates, multiplexors, flip-flops,
+// transparent latches), netlist construction with per-gate accounting
+// groups, a unit-capacitance load model with a statistical wire-load
+// component, and topological ordering. Every higher-level technique in
+// this repository ultimately measures power as switched capacitance on
+// these netlists.
+package logic
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Kind enumerates the cell types of the library.
+type Kind uint8
+
+// Cell kinds. Fanin conventions: Mux is (sel, in0, in1) and selects in1
+// when sel is true; DFF is (D); EnDFF is (enable, D) and holds state when
+// enable is false (a gated-clock register); Latch is (enable, D) and is
+// transparent while enable is true.
+const (
+	Input Kind = iota
+	Const0
+	Const1
+	Buf
+	Not
+	And
+	Or
+	Nand
+	Nor
+	Xor
+	Xnor
+	Mux
+	DFF
+	EnDFF
+	Latch
+)
+
+var kindNames = [...]string{
+	Input: "input", Const0: "const0", Const1: "const1", Buf: "buf",
+	Not: "not", And: "and", Or: "or", Nand: "nand", Nor: "nor",
+	Xor: "xor", Xnor: "xnor", Mux: "mux", DFF: "dff", EnDFF: "endff",
+	Latch: "latch",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// IsSequential reports whether the cell holds state across clock cycles.
+func (k Kind) IsSequential() bool { return k == DFF || k == EnDFF }
+
+// Gate is one cell instance. Its output signal is identified by its
+// index in Netlist.Gates.
+type Gate struct {
+	Kind  Kind
+	Fanin []int
+	Name  string
+	Group string // accounting group for power breakdowns
+	Delay int    // propagation delay in ticks (>=1 for combinational)
+	Init  bool   // reset value for sequential cells
+}
+
+// Netlist is a synchronous gate-level circuit: a flat gate list with
+// primary inputs, primary outputs, and single-clock flip-flops.
+type Netlist struct {
+	Gates   []Gate
+	Inputs  []int // gate ids with Kind == Input, in declaration order
+	Outputs []int // gate ids treated as primary outputs
+
+	// InputCap is the capacitance of one gate input pin; WireCapPerFanout
+	// is the statistical wire-load added per fanout; OutputLoad is the
+	// external load seen by each primary output. ClockCap is the clock
+	// capacitance charged per flip-flop per active clock cycle.
+	InputCap         float64
+	WireCapPerFanout float64
+	OutputLoad       float64
+	ClockCap         float64
+}
+
+// New returns an empty netlist with the default capacitance model.
+func New() *Netlist {
+	return &Netlist{
+		InputCap:         1.0,
+		WireCapPerFanout: 0.3,
+		OutputLoad:       2.0,
+		ClockCap:         1.0,
+	}
+}
+
+// DefaultGroup is the accounting group assigned when none is given.
+const DefaultGroup = "logic"
+
+// AddInput declares a primary input and returns its signal id.
+func (n *Netlist) AddInput(name string) int {
+	id := len(n.Gates)
+	n.Gates = append(n.Gates, Gate{Kind: Input, Name: name, Group: DefaultGroup})
+	n.Inputs = append(n.Inputs, id)
+	return id
+}
+
+// Add appends a gate in the default group and returns its signal id.
+func (n *Netlist) Add(kind Kind, fanin ...int) int {
+	return n.AddG(kind, DefaultGroup, fanin...)
+}
+
+// AddG appends a gate in the given accounting group.
+func (n *Netlist) AddG(kind Kind, group string, fanin ...int) int {
+	if err := checkArity(kind, len(fanin)); err != nil {
+		panic(err)
+	}
+	for _, f := range fanin {
+		if f < 0 || f >= len(n.Gates) {
+			panic(fmt.Sprintf("logic: fanin %d out of range", f))
+		}
+	}
+	id := len(n.Gates)
+	n.Gates = append(n.Gates, Gate{
+		Kind:  kind,
+		Fanin: append([]int(nil), fanin...),
+		Group: group,
+		Delay: 1,
+	})
+	return id
+}
+
+func checkArity(kind Kind, n int) error {
+	switch kind {
+	case Input, Const0, Const1:
+		if n != 0 {
+			return fmt.Errorf("logic: %v takes no fanin", kind)
+		}
+	case Buf, Not, DFF:
+		if n != 1 {
+			return fmt.Errorf("logic: %v takes 1 fanin, got %d", kind, n)
+		}
+	case Xor, Xnor:
+		if n != 2 {
+			return fmt.Errorf("logic: %v takes 2 fanins, got %d", kind, n)
+		}
+	case Mux, EnDFF, Latch:
+		expected := 3
+		if kind != Mux {
+			expected = 2
+		}
+		if n != expected {
+			return fmt.Errorf("logic: %v takes %d fanins, got %d", kind, expected, n)
+		}
+	case And, Or, Nand, Nor:
+		if n < 2 {
+			return fmt.Errorf("logic: %v takes >=2 fanins, got %d", kind, n)
+		}
+	default:
+		return fmt.Errorf("logic: unknown kind %v", kind)
+	}
+	return nil
+}
+
+// MarkOutput declares signal id as a primary output.
+func (n *Netlist) MarkOutput(id int) {
+	n.Outputs = append(n.Outputs, id)
+}
+
+// SetName names a signal (for debugging and reports).
+func (n *Netlist) SetName(id int, name string) { n.Gates[id].Name = name }
+
+// SetInit sets the reset value of a sequential cell.
+func (n *Netlist) SetInit(id int, v bool) { n.Gates[id].Init = v }
+
+// NumGates returns the number of cells, NumCombinational the number of
+// non-input, non-sequential cells.
+func (n *Netlist) NumGates() int { return len(n.Gates) }
+
+// NumCombinational counts logic cells (excluding inputs, constants, and
+// state elements).
+func (n *Netlist) NumCombinational() int {
+	c := 0
+	for _, g := range n.Gates {
+		switch g.Kind {
+		case Input, Const0, Const1, DFF, EnDFF:
+		default:
+			c++
+		}
+	}
+	return c
+}
+
+// Fanouts returns, for each signal, the ids of gates reading it.
+func (n *Netlist) Fanouts() [][]int {
+	fo := make([][]int, len(n.Gates))
+	for id, g := range n.Gates {
+		for _, f := range g.Fanin {
+			fo[f] = append(fo[f], id)
+		}
+	}
+	return fo
+}
+
+// Loads returns the capacitive load driven by each signal: one InputCap
+// per fanout pin, the statistical wire load, and OutputLoad for primary
+// outputs.
+func (n *Netlist) Loads() []float64 {
+	loads := make([]float64, len(n.Gates))
+	fo := n.Fanouts()
+	isOut := make([]bool, len(n.Gates))
+	for _, o := range n.Outputs {
+		isOut[o] = true
+	}
+	for id := range n.Gates {
+		nf := len(fo[id])
+		loads[id] = float64(nf)*n.InputCap + float64(nf)*n.WireCapPerFanout
+		if isOut[id] {
+			loads[id] += n.OutputLoad
+		}
+	}
+	return loads
+}
+
+// TotalCapacitance returns the sum of all signal loads — the C_tot the
+// information-theoretic estimators try to predict without the netlist.
+func (n *Netlist) TotalCapacitance() float64 {
+	var c float64
+	for _, l := range n.Loads() {
+		c += l
+	}
+	return c
+}
+
+// TopoOrder returns an evaluation order of all gates in which every
+// combinational gate appears after its fanins. Inputs, constants, and
+// sequential outputs are sources. Latches are ordered like combinational
+// cells. An error is reported for combinational cycles.
+func (n *Netlist) TopoOrder() ([]int, error) {
+	deps := make([][]int, len(n.Gates)) // combinational dependency edges
+	indeg := make([]int, len(n.Gates))
+	isSource := func(id int) bool {
+		k := n.Gates[id].Kind
+		return k == Input || k == Const0 || k == Const1 || k.IsSequential()
+	}
+	for id, g := range n.Gates {
+		if isSource(id) {
+			continue
+		}
+		for _, f := range g.Fanin {
+			if isSource(f) {
+				continue
+			}
+			deps[f] = append(deps[f], id)
+			indeg[id]++
+		}
+	}
+	order := make([]int, 0, len(n.Gates))
+	queue := make([]int, 0, len(n.Gates))
+	// Sources first, then zero-indegree combinational gates.
+	for id := range n.Gates {
+		if isSource(id) {
+			order = append(order, id)
+		} else if indeg[id] == 0 {
+			queue = append(queue, id)
+		}
+	}
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		order = append(order, id)
+		for _, s := range deps[id] {
+			indeg[s]--
+			if indeg[s] == 0 {
+				queue = append(queue, s)
+			}
+		}
+	}
+	if len(order) != len(n.Gates) {
+		return nil, errors.New("logic: combinational cycle detected")
+	}
+	return order, nil
+}
+
+// Depth returns the maximum combinational depth in gate delays from any
+// source to any gate output.
+func (n *Netlist) Depth() int {
+	order, err := n.TopoOrder()
+	if err != nil {
+		return -1
+	}
+	depth := make([]int, len(n.Gates))
+	max := 0
+	for _, id := range order {
+		g := n.Gates[id]
+		if g.Kind == Input || g.Kind == Const0 || g.Kind == Const1 || g.Kind.IsSequential() {
+			continue
+		}
+		d := 0
+		for _, f := range g.Fanin {
+			if depth[f] > d {
+				d = depth[f]
+			}
+		}
+		depth[id] = d + g.Delay
+		if depth[id] > max {
+			max = depth[id]
+		}
+	}
+	return max
+}
+
+// EvalGate computes the boolean output of a combinational gate given its
+// fanin values; latches and flip-flops are handled by the simulator, not
+// here.
+func EvalGate(kind Kind, in []bool) bool {
+	switch kind {
+	case Const0:
+		return false
+	case Const1:
+		return true
+	case Buf:
+		return in[0]
+	case Not:
+		return !in[0]
+	case And:
+		for _, v := range in {
+			if !v {
+				return false
+			}
+		}
+		return true
+	case Or:
+		for _, v := range in {
+			if v {
+				return true
+			}
+		}
+		return false
+	case Nand:
+		for _, v := range in {
+			if !v {
+				return true
+			}
+		}
+		return false
+	case Nor:
+		for _, v := range in {
+			if v {
+				return false
+			}
+		}
+		return true
+	case Xor:
+		return in[0] != in[1]
+	case Xnor:
+		return in[0] == in[1]
+	case Mux:
+		if in[0] {
+			return in[2]
+		}
+		return in[1]
+	default:
+		panic(fmt.Sprintf("logic: EvalGate on %v", kind))
+	}
+}

@@ -1,0 +1,92 @@
+package lopt
+
+import (
+	"fmt"
+
+	"hlpower/internal/cover"
+	"hlpower/internal/fsm"
+	"hlpower/internal/logic"
+)
+
+// GatedController synthesizes an encoded FSM with a gated clock
+// (§III-I, Fig. 7): the activation function Fa detects the idle
+// condition — input/state pairs whose next state equals the present
+// state — and stops the state registers' clock through enabled
+// flip-flops. Outputs remain combinational (Mealy), so behaviour is
+// unchanged while the clock tree and the next-state register bank stop
+// switching in wait states.
+func GatedController(f *fsm.FSM, enc *fsm.Encoding) (*logic.Netlist, error) {
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	if err := enc.Validate(f.NumStates); err != nil {
+		return nil, err
+	}
+	nVars := f.NumInputs + enc.Width
+	if nVars > 24 {
+		return nil, fmt.Errorf("lopt: %d input+state bits too many", nVars)
+	}
+	n := logic.New()
+	in := n.AddInputBus("x", f.NumInputs)
+
+	zero := n.AddG(logic.Const0, fsm.GroupStateReg)
+	stateQ := make(logic.Bus, enc.Width)
+	for b := range stateQ {
+		// Enable patched below once Fa exists.
+		stateQ[b] = n.AddG(logic.EnDFF, fsm.GroupStateReg, zero, zero)
+		n.SetInit(stateQ[b], enc.Codes[0]>>uint(b)&1 == 1)
+	}
+	vars := append(append(logic.Bus{}, in...), stateQ...)
+
+	// Minterm tables.
+	nextOn := make([][]uint64, enc.Width)
+	outOn := make([][]uint64, f.NumOutputs)
+	var idleOn []uint64 // (input,state) pairs with a self-loop
+	nsym := f.NumSymbols()
+	for s := 0; s < f.NumStates; s++ {
+		codeBits := enc.Codes[s] << uint(f.NumInputs)
+		for sym := 0; sym < nsym; sym++ {
+			minterm := uint64(sym) | codeBits
+			next := f.Next[s][sym]
+			if next == s {
+				idleOn = append(idleOn, minterm)
+			}
+			nextCode := enc.Codes[next]
+			for b := 0; b < enc.Width; b++ {
+				if nextCode>>uint(b)&1 == 1 {
+					nextOn[b] = append(nextOn[b], minterm)
+				}
+			}
+			for b := 0; b < f.NumOutputs; b++ {
+				if f.Out[s][sym]>>uint(b)&1 == 1 {
+					outOn[b] = append(outOn[b], minterm)
+				}
+			}
+		}
+	}
+	// Activation function: clock enabled when NOT idle.
+	idleCv, err := cover.Minimize(idleOn, nVars)
+	if err != nil {
+		return nil, err
+	}
+	fa := logic.FromCover(n, idleCv, vars, "clock-gate")
+	enable := n.AddG(logic.Not, "clock-gate", fa)
+	for b := 0; b < enc.Width; b++ {
+		cv, err := cover.Minimize(nextOn[b], nVars)
+		if err != nil {
+			return nil, err
+		}
+		d := logic.FromCover(n, cv, vars, fsm.GroupNextState)
+		n.Gates[stateQ[b]].Fanin[0] = enable
+		n.Gates[stateQ[b]].Fanin[1] = d
+	}
+	for b := 0; b < f.NumOutputs; b++ {
+		cv, err := cover.Minimize(outOn[b], nVars)
+		if err != nil {
+			return nil, err
+		}
+		o := logic.FromCover(n, cv, vars, fsm.GroupOutput)
+		n.MarkOutput(o)
+	}
+	return n, nil
+}

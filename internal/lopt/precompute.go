@@ -1,0 +1,289 @@
+// Package lopt implements the RT/gate-level power-management and
+// retiming techniques of §III-I and §III-J: precomputation (Alidina/
+// Monteiro [99]), gated clocks for synthesized controllers (Benini/De
+// Micheli [101]–[103]), guarded evaluation (Tiwari [105]), and the
+// glitch-driven register placement of low-power retiming (Monteiro
+// [111]). Each transformation produces a netlist that is functionally
+// equivalent to its baseline (modulo documented latency) and measurably
+// cheaper on idle-heavy or glitchy stimuli.
+package lopt
+
+import (
+	"fmt"
+	"math"
+
+	"hlpower/internal/bdd"
+	"hlpower/internal/cover"
+	"hlpower/internal/logic"
+	"hlpower/internal/rtlib"
+)
+
+// PrecompResult packages the two architectures of Fig. 6 for one
+// single-output function: the plain registered implementation and the
+// precomputation architecture, with the predictor subset and its
+// shutdown probability.
+type PrecompResult struct {
+	Baseline    *logic.Netlist
+	Precomputed *logic.Netlist
+	Subset      []int   // input indices the predictors observe
+	ProbShut    float64 // Pr[g1 + g0] under uniform inputs
+}
+
+// Precompute builds the Fig. 6 architecture for the n-input function
+// given by its truth table, choosing the best k-input predictor subset
+// by exact BDD probability. Both netlists register their inputs and
+// produce f(x_t) combinationally during cycle t+1.
+func Precompute(tt []bool, n, k int) (*PrecompResult, error) {
+	if k <= 0 || k >= n {
+		return nil, fmt.Errorf("lopt: predictor subset size %d out of range (0,%d)", k, n)
+	}
+	if len(tt) != 1<<uint(n) {
+		return nil, fmt.Errorf("lopt: truth table size %d, want %d", len(tt), 1<<uint(n))
+	}
+	m := bdd.New(n)
+	f := m.FromTruthTable(tt, n)
+	notF := m.Not(f)
+	uniform := make([]float64, n)
+	for i := range uniform {
+		uniform[i] = 0.5
+	}
+
+	// Choose the subset S maximizing Pr[g1 + g0], where
+	// g1 = ∀(X\S).f and g0 = ∀(X\S).f'.
+	var bestSubset []int
+	var bestProb = -1.0
+	var bestG1, bestG0 bdd.Node
+	subsets := combinations(n, k)
+	for _, s := range subsets {
+		others := complement(n, s)
+		g1 := f
+		g0 := notF
+		for _, v := range others {
+			g1 = m.Forall(g1, v)
+			g0 = m.Forall(g0, v)
+		}
+		p := m.Probability(m.Or(g1, g0), uniform)
+		if p > bestProb {
+			bestProb, bestSubset, bestG1, bestG0 = p, s, g1, g0
+		}
+	}
+
+	baseline, err := registeredImpl(tt, n)
+	if err != nil {
+		return nil, err
+	}
+	pre, err := precomputedImpl(m, tt, n, bestSubset, bestG1, bestG0)
+	if err != nil {
+		return nil, err
+	}
+	return &PrecompResult{
+		Baseline:    baseline,
+		Precomputed: pre,
+		Subset:      bestSubset,
+		ProbShut:    bestProb,
+	}, nil
+}
+
+// registeredImpl builds PIs -> DFF bank -> two-level f -> output.
+func registeredImpl(tt []bool, n int) (*logic.Netlist, error) {
+	net := logic.New()
+	in := net.AddInputBus("x", n)
+	regs := net.RegisterBus(in, "reg")
+	cv, err := minimized(tt, n)
+	if err != nil {
+		return nil, err
+	}
+	out := logic.FromCover(net, cv, regs, "block-a")
+	net.MarkOutput(out)
+	return net, nil
+}
+
+// precomputedImpl builds the Fig. 6 architecture.
+func precomputedImpl(m *bdd.Manager, tt []bool, n int, subset []int, g1, g0 bdd.Node) (*logic.Netlist, error) {
+	net := logic.New()
+	in := net.AddInputBus("x", n)
+
+	inSubset := make(map[int]bool)
+	for _, s := range subset {
+		inSubset[s] = true
+	}
+	// Predictors observe the raw inputs (same timing as R1's D pins).
+	g1tt := bddToTT(m, g1, n)
+	g0tt := bddToTT(m, g0, n)
+	g1cv, err := minimized(g1tt, n)
+	if err != nil {
+		return nil, err
+	}
+	g0cv, err := minimized(g0tt, n)
+	if err != nil {
+		return nil, err
+	}
+	// The predictor covers only mention subset variables (the others
+	// were universally quantified), so feeding the full input bus is
+	// structurally fine: FromCover only touches used literals.
+	g1sig := logic.FromCover(net, g1cv, in, "predictor")
+	g0sig := logic.FromCover(net, g0cv, in, "predictor")
+	le := net.AddG(logic.Nor, "predictor", g1sig, g0sig)
+	g1r := net.AddG(logic.DFF, "predictor", g1sig)
+	g0r := net.AddG(logic.DFF, "predictor", g0sig)
+
+	// R1: subset inputs always load (the predictors need them only
+	// combinationally, but block A still reads them; they are gated too
+	// in the classic architecture only when outside the subset).
+	regs := make(logic.Bus, n)
+	for i := 0; i < n; i++ {
+		if inSubset[i] {
+			regs[i] = net.AddG(logic.DFF, "reg", in[i])
+		} else {
+			regs[i] = net.AddG(logic.EnDFF, "reg", le, in[i])
+		}
+	}
+	cv, err := minimized(tt, n)
+	if err != nil {
+		return nil, err
+	}
+	fsig := logic.FromCover(net, cv, regs, "block-a")
+	// y = g1r + f·g0r'
+	ng0 := net.AddG(logic.Not, "predictor", g0r)
+	fand := net.AddG(logic.And, "predictor", fsig, ng0)
+	y := net.AddG(logic.Or, "predictor", g1r, fand)
+	net.MarkOutput(y)
+	return net, nil
+}
+
+// minimized returns the minimized cover of a truth table.
+func minimized(tt []bool, n int) (*cover.Cover, error) {
+	var on []uint64
+	for i, v := range tt {
+		if v {
+			on = append(on, uint64(i))
+		}
+	}
+	return cover.Minimize(on, n)
+}
+
+// bddToTT expands a BDD back into a truth table.
+func bddToTT(m *bdd.Manager, f bdd.Node, n int) []bool {
+	tt := make([]bool, 1<<uint(n))
+	asg := make([]bool, n)
+	for i := range tt {
+		for v := 0; v < n; v++ {
+			asg[v] = i>>uint(v)&1 == 1
+		}
+		tt[i] = m.Eval(f, asg)
+	}
+	return tt
+}
+
+// combinations enumerates all k-subsets of {0..n-1}.
+func combinations(n, k int) [][]int {
+	var out [][]int
+	var rec func(start int, cur []int)
+	rec = func(start int, cur []int) {
+		if len(cur) == k {
+			out = append(out, append([]int{}, cur...))
+			return
+		}
+		for i := start; i < n; i++ {
+			rec(i+1, append(cur, i))
+		}
+	}
+	rec(0, nil)
+	return out
+}
+
+func complement(n int, s []int) []int {
+	in := make(map[int]bool)
+	for _, v := range s {
+		in[v] = true
+	}
+	var out []int
+	for i := 0; i < n; i++ {
+		if !in[i] {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// PrecomputeComparator builds the canonical precomputation example of
+// [99] structurally, for operand widths beyond truth-table reach: block
+// A is a w-bit ripple comparator [a > b]; the predictors observe only
+// the operand MSBs (g1 = a_msb·b_msb', g0 = a_msb'·b_msb, each implying
+// the output), giving shutdown probability 1/2 under uniform inputs.
+// Input order is a bits then b bits, LSB first.
+func PrecomputeComparator(w int) *PrecompResult {
+	buildBlock := func(net *logic.Netlist, a, b logic.Bus) int {
+		// a > b  ==  b < a.
+		return rtlib.LessThanComparator(net, b, a, "block-a")
+	}
+	// Baseline: registered inputs, comparator, direct output.
+	base := logic.New()
+	ab := base.AddInputBus("a", w)
+	bb := base.AddInputBus("b", w)
+	ar := base.RegisterBus(ab, "reg")
+	br := base.RegisterBus(bb, "reg")
+	base.MarkOutput(buildBlock(base, ar, br))
+
+	// Precomputed architecture.
+	pre := logic.New()
+	pa := pre.AddInputBus("a", w)
+	pb := pre.AddInputBus("b", w)
+	naM := pre.AddG(logic.Not, "predictor", pa[w-1])
+	nbM := pre.AddG(logic.Not, "predictor", pb[w-1])
+	g1 := pre.AddG(logic.And, "predictor", pa[w-1], nbM)
+	g0 := pre.AddG(logic.And, "predictor", naM, pb[w-1])
+	le := pre.AddG(logic.Nor, "predictor", g1, g0)
+	g1r := pre.AddG(logic.DFF, "predictor", g1)
+	g0r := pre.AddG(logic.DFF, "predictor", g0)
+	// MSBs always load (the predictors decided from them); the rest of
+	// the operand registers are load-enabled.
+	reg := func(in logic.Bus) logic.Bus {
+		out := make(logic.Bus, w)
+		for i := 0; i < w-1; i++ {
+			out[i] = pre.AddG(logic.EnDFF, "reg", le, in[i])
+		}
+		out[w-1] = pre.AddG(logic.DFF, "reg", in[w-1])
+		return out
+	}
+	par := reg(pa)
+	pbr := reg(pb)
+	f := buildBlock(pre, par, pbr)
+	ng0 := pre.AddG(logic.Not, "predictor", g0r)
+	fand := pre.AddG(logic.And, "predictor", f, ng0)
+	pre.MarkOutput(pre.AddG(logic.Or, "predictor", g1r, fand))
+
+	return &PrecompResult{
+		Baseline:    base,
+		Precomputed: pre,
+		Subset:      []int{w - 1, 2*w - 1},
+		ProbShut:    0.5,
+	}
+}
+
+// ComparatorTT builds the classic precomputation benchmark: the
+// (2w)-input function [a > b] over two w-bit operands (a bits first,
+// LSB-first, then b bits).
+func ComparatorTT(w int) []bool {
+	n := 2 * w
+	tt := make([]bool, 1<<uint(n))
+	for i := range tt {
+		a := uint64(i) & (1<<uint(w) - 1)
+		b := uint64(i) >> uint(w)
+		tt[i] = a > b
+	}
+	return tt
+}
+
+// probOr is a helper for tests: Pr[f] under uniform inputs.
+func probOr(m *bdd.Manager, f bdd.Node, n int) float64 {
+	p := make([]float64, n)
+	for i := range p {
+		p[i] = 0.5
+	}
+	v := m.Probability(f, p)
+	if math.IsNaN(v) {
+		return 0
+	}
+	return v
+}

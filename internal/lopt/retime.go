@@ -1,0 +1,105 @@
+package lopt
+
+import (
+	"fmt"
+
+	"hlpower/internal/logic"
+	"hlpower/internal/sim"
+)
+
+// PipelineCut inserts a register stage on every signal crossing the
+// given combinational depth boundary of a purely combinational netlist,
+// producing a functionally equivalent circuit with one cycle more
+// latency. Registers filter the glitches generated below the cut — the
+// §III-J mechanism (a register output makes at most one transition per
+// cycle, E_R ≤ E_g).
+func PipelineCut(n *logic.Netlist, cutDepth int) (*logic.Netlist, error) {
+	out := cloneNetlist(n)
+	depth, err := gateDepths(out)
+	if err != nil {
+		return nil, err
+	}
+	// A signal crosses the cut when its depth <= cutDepth and it feeds a
+	// gate of depth > cutDepth. Inputs (depth 0) cross too: they must be
+	// delayed to keep data waves aligned.
+	regOf := make(map[int]int)
+	regFor := func(sig int) int {
+		if r, ok := regOf[sig]; ok {
+			return r
+		}
+		r := out.AddG(logic.DFF, "pipeline", sig)
+		regOf[sig] = r
+		return r
+	}
+	nOrig := len(out.Gates)
+	for id := 0; id < nOrig; id++ {
+		if depth[id] <= cutDepth {
+			continue
+		}
+		for pin, f := range out.Gates[id].Fanin {
+			if depth[f] <= cutDepth {
+				out.Gates[id].Fanin[pin] = regFor(f)
+			}
+		}
+	}
+	// Outputs at or below the cut also need delaying for alignment.
+	for i, o := range out.Outputs {
+		if depth[o] <= cutDepth {
+			out.Outputs[i] = regFor(o)
+		}
+	}
+	return out, nil
+}
+
+// gateDepths returns combinational depth per signal (0 for sources).
+func gateDepths(n *logic.Netlist) ([]int, error) {
+	order, err := n.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	depth := make([]int, len(n.Gates))
+	for _, id := range order {
+		g := n.Gates[id]
+		if g.Kind == logic.Input || g.Kind == logic.Const0 || g.Kind == logic.Const1 || g.Kind.IsSequential() {
+			continue
+		}
+		d := 0
+		for _, f := range g.Fanin {
+			if depth[f] > d {
+				d = depth[f]
+			}
+		}
+		depth[id] = d + 1
+	}
+	return depth, nil
+}
+
+// RetimeForPower profiles every cut depth of a combinational netlist
+// under the given stimulus (event-driven, so glitches count) and
+// returns the depth whose pipelined version switches the least
+// capacitance, together with that netlist. This is the power-driven
+// register placement of [111]: the chosen cut lands after the glitchy
+// gates whose spurious transitions are worth filtering.
+func RetimeForPower(n *logic.Netlist, inputs sim.InputProvider, cycles int) (int, *logic.Netlist, error) {
+	maxDepth := n.Depth()
+	if maxDepth <= 1 {
+		return 0, nil, fmt.Errorf("lopt: netlist too shallow to retime")
+	}
+	bestDepth := -1
+	var bestNet *logic.Netlist
+	bestCap := 0.0
+	for d := 1; d < maxDepth; d++ {
+		cut, err := PipelineCut(n, d)
+		if err != nil {
+			return 0, nil, err
+		}
+		res, err := sim.Run(cut, inputs, cycles, sim.Options{Model: sim.EventDriven})
+		if err != nil {
+			return 0, nil, err
+		}
+		if bestDepth < 0 || res.SwitchedCap < bestCap {
+			bestDepth, bestNet, bestCap = d, cut, res.SwitchedCap
+		}
+	}
+	return bestDepth, bestNet, nil
+}

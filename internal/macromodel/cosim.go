@@ -1,0 +1,107 @@
+package macromodel
+
+import (
+	"math/rand"
+
+	"hlpower/internal/rtlib"
+	"hlpower/internal/sim"
+	"hlpower/internal/stats"
+)
+
+// CosimResult reports a power-cosimulation estimate (§II-C2) together
+// with its cost: how many macro-model evaluations and how many gate-level
+// simulation cycles were spent.
+type CosimResult struct {
+	Estimate        float64 // average switched capacitance per cycle
+	ModelEvals      int
+	GateLevelCycles int
+	StdErr          float64
+}
+
+// Census evaluates the macro-model at every cycle of the stream — the
+// census macro-modeling baseline.
+func Census(m Model, as, bs []uint64) CosimResult {
+	if len(as) < 2 {
+		return CosimResult{}
+	}
+	var total float64
+	for i := 1; i < len(as); i++ {
+		var bp, bc uint64
+		if len(bs) > 0 {
+			bp, bc = bs[i-1], bs[i]
+		}
+		total += m.PredictCycle(as[i-1], bp, as[i], bc)
+	}
+	n := len(as) - 1
+	return CosimResult{Estimate: total / float64(n), ModelEvals: n}
+}
+
+// Sampler draws nSamples simple random samples of sampleSize marked
+// cycles each and averages the sample means — the sampler macro-modeling
+// of Hsieh et al. [46], which collects input statistics only on marked
+// cycles.
+func Sampler(m Model, as, bs []uint64, sampleSize, nSamples int, rng *rand.Rand) CosimResult {
+	pop := len(as) - 1
+	if pop <= 0 {
+		return CosimResult{}
+	}
+	eval := func(i int) float64 {
+		var bp, bc uint64
+		if len(bs) > 0 {
+			bp, bc = bs[i], bs[i+1]
+		}
+		return m.PredictCycle(as[i], bp, as[i+1], bc)
+	}
+	if nSamples <= 1 {
+		est := stats.SimpleRandomSample(pop, sampleSize, rng, eval)
+		return CosimResult{Estimate: est.Mean, ModelEvals: est.Units, StdErr: est.StdErr}
+	}
+	est := stats.MultiSampleMean(pop, sampleSize, nSamples, rng, eval)
+	return CosimResult{Estimate: est.Mean, ModelEvals: est.Units, StdErr: est.StdErr}
+}
+
+// Adaptive implements the adaptive (regression-estimator) macro-modeling
+// of [46]: the macro-model plays the cheap predictor over the whole
+// stream, a small random sample of cycles is additionally simulated at
+// gate level, and the ratio estimator corrects the macro-model's bias on
+// streams unlike its training set.
+func Adaptive(m Model, mod *rtlib.Module, as, bs []uint64, gateSample int, rng *rand.Rand, delay sim.DelayModel) (CosimResult, error) {
+	pop := len(as) - 1
+	if pop <= 0 {
+		return CosimResult{}, nil
+	}
+	cheap := func(i int) float64 {
+		var bp, bc uint64
+		if len(bs) > 0 {
+			bp, bc = bs[i], bs[i+1]
+		}
+		return m.PredictCycle(as[i], bp, as[i+1], bc)
+	}
+	var simErr error
+	costly := func(i int) float64 {
+		// Gate-level simulation of the single pair (i, i+1); the module
+		// is combinational, so two cycles from baseline reproduce the
+		// transition exactly.
+		a2 := []uint64{as[i], as[i+1]}
+		var b2 []uint64
+		if len(bs) > 0 {
+			b2 = []uint64{bs[i], bs[i+1]}
+		}
+		res, err := mod.SimulateStream(a2, b2, delay)
+		if err != nil {
+			simErr = err
+			return 0
+		}
+		return res.PerCycleCap[1]
+	}
+	est := stats.RatioEstimate(pop, gateSample, rng, cheap, costly)
+	if simErr != nil {
+		return CosimResult{}, simErr
+	}
+	return CosimResult{
+		Estimate:        est.Mean,
+		ModelEvals:      pop,
+		GateLevelCycles: est.Units,
+		StdErr:          est.StdErr,
+	}, nil
+}

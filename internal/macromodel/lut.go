@@ -1,0 +1,139 @@
+package macromodel
+
+import (
+	"fmt"
+
+	"hlpower/internal/bitutil"
+	"hlpower/internal/rtlib"
+	"hlpower/internal/sim"
+	"hlpower/internal/stats"
+)
+
+// LUTModel is the table-lookup alternative to the macro-model equation
+// that §II-C1 mentions ("a table lookup with necessary interpolation
+// equations"): a 2-D grid over (input switching activity, input signal
+// probability) holding mean switched capacitance, evaluated by bilinear
+// interpolation — unlike Table3DModel, which is a nearest-bin lookup
+// keyed additionally on output activity.
+type LUTModel struct {
+	ModuleName string
+	WidthA     int
+	WidthB     int
+	GridN      int
+	table      [][]float64
+	count      [][]int
+	globalMean float64
+}
+
+// FitLUT characterizes the grid from a training stream.
+func FitLUT(mod *rtlib.Module, trainA, trainB []uint64, gridN int, delay sim.DelayModel) (*LUTModel, error) {
+	if gridN < 2 {
+		return nil, fmt.Errorf("macromodel: LUT grid %d too small", gridN)
+	}
+	truth, err := GroundTruth(mod, trainA, trainB, delay)
+	if err != nil {
+		return nil, err
+	}
+	m := &LUTModel{
+		ModuleName: mod.Name,
+		WidthA:     len(mod.A),
+		WidthB:     len(mod.B),
+		GridN:      gridN,
+	}
+	m.table = make([][]float64, gridN)
+	m.count = make([][]int, gridN)
+	for i := range m.table {
+		m.table[i] = make([]float64, gridN)
+		m.count[i] = make([]int, gridN)
+	}
+	m.globalMean = stats.Mean(truth)
+	for i := range truth {
+		var bp, bc uint64
+		if m.WidthB > 0 {
+			bp, bc = trainB[i], trainB[i+1]
+		}
+		act, prob := m.coords(trainA[i], bp, trainA[i+1], bc)
+		gi, gj := m.cell(act), m.cell(prob)
+		m.table[gi][gj] += truth[i]
+		m.count[gi][gj]++
+	}
+	for i := range m.table {
+		for j := range m.table[i] {
+			if m.count[i][j] > 0 {
+				m.table[i][j] /= float64(m.count[i][j])
+			} else {
+				m.table[i][j] = m.globalMean
+			}
+		}
+	}
+	return m, nil
+}
+
+// coords maps one cycle to normalized (activity, probability).
+func (m *LUTModel) coords(aPrev, bPrev, aCur, bCur uint64) (act, prob float64) {
+	w := m.WidthA + m.WidthB
+	act = float64(bitutil.Hamming(aPrev, aCur)+bitutil.Hamming(bPrev, bCur)) / float64(w)
+	ones := bitutil.OnesCount(aCur&bitutil.Mask(m.WidthA)) +
+		bitutil.OnesCount(bCur&bitutil.Mask(m.WidthB))
+	prob = float64(ones) / float64(w)
+	return act, prob
+}
+
+func (m *LUTModel) cell(v float64) int {
+	c := int(v * float64(m.GridN))
+	if c >= m.GridN {
+		c = m.GridN - 1
+	}
+	if c < 0 {
+		c = 0
+	}
+	return c
+}
+
+// Name identifies the model.
+func (m *LUTModel) Name() string { return "lut-interp" }
+
+// PredictCycle evaluates the grid with bilinear interpolation between
+// cell centers.
+func (m *LUTModel) PredictCycle(aPrev, bPrev, aCur, bCur uint64) float64 {
+	act, prob := m.coords(aPrev, bPrev, aCur, bCur)
+	// Continuous grid coordinates with cell centers at (k+0.5)/N.
+	fx := act*float64(m.GridN) - 0.5
+	fy := prob*float64(m.GridN) - 0.5
+	x0 := clampInt(int(fx), 0, m.GridN-1)
+	y0 := clampInt(int(fy), 0, m.GridN-1)
+	x1 := clampInt(x0+1, 0, m.GridN-1)
+	y1 := clampInt(y0+1, 0, m.GridN-1)
+	tx := fx - float64(x0)
+	ty := fy - float64(y0)
+	tx = clampF(tx, 0, 1)
+	ty = clampF(ty, 0, 1)
+	v00 := m.table[x0][y0]
+	v10 := m.table[x1][y0]
+	v01 := m.table[x0][y1]
+	v11 := m.table[x1][y1]
+	return v00*(1-tx)*(1-ty) + v10*tx*(1-ty) + v01*(1-tx)*ty + v11*tx*ty
+}
+
+// PredictStream averages PredictCycle over the stream.
+func (m *LUTModel) PredictStream(as, bs []uint64) float64 { return streamAverage(m, as, bs) }
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func clampF(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

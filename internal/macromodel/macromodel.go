@@ -1,0 +1,363 @@
+// Package macromodel implements the RT-level power macro-models of
+// §II-C1 in increasing order of accuracy and cost: the constant power-
+// factor-approximation (PFA) model, the Landman–Rabaey dual-bit-type
+// model, the bitwise data model, the input–output data model, the
+// Gupta–Najm three-dimensional table model, and the Wu et al. cycle-
+// accurate stepwise-regression model. Every model is characterized
+// against gate-level simulation of a module from rtlib and then predicts
+// switched capacitance per cycle for new streams.
+package macromodel
+
+import (
+	"errors"
+	"fmt"
+
+	"hlpower/internal/bitutil"
+	"hlpower/internal/logic"
+	"hlpower/internal/rtlib"
+	"hlpower/internal/sim"
+	"hlpower/internal/stats"
+)
+
+// Model predicts the average switched capacitance per cycle of a
+// characterized module for an operand stream.
+type Model interface {
+	Name() string
+	// PredictCycle estimates the switched capacitance of one cycle given
+	// the previous and current operand pairs.
+	PredictCycle(aPrev, bPrev, aCur, bCur uint64) float64
+	// PredictStream estimates the average switched capacitance per cycle
+	// over a whole stream.
+	PredictStream(as, bs []uint64) float64
+}
+
+// streamAverage implements PredictStream via PredictCycle.
+func streamAverage(m Model, as, bs []uint64) float64 {
+	if len(as) < 2 {
+		return 0
+	}
+	var total float64
+	for i := 1; i < len(as); i++ {
+		var bp, bc uint64
+		if len(bs) > 0 {
+			bp, bc = bs[i-1], bs[i]
+		}
+		total += m.PredictCycle(as[i-1], bp, as[i], bc)
+	}
+	return total / float64(len(as)-1)
+}
+
+// GroundTruth measures the per-cycle switched capacitance of the module
+// on the given stream by gate-level simulation. The first cycle (warm-up
+// from the baseline) is excluded, matching PredictStream's pair count.
+func GroundTruth(mod *rtlib.Module, as, bs []uint64, model sim.DelayModel) ([]float64, error) {
+	res, err := mod.SimulateStream(as, bs, model)
+	if err != nil {
+		return nil, err
+	}
+	if len(res.PerCycleCap) < 2 {
+		return nil, errors.New("macromodel: stream too short")
+	}
+	return res.PerCycleCap[1:], nil
+}
+
+// MeanAbs returns the mean of xs (handy for averaging ground truth).
+func MeanAbs(xs []float64) float64 { return stats.Mean(xs) }
+
+// ---------------------------------------------------------------------
+// PFA: constant model.
+
+// PFAModel is the power-factor-approximation technique [39]: a single
+// experimentally determined constant per module activation.
+type PFAModel struct {
+	ModuleName string
+	CapPerOp   float64
+}
+
+// FitPFA characterizes the constant as the mean switched capacitance
+// under pseudorandom data.
+func FitPFA(mod *rtlib.Module, trainA, trainB []uint64, delay sim.DelayModel) (*PFAModel, error) {
+	truth, err := GroundTruth(mod, trainA, trainB, delay)
+	if err != nil {
+		return nil, err
+	}
+	return &PFAModel{ModuleName: mod.Name, CapPerOp: stats.Mean(truth)}, nil
+}
+
+func (m *PFAModel) Name() string { return "pfa" }
+
+func (m *PFAModel) PredictCycle(aPrev, bPrev, aCur, bCur uint64) float64 { return m.CapPerOp }
+
+func (m *PFAModel) PredictStream(as, bs []uint64) float64 { return m.CapPerOp }
+
+// ---------------------------------------------------------------------
+// Dual bit type model.
+
+// DBTModel is the Landman–Rabaey dual-bit-type model [40]: low-order
+// bits are treated as uniform white noise with a single capacitance
+// coefficient Cu, and the sign region is characterized by coefficients
+// per sign-transition class (++, +-, -+, --), all per operand.
+type DBTModel struct {
+	ModuleName string
+	Width      int
+	Breakpoint int // bits >= Breakpoint form the sign region
+	// Coefficients: intercept, Cu (per low-region toggle), and the four
+	// sign-class coefficients per operand pair.
+	Intercept float64
+	Cu        float64
+	CSign     [4]float64 // indexed by signClass
+}
+
+// signClass maps a (prevSign, curSign) pair to 0..3: ++, +-, -+, --.
+func signClass(prevNeg, curNeg bool) int {
+	idx := 0
+	if prevNeg {
+		idx += 2
+	}
+	if curNeg {
+		idx++
+	}
+	return idx
+}
+
+func dbtFeatures(width, bp int, aPrev, bPrev, aCur, bCur uint64, hasB bool) []float64 {
+	lowMask := bitutil.Mask(bp)
+	f := make([]float64, 5)
+	f[0] = float64(bitutil.OnesCount((aPrev ^ aCur) & lowMask))
+	if hasB {
+		f[0] += float64(bitutil.OnesCount((bPrev ^ bCur) & lowMask))
+	}
+	count := func(prev, cur uint64) {
+		pn := bitutil.Bit(prev, width-1)
+		cn := bitutil.Bit(cur, width-1)
+		f[1+signClass(pn, cn)]++
+	}
+	count(aPrev, aCur)
+	if hasB {
+		count(bPrev, bCur)
+	}
+	return f
+}
+
+// FitDBT characterizes the dual-bit-type model. The breakpoint between
+// the white-noise and sign regions is detected from the training stream
+// as the lowest bit whose activity falls below half the LSB activity
+// (for uniform data the sign region is just the top bit).
+func FitDBT(mod *rtlib.Module, trainA, trainB []uint64, delay sim.DelayModel) (*DBTModel, error) {
+	truth, err := GroundTruth(mod, trainA, trainB, delay)
+	if err != nil {
+		return nil, err
+	}
+	w := mod.Width()
+	acts := bitutil.BitActivities(trainA, w)
+	if len(trainB) > 0 {
+		bacts := bitutil.BitActivities(trainB, w)
+		for i := range acts {
+			acts[i] = (acts[i] + bacts[i]) / 2
+		}
+	}
+	bp := w - 1 // at least the top bit is "sign"
+	for b := w - 1; b >= 1; b-- {
+		if acts[b] < acts[0]/2 {
+			bp = b
+		} else {
+			break
+		}
+	}
+	hasB := len(trainB) > 0
+	// No intercept: the four sign-class counts sum to the operand count
+	// every cycle, so a constant column would be collinear with them.
+	X := make([][]float64, len(truth))
+	for i := range truth {
+		var bp0, bc uint64
+		if hasB {
+			bp0, bc = trainB[i], trainB[i+1]
+		}
+		X[i] = dbtFeatures(w, bp, trainA[i], bp0, trainA[i+1], bc, hasB)
+	}
+	fit, err := stats.OLS(X, truth)
+	if err != nil {
+		return nil, fmt.Errorf("macromodel: DBT fit: %w", err)
+	}
+	m := &DBTModel{ModuleName: mod.Name, Width: w, Breakpoint: bp, Cu: fit.Beta[0]}
+	copy(m.CSign[:], fit.Beta[1:5])
+	return m, nil
+}
+
+func (m *DBTModel) Name() string { return "dual-bit-type" }
+
+func (m *DBTModel) PredictCycle(aPrev, bPrev, aCur, bCur uint64) float64 {
+	feat := dbtFeatures(m.Width, m.Breakpoint, aPrev, bPrev, aCur, bCur, true)
+	p := m.Intercept + m.Cu*feat[0] // Intercept stays 0 from fitting
+	for i := 0; i < 4; i++ {
+		p += m.CSign[i] * feat[1+i]
+	}
+	return p
+}
+
+func (m *DBTModel) PredictStream(as, bs []uint64) float64 { return streamAverage(m, as, bs) }
+
+// ---------------------------------------------------------------------
+// Bitwise data model.
+
+// BitwiseModel assigns a regression capacitance to every input pin:
+// cap = c0 + Σ C_i·E_i where E_i is pin i's toggle this cycle.
+type BitwiseModel struct {
+	ModuleName string
+	WidthA     int
+	WidthB     int
+	Intercept  float64
+	Coef       []float64 // per input bit: a bits then b bits
+}
+
+func bitwiseFeatures(wa, wb int, aPrev, bPrev, aCur, bCur uint64) []float64 {
+	f := make([]float64, wa+wb)
+	da := aPrev ^ aCur
+	for i := 0; i < wa; i++ {
+		if bitutil.Bit(da, i) {
+			f[i] = 1
+		}
+	}
+	db := bPrev ^ bCur
+	for i := 0; i < wb; i++ {
+		if bitutil.Bit(db, i) {
+			f[wa+i] = 1
+		}
+	}
+	return f
+}
+
+// FitBitwise characterizes the per-pin capacitances by least squares.
+func FitBitwise(mod *rtlib.Module, trainA, trainB []uint64, delay sim.DelayModel) (*BitwiseModel, error) {
+	truth, err := GroundTruth(mod, trainA, trainB, delay)
+	if err != nil {
+		return nil, err
+	}
+	wa := len(mod.A)
+	wb := len(mod.B)
+	X := make([][]float64, len(truth))
+	for i := range truth {
+		var bp, bc uint64
+		if wb > 0 {
+			bp, bc = trainB[i], trainB[i+1]
+		}
+		X[i] = append([]float64{1}, bitwiseFeatures(wa, wb, trainA[i], bp, trainA[i+1], bc)...)
+	}
+	fit, err := stats.OLS(X, truth)
+	if err != nil {
+		return nil, fmt.Errorf("macromodel: bitwise fit: %w", err)
+	}
+	return &BitwiseModel{ModuleName: mod.Name, WidthA: wa, WidthB: wb,
+		Intercept: fit.Beta[0], Coef: fit.Beta[1:]}, nil
+}
+
+func (m *BitwiseModel) Name() string { return "bitwise" }
+
+func (m *BitwiseModel) PredictCycle(aPrev, bPrev, aCur, bCur uint64) float64 {
+	f := bitwiseFeatures(m.WidthA, m.WidthB, aPrev, bPrev, aCur, bCur)
+	p := m.Intercept
+	for i, c := range m.Coef {
+		p += c * f[i]
+	}
+	return p
+}
+
+func (m *BitwiseModel) PredictStream(as, bs []uint64) float64 { return streamAverage(m, as, bs) }
+
+// ---------------------------------------------------------------------
+// Input–output data model.
+
+// IOModel regresses on the mean input activity and the mean (zero-delay)
+// output activity: cap = c0 + CI·EI + CO·EO. Output activity comes from
+// the module's functional behaviour, evaluated via a fast zero-delay
+// output function captured at characterization time.
+type IOModel struct {
+	ModuleName string
+	WidthA     int
+	WidthB     int
+	WidthOut   int
+	Intercept  float64
+	CI, CO     float64
+	outFn      func(a, b uint64) uint64
+}
+
+// FitIO characterizes the input–output model. The module's functional
+// output is obtained by zero-delay evaluation (the "fast functional
+// simulation" of [41]).
+func FitIO(mod *rtlib.Module, trainA, trainB []uint64, delay sim.DelayModel) (*IOModel, error) {
+	truth, err := GroundTruth(mod, trainA, trainB, delay)
+	if err != nil {
+		return nil, err
+	}
+	outFn, wOut, err := functionalOutput(mod)
+	if err != nil {
+		return nil, err
+	}
+	wa, wb := len(mod.A), len(mod.B)
+	X := make([][]float64, len(truth))
+	for i := range truth {
+		var bp, bc uint64
+		if wb > 0 {
+			bp, bc = trainB[i], trainB[i+1]
+		}
+		ei := float64(bitutil.Hamming(trainA[i], trainA[i+1]) + bitutil.Hamming(bp, bc))
+		eo := float64(bitutil.Hamming(outFn(trainA[i], bp), outFn(trainA[i+1], bc)))
+		X[i] = []float64{1, ei, eo}
+	}
+	fit, err := stats.OLS(X, truth)
+	if err != nil {
+		return nil, fmt.Errorf("macromodel: IO fit: %w", err)
+	}
+	return &IOModel{ModuleName: mod.Name, WidthA: wa, WidthB: wb, WidthOut: wOut,
+		Intercept: fit.Beta[0], CI: fit.Beta[1], CO: fit.Beta[2], outFn: outFn}, nil
+}
+
+// functionalOutput builds a closure evaluating the module's settled
+// outputs by topological zero-delay evaluation.
+func functionalOutput(mod *rtlib.Module) (func(a, b uint64) uint64, int, error) {
+	order, err := mod.Net.TopoOrder()
+	if err != nil {
+		return nil, 0, err
+	}
+	n := mod.Net
+	wOut := len(n.Outputs)
+	fn := func(a, b uint64) uint64 {
+		vals := make([]bool, len(n.Gates))
+		for i, s := range mod.A {
+			vals[s] = bitutil.Bit(a, i)
+		}
+		for i, s := range mod.B {
+			vals[s] = bitutil.Bit(b, i)
+		}
+		var buf []bool
+		for _, id := range order {
+			g := n.Gates[id]
+			if g.Kind == logic.Input || g.Kind == logic.Latch || g.Kind.IsSequential() {
+				continue
+			}
+			buf = buf[:0]
+			for _, f := range g.Fanin {
+				buf = append(buf, vals[f])
+			}
+			vals[id] = logic.EvalGate(g.Kind, buf)
+		}
+		var w uint64
+		for i, o := range n.Outputs {
+			if vals[o] {
+				w |= 1 << uint(i)
+			}
+		}
+		return w
+	}
+	return fn, wOut, nil
+}
+
+func (m *IOModel) Name() string { return "input-output" }
+
+func (m *IOModel) PredictCycle(aPrev, bPrev, aCur, bCur uint64) float64 {
+	ei := float64(bitutil.Hamming(aPrev, aCur) + bitutil.Hamming(bPrev, bCur))
+	eo := float64(bitutil.Hamming(m.outFn(aPrev, bPrev), m.outFn(aCur, bCur)))
+	return m.Intercept + m.CI*ei + m.CO*eo
+}
+
+func (m *IOModel) PredictStream(as, bs []uint64) float64 { return streamAverage(m, as, bs) }

@@ -1,0 +1,180 @@
+// Package memmodel implements the Liu–Svensson parametric power models
+// [42]: closed-form expressions for the power of on-chip SRAM (cell
+// array, row decoder, word-line drive, column select, sense amplifiers),
+// the H-tree clock network, global interconnect, off-chip drivers, and
+// random logic, each as a function of organization parameters rather
+// than a netlist. The SRAM model exposes the classic aspect-ratio
+// tradeoff: a 2^n-bit array split into 2^(n-k) rows × 2^k columns.
+package memmodel
+
+import (
+	"fmt"
+	"math"
+)
+
+// MemoryParams are the technology constants of the SRAM model, in
+// normalized capacitance/voltage units (absolute values are irrelevant
+// to the shape of the tradeoffs; see DESIGN.md).
+type MemoryParams struct {
+	Vdd    float64 // supply voltage
+	Vswing float64 // bit-line swing (read)
+	Freq   float64 // access frequency
+
+	CInt      float64 // wiring capacitance per cell along a row (bit-line pitch)
+	CTr       float64 // drain capacitance per cell on a bit line
+	CWordCell float64 // word-line capacitance per cell
+	CDecNode  float64 // decoder internal capacitance per address bit per row
+	CColMux   float64 // column-mux capacitance per column
+	ESense    float64 // energy per sense amplifier + readout per access
+}
+
+// DefaultMemoryParams returns a reasonable normalized parameter set.
+func DefaultMemoryParams() MemoryParams {
+	return MemoryParams{
+		Vdd: 1, Vswing: 0.2, Freq: 1,
+		CInt: 1.0, CTr: 0.5, CWordCell: 1.0,
+		CDecNode: 2.0, CColMux: 1.5, ESense: 20,
+	}
+}
+
+// MemoryBreakdown is the per-component power of one SRAM organization,
+// following the five parts enumerated in §II-C1.
+type MemoryBreakdown struct {
+	N, K       int // 2^n bits as 2^(n-k) rows × 2^k columns
+	Cells      float64
+	RowDecoder float64
+	WordLine   float64
+	ColumnSel  float64
+	SenseAmps  float64
+}
+
+// Total returns the summed access power.
+func (b MemoryBreakdown) Total() float64 {
+	return b.Cells + b.RowDecoder + b.WordLine + b.ColumnSel + b.SenseAmps
+}
+
+// Memory evaluates the SRAM model for a 2^n-bit array with 2^k columns.
+func Memory(p MemoryParams, n, k int) (MemoryBreakdown, error) {
+	if k < 0 || k > n {
+		return MemoryBreakdown{}, fmt.Errorf("memmodel: k=%d out of range [0,%d]", k, n)
+	}
+	rows := math.Pow(2, float64(n-k))
+	cols := math.Pow(2, float64(k))
+	b := MemoryBreakdown{N: n, K: k}
+	// 1) Cell array: every cell on the selected row drives bit or /bit
+	// through the swing voltage: 0.5·V·Vswing·2^k·(Cint + 2^(n-k)·Ctr).
+	b.Cells = 0.5 * p.Vdd * p.Vswing * p.Freq * cols * (p.CInt + rows*p.CTr)
+	// 2) Row decoder: n-k address bits into 2^(n-k) rows; activity is
+	// dominated by the predecoder fan-in.
+	b.RowDecoder = 0.5 * p.Vdd * p.Vdd * p.Freq * float64(n-k) * p.CDecNode * math.Sqrt(rows)
+	// 3) Driving the selected word line: 2^k cells hang off it.
+	b.WordLine = 0.5 * p.Vdd * p.Vdd * p.Freq * cols * p.CWordCell
+	// 4) Column select: a 2^k-to-word multiplexer.
+	b.ColumnSel = 0.5 * p.Vdd * p.Vdd * p.Freq * cols * p.CColMux
+	// 5) Sense amplifiers and read-out inverters for the output word.
+	b.SenseAmps = p.Freq * p.ESense
+	return b, nil
+}
+
+// MemorySweep evaluates every legal column split for a 2^n-bit array.
+func MemorySweep(p MemoryParams, n int) ([]MemoryBreakdown, error) {
+	out := make([]MemoryBreakdown, 0, n+1)
+	for k := 0; k <= n; k++ {
+		b, err := Memory(p, n, k)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, b)
+	}
+	return out, nil
+}
+
+// OptimalK returns the column split minimizing total access power.
+func OptimalK(p MemoryParams, n int) (int, error) {
+	sweep, err := MemorySweep(p, n)
+	if err != nil {
+		return 0, err
+	}
+	best := 0
+	for k, b := range sweep {
+		if b.Total() < sweep[best].Total() {
+			best = k
+		}
+	}
+	return best, nil
+}
+
+// ClockTree models an H-tree clock network driving nFF flip-flops over a
+// die of the given normalized side length: the wire capacitance doubles
+// per level while segment length halves.
+func ClockTree(vdd, freq, cWirePerUnit, cFF float64, nFF int, side float64) float64 {
+	if nFF <= 0 {
+		return 0
+	}
+	levels := int(math.Ceil(math.Log2(float64(nFF))))
+	var wire float64
+	segLen := side
+	for l := 0; l < levels; l++ {
+		wire += math.Pow(2, float64(l)) * segLen * cWirePerUnit
+		segLen /= 2
+	}
+	load := float64(nFF) * cFF
+	// Clock switches twice per cycle.
+	return vdd * vdd * freq * (wire + load)
+}
+
+// Interconnect models a global bus: length·cPerUnit·width·activity.
+func Interconnect(vdd, freq, length, cPerUnit float64, width int, activity float64) float64 {
+	return 0.5 * vdd * vdd * freq * length * cPerUnit * float64(width) * activity
+}
+
+// OffChip models pad drivers: large fixed capacitance per pin.
+func OffChip(vdd, freq, cPad float64, pins int, activity float64) float64 {
+	return 0.5 * vdd * vdd * freq * cPad * float64(pins) * activity
+}
+
+// RandomLogic is the gate-equivalent logic estimate used for the glue
+// parts of the processor model.
+func RandomLogic(vdd, freq, cGate float64, gates int, activity float64) float64 {
+	return 0.5 * vdd * vdd * freq * cGate * float64(gates) * activity
+}
+
+// ProcessorConfig aggregates a Liu–Svensson-style whole-chip estimate.
+type ProcessorConfig struct {
+	Mem        MemoryParams
+	MemBits    int // memory size as 2^n bits
+	MemSplitK  int
+	NumFF      int
+	DieSide    float64
+	LogicGates int
+	Activity   float64
+	BusWidth   int
+	BusLength  float64
+	Pins       int
+	Vdd, Freq  float64
+}
+
+// ProcessorBreakdown is the whole-chip component split.
+type ProcessorBreakdown struct {
+	Memory, Clock, Logic, Bus, Pads float64
+}
+
+// Total sums the components.
+func (b ProcessorBreakdown) Total() float64 {
+	return b.Memory + b.Clock + b.Logic + b.Bus + b.Pads
+}
+
+// Processor evaluates the whole-chip parametric model.
+func Processor(c ProcessorConfig) (ProcessorBreakdown, error) {
+	mem, err := Memory(c.Mem, c.MemBits, c.MemSplitK)
+	if err != nil {
+		return ProcessorBreakdown{}, err
+	}
+	return ProcessorBreakdown{
+		Memory: mem.Total(),
+		Clock:  ClockTree(c.Vdd, c.Freq, 1.0, 1.0, c.NumFF, c.DieSide),
+		Logic:  RandomLogic(c.Vdd, c.Freq, 3.0, c.LogicGates, c.Activity),
+		Bus:    Interconnect(c.Vdd, c.Freq, c.BusLength, 2.0, c.BusWidth, c.Activity),
+		Pads:   OffChip(c.Vdd, c.Freq, 50.0, c.Pins, c.Activity/2),
+	}, nil
+}

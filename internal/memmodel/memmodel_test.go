@@ -1,0 +1,149 @@
+package memmodel
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMemoryValidation(t *testing.T) {
+	p := DefaultMemoryParams()
+	if _, err := Memory(p, 10, -1); err == nil {
+		t.Error("negative k must fail")
+	}
+	if _, err := Memory(p, 10, 11); err == nil {
+		t.Error("k > n must fail")
+	}
+}
+
+func TestMemoryComponentsPositive(t *testing.T) {
+	p := DefaultMemoryParams()
+	b, err := Memory(p, 12, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, v := range map[string]float64{
+		"cells": b.Cells, "rowdec": b.RowDecoder, "wordline": b.WordLine,
+		"colsel": b.ColumnSel, "sense": b.SenseAmps,
+	} {
+		if v <= 0 {
+			t.Errorf("%s = %v, want positive", name, v)
+		}
+	}
+	if b.Total() <= b.Cells {
+		t.Error("total must exceed any single component")
+	}
+}
+
+func TestMemoryCellFormula(t *testing.T) {
+	// Check the exact §II-C1 formula for the cell term.
+	p := DefaultMemoryParams()
+	n, k := 10, 4
+	b, err := Memory(p, n, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := math.Pow(2, float64(n-k))
+	cols := math.Pow(2, float64(k))
+	want := 0.5 * p.Vdd * p.Vswing * p.Freq * cols * (p.CInt + rows*p.CTr)
+	if math.Abs(b.Cells-want) > 1e-9 {
+		t.Errorf("cells = %v, want %v", b.Cells, want)
+	}
+}
+
+func TestMemorySweepUShape(t *testing.T) {
+	// Total power vs k must have an interior optimum: extremes (single
+	// column / single row) are both worse than the best split.
+	p := DefaultMemoryParams()
+	n := 14
+	sweep, err := MemorySweep(p, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sweep) != n+1 {
+		t.Fatalf("sweep length %d, want %d", len(sweep), n+1)
+	}
+	best, err := OptimalK(p, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best == 0 || best == n {
+		t.Errorf("optimal k = %d should be interior (0 < k < %d)", best, n)
+	}
+	if sweep[best].Total() >= sweep[0].Total() || sweep[best].Total() >= sweep[n].Total() {
+		t.Error("interior optimum should beat both extremes")
+	}
+}
+
+func TestMemoryMonotoneCellGrowth(t *testing.T) {
+	// At fixed n the cell-array term grows with k (more columns swing).
+	p := DefaultMemoryParams()
+	prev := -1.0
+	for k := 0; k <= 10; k++ {
+		b, err := Memory(p, 10, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b.Cells <= prev {
+			t.Errorf("cell power not increasing at k=%d", k)
+		}
+		prev = b.Cells
+	}
+}
+
+func TestClockTree(t *testing.T) {
+	if ClockTree(1, 1, 1, 1, 0, 10) != 0 {
+		t.Error("no flip-flops should cost nothing")
+	}
+	small := ClockTree(1, 1, 1, 1, 64, 10)
+	big := ClockTree(1, 1, 1, 1, 4096, 10)
+	if big <= small {
+		t.Error("bigger clock trees must cost more")
+	}
+	// V² scaling.
+	if r := ClockTree(2, 1, 1, 1, 64, 10) / small; math.Abs(r-4) > 1e-9 {
+		t.Errorf("clock power should scale V²: ratio %v", r)
+	}
+}
+
+func TestInterconnectOffChipLogic(t *testing.T) {
+	if Interconnect(1, 1, 10, 2, 32, 0.5) <= 0 {
+		t.Error("interconnect power must be positive")
+	}
+	if OffChip(1, 1, 50, 0, 0.5) != 0 {
+		t.Error("zero pins should cost nothing")
+	}
+	if RandomLogic(1, 1, 3, 1000, 0.2) <= RandomLogic(1, 1, 3, 100, 0.2) {
+		t.Error("more gates must cost more")
+	}
+}
+
+func TestProcessorBreakdown(t *testing.T) {
+	c := ProcessorConfig{
+		Mem: DefaultMemoryParams(), MemBits: 13, MemSplitK: 6,
+		NumFF: 2048, DieSide: 10, LogicGates: 50000, Activity: 0.2,
+		BusWidth: 32, BusLength: 8, Pins: 64, Vdd: 1, Freq: 1,
+	}
+	b, err := Processor(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Total() <= 0 {
+		t.Fatal("total must be positive")
+	}
+	// In a memory-heavy design the memory should dominate random logic's
+	// per-gate share only if configured so; here just check all parts
+	// contribute.
+	for name, v := range map[string]float64{
+		"mem": b.Memory, "clock": b.Clock, "logic": b.Logic,
+		"bus": b.Bus, "pads": b.Pads,
+	} {
+		if v <= 0 {
+			t.Errorf("%s component = %v, want positive", name, v)
+		}
+	}
+	// Bad memory split propagates the error.
+	c.MemSplitK = 99
+	if _, err := Processor(c); err == nil {
+		t.Error("expected error for invalid memory split")
+	}
+}

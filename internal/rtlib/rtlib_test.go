@@ -1,0 +1,309 @@
+package rtlib
+
+import (
+	"math/rand"
+	"testing"
+
+	"hlpower/internal/bitutil"
+	"hlpower/internal/logic"
+	"hlpower/internal/sim"
+	"hlpower/internal/trace"
+)
+
+// runCombinational simulates a module for one vector per cycle and
+// returns the decoded output words.
+func runWords(t *testing.T, m *Module, as, bs []uint64) []uint64 {
+	t.Helper()
+	res, err := m.SimulateStream(as, bs, sim.ZeroDelay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]uint64, len(res.Outputs))
+	for i, o := range res.Outputs {
+		out[i] = bitutil.FromBits(o)
+	}
+	return out
+}
+
+func TestAdderCorrect(t *testing.T) {
+	m := NewAdder(8)
+	rng := rand.New(rand.NewSource(1))
+	as := trace.Uniform(200, 8, rng)
+	bs := trace.Uniform(200, 8, rng)
+	outs := runWords(t, m, as, bs)
+	for i := range as {
+		want := (as[i] + bs[i]) & 0x1FF // 8-bit sum + carry
+		if outs[i] != want {
+			t.Fatalf("add %d+%d = %d, want %d", as[i], bs[i], outs[i], want)
+		}
+	}
+}
+
+func TestAdderExhaustiveSmall(t *testing.T) {
+	m := NewAdder(3)
+	var as, bs []uint64
+	for a := uint64(0); a < 8; a++ {
+		for b := uint64(0); b < 8; b++ {
+			as = append(as, a)
+			bs = append(bs, b)
+		}
+	}
+	outs := runWords(t, m, as, bs)
+	for i := range as {
+		if outs[i] != as[i]+bs[i] {
+			t.Fatalf("3-bit add %d+%d = %d", as[i], bs[i], outs[i])
+		}
+	}
+}
+
+func TestMultiplierCorrect(t *testing.T) {
+	m := NewMultiplier(6)
+	rng := rand.New(rand.NewSource(2))
+	as := trace.Uniform(200, 6, rng)
+	bs := trace.Uniform(200, 6, rng)
+	outs := runWords(t, m, as, bs)
+	for i := range as {
+		if outs[i] != as[i]*bs[i] {
+			t.Fatalf("mul %d*%d = %d, want %d", as[i], bs[i], outs[i], as[i]*bs[i])
+		}
+	}
+}
+
+func TestMultiplierExhaustiveSmall(t *testing.T) {
+	m := NewMultiplier(3)
+	var as, bs []uint64
+	for a := uint64(0); a < 8; a++ {
+		for b := uint64(0); b < 8; b++ {
+			as = append(as, a)
+			bs = append(bs, b)
+		}
+	}
+	outs := runWords(t, m, as, bs)
+	for i := range as {
+		if outs[i] != as[i]*bs[i] {
+			t.Fatalf("3-bit mul %d*%d = %d", as[i], bs[i], outs[i])
+		}
+	}
+}
+
+func TestSubtractorCorrect(t *testing.T) {
+	m := NewSubtractor(8)
+	rng := rand.New(rand.NewSource(3))
+	as := trace.Uniform(200, 8, rng)
+	bs := trace.Uniform(200, 8, rng)
+	outs := runWords(t, m, as, bs)
+	for i := range as {
+		want := (as[i] - bs[i]) & 0xFF
+		if outs[i] != want {
+			t.Fatalf("sub %d-%d = %d, want %d", as[i], bs[i], outs[i], want)
+		}
+	}
+}
+
+func TestComparatorCorrect(t *testing.T) {
+	m := NewComparator(6)
+	rng := rand.New(rand.NewSource(4))
+	as := trace.Uniform(300, 6, rng)
+	bs := trace.Uniform(300, 6, rng)
+	outs := runWords(t, m, as, bs)
+	for i := range as {
+		want := uint64(0)
+		if as[i] < bs[i] {
+			want = 1
+		}
+		if outs[i] != want {
+			t.Fatalf("cmp %d<%d = %d, want %d", as[i], bs[i], outs[i], want)
+		}
+	}
+}
+
+func TestEqualComparator(t *testing.T) {
+	n := logic.New()
+	a := n.AddInputBus("a", 4)
+	b := n.AddInputBus("b", 4)
+	eq := EqualComparator(n, a, b, "exec")
+	n.MarkOutput(eq)
+	for i := uint64(0); i < 16; i++ {
+		for j := uint64(0); j < 16; j++ {
+			vec := append(bitutil.ToBits(i, 4), bitutil.ToBits(j, 4)...)
+			res, err := sim.Run(n, sim.VectorInputs([][]bool{vec}), 1, sim.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Outputs[0][0] != (i == j) {
+				t.Fatalf("eq(%d,%d) wrong", i, j)
+			}
+		}
+	}
+}
+
+func TestIncrementer(t *testing.T) {
+	n := logic.New()
+	a := n.AddInputBus("a", 4)
+	out := Incrementer(n, a, "exec")
+	n.MarkOutputBus(out)
+	for i := uint64(0); i < 16; i++ {
+		res, err := sim.Run(n, sim.VectorInputs([][]bool{bitutil.ToBits(i, 4)}), 1, sim.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := bitutil.FromBits(res.Outputs[0])
+		if got != (i+1)&0xF {
+			t.Fatalf("inc(%d) = %d", i, got)
+		}
+	}
+}
+
+func TestConstShiftAddMatchesMultiplication(t *testing.T) {
+	for _, k := range []uint64{0, 1, 2, 3, 5, 10, 13} {
+		n := logic.New()
+		a := n.AddInputBus("a", 6)
+		out := ConstShiftAdd(n, a, k, 12, "exec")
+		n.MarkOutputBus(out)
+		rng := rand.New(rand.NewSource(int64(k) + 7))
+		for trial := 0; trial < 30; trial++ {
+			v := rng.Uint64() & 0x3F
+			res, err := sim.Run(n, sim.VectorInputs([][]bool{bitutil.ToBits(v, 6)}), 1, sim.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := bitutil.FromBits(res.Outputs[0])
+			want := (v * k) & 0xFFF
+			if got != want {
+				t.Fatalf("k=%d: %d*%d = %d, want %d", k, v, k, got, want)
+			}
+		}
+	}
+}
+
+func TestConstShiftAddCheaperThanMultiplier(t *testing.T) {
+	// The whole point of strength reduction: constant shift-add uses far
+	// fewer gates than a general array multiplier.
+	width := 8
+	mul := NewMultiplier(width)
+	n := logic.New()
+	a := n.AddInputBus("a", width)
+	out := ConstShiftAdd(n, a, 5, 2*width, "exec")
+	n.MarkOutputBus(out)
+	if n.NumCombinational() >= mul.Net.NumCombinational()/2 {
+		t.Errorf("shift-add gates %d not well below multiplier %d",
+			n.NumCombinational(), mul.Net.NumCombinational())
+	}
+}
+
+func TestMultiplierGlitchesExceedAdder(t *testing.T) {
+	// Deep reconvergent multiplier logic glitches far more than the adder
+	// (the §II-C1 motivation for input-output macro-models).
+	rng := rand.New(rand.NewSource(5))
+	as := trace.Uniform(150, 8, rng)
+	bs := trace.Uniform(150, 8, rng)
+	add := NewAdder(8)
+	mul := NewMultiplier(8)
+	ea, err := add.EnergyPerPair(as, bs, sim.EventDriven)
+	if err != nil {
+		t.Fatal(err)
+	}
+	em, err := mul.EnergyPerPair(as, bs, sim.EventDriven)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if em < 3*ea {
+		t.Errorf("multiplier energy %v not well above adder %v", em, ea)
+	}
+}
+
+func TestEnergyDataDependence(t *testing.T) {
+	// One constant operand must dissipate less than two random operands —
+	// the data dependence the PFA model misses (§II-C1).
+	rng := rand.New(rand.NewSource(6))
+	mul := NewMultiplier(8)
+	as := trace.Uniform(200, 8, rng)
+	bs := trace.Uniform(200, 8, rng)
+	ones := trace.Constant(200, 8, 1)
+	eRand, err := mul.EnergyPerPair(as, bs, sim.EventDriven)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eConst, err := mul.EnergyPerPair(ones, as, sim.EventDriven)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eConst >= eRand {
+		t.Errorf("constant-operand energy %v should be below random %v", eConst, eRand)
+	}
+}
+
+func TestModuleStreamLengthMismatch(t *testing.T) {
+	m := NewAdder(4)
+	if _, err := m.SimulateStream([]uint64{1, 2}, []uint64{1}, sim.ZeroDelay); err == nil {
+		t.Error("expected length mismatch error")
+	}
+}
+
+func TestCarrySelectAdderCorrect(t *testing.T) {
+	m := NewCarrySelectAdder(8)
+	rng := rand.New(rand.NewSource(7))
+	as := trace.Uniform(300, 8, rng)
+	bs := trace.Uniform(300, 8, rng)
+	outs := runWords(t, m, as, bs)
+	for i := range as {
+		want := (as[i] + bs[i]) & 0x1FF
+		if outs[i] != want {
+			t.Fatalf("csel %d+%d = %d, want %d", as[i], bs[i], outs[i], want)
+		}
+	}
+}
+
+func TestCarrySelectExhaustiveSmall(t *testing.T) {
+	m := NewCarrySelectAdder(4)
+	var as, bs []uint64
+	for a := uint64(0); a < 16; a++ {
+		for b := uint64(0); b < 16; b++ {
+			as = append(as, a)
+			bs = append(bs, b)
+		}
+	}
+	outs := runWords(t, m, as, bs)
+	for i := range as {
+		if outs[i] != as[i]+bs[i] {
+			t.Fatalf("4-bit csel %d+%d = %d", as[i], bs[i], outs[i])
+		}
+	}
+}
+
+func TestCarrySelectArchTradeoff(t *testing.T) {
+	// Same function, different architecture: carry-select is shallower
+	// (faster) but larger than ripple — the organization knob the
+	// macro-models are parameterized by.
+	ripple := NewAdder(16)
+	csel := NewCarrySelectAdder(16)
+	if csel.Net.Depth() >= ripple.Net.Depth() {
+		t.Errorf("carry-select depth %d should beat ripple %d",
+			csel.Net.Depth(), ripple.Net.Depth())
+	}
+	if csel.Net.NumCombinational() <= ripple.Net.NumCombinational() {
+		t.Errorf("carry-select gates %d should exceed ripple %d",
+			csel.Net.NumCombinational(), ripple.Net.NumCombinational())
+	}
+}
+
+func TestArchitectureChangesMacroModel(t *testing.T) {
+	// The two adder architectures need different characterizations: a
+	// PFA constant fitted on one mispredicts the other.
+	rng := rand.New(rand.NewSource(8))
+	as := trace.Uniform(400, 8, rng)
+	bs := trace.Uniform(400, 8, rng)
+	ripple := NewAdder(8)
+	csel := NewCarrySelectAdder(8)
+	er, err := ripple.EnergyPerPair(as, bs, sim.EventDriven)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ec, err := csel.EnergyPerPair(as, bs, sim.EventDriven)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := (ec - er) / er; rel < 0.1 && rel > -0.1 {
+		t.Errorf("architectures should differ measurably in energy: ripple %v csel %v", er, ec)
+	}
+}

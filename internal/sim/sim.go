@@ -1,0 +1,317 @@
+// Package sim simulates logic netlists and meters their power as
+// switched capacitance. Two delay models are provided: the zero-delay
+// model counts only functional (final-value) transitions, and the
+// event-driven assigned-delay model additionally captures glitches —
+// the spurious transitions whose suppression motivates the retiming and
+// guarded-evaluation techniques of §III-I/J. Power follows the standard
+// CMOS form P = 0.5·V²·f·ΣᵢCᵢEᵢ over all signal lines i.
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"hlpower/internal/logic"
+)
+
+// DelayModel selects how transitions are counted.
+type DelayModel int
+
+const (
+	// ZeroDelay evaluates each cycle to its fixed point and counts one
+	// transition per line whose settled value changed.
+	ZeroDelay DelayModel = iota
+	// EventDriven propagates events through per-gate delays within each
+	// cycle and counts every output change, including glitches.
+	EventDriven
+)
+
+// Options configures a simulation run.
+type Options struct {
+	Model DelayModel
+	// Vdd and Freq convert switched capacitance into power via
+	// P = 0.5·V²·f·ΣC·E; they default to 1.
+	Vdd, Freq float64
+	// TrackClock charges ClockCap per flip-flop per cycle to the
+	// "clock" group (suppressed for EnDFFs whose enable is low when
+	// GateClock is set).
+	TrackClock bool
+	// GateClock suppresses the clock charge of disabled EnDFFs,
+	// modeling a gated clock tree.
+	GateClock bool
+}
+
+// Result accumulates the outcome of a simulation.
+type Result struct {
+	Cycles      int
+	SwitchedCap float64            // total ΣC over all transitions
+	ByGroup     map[string]float64 // switched cap per accounting group
+	Toggles     []int64            // transitions per signal
+	Final       []bool             // settled values after the last cycle
+	Outputs     [][]bool           // per-cycle settled primary outputs
+	PerCycleCap []float64          // switched capacitance per cycle
+	vdd, freq   float64
+}
+
+// Power converts the accumulated switched capacitance into average
+// power: 0.5·V²·f·(ΣC·E)/cycles.
+func (r *Result) Power() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return 0.5 * r.vdd * r.vdd * r.freq * r.SwitchedCap / float64(r.Cycles)
+}
+
+// Energy returns total switched energy 0.5·V²·ΣC.
+func (r *Result) Energy() float64 { return 0.5 * r.vdd * r.vdd * r.SwitchedCap }
+
+// InputProvider yields the primary-input assignment for each cycle.
+type InputProvider func(cycle int) []bool
+
+// VectorInputs adapts a pre-built list of input vectors.
+func VectorInputs(vectors [][]bool) InputProvider {
+	return func(cycle int) []bool { return vectors[cycle] }
+}
+
+// Run simulates the netlist for the given number of cycles.
+func Run(n *logic.Netlist, inputs InputProvider, cycles int, opts Options) (*Result, error) {
+	if opts.Vdd == 0 {
+		opts.Vdd = 1
+	}
+	if opts.Freq == 0 {
+		opts.Freq = 1
+	}
+	order, err := n.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	loads := n.Loads()
+	res := &Result{
+		Cycles:  cycles,
+		ByGroup: make(map[string]float64),
+		Toggles: make([]int64, len(n.Gates)),
+		vdd:     opts.Vdd,
+		freq:    opts.Freq,
+	}
+	values := make([]bool, len(n.Gates)) // settled values
+	state := make([]bool, len(n.Gates))  // DFF/EnDFF/Latch state
+	for id, g := range n.Gates {
+		if g.Kind.IsSequential() || g.Kind == logic.Latch {
+			state[id] = g.Init
+		}
+	}
+	fanouts := n.Fanouts()
+
+	res.PerCycleCap = make([]float64, cycles)
+	curCycle := 0
+	record := func(id int) {
+		res.Toggles[id]++
+		res.SwitchedCap += loads[id]
+		res.ByGroup[n.Gates[id].Group] += loads[id]
+		res.PerCycleCap[curCycle] += loads[id]
+	}
+
+	inVals := make([]bool, len(n.Inputs))
+	faninBuf := make([]bool, 0, 8)
+
+	evalSettled := func() {
+		for _, id := range order {
+			g := &n.Gates[id]
+			switch g.Kind {
+			case logic.Input, logic.Const1, logic.Const0:
+				// already set (inputs) or constant
+				if g.Kind == logic.Const1 {
+					values[id] = true
+				} else if g.Kind == logic.Const0 {
+					values[id] = false
+				}
+			case logic.DFF, logic.EnDFF:
+				values[id] = state[id]
+			case logic.Latch:
+				if values[g.Fanin[0]] {
+					state[id] = values[g.Fanin[1]]
+				}
+				values[id] = state[id]
+			default:
+				faninBuf = faninBuf[:0]
+				for _, f := range g.Fanin {
+					faninBuf = append(faninBuf, values[f])
+				}
+				values[id] = logic.EvalGate(g.Kind, faninBuf)
+			}
+		}
+	}
+
+	// Initialize cycle -1 settled state with the first input vector so
+	// transition counting starts from a consistent baseline.
+	if cycles > 0 {
+		vec := inputs(0)
+		if len(vec) != len(n.Inputs) {
+			return nil, fmt.Errorf("sim: input vector width %d, want %d", len(vec), len(n.Inputs))
+		}
+		for i, sig := range n.Inputs {
+			values[sig] = vec[i]
+		}
+		evalSettled()
+	}
+
+	prev := make([]bool, len(n.Gates))
+
+	for cycle := 0; cycle < cycles; cycle++ {
+		curCycle = cycle
+		copy(prev, values)
+		vec := inputs(cycle)
+		if len(vec) != len(n.Inputs) {
+			return nil, fmt.Errorf("sim: input vector width %d, want %d", len(vec), len(n.Inputs))
+		}
+		copy(inVals, vec)
+
+		// Clock edge between cycles: update flip-flop state from the
+		// previous cycle's settled D. Cycle 0 runs from the reset state.
+		if cycle > 0 {
+			for _, id := range order {
+				g := &n.Gates[id]
+				switch g.Kind {
+				case logic.DFF:
+					state[id] = prev[g.Fanin[0]]
+				case logic.EnDFF:
+					if prev[g.Fanin[0]] {
+						state[id] = prev[g.Fanin[1]]
+					}
+				}
+			}
+			// Clock tree power for this edge.
+			if opts.TrackClock {
+				for _, g := range n.Gates {
+					if g.Kind == logic.DFF {
+						res.ByGroup["clock"] += n.ClockCap
+						res.SwitchedCap += n.ClockCap
+						res.PerCycleCap[curCycle] += n.ClockCap
+					} else if g.Kind == logic.EnDFF {
+						if opts.GateClock && !prev[g.Fanin[0]] {
+							continue
+						}
+						res.ByGroup["clock"] += n.ClockCap
+						res.SwitchedCap += n.ClockCap
+						res.PerCycleCap[curCycle] += n.ClockCap
+					}
+				}
+			}
+		}
+		for i, sig := range n.Inputs {
+			values[sig] = inVals[i]
+		}
+
+		if opts.Model == EventDriven {
+			simulateEventDriven(n, order, fanouts, values, state, prev, record)
+		} else {
+			evalSettled()
+			for id := range values {
+				if values[id] != prev[id] {
+					record(id)
+				}
+			}
+		}
+
+		out := make([]bool, len(n.Outputs))
+		for i, o := range n.Outputs {
+			out[i] = values[o]
+		}
+		res.Outputs = append(res.Outputs, out)
+	}
+	res.Final = values
+	return res, nil
+}
+
+// simulateEventDriven settles one clock cycle under per-gate delays,
+// counting every output change (functional transitions and glitches).
+// values holds the new source values (inputs and FF outputs already
+// updated); prev holds last cycle's settled values.
+func simulateEventDriven(n *logic.Netlist, order []int, fanouts [][]int, values, state, prev []bool, record func(int)) {
+	// Pending evaluation times per gate, processed in time order.
+	type event struct {
+		time int
+		gate int
+	}
+	pending := map[int]map[int]bool{} // time -> set of gates
+	schedule := func(t, g int) {
+		m, ok := pending[t]
+		if !ok {
+			m = make(map[int]bool)
+			pending[t] = m
+		}
+		m[g] = true
+	}
+	// Seed: any source whose value changed triggers its fanouts.
+	for id, g := range n.Gates {
+		isSource := g.Kind == logic.Input || g.Kind.IsSequential() ||
+			g.Kind == logic.Const0 || g.Kind == logic.Const1
+		if !isSource {
+			continue
+		}
+		if g.Kind.IsSequential() {
+			values[id] = state[id]
+		}
+		if values[id] != prev[id] {
+			record(id)
+			for _, f := range fanouts[id] {
+				schedule(n.Gates[f].Delay, f)
+			}
+		}
+	}
+	faninBuf := make([]bool, 0, 8)
+	type commit struct {
+		gate int
+		val  bool
+	}
+	var commits []commit
+	for len(pending) > 0 {
+		// Pop the earliest time.
+		times := make([]int, 0, len(pending))
+		for t := range pending {
+			times = append(times, t)
+		}
+		sort.Ints(times)
+		t := times[0]
+		gates := pending[t]
+		delete(pending, t)
+		// Phase 1: evaluate every gate scheduled at t against the values
+		// as of time t (no in-step visibility, or glitches are lost).
+		commits = commits[:0]
+		for id := range gates {
+			g := &n.Gates[id]
+			if g.Kind == logic.Input || g.Kind.IsSequential() ||
+				g.Kind == logic.Const0 || g.Kind == logic.Const1 {
+				continue
+			}
+			var newVal bool
+			if g.Kind == logic.Latch {
+				v := state[id]
+				if values[g.Fanin[0]] {
+					v = values[g.Fanin[1]]
+				}
+				newVal = v
+			} else {
+				faninBuf = faninBuf[:0]
+				for _, f := range g.Fanin {
+					faninBuf = append(faninBuf, values[f])
+				}
+				newVal = logic.EvalGate(g.Kind, faninBuf)
+			}
+			if newVal != values[id] {
+				commits = append(commits, commit{id, newVal})
+			}
+		}
+		// Phase 2: commit changes, count transitions, schedule fanouts.
+		for _, c := range commits {
+			values[c.gate] = c.val
+			if n.Gates[c.gate].Kind == logic.Latch {
+				state[c.gate] = c.val
+			}
+			record(c.gate)
+			for _, f := range fanouts[c.gate] {
+				schedule(t+n.Gates[f].Delay, f)
+			}
+		}
+	}
+}

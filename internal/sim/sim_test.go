@@ -1,0 +1,402 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hlpower/internal/bitutil"
+	"hlpower/internal/logic"
+	"hlpower/internal/trace"
+)
+
+// buildXorChain makes a depth-`depth` chain x -> xor(x, prev) whose
+// unbalanced arrivals glitch under the event-driven model.
+func buildXorTree(inputsN int) (*logic.Netlist, logic.Bus) {
+	n := logic.New()
+	in := n.AddInputBus("x", inputsN)
+	cur := in[0]
+	for i := 1; i < inputsN; i++ {
+		cur = n.Add(logic.Xor, cur, in[i])
+	}
+	n.MarkOutput(cur)
+	return n, in
+}
+
+func boolsOf(w uint64, n int) []bool { return bitutil.ToBits(w, n) }
+
+func TestZeroDelayFunctional(t *testing.T) {
+	// 2-input AND observed over an exhaustive input pair sequence.
+	n := logic.New()
+	a := n.AddInput("a")
+	b := n.AddInput("b")
+	y := n.Add(logic.And, a, b)
+	n.MarkOutput(y)
+	_ = a
+	_ = b
+	seq := [][]bool{{false, false}, {true, false}, {true, true}, {false, true}}
+	res, err := Run(n, VectorInputs(seq), len(seq), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []bool{false, false, true, false}
+	for i, w := range want {
+		if res.Outputs[i][0] != w {
+			t.Errorf("cycle %d: out = %v, want %v", i, res.Outputs[i][0], w)
+		}
+	}
+}
+
+func TestDFFDelaysByOneCycle(t *testing.T) {
+	n := logic.New()
+	d := n.AddInput("d")
+	q := n.Add(logic.DFF, d)
+	n.MarkOutput(q)
+	seq := [][]bool{{true}, {false}, {true}, {true}}
+	res, err := Run(n, VectorInputs(seq), len(seq), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cycle 0 shows the reset value; edge k captures cycle k-1's D.
+	want := []bool{false, true, false, true}
+	for i := range want {
+		if res.Outputs[i][0] != want[i] {
+			t.Errorf("cycle %d: q = %v, want %v", i, res.Outputs[i][0], want[i])
+		}
+	}
+}
+
+func TestEnDFFHolds(t *testing.T) {
+	n := logic.New()
+	en := n.AddInput("en")
+	d := n.AddInput("d")
+	q := n.Add(logic.EnDFF, en, d)
+	n.MarkOutput(q)
+	seq := [][]bool{
+		{true, true},   // load 1 (visible cycle 1)
+		{false, false}, // disabled: hold
+		{false, false}, // disabled: hold
+		{true, false},  // load 0 (visible cycle 4)
+		{false, true},
+	}
+	res, err := Run(n, VectorInputs(seq), len(seq), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []bool{false, true, true, true, false}
+	for i := range want {
+		if res.Outputs[i][0] != want[i] {
+			t.Errorf("cycle %d: q = %v, want %v", i, res.Outputs[i][0], want[i])
+		}
+	}
+}
+
+func TestLatchTransparencyAndHold(t *testing.T) {
+	n := logic.New()
+	en := n.AddInput("en")
+	d := n.AddInput("d")
+	q := n.Add(logic.Latch, en, d)
+	n.MarkOutput(q)
+	seq := [][]bool{
+		{true, true},   // transparent: q=1
+		{false, false}, // opaque: hold 1
+		{true, false},  // transparent: q=0
+	}
+	res, err := Run(n, VectorInputs(seq), len(seq), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []bool{true, true, false}
+	for i := range want {
+		if res.Outputs[i][0] != want[i] {
+			t.Errorf("cycle %d: q = %v, want %v", i, res.Outputs[i][0], want[i])
+		}
+	}
+}
+
+func TestSwitchedCapCountsTransitions(t *testing.T) {
+	n := logic.New()
+	a := n.AddInput("a")
+	y := n.Add(logic.Not, a)
+	n.MarkOutput(y)
+	// a toggles every cycle: both a and y switch each cycle after the first.
+	seq := [][]bool{{false}, {true}, {false}, {true}}
+	res, err := Run(n, VectorInputs(seq), len(seq), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Toggles[a] != 3 || res.Toggles[y] != 3 {
+		t.Errorf("toggles = a:%d y:%d, want 3 each", res.Toggles[a], res.Toggles[y])
+	}
+	if res.SwitchedCap <= 0 {
+		t.Error("switched cap should be positive")
+	}
+	if res.Power() <= 0 {
+		t.Error("power should be positive")
+	}
+}
+
+func TestGroupAccounting(t *testing.T) {
+	n := logic.New()
+	a := n.AddInput("a")
+	x := n.AddG(logic.Not, "exec", a)
+	y := n.AddG(logic.Not, "ctrl", x)
+	n.MarkOutput(y)
+	seq := [][]bool{{false}, {true}, {false}}
+	res, err := Run(n, VectorInputs(seq), len(seq), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ByGroup["exec"] <= 0 || res.ByGroup["ctrl"] <= 0 {
+		t.Errorf("group accounting missing: %v", res.ByGroup)
+	}
+}
+
+func TestEventDrivenCountsGlitches(t *testing.T) {
+	// Unbalanced AND-of-XOR chain: zero-delay counts fewer transitions
+	// than event-driven on random inputs.
+	n, in := buildXorTree(8)
+	_ = in
+	rng := rand.New(rand.NewSource(21))
+	stream := trace.Uniform(300, 8, rng)
+	prov := func(c int) []bool { return boolsOf(stream[c], 8) }
+
+	zd, err := Run(n, prov, len(stream), Options{Model: ZeroDelay})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ed, err := Run(n, prov, len(stream), Options{Model: EventDriven})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ed.SwitchedCap < zd.SwitchedCap {
+		t.Errorf("event-driven cap %v < zero-delay %v: glitches lost", ed.SwitchedCap, zd.SwitchedCap)
+	}
+	// Functional outputs must agree between the models.
+	for c := range zd.Outputs {
+		if zd.Outputs[c][0] != ed.Outputs[c][0] {
+			t.Fatalf("cycle %d: models disagree on output", c)
+		}
+	}
+}
+
+func TestEventDrivenXorChainGlitchCount(t *testing.T) {
+	// In a linear xor chain a0^a1^...^a7, flipping a0 and a2 together
+	// glitches stage 2: a2's flip toggles it at t=1 and the flipped
+	// stage-1 value toggles it back at t=2, while its settled value is
+	// unchanged. Event-driven must strictly exceed zero-delay here.
+	n, _ := buildXorTree(8)
+	p := func(w uint64) []bool { return boolsOf(w, 8) }
+	seq := [][]bool{p(0), p(0b101), p(0), p(0b101)}
+	zd, _ := Run(n, VectorInputs(seq), len(seq), Options{Model: ZeroDelay})
+	ed, _ := Run(n, VectorInputs(seq), len(seq), Options{Model: EventDriven})
+	if ed.SwitchedCap <= zd.SwitchedCap {
+		t.Errorf("expected glitching: ed=%v zd=%v", ed.SwitchedCap, zd.SwitchedCap)
+	}
+}
+
+func TestClockTracking(t *testing.T) {
+	n := logic.New()
+	en := n.AddInput("en")
+	d := n.AddInput("d")
+	q1 := n.Add(logic.DFF, d)
+	q2 := n.Add(logic.EnDFF, en, d)
+	n.MarkOutput(q1)
+	n.MarkOutput(q2)
+	// en low every cycle.
+	seq := [][]bool{{false, true}, {false, false}, {false, true}, {false, false}}
+
+	free, err := Run(n, VectorInputs(seq), len(seq), Options{TrackClock: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gated, err := Run(n, VectorInputs(seq), len(seq), Options{TrackClock: true, GateClock: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three clock edges over four cycles. Ungated: 2 FFs * 3 edges = 6.
+	// Gated: only the plain DFF clocks (en is always low).
+	if free.ByGroup["clock"] != 6*n.ClockCap {
+		t.Errorf("free clock cap = %v, want 6", free.ByGroup["clock"])
+	}
+	if gated.ByGroup["clock"] != 3*n.ClockCap {
+		t.Errorf("gated clock cap = %v, want 3", gated.ByGroup["clock"])
+	}
+}
+
+func TestInputWidthMismatch(t *testing.T) {
+	n := logic.New()
+	n.AddInput("a")
+	if _, err := Run(n, VectorInputs([][]bool{{true, false}}), 1, Options{}); err == nil {
+		t.Error("expected width mismatch error")
+	}
+}
+
+func TestZeroCycles(t *testing.T) {
+	n := logic.New()
+	n.AddInput("a")
+	res, err := Run(n, nil, 0, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SwitchedCap != 0 || res.Power() != 0 {
+		t.Error("zero-cycle run should have zero power")
+	}
+}
+
+func TestRandomEquivalenceZeroVsEvent(t *testing.T) {
+	// Functional (settled) outputs of both delay models must agree on
+	// random sequential circuits.
+	rng := rand.New(rand.NewSource(33))
+	for trial := 0; trial < 10; trial++ {
+		n := logic.New()
+		in := n.AddInputBus("x", 4)
+		sigs := append(logic.Bus{}, in...)
+		// Random DAG of gates.
+		for g := 0; g < 15; g++ {
+			a := sigs[rng.Intn(len(sigs))]
+			b := sigs[rng.Intn(len(sigs))]
+			kinds := []logic.Kind{logic.And, logic.Or, logic.Xor, logic.Nand, logic.Nor}
+			sigs = append(sigs, n.Add(kinds[rng.Intn(len(kinds))], a, b))
+		}
+		// A couple of registers.
+		r1 := n.Add(logic.DFF, sigs[len(sigs)-1])
+		sigs = append(sigs, n.Add(logic.Xor, r1, sigs[4]))
+		n.MarkOutput(sigs[len(sigs)-1])
+		n.MarkOutput(sigs[len(sigs)-3])
+
+		stream := trace.Uniform(50, 4, rng)
+		prov := func(c int) []bool { return boolsOf(stream[c], 4) }
+		zd, err := Run(n, prov, len(stream), Options{Model: ZeroDelay})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ed, err := Run(n, prov, len(stream), Options{Model: EventDriven})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for c := range zd.Outputs {
+			for j := range zd.Outputs[c] {
+				if zd.Outputs[c][j] != ed.Outputs[c][j] {
+					t.Fatalf("trial %d cycle %d out %d: delay models disagree", trial, c, j)
+				}
+			}
+		}
+	}
+}
+
+func TestPropertyEventDrivenDominatesZeroDelay(t *testing.T) {
+	// Invariant: glitch-aware counting can never record less switched
+	// capacitance than functional-transition counting on the same
+	// combinational circuit and stimulus.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := logic.New()
+		in := n.AddInputBus("x", 5)
+		sigs := append(logic.Bus{}, in...)
+		for g := 0; g < 12; g++ {
+			kinds := []logic.Kind{logic.And, logic.Or, logic.Xor, logic.Nand, logic.Nor}
+			a := sigs[rng.Intn(len(sigs))]
+			b := sigs[rng.Intn(len(sigs))]
+			sigs = append(sigs, n.Add(kinds[rng.Intn(len(kinds))], a, b))
+		}
+		n.MarkOutput(sigs[len(sigs)-1])
+		stream := trace.Uniform(40, 5, rng)
+		prov := func(c int) []bool { return boolsOf(stream[c], 5) }
+		zd, err := Run(n, prov, len(stream), Options{Model: ZeroDelay})
+		if err != nil {
+			return false
+		}
+		ed, err := Run(n, prov, len(stream), Options{Model: EventDriven})
+		if err != nil {
+			return false
+		}
+		return ed.SwitchedCap >= zd.SwitchedCap-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyPerCycleCapSumsToTotal(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := logic.New()
+		a := n.AddInput("a")
+		b := n.AddInput("b")
+		x := n.Add(logic.Xor, a, b)
+		r := n.Add(logic.DFF, x)
+		n.MarkOutput(n.Add(logic.And, r, a))
+		stream := trace.Uniform(30, 2, rng)
+		prov := func(c int) []bool { return boolsOf(stream[c], 2) }
+		res, err := Run(n, prov, len(stream), Options{Model: EventDriven, TrackClock: true})
+		if err != nil {
+			return false
+		}
+		var sum float64
+		for _, c := range res.PerCycleCap {
+			sum += c
+		}
+		return math.Abs(sum-res.SwitchedCap) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyGroupCapsSumToTotal(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := logic.New()
+		a := n.AddInput("a")
+		b := n.AddInput("b")
+		x := n.AddG(logic.And, "g1", a, b)
+		y := n.AddG(logic.Or, "g2", x, a)
+		n.MarkOutput(y)
+		stream := trace.Uniform(25, 2, rng)
+		prov := func(c int) []bool { return boolsOf(stream[c], 2) }
+		res, err := Run(n, prov, len(stream), Options{})
+		if err != nil {
+			return false
+		}
+		var sum float64
+		for _, v := range res.ByGroup {
+			sum += v
+		}
+		return math.Abs(sum-res.SwitchedCap) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAssignedGateDelays(t *testing.T) {
+	// A slow gate (Delay 3) converging with a fast path makes the output
+	// glitch for an input change that leaves the settled value alone.
+	n := logic.New()
+	a := n.AddInput("a")
+	slow := n.Add(logic.Not, a)
+	n.Gates[slow].Delay = 3
+	fast := n.Add(logic.Buf, a)
+	y := n.Add(logic.Xor, slow, fast) // settles to 1 always
+	n.MarkOutput(y)
+	seq := [][]bool{{false}, {true}, {false}}
+	zd, err := Run(n, VectorInputs(seq), len(seq), Options{Model: ZeroDelay})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ed, err := Run(n, VectorInputs(seq), len(seq), Options{Model: EventDriven})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Settled output is constant 1: zero-delay sees no output toggles.
+	if zd.Toggles[y] != 0 {
+		t.Errorf("zero-delay output toggles = %d, want 0", zd.Toggles[y])
+	}
+	// Event-driven: each input flip bounces y twice (fast edge then the
+	// late slow edge), two flips after warm-up -> 4 toggles.
+	if ed.Toggles[y] != 4 {
+		t.Errorf("event-driven output toggles = %d, want 4", ed.Toggles[y])
+	}
+}

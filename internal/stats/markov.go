@@ -1,0 +1,92 @@
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Stationary computes the stationary distribution pi of the row-
+// stochastic transition matrix P (pi·P = pi, sum(pi) = 1) by power
+// iteration with a uniform start. It returns an error if the iteration
+// does not converge, which in practice indicates a periodic or
+// disconnected chain; callers generating FSMs should add self-loops or
+// restart probability to guarantee ergodicity.
+func Stationary(P [][]float64, tol float64, maxIter int) ([]float64, error) {
+	n := len(P)
+	if n == 0 {
+		return nil, errors.New("stats: empty chain")
+	}
+	for i, row := range P {
+		if len(row) != n {
+			return nil, errors.New("stats: transition matrix not square")
+		}
+		var s float64
+		for _, p := range row {
+			if p < 0 {
+				return nil, errors.New("stats: negative transition probability")
+			}
+			s += p
+		}
+		if math.Abs(s-1) > 1e-6 {
+			return nil, fmt.Errorf("stats: transition matrix row %d sums to %v, want 1", i, s)
+		}
+	}
+	if tol <= 0 {
+		tol = 1e-12
+	}
+	if maxIter <= 0 {
+		maxIter = 100000
+	}
+	pi := make([]float64, n)
+	next := make([]float64, n)
+	for i := range pi {
+		pi[i] = 1 / float64(n)
+	}
+	for iter := 0; iter < maxIter; iter++ {
+		for j := range next {
+			next[j] = 0
+		}
+		for i := 0; i < n; i++ {
+			pii := pi[i]
+			if pii == 0 {
+				continue
+			}
+			row := P[i]
+			for j := 0; j < n; j++ {
+				next[j] += pii * row[j]
+			}
+		}
+		var diff float64
+		for j := 0; j < n; j++ {
+			diff += math.Abs(next[j] - pi[j])
+		}
+		pi, next = next, pi
+		if diff < tol {
+			return pi, nil
+		}
+	}
+	return nil, errors.New("stats: stationary distribution did not converge")
+}
+
+// TransitionProbabilities converts counted transitions into a row-
+// stochastic matrix; rows with no outgoing transitions get a self-loop.
+func TransitionProbabilities(counts [][]int) [][]float64 {
+	n := len(counts)
+	P := make([][]float64, n)
+	for i := range P {
+		P[i] = make([]float64, n)
+		total := 0
+		for _, c := range counts[i] {
+			total += c
+		}
+		if total == 0 {
+			P[i][i] = 1
+			continue
+		}
+		for j, c := range counts[i] {
+			P[i][j] = float64(c) / float64(total)
+		}
+	}
+	return P
+}

@@ -1,0 +1,254 @@
+// Package stats supplies the statistical machinery the surveyed power
+// models rely on: multi-variable least-squares regression, stepwise
+// variable selection with partial-F tests, sampling estimators (simple
+// random sampling and the ratio/regression estimator used by adaptive
+// macro-modeling), and stationary distributions of Markov chains for FSM
+// state probabilities.
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrSingular is returned when a least-squares system has no unique
+// solution (collinear regressors or too few observations).
+var ErrSingular = errors.New("stats: singular system")
+
+// LinearFit holds the result of an ordinary least-squares fit
+// y ≈ X·beta. R2 is the coefficient of determination and RSS the
+// residual sum of squares.
+type LinearFit struct {
+	Beta []float64
+	R2   float64
+	RSS  float64
+	N    int // observations
+	P    int // parameters
+}
+
+// Predict evaluates the fitted linear model at x (len(x) == len(Beta)).
+func (f *LinearFit) Predict(x []float64) float64 {
+	var y float64
+	for i, b := range f.Beta {
+		y += b * x[i]
+	}
+	return y
+}
+
+// OLS fits y ≈ X·beta by ordinary least squares using the normal
+// equations. X is row-major: X[i] is the regressor vector of
+// observation i. Callers that want an intercept should include a
+// constant-1 column.
+func OLS(X [][]float64, y []float64) (*LinearFit, error) {
+	n := len(X)
+	if n == 0 || n != len(y) {
+		return nil, fmt.Errorf("stats: OLS needs matching nonempty X, y (got %d, %d)", n, len(y))
+	}
+	p := len(X[0])
+	if p == 0 {
+		return nil, errors.New("stats: OLS needs at least one regressor")
+	}
+	if n < p {
+		return nil, ErrSingular
+	}
+	// Build XtX and Xty.
+	xtx := make([][]float64, p)
+	for i := range xtx {
+		xtx[i] = make([]float64, p)
+	}
+	xty := make([]float64, p)
+	for r := 0; r < n; r++ {
+		row := X[r]
+		if len(row) != p {
+			return nil, fmt.Errorf("stats: OLS ragged row %d (len %d, want %d)", r, len(row), p)
+		}
+		for i := 0; i < p; i++ {
+			xty[i] += row[i] * y[r]
+			for j := i; j < p; j++ {
+				xtx[i][j] += row[i] * row[j]
+			}
+		}
+	}
+	for i := 0; i < p; i++ {
+		for j := 0; j < i; j++ {
+			xtx[i][j] = xtx[j][i]
+		}
+	}
+	beta, err := SolveLinear(xtx, xty)
+	if err != nil {
+		return nil, err
+	}
+	fit := &LinearFit{Beta: beta, N: n, P: p}
+	var meanY float64
+	for _, v := range y {
+		meanY += v
+	}
+	meanY /= float64(n)
+	var tss float64
+	for r := 0; r < n; r++ {
+		pred := fit.Predict(X[r])
+		d := y[r] - pred
+		fit.RSS += d * d
+		t := y[r] - meanY
+		tss += t * t
+	}
+	if tss > 0 {
+		fit.R2 = 1 - fit.RSS/tss
+	} else {
+		fit.R2 = 1
+	}
+	return fit, nil
+}
+
+// SolveLinear solves A·x = b by Gaussian elimination with partial
+// pivoting. A is modified-safe (a copy is taken).
+func SolveLinear(A [][]float64, b []float64) ([]float64, error) {
+	n := len(A)
+	if n == 0 || len(b) != n {
+		return nil, errors.New("stats: SolveLinear dimension mismatch")
+	}
+	// Copy augmented matrix.
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = make([]float64, n+1)
+		copy(m[i], A[i])
+		m[i][n] = b[i]
+	}
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		piv := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(m[r][col]) > math.Abs(m[piv][col]) {
+				piv = r
+			}
+		}
+		if math.Abs(m[piv][col]) < 1e-12 {
+			return nil, ErrSingular
+		}
+		m[col], m[piv] = m[piv], m[col]
+		inv := 1 / m[col][col]
+		for r := col + 1; r < n; r++ {
+			f := m[r][col] * inv
+			if f == 0 {
+				continue
+			}
+			for c := col; c <= n; c++ {
+				m[r][c] -= f * m[col][c]
+			}
+		}
+	}
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := m[i][n]
+		for j := i + 1; j < n; j++ {
+			s -= m[i][j] * x[j]
+		}
+		x[i] = s / m[i][i]
+	}
+	return x, nil
+}
+
+// StepwiseResult records a stepwise-selection outcome: the chosen
+// variable indices (into the candidate columns) and the final fit.
+type StepwiseResult struct {
+	Selected []int
+	Fit      *LinearFit
+}
+
+// Stepwise performs forward stepwise regression with a partial-F test,
+// as used by the statistical macro-model construction of Wu et al.
+// cols[i] is the i-th candidate regressor column (len == len(y)). An
+// intercept column is always included implicitly. fEnter is the minimum
+// partial-F statistic for a variable to enter (4.0 is the customary
+// threshold); maxVars bounds the model size (<=0 means no bound).
+func Stepwise(cols [][]float64, y []float64, fEnter float64, maxVars int) (*StepwiseResult, error) {
+	n := len(y)
+	if n == 0 {
+		return nil, errors.New("stats: Stepwise needs observations")
+	}
+	if maxVars <= 0 || maxVars > len(cols) {
+		maxVars = len(cols)
+	}
+	selected := []int{}
+	inModel := make([]bool, len(cols))
+
+	design := func(sel []int) [][]float64 {
+		X := make([][]float64, n)
+		for r := 0; r < n; r++ {
+			row := make([]float64, 1+len(sel))
+			row[0] = 1
+			for j, c := range sel {
+				row[1+j] = cols[c][r]
+			}
+			X[r] = row
+		}
+		return X
+	}
+
+	cur, err := OLS(design(selected), y)
+	if err != nil {
+		return nil, err
+	}
+	for len(selected) < maxVars {
+		bestIdx := -1
+		var bestFit *LinearFit
+		bestF := fEnter
+		for c := range cols {
+			if inModel[c] {
+				continue
+			}
+			trial := append(append([]int{}, selected...), c)
+			fit, err := OLS(design(trial), y)
+			if err != nil {
+				continue
+			}
+			df := float64(n - fit.P)
+			if df <= 0 || fit.RSS <= 0 {
+				// Perfect fit: accept immediately.
+				if cur.RSS > fit.RSS {
+					bestIdx, bestFit = c, fit
+					bestF = math.Inf(1)
+				}
+				continue
+			}
+			F := (cur.RSS - fit.RSS) / (fit.RSS / df)
+			if F > bestF {
+				bestF, bestIdx, bestFit = F, c, fit
+			}
+		}
+		if bestIdx < 0 {
+			break
+		}
+		selected = append(selected, bestIdx)
+		inModel[bestIdx] = true
+		cur = bestFit
+	}
+	return &StepwiseResult{Selected: selected, Fit: cur}, nil
+}
+
+// Pearson returns the Pearson correlation coefficient of x and y.
+func Pearson(x, y []float64) float64 {
+	n := len(x)
+	if n == 0 || n != len(y) {
+		return 0
+	}
+	var mx, my float64
+	for i := 0; i < n; i++ {
+		mx += x[i]
+		my += y[i]
+	}
+	mx /= float64(n)
+	my /= float64(n)
+	var sxy, sxx, syy float64
+	for i := 0; i < n; i++ {
+		dx, dy := x[i]-mx, y[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}

@@ -1,0 +1,176 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the unbiased sample variance of xs.
+func Variance(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(n-1)
+}
+
+// StdDev returns the sample standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// SampleEstimate is the outcome of a sampling-based population-mean
+// estimate: the point estimate, its standard error, and how many units
+// were evaluated.
+type SampleEstimate struct {
+	Mean     float64
+	StdErr   float64
+	Units    int // units actually evaluated
+	PopSize  int
+	Estimate float64 // estimated population total/mean depending on estimator
+}
+
+// SimpleRandomSample estimates the population mean of eval(i), i in
+// [0, popSize), by evaluating a simple random sample of the given size
+// without replacement. This is the "sampler macro-modeling" primitive of
+// Hsieh et al.: only the marked cycles are evaluated.
+func SimpleRandomSample(popSize, sampleSize int, rng *rand.Rand, eval func(i int) float64) SampleEstimate {
+	if sampleSize > popSize {
+		sampleSize = popSize
+	}
+	idx := rng.Perm(popSize)[:sampleSize]
+	xs := make([]float64, sampleSize)
+	for j, i := range idx {
+		xs[j] = eval(i)
+	}
+	m := Mean(xs)
+	se := 0.0
+	if sampleSize > 1 {
+		fpc := 1 - float64(sampleSize)/float64(popSize)
+		se = math.Sqrt(Variance(xs)/float64(sampleSize)) * math.Sqrt(math.Max(fpc, 0))
+	}
+	return SampleEstimate{Mean: m, StdErr: se, Units: sampleSize, PopSize: popSize, Estimate: m}
+}
+
+// MultiSampleMean draws k independent samples of the given size and
+// returns the average of the sample means (the paper's "several samples
+// of at least 30 units" variant). The returned Units is the total number
+// of evaluations.
+func MultiSampleMean(popSize, sampleSize, k int, rng *rand.Rand, eval func(i int) float64) SampleEstimate {
+	means := make([]float64, k)
+	total := 0
+	for s := 0; s < k; s++ {
+		est := SimpleRandomSample(popSize, sampleSize, rng, eval)
+		means[s] = est.Mean
+		total += est.Units
+	}
+	m := Mean(means)
+	se := 0.0
+	if k > 1 {
+		se = math.Sqrt(Variance(means) / float64(k))
+	}
+	return SampleEstimate{Mean: m, StdErr: se, Units: total, PopSize: popSize, Estimate: m}
+}
+
+// StratifiedSample estimates the population mean by partitioning the
+// population into equal contiguous strata and sampling each
+// proportionally ([33]: stratification cuts estimator variance when the
+// metric drifts over time, as power does across program phases).
+func StratifiedSample(popSize, sampleSize, strata int, rng *rand.Rand, eval func(i int) float64) SampleEstimate {
+	if strata <= 1 || popSize <= strata {
+		return SimpleRandomSample(popSize, sampleSize, rng, eval)
+	}
+	perStratum := sampleSize / strata
+	if perStratum < 1 {
+		perStratum = 1
+	}
+	var mean float64
+	total := 0
+	var varSum float64
+	for s := 0; s < strata; s++ {
+		lo := popSize * s / strata
+		hi := popSize * (s + 1) / strata
+		size := hi - lo
+		k := perStratum
+		if k > size {
+			k = size
+		}
+		idx := rng.Perm(size)[:k]
+		xs := make([]float64, k)
+		for j, i := range idx {
+			xs[j] = eval(lo + i)
+		}
+		m := Mean(xs)
+		weight := float64(size) / float64(popSize)
+		mean += weight * m
+		total += k
+		if k > 1 {
+			varSum += weight * weight * Variance(xs) / float64(k)
+		}
+	}
+	return SampleEstimate{Mean: mean, StdErr: math.Sqrt(varSum), Units: total, PopSize: popSize, Estimate: mean}
+}
+
+// RatioEstimate implements the regression (ratio) estimator of the
+// adaptive macro-modeling scheme: the cheap predictor cheap(i) is known
+// for the whole population, the expensive ground truth costly(i) is
+// evaluated only on a sample, and the population mean of costly is
+// estimated as mean(cheap_population) * mean(costly_sample)/mean(cheap_sample).
+func RatioEstimate(popSize, sampleSize int, rng *rand.Rand, cheap, costly func(i int) float64) SampleEstimate {
+	if sampleSize > popSize {
+		sampleSize = popSize
+	}
+	var popMean float64
+	for i := 0; i < popSize; i++ {
+		popMean += cheap(i)
+	}
+	popMean /= float64(popSize)
+
+	idx := rng.Perm(popSize)[:sampleSize]
+	ratios := make([]float64, 0, sampleSize)
+	var sc, sy float64
+	for _, i := range idx {
+		c, yv := cheap(i), costly(i)
+		sc += c
+		sy += yv
+		if c != 0 {
+			ratios = append(ratios, yv/c)
+		}
+	}
+	var ratio float64
+	if sc != 0 {
+		ratio = sy / sc
+	} else {
+		ratio = 1
+	}
+	est := popMean * ratio
+	se := 0.0
+	if len(ratios) > 1 {
+		se = math.Abs(popMean) * math.Sqrt(Variance(ratios)/float64(len(ratios)))
+	}
+	return SampleEstimate{Mean: est, StdErr: se, Units: sampleSize, PopSize: popSize, Estimate: est}
+}
+
+// RelError returns |got-want|/|want| (or |got| when want == 0).
+func RelError(got, want float64) float64 {
+	if want == 0 {
+		return math.Abs(got)
+	}
+	return math.Abs(got-want) / math.Abs(want)
+}

@@ -1,0 +1,308 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestOLSExact(t *testing.T) {
+	// y = 2 + 3x recovered exactly from noiseless data.
+	X := [][]float64{{1, 0}, {1, 1}, {1, 2}, {1, 3}}
+	y := []float64{2, 5, 8, 11}
+	fit, err := OLS(X, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Beta[0]-2) > 1e-9 || math.Abs(fit.Beta[1]-3) > 1e-9 {
+		t.Errorf("beta = %v, want [2 3]", fit.Beta)
+	}
+	if fit.R2 < 0.999999 {
+		t.Errorf("R2 = %v, want 1", fit.R2)
+	}
+}
+
+func TestOLSNoisy(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n := 500
+	X := make([][]float64, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x1, x2 := rng.Float64()*10, rng.Float64()*10
+		X[i] = []float64{1, x1, x2}
+		y[i] = 1.5 + 0.5*x1 - 2*x2 + rng.NormFloat64()*0.01
+	}
+	fit, err := OLS(X, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1.5, 0.5, -2}
+	for i, w := range want {
+		if math.Abs(fit.Beta[i]-w) > 0.01 {
+			t.Errorf("beta[%d] = %v, want ~%v", i, fit.Beta[i], w)
+		}
+	}
+}
+
+func TestOLSSingular(t *testing.T) {
+	// Two identical columns.
+	X := [][]float64{{1, 1}, {2, 2}, {3, 3}}
+	y := []float64{1, 2, 3}
+	if _, err := OLS(X, y); err == nil {
+		t.Error("expected singular error for collinear design")
+	}
+}
+
+func TestOLSErrors(t *testing.T) {
+	if _, err := OLS(nil, nil); err == nil {
+		t.Error("expected error on empty input")
+	}
+	if _, err := OLS([][]float64{{1}, {2}}, []float64{1}); err == nil {
+		t.Error("expected error on length mismatch")
+	}
+	if _, err := OLS([][]float64{{1, 2}, {3}}, []float64{1, 2}); err == nil {
+		t.Error("expected error on ragged rows")
+	}
+}
+
+func TestSolveLinear(t *testing.T) {
+	A := [][]float64{{2, 1}, {1, 3}}
+	b := []float64{3, 5}
+	x, err := SolveLinear(A, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-0.8) > 1e-9 || math.Abs(x[1]-1.4) > 1e-9 {
+		t.Errorf("x = %v, want [0.8 1.4]", x)
+	}
+}
+
+func TestSolveLinearSingular(t *testing.T) {
+	A := [][]float64{{1, 2}, {2, 4}}
+	if _, err := SolveLinear(A, []float64{1, 2}); err == nil {
+		t.Error("expected singular error")
+	}
+}
+
+func TestStepwisePicksTrueVariables(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 400
+	cols := make([][]float64, 6)
+	for c := range cols {
+		cols[c] = make([]float64, n)
+		for i := range cols[c] {
+			cols[c][i] = rng.Float64()
+		}
+	}
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		// Depends only on columns 1 and 4.
+		y[i] = 3*cols[1][i] - 2*cols[4][i] + rng.NormFloat64()*0.02
+	}
+	res, err := Stepwise(cols, y, 4.0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[int]bool{}
+	for _, c := range res.Selected {
+		got[c] = true
+	}
+	if !got[1] || !got[4] {
+		t.Errorf("selected = %v, want to include 1 and 4", res.Selected)
+	}
+	if len(res.Selected) > 3 {
+		t.Errorf("selected too many variables: %v", res.Selected)
+	}
+}
+
+func TestPearson(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	y := []float64{2, 4, 6, 8}
+	if r := Pearson(x, y); math.Abs(r-1) > 1e-12 {
+		t.Errorf("Pearson = %v, want 1", r)
+	}
+	y2 := []float64{8, 6, 4, 2}
+	if r := Pearson(x, y2); math.Abs(r+1) > 1e-12 {
+		t.Errorf("Pearson = %v, want -1", r)
+	}
+	if r := Pearson(x, []float64{5, 5, 5, 5}); r != 0 {
+		t.Errorf("Pearson constant = %v, want 0", r)
+	}
+}
+
+func TestMeanVariance(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); m != 5 {
+		t.Errorf("Mean = %v, want 5", m)
+	}
+	if v := Variance(xs); math.Abs(v-32.0/7.0) > 1e-12 {
+		t.Errorf("Variance = %v, want %v", v, 32.0/7.0)
+	}
+	if Mean(nil) != 0 || Variance([]float64{1}) != 0 {
+		t.Error("degenerate inputs should be 0")
+	}
+}
+
+func TestSimpleRandomSample(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	pop := make([]float64, 10000)
+	var trueMean float64
+	for i := range pop {
+		pop[i] = rng.Float64() * 100
+		trueMean += pop[i]
+	}
+	trueMean /= float64(len(pop))
+	est := SimpleRandomSample(len(pop), 500, rng, func(i int) float64 { return pop[i] })
+	if RelError(est.Mean, trueMean) > 0.05 {
+		t.Errorf("sample mean %v too far from %v", est.Mean, trueMean)
+	}
+	if est.Units != 500 {
+		t.Errorf("Units = %d, want 500", est.Units)
+	}
+}
+
+func TestSampleFullPopulation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	est := SimpleRandomSample(10, 50, rng, func(i int) float64 { return float64(i) })
+	if est.Units != 10 {
+		t.Errorf("oversized sample should clamp to population, got %d", est.Units)
+	}
+	if est.Mean != 4.5 {
+		t.Errorf("full-population mean = %v, want 4.5", est.Mean)
+	}
+}
+
+func TestRatioEstimateReducesError(t *testing.T) {
+	// Ground truth = 1.3 * predictor with small noise: the ratio
+	// estimator should land very close to the true mean even with a
+	// small sample.
+	rng := rand.New(rand.NewSource(5))
+	n := 5000
+	pred := make([]float64, n)
+	truth := make([]float64, n)
+	var trueMean float64
+	for i := 0; i < n; i++ {
+		pred[i] = 10 + rng.Float64()*90
+		truth[i] = 1.3*pred[i] + rng.NormFloat64()
+		trueMean += truth[i]
+	}
+	trueMean /= float64(n)
+	est := RatioEstimate(n, 40, rng,
+		func(i int) float64 { return pred[i] },
+		func(i int) float64 { return truth[i] })
+	if RelError(est.Mean, trueMean) > 0.01 {
+		t.Errorf("ratio estimate %v vs true %v: error too large", est.Mean, trueMean)
+	}
+}
+
+func TestStationaryTwoState(t *testing.T) {
+	// P = [[0.9 0.1],[0.5 0.5]] has stationary pi = [5/6, 1/6].
+	P := [][]float64{{0.9, 0.1}, {0.5, 0.5}}
+	pi, err := Stationary(P, 1e-12, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pi[0]-5.0/6.0) > 1e-6 || math.Abs(pi[1]-1.0/6.0) > 1e-6 {
+		t.Errorf("pi = %v, want [0.8333 0.1667]", pi)
+	}
+}
+
+func TestStationaryValidation(t *testing.T) {
+	if _, err := Stationary(nil, 0, 0); err == nil {
+		t.Error("expected error for empty chain")
+	}
+	if _, err := Stationary([][]float64{{0.5, 0.2}, {0.5, 0.5}}, 0, 0); err == nil {
+		t.Error("expected error for non-stochastic row")
+	}
+	if _, err := Stationary([][]float64{{1}}, 0, 0); err != nil {
+		t.Errorf("1-state chain should work: %v", err)
+	}
+}
+
+func TestStationarySumsToOne(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(8)
+		P := make([][]float64, n)
+		for i := range P {
+			P[i] = make([]float64, n)
+			var s float64
+			for j := range P[i] {
+				P[i][j] = rng.Float64() + 0.01
+				s += P[i][j]
+			}
+			for j := range P[i] {
+				P[i][j] /= s
+			}
+		}
+		pi, err := Stationary(P, 1e-10, 0)
+		if err != nil {
+			return false
+		}
+		var s float64
+		for _, p := range pi {
+			s += p
+		}
+		return math.Abs(s-1) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTransitionProbabilities(t *testing.T) {
+	counts := [][]int{{1, 3}, {0, 0}}
+	P := TransitionProbabilities(counts)
+	if P[0][0] != 0.25 || P[0][1] != 0.75 {
+		t.Errorf("row 0 = %v", P[0])
+	}
+	if P[1][1] != 1 {
+		t.Errorf("empty row should self-loop, got %v", P[1])
+	}
+}
+
+func TestRelError(t *testing.T) {
+	if RelError(110, 100) != 0.1 {
+		t.Error("RelError(110,100) != 0.1")
+	}
+	if RelError(0.5, 0) != 0.5 {
+		t.Error("RelError with zero want should return |got|")
+	}
+}
+
+func TestStratifiedSampleBeatsSimpleOnDriftingData(t *testing.T) {
+	// A population whose mean drifts over time (program phases): the
+	// stratified estimator should have lower error than simple random
+	// sampling at the same budget, on average over repetitions.
+	pop := make([]float64, 12000)
+	var trueMean float64
+	base := rand.New(rand.NewSource(31))
+	for i := range pop {
+		phase := float64(i) / float64(len(pop)) * 40 // strong drift
+		pop[i] = phase + base.Float64()
+		trueMean += pop[i]
+	}
+	trueMean /= float64(len(pop))
+	var errSimple, errStrat float64
+	const reps = 40
+	for r := 0; r < reps; r++ {
+		rng := rand.New(rand.NewSource(int64(100 + r)))
+		s1 := SimpleRandomSample(len(pop), 60, rng, func(i int) float64 { return pop[i] })
+		s2 := StratifiedSample(len(pop), 60, 10, rng, func(i int) float64 { return pop[i] })
+		errSimple += math.Abs(s1.Mean - trueMean)
+		errStrat += math.Abs(s2.Mean - trueMean)
+	}
+	if errStrat >= errSimple {
+		t.Errorf("stratified error %v should beat simple %v on drifting data", errStrat/reps, errSimple/reps)
+	}
+}
+
+func TestStratifiedSampleDegenerate(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	// One stratum falls back to simple sampling.
+	est := StratifiedSample(100, 20, 1, rng, func(i int) float64 { return float64(i) })
+	if est.Units != 20 {
+		t.Errorf("fallback units = %d", est.Units)
+	}
+}

@@ -1,0 +1,277 @@
+// Package trace generates the input streams the surveyed estimation and
+// optimization techniques are exercised with: uniform pseudorandom data
+// (macro-model characterization), temporally correlated "speech-like"
+// AR(1) streams (dual-bit-type model), signed Gaussian random walks,
+// address streams with arithmetic sequentiality and interleaved working
+// zones (bus encoding), and block-correlated streams (Beach code).
+package trace
+
+import (
+	"math"
+	"math/rand"
+
+	"hlpower/internal/bitutil"
+)
+
+// Uniform returns n words of uniform random data over the low `width` bits.
+func Uniform(n, width int, rng *rand.Rand) []uint64 {
+	mask := bitutil.Mask(width)
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = rng.Uint64() & mask
+	}
+	return out
+}
+
+// Constant returns n copies of value masked to width bits.
+func Constant(n, width int, value uint64) []uint64 {
+	mask := bitutil.Mask(width)
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = value & mask
+	}
+	return out
+}
+
+// AR1 returns a temporally correlated stream of two's-complement words:
+// x[t] = rho*x[t-1] + noise, quantized to `width` bits. This mimics
+// speech/DSP data: high-order (sign) bits are strongly correlated while
+// low-order bits look random — exactly the structure the dual-bit-type
+// macro-model exploits. sigma sets the noise scale relative to full range.
+func AR1(n, width int, rho, sigma float64, rng *rand.Rand) []uint64 {
+	out := make([]uint64, n)
+	amp := float64(int64(1) << uint(width-1)) // half range
+	x := 0.0
+	scale := sigma * amp
+	for i := range out {
+		x = rho*x + rng.NormFloat64()*scale
+		// Clamp to representable range.
+		if x > amp-1 {
+			x = amp - 1
+		}
+		if x < -amp {
+			x = -amp
+		}
+		out[i] = uint64(int64(x)) & bitutil.Mask(width)
+	}
+	return out
+}
+
+// GaussianWalk returns a signed random-walk stream (two's complement,
+// width bits), a slowly varying signal whose sign bits rarely toggle.
+func GaussianWalk(n, width int, step float64, rng *rand.Rand) []uint64 {
+	out := make([]uint64, n)
+	amp := float64(int64(1) << uint(width-1))
+	x := 0.0
+	for i := range out {
+		x += rng.NormFloat64() * step * amp
+		if x > amp-1 {
+			x = amp - 1
+		}
+		if x < -amp {
+			x = -amp
+		}
+		out[i] = uint64(int64(x)) & bitutil.Mask(width)
+	}
+	return out
+}
+
+// Sequential returns n consecutive addresses starting at start, masked to
+// width bits (the in-sequence address streams Gray and T0 coding target).
+func Sequential(n, width int, start uint64) []uint64 {
+	mask := bitutil.Mask(width)
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = (start + uint64(i)) & mask
+	}
+	return out
+}
+
+// ZoneSpec describes one working zone for InterleavedZones: a base
+// address and the number of consecutive elements accessed in it.
+type ZoneSpec struct {
+	Base   uint64
+	Length int
+}
+
+// InterleavedZones generates an address stream that round-robins between
+// several working zones (e.g., multiple arrays accessed in the same loop),
+// each individually sequential. This destroys global sequentiality — the
+// stream the Working-Zone code is designed for.
+func InterleavedZones(n, width int, zones []ZoneSpec) []uint64 {
+	if len(zones) == 0 {
+		return make([]uint64, n)
+	}
+	mask := bitutil.Mask(width)
+	offsets := make([]uint64, len(zones))
+	out := make([]uint64, n)
+	for i := range out {
+		z := i % len(zones)
+		zone := zones[z]
+		out[i] = (zone.Base + offsets[z]) & mask
+		offsets[z]++
+		if zone.Length > 0 && offsets[z] >= uint64(zone.Length) {
+			offsets[z] = 0
+		}
+	}
+	return out
+}
+
+// BlockCorrelated generates a stream whose bit lines exhibit strong
+// block correlations without arithmetic sequentiality: bits are grouped
+// into blocks and each block takes one of a few per-block patterns chosen
+// by a slowly-mixing Markov process. This is the structure the Beach code
+// detects and exploits.
+func BlockCorrelated(n, width, blockWidth, patternsPerBlock int, pStay float64, rng *rand.Rand) []uint64 {
+	if blockWidth <= 0 {
+		blockWidth = 4
+	}
+	nBlocks := (width + blockWidth - 1) / blockWidth
+	// Fixed dictionary of patterns per block.
+	patterns := make([][]uint64, nBlocks)
+	for b := range patterns {
+		patterns[b] = make([]uint64, patternsPerBlock)
+		for p := range patterns[b] {
+			patterns[b][p] = rng.Uint64() & bitutil.Mask(blockWidth)
+		}
+	}
+	state := make([]int, nBlocks)
+	out := make([]uint64, n)
+	for i := range out {
+		var w uint64
+		for b := 0; b < nBlocks; b++ {
+			if rng.Float64() > pStay {
+				state[b] = rng.Intn(patternsPerBlock)
+			}
+			w |= patterns[b][state[b]] << uint(b*blockWidth)
+		}
+		out[i] = w & bitutil.Mask(width)
+	}
+	return out
+}
+
+// Mixed concatenates several streams into one.
+func Mixed(streams ...[]uint64) []uint64 {
+	var out []uint64
+	for _, s := range streams {
+		out = append(out, s...)
+	}
+	return out
+}
+
+// Pairs converts a stream into consecutive (prev, cur) vector pairs; the
+// cycle-accurate macro-models are functions of such pairs.
+func Pairs(stream []uint64) [][2]uint64 {
+	if len(stream) < 2 {
+		return nil
+	}
+	out := make([][2]uint64, len(stream)-1)
+	for i := 1; i < len(stream); i++ {
+		out[i-1] = [2]uint64{stream[i-1], stream[i]}
+	}
+	return out
+}
+
+// Entropy returns the empirical word-level entropy (bits) of the stream.
+func Entropy(stream []uint64) float64 {
+	if len(stream) == 0 {
+		return 0
+	}
+	counts := make(map[uint64]int)
+	for _, w := range stream {
+		counts[w]++
+	}
+	n := float64(len(stream))
+	var h float64
+	for _, c := range counts {
+		p := float64(c) / n
+		h -= p * math.Log2(p)
+	}
+	return h
+}
+
+// BitEntropy returns the summed bit-level entropy (bits) of the low
+// `width` bit lines, the independence upper bound h = Σ H(q_i) used by
+// the information-theoretic estimators.
+func BitEntropy(stream []uint64, width int) float64 {
+	q := bitutil.BitProbabilities(stream, width)
+	var h float64
+	for _, qi := range q {
+		h += BinaryEntropy(qi)
+	}
+	return h
+}
+
+// BinaryEntropy returns -q log2 q - (1-q) log2 (1-q), with H(0)=H(1)=0.
+func BinaryEntropy(q float64) float64 {
+	if q <= 0 || q >= 1 {
+		return 0
+	}
+	return -q*math.Log2(q) - (1-q)*math.Log2(1-q)
+}
+
+// CompactMarkov generates a targetLen surrogate for the stream that
+// preserves each bit line's signal probability and switching activity by
+// fitting a per-bit first-order Markov chain — the bit-level rendition
+// of the input-compaction techniques ([36]–[38]) used to shorten power
+// simulations. Spatial correlations across lines are not preserved; the
+// adaptive estimator of §II-C2 covers the residual bias.
+func CompactMarkov(stream []uint64, width, targetLen int, rng *rand.Rand) []uint64 {
+	if len(stream) == 0 || targetLen <= 0 {
+		return nil
+	}
+	probs := bitutil.BitProbabilities(stream, width)
+	acts := bitutil.BitActivities(stream, width)
+	// Per-bit transition rates: stationarity p·P(1→0) = (1−p)·P(0→1)
+	// and activity a = 2·p·P(1→0).
+	rise := make([]float64, width) // P(0→1)
+	fall := make([]float64, width) // P(1→0)
+	for i := 0; i < width; i++ {
+		p := probs[i]
+		a := acts[i]
+		switch {
+		case p <= 0 || p >= 1:
+			rise[i], fall[i] = 0, 0
+		default:
+			fall[i] = clamp01(a / (2 * p))
+			rise[i] = clamp01(a / (2 * (1 - p)))
+		}
+	}
+	out := make([]uint64, targetLen)
+	// Start from the stationary distribution.
+	var cur uint64
+	for i := 0; i < width; i++ {
+		if rng.Float64() < probs[i] {
+			cur |= 1 << uint(i)
+		}
+	}
+	out[0] = cur
+	for t := 1; t < targetLen; t++ {
+		var next uint64
+		for i := 0; i < width; i++ {
+			bit := cur>>uint(i)&1 == 1
+			if bit {
+				if rng.Float64() >= fall[i] {
+					next |= 1 << uint(i)
+				}
+			} else {
+				if rng.Float64() < rise[i] {
+					next |= 1 << uint(i)
+				}
+			}
+		}
+		out[t] = next
+		cur = next
+	}
+	return out
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

@@ -1,0 +1,197 @@
+package trace
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"hlpower/internal/bitutil"
+)
+
+func TestUniformActivity(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	s := Uniform(20000, 16, rng)
+	if len(s) != 20000 {
+		t.Fatalf("len = %d", len(s))
+	}
+	a := bitutil.MeanActivity(s, 16)
+	if a < 0.48 || a > 0.52 {
+		t.Errorf("uniform activity = %v, want ~0.5", a)
+	}
+}
+
+func TestUniformMasked(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, w := range Uniform(100, 8, rng) {
+		if w > 0xFF {
+			t.Fatalf("word %#x exceeds 8-bit mask", w)
+		}
+	}
+}
+
+func TestConstant(t *testing.T) {
+	s := Constant(10, 8, 0x1AB)
+	for _, w := range s {
+		if w != 0xAB {
+			t.Fatalf("constant = %#x, want 0xAB", w)
+		}
+	}
+	if bitutil.Transitions(s, 8) != 0 {
+		t.Error("constant stream should have zero transitions")
+	}
+}
+
+func TestAR1SignBitsCorrelated(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	s := AR1(50000, 16, 0.99, 0.02, rng)
+	acts := bitutil.BitActivities(s, 16)
+	// Low bits should switch like random data; the top (sign) bits far less.
+	low := (acts[0] + acts[1]) / 2
+	high := (acts[14] + acts[15]) / 2
+	if high >= low/2 {
+		t.Errorf("AR1 sign-bit activity %v not much below LSB activity %v", high, low)
+	}
+}
+
+func TestGaussianWalkBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	s := GaussianWalk(10000, 12, 0.05, rng)
+	for _, w := range s {
+		if w > bitutil.Mask(12) {
+			t.Fatalf("walk escaped the 12-bit range: %#x", w)
+		}
+	}
+}
+
+func TestSequential(t *testing.T) {
+	s := Sequential(5, 16, 100)
+	for i, w := range s {
+		if w != uint64(100+i) {
+			t.Fatalf("s[%d] = %d, want %d", i, w, 100+i)
+		}
+	}
+	// Wraps at the mask.
+	s = Sequential(3, 4, 15)
+	if s[1] != 0 {
+		t.Errorf("sequential wrap: got %d, want 0", s[1])
+	}
+}
+
+func TestInterleavedZones(t *testing.T) {
+	zones := []ZoneSpec{{Base: 0x1000, Length: 100}, {Base: 0x8000, Length: 100}}
+	s := InterleavedZones(6, 32, zones)
+	want := []uint64{0x1000, 0x8000, 0x1001, 0x8001, 0x1002, 0x8002}
+	for i := range want {
+		if s[i] != want[i] {
+			t.Fatalf("s[%d] = %#x, want %#x", i, s[i], want[i])
+		}
+	}
+	if got := InterleavedZones(4, 32, nil); len(got) != 4 {
+		t.Error("nil zones should still return n words")
+	}
+}
+
+func TestBlockCorrelatedLowerActivity(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	s := BlockCorrelated(20000, 16, 4, 3, 0.95, rng)
+	act := bitutil.MeanActivity(s, 16)
+	if act >= 0.35 {
+		t.Errorf("block-correlated activity = %v, want well below random 0.5", act)
+	}
+}
+
+func TestPairs(t *testing.T) {
+	p := Pairs([]uint64{1, 2, 3})
+	if len(p) != 2 || p[0] != [2]uint64{1, 2} || p[1] != [2]uint64{2, 3} {
+		t.Errorf("Pairs = %v", p)
+	}
+	if Pairs([]uint64{1}) != nil {
+		t.Error("Pairs of single element should be nil")
+	}
+}
+
+func TestEntropyUniformApproachesWidth(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	s := Uniform(1<<16, 4, rng)
+	h := Entropy(s)
+	if h < 3.95 || h > 4.0 {
+		t.Errorf("entropy of uniform 4-bit stream = %v, want ~4", h)
+	}
+}
+
+func TestEntropyConstantIsZero(t *testing.T) {
+	if h := Entropy(Constant(100, 8, 5)); h != 0 {
+		t.Errorf("entropy of constant = %v, want 0", h)
+	}
+	if h := Entropy(nil); h != 0 {
+		t.Errorf("entropy of empty = %v, want 0", h)
+	}
+}
+
+func TestBinaryEntropy(t *testing.T) {
+	if BinaryEntropy(0.5) != 1 {
+		t.Errorf("H(0.5) = %v, want 1", BinaryEntropy(0.5))
+	}
+	if BinaryEntropy(0) != 0 || BinaryEntropy(1) != 0 {
+		t.Error("H(0) and H(1) must be 0")
+	}
+	// Symmetry.
+	if math.Abs(BinaryEntropy(0.3)-BinaryEntropy(0.7)) > 1e-12 {
+		t.Error("binary entropy not symmetric")
+	}
+}
+
+func TestBitEntropyBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	s := Uniform(10000, 8, rng)
+	h := BitEntropy(s, 8)
+	if h < 7.9 || h > 8.0 {
+		t.Errorf("bit entropy of uniform 8-bit = %v, want ~8", h)
+	}
+	// Bit entropy upper-bounds word entropy.
+	c := BlockCorrelated(10000, 8, 4, 2, 0.9, rng)
+	if BitEntropy(c, 8)+1e-9 < Entropy(c) {
+		t.Errorf("bit entropy %v should upper-bound word entropy %v", BitEntropy(c, 8), Entropy(c))
+	}
+}
+
+func TestMixed(t *testing.T) {
+	m := Mixed([]uint64{1, 2}, []uint64{3})
+	if len(m) != 3 || m[2] != 3 {
+		t.Errorf("Mixed = %v", m)
+	}
+}
+
+func TestCompactMarkovPreservesStatistics(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	full := AR1(20000, 12, 0.95, 0.1, rng)
+	short := CompactMarkov(full, 12, 2500, rng)
+	if len(short) != 2500 {
+		t.Fatalf("length = %d", len(short))
+	}
+	pf := bitutil.BitProbabilities(full, 12)
+	ps := bitutil.BitProbabilities(short, 12)
+	af := bitutil.BitActivities(full, 12)
+	as := bitutil.BitActivities(short, 12)
+	for i := 0; i < 12; i++ {
+		if d := ps[i] - pf[i]; d > 0.06 || d < -0.06 {
+			t.Errorf("bit %d probability drifted: %v vs %v", i, ps[i], pf[i])
+		}
+		if d := as[i] - af[i]; d > 0.06 || d < -0.06 {
+			t.Errorf("bit %d activity drifted: %v vs %v", i, as[i], af[i])
+		}
+	}
+}
+
+func TestCompactMarkovDegenerate(t *testing.T) {
+	if CompactMarkov(nil, 8, 10, rand.New(rand.NewSource(1))) != nil {
+		t.Error("empty source should return nil")
+	}
+	rng := rand.New(rand.NewSource(2))
+	c := CompactMarkov(Constant(100, 8, 0xAA), 8, 50, rng)
+	for _, w := range c {
+		if w != 0xAA {
+			t.Fatalf("constant stream should compact to itself, got %#x", w)
+		}
+	}
+}

@@ -1,0 +1,183 @@
+package verify
+
+import (
+	"math/rand"
+	"testing"
+
+	"hlpower/internal/cover"
+	"hlpower/internal/fsm"
+	"hlpower/internal/logic"
+)
+
+// twoImpls builds two structurally different implementations of the same
+// random function: two-level and factored multilevel.
+func twoImpls(t *testing.T, seed int64) (*logic.Netlist, *logic.Netlist, int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	n := 4 + rng.Intn(4)
+	var ms []uint64
+	for i := uint64(0); i < 1<<uint(n); i++ {
+		if rng.Float64() < 0.45 {
+			ms = append(ms, i)
+		}
+	}
+	cv, err := cover.Minimize(ms, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	two := logic.New()
+	in2 := two.AddInputBus("x", n)
+	two.MarkOutput(logic.FromCover(two, cv, in2, "g"))
+	ml := logic.New()
+	inM := ml.AddInputBus("x", n)
+	ml.MarkOutput(logic.FromExpr(ml, cover.Factor(cv), inM, "g"))
+	return two, ml, n
+}
+
+func TestCombinationalEquivalent(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		a, b, _ := twoImpls(t, seed)
+		eq, err := Combinational(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !eq {
+			t.Fatalf("seed %d: factored form should be equivalent", seed)
+		}
+		if cex, err := Counterexample(a, b); err != nil || cex != nil {
+			t.Fatalf("seed %d: unexpected counterexample %v (%v)", seed, cex, err)
+		}
+	}
+}
+
+func TestCombinationalDetectsBug(t *testing.T) {
+	a, b, n := twoImpls(t, 42)
+	// Inject a bug: flip one gate kind in b.
+	for id := range b.Gates {
+		if b.Gates[id].Kind == logic.And {
+			b.Gates[id].Kind = logic.Or
+			break
+		}
+	}
+	eq, err := Combinational(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eq {
+		t.Skip("mutation happened to preserve the function; rare but possible")
+	}
+	cex, err := Counterexample(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cex == nil {
+		t.Fatal("no counterexample for inequivalent circuits")
+	}
+	if len(cex) != n {
+		t.Fatalf("counterexample width %d, want %d", len(cex), n)
+	}
+	// The counterexample must actually distinguish the circuits.
+	va := evalComb(t, a, cex)
+	vb := evalComb(t, b, cex)
+	same := true
+	for i := range va {
+		if va[i] != vb[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("counterexample does not distinguish the circuits")
+	}
+}
+
+func evalComb(t *testing.T, n *logic.Netlist, in []bool) []bool {
+	t.Helper()
+	order, err := n.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := make([]bool, len(n.Gates))
+	for i, sig := range n.Inputs {
+		vals[sig] = in[i]
+	}
+	for _, id := range order {
+		g := n.Gates[id]
+		if g.Kind == logic.Input {
+			continue
+		}
+		args := make([]bool, len(g.Fanin))
+		for j, f := range g.Fanin {
+			args[j] = vals[f]
+		}
+		vals[id] = logic.EvalGate(g.Kind, args)
+	}
+	out := make([]bool, len(n.Outputs))
+	for i, o := range n.Outputs {
+		out[i] = vals[o]
+	}
+	return out
+}
+
+func TestCombinationalRejectsSequential(t *testing.T) {
+	a := logic.New()
+	d := a.AddInput("d")
+	a.MarkOutput(a.Add(logic.DFF, d))
+	b := logic.New()
+	d2 := b.AddInput("d")
+	b.MarkOutput(b.Add(logic.Buf, d2))
+	if _, err := Combinational(a, b); err == nil {
+		t.Error("sequential netlist should be rejected")
+	}
+}
+
+func TestCombinationalInterfaceMismatch(t *testing.T) {
+	a := logic.New()
+	a.AddInput("x")
+	b := logic.New()
+	b.AddInput("x")
+	b.AddInput("y")
+	if _, err := Combinational(a, b); err == nil {
+		t.Error("input count mismatch should error")
+	}
+}
+
+func TestSequentialEquivalenceAcrossEncodings(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	f := fsm.Random(6, 2, 2, 0.5, rng)
+	n1, err := fsm.Synthesize(f, fsm.BinaryEncoding(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n2, err := fsm.Synthesize(f, fsm.GrayEncoding(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eq, at, err := Sequential(n1, n2, 300, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq {
+		t.Fatalf("differently encoded controllers diverge at cycle %d", at)
+	}
+}
+
+func TestSequentialDetectsDifference(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	f := fsm.Random(6, 1, 2, 0.5, rng)
+	g := fsm.Random(6, 1, 2, 0.5, rng)
+	n1, err := fsm.Synthesize(f, fsm.BinaryEncoding(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n2, err := fsm.Synthesize(g, fsm.BinaryEncoding(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eq, _, err := Sequential(n1, n2, 300, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eq {
+		t.Skip("random machines happened to agree on this stimulus")
+	}
+}

@@ -1,0 +1,282 @@
+// Package vsched implements the multiple supply-voltage scheduling of
+// Chang and Pedram [73] (§III-F): each operation of a tree-structured
+// CDFG is assigned one of a fixed set of supply voltages so that total
+// energy is minimized under a latency constraint. The algorithm computes
+// a Pareto power-delay curve per node by a bottom-up dynamic program
+// (inserting level-shifter costs where a child's voltage differs from
+// its parent's) and recovers the assignment by a preorder traversal from
+// the chosen root point.
+package vsched
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"hlpower/internal/cdfg"
+)
+
+// Voltage is one available supply level.
+type Voltage struct {
+	Name string
+	V    float64
+}
+
+// DefaultVoltages returns the classic 5 V / 3.3 V / 2.4 V set of the
+// multi-Vdd literature.
+func DefaultVoltages() []Voltage {
+	return []Voltage{{"5.0V", 5.0}, {"3.3V", 3.3}, {"2.4V", 2.4}}
+}
+
+// Library defines per-kind base delay and energy at the reference
+// voltage (the highest), scaled per level: energy ∝ V², delay ∝
+// V/(V−Vt)² (normalized so the reference level has scale 1).
+type Library struct {
+	Voltages []Voltage
+	Vt       float64 // threshold voltage for the delay model
+	// LevelShifterEnergy is charged per tree edge whose endpoint
+	// voltages differ; LevelShifterDelay adds to the child's path.
+	LevelShifterEnergy float64
+	LevelShifterDelay  int
+	BaseDelay          func(cdfg.OpKind) int
+	BaseEnergy         func(cdfg.OpKind) float64
+}
+
+// DefaultLibrary returns the standard library over the default voltages.
+func DefaultLibrary() *Library {
+	return &Library{
+		Voltages:           DefaultVoltages(),
+		Vt:                 0.8,
+		LevelShifterEnergy: 0.3,
+		LevelShifterDelay:  0,
+		BaseDelay:          cdfg.DefaultDelay,
+		BaseEnergy:         cdfg.DefaultEnergy,
+	}
+}
+
+// Delay returns the integer control-step delay of kind at level l.
+func (lib *Library) Delay(k cdfg.OpKind, l int) int {
+	base := lib.BaseDelay(k)
+	if base == 0 {
+		return 0
+	}
+	ref := lib.Voltages[0].V
+	v := lib.Voltages[l].V
+	scale := (v / ref) * math.Pow((ref-lib.Vt)/(v-lib.Vt), 2)
+	return int(math.Ceil(float64(base) * scale))
+}
+
+// Energy returns the per-execution energy of kind at level l.
+func (lib *Library) Energy(k cdfg.OpKind, l int) float64 {
+	ref := lib.Voltages[0].V
+	v := lib.Voltages[l].V
+	return lib.BaseEnergy(k) * (v * v) / (ref * ref)
+}
+
+// point is one Pareto-optimal (time, energy) tradeoff of a subtree.
+type point struct {
+	time    int
+	energy  float64
+	level   int   // this node's voltage level
+	choices []int // chosen point index per child (operation children only)
+}
+
+// Assignment is the result of scheduling: per-node voltage level
+// (operations only; -1 elsewhere), total energy, and completion time.
+type Assignment struct {
+	Level  []int
+	Energy float64
+	Time   int
+}
+
+// Schedule computes the minimum-energy voltage assignment of a
+// tree-structured CDFG meeting the latency bound (in control steps).
+// It returns an error if the graph is not a tree over its operations or
+// the latency is infeasible even at full voltage.
+func Schedule(g *cdfg.Graph, lib *Library, latency int) (*Assignment, error) {
+	root, children, err := treeOf(g)
+	if err != nil {
+		return nil, err
+	}
+	curves := make(map[int][]point)
+	var build func(int) []point
+	build = func(id int) []point {
+		if pts, ok := curves[id]; ok {
+			return pts
+		}
+		var kids []int
+		for _, a := range children[id] {
+			if g.Nodes[a].Kind.IsOperation() {
+				kids = append(kids, a)
+			}
+		}
+		kidCurves := make([][]point, len(kids))
+		for i, k := range kids {
+			kidCurves[i] = build(k)
+		}
+		var pts []point
+		for l := range lib.Voltages {
+			d := lib.Delay(g.Nodes[id].Kind, l)
+			e := lib.Energy(g.Nodes[id].Kind, l)
+			// Cross product of child choices, pruned to Pareto points.
+			combos := [][]int{{}}
+			for range kids {
+				var next [][]int
+				for _, c := range combos {
+					for pi := range kidCurves[len(c)] {
+						next = append(next, append(append([]int{}, c...), pi))
+					}
+				}
+				combos = next
+			}
+			for _, combo := range combos {
+				start := 0
+				energy := e
+				for i, pi := range combo {
+					kp := kidCurves[i][pi]
+					t := kp.time
+					if kp.level != l {
+						energy += lib.LevelShifterEnergy
+						t += lib.LevelShifterDelay
+					}
+					if t > start {
+						start = t
+					}
+					energy += kp.energy
+				}
+				pts = append(pts, point{
+					time:    start + d,
+					energy:  energy,
+					level:   l,
+					choices: combo,
+				})
+			}
+		}
+		pts = pareto(pts)
+		curves[id] = pts
+		return pts
+	}
+	rootPts := build(root)
+	// Pick the cheapest point meeting the latency.
+	best := -1
+	for i, p := range rootPts {
+		if p.time > latency {
+			continue
+		}
+		if best < 0 || p.energy < rootPts[best].energy {
+			best = i
+		}
+	}
+	if best < 0 {
+		return nil, fmt.Errorf("vsched: latency %d infeasible (fastest is %d)", latency, rootPts[0].time)
+	}
+	// Preorder traversal recovering levels.
+	asg := &Assignment{Level: make([]int, len(g.Nodes))}
+	for i := range asg.Level {
+		asg.Level[i] = -1
+	}
+	var walk func(id, pi int)
+	walk = func(id, pi int) {
+		p := curves[id][pi]
+		asg.Level[id] = p.level
+		var kids []int
+		for _, a := range children[id] {
+			if g.Nodes[a].Kind.IsOperation() {
+				kids = append(kids, a)
+			}
+		}
+		for i, k := range kids {
+			walk(k, p.choices[i])
+		}
+	}
+	walk(root, best)
+	asg.Energy = rootPts[best].energy
+	asg.Time = rootPts[best].time
+	return asg, nil
+}
+
+// pareto keeps the non-dominated points sorted by time.
+func pareto(pts []point) []point {
+	sort.Slice(pts, func(i, j int) bool {
+		if pts[i].time != pts[j].time {
+			return pts[i].time < pts[j].time
+		}
+		return pts[i].energy < pts[j].energy
+	})
+	var out []point
+	bestE := math.Inf(1)
+	for _, p := range pts {
+		if p.energy < bestE {
+			out = append(out, p)
+			bestE = p.energy
+		}
+	}
+	return out
+}
+
+// Curve exposes the root's Pareto (time, energy) tradeoff — the set of
+// solutions the designer chooses from — by sweeping the latency bound
+// from the full-voltage critical path until the energy stops improving.
+func Curve(g *cdfg.Graph, lib *Library) ([]int, []float64, error) {
+	minLat := g.CriticalPath(lib.BaseDelay)
+	var times []int
+	var energies []float64
+	prev := math.Inf(1)
+	for lat := minLat; lat <= minLat*4+8; lat++ {
+		a, err := Schedule(g, lib, lat)
+		if err != nil {
+			continue
+		}
+		if a.Energy < prev-1e-12 {
+			times = append(times, lat)
+			energies = append(energies, a.Energy)
+			prev = a.Energy
+		}
+	}
+	if len(times) == 0 {
+		return nil, nil, fmt.Errorf("vsched: no feasible schedule found")
+	}
+	return times, energies, nil
+}
+
+// FullVoltageEnergy is the single-supply baseline.
+func FullVoltageEnergy(g *cdfg.Graph, lib *Library) float64 {
+	var e float64
+	for _, n := range g.Nodes {
+		if n.Kind.IsOperation() {
+			e += lib.Energy(n.Kind, 0)
+		}
+	}
+	return e
+}
+
+// treeOf verifies every operation node has at most one operation
+// consumer and returns the root (single output) and the child lists.
+func treeOf(g *cdfg.Graph) (int, [][]int, error) {
+	if len(g.Outputs) != 1 {
+		return 0, nil, fmt.Errorf("vsched: need exactly one output, have %d", len(g.Outputs))
+	}
+	fanout := make([]int, len(g.Nodes))
+	children := make([][]int, len(g.Nodes))
+	for _, n := range g.Nodes {
+		if !n.Kind.IsOperation() {
+			continue
+		}
+		for _, a := range n.Args {
+			children[n.ID] = append(children[n.ID], a)
+			if g.Nodes[a].Kind.IsOperation() {
+				fanout[a]++
+			}
+		}
+	}
+	for id, n := range g.Nodes {
+		if n.Kind.IsOperation() && fanout[id] > 1 {
+			return 0, nil, fmt.Errorf("vsched: node %d has fanout %d; CDFG is not a tree", id, fanout[id])
+		}
+	}
+	root := g.Outputs[0]
+	if !g.Nodes[root].Kind.IsOperation() {
+		return 0, nil, fmt.Errorf("vsched: output %d is not an operation", root)
+	}
+	return root, children, nil
+}
