@@ -1,8 +1,15 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test bench repro vet cover clean
+.PHONY: all check build test bench repro vet cover fuzz clean
 
-all: build test
+all: check
+
+# check is the default verification entry point: vet, build, and the
+# full test suite under the race detector.
+check:
+	go vet ./...
+	go build ./...
+	go test -race ./...
 
 build:
 	go build ./...
@@ -21,6 +28,13 @@ repro:
 
 cover:
 	go test -cover ./internal/... .
+
+# fuzz gives each bus round-trip fuzz target a short budget.
+fuzz:
+	for f in FuzzBusInvertRoundTrip FuzzT0RoundTrip FuzzGrayRoundTrip \
+	         FuzzT0BIRoundTrip FuzzWorkingZoneRoundTrip FuzzBeachRoundTrip; do \
+		go test -run "^$$f$$" -fuzz "^$$f$$" -fuzztime 10s ./internal/bus/ || exit 1; \
+	done
 
 clean:
 	go clean ./...

@@ -25,6 +25,24 @@ func main() {
 	nZones := flag.Int("zones", 3, "working zones in the 'zones' stream")
 	seed := flag.Int64("seed", 1, "random seed")
 	flag.Parse()
+	defer func() {
+		if r := recover(); r != nil {
+			fmt.Fprintf(os.Stderr, "busenc: internal error: %v\n", r)
+			os.Exit(1)
+		}
+	}()
+	if *width < 1 || *width > 64 {
+		fmt.Fprintf(os.Stderr, "busenc: width %d out of range [1,64]\n", *width)
+		os.Exit(2)
+	}
+	if *n < 4 {
+		fmt.Fprintf(os.Stderr, "busenc: stream length %d too short (need >= 4)\n", *n)
+		os.Exit(2)
+	}
+	if *nZones < 1 {
+		fmt.Fprintf(os.Stderr, "busenc: zone count %d must be positive\n", *nZones)
+		os.Exit(2)
+	}
 
 	rng := rand.New(rand.NewSource(*seed))
 	var stream []uint64

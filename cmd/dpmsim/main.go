@@ -10,6 +10,7 @@ import (
 	"flag"
 	"fmt"
 	"math/rand"
+	"os"
 
 	"hlpower/internal/dpm"
 )
@@ -25,6 +26,17 @@ func main() {
 	timeout := flag.Float64("timeout", 5, "static policy timeout")
 	seed := flag.Int64("seed", 1, "random seed")
 	flag.Parse()
+	defer func() {
+		if r := recover(); r != nil {
+			fmt.Fprintf(os.Stderr, "dpmsim: internal error: %v\n", r)
+			os.Exit(1)
+		}
+	}()
+	if *sessions < 1 || *bursts < 1 {
+		fmt.Fprintf(os.Stderr, "dpmsim: sessions (%d) and bursts (%d) must be positive\n",
+			*sessions, *bursts)
+		os.Exit(2)
+	}
 
 	dev := dpm.DefaultDevice()
 	dev.TRestart = *tRestart

@@ -29,6 +29,16 @@ func main() {
 	multilevel := flag.Bool("ml", false, "factor covers into multilevel logic")
 	seed := flag.Int64("seed", 1, "random seed")
 	flag.Parse()
+	defer func() {
+		if r := recover(); r != nil {
+			fmt.Fprintf(os.Stderr, "fsmsynth: internal error: %v\n", r)
+			os.Exit(1)
+		}
+	}()
+	if *cycles < 1 {
+		fmt.Fprintf(os.Stderr, "fsmsynth: cycle count %d must be positive\n", *cycles)
+		os.Exit(2)
+	}
 
 	var f *fsm.FSM
 	switch {

@@ -24,6 +24,12 @@ func main() {
 	parallel := flag.Int("j", 1, "run experiments concurrently with this many workers")
 	markdown := flag.Bool("markdown", false, "emit EXPERIMENTS.md content instead of plain reports")
 	flag.Parse()
+	defer func() {
+		if r := recover(); r != nil {
+			fmt.Fprintf(os.Stderr, "repro: internal error: %v\n", r)
+			os.Exit(1)
+		}
+	}()
 
 	if *list {
 		for _, id := range experiments.IDs() {
@@ -37,15 +43,20 @@ func main() {
 	}
 	if *parallel < 2 || len(ids) < 2 {
 		var reports []*experiments.Report
+		failed := false
 		for _, id := range ids {
 			rep, err := experiments.Run(id)
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "repro: %v\n", err)
-				os.Exit(1)
+				fmt.Fprintf(os.Stderr, "repro: %s: %v (continuing)\n", id, err)
+				failed = true
+				continue
 			}
 			reports = append(reports, rep)
 		}
 		emit(reports, *markdown)
+		if failed {
+			os.Exit(1)
+		}
 		return
 	}
 	// Concurrent execution with ordered output: a worker pool fills one
@@ -74,18 +85,18 @@ func main() {
 	wg.Wait()
 	failed := false
 	var reports []*experiments.Report
-	for _, r := range results {
+	for i, r := range results {
 		if r.err != nil {
-			fmt.Fprintf(os.Stderr, "repro: %v\n", r.err)
+			fmt.Fprintf(os.Stderr, "repro: %s: %v (continuing)\n", ids[i], r.err)
 			failed = true
 			continue
 		}
 		reports = append(reports, r.rep)
 	}
+	emit(reports, *markdown)
 	if failed {
 		os.Exit(1)
 	}
-	emit(reports, *markdown)
 }
 
 // emit prints reports as plain text or as the EXPERIMENTS.md document.

@@ -1,13 +1,56 @@
 package hlpower
 
 import (
+	"context"
+	"time"
+
+	"hlpower/internal/budget"
 	"hlpower/internal/bus"
 	"hlpower/internal/core"
 	"hlpower/internal/dpm"
+	"hlpower/internal/hlerr"
 	"hlpower/internal/logic"
 	"hlpower/internal/rtlib"
 	"hlpower/internal/sim"
 )
+
+// Resource governance. Every long-running estimator accepts a *Budget
+// combining a wall-clock deadline, context cancellation, and step/node
+// ceilings; exhaustion surfaces as an error matching ErrBudgetExceeded
+// or as a result flagged Degraded, never as an unbounded run or a
+// crash.
+type (
+	// Budget governs an estimation run's resources.
+	Budget = budget.Budget
+	// BudgetOption configures a Budget.
+	BudgetOption = budget.Option
+	// InputError is the typed error for malformed user input.
+	InputError = hlerr.InputError
+)
+
+// ErrBudgetExceeded is matched (errors.Is) by every budget violation.
+var ErrBudgetExceeded = budget.ErrExceeded
+
+// NewBudget builds a budget; with no options it never trips.
+func NewBudget(opts ...BudgetOption) *Budget { return budget.New(opts...) }
+
+// BudgetFromContext derives a budget from a context's deadline and
+// cancellation.
+func BudgetFromContext(ctx context.Context) *Budget { return budget.FromContext(ctx) }
+
+// WithTimeout caps a budget's wall-clock time.
+func WithTimeout(d time.Duration) BudgetOption { return budget.WithTimeout(d) }
+
+// WithMaxSteps caps a budget's abstract work counter.
+func WithMaxSteps(n int64) BudgetOption { return budget.WithMaxSteps(n) }
+
+// WithMaxNodes caps a budget's allocated-node (memory proxy) counter.
+func WithMaxNodes(n int64) BudgetOption { return budget.WithMaxNodes(n) }
+
+// IsInputError reports whether err (anywhere in its chain) is a typed
+// input error — the caller handed the library something malformed, as
+// opposed to a resource-budget trip or an internal failure.
+func IsInputError(err error) bool { return hlerr.IsInput(err) }
 
 // Re-exported core types: the design-improvement loop of Fig. 1.
 type (
@@ -32,8 +75,16 @@ const (
 )
 
 // Rank evaluates candidates and orders them by estimated power — one
-// turn of the design-improvement loop.
+// turn of the design-improvement loop. A panicking estimator becomes
+// that candidate's Err; the loop always completes.
 func Rank(candidates []Candidate) Ranking { return core.Rank(candidates) }
+
+// RankBudget is Rank under a resource budget: budget-aware estimators
+// (core.BudgetEstimator) may return degraded figures, which still rank
+// by power with exact results winning ties.
+func RankBudget(b *Budget, candidates []Candidate) Ranking {
+	return core.RankBudget(b, candidates)
+}
 
 // Gate-level substrate.
 type (
@@ -57,8 +108,19 @@ func NewAdder(width int) *Module { return rtlib.NewAdder(width) }
 func NewMultiplier(width int) *Module { return rtlib.NewMultiplier(width) }
 
 // Simulate runs a netlist with switched-capacitance power metering.
-func Simulate(n *Netlist, inputs func(cycle int) []bool, cycles int, opts SimOptions) (*SimResult, error) {
+// Malformed input (nil netlist, non-positive cycles, wrong-width
+// vectors) is a typed error (IsInputError); any panic escaping the
+// lower layers is converted to an error here rather than crashing the
+// caller.
+func Simulate(n *Netlist, inputs func(cycle int) []bool, cycles int, opts SimOptions) (res *SimResult, err error) {
+	defer hlerr.RecoverAll(&err)
 	return sim.Run(n, inputs, cycles, opts)
+}
+
+// SimulateBudget is Simulate governed by a resource budget.
+func SimulateBudget(b *Budget, n *Netlist, inputs func(cycle int) []bool, cycles int, opts SimOptions) (res *SimResult, err error) {
+	defer hlerr.RecoverAll(&err)
+	return sim.RunBudget(b, n, inputs, cycles, opts)
 }
 
 // Bus encoding (§III-G).

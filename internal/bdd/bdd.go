@@ -6,8 +6,11 @@
 package bdd
 
 import (
-	"fmt"
+	"errors"
 	"math"
+
+	"hlpower/internal/budget"
+	"hlpower/internal/hlerr"
 )
 
 // Node is a reference to a BDD node inside a Manager. The zero Node is
@@ -41,6 +44,26 @@ type Manager struct {
 	unique   map[triple]Node
 	iteCache map[iteKey]Node
 	nvars    int
+	budget   *budget.Budget
+}
+
+// SetBudget governs all subsequent operations on the manager: node
+// allocation charges the budget's node counter and every ITE cache
+// miss charges a step. When the budget trips, the in-flight operation
+// reports a typed *budget.Exceeded through the panic channel that
+// Apply/BuildTT (or any hlerr.Recover boundary) converts back into an
+// error. A nil budget removes governance.
+func (m *Manager) SetBudget(b *budget.Budget) { m.budget = b }
+
+// Apply runs a BDD-building closure under the manager's budget and
+// input checking, converting budget exhaustion and malformed-input
+// panics into errors — the error-returning entry point for arbitrary
+// operation sequences:
+//
+//	f, err := m.Apply(func() bdd.Node { return m.And(x, m.Not(y)) })
+func (m *Manager) Apply(fn func() Node) (n Node, err error) {
+	defer hlerr.Recover(&err)
+	return fn(), nil
 }
 
 // New returns a manager with nvars variables, ordered by index.
@@ -64,10 +87,11 @@ func (m *Manager) NumVars() int { return m.nvars }
 // the two terminals).
 func (m *Manager) Size() int { return len(m.nodes) }
 
-// Var returns the BDD for variable i.
+// Var returns the BDD for variable i. An out-of-range index reports a
+// typed input error via the panic channel (see Apply).
 func (m *Manager) Var(i int) Node {
 	if i < 0 || i >= m.nvars {
-		panic(fmt.Sprintf("bdd: variable %d out of range [0,%d)", i, m.nvars))
+		hlerr.Throwf("bdd.Var", "variable %d out of range [0,%d)", i, m.nvars)
 	}
 	return m.mk(int32(i), False, True)
 }
@@ -75,7 +99,7 @@ func (m *Manager) Var(i int) Node {
 // NVar returns the BDD for the complement of variable i.
 func (m *Manager) NVar(i int) Node {
 	if i < 0 || i >= m.nvars {
-		panic(fmt.Sprintf("bdd: variable %d out of range [0,%d)", i, m.nvars))
+		hlerr.Throwf("bdd.NVar", "variable %d out of range [0,%d)", i, m.nvars)
 	}
 	return m.mk(int32(i), True, False)
 }
@@ -92,6 +116,7 @@ func (m *Manager) mk(level int32, lo, hi Node) Node {
 	if n, ok := m.unique[k]; ok {
 		return n
 	}
+	m.budget.CheckNodes(1)
 	n := Node(len(m.nodes))
 	m.nodes = append(m.nodes, nodeData{level: level, lo: lo, hi: hi})
 	m.unique[k] = n
@@ -115,6 +140,7 @@ func (m *Manager) ITE(f, g, h Node) Node {
 	if r, ok := m.iteCache[key]; ok {
 		return r
 	}
+	m.budget.Check(1)
 	// Top variable among f, g, h.
 	top := m.level(f)
 	if l := m.level(g); l < top {
@@ -236,10 +262,11 @@ func (m *Manager) Eval(f Node, assignment []bool) bool {
 }
 
 // Decompose returns the top variable index and the (lo, hi) cofactor
-// children of an internal node. It panics on terminals.
+// children of an internal node. Terminals are a typed input error
+// reported through the panic channel (see Apply).
 func (m *Manager) Decompose(n Node) (variable int, lo, hi Node) {
 	if n == True || n == False {
-		panic("bdd: Decompose on terminal")
+		hlerr.Throwf("bdd.Decompose", "called on terminal node")
 	}
 	d := m.nodes[n]
 	return int(d.level), d.lo, d.hi
@@ -320,10 +347,12 @@ func (m *Manager) Probability(f Node, p []float64) float64 {
 
 // FromTruthTable builds the BDD of an n-input function given its truth
 // table tt, where bit j of the function is tt[j] for input assignment j
-// (variable i is bit i of j).
+// (variable i is bit i of j). Length mismatches and budget exhaustion
+// report through the panic channel; BuildTT is the error-returning
+// form.
 func (m *Manager) FromTruthTable(tt []bool, n int) Node {
-	if len(tt) != 1<<uint(n) {
-		panic(fmt.Sprintf("bdd: truth table length %d, want %d", len(tt), 1<<uint(n)))
+	if n < 0 || n > 30 || len(tt) != 1<<uint(n) {
+		hlerr.Throwf("bdd.FromTruthTable", "truth table length %d does not match %d variables", len(tt), n)
 	}
 	var rec func(level, idx int) Node
 	rec = func(level, idx int) Node {
@@ -333,11 +362,115 @@ func (m *Manager) FromTruthTable(tt []bool, n int) Node {
 			}
 			return False
 		}
+		m.budget.Check(1)
 		// Variable `level` is bit `level` of the assignment index.
 		stride := 1 << uint(level)
 		return m.mk(int32(level), rec(level+1, idx), rec(level+1, idx+stride))
 	}
 	return rec(0, 0)
+}
+
+// BuildTT is FromTruthTable with error reporting: malformed tables and
+// budget exhaustion come back as errors (budget violations match
+// budget.ErrExceeded) instead of unwinding the caller.
+func (m *Manager) BuildTT(tt []bool, n int) (node Node, err error) {
+	defer hlerr.Recover(&err)
+	return m.FromTruthTable(tt, n), nil
+}
+
+// SizeEstimate returns the ROBDD node count of the function under the
+// given budget, degrading gracefully: if the exact build exhausts the
+// budget, it falls back to a cheap sampled estimate of the per-level
+// widths and reports degraded=true. Only malformed input is an error.
+func SizeEstimate(b *budget.Budget, tt []bool, n int) (nodes int, degraded bool, err error) {
+	m := New(n)
+	m.SetBudget(b)
+	root, err := m.BuildTT(tt, n)
+	if err == nil {
+		return m.NodeCount(root), false, nil
+	}
+	if !errors.Is(err, budget.ErrExceeded) {
+		return 0, false, err
+	}
+	return sampledSize(tt, n), true, nil
+}
+
+// sampledSize estimates the ROBDD size of tt by sampling: the width of
+// level i is the number of distinct cofactor columns tt[p + k·2^i]
+// over prefixes p. It hashes a bounded number of probe points per
+// column for a bounded number of prefixes per level, so its cost is
+// O(n · 64 · 128) regardless of table size — cheap enough to run
+// unbudgeted after the exact build has already been cut off.
+func sampledSize(tt []bool, n int) int {
+	const (
+		maxPrefixes = 64
+		maxProbes   = 128
+	)
+	total := 2 // terminals
+	for level := 0; level < n; level++ {
+		prefixes := 1 << uint(level)
+		sampleP := prefixes
+		if sampleP > maxPrefixes {
+			sampleP = maxPrefixes
+		}
+		suffix := 1 << uint(n-level)
+		probes := suffix
+		if probes > maxProbes {
+			probes = maxProbes
+		}
+		// The probe offsets must be shared by every prefix at this level
+		// so that equal columns hash equal.
+		rng := splitmix(uint64(level)<<8 | 0x5d)
+		offsets := make([]int, probes)
+		for k := range offsets {
+			if suffix <= maxProbes {
+				offsets[k] = k
+			} else {
+				offsets[k] = int(rng() % uint64(suffix))
+			}
+		}
+		seen := make(map[uint64]struct{}, sampleP)
+		for s := 0; s < sampleP; s++ {
+			p := s
+			if prefixes > maxPrefixes {
+				p = int(rng() % uint64(prefixes))
+			}
+			h := uint64(1469598103934665603)
+			for _, k := range offsets {
+				h ^= uint64(boolBit(tt[p+k<<uint(level)]))
+				h *= 1099511628211
+			}
+			seen[h] = struct{}{}
+		}
+		est := len(seen)
+		if est == sampleP && prefixes > sampleP {
+			// Every sampled column was distinct: assume the level is
+			// near its maximum width.
+			est = prefixes
+		}
+		total += est
+	}
+	return total
+}
+
+func boolBit(b bool) int {
+	if b {
+		return 3
+	}
+	return 5
+}
+
+// splitmix returns a splitmix64 generator — deterministic sampling
+// without math/rand.
+func splitmix(seed uint64) func() uint64 {
+	s := seed
+	return func() uint64 {
+		s += 0x9e3779b97f4a7c15
+		z := s
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
 }
 
 // AndExists computes ∃vars.(f ∧ g) without materializing the full

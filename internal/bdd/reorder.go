@@ -1,5 +1,10 @@
 package bdd
 
+import (
+	"hlpower/internal/budget"
+	"hlpower/internal/hlerr"
+)
+
 // Variable reordering. This manager hash-conses nodes without garbage
 // collection, so reordering is implemented by rebuilding the functions
 // under a candidate order and measuring the shared node count — the
@@ -84,6 +89,97 @@ func Sift(nvars int, build Builder) ([]int, int) {
 		order = moveTo(order, pos, bestPos)
 	}
 	return order, best
+}
+
+// OrderSizeBudget is OrderSize with the rebuild governed by a budget:
+// node allocation and ITE steps charge b, and exhaustion comes back as
+// an error matching budget.ErrExceeded.
+func OrderSizeBudget(b *budget.Budget, nvars int, build Builder, order []int) (size int, err error) {
+	defer hlerr.Recover(&err)
+	level := make([]int, nvars)
+	for pos, v := range order {
+		level[v] = pos
+	}
+	m := New(nvars)
+	m.SetBudget(b)
+	roots := build(m, level)
+	return m.SharedNodeCount(roots), nil
+}
+
+// ReorderGreedyBudget is ReorderGreedy under a budget. When the budget
+// trips mid-search it returns the best order and size reached so far
+// alongside the error, so the caller can use the partial answer as a
+// degraded result. If even the initial rebuild is cut off, size is 0.
+func ReorderGreedyBudget(b *budget.Budget, nvars int, build Builder, passes int) ([]int, int, error) {
+	order := make([]int, nvars)
+	for i := range order {
+		order[i] = i
+	}
+	best, err := OrderSizeBudget(b, nvars, build, order)
+	if err != nil {
+		return order, 0, err
+	}
+	if passes <= 0 {
+		passes = 3
+	}
+	for p := 0; p < passes; p++ {
+		improved := false
+		for i := 0; i+1 < nvars; i++ {
+			order[i], order[i+1] = order[i+1], order[i]
+			size, err := OrderSizeBudget(b, nvars, build, order)
+			if err != nil {
+				order[i], order[i+1] = order[i+1], order[i]
+				return order, best, err
+			}
+			if size < best {
+				best = size
+				improved = true
+			} else {
+				order[i], order[i+1] = order[i+1], order[i]
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	return order, best, nil
+}
+
+// SiftBudget is Sift under a budget, with the same partial-result
+// contract as ReorderGreedyBudget.
+func SiftBudget(b *budget.Budget, nvars int, build Builder) ([]int, int, error) {
+	order := make([]int, nvars)
+	for i := range order {
+		order[i] = i
+	}
+	best, err := OrderSizeBudget(b, nvars, build, order)
+	if err != nil {
+		return order, 0, err
+	}
+	for v := 0; v < nvars; v++ {
+		pos := 0
+		for i, ov := range order {
+			if ov == v {
+				pos = i
+			}
+		}
+		bestPos := pos
+		cur := append([]int{}, order...)
+		for target := 0; target < nvars; target++ {
+			cand := moveTo(cur, pos, target)
+			size, err := OrderSizeBudget(b, nvars, build, cand)
+			if err != nil {
+				order = moveTo(order, pos, bestPos)
+				return order, best, err
+			}
+			if size < best {
+				best = size
+				bestPos = target
+			}
+		}
+		order = moveTo(order, pos, bestPos)
+	}
+	return order, best, nil
 }
 
 // moveTo returns a copy of order with the element at from moved to

@@ -1,0 +1,150 @@
+package budget
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"hlpower/internal/hlerr"
+)
+
+func TestNilBudgetIsUnbounded(t *testing.T) {
+	var b *Budget
+	if err := b.Step(1 << 40); err != nil {
+		t.Fatalf("nil budget tripped: %v", err)
+	}
+	if err := b.Nodes(1 << 40); err != nil {
+		t.Fatalf("nil budget tripped on nodes: %v", err)
+	}
+	if !b.Ok() || b.Err() != nil {
+		t.Fatal("nil budget should always be ok")
+	}
+	b.Check(1) // must not panic
+}
+
+func TestMaxSteps(t *testing.T) {
+	b := New(WithMaxSteps(100))
+	var err error
+	for i := 0; i < 1000 && err == nil; i++ {
+		err = b.Step(10)
+	}
+	if !errors.Is(err, ErrExceeded) {
+		t.Fatalf("want ErrExceeded, got %v", err)
+	}
+	var ex *Exceeded
+	if !errors.As(err, &ex) || ex.Resource != "steps" {
+		t.Fatalf("want steps exceedance, got %+v", err)
+	}
+	// Sticky: later calls keep failing.
+	if b.Step(1) == nil || b.Err() == nil {
+		t.Fatal("violation must be sticky")
+	}
+}
+
+func TestMaxNodes(t *testing.T) {
+	b := New(WithMaxNodes(10))
+	var err error
+	for i := 0; i < 20 && err == nil; i++ {
+		err = b.Nodes(1)
+	}
+	var ex *Exceeded
+	if !errors.As(err, &ex) || ex.Resource != "nodes" {
+		t.Fatalf("want nodes exceedance, got %v", err)
+	}
+}
+
+func TestDeadline(t *testing.T) {
+	b := New(WithTimeout(10*time.Millisecond), WithCheckInterval(64))
+	start := time.Now()
+	var err error
+	for err == nil {
+		err = b.Step(1)
+		if time.Since(start) > 2*time.Second {
+			t.Fatal("deadline never tripped")
+		}
+	}
+	var ex *Exceeded
+	if !errors.As(err, &ex) || ex.Resource != "deadline" {
+		t.Fatalf("want deadline exceedance, got %v", err)
+	}
+	if el := time.Since(start); el > 500*time.Millisecond {
+		t.Fatalf("deadline trip took %v, want ~10ms", el)
+	}
+}
+
+func TestContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	b := New(WithContext(ctx), WithCheckInterval(16))
+	if err := b.Step(100); err != nil {
+		t.Fatalf("unexpected trip: %v", err)
+	}
+	cancel()
+	var err error
+	for i := 0; i < 100 && err == nil; i++ {
+		err = b.Step(16)
+	}
+	if !errors.Is(err, ErrExceeded) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("want ErrExceeded wrapping context.Canceled, got %v", err)
+	}
+}
+
+func TestFromContextDeadline(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	b := FromContext(ctx)
+	time.Sleep(10 * time.Millisecond)
+	var err error
+	for i := 0; i < 10_000 && err == nil; i++ {
+		err = b.Step(256)
+	}
+	if !errors.Is(err, ErrExceeded) {
+		t.Fatalf("context deadline did not trip budget: %v", err)
+	}
+}
+
+func TestCheckPanicsTyped(t *testing.T) {
+	b := New(WithMaxSteps(1))
+	var err error
+	func() {
+		defer Recover(&err)
+		for {
+			b.Check(1)
+		}
+	}()
+	if !errors.Is(err, ErrExceeded) {
+		t.Fatalf("Check/Recover round trip failed: %v", err)
+	}
+}
+
+func TestRecoverLeavesRealPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-budget panic must propagate through Recover")
+		}
+	}()
+	var err error
+	defer Recover(&err)
+	panic("genuine bug")
+}
+
+func TestUnboundedBudgetNeverTrips(t *testing.T) {
+	b := New()
+	for i := 0; i < 10_000; i++ {
+		if err := b.Step(1000); err != nil {
+			t.Fatalf("unbounded budget tripped: %v", err)
+		}
+	}
+}
+
+func TestInputErrorThroughRecover(t *testing.T) {
+	var err error
+	func() {
+		defer hlerr.Recover(&err)
+		hlerr.Throwf("pkg.Op", "width %d out of range", -3)
+	}()
+	var ie *hlerr.InputError
+	if !errors.As(err, &ie) || ie.Op != "pkg.Op" {
+		t.Fatalf("want InputError from pkg.Op, got %v", err)
+	}
+}

@@ -1,0 +1,62 @@
+// Fault injection: deterministic and randomized forcing of budget
+// exhaustion and simulated allocation failure at check points. The
+// harness is enabled per-budget via the WithFaultPlan option — there
+// is no global state and no build tag, so tests can sweep trip points
+// while production budgets pay one nil check per slow check point.
+//
+// Tests use it to prove that every pipeline stage unwinds cleanly:
+// sweep FailAtCheck over 1..N (or fix Seed/Prob for a randomized
+// soak), run the stage, and assert the outcome is a typed error or a
+// Degraded result — never a panic, never a hang.
+package budget
+
+// FaultResource labels injected violations so tests can tell a real
+// exhaustion from a forced one.
+const FaultResource = "fault"
+
+// FaultPlan forces budget violations at chosen slow check points
+// (every CheckInterval steps). Exactly one of the two modes is
+// typically used:
+//
+//   - FailAtCheck == k > 0 trips deterministically at the k-th check
+//     point — sweeping k walks the failure through every stage of a
+//     pipeline.
+//   - Prob > 0 trips each check point with probability Prob using the
+//     seeded generator — a randomized soak.
+type FaultPlan struct {
+	FailAtCheck int64   // 1-based check-point index to trip at (0 = off)
+	Prob        float64 // per-check trip probability (0 = off)
+	Seed        int64   // generator seed for Prob mode
+	rng         uint64
+}
+
+// WithFaultPlan arms fault injection on a budget.
+func WithFaultPlan(p FaultPlan) Option {
+	return func(b *Budget) {
+		p.rng = uint64(p.Seed)*0x9E3779B97F4A7C15 + 0xD1B54A32D192ED03
+		b.fault = &p
+	}
+}
+
+// trip decides whether check point number n fails.
+func (p *FaultPlan) trip(n int64) error {
+	if p.FailAtCheck > 0 && n >= p.FailAtCheck {
+		return &Exceeded{Resource: FaultResource, Limit: p.FailAtCheck, Used: n}
+	}
+	if p.Prob > 0 && p.next() < p.Prob {
+		return &Exceeded{Resource: FaultResource, Limit: -1, Used: n}
+	}
+	return nil
+}
+
+// next draws a uniform float64 in [0,1) from a splitmix64 stream —
+// deterministic, allocation-free, independent of math/rand global
+// state (so -race runs stay reproducible).
+func (p *FaultPlan) next() float64 {
+	p.rng += 0x9E3779B97F4A7C15
+	z := p.rng
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	return float64(z>>11) / (1 << 53)
+}

@@ -1,0 +1,71 @@
+package budget
+
+import (
+	"errors"
+	"testing"
+)
+
+// drive consumes the budget in small steps until it trips or maxIter
+// iterations pass; it returns the violation (nil if none).
+func drive(b *Budget, maxIter int) error {
+	for i := 0; i < maxIter; i++ {
+		if err := b.Step(16); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func TestDeterministicFault(t *testing.T) {
+	b := New(WithCheckInterval(16), WithFaultPlan(FaultPlan{FailAtCheck: 3}))
+	err := drive(b, 1000)
+	var ex *Exceeded
+	if !errors.As(err, &ex) || ex.Resource != FaultResource {
+		t.Fatalf("want injected fault, got %v", err)
+	}
+	if ex.Used != 3 {
+		t.Fatalf("fault tripped at check %d, want 3", ex.Used)
+	}
+	if !errors.Is(err, ErrExceeded) {
+		t.Fatal("injected faults must match ErrExceeded")
+	}
+}
+
+func TestFaultSweepHitsEveryCheckpoint(t *testing.T) {
+	for k := int64(1); k <= 20; k++ {
+		b := New(WithCheckInterval(8), WithFaultPlan(FaultPlan{FailAtCheck: k}))
+		err := drive(b, 10_000)
+		var ex *Exceeded
+		if !errors.As(err, &ex) || ex.Used != k {
+			t.Fatalf("FailAtCheck=%d: got %v", k, err)
+		}
+	}
+}
+
+func TestRandomizedFaultDeterministicPerSeed(t *testing.T) {
+	trip := func(seed int64) int64 {
+		b := New(WithCheckInterval(8), WithFaultPlan(FaultPlan{Prob: 0.05, Seed: seed}))
+		err := drive(b, 100_000)
+		var ex *Exceeded
+		if !errors.As(err, &ex) {
+			t.Fatalf("seed %d: randomized fault never tripped: %v", seed, err)
+		}
+		return ex.Used
+	}
+	for seed := int64(0); seed < 5; seed++ {
+		a, b := trip(seed), trip(seed)
+		if a != b {
+			t.Fatalf("seed %d not deterministic: %d vs %d", seed, a, b)
+		}
+	}
+	if trip(1) == trip(2) && trip(2) == trip(3) {
+		t.Fatal("different seeds should (almost surely) trip at different points")
+	}
+}
+
+func TestNoFaultPlanNeverInjects(t *testing.T) {
+	b := New(WithCheckInterval(1))
+	if err := drive(b, 100_000); err != nil {
+		t.Fatalf("plain budget injected a fault: %v", err)
+	}
+}

@@ -10,6 +10,8 @@ package cdfg
 import (
 	"fmt"
 	"math/bits"
+
+	"hlpower/internal/hlerr"
 )
 
 // OpKind enumerates CDFG node types.
@@ -87,6 +89,22 @@ type Graph struct {
 	Nodes   []Node
 	Outputs []int
 	nameIdx map[string]int
+	err     error // sticky construction error (first malformed call)
+}
+
+// Err returns the first construction error recorded by a malformed
+// builder call (bad arity, out-of-range argument), or nil. Scheduling
+// and evaluation entry points propagate it, so a malformed graph
+// degrades to an error instead of a panic.
+func (g *Graph) Err() error { return g.err }
+
+// fail records a construction error and appends a constant-0
+// placeholder node so the returned id stays valid for later calls.
+func (g *Graph) fail(op, format string, args ...any) int {
+	if g.err == nil {
+		g.err = hlerr.Errorf(op, format, args...)
+	}
+	return g.add(Node{Kind: Const})
 }
 
 // New returns an empty graph.
@@ -108,11 +126,13 @@ func (g *Graph) Input(name string) int {
 // Const declares a constant.
 func (g *Graph) Const(v int64) int { return g.add(Node{Kind: Const, Value: v}) }
 
-// Op appends an operation node.
+// Op appends an operation node. Malformed calls (bad arity, dangling
+// argument) record a sticky error on the graph — see Err — and return
+// a safe placeholder id instead of panicking.
 func (g *Graph) Op(k OpKind, args ...int) int {
 	for _, a := range args {
 		if a < 0 || a >= len(g.Nodes) {
-			panic(fmt.Sprintf("cdfg: arg %d out of range", a))
+			return g.fail("cdfg.Op", "arg %d out of range [0,%d)", a, len(g.Nodes))
 		}
 	}
 	want := 2
@@ -120,7 +140,7 @@ func (g *Graph) Op(k OpKind, args ...int) int {
 		want = 3
 	}
 	if len(args) != want {
-		panic(fmt.Sprintf("cdfg: %v takes %d args, got %d", k, want, len(args)))
+		return g.fail("cdfg.Op", "%v takes %d args, got %d", k, want, len(args))
 	}
 	return g.add(Node{Kind: k, Args: append([]int(nil), args...)})
 }
@@ -175,6 +195,9 @@ func (g *Graph) CriticalPath(delay func(OpKind) int) int {
 
 // Eval computes all node values for the given input assignment.
 func (g *Graph) Eval(inputs map[string]int64) ([]int64, error) {
+	if g.err != nil {
+		return nil, g.err
+	}
 	vals := make([]int64, len(g.Nodes))
 	for i, n := range g.Nodes {
 		switch n.Kind {

@@ -297,15 +297,15 @@ func TestSharedOperandNotManaged(t *testing.T) {
 	}
 }
 
-func TestOpPanicsOnBadArity(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("expected panic")
-		}
-	}()
+func TestOpBadArityStickyError(t *testing.T) {
+	// A malformed Op records a sticky typed error on the graph instead
+	// of panicking.
 	g := New()
 	x := g.Input("x")
 	g.Op(Add, x)
+	if g.Err() == nil {
+		t.Error("expected sticky builder error")
+	}
 }
 
 func TestEvalMissingInput(t *testing.T) {

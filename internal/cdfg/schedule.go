@@ -41,6 +41,9 @@ func (g *Graph) ASAP(delay func(OpKind) int) Schedule {
 // ALAP computes the as-late-as-possible schedule for the given latency
 // (total control steps). It returns an error if latency is infeasible.
 func (g *Graph) ALAP(latency int, delay func(OpKind) int) (Schedule, error) {
+	if g.err != nil {
+		return Schedule{}, g.err
+	}
 	if delay == nil {
 		delay = DefaultDelay
 	}
@@ -92,6 +95,9 @@ func (g *Graph) Mobility(latency int, delay func(OpKind) int) ([]int, error) {
 // unit count (kinds absent from the map are unconstrained). Mux and
 // shift operations are customarily unconstrained (wiring/steering).
 func (g *Graph) ListSchedule(resources map[OpKind]int, delay func(OpKind) int) (Schedule, error) {
+	if g.err != nil {
+		return Schedule{}, g.err
+	}
 	if delay == nil {
 		delay = DefaultDelay
 	}
@@ -228,6 +234,9 @@ func (s Schedule) ResourceUsage(g *Graph, delay func(OpKind) int) map[OpKind]int
 // on a unit of its kind, so consecutive bindings see quiet inputs. The
 // schedule is resource-feasible exactly like ListSchedule.
 func (g *Graph) ListScheduleLowActivity(resources map[OpKind]int, delay func(OpKind) int) (Schedule, error) {
+	if g.err != nil {
+		return Schedule{}, g.err
+	}
 	if delay == nil {
 		delay = DefaultDelay
 	}

@@ -8,10 +8,12 @@ package complexity
 
 import (
 	"errors"
+	"fmt"
 	"math"
 	"math/bits"
 
 	"hlpower/internal/cover"
+	"hlpower/internal/hlerr"
 	"hlpower/internal/stats"
 )
 
@@ -20,10 +22,12 @@ import (
 // C(f) = (C1(f) + C0(f)) / 2, where C1 assigns each on-set minterm the
 // literal count of the largest essential prime covering it (falling back
 // to all primes for minterms no essential covers) weighted by minterm
-// probability, and C0 does the same on the complement.
-func LinearMeasure(tt []bool, n int) float64 {
-	if len(tt) != 1<<uint(n) {
-		panic("complexity: truth table size mismatch")
+// probability, and C0 does the same on the complement. A truth table
+// whose length disagrees with n is a typed input error.
+func LinearMeasure(tt []bool, n int) (float64, error) {
+	if n < 0 || n > 30 || len(tt) != 1<<uint(n) {
+		return 0, hlerr.Errorf("complexity.LinearMeasure",
+			"truth table length %d does not match %d variables", len(tt), n)
 	}
 	var on, off []uint64
 	for i, v := range tt {
@@ -35,7 +39,7 @@ func LinearMeasure(tt []bool, n int) float64 {
 	}
 	c1 := setComplexity(on, n)
 	c0 := setComplexity(off, n)
-	return (c1 + c0) / 2
+	return (c1 + c0) / 2, nil
 }
 
 // setComplexity returns Σ over minterms of P(m)·minLiterals(m) where
@@ -222,10 +226,14 @@ func PopcountThresholdFunction(n, k int) []bool {
 // functions ([16]): the complexity of the ensemble is the sum of the
 // per-output measures (each output synthesizes its own cover in the
 // two-level model this measure calibrates against).
-func LinearMeasureMulti(tts [][]bool, n int) float64 {
+func LinearMeasureMulti(tts [][]bool, n int) (float64, error) {
 	var total float64
-	for _, tt := range tts {
-		total += LinearMeasure(tt, n)
+	for i, tt := range tts {
+		c, err := LinearMeasure(tt, n)
+		if err != nil {
+			return 0, fmt.Errorf("output %d: %w", i, err)
+		}
+		total += c
 	}
-	return total
+	return total, nil
 }

@@ -11,6 +11,9 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"hlpower/internal/budget"
+	"hlpower/internal/hlerr"
 )
 
 // Level is an abstraction level of the Fig. 1 flow.
@@ -35,11 +38,15 @@ func (l Level) String() string {
 	return fmt.Sprintf("level(%d)", int(l))
 }
 
-// Estimate is one power figure with its provenance.
+// Estimate is one power figure with its provenance. Degraded marks a
+// figure produced by a fallback path after a resource budget cut off
+// the exact computation — still a valid ordering signal for the
+// improvement loop, but coarser than an exact estimate.
 type Estimate struct {
-	Power float64
-	Level Level
-	Model string // which estimation technique produced it
+	Power    float64
+	Level    Level
+	Model    string // which estimation technique produced it
+	Degraded bool
 }
 
 // Estimator produces a power estimate for a fixed design under a fixed
@@ -66,6 +73,38 @@ func (f Func) Level() Level { return f.EstimatorLevel }
 
 // Estimate invokes the closure.
 func (f Func) Estimate() (float64, error) { return f.Fn() }
+
+// BudgetEstimator is implemented by estimators that accept a resource
+// budget and can produce a degraded (cheaper, coarser) figure when it
+// trips. RankBudget prefers this interface when present.
+type BudgetEstimator interface {
+	Estimator
+	EstimateBudget(b *budget.Budget) (power float64, degraded bool, err error)
+}
+
+// FuncB adapts a budget-aware closure into a BudgetEstimator.
+type FuncB struct {
+	EstimatorName  string
+	EstimatorLevel Level
+	Fn             func(b *budget.Budget) (float64, bool, error)
+}
+
+// Name returns the estimator's name.
+func (f FuncB) Name() string { return f.EstimatorName }
+
+// Level returns the estimator's abstraction level.
+func (f FuncB) Level() Level { return f.EstimatorLevel }
+
+// Estimate invokes the closure without a budget.
+func (f FuncB) Estimate() (float64, error) {
+	p, _, err := f.Fn(nil)
+	return p, err
+}
+
+// EstimateBudget invokes the closure under a budget.
+func (f FuncB) EstimateBudget(b *budget.Budget) (float64, bool, error) {
+	return f.Fn(b)
+}
 
 // Candidate is one design option in an improvement loop: a name and an
 // estimator for its power under the target workload.
@@ -98,23 +137,61 @@ func (r Ranking) Best() (Ranked, error) {
 // Rank evaluates every candidate and orders them by estimated power.
 // This is one turn of the design-improvement loop: the caller applies
 // the winning option and re-enters with the next round of candidates.
+// A panicking estimator is contained: it becomes that candidate's Err
+// and the loop continues.
 func Rank(candidates []Candidate) Ranking {
+	return RankBudget(nil, candidates)
+}
+
+// RankBudget is Rank under a per-candidate resource budget. Estimators
+// implementing BudgetEstimator receive the budget and may come back
+// degraded; the ranking still orders them by power, with exact figures
+// winning ties over degraded ones, so the improvement loop can pick a
+// winner even when some candidates only produced partial results.
+func RankBudget(b *budget.Budget, candidates []Candidate) Ranking {
 	out := make(Ranking, 0, len(candidates))
 	for _, c := range candidates {
-		p, err := c.Estimator.Estimate()
+		var (
+			p   float64
+			deg bool
+			err error
+		)
+		if be, ok := c.Estimator.(BudgetEstimator); ok {
+			p, deg, err = safeEstimateBudget(be, b)
+		} else {
+			p, err = safeEstimate(c.Estimator)
+		}
 		out = append(out, Ranked{
 			Candidate: c,
-			Estimate:  Estimate{Power: p, Level: c.Estimator.Level(), Model: c.Estimator.Name()},
-			Err:       err,
+			Estimate: Estimate{
+				Power: p, Level: c.Estimator.Level(),
+				Model: c.Estimator.Name(), Degraded: deg,
+			},
+			Err: err,
 		})
 	}
 	sort.SliceStable(out, func(i, j int) bool {
 		if (out[i].Err == nil) != (out[j].Err == nil) {
 			return out[i].Err == nil
 		}
-		return out[i].Estimate.Power < out[j].Estimate.Power
+		if out[i].Estimate.Power != out[j].Estimate.Power {
+			return out[i].Estimate.Power < out[j].Estimate.Power
+		}
+		return !out[i].Estimate.Degraded && out[j].Estimate.Degraded
 	})
 	return out
+}
+
+// safeEstimate contains estimator panics: whatever escapes the
+// estimator becomes its error instead of aborting the whole loop.
+func safeEstimate(e Estimator) (p float64, err error) {
+	defer hlerr.RecoverAll(&err)
+	return e.Estimate()
+}
+
+func safeEstimateBudget(e BudgetEstimator, b *budget.Budget) (p float64, deg bool, err error) {
+	defer hlerr.RecoverAll(&err)
+	return e.EstimateBudget(b)
 }
 
 // String renders the ranking as a small report table.
@@ -126,8 +203,12 @@ func (r Ranking) String() string {
 			fmt.Fprintf(&b, "%-28s %-12s %-20s %12s\n", c.Candidate.Name, "-", "-", "error: "+c.Err.Error())
 			continue
 		}
+		model := c.Estimate.Model
+		if c.Estimate.Degraded {
+			model += " (degraded)"
+		}
 		fmt.Fprintf(&b, "%-28s %-12s %-20s %12.4f\n",
-			c.Candidate.Name, c.Estimate.Level, c.Estimate.Model, c.Estimate.Power)
+			c.Candidate.Name, c.Estimate.Level, model, c.Estimate.Power)
 	}
 	return b.String()
 }

@@ -7,9 +7,13 @@
 package cover
 
 import (
+	"errors"
 	"fmt"
 	"math/bits"
 	"sort"
+
+	"hlpower/internal/budget"
+	"hlpower/internal/hlerr"
 )
 
 // Cube is a product term over n variables: for each variable i, if mask
@@ -126,6 +130,13 @@ func FromTruthTable(tt []bool, n int) *Cover {
 // the given minterm list, by iterated pairwise merging (Quine–McCluskey).
 // Feasible up to ~14 variables for dense functions.
 func Primes(minterms []uint64, n int) []Cube {
+	return primesB(nil, minterms, n)
+}
+
+// primesB is Primes charging the budget one step per candidate merge
+// pair; exhaustion unwinds through the hlerr panic channel to the
+// nearest Recover boundary (MinimizeBudget/MinimizeDCBudget).
+func primesB(b *budget.Budget, minterms []uint64, n int) []Cube {
 	if len(minterms) == 0 {
 		return nil
 	}
@@ -149,6 +160,7 @@ func Primes(minterms []uint64, n int) []Cube {
 		}
 		for _, group := range byMask {
 			for i := 0; i < len(group); i++ {
+				b.Check(int64(len(group) - i - 1))
 				for j := i + 1; j < len(group); j++ {
 					d := (group[i].Val ^ group[j].Val) & group[i].Mask
 					if bits.OnesCount64(d) == 1 {
@@ -222,51 +234,7 @@ func EssentialPrimes(primes []Cube, minterms []uint64) []Cube {
 // first, then greedy set cover over the remaining minterms (largest
 // coverage, ties broken by fewer literals).
 func Minimize(minterms []uint64, n int) (*Cover, error) {
-	if n > 24 {
-		return nil, fmt.Errorf("cover: %d variables too many for exact minimization", n)
-	}
-	cv := &Cover{NumVars: n}
-	if len(minterms) == 0 {
-		return cv, nil
-	}
-	primes := Primes(minterms, n)
-	uncovered := make(map[uint64]bool, len(minterms))
-	for _, m := range minterms {
-		uncovered[m] = true
-	}
-	take := func(c Cube) {
-		cv.Cubes = append(cv.Cubes, c)
-		for m := range uncovered {
-			if c.Contains(m) {
-				delete(uncovered, m)
-			}
-		}
-	}
-	for _, e := range EssentialPrimes(primes, minterms) {
-		take(e)
-	}
-	for len(uncovered) > 0 {
-		best := -1
-		bestCover := 0
-		for i, p := range primes {
-			cnt := 0
-			for m := range uncovered {
-				if p.Contains(m) {
-					cnt++
-				}
-			}
-			if cnt > bestCover || (cnt == bestCover && cnt > 0 && best >= 0 && p.Literals() < primes[best].Literals()) {
-				bestCover = cnt
-				best = i
-			}
-		}
-		if best < 0 {
-			return nil, fmt.Errorf("cover: %d minterms uncoverable (internal error)", len(uncovered))
-		}
-		take(primes[best])
-	}
-	sortCubes(cv.Cubes)
-	return cv, nil
+	return minimizeCore(nil, minterms, nil, n)
 }
 
 // MinimizeDC minimizes with a don't-care set: primes are generated over
@@ -274,6 +242,14 @@ func Minimize(minterms []uint64, n int) (*Cover, error) {
 // don't-cares), but only the on-set must be covered. This is how the
 // controller synthesis exploits unused state codes.
 func MinimizeDC(on, dc []uint64, n int) (*Cover, error) {
+	return minimizeCore(nil, on, dc, n)
+}
+
+// minimizeCore is the exact minimizer behind Minimize, MinimizeDC, and
+// their budgeted variants. With a non-nil budget, prime generation and
+// the set-cover loop charge steps and unwind via the hlerr panic
+// channel on exhaustion.
+func minimizeCore(b *budget.Budget, on, dc []uint64, n int) (*Cover, error) {
 	if n > 24 {
 		return nil, fmt.Errorf("cover: %d variables too many for exact minimization", n)
 	}
@@ -295,7 +271,7 @@ func MinimizeDC(on, dc []uint64, n int) (*Cover, error) {
 			combined = append(combined, m)
 		}
 	}
-	primes := Primes(combined, n)
+	primes := primesB(b, combined, n)
 	uncovered := make(map[uint64]bool, len(on))
 	for _, m := range on {
 		uncovered[m] = true
@@ -315,6 +291,7 @@ func MinimizeDC(on, dc []uint64, n int) (*Cover, error) {
 		best := -1
 		bestCover := 0
 		for i, p := range primes {
+			b.Check(int64(len(uncovered)))
 			cnt := 0
 			for m := range uncovered {
 				if p.Contains(m) {
@@ -333,4 +310,34 @@ func MinimizeDC(on, dc []uint64, n int) (*Cover, error) {
 	}
 	sortCubes(cv.Cubes)
 	return cv, nil
+}
+
+// MinimizeBudget minimizes the on-set under a resource budget,
+// degrading gracefully: if exact Quine–McCluskey exhausts the budget
+// (or the variable count is beyond exact reach), the greedy cube
+// reducer takes over and the result is flagged degraded. The returned
+// cover is always a valid cover of the on-set.
+func MinimizeBudget(b *budget.Budget, minterms []uint64, n int) (*Cover, bool, error) {
+	return MinimizeDCBudget(b, minterms, nil, n)
+}
+
+// MinimizeDCBudget is MinimizeBudget with a don't-care set.
+func MinimizeDCBudget(b *budget.Budget, on, dc []uint64, n int) (*Cover, bool, error) {
+	if n < 0 || n > 63 {
+		return nil, false, hlerr.Errorf("cover.MinimizeDCBudget",
+			"variable count %d out of range [0,63]", n)
+	}
+	if n <= 24 {
+		cv, err := func() (cv *Cover, err error) {
+			defer hlerr.Recover(&err)
+			return minimizeCore(b, on, dc, n)
+		}()
+		if err == nil {
+			return cv, false, nil
+		}
+		if !errors.Is(err, budget.ErrExceeded) {
+			return nil, false, err
+		}
+	}
+	return ReduceGreedy(on, dc, n), true, nil
 }

@@ -1,0 +1,75 @@
+package cover
+
+import "math/bits"
+
+// maxExpandBits caps the dimension a cube may reach during greedy
+// expansion: validating a d-dimensional cube costs 2^d membership
+// probes, so 12 bounds the per-cube work at 4096 lookups regardless of
+// how large the input is.
+const maxExpandBits = 12
+
+// ReduceGreedy is the heuristic minimizer the budgeted entry points
+// fall back to when exact Quine–McCluskey is out of reach: for each
+// uncovered on-set minterm it greedily frees one variable at a time,
+// keeping an expansion whenever every minterm of the grown cube stays
+// inside on ∪ dc. The result is always a valid cover of the on-set
+// (worst case the raw minterm cover), produced in
+// O(|on|·n·2^maxExpandBits) bounded work with no budget interaction —
+// it must still run after a budget has tripped.
+func ReduceGreedy(on, dc []uint64, n int) *Cover {
+	fullMask := uint64(1)<<uint(n) - 1
+	if n >= 64 {
+		fullMask = ^uint64(0)
+	}
+	allowed := make(map[uint64]bool, len(on)+len(dc))
+	for _, m := range on {
+		allowed[m&fullMask] = true
+	}
+	for _, m := range dc {
+		allowed[m&fullMask] = true
+	}
+	cv := &Cover{NumVars: n}
+	covered := make(map[uint64]bool, len(on))
+	for _, m0 := range on {
+		m := m0 & fullMask
+		if covered[m] {
+			continue
+		}
+		c := Cube{Mask: fullMask, Val: m}
+		for i := 0; i < n; i++ {
+			bit := uint64(1) << uint(i)
+			if c.Mask&bit == 0 {
+				continue
+			}
+			cand := Cube{Mask: c.Mask &^ bit, Val: c.Val &^ bit}
+			if cubeAllowed(cand, fullMask, allowed) {
+				c = cand
+			}
+		}
+		cv.Cubes = append(cv.Cubes, c)
+		for _, m2 := range on {
+			if c.Contains(m2 & fullMask) {
+				covered[m2&fullMask] = true
+			}
+		}
+	}
+	sortCubes(cv.Cubes)
+	return cv
+}
+
+// cubeAllowed reports whether every minterm of c lies in allowed,
+// declining cubes wider than maxExpandBits outright.
+func cubeAllowed(c Cube, fullMask uint64, allowed map[uint64]bool) bool {
+	free := fullMask &^ c.Mask
+	if bits.OnesCount64(free) > maxExpandBits {
+		return false
+	}
+	for sub := free; ; sub = (sub - 1) & free {
+		if !allowed[(c.Val&c.Mask)|sub] {
+			return false
+		}
+		if sub == 0 {
+			return true
+		}
+	}
+}

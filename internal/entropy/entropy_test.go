@@ -143,11 +143,15 @@ func TestTyagiBoundHoldsForAllEncodings(t *testing.T) {
 			}
 		}
 		bound := TyagiBound(p)
+		rnd, err := fsm.RandomEncoding(m.NumStates, 8, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
 		encs := []*fsm.Encoding{
 			fsm.BinaryEncoding(m.NumStates),
 			fsm.GrayEncoding(m.NumStates),
 			fsm.OneHotEncoding(m.NumStates),
-			fsm.RandomEncoding(m.NumStates, 8, rng),
+			rnd,
 		}
 		for _, e := range encs {
 			cost := fsm.WeightedHamming(e, p)

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"math/rand"
+	"strings"
 
 	"hlpower/internal/cdfg"
 	"hlpower/internal/dpm"
@@ -183,30 +184,38 @@ func runE5() (*Report, error) {
 	}
 	rng := rand.New(rand.NewSource(13))
 
-	mustProg := func(p isa.Program, err error) isa.Program {
-		if err != nil {
-			panic(err)
-		}
-		return p
-	}
-	progs := []struct {
+	// A program that fails to generate or run is skipped and reported in
+	// the summary rather than aborting the whole E2–E5 sweep.
+	type progErr struct {
 		name string
 		prog isa.Program
-	}{
-		{"vector-sum", mustProg(isa.VectorSum(400))},
-		{"dot-product", mustProg(isa.DotProduct(250))},
-		{"fir-filter", mustProg(isa.FIRFilter(8, 64))},
-		{"mixed-alu", mustProg(isa.MixedALU(200))},
-		{"strided-walk", mustProg(isa.StridedWalk(500, 8))},
-		{"matmul-6", mustProg(isa.MatMul(6))},
-		{"bubble-24", mustProg(isa.BubbleSort(24))},
+		err  error
+	}
+	wrap := func(name string) func(isa.Program, error) progErr {
+		return func(p isa.Program, err error) progErr { return progErr{name, p, err} }
+	}
+	progs := []progErr{
+		wrap("vector-sum")(isa.VectorSum(400)),
+		wrap("dot-product")(isa.DotProduct(250)),
+		wrap("fir-filter")(isa.FIRFilter(8, 64)),
+		wrap("mixed-alu")(isa.MixedALU(200)),
+		wrap("strided-walk")(isa.StridedWalk(500, 8)),
+		wrap("matmul-6")(isa.MatMul(6)),
+		wrap("bubble-24")(isa.BubbleSort(24)),
 	}
 	t := newTable(16, 14, 14, 10)
 	t.row("program", "measured", "predicted", "error")
 	t.rule()
 	var worst, sum float64
+	var skipped []string
+	ran := 0
 	figures := map[string]float64{}
 	for _, p := range progs {
+		if p.err != nil {
+			skipped = append(skipped, fmt.Sprintf("%s (%v)", p.name, p.err))
+			t.row(p.name, "-", "-", "skipped")
+			continue
+		}
 		m := isa.NewMachine(cfg)
 		isa.InitMem(m, 50, isa.RandomData(64, rng))
 		isa.InitMem(m, 100, isa.RandomData(800, rng))
@@ -214,7 +223,9 @@ func runE5() (*Report, error) {
 		isa.InitMem(m, 3000, isa.RandomData(32, rng))
 		st, tr, err := m.Run(p.prog, true)
 		if err != nil {
-			return nil, err
+			skipped = append(skipped, fmt.Sprintf("%s (%v)", p.name, err))
+			t.row(p.name, "-", "-", "skipped")
+			continue
 		}
 		truth := isa.MeasureEnergy(tr, ep)
 		pred := model.Predict(st)
@@ -223,13 +234,22 @@ func runE5() (*Report, error) {
 			worst = rel
 		}
 		sum += rel
+		ran++
 		figures["err_"+p.name] = rel
 		t.row(p.name, f1(truth), f1(pred), pct(rel))
 	}
+	if ran == 0 {
+		return nil, fmt.Errorf("e5: every benchmark program failed: %s", strings.Join(skipped, "; "))
+	}
 	figures["worst_error"] = worst
-	figures["mean_error"] = sum / float64(len(progs))
+	figures["mean_error"] = sum / float64(ran)
+	figures["programs_skipped"] = float64(len(skipped))
 	text := t.String() + fmt.Sprintf(
 		"\nmean error %.1f%%, worst %.1f%% (paper: instruction-level model tracks measurements closely)\n",
 		figures["mean_error"]*100, worst*100)
+	if len(skipped) > 0 {
+		text += fmt.Sprintf("skipped %d of %d programs: %s\n",
+			len(skipped), len(progs), strings.Join(skipped, "; "))
+	}
 	return &Report{Text: text, Figures: figures}, nil
 }

@@ -311,7 +311,10 @@ func runE9() (*Report, error) {
 		var cs, as []float64
 		for i := 0; i < 50; i++ {
 			tt := complexity.RandomFunction(n, q, rng.Uint64)
-			c := complexity.LinearMeasure(tt, n)
+			c, err := complexity.LinearMeasure(tt, n)
+			if err != nil {
+				return nil, err
+			}
 			a, err := complexity.OptimizedArea(tt, n)
 			if err != nil {
 				return nil, err

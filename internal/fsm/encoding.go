@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"hlpower/internal/bitutil"
+	"hlpower/internal/hlerr"
 )
 
 // Encoding assigns each state a distinct binary code of the given width.
@@ -73,17 +74,20 @@ func OneHotEncoding(nStates int) *Encoding {
 	return e
 }
 
-// RandomEncoding draws distinct random codes of the given width.
-func RandomEncoding(nStates, width int, rng *rand.Rand) *Encoding {
-	if nStates > 1<<uint(width) {
-		panic("fsm: random encoding width too small")
+// RandomEncoding draws distinct random codes of the given width. A
+// width too small to give every state a distinct code is a typed input
+// error.
+func RandomEncoding(nStates, width int, rng *rand.Rand) (*Encoding, error) {
+	if width <= 0 || width > 63 || nStates > 1<<uint(width) {
+		return nil, hlerr.Errorf("fsm.RandomEncoding",
+			"width %d cannot encode %d distinct states", width, nStates)
 	}
 	perm := rng.Perm(1 << uint(width))
 	e := &Encoding{Width: width, Codes: make([]uint64, nStates)}
 	for s := range e.Codes {
 		e.Codes[s] = uint64(perm[s])
 	}
-	return e
+	return e, nil
 }
 
 // WeightedHamming returns Σ p[i][j]·H(code_i, code_j), the switching cost
@@ -109,6 +113,11 @@ func WeightedHamming(enc *Encoding, p [][]float64) float64 {
 // state 0 (the reset state). iters of a few thousand suffices for
 // machines with tens of states.
 func LowPowerEncoding(f *FSM, p [][]float64, iters int, rng *rand.Rand) *Encoding {
+	if f.NumStates < 2 {
+		// Nothing to optimize (and the swap proposal below needs a
+		// second state to draw).
+		return BinaryEncoding(f.NumStates)
+	}
 	width := minWidth(f.NumStates)
 	enc := &Encoding{Width: width, Codes: make([]uint64, f.NumStates)}
 	copy(enc.Codes, BinaryEncoding(f.NumStates).Codes)
@@ -178,6 +187,9 @@ func LowPowerEncoding(f *FSM, p [][]float64, iters int, rng *rand.Rand) *Encodin
 // assignment is the starting point. The result keeps the start
 // encoding's width and the reset state's code.
 func ReEncode(f *FSM, p [][]float64, start *Encoding, iters int, rng *rand.Rand) *Encoding {
+	if f.NumStates < 2 {
+		return &Encoding{Width: start.Width, Codes: append([]uint64{}, start.Codes...)}
+	}
 	enc := &Encoding{Width: start.Width, Codes: append([]uint64{}, start.Codes...)}
 	used := make(map[uint64]int)
 	for s, c := range enc.Codes {

@@ -103,8 +103,15 @@ func TestEncodingsValid(t *testing.T) {
 		}
 	}
 	rng := rand.New(rand.NewSource(3))
-	if err := RandomEncoding(10, 5, rng).Validate(10); err != nil {
+	re, err := RandomEncoding(10, 5, rng)
+	if err != nil {
+		t.Fatalf("random: %v", err)
+	}
+	if err := re.Validate(10); err != nil {
 		t.Errorf("random: %v", err)
+	}
+	if _, err := RandomEncoding(10, 3, rng); err == nil {
+		t.Error("width 3 cannot encode 10 states; want error")
 	}
 }
 
@@ -155,7 +162,10 @@ func TestLowPowerEncodingBeatsRandom(t *testing.T) {
 		t.Error("low-power encoding must preserve reset code 0")
 	}
 	lpCost := WeightedHamming(lp, p)
-	rnd := RandomEncoding(f.NumStates, lp.Width, rng)
+	rnd, err := RandomEncoding(f.NumStates, lp.Width, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
 	rndCost := WeightedHamming(rnd, p)
 	bin := WeightedHamming(BinaryEncoding(f.NumStates), p)
 	if lpCost > rndCost || lpCost > bin {

@@ -3,6 +3,7 @@ package fsm
 import (
 	"fmt"
 
+	"hlpower/internal/budget"
 	"hlpower/internal/cover"
 	"hlpower/internal/logic"
 )
@@ -19,7 +20,7 @@ const (
 // symbolic covers to a multilevel network, usually smaller than the
 // two-level form.
 func SynthesizeMultilevel(f *FSM, enc *Encoding) (*logic.Netlist, error) {
-	return synthesize(f, enc, true)
+	return synthesize(nil, f, enc, true)
 }
 
 // Synthesize translates the encoded machine into a gate-level netlist:
@@ -28,10 +29,24 @@ func SynthesizeMultilevel(f *FSM, enc *Encoding) (*logic.Netlist, error) {
 // don't-cares treated as off-set. The register reset value is the code of
 // state 0.
 func Synthesize(f *FSM, enc *Encoding) (*logic.Netlist, error) {
-	return synthesize(f, enc, false)
+	return synthesize(nil, f, enc, false)
 }
 
-func synthesize(f *FSM, enc *Encoding, multilevel bool) (*logic.Netlist, error) {
+// SynthesizeBudget is Synthesize governed by a resource budget: the
+// per-bit cover minimizations charge the budget and fall back to the
+// heuristic reducer when it trips, in which case degraded is true and
+// the netlist is functionally correct but may use larger covers.
+func SynthesizeBudget(b *budget.Budget, f *FSM, enc *Encoding) (n *logic.Netlist, degraded bool, err error) {
+	n, err = synthesizeB(b, f, enc, false, &degraded)
+	return n, degraded, err
+}
+
+func synthesize(b *budget.Budget, f *FSM, enc *Encoding, multilevel bool) (*logic.Netlist, error) {
+	var degraded bool
+	return synthesizeB(b, f, enc, multilevel, &degraded)
+}
+
+func synthesizeB(bud *budget.Budget, f *FSM, enc *Encoding, multilevel bool, degraded *bool) (*logic.Netlist, error) {
 	if err := f.Validate(); err != nil {
 		return nil, err
 	}
@@ -99,6 +114,13 @@ func synthesize(f *FSM, enc *Encoding, multilevel bool) (*logic.Netlist, error) 
 		}
 	}
 	minimize := func(on []uint64) (*cover.Cover, error) {
+		if bud != nil {
+			cv, deg, err := cover.MinimizeDCBudget(bud, on, dcMinterms, nVars)
+			if deg {
+				*degraded = true
+			}
+			return cv, err
+		}
 		if len(dcMinterms) > 0 {
 			return cover.MinimizeDC(on, dcMinterms, nVars)
 		}

@@ -1,0 +1,101 @@
+// Package hlerr defines the structured error vocabulary of the
+// estimation core. Malformed user-reachable inputs are reported as
+// *InputError values; deep builders without error returns (netlist and
+// BDD construction, gate evaluation) signal them through typed panics
+// that the public entry points convert back into ordinary errors with
+// Recover/RecoverAll. The package is a leaf: everything above it —
+// logic, bdd, sim, fsm, the hlpower facade — shares this one channel,
+// so a malformed netlist can never take a process down.
+package hlerr
+
+import (
+	"errors"
+	"fmt"
+)
+
+// InputError describes user-provided input the library rejected:
+// mismatched widths, out-of-range references, malformed tables. It is
+// re-exported by the root hlpower package.
+type InputError struct {
+	Op  string // the operation that rejected the input, e.g. "logic.AddG"
+	Err error
+}
+
+// Error formats the error as "op: detail".
+func (e *InputError) Error() string {
+	if e.Op == "" {
+		return e.Err.Error()
+	}
+	return e.Op + ": " + e.Err.Error()
+}
+
+// Unwrap exposes the underlying cause.
+func (e *InputError) Unwrap() error { return e.Err }
+
+// Errorf builds an *InputError with a formatted detail message.
+func Errorf(op, format string, args ...any) *InputError {
+	return &InputError{Op: op, Err: fmt.Errorf(format, args...)}
+}
+
+// failure is the typed panic wrapper: only panics carrying a failure
+// are converted to errors by Recover; anything else (a genuine bug)
+// keeps propagating.
+type failure struct{ err error }
+
+// Throw panics with err wrapped so Recover will catch it. Use it from
+// builders whose signatures cannot return errors.
+func Throw(err error) { panic(failure{err}) }
+
+// Throwf is Throw(Errorf(op, format, args...)).
+func Throwf(op, format string, args ...any) { Throw(Errorf(op, format, args...)) }
+
+// Recover converts a Throw-originated panic into *errp. Deploy it with
+// defer at error-returning entry points above panic-based builders:
+//
+//	func Build(...) (r Result, err error) {
+//		defer hlerr.Recover(&err)
+//		...
+//	}
+//
+// Panics that did not come from Throw are re-raised.
+func Recover(errp *error) {
+	r := recover()
+	if r == nil {
+		return
+	}
+	if f, ok := r.(failure); ok {
+		if *errp == nil {
+			*errp = f.err
+		}
+		return
+	}
+	panic(r)
+}
+
+// RecoverAll is the public-API backstop: it converts any panic —
+// typed or not — into an error, so no malformed input can crash a
+// caller of the hlpower facade. Internal code should prefer Recover,
+// which lets real bugs surface.
+func RecoverAll(errp *error) {
+	r := recover()
+	if r == nil {
+		return
+	}
+	if *errp != nil {
+		return
+	}
+	switch v := r.(type) {
+	case failure:
+		*errp = v.err
+	case error:
+		*errp = fmt.Errorf("hlpower: internal panic: %w", v)
+	default:
+		*errp = fmt.Errorf("hlpower: internal panic: %v", v)
+	}
+}
+
+// IsInput reports whether err is (or wraps) an *InputError.
+func IsInput(err error) bool {
+	var ie *InputError
+	return errors.As(err, &ie)
+}

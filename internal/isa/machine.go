@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"hlpower/internal/bitutil"
+	"hlpower/internal/budget"
 )
 
 // CacheConfig sizes a direct-mapped cache.
@@ -155,6 +156,14 @@ type TraceEntry struct {
 // instruction limit. When keepTrace is set the full execution trace is
 // returned (memory-hungry for long runs).
 func (m *Machine) Run(p Program, keepTrace bool) (*Stats, []TraceEntry, error) {
+	return m.RunBudget(nil, p, keepTrace)
+}
+
+// RunBudget is Run governed by a resource budget: each executed
+// instruction charges one step, so deadlines and cancellation cut off
+// runaway programs. On exhaustion the stats and trace accumulated so
+// far are returned alongside an error matching budget.ErrExceeded.
+func (m *Machine) RunBudget(b *budget.Budget, p Program, keepTrace bool) (*Stats, []TraceEntry, error) {
 	if err := p.Validate(); err != nil {
 		return nil, nil, err
 	}
@@ -168,6 +177,9 @@ func (m *Machine) Run(p Program, keepTrace bool) (*Stats, []TraceEntry, error) {
 	for pc < len(p) {
 		if st.Instructions >= m.Cfg.MaxInstructions {
 			return st, trace, errors.New("isa: instruction limit exceeded")
+		}
+		if err := b.Step(1); err != nil {
+			return st, trace, err
 		}
 		ins := p[pc]
 		if ins.Op == HALT {

@@ -10,9 +10,11 @@ import (
 // FromCover synthesizes a two-level AND-OR network computing the cover
 // over the given input signals (inputs[i] is variable i) and returns the
 // output signal id. Complemented literals share a single inverter rail.
+// A cover wider than the input bus records a sticky netlist error.
 func FromCover(n *Netlist, cv *cover.Cover, inputs []int, group string) int {
 	if cv.NumVars > len(inputs) {
-		panic(fmt.Sprintf("logic: cover has %d vars, only %d inputs", cv.NumVars, len(inputs)))
+		n.Failf("logic.FromCover", "cover has %d vars, only %d inputs", cv.NumVars, len(inputs))
+		return n.AddG(Const0, group)
 	}
 	if len(cv.Cubes) == 0 {
 		return n.AddG(Const0, group)
@@ -142,7 +144,12 @@ func (n *Netlist) LatchBus(b Bus, enable int, group string) Bus {
 // MuxBus selects b1 when sel is true, b0 otherwise, bit by bit.
 func (n *Netlist) MuxBus(sel int, b0, b1 Bus, group string) Bus {
 	if len(b0) != len(b1) {
-		panic("logic: MuxBus width mismatch")
+		n.Failf("logic.MuxBus", "width mismatch %d vs %d", len(b0), len(b1))
+		if len(b1) < len(b0) {
+			b0 = b0[:len(b1)]
+		} else {
+			b1 = b1[:len(b0)]
+		}
 	}
 	out := make(Bus, len(b0))
 	for i := range b0 {
@@ -172,6 +179,10 @@ func FromExpr(n *Netlist, e *cover.Expr, inputs []int, group string) int {
 			}
 			return n.AddG(Const0, group)
 		case cover.ExprLit:
+			if e.Var < 0 || e.Var >= len(inputs) {
+				n.Failf("logic.FromExpr", "literal var %d out of range [0,%d)", e.Var, len(inputs))
+				return n.AddG(Const0, group)
+			}
 			if e.Positive {
 				return inputs[e.Var]
 			}
@@ -190,7 +201,8 @@ func FromExpr(n *Netlist, e *cover.Expr, inputs []int, group string) int {
 			}
 			return n.AddG(kind, group, args...)
 		default:
-			panic("logic: unknown expression kind")
+			n.Failf("logic.FromExpr", "unknown expression kind %d", int(e.Kind))
+			return n.AddG(Const0, group)
 		}
 	}
 	return rec(e)

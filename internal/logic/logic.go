@@ -10,6 +10,8 @@ package logic
 import (
 	"errors"
 	"fmt"
+
+	"hlpower/internal/hlerr"
 )
 
 // Kind enumerates the cell types of the library.
@@ -80,6 +82,43 @@ type Netlist struct {
 	WireCapPerFanout float64
 	OutputLoad       float64
 	ClockCap         float64
+
+	// err is the sticky construction error: the first malformed Add*
+	// call is recorded here (with a structurally safe placeholder gate
+	// appended so returned ids stay valid) and every consumer of the
+	// netlist — TopoOrder, sim.Run, synthesis — refuses to proceed.
+	err error
+}
+
+// Err returns the first construction error recorded on the netlist, or
+// nil if every builder call was well-formed. The builder API keeps
+// returning usable signal ids after an error so construction code needs
+// no per-call checks; callers check Err (directly or via TopoOrder /
+// sim.Run, which propagate it) before using the netlist.
+func (n *Netlist) Err() error { return n.err }
+
+// Failf records a construction error (first one wins). Exported so
+// composite builders in other packages (rtlib, lopt) report malformed
+// inputs through the same sticky channel.
+func (n *Netlist) Failf(op, format string, args ...any) {
+	if n.err == nil {
+		n.err = hlerr.Errorf(op, format, args...)
+	}
+}
+
+// failSafe records the error and appends a constant-0 placeholder gate
+// so the returned id is valid and later fanin references don't cascade
+// into out-of-range failures.
+func (n *Netlist) failSafe(group string, err error) int {
+	if n.err == nil {
+		if _, ok := err.(*hlerr.InputError); !ok {
+			err = &hlerr.InputError{Op: "logic", Err: err}
+		}
+		n.err = err
+	}
+	id := len(n.Gates)
+	n.Gates = append(n.Gates, Gate{Kind: Const0, Group: group, Delay: 1})
+	return id
 }
 
 // New returns an empty netlist with the default capacitance model.
@@ -108,14 +147,17 @@ func (n *Netlist) Add(kind Kind, fanin ...int) int {
 	return n.AddG(kind, DefaultGroup, fanin...)
 }
 
-// AddG appends a gate in the given accounting group.
+// AddG appends a gate in the given accounting group. Malformed calls
+// (bad arity, out-of-range fanin) record a sticky error on the netlist
+// — retrievable via Err and propagated by TopoOrder and the simulator —
+// and return a safe placeholder id instead of panicking.
 func (n *Netlist) AddG(kind Kind, group string, fanin ...int) int {
 	if err := checkArity(kind, len(fanin)); err != nil {
-		panic(err)
+		return n.failSafe(group, &hlerr.InputError{Op: "logic.AddG", Err: err})
 	}
 	for _, f := range fanin {
 		if f < 0 || f >= len(n.Gates) {
-			panic(fmt.Sprintf("logic: fanin %d out of range", f))
+			return n.failSafe(group, hlerr.Errorf("logic.AddG", "fanin %d out of range [0,%d)", f, len(n.Gates)))
 		}
 	}
 	id := len(n.Gates)
@@ -160,16 +202,37 @@ func checkArity(kind Kind, n int) error {
 	return nil
 }
 
+// valid reports whether id names an existing gate, recording a sticky
+// error under op when it does not.
+func (n *Netlist) valid(op string, id int) bool {
+	if id < 0 || id >= len(n.Gates) {
+		n.Failf(op, "signal %d out of range [0,%d)", id, len(n.Gates))
+		return false
+	}
+	return true
+}
+
 // MarkOutput declares signal id as a primary output.
 func (n *Netlist) MarkOutput(id int) {
+	if !n.valid("logic.MarkOutput", id) {
+		return
+	}
 	n.Outputs = append(n.Outputs, id)
 }
 
 // SetName names a signal (for debugging and reports).
-func (n *Netlist) SetName(id int, name string) { n.Gates[id].Name = name }
+func (n *Netlist) SetName(id int, name string) {
+	if n.valid("logic.SetName", id) {
+		n.Gates[id].Name = name
+	}
+}
 
 // SetInit sets the reset value of a sequential cell.
-func (n *Netlist) SetInit(id int, v bool) { n.Gates[id].Init = v }
+func (n *Netlist) SetInit(id int, v bool) {
+	if n.valid("logic.SetInit", id) {
+		n.Gates[id].Init = v
+	}
+}
 
 // NumGates returns the number of cells, NumCombinational the number of
 // non-input, non-sequential cells.
@@ -235,6 +298,9 @@ func (n *Netlist) TotalCapacitance() float64 {
 // sequential outputs are sources. Latches are ordered like combinational
 // cells. An error is reported for combinational cycles.
 func (n *Netlist) TopoOrder() ([]int, error) {
+	if n.err != nil {
+		return nil, n.err
+	}
 	deps := make([][]int, len(n.Gates)) // combinational dependency edges
 	indeg := make([]int, len(n.Gates))
 	isSource := func(id int) bool {
@@ -310,7 +376,8 @@ func (n *Netlist) Depth() int {
 
 // EvalGate computes the boolean output of a combinational gate given its
 // fanin values; latches and flip-flops are handled by the simulator, not
-// here.
+// here. An unknown kind reports a typed error via hlerr.Throw, which the
+// simulator's entry point converts back into an ordinary error.
 func EvalGate(kind Kind, in []bool) bool {
 	switch kind {
 	case Const0:
@@ -359,6 +426,7 @@ func EvalGate(kind Kind, in []bool) bool {
 		}
 		return in[1]
 	default:
-		panic(fmt.Sprintf("logic: EvalGate on %v", kind))
+		hlerr.Throwf("logic.EvalGate", "not a combinational kind: %v", kind)
+		return false
 	}
 }

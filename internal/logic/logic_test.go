@@ -39,21 +39,26 @@ func TestEvalGate(t *testing.T) {
 }
 
 func TestArityChecks(t *testing.T) {
-	n := New()
-	a := n.AddInput("a")
-	mustPanic := func(name string, f func()) {
-		defer func() {
-			if recover() == nil {
-				t.Errorf("%s: expected panic", name)
-			}
-		}()
-		f()
+	// Malformed Add calls record a sticky typed error on the builder
+	// (returning a placeholder id) instead of panicking.
+	cases := []struct {
+		name string
+		f    func(n *Netlist, a int)
+	}{
+		{"not-2", func(n *Netlist, a int) { n.Add(Not, a, a) }},
+		{"and-1", func(n *Netlist, a int) { n.Add(And, a) }},
+		{"xor-3", func(n *Netlist, a int) { n.Add(Xor, a, a, a) }},
+		{"mux-2", func(n *Netlist, a int) { n.Add(Mux, a, a) }},
+		{"bad fanin", func(n *Netlist, a int) { n.Add(Not, 999) }},
 	}
-	mustPanic("not-2", func() { n.Add(Not, a, a) })
-	mustPanic("and-1", func() { n.Add(And, a) })
-	mustPanic("xor-3", func() { n.Add(Xor, a, a, a) })
-	mustPanic("mux-2", func() { n.Add(Mux, a, a) })
-	mustPanic("bad fanin", func() { n.Add(Not, 999) })
+	for _, c := range cases {
+		n := New()
+		a := n.AddInput("a")
+		c.f(n, a)
+		if n.Err() == nil {
+			t.Errorf("%s: expected sticky builder error", c.name)
+		}
+	}
 }
 
 func TestTopoOrder(t *testing.T) {

@@ -24,11 +24,27 @@ func FullAdder(n *logic.Netlist, a, b, cin int, group string) (sum, cout int) {
 	return sum, cout
 }
 
+// zeroBus records a width-mismatch construction error on the netlist
+// (sticky; surfaced by Netlist.Err and every downstream consumer) and
+// returns a constant-0 bus of the given width so callers keep valid
+// signal ids.
+func zeroBus(n *logic.Netlist, width int, group, op, format string, args ...any) logic.Bus {
+	n.Failf(op, format, args...)
+	zero := n.AddG(logic.Const0, group)
+	out := make(logic.Bus, width)
+	for i := range out {
+		out[i] = zero
+	}
+	return out
+}
+
 // RippleAdder builds a width-|a| ripple-carry adder; cin < 0 means no
 // carry-in (constant 0). Returns the sum bus and carry-out signal.
+// Mismatched operand widths record a sticky error on the netlist.
 func RippleAdder(n *logic.Netlist, a, b logic.Bus, cin int, group string) (logic.Bus, int) {
 	if len(a) != len(b) {
-		panic(fmt.Sprintf("rtlib: adder width mismatch %d vs %d", len(a), len(b)))
+		out := zeroBus(n, len(a), group, "rtlib.RippleAdder", "adder width mismatch %d vs %d", len(a), len(b))
+		return out, n.AddG(logic.Const0, group)
 	}
 	if cin < 0 {
 		cin = n.AddG(logic.Const0, group)
@@ -65,7 +81,7 @@ func RippleAdderWithCarry(n *logic.Netlist, a, b logic.Bus, cin int, group strin
 func ArrayMultiplier(n *logic.Netlist, a, b logic.Bus, group string) logic.Bus {
 	w := len(a)
 	if len(b) != w {
-		panic("rtlib: multiplier width mismatch")
+		return zeroBus(n, 2*w, group, "rtlib.ArrayMultiplier", "multiplier width mismatch %d vs %d", w, len(b))
 	}
 	zero := n.AddG(logic.Const0, group)
 	// acc holds the running sum, 2w bits.
@@ -137,7 +153,8 @@ func ConstShiftAdd(n *logic.Netlist, a logic.Bus, k uint64, outWidth int, group 
 // bitwise equal.
 func EqualComparator(n *logic.Netlist, a, b logic.Bus, group string) int {
 	if len(a) != len(b) {
-		panic("rtlib: comparator width mismatch")
+		n.Failf("rtlib.EqualComparator", "comparator width mismatch %d vs %d", len(a), len(b))
+		return n.AddG(logic.Const0, group)
 	}
 	xn := make([]int, len(a))
 	for i := range a {
@@ -275,7 +292,8 @@ func (m *Module) EnergyPerPair(aStream, bStream []uint64, model sim.DelayModel) 
 func CarrySelectAdder(n *logic.Netlist, a, b logic.Bus, group string) (logic.Bus, int) {
 	w := len(a)
 	if len(b) != w {
-		panic("rtlib: adder width mismatch")
+		out := zeroBus(n, w, group, "rtlib.CarrySelectAdder", "adder width mismatch %d vs %d", w, len(b))
+		return out, n.AddG(logic.Const0, group)
 	}
 	if w < 2 {
 		return RippleAdder(n, a, b, -1, group)

@@ -1,0 +1,136 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"hlpower/internal/budget"
+	"hlpower/internal/hlerr"
+	"hlpower/internal/logic"
+)
+
+func toggleNetlist(t *testing.T) *logic.Netlist {
+	t.Helper()
+	n := logic.New()
+	a := n.AddInput("a")
+	b := n.AddInput("b")
+	x := n.AddG(logic.And, "and", a, b)
+	n.MarkOutput(x)
+	if err := n.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestRunNilNetlist(t *testing.T) {
+	_, err := Run(nil, VectorInputs([][]bool{{true}}), 1, Options{})
+	if err == nil {
+		t.Fatal("nil netlist should error")
+	}
+	if !hlerr.IsInput(err) {
+		t.Errorf("want typed input error, got %T: %v", err, err)
+	}
+}
+
+func TestRunNonPositiveCycles(t *testing.T) {
+	n := toggleNetlist(t)
+	for _, cycles := range []int{0, -1, -100} {
+		_, err := Run(n, VectorInputs(nil), cycles, Options{})
+		if err == nil {
+			t.Fatalf("cycles=%d should error", cycles)
+		}
+		if !hlerr.IsInput(err) {
+			t.Errorf("cycles=%d: want typed input error, got %T: %v", cycles, err, err)
+		}
+	}
+}
+
+func TestRunNilInputProvider(t *testing.T) {
+	n := toggleNetlist(t)
+	_, err := Run(n, nil, 4, Options{})
+	if err == nil {
+		t.Fatal("nil input provider should error")
+	}
+	if !hlerr.IsInput(err) {
+		t.Errorf("want typed input error, got %T: %v", err, err)
+	}
+}
+
+func TestRunWrongWidthInputs(t *testing.T) {
+	n := toggleNetlist(t)
+	for _, vec := range [][]bool{nil, {true}, {true, false, true}} {
+		_, err := Run(n, VectorInputs([][]bool{vec}), 1, Options{})
+		if err == nil {
+			t.Fatalf("width-%d vector should error", len(vec))
+		}
+		if !hlerr.IsInput(err) {
+			t.Errorf("width %d: want typed input error, got %T: %v", len(vec), err, err)
+		}
+	}
+}
+
+func TestRunWrongWidthMidRun(t *testing.T) {
+	n := toggleNetlist(t)
+	// First vector is fine; the third is short.
+	vecs := [][]bool{{true, false}, {false, true}, {true}}
+	_, err := Run(n, VectorInputs(vecs), 3, Options{})
+	if err == nil {
+		t.Fatal("mid-run width mismatch should error")
+	}
+	if !hlerr.IsInput(err) {
+		t.Errorf("want typed input error, got %T: %v", err, err)
+	}
+}
+
+func TestRunBrokenNetlistPropagates(t *testing.T) {
+	n := logic.New()
+	a := n.AddInput("a")
+	n.AddG(logic.And, "bad", a, 9999) // dangling fanin -> sticky error
+	_, err := Run(n, VectorInputs([][]bool{{true}}), 1, Options{})
+	if err == nil {
+		t.Fatal("broken netlist should error")
+	}
+	if !hlerr.IsInput(err) {
+		t.Errorf("want typed input error, got %T: %v", err, err)
+	}
+}
+
+func TestRunBudgetExceeded(t *testing.T) {
+	n := toggleNetlist(t)
+	inputs := func(cycle int) []bool { return []bool{cycle%2 == 0, cycle%3 == 0} }
+	b := budget.New(budget.WithMaxSteps(50), budget.WithCheckInterval(1))
+	_, err := RunBudget(b, n, inputs, 1_000_000, Options{})
+	if !errors.Is(err, budget.ErrExceeded) {
+		t.Fatalf("want budget.ErrExceeded, got %v", err)
+	}
+	var ex *budget.Exceeded
+	if !errors.As(err, &ex) {
+		t.Fatalf("want *budget.Exceeded, got %T", err)
+	}
+	if ex.Resource != "steps" {
+		t.Errorf("resource = %q, want steps", ex.Resource)
+	}
+}
+
+func TestRunBudgetCancelled(t *testing.T) {
+	n := toggleNetlist(t)
+	inputs := func(cycle int) []bool { return []bool{true, false} }
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	b := budget.New(budget.WithContext(ctx), budget.WithCheckInterval(1))
+	_, err := RunBudget(b, n, inputs, 1_000_000, Options{})
+	if !errors.Is(err, budget.ErrExceeded) {
+		t.Fatalf("want budget.ErrExceeded after cancellation, got %v", err)
+	}
+}
+
+func TestRunBudgetEventDriven(t *testing.T) {
+	n := toggleNetlist(t)
+	inputs := func(cycle int) []bool { return []bool{cycle%2 == 0, cycle%3 == 0} }
+	b := budget.New(budget.WithMaxSteps(50), budget.WithCheckInterval(1))
+	_, err := RunBudget(b, n, inputs, 1_000_000, Options{Model: EventDriven})
+	if !errors.Is(err, budget.ErrExceeded) {
+		t.Fatalf("want budget.ErrExceeded, got %v", err)
+	}
+}

@@ -8,9 +8,10 @@
 package sim
 
 import (
-	"fmt"
 	"sort"
 
+	"hlpower/internal/budget"
+	"hlpower/internal/hlerr"
 	"hlpower/internal/logic"
 )
 
@@ -73,8 +74,31 @@ func VectorInputs(vectors [][]bool) InputProvider {
 	return func(cycle int) []bool { return vectors[cycle] }
 }
 
-// Run simulates the netlist for the given number of cycles.
+// Run simulates the netlist for the given number of cycles. A nil
+// netlist, a non-positive cycle count, a missing input provider, or a
+// wrong-width input vector is a typed input error (hlerr.IsInput).
 func Run(n *logic.Netlist, inputs InputProvider, cycles int, opts Options) (*Result, error) {
+	return RunBudget(nil, n, inputs, cycles, opts)
+}
+
+// RunBudget is Run governed by a resource budget: every simulated cycle
+// charges one step per gate, so long runs on large netlists respect
+// deadlines and cancellation. On exhaustion the returned error matches
+// budget.ErrExceeded.
+func RunBudget(b *budget.Budget, n *logic.Netlist, inputs InputProvider, cycles int, opts Options) (res *Result, err error) {
+	defer hlerr.Recover(&err)
+	if n == nil {
+		return nil, hlerr.Errorf("sim.Run", "nil netlist")
+	}
+	if err := n.Err(); err != nil {
+		return nil, err
+	}
+	if cycles <= 0 {
+		return nil, hlerr.Errorf("sim.Run", "cycle count %d must be positive", cycles)
+	}
+	if inputs == nil {
+		return nil, hlerr.Errorf("sim.Run", "nil input provider")
+	}
 	if opts.Vdd == 0 {
 		opts.Vdd = 1
 	}
@@ -86,7 +110,7 @@ func Run(n *logic.Netlist, inputs InputProvider, cycles int, opts Options) (*Res
 		return nil, err
 	}
 	loads := n.Loads()
-	res := &Result{
+	res = &Result{
 		Cycles:  cycles,
 		ByGroup: make(map[string]float64),
 		Toggles: make([]int64, len(n.Gates)),
@@ -147,7 +171,7 @@ func Run(n *logic.Netlist, inputs InputProvider, cycles int, opts Options) (*Res
 	if cycles > 0 {
 		vec := inputs(0)
 		if len(vec) != len(n.Inputs) {
-			return nil, fmt.Errorf("sim: input vector width %d, want %d", len(vec), len(n.Inputs))
+			return nil, hlerr.Errorf("sim.Run", "input vector width %d, want %d", len(vec), len(n.Inputs))
 		}
 		for i, sig := range n.Inputs {
 			values[sig] = vec[i]
@@ -158,11 +182,12 @@ func Run(n *logic.Netlist, inputs InputProvider, cycles int, opts Options) (*Res
 	prev := make([]bool, len(n.Gates))
 
 	for cycle := 0; cycle < cycles; cycle++ {
+		b.Check(int64(len(order)) + 1)
 		curCycle = cycle
 		copy(prev, values)
 		vec := inputs(cycle)
 		if len(vec) != len(n.Inputs) {
-			return nil, fmt.Errorf("sim: input vector width %d, want %d", len(vec), len(n.Inputs))
+			return nil, hlerr.Errorf("sim.Run", "input vector width %d, want %d", len(vec), len(n.Inputs))
 		}
 		copy(inVals, vec)
 
@@ -203,7 +228,7 @@ func Run(n *logic.Netlist, inputs InputProvider, cycles int, opts Options) (*Res
 		}
 
 		if opts.Model == EventDriven {
-			simulateEventDriven(n, order, fanouts, values, state, prev, record)
+			simulateEventDriven(b, n, order, fanouts, values, state, prev, record)
 		} else {
 			evalSettled()
 			for id := range values {
@@ -227,7 +252,7 @@ func Run(n *logic.Netlist, inputs InputProvider, cycles int, opts Options) (*Res
 // counting every output change (functional transitions and glitches).
 // values holds the new source values (inputs and FF outputs already
 // updated); prev holds last cycle's settled values.
-func simulateEventDriven(n *logic.Netlist, order []int, fanouts [][]int, values, state, prev []bool, record func(int)) {
+func simulateEventDriven(b *budget.Budget, n *logic.Netlist, order []int, fanouts [][]int, values, state, prev []bool, record func(int)) {
 	// Pending evaluation times per gate, processed in time order.
 	type event struct {
 		time int
@@ -266,6 +291,7 @@ func simulateEventDriven(n *logic.Netlist, order []int, fanouts [][]int, values,
 	}
 	var commits []commit
 	for len(pending) > 0 {
+		b.Check(1)
 		// Pop the earliest time.
 		times := make([]int, 0, len(pending))
 		for t := range pending {

@@ -236,12 +236,8 @@ func TestInputWidthMismatch(t *testing.T) {
 func TestZeroCycles(t *testing.T) {
 	n := logic.New()
 	n.AddInput("a")
-	res, err := Run(n, nil, 0, Options{})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if res.SwitchedCap != 0 || res.Power() != 0 {
-		t.Error("zero-cycle run should have zero power")
+	if _, err := Run(n, nil, 0, Options{}); err == nil {
+		t.Fatal("zero-cycle run should be a typed input error")
 	}
 }
 

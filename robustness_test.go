@@ -1,0 +1,230 @@
+package hlpower_test
+
+// Acceptance tests for the resource-governed estimation core: a
+// pathological input under a small budget must come back as a typed
+// budget error or a degraded result within roughly twice the budget,
+// and injected budget faults at every checkpoint must unwind cleanly
+// through each estimation stage.
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"hlpower"
+	"hlpower/internal/bdd"
+	"hlpower/internal/budget"
+	"hlpower/internal/cover"
+	"hlpower/internal/fsm"
+	"hlpower/internal/isa"
+	"hlpower/internal/logic"
+	"hlpower/internal/sim"
+)
+
+// slack is the CI allowance added on top of the ~2x-budget bound.
+const slack = 500 * time.Millisecond
+
+func TestPathologicalQMUnderDeadline(t *testing.T) {
+	// 22-variable function with thousands of scattered minterms: exact
+	// Quine–McCluskey's first merge round alone is millions of pair
+	// comparisons.
+	rng := rand.New(rand.NewSource(7))
+	const nvars = 22
+	seen := map[uint64]bool{}
+	var on []uint64
+	for len(on) < 4000 {
+		m := uint64(rng.Intn(1 << nvars))
+		if !seen[m] {
+			seen[m] = true
+			on = append(on, m)
+		}
+	}
+	// The step cap makes degradation deterministic (the first QM merge
+	// round alone is ~8M charged pair comparisons); the deadline bounds
+	// wall clock for the timing assertion.
+	const deadline = 100 * time.Millisecond
+	b := hlpower.NewBudget(hlpower.WithTimeout(deadline), hlpower.WithMaxSteps(200_000))
+	start := time.Now()
+	cv, degraded, err := cover.MinimizeBudget(b, on, nvars)
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatalf("MinimizeBudget: %v", err)
+	}
+	if elapsed > 2*deadline+slack {
+		t.Errorf("took %v, want <= ~2x the %v budget", elapsed, deadline)
+	}
+	if !degraded {
+		t.Fatal("200k-step budget cannot cover exact QM here; result must be degraded")
+	}
+	// Whatever path produced it, the cover must be valid.
+	for _, m := range on[:200] {
+		if !cv.Eval(m) {
+			t.Fatalf("returned cover misses on-set minterm %#x", m)
+		}
+	}
+}
+
+func TestPathologicalBDDUnderDeadline(t *testing.T) {
+	// 24-variable random function: the exact ROBDD has millions of
+	// nodes, far beyond a 100ms budget.
+	rng := rand.New(rand.NewSource(11))
+	const nvars = 24
+	tt := make([]bool, 1<<nvars)
+	for i := range tt {
+		tt[i] = rng.Int63()&1 == 1
+	}
+	const deadline = 100 * time.Millisecond
+	b := hlpower.NewBudget(hlpower.WithTimeout(deadline), hlpower.WithMaxNodes(1<<20))
+	start := time.Now()
+	nodes, degraded, err := bdd.SizeEstimate(b, tt, nvars)
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatalf("SizeEstimate: %v", err)
+	}
+	if elapsed > 2*deadline+slack {
+		t.Errorf("took %v, want <= ~2x the %v budget", elapsed, deadline)
+	}
+	if !degraded {
+		t.Fatal("a 24-var random function cannot build exactly under 100ms + 1M nodes")
+	}
+	if nodes <= 0 {
+		t.Fatalf("degraded size estimate = %d, want positive", nodes)
+	}
+}
+
+func TestBudgetErrorTypedThroughPublicAPI(t *testing.T) {
+	n := logic.New()
+	a := n.AddInput("a")
+	b2 := n.AddInput("b")
+	n.MarkOutput(n.AddG(logic.Xor, "x", a, b2))
+	inputs := func(cycle int) []bool { return []bool{cycle%2 == 0, cycle%3 == 0} }
+	b := hlpower.NewBudget(hlpower.WithMaxSteps(100))
+	_, err := hlpower.SimulateBudget(b, n, inputs, 1_000_000, hlpower.SimOptions{})
+	if !errors.Is(err, hlpower.ErrBudgetExceeded) {
+		t.Fatalf("want ErrBudgetExceeded through public API, got %v", err)
+	}
+}
+
+func TestInputErrorTypedThroughPublicAPI(t *testing.T) {
+	_, err := hlpower.Simulate(nil, nil, 0, hlpower.SimOptions{})
+	if err == nil || !hlpower.IsInputError(err) {
+		t.Fatalf("want typed input error, got %v", err)
+	}
+}
+
+// faultSweep runs stage with a budget forced to fail at checkpoint k
+// for k = 1..maxK, asserting it never panics and reports exhaustion as
+// a typed error or a degraded success.
+func faultSweep(t *testing.T, name string, maxK int64, stage func(b *budget.Budget) (degraded bool, err error)) {
+	t.Helper()
+	for k := int64(1); k <= maxK; k++ {
+		b := budget.New(
+			budget.WithCheckInterval(1),
+			budget.WithFaultPlan(budget.FaultPlan{FailAtCheck: k}),
+		)
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("%s: fault at check %d escaped as panic: %v", name, k, r)
+				}
+			}()
+			degraded, err := stage(b)
+			if err == nil && !degraded && b.Err() != nil {
+				t.Errorf("%s: fault at check %d tripped the budget yet the stage reported a clean exact result", name, k)
+			}
+			if err != nil && !errors.Is(err, budget.ErrExceeded) {
+				t.Errorf("%s: fault at check %d: error not typed: %v", name, k, err)
+			}
+		}()
+	}
+}
+
+func TestFaultInjectionUnwindsEveryStage(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	tt := make([]bool, 1<<12)
+	for i := range tt {
+		tt[i] = rng.Int63()&1 == 1
+	}
+	var on []uint64
+	for i, v := range tt {
+		if v {
+			on = append(on, uint64(i))
+		}
+	}
+
+	faultSweep(t, "bdd.BuildTT", 8, func(b *budget.Budget) (bool, error) {
+		m := bdd.New(12)
+		m.SetBudget(b)
+		_, err := m.BuildTT(tt, 12)
+		return false, err
+	})
+
+	faultSweep(t, "cover.MinimizeBudget", 8, func(b *budget.Budget) (bool, error) {
+		cv, degraded, err := cover.MinimizeBudget(b, on, 12)
+		if err == nil {
+			for _, m := range on[:50] {
+				if !cv.Eval(m) {
+					t.Fatalf("degraded cover misses %#x", m)
+				}
+			}
+		}
+		return degraded, err
+	})
+
+	netlist := func() *logic.Netlist {
+		n := logic.New()
+		a := n.AddInput("a")
+		c := n.AddInput("b")
+		n.MarkOutput(n.AddG(logic.And, "g", a, c))
+		return n
+	}
+	faultSweep(t, "sim.RunBudget", 8, func(b *budget.Budget) (bool, error) {
+		inputs := func(cycle int) []bool { return []bool{cycle%2 == 0, cycle%3 == 0} }
+		_, err := sim.RunBudget(b, netlist(), inputs, 10_000, sim.Options{})
+		return false, err
+	})
+
+	machine := fsm.Random(8, 2, 2, 0.5, rng)
+	faultSweep(t, "fsm.SynthesizeBudget", 8, func(b *budget.Budget) (bool, error) {
+		net, degraded, err := fsm.SynthesizeBudget(b, machine, fsm.BinaryEncoding(machine.NumStates))
+		if err == nil && net == nil {
+			t.Fatal("SynthesizeBudget returned neither netlist nor error")
+		}
+		return degraded, err
+	})
+
+	prog, err := isa.VectorSum(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faultSweep(t, "isa.RunBudget", 8, func(b *budget.Budget) (bool, error) {
+		m := isa.NewMachine(isa.DefaultConfig())
+		_, _, err := m.RunBudget(b, prog, false)
+		return false, err
+	})
+}
+
+func TestRankSurvivesPanickingEstimator(t *testing.T) {
+	candidates := []hlpower.Candidate{
+		{Name: "good", Estimator: hlpower.EstimatorFunc{
+			EstimatorName: "const", EstimatorLevel: hlpower.RTL,
+			Fn: func() (float64, error) { return 2.5, nil },
+		}},
+		{Name: "bad", Estimator: hlpower.EstimatorFunc{
+			EstimatorName: "panics", EstimatorLevel: hlpower.RTL,
+			Fn: func() (float64, error) { panic("estimator bug") },
+		}},
+	}
+	r := hlpower.Rank(candidates)
+	best, err := r.Best()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Candidate.Name != "good" {
+		t.Errorf("best = %q, want the non-panicking candidate", best.Candidate.Name)
+	}
+	if r[len(r)-1].Err == nil {
+		t.Error("panicking estimator should carry an error")
+	}
+}
