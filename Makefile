@@ -1,6 +1,8 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all check build test bench repro vet cover fuzz clean
+FUZZTIME ?= 10s
+
+.PHONY: all check ci fmt-check build test bench bench-json repro vet cover fuzz clean
 
 all: check
 
@@ -10,6 +12,17 @@ check:
 	go vet ./...
 	go build ./...
 	go test -race ./...
+
+# ci mirrors the required job of .github/workflows/ci.yml exactly, so
+# "make ci" locally reproduces what the pipeline gates on.
+ci: fmt-check vet build
+	go test -race ./...
+
+# fmt-check fails (and lists the offenders) if any file needs gofmt.
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
 
 build:
 	go build ./...
@@ -23,17 +36,23 @@ test:
 bench:
 	go test -bench=. -benchmem ./...
 
+# bench-json records the serial-vs-parallel benchmark snapshot as
+# BENCH_<date>.json (see cmd/benchjson); CI runs it non-blocking.
+bench-json:
+	go run ./cmd/benchjson -short
+
 repro:
 	go run ./cmd/repro -j 8
 
 cover:
 	go test -cover ./internal/... .
 
-# fuzz gives each bus round-trip fuzz target a short budget.
+# fuzz gives each bus round-trip fuzz target a budget of FUZZTIME
+# (override with e.g. `make fuzz FUZZTIME=5s` for CI smoke runs).
 fuzz:
 	for f in FuzzBusInvertRoundTrip FuzzT0RoundTrip FuzzGrayRoundTrip \
 	         FuzzT0BIRoundTrip FuzzWorkingZoneRoundTrip FuzzBeachRoundTrip; do \
-		go test -run "^$$f$$" -fuzz "^$$f$$" -fuzztime 10s ./internal/bus/ || exit 1; \
+		go test -run "^$$f$$" -fuzz "^$$f$$" -fuzztime $(FUZZTIME) ./internal/bus/ || exit 1; \
 	done
 
 clean:

@@ -1,0 +1,194 @@
+// Command benchjson runs the key serial-vs-parallel benchmarks of the
+// estimation engine in-process (via testing.Benchmark, no go-test
+// subprocess) and emits a machine-readable BENCH_<date>.json snapshot.
+// CI runs it as a non-blocking job so the repository accumulates a
+// performance trajectory; compare files across dates to see whether a
+// change moved the hot paths.
+//
+// Usage:
+//
+//	benchjson                 # full workload, writes BENCH_<date>.json
+//	benchjson -short          # reduced workload (CI smoke)
+//	benchjson -out perf.json  # explicit output path
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"hlpower/internal/budget"
+	"hlpower/internal/core"
+	"hlpower/internal/logic"
+	"hlpower/internal/rtlib"
+	"hlpower/internal/sim"
+)
+
+// Entry is one benchmark measurement.
+type Entry struct {
+	Name    string  `json:"name"`
+	Iters   int     `json:"iterations"`
+	NsPerOp float64 `json:"ns_per_op"`
+	// Speedup is ns_per_op(serial baseline) / ns_per_op(this), present
+	// on parallel variants.
+	Speedup float64 `json:"speedup_vs_serial,omitempty"`
+}
+
+// Snapshot is the whole BENCH_<date>.json document.
+type Snapshot struct {
+	Date       string  `json:"date"`
+	GoVersion  string  `json:"go_version"`
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	NumCPU     int     `json:"num_cpu"`
+	Short      bool    `json:"short_workload"`
+	Results    []Entry `json:"results"`
+}
+
+func main() {
+	short := flag.Bool("short", false, "reduced workload for CI smoke runs")
+	out := flag.String("out", "", "output path (default BENCH_<date>.json)")
+	flag.Parse()
+
+	cycles, width, cands := 8192, 8, 8
+	if *short {
+		cycles, width, cands = 2048, 6, 4
+	}
+
+	snap := Snapshot{
+		Date:       time.Now().Format("2006-01-02"),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Short:      *short,
+	}
+	path := *out
+	if path == "" {
+		path = "BENCH_" + snap.Date + ".json"
+	}
+
+	simNet, simInputs := mcWorkload(width, cycles)
+	serialSim := measure("sim/serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := sim.Run(simNet, simInputs, cycles, sim.Options{}); err != nil {
+				fatal(err)
+			}
+		}
+	})
+	snap.Results = append(snap.Results, serialSim)
+	for _, w := range []int{2, 4, 8} {
+		w := w
+		e := measure(fmt.Sprintf("sim/parallel/w%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, err := sim.RunParallel(nil, simNet, simInputs, cycles, sim.ParallelOptions{Workers: w})
+				if err != nil {
+					fatal(err)
+				}
+			}
+		})
+		e.Speedup = round3(serialSim.NsPerOp / e.NsPerOp)
+		snap.Results = append(snap.Results, e)
+	}
+
+	candidates := rankCandidates(cands, width, cycles/8)
+	serialRank := measure("rank/serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.RankBudget(nil, candidates).Best(); err != nil {
+				fatal(err)
+			}
+		}
+	})
+	snap.Results = append(snap.Results, serialRank)
+	for _, w := range []int{2, 4, 8} {
+		w := w
+		e := measure(fmt.Sprintf("rank/parallel/w%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.RankParallel(nil, w, candidates).Best(); err != nil {
+					fatal(err)
+				}
+			}
+		})
+		e.Speedup = round3(serialRank.NsPerOp / e.NsPerOp)
+		snap.Results = append(snap.Results, e)
+	}
+
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s (%d benchmarks, GOMAXPROCS=%d)\n", path, len(snap.Results), snap.GOMAXPROCS)
+	for _, e := range snap.Results {
+		if e.Speedup > 0 {
+			fmt.Printf("  %-20s %12.0f ns/op  %5.2fx\n", e.Name, e.NsPerOp, e.Speedup)
+		} else {
+			fmt.Printf("  %-20s %12.0f ns/op\n", e.Name, e.NsPerOp)
+		}
+	}
+}
+
+// measure runs one benchmark function in-process.
+func measure(name string, fn func(b *testing.B)) Entry {
+	r := testing.Benchmark(fn)
+	return Entry{
+		Name:    name,
+		Iters:   r.N,
+		NsPerOp: float64(r.T.Nanoseconds()) / float64(r.N),
+	}
+}
+
+// mcWorkload builds the Monte Carlo simulation workload: a
+// combinational array multiplier under a seeded random vector stream.
+func mcWorkload(width, cycles int) (*logic.Netlist, sim.InputProvider) {
+	m := rtlib.NewMultiplier(width)
+	rng := rand.New(rand.NewSource(99))
+	ins := 2 * width
+	vectors := make([][]bool, cycles)
+	for c := range vectors {
+		v := make([]bool, ins)
+		for i := range v {
+			v[i] = rng.Intn(2) == 1
+		}
+		vectors[c] = v
+	}
+	return m.Net, sim.VectorInputs(vectors)
+}
+
+// rankCandidates builds a candidate set whose estimators each run a
+// gate-level simulation, the per-candidate evaluation shape of the
+// design-improvement loop.
+func rankCandidates(count, width, cycles int) []core.Candidate {
+	var out []core.Candidate
+	for i := 0; i < count; i++ {
+		n, inputs := mcWorkload(width, cycles)
+		name := fmt.Sprintf("cand-%d", i)
+		out = append(out, core.Candidate{
+			Name: name,
+			Estimator: core.FuncB{
+				EstimatorName: name, EstimatorLevel: core.Gate,
+				Fn: func(b *budget.Budget) (float64, bool, error) {
+					res, err := sim.RunBudget(b, n, inputs, cycles, sim.Options{})
+					if err != nil {
+						return 0, false, err
+					}
+					return res.Power(), false, nil
+				},
+			},
+		})
+	}
+	return out
+}
+
+func round3(v float64) float64 { return float64(int(v*1000+0.5)) / 1000 }
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

@@ -3,25 +3,36 @@
 // Usage:
 //
 //	repro                 # run every experiment
-//	repro -j 8            # run them concurrently
+//	repro -j 8            # run experiments concurrently with 8 workers
+//	repro -j 0            # one worker per CPU (nonpositive = auto)
 //	repro -e E16          # run one experiment
 //	repro -list           # list experiment ids and titles
 //	repro -j 8 -markdown  # regenerate EXPERIMENTS.md content
+//
+// Parallelism has two levels: -j fans out whole experiments, and the
+// E2–E5 sweeps additionally fan out per configuration inside each
+// experiment. To avoid multiplicative oversubscription the inner width
+// is GOMAXPROCS divided by the (clamped) -j value — so "-j 1" gives
+// the in-experiment sweeps the whole machine, and "-j GOMAXPROCS"
+// runs experiments wide with serial sweeps inside. Results are
+// independent of both widths; only wall-clock time changes.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"sync"
+	"runtime"
 
+	"hlpower/internal/budget"
 	"hlpower/internal/experiments"
+	"hlpower/internal/par"
 )
 
 func main() {
 	one := flag.String("e", "", "run a single experiment id (e.g. E1)")
 	list := flag.Bool("list", false, "list experiments")
-	parallel := flag.Int("j", 1, "run experiments concurrently with this many workers")
+	parallel := flag.Int("j", 1, "experiment-level workers; nonpositive means one per CPU")
 	markdown := flag.Bool("markdown", false, "emit EXPERIMENTS.md content instead of plain reports")
 	flag.Parse()
 	defer func() {
@@ -41,48 +52,30 @@ func main() {
 	if *one != "" {
 		ids = []string{*one}
 	}
-	if *parallel < 2 || len(ids) < 2 {
-		var reports []*experiments.Report
-		failed := false
-		for _, id := range ids {
-			rep, err := experiments.Run(id)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "repro: %s: %v (continuing)\n", id, err)
-				failed = true
-				continue
-			}
-			reports = append(reports, rep)
-		}
-		emit(reports, *markdown)
-		if failed {
-			os.Exit(1)
-		}
-		return
+
+	// Clamp the worker count (nonpositive -> GOMAXPROCS) and divide the
+	// machine between experiment-level and in-experiment parallelism.
+	outer := par.Workers(*parallel)
+	if outer > len(ids) {
+		outer = len(ids)
 	}
-	// Concurrent execution with ordered output: a worker pool fills one
-	// result slot per experiment; printing happens in index order.
+	inner := runtime.GOMAXPROCS(0) / outer
+	if inner < 1 {
+		inner = 1
+	}
+	experiments.SetParallelism(inner)
+
+	// One task per experiment; failures are data (reported, sweep
+	// continues), so tasks never return errors and nothing is canceled.
 	type outcome struct {
 		rep *experiments.Report
 		err error
 	}
-	results := make([]outcome, len(ids))
-	work := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < *parallel; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range work {
-				rep, err := experiments.Run(ids[i])
-				results[i] = outcome{rep, err}
-			}
-		}()
-	}
-	for i := range ids {
-		work <- i
-	}
-	close(work)
-	wg.Wait()
+	results, _ := par.Map(nil, outer, len(ids), func(i int, _ *budget.Budget) (outcome, error) {
+		rep, err := experiments.Run(ids[i])
+		return outcome{rep, err}, nil
+	})
+
 	failed := false
 	var reports []*experiments.Report
 	for i, r := range results {

@@ -10,9 +10,16 @@ import (
 	"hlpower/internal/dpm"
 	"hlpower/internal/hlerr"
 	"hlpower/internal/logic"
+	"hlpower/internal/par"
 	"hlpower/internal/rtlib"
 	"hlpower/internal/sim"
 )
+
+// DefaultWorkers clamps a worker-count knob the way every parallel
+// entry point here does: nonpositive means one worker per available
+// CPU (GOMAXPROCS), so "-j 0" style flags degrade to full-machine
+// parallelism rather than zero workers.
+func DefaultWorkers(n int) int { return par.Workers(n) }
 
 // Resource governance. Every long-running estimator accepts a *Budget
 // combining a wall-clock deadline, context cancellation, and step/node
@@ -86,6 +93,15 @@ func RankBudget(b *Budget, candidates []Candidate) Ranking {
 	return core.RankBudget(b, candidates)
 }
 
+// RankParallel is RankBudget with candidate estimators evaluated
+// concurrently by a bounded worker pool (nonpositive workers means one
+// per CPU). Candidate failures and panics stay per-candidate, each
+// worker runs under a forked share of the budget, and for
+// deterministic estimators the ranking is identical to the serial one.
+func RankParallel(b *Budget, workers int, candidates []Candidate) Ranking {
+	return core.RankParallel(b, workers, candidates)
+}
+
 // Gate-level substrate.
 type (
 	// Netlist is a synchronous gate-level circuit.
@@ -121,6 +137,20 @@ func Simulate(n *Netlist, inputs func(cycle int) []bool, cycles int, opts SimOpt
 func SimulateBudget(b *Budget, n *Netlist, inputs func(cycle int) []bool, cycles int, opts SimOptions) (res *SimResult, err error) {
 	defer hlerr.RecoverAll(&err)
 	return sim.RunBudget(b, n, inputs, cycles, opts)
+}
+
+// SimParallelOptions configures a vector-sharded Monte Carlo run.
+type SimParallelOptions = sim.ParallelOptions
+
+// SimulateParallel is SimulateBudget with the input vectors sharded
+// across a bounded worker pool. Results are bit-identical to the
+// serial path for the same workload — shards merge in canonical cycle
+// order — at any worker count. The input provider must be safe for
+// concurrent use; netlists with sequential elements fall back to the
+// serial engine inside this call.
+func SimulateParallel(b *Budget, n *Netlist, inputs func(cycle int) []bool, cycles int, opts SimParallelOptions) (res *SimResult, err error) {
+	defer hlerr.RecoverAll(&err)
+	return sim.RunParallel(b, n, inputs, cycles, opts)
 }
 
 // Bus encoding (§III-G).

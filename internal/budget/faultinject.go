@@ -38,6 +38,23 @@ func WithFaultPlan(p FaultPlan) Option {
 	}
 }
 
+// child derives a per-shard copy of the plan for Fork: deterministic
+// FailAtCheck plans are copied as-is (every child trips at the same
+// check index), while Prob-mode plans are reseeded per child so a
+// randomized soak exercises different trip points in each shard. A nil
+// receiver yields nil, so unarmed budgets fork without allocation.
+func (p *FaultPlan) child(i int) *FaultPlan {
+	if p == nil {
+		return nil
+	}
+	c := *p
+	if c.Prob > 0 {
+		c.Seed = p.Seed + int64(i) + 1
+	}
+	c.rng = uint64(c.Seed)*0x9E3779B97F4A7C15 + 0xD1B54A32D192ED03
+	return &c
+}
+
 // trip decides whether check point number n fails.
 func (p *FaultPlan) trip(n int64) error {
 	if p.FailAtCheck > 0 && n >= p.FailAtCheck {

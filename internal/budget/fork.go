@@ -1,0 +1,97 @@
+// Parallel budget splitting. A Budget is owned by one goroutine, so a
+// fan-out cannot hand the same *Budget to every worker; instead Fork
+// carves the remaining allowance into per-worker children that share
+// the parent's wall-clock deadline, context, and fault plan, and Join
+// charges the children's consumption back to the parent when the
+// workers are done. The pair keeps the budget invariant across a
+// parallel region: total work charged is the same as if the region had
+// run serially, and a parent cancellation (or the cancel function
+// returned by Fork) stops every child at its next check point.
+package budget
+
+import (
+	"context"
+	"time"
+)
+
+// Fork splits the budget for n parallel workers. Each child receives a
+// 1/n share of the remaining step and node allowances, the parent's
+// wall-clock deadline and check interval, and a per-child copy of the
+// fault plan (Prob-mode plans are reseeded per child so randomized
+// soaks differ across shards; deterministic FailAtCheck plans trip at
+// the same check index in every child). The returned cancel function
+// stops all children at their next slow check point; callers must
+// invoke it once the parallel region ends to release the context.
+//
+// Fork is nil-safe: a nil parent yields unlimited children that still
+// share one cancellable context, so worker pools get early-stop
+// semantics even when no budget is in force. A parent whose budget has
+// already tripped produces children that fail on their first check.
+func (b *Budget) Fork(n int) ([]*Budget, context.CancelFunc) {
+	if n < 1 {
+		n = 1
+	}
+	base := context.Background()
+	if b != nil && b.ctx != nil {
+		base = b.ctx
+	}
+	ctx, cancel := context.WithCancel(base)
+	kids := make([]*Budget, n)
+	for i := range kids {
+		k := &Budget{
+			start:    time.Now(),
+			interval: DefaultCheckInterval,
+			ctx:      ctx,
+		}
+		if b != nil {
+			k.interval = b.interval
+			k.hasDeadline = b.hasDeadline
+			k.deadline = b.deadline
+			if b.maxSteps > 0 {
+				k.maxSteps = share(b.maxSteps-b.steps, int64(n))
+			}
+			if b.maxNodes > 0 {
+				k.maxNodes = share(b.maxNodes-b.nodes, int64(n))
+			}
+			k.fault = b.fault.child(i)
+			k.err = b.err // a tripped parent yields tripped children
+		}
+		k.untilCheck = k.interval
+		kids[i] = k
+	}
+	return kids, cancel
+}
+
+// share divides a remaining allowance between n children, never below
+// one unit so an exhausted parent still produces children that trip
+// immediately rather than running unbounded.
+func share(remaining, n int64) int64 {
+	s := remaining / n
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// Join charges the children's consumed steps and nodes back to the
+// parent, preserving the accounting invariant that a forked region
+// costs the parent what a serial run would have. Join is nil-safe on
+// the parent and skips nil children; it returns the parent's (possibly
+// newly tripped) sticky violation.
+func (b *Budget) Join(kids ...*Budget) error {
+	if b == nil {
+		return nil
+	}
+	for _, k := range kids {
+		if k == nil {
+			continue
+		}
+		if k.steps > 0 {
+			b.Step(k.steps)
+		}
+		if k.nodes > 0 {
+			b.Nodes(k.nodes)
+		}
+	}
+	return b.Err()
+}

@@ -1,0 +1,103 @@
+package budget
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestForkSplitsRemainingSteps(t *testing.T) {
+	b := New(WithMaxSteps(100))
+	if err := b.Step(20); err != nil {
+		t.Fatal(err)
+	}
+	kids, cancel := b.Fork(4)
+	defer cancel()
+	if len(kids) != 4 {
+		t.Fatalf("got %d children, want 4", len(kids))
+	}
+	// Remaining 80 split 4 ways: each child trips past 20 steps.
+	for i, k := range kids {
+		if err := k.Step(20); err != nil {
+			t.Fatalf("child %d tripped within its share: %v", i, err)
+		}
+	}
+	if err := kids[0].Step(1); !errors.Is(err, ErrExceeded) {
+		t.Fatalf("child exceeded its share without tripping: %v", err)
+	}
+}
+
+func TestForkJoinChargesParent(t *testing.T) {
+	b := New(WithMaxSteps(100))
+	kids, cancel := b.Fork(2)
+	defer cancel()
+	kids[0].Step(30)
+	kids[1].Step(40)
+	if err := b.Join(kids...); err != nil {
+		t.Fatalf("join within budget tripped: %v", err)
+	}
+	if got := b.StepsUsed(); got != 70 {
+		t.Fatalf("parent charged %d steps, want 70", got)
+	}
+}
+
+func TestForkNilParentStillCancellable(t *testing.T) {
+	var b *Budget
+	kids, cancel := b.Fork(2)
+	if err := kids[0].Step(1 << 20); err != nil {
+		t.Fatalf("nil-parent child has limits: %v", err)
+	}
+	cancel()
+	// Cancellation is observed at the next slow check point.
+	var err error
+	for i := 0; i < DefaultCheckInterval+1 && err == nil; i++ {
+		err = kids[1].Step(1)
+	}
+	if !errors.Is(err, ErrExceeded) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled child error = %v, want budget+context match", err)
+	}
+	if b.Join(kids...) != nil {
+		t.Fatal("nil parent join must be a no-op")
+	}
+}
+
+func TestForkTrippedParentYieldsTrippedChildren(t *testing.T) {
+	b := New(WithMaxSteps(1))
+	b.Step(5) // trips
+	kids, cancel := b.Fork(2)
+	defer cancel()
+	if err := kids[0].Step(1); !errors.Is(err, ErrExceeded) {
+		t.Fatalf("child of tripped parent ran: %v", err)
+	}
+}
+
+func TestForkInheritsDeadline(t *testing.T) {
+	b := New(WithDeadline(time.Now().Add(-time.Millisecond)), WithCheckInterval(1))
+	kids, cancel := b.Fork(1)
+	defer cancel()
+	if err := kids[0].Step(1); !errors.Is(err, ErrExceeded) {
+		t.Fatalf("expired deadline not inherited: %v", err)
+	}
+}
+
+func TestForkFaultPlanPerChild(t *testing.T) {
+	b := New(WithFaultPlan(FaultPlan{FailAtCheck: 1}), WithCheckInterval(1))
+	kids, cancel := b.Fork(3)
+	defer cancel()
+	for i, k := range kids {
+		err := k.Step(1)
+		var ex *Exceeded
+		if !errors.As(err, &ex) || ex.Resource != FaultResource {
+			t.Fatalf("child %d: fault plan not inherited: %v", i, err)
+		}
+	}
+	// Prob-mode plans are reseeded per child, so the copies diverge.
+	p := &FaultPlan{Prob: 0.5, Seed: 9}
+	if c0, c1 := p.child(0), p.child(1); c0.Seed == c1.Seed {
+		t.Fatal("prob-mode children share a seed")
+	}
+	if (*FaultPlan)(nil).child(0) != nil {
+		t.Fatal("nil plan must fork to nil")
+	}
+}

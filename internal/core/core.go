@@ -14,6 +14,7 @@ import (
 
 	"hlpower/internal/budget"
 	"hlpower/internal/hlerr"
+	"hlpower/internal/par"
 )
 
 // Level is an abstraction level of the Fig. 1 flow.
@@ -147,29 +148,63 @@ func Rank(candidates []Candidate) Ranking {
 // implementing BudgetEstimator receive the budget and may come back
 // degraded; the ranking still orders them by power, with exact figures
 // winning ties over degraded ones, so the improvement loop can pick a
-// winner even when some candidates only produced partial results.
+// winner even when some candidates only produced partial results. The
+// budget is shared sequentially across candidates (sticky: once it
+// trips, the remaining candidates fail fast).
 func RankBudget(b *budget.Budget, candidates []Candidate) Ranking {
-	out := make(Ranking, 0, len(candidates))
-	for _, c := range candidates {
-		var (
-			p   float64
-			deg bool
-			err error
-		)
-		if be, ok := c.Estimator.(BudgetEstimator); ok {
-			p, deg, err = safeEstimateBudget(be, b)
-		} else {
-			p, err = safeEstimate(c.Estimator)
-		}
-		out = append(out, Ranked{
-			Candidate: c,
-			Estimate: Estimate{
-				Power: p, Level: c.Estimator.Level(),
-				Model: c.Estimator.Name(), Degraded: deg,
-			},
-			Err: err,
-		})
+	return RankParallel(b, 1, candidates)
+}
+
+// RankParallel is RankBudget with candidate estimators evaluated
+// concurrently by a bounded worker pool (nonpositive workers means one
+// per CPU). A failing or panicking candidate never cancels its
+// siblings — its error is data, recorded in the Ranked entry exactly
+// as in the serial path. Each worker evaluates under a forked share of
+// the budget rather than the serial sticky whole, so under a tight
+// budget the set of degraded candidates may differ from a serial run;
+// with an ample (or nil) budget and deterministic estimators the
+// ranking is identical to RankBudget's, because results are collected
+// in candidate order and sorted stably. With workers == 1 the pool
+// degenerates to the serial sticky-budget loop.
+func RankParallel(b *budget.Budget, workers int, candidates []Candidate) Ranking {
+	out := make(Ranking, len(candidates))
+	// The task never returns an error: per-candidate failures are part
+	// of the ranking, not a reason to stop evaluating the others.
+	par.Do(b, workers, len(candidates), func(i int, wb *budget.Budget) error {
+		out[i] = evaluate(wb, candidates[i])
+		return nil
+	})
+	sortRanking(out)
+	return out
+}
+
+// evaluate runs one candidate's estimator under a budget, containing
+// panics as that candidate's error.
+func evaluate(b *budget.Budget, c Candidate) Ranked {
+	var (
+		p   float64
+		deg bool
+		err error
+	)
+	if be, ok := c.Estimator.(BudgetEstimator); ok {
+		p, deg, err = safeEstimateBudget(be, b)
+	} else {
+		p, err = safeEstimate(c.Estimator)
 	}
+	return Ranked{
+		Candidate: c,
+		Estimate: Estimate{
+			Power: p, Level: c.Estimator.Level(),
+			Model: c.Estimator.Name(), Degraded: deg,
+		},
+		Err: err,
+	}
+}
+
+// sortRanking orders candidates cheapest first, successful before
+// failed, exact before degraded on power ties. The sort is stable over
+// candidate order, so rankings are deterministic for a fixed input.
+func sortRanking(out Ranking) {
 	sort.SliceStable(out, func(i, j int) bool {
 		if (out[i].Err == nil) != (out[j].Err == nil) {
 			return out[i].Err == nil
@@ -179,7 +214,6 @@ func RankBudget(b *budget.Budget, candidates []Candidate) Ranking {
 		}
 		return !out[i].Estimate.Degraded && out[j].Estimate.Degraded
 	})
-	return out
 }
 
 // safeEstimate contains estimator panics: whatever escapes the

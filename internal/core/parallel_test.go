@@ -1,0 +1,164 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+
+	"hlpower/internal/budget"
+)
+
+// slowCandidates builds a deterministic candidate set whose estimators
+// burn budget steps, fail, panic, or degrade — the full ranking
+// vocabulary.
+func slowCandidates(n int) []Candidate {
+	var out []Candidate
+	for i := 0; i < n; i++ {
+		i := i
+		switch {
+		case i%7 == 3:
+			out = append(out, Candidate{
+				Name: fmt.Sprintf("fail-%d", i),
+				Estimator: Func{
+					EstimatorName: "broken", EstimatorLevel: RTL,
+					Fn: func() (float64, error) { return 0, errors.New("estimator failure") },
+				},
+			})
+		case i%7 == 5:
+			out = append(out, Candidate{
+				Name: fmt.Sprintf("panic-%d", i),
+				Estimator: Func{
+					EstimatorName: "panicky", EstimatorLevel: RTL,
+					Fn: func() (float64, error) { panic("estimator bug") },
+				},
+			})
+		case i%7 == 6:
+			out = append(out, Candidate{
+				Name: fmt.Sprintf("degraded-%d", i),
+				Estimator: FuncB{
+					EstimatorName: "coarse", EstimatorLevel: Behavioral,
+					Fn: func(b *budget.Budget) (float64, bool, error) {
+						return float64(100 - i), true, nil
+					},
+				},
+			})
+		default:
+			out = append(out, Candidate{
+				Name: fmt.Sprintf("ok-%d", i),
+				Estimator: FuncB{
+					EstimatorName: "exact", EstimatorLevel: Gate,
+					Fn: func(b *budget.Budget) (float64, bool, error) {
+						for s := 0; s < 50; s++ {
+							if err := b.Step(1); err != nil {
+								return 0, false, err
+							}
+						}
+						return float64(100 - i), false, nil
+					},
+				},
+			})
+		}
+	}
+	return out
+}
+
+// TestRankParallelMatchesSerial: with an ample budget, the concurrent
+// ranking must be identical — same order, same powers, same error and
+// degraded flags — to the serial one, at every worker count.
+func TestRankParallelMatchesSerial(t *testing.T) {
+	cands := slowCandidates(23)
+	serial := RankBudget(nil, cands)
+	for _, workers := range []int{1, 2, 4, 9} {
+		got := RankParallel(nil, workers, cands)
+		if len(got) != len(serial) {
+			t.Fatalf("w=%d: length mismatch", workers)
+		}
+		for i := range serial {
+			s, g := serial[i], got[i]
+			if s.Candidate.Name != g.Candidate.Name {
+				t.Fatalf("w=%d: rank %d is %q, serial has %q", workers, i, g.Candidate.Name, s.Candidate.Name)
+			}
+			if math.Float64bits(s.Estimate.Power) != math.Float64bits(g.Estimate.Power) {
+				t.Fatalf("w=%d: %q power differs", workers, s.Candidate.Name)
+			}
+			if s.Estimate.Degraded != g.Estimate.Degraded {
+				t.Fatalf("w=%d: %q degraded flag differs", workers, s.Candidate.Name)
+			}
+			if (s.Err == nil) != (g.Err == nil) {
+				t.Fatalf("w=%d: %q error presence differs: %v vs %v", workers, s.Candidate.Name, s.Err, g.Err)
+			}
+		}
+	}
+}
+
+// TestRankParallelErrorContainment: one failing or panicking candidate
+// must not take down sibling evaluations in the pool.
+func TestRankParallelErrorContainment(t *testing.T) {
+	cands := slowCandidates(14)
+	r := RankParallel(nil, 4, cands)
+	best, err := r.Best()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Err != nil {
+		t.Fatalf("best pick carries an error: %+v", best)
+	}
+	var failures int
+	for _, c := range r {
+		if c.Err != nil {
+			failures++
+		}
+	}
+	if failures == 0 || failures == len(r) {
+		t.Fatalf("expected a mix of failures and successes, got %d/%d", failures, len(r))
+	}
+}
+
+// TestRankParallelBudgetDegradation: a tight forked budget produces
+// errors or degraded figures, never a hang or panic, and the ranking
+// still completes with every candidate present.
+func TestRankParallelBudgetDegradation(t *testing.T) {
+	cands := slowCandidates(14)
+	b := budget.New(budget.WithMaxSteps(120))
+	r := RankParallel(b, 4, cands)
+	if len(r) != len(cands) {
+		t.Fatalf("ranking dropped candidates: %d of %d", len(r), len(cands))
+	}
+	var exceeded int
+	for _, c := range r {
+		if errors.Is(c.Err, budget.ErrExceeded) {
+			exceeded++
+		}
+	}
+	if exceeded == 0 {
+		t.Fatal("tight budget tripped no candidate")
+	}
+}
+
+// TestRankParallelFaultInjection sweeps forced budget faults through
+// the concurrent ranking: every candidate still reports (value or
+// typed error), and the pool unwinds cleanly.
+func TestRankParallelFaultInjection(t *testing.T) {
+	cands := slowCandidates(10)
+	for fail := int64(1); fail <= 4; fail++ {
+		b := budget.New(
+			budget.WithFaultPlan(budget.FaultPlan{FailAtCheck: fail}),
+			budget.WithCheckInterval(16),
+		)
+		r := RankParallel(b, 3, cands)
+		if len(r) != len(cands) {
+			t.Fatalf("fail@%d: ranking dropped candidates", fail)
+		}
+		for _, c := range r {
+			if c.Err != nil && !errors.Is(c.Err, budget.ErrExceeded) {
+				// Estimator-declared failures are fine; anything else
+				// must be a typed budget violation.
+				if c.Err.Error() != "estimator failure" &&
+					c.Err.Error() != "hlpower: internal panic: estimator bug" {
+					t.Fatalf("fail@%d: unexpected error class: %v", fail, c.Err)
+				}
+			}
+		}
+	}
+}

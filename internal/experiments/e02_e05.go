@@ -5,12 +5,20 @@ import (
 	"math/rand"
 	"strings"
 
+	"hlpower/internal/budget"
 	"hlpower/internal/cdfg"
 	"hlpower/internal/dpm"
 	"hlpower/internal/isa"
 	"hlpower/internal/memmodel"
+	"hlpower/internal/par"
 	"hlpower/internal/stats"
 )
+
+// The E2–E5 sweeps fan out per configuration (program, policy, graph)
+// through internal/par at the width set by SetParallelism. Random data
+// is always drawn serially, in the same order the original serial
+// loops drew it, before any fan-out — so the reported figures are
+// identical at every worker count.
 
 func init() {
 	register("E2", "Fig. 2: memory-access minimization by register caching", runE2)
@@ -30,12 +38,16 @@ func runE2() (*Report, error) {
 	ep := isa.DefaultEnergyParams()
 	mp := memmodel.DefaultMemoryParams()
 
-	run := func(p isa.Program) (*isa.Stats, float64, error) {
+	type runOut struct {
+		st *isa.Stats
+		e  float64
+	}
+	run := func(p isa.Program) (runOut, error) {
 		m := isa.NewMachine(isa.DefaultConfig())
 		isa.InitMem(m, 100, data)
 		st, tr, err := m.Run(p, true)
 		if err != nil {
-			return nil, 0, err
+			return runOut{}, err
 		}
 		cpuE := isa.MeasureEnergy(tr, ep)
 		// Each memory access additionally costs one SRAM access of the
@@ -43,19 +55,20 @@ func runE2() (*Report, error) {
 		// transformation targets).
 		mem, err := memmodel.Memory(mp, 14, 7)
 		if err != nil {
-			return nil, 0, err
+			return runOut{}, err
 		}
 		memE := float64(st.MemReads+st.MemWrites) * mem.Total()
-		return st, cpuE + memE, nil
+		return runOut{st, cpuE + memE}, nil
 	}
-	stB, eB, err := run(before)
+	progs := []isa.Program{before, after}
+	outs, err := par.Map(nil, Parallelism(), len(progs), func(i int, _ *budget.Budget) (runOut, error) {
+		return run(progs[i])
+	})
 	if err != nil {
 		return nil, err
 	}
-	stA, eA, err := run(after)
-	if err != nil {
-		return nil, err
-	}
+	stB, eB := outs[0].st, outs[0].e
+	stA, eA := outs[1].st, outs[1].e
 
 	t := newTable(22, 14, 14)
 	t.row("metric", "before", "after")
@@ -98,8 +111,16 @@ func runE3() (*Report, error) {
 	t.row("policy", "improvement", "delay penalty", "shutdowns")
 	t.rule()
 	figures := map[string]float64{"bound": bound}
-	for _, pol := range policies {
-		res := dpm.Simulate(dev, pol, w)
+	// Policies are stateful, so each fan-out task owns its policy value;
+	// the workload slice is shared read-only.
+	sessionRes, err := par.Map(nil, Parallelism(), len(policies), func(i int, _ *budget.Budget) (dpm.Result, error) {
+		return dpm.Simulate(dev, policies[i], w), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, pol := range policies {
+		res := sessionRes[i]
 		imp := dpm.Improvement(on, res)
 		t.row(pol.Name(), f2(imp), pct(res.DelayPenalty), fmt.Sprint(res.Shutdowns))
 		figures["imp_"+pol.Name()] = imp
@@ -119,12 +140,19 @@ func runE3() (*Report, error) {
 	t2 := newTable(24, 12, 14)
 	t2.row("policy (periodic)", "improvement", "delay penalty")
 	t2.rule()
-	for _, pol := range []dpm.Policy{
+	periodicPols := []dpm.Policy{
 		&dpm.Threshold{ActiveThreshold: 0.5},
 		&dpm.HwangWu{Dev: dev, Prewake: false},
 		&dpm.HwangWu{Dev: dev, Prewake: true},
-	} {
-		res := dpm.Simulate(dev, pol, periodic)
+	}
+	periodicRes, err := par.Map(nil, Parallelism(), len(periodicPols), func(i int, _ *budget.Budget) (dpm.Result, error) {
+		return dpm.Simulate(dev, periodicPols[i], periodic), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, pol := range periodicPols {
+		res := periodicRes[i]
 		name := pol.Name()
 		if hw, ok := pol.(*dpm.HwangWu); ok && hw.Prewake {
 			name += "+prewake"
@@ -155,11 +183,22 @@ func runE4() (*Report, error) {
 	t.row("implementation", "mults", "adds", "crit.path", "op energy")
 	t.rule()
 	figures := map[string]float64{}
-	for _, e := range graphs {
-		c := e.g.OpCounts()
-		cp := e.g.CriticalPath(nil)
+	type graphOut struct {
+		counts map[cdfg.OpKind]int
+		cp     int
+		energy float64
+	}
+	outs, err := par.Map(nil, Parallelism(), len(graphs), func(i int, _ *budget.Budget) (graphOut, error) {
+		g := graphs[i].g
+		return graphOut{counts: g.OpCounts(), cp: g.CriticalPath(nil), energy: g.TotalEnergy(nil)}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, e := range graphs {
+		c, cp := outs[i].counts, outs[i].cp
 		t.row(e.name, fmt.Sprint(c[cdfg.Mul]), fmt.Sprint(c[cdfg.Add]),
-			fmt.Sprint(cp), f1(e.g.TotalEnergy(nil)))
+			fmt.Sprint(cp), f1(outs[i].energy))
 		figures["cp_"+e.name[:5]+fmt.Sprint(c[cdfg.Mul])] = float64(cp)
 	}
 	d2, h2 := cdfg.Poly2Direct(), cdfg.Poly2Horner()
@@ -210,25 +249,52 @@ func runE5() (*Report, error) {
 	var skipped []string
 	ran := 0
 	figures := map[string]float64{}
-	for _, p := range progs {
+	// Memory images are drawn serially here, in the exact order the
+	// original per-program loop drew them (generation-failed programs
+	// draw nothing), so the fan-out below cannot perturb the rng stream.
+	images := make(map[int][4][]int64, len(progs))
+	for i, p := range progs {
 		if p.err != nil {
-			skipped = append(skipped, fmt.Sprintf("%s (%v)", p.name, p.err))
-			t.row(p.name, "-", "-", "skipped")
 			continue
 		}
+		images[i] = [4][]int64{
+			isa.RandomData(64, rng),
+			isa.RandomData(800, rng),
+			isa.RandomData(80, rng),
+			isa.RandomData(32, rng),
+		}
+	}
+	type progOut struct {
+		truth, pred float64
+		err         error
+	}
+	outs, perr := par.Map(nil, Parallelism(), len(progs), func(i int, _ *budget.Budget) (progOut, error) {
+		p := progs[i]
+		if p.err != nil {
+			return progOut{err: p.err}, nil
+		}
+		img := images[i]
 		m := isa.NewMachine(cfg)
-		isa.InitMem(m, 50, isa.RandomData(64, rng))
-		isa.InitMem(m, 100, isa.RandomData(800, rng))
-		isa.InitMem(m, 1000, isa.RandomData(80, rng))
-		isa.InitMem(m, 3000, isa.RandomData(32, rng))
+		isa.InitMem(m, 50, img[0])
+		isa.InitMem(m, 100, img[1])
+		isa.InitMem(m, 1000, img[2])
+		isa.InitMem(m, 3000, img[3])
 		st, tr, err := m.Run(p.prog, true)
 		if err != nil {
-			skipped = append(skipped, fmt.Sprintf("%s (%v)", p.name, err))
+			return progOut{err: err}, nil
+		}
+		return progOut{truth: isa.MeasureEnergy(tr, ep), pred: model.Predict(st)}, nil
+	})
+	if perr != nil {
+		return nil, perr
+	}
+	for i, p := range progs {
+		if outs[i].err != nil {
+			skipped = append(skipped, fmt.Sprintf("%s (%v)", p.name, outs[i].err))
 			t.row(p.name, "-", "-", "skipped")
 			continue
 		}
-		truth := isa.MeasureEnergy(tr, ep)
-		pred := model.Predict(st)
+		truth, pred := outs[i].truth, outs[i].pred
 		rel := stats.RelError(pred, truth)
 		if rel > worst {
 			worst = rel

@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"math"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// TestIDsNumericOrder: the id listing is numeric-aware (E2 before E10),
+// stable, and duplicate-free.
+func TestIDsNumericOrder(t *testing.T) {
+	ids := IDs()
+	if len(ids) == 0 {
+		t.Fatal("no experiments registered")
+	}
+	seen := map[string]bool{}
+	for i := 1; i < len(ids); i++ {
+		if expNum(ids[i-1]) >= expNum(ids[i]) {
+			t.Fatalf("ids out of numeric order: %s before %s", ids[i-1], ids[i])
+		}
+	}
+	for _, id := range ids {
+		if seen[id] {
+			t.Fatalf("duplicate id %s", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestExpNum(t *testing.T) {
+	cases := map[string]int{"E1": 1, "E20": 20, "E05": 5, "X": 0, "E1a2": 12}
+	for id, want := range cases {
+		if got := expNum(id); got != want {
+			t.Errorf("expNum(%q) = %d, want %d", id, got, want)
+		}
+	}
+}
+
+func TestTitleLookup(t *testing.T) {
+	for _, id := range IDs() {
+		if Title(id) == "" {
+			t.Errorf("experiment %s has no title", id)
+		}
+	}
+	if Title("E999") != "" {
+		t.Error("unknown id returned a title")
+	}
+}
+
+func TestRunUnknownID(t *testing.T) {
+	_, err := Run("E999")
+	if err == nil || !strings.Contains(err.Error(), "E999") {
+		t.Fatalf("unknown id error should name the id: %v", err)
+	}
+}
+
+// TestDuplicateRegisterPanics: double registration is a programming
+// error and must fail loudly at init time, without corrupting the
+// registry.
+func TestDuplicateRegisterPanics(t *testing.T) {
+	id := IDs()[0]
+	before := Title(id)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate register did not panic")
+		}
+		if Title(id) != before {
+			t.Fatal("failed duplicate registration mutated the registry")
+		}
+	}()
+	register(id, "shadow", func() (*Report, error) { return &Report{}, nil })
+}
+
+func TestSetParallelismClamp(t *testing.T) {
+	defer SetParallelism(1)
+	if got := SetParallelism(-3); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("SetParallelism(-3) = %d, want GOMAXPROCS", got)
+	}
+	if got := SetParallelism(3); got != 3 || Parallelism() != 3 {
+		t.Fatalf("SetParallelism(3) = %d, Parallelism() = %d", got, Parallelism())
+	}
+}
+
+// TestSweepFiguresParallelInvariant: the E2–E5 per-configuration
+// fan-outs must report identical figures and text at any worker count —
+// random draws happen serially before the fan-out, and merges walk
+// configuration order.
+func TestSweepFiguresParallelInvariant(t *testing.T) {
+	defer SetParallelism(1)
+	for _, id := range []string{"E2", "E3", "E4", "E5"} {
+		SetParallelism(1)
+		serial, err := Run(id)
+		if err != nil {
+			t.Fatalf("%s serial: %v", id, err)
+		}
+		SetParallelism(8)
+		parallel, err := Run(id)
+		if err != nil {
+			t.Fatalf("%s parallel: %v", id, err)
+		}
+		if serial.Text != parallel.Text {
+			t.Fatalf("%s: report text differs between serial and parallel runs", id)
+		}
+		if len(serial.Figures) != len(parallel.Figures) {
+			t.Fatalf("%s: figure sets differ", id)
+		}
+		for k, v := range serial.Figures {
+			pv, ok := parallel.Figures[k]
+			if !ok || math.Float64bits(v) != math.Float64bits(pv) {
+				t.Fatalf("%s: figure %q differs: serial %v parallel %v", id, k, v, pv)
+			}
+		}
+	}
+}

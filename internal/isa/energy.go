@@ -2,6 +2,7 @@ package isa
 
 import (
 	"math/bits"
+	"sort"
 
 	"hlpower/internal/bitutil"
 )
@@ -210,16 +211,30 @@ func CharacterizeTiwari(cfg MachineConfig, p EnergyParams) (*TiwariModel, error)
 
 // Predict evaluates the instruction-level model on a program's run
 // statistics — no trace needed, exactly the Σ BC·N + Σ SC·N + Σ OC form.
+// The circuit-state terms are accumulated in sorted pair order, not map
+// order: floating-point addition is order-sensitive in the last ulps,
+// and predictions must be bit-reproducible across runs for the
+// determinism guarantees the parallel estimation engine makes.
 func (m *TiwariModel) Predict(st *Stats) float64 {
 	var e float64
 	for op, n := range st.OpCounts {
 		e += m.Base[op] * float64(n)
 	}
-	for pair, n := range st.PairCounts {
+	pairs := make([][2]Op, 0, len(st.PairCounts))
+	for pair := range st.PairCounts {
 		if pair[0] == pair[1] {
 			continue // same-op adjacency is already inside BC
 		}
-		e += m.State[pair] * float64(n)
+		pairs = append(pairs, pair)
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i][0] != pairs[j][0] {
+			return pairs[i][0] < pairs[j][0]
+		}
+		return pairs[i][1] < pairs[j][1]
+	})
+	for _, pair := range pairs {
+		e += m.State[pair] * float64(st.PairCounts[pair])
 	}
 	e += m.StallEnergy * float64(st.LoadUseStall)
 	e += m.IMissEnergy * float64(st.ICacheMisses)

@@ -1,0 +1,194 @@
+// Package par runs statistically independent shards of estimation work
+// — Monte Carlo vector blocks, candidate estimators, experiment
+// configurations — across a bounded worker pool. It is the one place
+// the repository spawns goroutines for data parallelism, and it fixes
+// the three policies every fan-out must agree on:
+//
+//   - Budgets: workers never share the caller's *Budget (a Budget is
+//     single-goroutine by contract); Do forks per-worker children that
+//     split the remaining allowance and Joins their consumption back,
+//     so a parallel region costs the parent budget what a serial run
+//     would. The first failing shard cancels the rest through the
+//     forked context.
+//   - Panics: a panicking shard becomes that shard's error via
+//     hlerr.RecoverAll — panics cannot cross goroutine boundaries, so
+//     the pool converts them exactly as the hlpower facade does.
+//   - Determinism: results are delivered in shard-index order (Map) and
+//     the winning error is chosen by deterministic scan, never by race
+//     arrival order. Callers that merge shard results in index order
+//     therefore produce output independent of the worker count.
+package par
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"hlpower/internal/budget"
+	"hlpower/internal/hlerr"
+)
+
+// Workers clamps a worker-count knob: nonpositive means "one worker
+// per available CPU" (GOMAXPROCS). Every -j style flag in the cmd
+// binaries routes through this, so a clamped or unset value degrades
+// to full-machine parallelism instead of zero workers.
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// Span is a half-open index range [Lo, Hi).
+type Span struct{ Lo, Hi int }
+
+// Len returns the number of indices in the span.
+func (s Span) Len() int { return s.Hi - s.Lo }
+
+// Shards splits [0, n) into at most parts contiguous, near-equal,
+// non-empty spans in ascending order. Contiguity matters: shard
+// results concatenated in span order reproduce the serial iteration
+// order, which is what makes deterministic merges possible.
+func Shards(n, parts int) []Span {
+	if n <= 0 {
+		return nil
+	}
+	if parts < 1 {
+		parts = 1
+	}
+	if parts > n {
+		parts = n
+	}
+	out := make([]Span, 0, parts)
+	base, rem := n/parts, n%parts
+	lo := 0
+	for i := 0; i < parts; i++ {
+		size := base
+		if i < rem {
+			size++
+		}
+		out = append(out, Span{lo, lo + size})
+		lo += size
+	}
+	return out
+}
+
+// ErrSkipped marks shards that were never started because an earlier
+// shard failed and the pool was winding down.
+var ErrSkipped = errors.New("par: shard skipped after earlier failure")
+
+// Task is one shard of work. The budget is the worker's private child
+// budget (nil-safe, like every budget); shard is the task index.
+type Task func(shard int, b *budget.Budget) error
+
+// Do runs n tasks with at most workers goroutines. With one worker (or
+// one task) it degenerates to a plain serial loop over the caller's
+// own budget — sticky-budget semantics identical to the pre-parallel
+// code paths. With more, each worker receives a forked budget share,
+// the first failing shard cancels the remainder, consumption is joined
+// back to the parent, and the returned error is chosen
+// deterministically: the lowest-index error that is not a cancellation
+// artifact, falling back to the first cancellation/skip if nothing
+// better explains the failure.
+func Do(b *budget.Budget, workers, n int, task Task) error {
+	if n <= 0 {
+		return nil
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := runTask(b, i, task); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	kids, cancel := b.Fork(workers)
+	defer cancel()
+	errs := make([]error, n)
+	var (
+		next   atomic.Int64
+		failed atomic.Bool
+		wg     sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(wb *budget.Budget) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if failed.Load() {
+					errs[i] = ErrSkipped
+					continue
+				}
+				if err := runTask(wb, i, task); err != nil {
+					errs[i] = err
+					failed.Store(true)
+					cancel()
+				}
+			}
+		}(kids[w])
+	}
+	wg.Wait()
+	b.Join(kids...)
+	return firstError(errs)
+}
+
+// Map is Do with ordered results: out[i] is task i's value, so a merge
+// that walks the slice reproduces serial iteration order regardless of
+// which worker computed which shard. On error the partial results are
+// withheld (some shards may have been skipped).
+func Map[T any](b *budget.Budget, workers, n int, task func(shard int, b *budget.Budget) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := Do(b, workers, n, func(i int, wb *budget.Budget) error {
+		v, err := task(i, wb)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// runTask executes one shard with the pool's panic policy: anything a
+// shard panics with — typed hlerr throws and genuine bugs alike —
+// becomes that shard's error, because a panic on a pool goroutine
+// would otherwise kill the process.
+func runTask(b *budget.Budget, i int, task Task) (err error) {
+	defer hlerr.RecoverAll(&err)
+	return task(i, b)
+}
+
+// firstError picks the error Do reports. Cancellation fallout
+// (context.Canceled budget trips in sibling shards, ErrSkipped
+// placeholders) is ranked below real failures so the cause, not the
+// cleanup, surfaces — and the scan order makes the choice
+// deterministic for deterministic workloads.
+func firstError(errs []error) error {
+	var fallback error
+	for _, e := range errs {
+		if e == nil {
+			continue
+		}
+		if errors.Is(e, context.Canceled) || errors.Is(e, ErrSkipped) {
+			if fallback == nil {
+				fallback = e
+			}
+			continue
+		}
+		return e
+	}
+	return fallback
+}

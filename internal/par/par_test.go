@@ -1,0 +1,214 @@
+package par
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"hlpower/internal/budget"
+	"hlpower/internal/hlerr"
+)
+
+func TestWorkersClamp(t *testing.T) {
+	if Workers(0) < 1 || Workers(-7) < 1 {
+		t.Fatal("nonpositive worker counts must clamp to at least 1")
+	}
+	if got := Workers(5); got != 5 {
+		t.Fatalf("Workers(5) = %d", got)
+	}
+}
+
+func TestShards(t *testing.T) {
+	cases := []struct{ n, parts, want int }{
+		{10, 3, 3}, {10, 1, 1}, {3, 8, 3}, {0, 4, 0}, {7, 7, 7}, {5, 0, 1},
+	}
+	for _, c := range cases {
+		spans := Shards(c.n, c.parts)
+		if len(spans) != c.want {
+			t.Fatalf("Shards(%d,%d) = %d spans, want %d", c.n, c.parts, len(spans), c.want)
+		}
+		lo, total := 0, 0
+		for _, s := range spans {
+			if s.Lo != lo || s.Len() <= 0 {
+				t.Fatalf("Shards(%d,%d): span %+v not contiguous/non-empty", c.n, c.parts, s)
+			}
+			lo = s.Hi
+			total += s.Len()
+		}
+		if c.n > 0 && total != c.n {
+			t.Fatalf("Shards(%d,%d) covers %d indices", c.n, c.parts, total)
+		}
+	}
+}
+
+func TestMapOrdered(t *testing.T) {
+	for _, workers := range []int{1, 3, 8} {
+		out, err := Map(nil, workers, 20, func(i int, _ *budget.Budget) (int, error) {
+			return i * i, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("w=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestDoPanicBecomesError(t *testing.T) {
+	err := Do(nil, 4, 8, func(i int, _ *budget.Budget) error {
+		if i == 3 {
+			panic("shard bug")
+		}
+		return nil
+	})
+	if err == nil || !errorsContains(err, "shard bug") {
+		t.Fatalf("panic not captured: %v", err)
+	}
+	// Typed hlerr throws come back as their original error.
+	err = Do(nil, 2, 4, func(i int, _ *budget.Budget) error {
+		if i == 1 {
+			hlerr.Throwf("par.test", "typed failure")
+		}
+		return nil
+	})
+	if !hlerr.IsInput(err) {
+		t.Fatalf("typed throw lost its type: %v", err)
+	}
+}
+
+func TestDoFirstRealErrorWins(t *testing.T) {
+	err := Do(nil, 4, 16, func(i int, _ *budget.Budget) error {
+		if i == 5 {
+			return fmt.Errorf("real failure at %d", i)
+		}
+		return nil
+	})
+	if err == nil || errors.Is(err, ErrSkipped) {
+		t.Fatalf("cancellation artifact outranked real error: %v", err)
+	}
+}
+
+func TestDoSerialFastPathUsesParentBudget(t *testing.T) {
+	b := budget.New(budget.WithMaxSteps(10))
+	var ran int
+	err := Do(b, 1, 5, func(i int, wb *budget.Budget) error {
+		ran++
+		return wb.Step(4)
+	})
+	if !errors.Is(err, budget.ErrExceeded) {
+		t.Fatalf("want budget trip, got %v", err)
+	}
+	if ran != 3 {
+		t.Fatalf("sticky serial budget should stop after 3 tasks, ran %d", ran)
+	}
+	if b.StepsUsed() != 12 {
+		t.Fatalf("serial path must charge the parent directly, used %d", b.StepsUsed())
+	}
+}
+
+func TestDoJoinsConsumptionToParent(t *testing.T) {
+	b := budget.New(budget.WithMaxSteps(1_000_000))
+	if err := Do(b, 4, 8, func(i int, wb *budget.Budget) error {
+		return wb.Step(100)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.StepsUsed(); got != 800 {
+		t.Fatalf("parent charged %d steps, want 800", got)
+	}
+}
+
+// TestDoFaultInjectionUnwindsCleanly sweeps a deterministic fault
+// through the forked budgets and asserts the pool always unwinds to a
+// typed error — never a panic, never a hang, and the parent budget is
+// still usable afterwards.
+func TestDoFaultInjectionUnwindsCleanly(t *testing.T) {
+	for fail := int64(1); fail <= 6; fail++ {
+		b := budget.New(
+			budget.WithFaultPlan(budget.FaultPlan{FailAtCheck: fail}),
+			budget.WithCheckInterval(8),
+		)
+		err := Do(b, 4, 12, func(i int, wb *budget.Budget) error {
+			for s := 0; s < 100; s++ {
+				wb.Check(1)
+			}
+			return nil
+		})
+		var ex *budget.Exceeded
+		if !errors.As(err, &ex) {
+			t.Fatalf("fail@%d: want *budget.Exceeded, got %v", fail, err)
+		}
+		if !errors.Is(err, budget.ErrExceeded) {
+			t.Fatalf("fail@%d: error does not match ErrExceeded", fail)
+		}
+	}
+}
+
+// TestDoFaultSoakNeverHangs runs a randomized fault soak: whatever
+// check point trips, every outcome is either success or a typed error.
+func TestDoFaultSoakNeverHangs(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		b := budget.New(
+			budget.WithFaultPlan(budget.FaultPlan{Prob: 0.2, Seed: seed}),
+			budget.WithCheckInterval(4),
+		)
+		err := Do(b, 3, 9, func(i int, wb *budget.Budget) error {
+			for s := 0; s < 64; s++ {
+				wb.Check(1)
+			}
+			return nil
+		})
+		if err != nil && !errors.Is(err, budget.ErrExceeded) {
+			t.Fatalf("seed %d: unexpected error class: %v", seed, err)
+		}
+	}
+}
+
+func TestDoCancelsSiblingsAfterFailure(t *testing.T) {
+	var started atomic.Int64
+	err := Do(nil, 2, 1000, func(i int, wb *budget.Budget) error {
+		started.Add(1)
+		if i == 0 {
+			return errors.New("early failure")
+		}
+		for s := 0; s < 2*budget.DefaultCheckInterval; s++ {
+			if err := wb.Step(1); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected failure")
+	}
+	if started.Load() == 1000 {
+		t.Fatal("no shard was skipped after failure; cancellation is not propagating")
+	}
+}
+
+func TestDoZeroTasks(t *testing.T) {
+	if err := Do(nil, 4, 0, func(int, *budget.Budget) error {
+		t.Fatal("task ran")
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func errorsContains(err error, s string) bool {
+	return err != nil && len(err.Error()) >= len(s) &&
+		(err.Error() == s || containsStr(err.Error(), s))
+}
+
+func containsStr(haystack, needle string) bool {
+	for i := 0; i+len(needle) <= len(haystack); i++ {
+		if haystack[i:i+len(needle)] == needle {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,92 @@
+// Vector-sharded Monte Carlo simulation. Switched-capacitance
+// estimation over a stream of statistically independent input vectors
+// is embarrassingly parallel: each worker simulates a contiguous block
+// of the vector stream with a private accumulator, and the blocks are
+// folded together by the canonical per-cycle merge, so the parallel
+// result is bit-identical to the serial one — the property the
+// determinism tests pin.
+package sim
+
+import (
+	"hlpower/internal/budget"
+	"hlpower/internal/hlerr"
+	"hlpower/internal/logic"
+	"hlpower/internal/par"
+)
+
+// DefaultMinShard is the smallest cycle block worth handing to a
+// worker: below it, the extra baseline settle and merge bookkeeping
+// cost more than the parallelism recovers.
+const DefaultMinShard = 32
+
+// ParallelOptions configures a sharded Monte Carlo run.
+type ParallelOptions struct {
+	Options
+	// Workers bounds the worker pool; nonpositive means one worker per
+	// available CPU (GOMAXPROCS). Callers that already parallelize at a
+	// coarser grain (e.g. cmd/repro -j) should divide the machine
+	// between the levels rather than multiply them.
+	Workers int
+	// MinShard is the minimum number of cycles per shard
+	// (DefaultMinShard when zero). Runs shorter than two shards fall
+	// back to the serial path.
+	MinShard int
+}
+
+// CanShard reports whether a netlist is eligible for vector-sharded
+// simulation. Monte Carlo sharding replays the previous vector to
+// rebuild each shard's transition baseline, which is only sound when
+// the circuit carries no state across cycles — any DFF, EnDFF, or
+// latch forces the serial path.
+func CanShard(n *logic.Netlist) bool {
+	if n == nil {
+		return false
+	}
+	for _, g := range n.Gates {
+		if g.Kind.IsSequential() || g.Kind == logic.Latch {
+			return false
+		}
+	}
+	return true
+}
+
+// RunParallel is RunBudget with the input vectors split across a
+// bounded worker pool. Each worker simulates a contiguous cycle block
+// into a private accumulator under its own forked budget share; blocks
+// merge in canonical cycle order, so for a fixed seeded workload the
+// result is bit-identical to Run/RunBudget regardless of the worker
+// count. The input provider must be safe for concurrent use
+// (VectorInputs is). Netlists with sequential elements (see CanShard)
+// and runs too short to shard take the serial path inside this call —
+// same results, one goroutine.
+func RunParallel(b *budget.Budget, n *logic.Netlist, inputs InputProvider, cycles int, opts ParallelOptions) (res *Result, err error) {
+	defer hlerr.Recover(&err)
+	e, err := prepare(n, inputs, cycles, opts.Options)
+	if err != nil {
+		return nil, err
+	}
+	minShard := opts.MinShard
+	if minShard <= 0 {
+		minShard = DefaultMinShard
+	}
+	workers := par.Workers(opts.Workers)
+	parts := cycles / minShard
+	if parts > workers {
+		parts = workers
+	}
+	if e.sequential || parts < 2 {
+		sh, err := runShard(b, e, inputs, 0, cycles)
+		if err != nil {
+			return nil, err
+		}
+		return merge(e, cycles, []*shard{sh}), nil
+	}
+	spans := par.Shards(cycles, parts)
+	shards, err := par.Map(b, workers, len(spans), func(i int, wb *budget.Budget) (*shard, error) {
+		return runShard(wb, e, inputs, spans[i].Lo, spans[i].Hi)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return merge(e, cycles, shards), nil
+}

@@ -5,6 +5,15 @@
 // the spurious transitions whose suppression motivates the retiming and
 // guarded-evaluation techniques of §III-I/J. Power follows the standard
 // CMOS form P = 0.5·V²·f·ΣᵢCᵢEᵢ over all signal lines i.
+//
+// The engine is organized around contiguous cycle shards: a run is one
+// or more [lo, hi) vector ranges simulated independently and folded
+// together by a canonical per-cycle merge (see merge). The serial entry
+// points run a single full-range shard; RunParallel splits the vector
+// stream across a worker pool. Because every total — switched
+// capacitance, per-group accounting, toggle counts — is reduced in
+// cycle order regardless of sharding, parallel results are bit-identical
+// to serial ones for the same seeded workload.
 package sim
 
 import (
@@ -69,7 +78,8 @@ func (r *Result) Energy() float64 { return 0.5 * r.vdd * r.vdd * r.SwitchedCap }
 // InputProvider yields the primary-input assignment for each cycle.
 type InputProvider func(cycle int) []bool
 
-// VectorInputs adapts a pre-built list of input vectors.
+// VectorInputs adapts a pre-built list of input vectors. The returned
+// provider is safe for concurrent use by RunParallel workers.
 func VectorInputs(vectors [][]bool) InputProvider {
 	return func(cycle int) []bool { return vectors[cycle] }
 }
@@ -87,6 +97,35 @@ func Run(n *logic.Netlist, inputs InputProvider, cycles int, opts Options) (*Res
 // budget.ErrExceeded.
 func RunBudget(b *budget.Budget, n *logic.Netlist, inputs InputProvider, cycles int, opts Options) (res *Result, err error) {
 	defer hlerr.Recover(&err)
+	e, err := prepare(n, inputs, cycles, opts)
+	if err != nil {
+		return nil, err
+	}
+	sh, err := runShard(b, e, inputs, 0, cycles)
+	if err != nil {
+		return nil, err
+	}
+	return merge(e, cycles, []*shard{sh}), nil
+}
+
+// env is the read-only, shard-shareable part of a run: netlist-derived
+// tables computed once and read concurrently by every worker. Group
+// names are interned to dense indices so shards can accumulate
+// per-group capacitance in flat slices instead of maps.
+type env struct {
+	n          *logic.Netlist
+	order      []int
+	loads      []float64
+	fanouts    [][]int
+	groups     []string // dense group index -> name
+	groupOf    []int    // gate id -> dense group index
+	clockGI    int      // dense index of the "clock" group (-1 when untracked)
+	opts       Options
+	sequential bool // any DFF/EnDFF/Latch present
+}
+
+// prepare validates a run's inputs and builds the shared environment.
+func prepare(n *logic.Netlist, inputs InputProvider, cycles int, opts Options) (*env, error) {
 	if n == nil {
 		return nil, hlerr.Errorf("sim.Run", "nil netlist")
 	}
@@ -109,14 +148,73 @@ func RunBudget(b *budget.Budget, n *logic.Netlist, inputs InputProvider, cycles 
 	if err != nil {
 		return nil, err
 	}
-	loads := n.Loads()
-	res = &Result{
-		Cycles:  cycles,
-		ByGroup: make(map[string]float64),
-		Toggles: make([]int64, len(n.Gates)),
-		vdd:     opts.Vdd,
-		freq:    opts.Freq,
+	e := &env{
+		n:       n,
+		order:   order,
+		loads:   n.Loads(),
+		fanouts: n.Fanouts(),
+		groupOf: make([]int, len(n.Gates)),
+		clockGI: -1,
+		opts:    opts,
 	}
+	idx := map[string]int{}
+	for id, g := range n.Gates {
+		gi, ok := idx[g.Group]
+		if !ok {
+			gi = len(e.groups)
+			idx[g.Group] = gi
+			e.groups = append(e.groups, g.Group)
+		}
+		e.groupOf[id] = gi
+		if g.Kind.IsSequential() || g.Kind == logic.Latch {
+			e.sequential = true
+		}
+	}
+	if opts.TrackClock {
+		gi, ok := idx["clock"]
+		if !ok {
+			gi = len(e.groups)
+			e.groups = append(e.groups, "clock")
+		}
+		e.clockGI = gi
+	}
+	return e, nil
+}
+
+// shard accumulates one contiguous cycle range [lo, hi). Every total is
+// kept per cycle (capacitance, group deltas) or in an associative form
+// (toggle counts), so any sharding of the run merges to bit-identical
+// results.
+type shard struct {
+	lo, hi   int
+	toggles  []int64
+	capByCyc []float64   // switched cap per cycle, indexed cycle-lo
+	grpByCyc [][]float64 // per cycle, per dense group index
+	outputs  [][]bool
+	final    []bool
+}
+
+// runShard simulates cycles [lo, hi). The first shard (lo == 0) starts
+// from the reset state exactly as the original serial engine did; later
+// shards — valid only for state-free netlists — rebuild their
+// transition baseline by settling the previous shard's last input
+// vector, so transition counting across the shard boundary matches a
+// serial run cycle for cycle.
+func runShard(b *budget.Budget, e *env, inputs InputProvider, lo, hi int) (sh *shard, err error) {
+	defer hlerr.Recover(&err)
+	n := e.n
+	sh = &shard{
+		lo: lo, hi: hi,
+		toggles:  make([]int64, len(n.Gates)),
+		capByCyc: make([]float64, hi-lo),
+		grpByCyc: make([][]float64, hi-lo),
+		outputs:  make([][]bool, 0, hi-lo),
+	}
+	grpFlat := make([]float64, (hi-lo)*len(e.groups))
+	for i := range sh.grpByCyc {
+		sh.grpByCyc[i] = grpFlat[i*len(e.groups) : (i+1)*len(e.groups)]
+	}
+
 	values := make([]bool, len(n.Gates)) // settled values
 	state := make([]bool, len(n.Gates))  // DFF/EnDFF/Latch state
 	for id, g := range n.Gates {
@@ -124,22 +222,18 @@ func RunBudget(b *budget.Budget, n *logic.Netlist, inputs InputProvider, cycles 
 			state[id] = g.Init
 		}
 	}
-	fanouts := n.Fanouts()
 
-	res.PerCycleCap = make([]float64, cycles)
-	curCycle := 0
+	cur := 0 // index of the cycle being simulated, relative to lo
 	record := func(id int) {
-		res.Toggles[id]++
-		res.SwitchedCap += loads[id]
-		res.ByGroup[n.Gates[id].Group] += loads[id]
-		res.PerCycleCap[curCycle] += loads[id]
+		sh.toggles[id]++
+		sh.capByCyc[cur] += e.loads[id]
+		sh.grpByCyc[cur][e.groupOf[id]] += e.loads[id]
 	}
 
 	inVals := make([]bool, len(n.Inputs))
 	faninBuf := make([]bool, 0, 8)
-
 	evalSettled := func() {
-		for _, id := range order {
+		for _, id := range e.order {
 			g := &n.Gates[id]
 			switch g.Kind {
 			case logic.Input, logic.Const1, logic.Const0:
@@ -165,36 +259,45 @@ func RunBudget(b *budget.Budget, n *logic.Netlist, inputs InputProvider, cycles 
 			}
 		}
 	}
-
-	// Initialize cycle -1 settled state with the first input vector so
-	// transition counting starts from a consistent baseline.
-	if cycles > 0 {
-		vec := inputs(0)
-		if len(vec) != len(n.Inputs) {
-			return nil, hlerr.Errorf("sim.Run", "input vector width %d, want %d", len(vec), len(n.Inputs))
-		}
-		for i, sig := range n.Inputs {
-			values[sig] = vec[i]
-		}
-		evalSettled()
-	}
-
-	prev := make([]bool, len(n.Gates))
-
-	for cycle := 0; cycle < cycles; cycle++ {
-		b.Check(int64(len(order)) + 1)
-		curCycle = cycle
-		copy(prev, values)
+	fetch := func(cycle int) ([]bool, error) {
 		vec := inputs(cycle)
 		if len(vec) != len(n.Inputs) {
 			return nil, hlerr.Errorf("sim.Run", "input vector width %d, want %d", len(vec), len(n.Inputs))
+		}
+		return vec, nil
+	}
+
+	// Baseline: transitions in the shard's first cycle are counted
+	// against the settled values of the previous input vector (vector 0
+	// for the first shard, matching the serial reset initialization).
+	base := lo - 1
+	if base < 0 {
+		base = 0
+	}
+	vec, err := fetch(base)
+	if err != nil {
+		return nil, err
+	}
+	for i, sig := range n.Inputs {
+		values[sig] = vec[i]
+	}
+	evalSettled()
+
+	prev := make([]bool, len(n.Gates))
+	for cycle := lo; cycle < hi; cycle++ {
+		b.Check(int64(len(e.order)) + 1)
+		cur = cycle - lo
+		copy(prev, values)
+		vec, err := fetch(cycle)
+		if err != nil {
+			return nil, err
 		}
 		copy(inVals, vec)
 
 		// Clock edge between cycles: update flip-flop state from the
 		// previous cycle's settled D. Cycle 0 runs from the reset state.
 		if cycle > 0 {
-			for _, id := range order {
+			for _, id := range e.order {
 				g := &n.Gates[id]
 				switch g.Kind {
 				case logic.DFF:
@@ -206,19 +309,17 @@ func RunBudget(b *budget.Budget, n *logic.Netlist, inputs InputProvider, cycles 
 				}
 			}
 			// Clock tree power for this edge.
-			if opts.TrackClock {
+			if e.opts.TrackClock {
 				for _, g := range n.Gates {
 					if g.Kind == logic.DFF {
-						res.ByGroup["clock"] += n.ClockCap
-						res.SwitchedCap += n.ClockCap
-						res.PerCycleCap[curCycle] += n.ClockCap
+						sh.capByCyc[cur] += n.ClockCap
+						sh.grpByCyc[cur][e.clockGI] += n.ClockCap
 					} else if g.Kind == logic.EnDFF {
-						if opts.GateClock && !prev[g.Fanin[0]] {
+						if e.opts.GateClock && !prev[g.Fanin[0]] {
 							continue
 						}
-						res.ByGroup["clock"] += n.ClockCap
-						res.SwitchedCap += n.ClockCap
-						res.PerCycleCap[curCycle] += n.ClockCap
+						sh.capByCyc[cur] += n.ClockCap
+						sh.grpByCyc[cur][e.clockGI] += n.ClockCap
 					}
 				}
 			}
@@ -227,8 +328,8 @@ func RunBudget(b *budget.Budget, n *logic.Netlist, inputs InputProvider, cycles 
 			values[sig] = inVals[i]
 		}
 
-		if opts.Model == EventDriven {
-			simulateEventDriven(b, n, order, fanouts, values, state, prev, record)
+		if e.opts.Model == EventDriven {
+			simulateEventDriven(b, n, e.order, e.fanouts, values, state, prev, record)
 		} else {
 			evalSettled()
 			for id := range values {
@@ -242,10 +343,51 @@ func RunBudget(b *budget.Budget, n *logic.Netlist, inputs InputProvider, cycles 
 		for i, o := range n.Outputs {
 			out[i] = values[o]
 		}
-		res.Outputs = append(res.Outputs, out)
+		sh.outputs = append(sh.outputs, out)
 	}
-	res.Final = values
-	return res, nil
+	sh.final = values
+	return sh, nil
+}
+
+// merge folds shards (contiguous, ascending) into a Result. All
+// floating-point totals are reduced in canonical cycle order — never in
+// shard-completion or per-load order — so the outcome is independent of
+// how the run was sharded, including the 1-shard serial case.
+func merge(e *env, cycles int, shards []*shard) *Result {
+	res := &Result{
+		Cycles:      cycles,
+		ByGroup:     make(map[string]float64),
+		Toggles:     make([]int64, len(e.n.Gates)),
+		PerCycleCap: make([]float64, 0, cycles),
+		Outputs:     make([][]bool, 0, cycles),
+		vdd:         e.opts.Vdd,
+		freq:        e.opts.Freq,
+	}
+	grpTotal := make([]float64, len(e.groups))
+	for _, sh := range shards {
+		for id, tgl := range sh.toggles {
+			res.Toggles[id] += tgl
+		}
+		res.PerCycleCap = append(res.PerCycleCap, sh.capByCyc...)
+		for _, row := range sh.grpByCyc {
+			for gi, v := range row {
+				grpTotal[gi] += v
+			}
+		}
+		res.Outputs = append(res.Outputs, sh.outputs...)
+	}
+	for _, c := range res.PerCycleCap {
+		res.SwitchedCap += c
+	}
+	for gi, v := range grpTotal {
+		if v != 0 {
+			res.ByGroup[e.groups[gi]] = v
+		}
+	}
+	if len(shards) > 0 {
+		res.Final = shards[len(shards)-1].final
+	}
+	return res
 }
 
 // simulateEventDriven settles one clock cycle under per-gate delays,

@@ -1,0 +1,117 @@
+package hlpower
+
+// Scaling benchmarks for the parallel estimation engine: sharded Monte
+// Carlo simulation and concurrent candidate ranking, each against its
+// serial baseline. On an N-core machine the w=N variants should
+// approach N-fold speedup (the per-shard work dominates the merge);
+// cmd/benchjson runs the same pairs and records the trajectory in
+// BENCH_<date>.json.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"hlpower/internal/core"
+	"hlpower/internal/rtlib"
+	"hlpower/internal/sim"
+)
+
+// benchMCWorkload is a Monte Carlo power-estimation workload in the
+// spirit of the E2-scale experiments: a combinational array multiplier
+// driven by a seeded random vector stream.
+func benchMCWorkload(width, cycles int) (*Netlist, sim.InputProvider) {
+	m := rtlib.NewMultiplier(width)
+	n := m.Net
+	rng := rand.New(rand.NewSource(99))
+	ins := 2 * width
+	vectors := make([][]bool, cycles)
+	for c := range vectors {
+		v := make([]bool, ins)
+		for i := range v {
+			v[i] = rng.Intn(2) == 1
+		}
+		vectors[c] = v
+	}
+	return n, sim.VectorInputs(vectors)
+}
+
+// BenchmarkSimSerial is the single-goroutine Monte Carlo baseline.
+func BenchmarkSimSerial(b *testing.B) {
+	n, inputs := benchMCWorkload(8, 4096)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(n, inputs, 4096, sim.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimParallel shards the same workload across worker pools of
+// increasing width; compare against BenchmarkSimSerial for speedup.
+func BenchmarkSimParallel(b *testing.B) {
+	n, inputs := benchMCWorkload(8, 4096)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("w%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_, err := sim.RunParallel(nil, n, inputs, 4096, sim.ParallelOptions{Workers: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// benchCandidates builds a candidate set whose estimators each run a
+// gate-level simulation — the per-candidate macromodel-evaluation shape
+// of the design-improvement loop.
+func benchCandidates(count, width, cycles int) []Candidate {
+	var out []Candidate
+	for i := 0; i < count; i++ {
+		n, inputs := benchMCWorkload(width, cycles)
+		name := fmt.Sprintf("cand-%d", i)
+		out = append(out, Candidate{
+			Name: name,
+			Estimator: core.FuncB{
+				EstimatorName: name, EstimatorLevel: Gate,
+				Fn: func(b *Budget) (float64, bool, error) {
+					res, err := sim.RunBudget(b, n, inputs, cycles, sim.Options{})
+					if err != nil {
+						return 0, false, err
+					}
+					return res.Power(), false, nil
+				},
+			},
+		})
+	}
+	return out
+}
+
+// BenchmarkRankSerial evaluates the candidate set on one goroutine.
+func BenchmarkRankSerial(b *testing.B) {
+	cands := benchCandidates(8, 6, 512)
+	for i := 0; i < b.N; i++ {
+		r := RankBudget(nil, cands)
+		if _, err := r.Best(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRankParallel evaluates candidates concurrently; compare
+// against BenchmarkRankSerial for speedup.
+func BenchmarkRankParallel(b *testing.B) {
+	cands := benchCandidates(8, 6, 512)
+	for _, workers := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("w%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r := RankParallel(nil, workers, cands)
+				if _, err := r.Best(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
