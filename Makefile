@@ -2,7 +2,7 @@
 
 FUZZTIME ?= 10s
 
-.PHONY: all check ci fmt-check build test bench bench-json repro vet cover fuzz clean
+.PHONY: all check ci fmt-check build test bench bench-json repro vet cover fuzz soak clean
 
 all: check
 
@@ -54,6 +54,14 @@ fuzz:
 	         FuzzT0BIRoundTrip FuzzWorkingZoneRoundTrip FuzzBeachRoundTrip; do \
 		go test -run "^$$f$$" -fuzz "^$$f$$" -fuzztime $(FUZZTIME) ./internal/bus/ || exit 1; \
 	done
+
+# soak runs the powerd chaos harness under the race detector: >= 1000
+# requests with fault injection in the sim/rank/bdd paths, asserting
+# breaker lifecycles, 429 shedding, and leak-free drain. SOAKCOUNT
+# repeats it (override with e.g. `make soak SOAKCOUNT=10`).
+SOAKCOUNT ?= 1
+soak:
+	go test -race -run TestChaosSoak -count=$(SOAKCOUNT) -v ./internal/powerd/
 
 clean:
 	go clean ./...

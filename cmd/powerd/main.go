@@ -1,0 +1,93 @@
+// Command powerd serves the hlpower estimation engines over HTTP with
+// the full resilience stack: per-request budgets, retry with jittered
+// backoff, per-subsystem circuit breakers, bounded admission with load
+// shedding, and graceful drain on SIGTERM.
+//
+// Usage:
+//
+//	powerd -addr :8433 -workers 4 -queue 64 -timeout 5s
+//
+// Chaos testing: -fault-prob injects random budget trips into every
+// request's estimation path, exercising the breakers end to end.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"hlpower/internal/budget"
+	"hlpower/internal/powerd"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8433", "listen address")
+		workers   = flag.Int("workers", 0, "concurrent estimation slots (0 = GOMAXPROCS)")
+		queue     = flag.Int("queue", 64, "max queued requests before shedding with 429")
+		timeout   = flag.Duration("timeout", 5*time.Second, "per-request budget deadline")
+		maxSteps  = flag.Int64("max-steps", 50_000_000, "per-request step allowance")
+		hedge     = flag.Duration("hedge", 0, "hedged-backup delay for simulate requests (0 = off)")
+		faultProb = flag.Float64("fault-prob", 0, "chaos: per-check fault injection probability")
+		faultSeed = flag.Int64("fault-seed", 1, "chaos: fault plan seed")
+		drainWait = flag.Duration("drain-wait", 30*time.Second, "max time to wait for in-flight requests on shutdown")
+	)
+	flag.Parse()
+
+	cfg := powerd.DefaultConfig()
+	if *workers > 0 {
+		cfg.Workers = *workers
+	}
+	cfg.QueueDepth = *queue
+	cfg.RequestTimeout = *timeout
+	cfg.MaxSteps = *maxSteps
+	cfg.HedgeDelay = *hedge
+
+	srv := powerd.NewServer(cfg)
+	if *faultProb > 0 {
+		srv.SetFaultPlan(budget.FaultPlan{Prob: *faultProb, Seed: *faultSeed})
+		log.Printf("chaos armed: fault probability %.3f (seed %d)", *faultProb, *faultSeed)
+	}
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	log.Printf("powerd listening on %s (workers %d, queue %d, timeout %s)",
+		*addr, cfg.Workers, cfg.QueueDepth, cfg.RequestTimeout)
+
+	select {
+	case err := <-errCh:
+		log.Fatalf("serve: %v", err)
+	case <-ctx.Done():
+	}
+
+	log.Printf("signal received; draining (max %s)", *drainWait)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainWait)
+	defer cancel()
+	// Stop admitting estimation work first, then close listeners: late
+	// arrivals between the two get a clean 503 instead of a reset.
+	drainErr := srv.Drain(drainCtx)
+	if err := httpSrv.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("shutdown: %v", err)
+	}
+	if drainErr != nil {
+		fmt.Fprintln(os.Stderr, drainErr)
+		os.Exit(1)
+	}
+	log.Printf("drained cleanly")
+}

@@ -11,6 +11,8 @@ import (
 	"hlpower/internal/hlerr"
 	"hlpower/internal/logic"
 	"hlpower/internal/par"
+	"hlpower/internal/powerd"
+	"hlpower/internal/resilience"
 	"hlpower/internal/rtlib"
 	"hlpower/internal/sim"
 )
@@ -167,6 +169,12 @@ func BusTransitionsPerWord(e BusEncoder, stream []uint64) float64 {
 	return bus.PerWord(e, stream)
 }
 
+// BusTransitionsPerWordBudget is BusTransitionsPerWord governed by a
+// resource budget: each encoded word charges one step.
+func BusTransitionsPerWordBudget(b *Budget, e BusEncoder, stream []uint64) (float64, error) {
+	return bus.PerWordBudget(b, e, stream)
+}
+
 // Dynamic power management (§III-B).
 type (
 	// PMDevice is a power-managed resource's parameter set.
@@ -180,4 +188,48 @@ type (
 // SimulatePM runs a shutdown policy over an active/idle workload.
 func SimulatePM(dev PMDevice, pol PMPolicy, workload []dpm.Period) PMResult {
 	return dpm.Simulate(dev, pol, workload)
+}
+
+// SimulatePMBudget is SimulatePM governed by a resource budget: each
+// workload period charges one step.
+func SimulatePMBudget(b *Budget, dev PMDevice, pol PMPolicy, workload []dpm.Period) (PMResult, error) {
+	return dpm.SimulateBudget(b, dev, pol, workload)
+}
+
+// Resilience primitives. The powerd service composes these around the
+// estimation engines; they are exported here for callers embedding the
+// engines in their own long-running systems.
+type (
+	// RetryPolicy re-executes failed operations with jittered
+	// exponential backoff.
+	RetryPolicy = resilience.RetryPolicy
+	// Breaker is a circuit breaker guarding one failure-prone
+	// subsystem.
+	Breaker = resilience.Breaker
+	// BreakerConfig parameterizes a Breaker.
+	BreakerConfig = resilience.BreakerConfig
+	// EstimationServer is the resilient HTTP estimation service.
+	EstimationServer = powerd.Server
+	// EstimationServerConfig tunes the service.
+	EstimationServerConfig = powerd.Config
+)
+
+// ErrBreakerOpen is matched (errors.Is) when a circuit breaker rejects
+// work while open.
+var ErrBreakerOpen = resilience.ErrBreakerOpen
+
+// DefaultRetry returns the standard three-attempt backoff policy.
+func DefaultRetry() RetryPolicy { return resilience.DefaultRetry() }
+
+// NewBreaker builds a circuit breaker.
+func NewBreaker(cfg BreakerConfig) *Breaker { return resilience.NewBreaker(cfg) }
+
+// PermanentError marks err non-retryable: retry loops stop on it and
+// breakers do not count it as a subsystem failure.
+func PermanentError(err error) error { return resilience.Permanent(err) }
+
+// NewEstimationServer builds the resilient estimation service; serve
+// its Handler() and stop it with Drain.
+func NewEstimationServer(cfg EstimationServerConfig) *EstimationServer {
+	return powerd.NewServer(cfg)
 }

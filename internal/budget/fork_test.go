@@ -81,6 +81,83 @@ func TestForkInheritsDeadline(t *testing.T) {
 	}
 }
 
+func TestForkZeroRemainingSteps(t *testing.T) {
+	// The parent has consumed its exact allowance without tripping
+	// (steps == maxSteps is still legal). Children of a zero-remainder
+	// parent get the one-unit floor: they run one step and trip on the
+	// next, never unbounded.
+	b := New(WithMaxSteps(10))
+	if err := b.Step(10); err != nil {
+		t.Fatalf("exact allowance tripped early: %v", err)
+	}
+	kids, cancel := b.Fork(2)
+	defer cancel()
+	for i, k := range kids {
+		if err := k.Step(1); err != nil {
+			t.Fatalf("child %d denied its one-unit floor: %v", i, err)
+		}
+		if err := k.Step(1); !errors.Is(err, ErrExceeded) {
+			t.Fatalf("child %d of an exhausted parent ran past the floor: %v", i, err)
+		}
+	}
+	// Joining the children's consumption trips the parent: the region
+	// cost more than the parent had left.
+	if err := b.Join(kids...); !errors.Is(err, ErrExceeded) {
+		t.Fatalf("join of over-budget children did not trip the parent: %v", err)
+	}
+}
+
+func TestForkAfterDeadlineExpired(t *testing.T) {
+	// The deadline passed but the parent never hit a slow check point,
+	// so it has not tripped yet. Children inherit the stale deadline and
+	// must trip on their first slow check.
+	b := New(WithDeadline(time.Now().Add(-time.Second)))
+	if b.Err() != nil {
+		t.Fatal("parent tripped without a check point")
+	}
+	kids, cancel := b.Fork(3)
+	defer cancel()
+	for i, k := range kids {
+		var err error
+		for s := 0; s < DefaultCheckInterval+1 && err == nil; s++ {
+			err = k.Step(1)
+		}
+		var ex *Exceeded
+		if !errors.As(err, &ex) || ex.Resource != "deadline" {
+			t.Fatalf("child %d: expired inherited deadline not enforced: %v", i, err)
+		}
+	}
+}
+
+func TestJoinAfterParentCancellation(t *testing.T) {
+	ctx, cancelParent := context.WithCancel(context.Background())
+	b := New(WithContext(ctx), WithMaxSteps(1000), WithCheckInterval(1))
+	kids, cancel := b.Fork(2)
+	defer cancel()
+	if err := kids[0].Step(5); err != nil {
+		t.Fatalf("child tripped before cancellation: %v", err)
+	}
+	cancelParent()
+	// The child observes the parent's cancellation at its next check.
+	if err := kids[1].Step(1); !errors.Is(err, context.Canceled) {
+		t.Fatalf("child missed parent cancellation: %v", err)
+	}
+	// Join still charges the work done before the cut and reports the
+	// parent's own (cancellation) violation stickily.
+	err := b.Join(kids...)
+	if !errors.Is(err, ErrExceeded) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("join after parent cancel = %v, want budget+context match", err)
+	}
+	if got := b.StepsUsed(); got < 5 {
+		t.Fatalf("join dropped pre-cancel work: charged %d steps, want >= 5", got)
+	}
+	// Join is idempotent in error reporting: a second call keeps the
+	// sticky violation rather than inventing a new one.
+	if err2 := b.Join(); !errors.Is(err2, ErrExceeded) {
+		t.Fatalf("sticky violation lost on re-join: %v", err2)
+	}
+}
+
 func TestForkFaultPlanPerChild(t *testing.T) {
 	b := New(WithFaultPlan(FaultPlan{FailAtCheck: 1}), WithCheckInterval(1))
 	kids, cancel := b.Fork(3)

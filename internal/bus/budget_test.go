@@ -1,0 +1,80 @@
+package bus
+
+import (
+	"errors"
+	"testing"
+
+	"hlpower/internal/budget"
+)
+
+// busStream is a fixed mixed stream long enough to cross several
+// checkpoints at CheckInterval 1.
+func busStream() []uint64 {
+	s := make([]uint64, 64)
+	for i := range s {
+		s[i] = uint64(i*37) & 0xFF
+	}
+	return s
+}
+
+// TestFaultInjectionUnwindsEncoders sweeps deterministic fault trips
+// through every encoder's budgeted transition count and asserts each
+// failure mode is a clean typed error, never a panic or a hang.
+func TestFaultInjectionUnwindsEncoders(t *testing.T) {
+	encoders := []Encoder{
+		&Raw{Width: 8},
+		&BusInvert{Width: 8},
+		&GrayCode{Width: 8},
+		&T0{Width: 8},
+		&T0BI{Width: 8},
+		NewWorkingZone(8, 2, 3),
+	}
+	stream := busStream()
+	for _, e := range encoders {
+		for k := int64(1); k <= 6; k++ {
+			b := budget.New(
+				budget.WithCheckInterval(1),
+				budget.WithFaultPlan(budget.FaultPlan{FailAtCheck: k}),
+			)
+			_, err := TransitionsBudget(b, e, stream)
+			var ex *budget.Exceeded
+			if !errors.As(err, &ex) || ex.Resource != budget.FaultResource {
+				t.Fatalf("%s fail@%d: want injected fault error, got %v", e.Name(), k, err)
+			}
+			if !errors.Is(err, budget.ErrExceeded) {
+				t.Fatalf("%s fail@%d: error not matchable as budget exhaustion", e.Name(), k)
+			}
+		}
+	}
+}
+
+func TestTransitionsBudgetExhaustion(t *testing.T) {
+	stream := busStream()
+	b := budget.New(budget.WithMaxSteps(10))
+	_, err := TransitionsBudget(b, &BusInvert{Width: 8}, stream)
+	if !errors.Is(err, budget.ErrExceeded) {
+		t.Fatalf("want step exhaustion, got %v", err)
+	}
+	if _, err := PerWordBudget(b, &BusInvert{Width: 8}, stream); !errors.Is(err, budget.ErrExceeded) {
+		t.Fatalf("PerWordBudget must surface the sticky violation, got %v", err)
+	}
+}
+
+// TestBudgetedMatchesUnbudgeted pins that governance does not change
+// the measurement: a nil or ample budget reproduces Transitions/PerWord
+// exactly.
+func TestBudgetedMatchesUnbudgeted(t *testing.T) {
+	stream := busStream()
+	for _, e := range []Encoder{&Raw{Width: 8}, &BusInvert{Width: 8}, &GrayCode{Width: 8}} {
+		want := Transitions(e, stream)
+		got, err := TransitionsBudget(budget.New(), e, stream)
+		if err != nil || got != want {
+			t.Fatalf("%s: budgeted %d (err %v), unbudgeted %d", e.Name(), got, err, want)
+		}
+		wantPW := PerWord(e, stream)
+		gotPW, err := PerWordBudget(nil, e, stream)
+		if err != nil || gotPW != wantPW {
+			t.Fatalf("%s: budgeted per-word %v (err %v), want %v", e.Name(), gotPW, err, wantPW)
+		}
+	}
+}

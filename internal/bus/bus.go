@@ -10,6 +10,7 @@ import (
 	"math/bits"
 
 	"hlpower/internal/bitutil"
+	"hlpower/internal/budget"
 )
 
 // Encoder transforms a word stream into bus values (possibly with
@@ -33,25 +34,50 @@ type Decoder interface {
 
 // Transitions encodes the whole stream and counts bus-line transitions.
 func Transitions(e Encoder, stream []uint64) int {
+	n, _ := TransitionsBudget(nil, e, stream) // nil budget never trips
+	return n
+}
+
+// TransitionsBudget is Transitions governed by a resource budget: each
+// encoded word charges one step, so trace-driven encoding sweeps over
+// long address streams respect deadlines, cancellation, and injected
+// faults like every other estimation stage. On exhaustion the encoder
+// state is abandoned mid-stream and the error matches
+// budget.ErrExceeded.
+func TransitionsBudget(b *budget.Budget, e Encoder, stream []uint64) (int, error) {
 	e.Reset()
 	total := 0
 	var prev uint64
 	for i, w := range stream {
+		if err := b.Step(1); err != nil {
+			return total, err
+		}
 		v := e.Encode(w)
 		if i > 0 {
 			total += bitutil.Hamming(prev, v)
 		}
 		prev = v
 	}
-	return total
+	return total, nil
 }
 
 // PerWord returns average transitions per transmitted word.
 func PerWord(e Encoder, stream []uint64) float64 {
+	f, _ := PerWordBudget(nil, e, stream) // nil budget never trips
+	return f
+}
+
+// PerWordBudget is PerWord under a resource budget (see
+// TransitionsBudget).
+func PerWordBudget(b *budget.Budget, e Encoder, stream []uint64) (float64, error) {
 	if len(stream) < 2 {
-		return 0
+		return 0, b.Err()
 	}
-	return float64(Transitions(e, stream)) / float64(len(stream)-1)
+	t, err := TransitionsBudget(b, e, stream)
+	if err != nil {
+		return 0, err
+	}
+	return float64(t) / float64(len(stream)-1), nil
 }
 
 // ---------------------------------------------------------------------

@@ -9,6 +9,8 @@ package dpm
 import (
 	"math"
 	"math/rand"
+
+	"hlpower/internal/budget"
 )
 
 // Period is one completed activity burst followed by its idle interval.
@@ -72,10 +74,23 @@ type Result struct {
 
 // Simulate runs the policy over the workload.
 func Simulate(dev Device, pol Policy, workload []Period) Result {
+	res, _ := SimulateBudget(nil, dev, pol, workload) // nil budget never trips
+	return res
+}
+
+// SimulateBudget is Simulate governed by a resource budget: each
+// workload period charges one step (regression policies cost real work
+// per decision), so long synthetic workloads respect deadlines,
+// cancellation, and injected faults. On exhaustion the partial result
+// is abandoned and the error matches budget.ErrExceeded.
+func SimulateBudget(b *budget.Budget, dev Device, pol Policy, workload []Period) (Result, error) {
 	pol.Reset()
 	var res Result
 	var history []Period
 	for _, p := range workload {
+		if err := b.Step(1); err != nil {
+			return Result{}, err
+		}
 		res.ActiveTime += p.Active
 		res.IdleTime += p.Idle
 		res.Energy += dev.PActive * p.Active
@@ -123,7 +138,7 @@ func Simulate(dev Device, pol Policy, workload []Period) Result {
 	if res.TotalTime > 0 {
 		res.AvgPower = res.Energy / res.TotalTime
 	}
-	return res
+	return res, nil
 }
 
 // MaxImprovement is the paper's upper bound on shutdown gains:

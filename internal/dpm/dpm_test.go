@@ -1,9 +1,12 @@
 package dpm
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
+
+	"hlpower/internal/budget"
 )
 
 func testWorkload(seed int64) []Period {
@@ -180,6 +183,68 @@ func TestSimulateDeterministic(t *testing.T) {
 	b := Simulate(dev, &Threshold{ActiveThreshold: 0.5}, w)
 	if a != b {
 		t.Error("simulation must be deterministic")
+	}
+}
+
+// TestSimulateFaultInjectionUnwinds sweeps deterministic fault trips
+// through the budgeted policy simulation and asserts each one surfaces
+// as a clean typed error with no partial result, across every policy.
+func TestSimulateFaultInjectionUnwinds(t *testing.T) {
+	dev := DefaultDevice()
+	w := testWorkload(7)
+	policies := []Policy{
+		AlwaysOn{},
+		&StaticTimeout{T: 2},
+		&Threshold{ActiveThreshold: 0.5},
+		&HwangWu{Dev: dev, Prewake: true},
+		&Regression{Dev: dev},
+		&Oracle{Dev: dev, Workload: w},
+	}
+	for _, pol := range policies {
+		for k := int64(1); k <= 5; k++ {
+			b := budget.New(
+				budget.WithCheckInterval(1),
+				budget.WithFaultPlan(budget.FaultPlan{FailAtCheck: k}),
+			)
+			res, err := SimulateBudget(b, dev, pol, w)
+			var ex *budget.Exceeded
+			if !errors.As(err, &ex) || ex.Resource != budget.FaultResource {
+				t.Fatalf("%s fail@%d: want injected fault error, got %v", pol.Name(), k, err)
+			}
+			if res != (Result{}) {
+				t.Fatalf("%s fail@%d: partial result leaked: %+v", pol.Name(), k, res)
+			}
+		}
+	}
+}
+
+func TestSimulateBudgetExhaustionAndSticky(t *testing.T) {
+	dev := DefaultDevice()
+	w := testWorkload(8)
+	b := budget.New(budget.WithMaxSteps(3))
+	if _, err := SimulateBudget(b, dev, AlwaysOn{}, w); !errors.Is(err, budget.ErrExceeded) {
+		t.Fatalf("want step exhaustion, got %v", err)
+	}
+	// Budgets are sticky: a tripped budget refuses further simulation.
+	if _, err := SimulateBudget(b, dev, AlwaysOn{}, w[:1]); !errors.Is(err, budget.ErrExceeded) {
+		t.Fatalf("sticky violation lost, got %v", err)
+	}
+}
+
+// TestSimulateBudgetMatchesUnbudgeted pins that governance does not
+// change the physics: an ample budget reproduces Simulate exactly, and
+// the charge equals one step per workload period.
+func TestSimulateBudgetMatchesUnbudgeted(t *testing.T) {
+	dev := DefaultDevice()
+	w := testWorkload(9)
+	want := Simulate(dev, &Threshold{ActiveThreshold: 0.5}, w)
+	b := budget.New()
+	got, err := SimulateBudget(b, dev, &Threshold{ActiveThreshold: 0.5}, w)
+	if err != nil || got != want {
+		t.Fatalf("budgeted result %+v (err %v), want %+v", got, err, want)
+	}
+	if int(b.StepsUsed()) != len(w) {
+		t.Fatalf("charged %d steps for %d periods", b.StepsUsed(), len(w))
 	}
 }
 

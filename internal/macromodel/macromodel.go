@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"hlpower/internal/bitutil"
+	"hlpower/internal/budget"
 	"hlpower/internal/logic"
 	"hlpower/internal/rtlib"
 	"hlpower/internal/sim"
@@ -51,7 +52,14 @@ func streamAverage(m Model, as, bs []uint64) float64 {
 // on the given stream by gate-level simulation. The first cycle (warm-up
 // from the baseline) is excluded, matching PredictStream's pair count.
 func GroundTruth(mod *rtlib.Module, as, bs []uint64, model sim.DelayModel) ([]float64, error) {
-	res, err := mod.SimulateStream(as, bs, model)
+	return GroundTruthBudget(nil, mod, as, bs, model) // nil budget never trips
+}
+
+// GroundTruthBudget is GroundTruth governed by a resource budget, so
+// gate-level characterization respects deadlines, cancellation, and
+// injected faults like every other estimation stage.
+func GroundTruthBudget(b *budget.Budget, mod *rtlib.Module, as, bs []uint64, model sim.DelayModel) ([]float64, error) {
+	res, err := mod.SimulateStreamBudget(b, as, bs, model)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,411 @@
+package powerd
+
+import (
+	"context"
+	"math/rand"
+	"net/http"
+
+	"hlpower/internal/bdd"
+	"hlpower/internal/budget"
+	"hlpower/internal/core"
+	"hlpower/internal/hlerr"
+	"hlpower/internal/macromodel"
+	"hlpower/internal/resilience"
+	"hlpower/internal/rtlib"
+	"hlpower/internal/sim"
+	"hlpower/internal/trace"
+)
+
+const (
+	maxWidth  = 16
+	maxCycles = 200_000
+)
+
+// moduleFor builds the requested RT-library circuit, or an input error.
+func moduleFor(circuit string, width int) (*rtlib.Module, error) {
+	if width < 2 || width > maxWidth {
+		return nil, hlerr.Errorf("powerd.module", "width %d out of range [2,%d]", width, maxWidth)
+	}
+	switch circuit {
+	case "adder":
+		return rtlib.NewAdder(width), nil
+	case "carry-select":
+		return rtlib.NewCarrySelectAdder(width), nil
+	case "multiplier":
+		return rtlib.NewMultiplier(width), nil
+	case "subtractor":
+		return rtlib.NewSubtractor(width), nil
+	case "comparator":
+		return rtlib.NewComparator(width), nil
+	default:
+		return nil, hlerr.Errorf("powerd.module", "unknown circuit %q", circuit)
+	}
+}
+
+func checkCycles(cycles int) error {
+	if cycles < 2 || cycles > maxCycles {
+		return hlerr.Errorf("powerd.cycles", "cycles %d out of range [2,%d]", cycles, maxCycles)
+	}
+	return nil
+}
+
+// operandStreams draws the Monte Carlo operand pair for a module.
+func operandStreams(cycles, width int, seed int64) (as, bs []uint64) {
+	rng := rand.New(rand.NewSource(seed))
+	return trace.Uniform(cycles, width, rng), trace.Uniform(cycles, width, rng)
+}
+
+// ---------------------------------------------------------------------
+// POST /v1/simulate — gate-level Monte Carlo power of one circuit.
+
+type simulateRequest struct {
+	Circuit string `json:"circuit"`
+	Width   int    `json:"width"`
+	Cycles  int    `json:"cycles"`
+	Seed    int64  `json:"seed"`
+	Workers int    `json:"workers"`
+}
+
+type simulateResponse struct {
+	Circuit     string  `json:"circuit"`
+	Cycles      int     `json:"cycles"`
+	SwitchedCap float64 `json:"switched_cap"`
+	Power       float64 `json:"power"`
+	Shards      int     `json:"shards"`
+	Fallback    string  `json:"fallback,omitempty"`
+	Hedged      bool    `json:"hedged"`
+}
+
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	release, ok := s.admit(w, r)
+	if !ok {
+		return
+	}
+	defer release()
+	var req simulateRequest
+	if err := decode(r, &req); err != nil {
+		s.fail(w, err)
+		return
+	}
+	res, hedgeAttempt, err := s.simulateHedged(r, req)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	s.served.Add(1)
+	writeJSON(w, http.StatusOK, simulateResponse{
+		Circuit:     req.Circuit,
+		Cycles:      res.Cycles,
+		SwitchedCap: res.SwitchedCap,
+		Power:       res.Power(),
+		Shards:      res.Shards,
+		Fallback:    res.Fallback,
+		Hedged:      hedgeAttempt > 0,
+	})
+}
+
+// simulateHedged runs the simulate op through hedging (when armed) and
+// the resilient execute path. Simulation is deterministic for a fixed
+// seed and mutates nothing, so it is safe to hedge: a straggling
+// primary attempt gets a backup after HedgeDelay and the first result
+// wins.
+func (s *Server) simulateHedged(r *http.Request, req simulateRequest) (*sim.Result, int, error) {
+	op := func(ctx context.Context) (any, error) {
+		return s.execute(ctx, "sim", func(b *budget.Budget) (any, error) {
+			mod, err := moduleFor(req.Circuit, req.Width)
+			if err != nil {
+				return nil, err
+			}
+			if err := checkCycles(req.Cycles); err != nil {
+				return nil, err
+			}
+			as, bs := operandStreams(req.Cycles, req.Width, req.Seed)
+			prov := func(c int) []bool { return mod.InputVector(as[c], bs[c]) }
+			return sim.RunParallel(b, mod.Net, prov, req.Cycles, sim.ParallelOptions{
+				Options: sim.Options{Vdd: 1, Freq: 1},
+				Workers: req.Workers,
+			})
+		})
+	}
+	if s.cfg.HedgeDelay <= 0 {
+		v, err := op(r.Context())
+		if err != nil {
+			return nil, 0, err
+		}
+		return v.(*sim.Result), 0, nil
+	}
+	v, attempt, err := resilience.Hedge(r.Context(), s.cfg.HedgeDelay,
+		func(hctx context.Context, _ int) (any, error) { return op(hctx) })
+	if err != nil {
+		return nil, attempt, err
+	}
+	return v.(*sim.Result), attempt, nil
+}
+
+// ---------------------------------------------------------------------
+// POST /v1/rank — one improvement-loop turn over adder alternatives.
+
+type rankRequest struct {
+	Width  int   `json:"width"`
+	Cycles int   `json:"cycles"`
+	Seed   int64 `json:"seed"`
+}
+
+type rankedEntry struct {
+	Name     string  `json:"name"`
+	Power    float64 `json:"power"`
+	Model    string  `json:"model"`
+	Degraded bool    `json:"degraded"`
+	Err      string  `json:"error,omitempty"`
+}
+
+type rankResponse struct {
+	Best    string        `json:"best"`
+	Ranking []rankedEntry `json:"ranking"`
+}
+
+func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
+	release, ok := s.admit(w, r)
+	if !ok {
+		return
+	}
+	defer release()
+	var req rankRequest
+	if err := decode(r, &req); err != nil {
+		s.fail(w, err)
+		return
+	}
+	v, err := s.execute(r.Context(), "rank", func(b *budget.Budget) (any, error) {
+		if err := checkCycles(req.Cycles); err != nil {
+			return nil, err
+		}
+		as, bs := operandStreams(req.Cycles, req.Width, req.Seed)
+		cand := func(name string) core.Candidate {
+			return core.Candidate{Name: name, Estimator: core.FuncB{
+				EstimatorName:  "gate-mc:" + name,
+				EstimatorLevel: core.Gate,
+				Fn: func(cb *budget.Budget) (float64, bool, error) {
+					mod, err := moduleFor(name, req.Width)
+					if err != nil {
+						return 0, false, err
+					}
+					res, err := mod.SimulateStreamBudget(cb, as, bs, sim.ZeroDelay)
+					if err != nil {
+						return 0, false, err
+					}
+					return res.Power(), false, nil
+				},
+			}}
+		}
+		ranking := core.RankBudget(b, []core.Candidate{
+			cand("adder"), cand("carry-select"), cand("subtractor"),
+		})
+		best, err := ranking.Best()
+		if err != nil {
+			// Every candidate failed; surface the first failure so the
+			// breaker and retry loop see the real cause (e.g. an
+			// injected budget fault), not a generic message.
+			return nil, ranking[0].Err
+		}
+		resp := rankResponse{Best: best.Candidate.Name}
+		for _, rk := range ranking {
+			e := rankedEntry{
+				Name:     rk.Candidate.Name,
+				Power:    rk.Estimate.Power,
+				Model:    rk.Estimate.Model,
+				Degraded: rk.Estimate.Degraded,
+			}
+			if rk.Err != nil {
+				e.Err = rk.Err.Error()
+			}
+			resp.Ranking = append(resp.Ranking, e)
+		}
+		return resp, nil
+	})
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	s.served.Add(1)
+	writeJSON(w, http.StatusOK, v)
+}
+
+// ---------------------------------------------------------------------
+// POST /v1/bdd — BDD size estimate of a named boolean function.
+
+type bddRequest struct {
+	Function string `json:"function"` // "parity" | "majority" | "and"
+	Vars     int    `json:"vars"`
+	// AllowDegraded accepts a sampled size estimate when the budget
+	// cuts off the exact BDD build; without it, a budget trip is an
+	// error (and counts against the bdd breaker).
+	AllowDegraded bool `json:"allow_degraded"`
+}
+
+type bddResponse struct {
+	Function string `json:"function"`
+	Vars     int    `json:"vars"`
+	Nodes    int    `json:"nodes"`
+	Degraded bool   `json:"degraded"`
+}
+
+// truthTable materializes the named function over n variables.
+func truthTable(function string, n int) ([]bool, error) {
+	if n < 1 || n > 16 {
+		return nil, hlerr.Errorf("powerd.bdd", "vars %d out of range [1,16]", n)
+	}
+	tt := make([]bool, 1<<uint(n))
+	for i := range tt {
+		ones := 0
+		for b := 0; b < n; b++ {
+			if i>>uint(b)&1 == 1 {
+				ones++
+			}
+		}
+		switch function {
+		case "parity":
+			tt[i] = ones%2 == 1
+		case "majority":
+			tt[i] = 2*ones > n
+		case "and":
+			tt[i] = ones == n
+		default:
+			return nil, hlerr.Errorf("powerd.bdd", "unknown function %q", function)
+		}
+	}
+	return tt, nil
+}
+
+func (s *Server) handleBDD(w http.ResponseWriter, r *http.Request) {
+	release, ok := s.admit(w, r)
+	if !ok {
+		return
+	}
+	defer release()
+	var req bddRequest
+	if err := decode(r, &req); err != nil {
+		s.fail(w, err)
+		return
+	}
+	v, err := s.execute(r.Context(), "bdd", func(b *budget.Budget) (any, error) {
+		tt, err := truthTable(req.Function, req.Vars)
+		if err != nil {
+			return nil, err
+		}
+		var (
+			nodes    int
+			degraded bool
+		)
+		if req.AllowDegraded {
+			nodes, degraded, err = bdd.SizeEstimate(b, tt, req.Vars)
+		} else {
+			m := bdd.New(req.Vars)
+			m.SetBudget(b)
+			var root bdd.Node
+			root, err = m.BuildTT(tt, req.Vars)
+			if err == nil {
+				nodes = m.NodeCount(root)
+			}
+		}
+		if err != nil {
+			return nil, err
+		}
+		return bddResponse{Function: req.Function, Vars: req.Vars, Nodes: nodes, Degraded: degraded}, nil
+	})
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	s.served.Add(1)
+	writeJSON(w, http.StatusOK, v)
+}
+
+// ---------------------------------------------------------------------
+// POST /v1/predict — macro-model prediction vs budgeted ground truth.
+
+type predictRequest struct {
+	Circuit string `json:"circuit"`
+	Width   int    `json:"width"`
+	Model   string `json:"model"` // "pfa" | "dbt" | "bitwise" | "io"
+	Train   int    `json:"train"`
+	Eval    int    `json:"eval"`
+	Seed    int64  `json:"seed"`
+}
+
+type predictResponse struct {
+	Circuit   string  `json:"circuit"`
+	Model     string  `json:"model"`
+	Predicted float64 `json:"predicted"`
+	Measured  float64 `json:"measured"`
+	AbsErrPct float64 `json:"abs_err_pct"`
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	release, ok := s.admit(w, r)
+	if !ok {
+		return
+	}
+	defer release()
+	var req predictRequest
+	if err := decode(r, &req); err != nil {
+		s.fail(w, err)
+		return
+	}
+	v, err := s.execute(r.Context(), "predict", func(b *budget.Budget) (any, error) {
+		mod, err := moduleFor(req.Circuit, req.Width)
+		if err != nil {
+			return nil, err
+		}
+		if err := checkCycles(req.Train); err != nil {
+			return nil, err
+		}
+		if err := checkCycles(req.Eval); err != nil {
+			return nil, err
+		}
+		trainA, trainB := operandStreams(req.Train, req.Width, req.Seed)
+		evalA, evalB := operandStreams(req.Eval, req.Width, req.Seed+1)
+		var m macromodel.Model
+		switch req.Model {
+		case "pfa":
+			m, err = macromodel.FitPFA(mod, trainA, trainB, sim.ZeroDelay)
+		case "dbt":
+			m, err = macromodel.FitDBT(mod, trainA, trainB, sim.ZeroDelay)
+		case "bitwise":
+			m, err = macromodel.FitBitwise(mod, trainA, trainB, sim.ZeroDelay)
+		case "io":
+			m, err = macromodel.FitIO(mod, trainA, trainB, sim.ZeroDelay)
+		default:
+			return nil, hlerr.Errorf("powerd.predict", "unknown model %q", req.Model)
+		}
+		if err != nil {
+			return nil, err
+		}
+		truth, err := macromodel.GroundTruthBudget(b, mod, evalA, evalB, sim.ZeroDelay)
+		if err != nil {
+			return nil, err
+		}
+		measured := macromodel.MeanAbs(truth)
+		predicted := m.PredictStream(evalA, evalB)
+		errPct := 0.0
+		if measured != 0 {
+			errPct = 100 * abs(predicted-measured) / measured
+		}
+		return predictResponse{
+			Circuit: req.Circuit, Model: req.Model,
+			Predicted: predicted, Measured: measured, AbsErrPct: errPct,
+		}, nil
+	})
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	s.served.Add(1)
+	writeJSON(w, http.StatusOK, v)
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,466 @@
+// Package powerd is the resilient estimation service: it exposes the
+// repo's estimation engines (gate-level simulation, candidate ranking,
+// BDD sizing, macro-model prediction) over HTTP/JSON and keeps them
+// available under partial failure. Every request runs under a fresh
+// resource budget (deadline + step allowance), behind a per-subsystem
+// circuit breaker, inside a retry loop with jittered exponential
+// backoff. Admission control bounds the number of queued requests and
+// sheds the excess with 429 + Retry-After instead of letting latency
+// grow without bound. A runtime-settable fault plan injects budget
+// trips into the live serving path, which is how the chaos soak test
+// exercises the whole failure lattice.
+package powerd
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hlpower/internal/budget"
+	"hlpower/internal/hlerr"
+	"hlpower/internal/resilience"
+)
+
+// Subsystems is the set of breaker-guarded estimation engines, one per
+// endpoint. Each has an independent breaker so a faulting simulator
+// does not take down ranking or BDD sizing.
+var Subsystems = []string{"sim", "rank", "bdd", "predict"}
+
+// Config tunes the service. The zero value is usable: DefaultConfig
+// fills every field NewServer would otherwise default.
+type Config struct {
+	// Workers is the number of requests estimated concurrently.
+	Workers int
+	// QueueDepth bounds how many admitted requests may wait for a
+	// worker slot before the server starts shedding with 429.
+	QueueDepth int
+	// RequestTimeout is the per-request budget deadline.
+	RequestTimeout time.Duration
+	// MaxSteps is the per-request step allowance (0 = unlimited).
+	MaxSteps int64
+	// CheckInterval is the budget check spacing; small values make
+	// injected faults fire early, large values amortize check cost.
+	CheckInterval int64
+	// Retry governs re-execution of failed estimation attempts.
+	Retry resilience.RetryPolicy
+	// FailureThreshold, OpenTimeout, HalfOpenProbes parameterize every
+	// subsystem breaker.
+	FailureThreshold int
+	OpenTimeout      time.Duration
+	HalfOpenProbes   int
+	// HedgeDelay, when positive, arms a hedged backup attempt for
+	// idempotent simulation requests that straggle past the delay.
+	HedgeDelay time.Duration
+	// Clock drives retry backoff and breaker timeouts; tests swap in
+	// resilience.Fake for deterministic schedules.
+	Clock resilience.Clock
+}
+
+// DefaultConfig returns production-shaped settings.
+func DefaultConfig() Config {
+	return Config{
+		Workers:          runtime.GOMAXPROCS(0),
+		QueueDepth:       64,
+		RequestTimeout:   5 * time.Second,
+		MaxSteps:         50_000_000,
+		CheckInterval:    budget.DefaultCheckInterval,
+		Retry:            resilience.DefaultRetry(),
+		FailureThreshold: 5,
+		OpenTimeout:      time.Second,
+		HalfOpenProbes:   1,
+		Clock:            resilience.Wall{},
+	}
+}
+
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.Workers <= 0 {
+		c.Workers = d.Workers
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = d.QueueDepth
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = d.RequestTimeout
+	}
+	if c.MaxSteps == 0 {
+		c.MaxSteps = d.MaxSteps
+	}
+	if c.CheckInterval <= 0 {
+		c.CheckInterval = d.CheckInterval
+	}
+	if c.Retry.MaxAttempts <= 0 {
+		c.Retry = d.Retry
+	}
+	if c.FailureThreshold <= 0 {
+		c.FailureThreshold = d.FailureThreshold
+	}
+	if c.OpenTimeout <= 0 {
+		c.OpenTimeout = d.OpenTimeout
+	}
+	if c.HalfOpenProbes <= 0 {
+		c.HalfOpenProbes = d.HalfOpenProbes
+	}
+	if c.Clock == nil {
+		c.Clock = d.Clock
+	}
+	return c
+}
+
+// Transition is one recorded breaker state change, for observability.
+type Transition struct {
+	Breaker string    `json:"breaker"`
+	From    string    `json:"from"`
+	To      string    `json:"to"`
+	At      time.Time `json:"at"`
+}
+
+// Server is the estimation service. Create with NewServer; serve its
+// Handler; stop with Drain.
+type Server struct {
+	cfg      Config
+	clock    resilience.Clock
+	slots    chan struct{}
+	waiting  atomic.Int64
+	draining atomic.Bool
+	inflight sync.WaitGroup
+	breakers map[string]*resilience.Breaker
+	plan     atomic.Pointer[budget.FaultPlan]
+	reqSeq   atomic.Int64
+
+	served   atomic.Int64 // requests answered 200
+	rejected atomic.Int64 // requests answered 4xx/5xx
+	shed     atomic.Int64 // subset of rejected: 429 load-shed
+
+	mu          sync.Mutex
+	transitions []Transition
+
+	mux *http.ServeMux
+}
+
+// NewServer builds a ready-to-serve estimation service.
+func NewServer(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:      cfg,
+		clock:    cfg.Clock,
+		slots:    make(chan struct{}, cfg.Workers),
+		breakers: make(map[string]*resilience.Breaker, len(Subsystems)),
+	}
+	for _, name := range Subsystems {
+		s.breakers[name] = resilience.NewBreaker(resilience.BreakerConfig{
+			Name:             name,
+			FailureThreshold: cfg.FailureThreshold,
+			OpenTimeout:      cfg.OpenTimeout,
+			HalfOpenProbes:   cfg.HalfOpenProbes,
+			Clock:            cfg.Clock,
+			OnTransition:     s.recordTransition,
+		})
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /readyz", s.handleReady)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
+	s.mux.HandleFunc("POST /v1/rank", s.handleRank)
+	s.mux.HandleFunc("POST /v1/bdd", s.handleBDD)
+	s.mux.HandleFunc("POST /v1/predict", s.handlePredict)
+	return s
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// SetFaultPlan arms (or, with a zero plan, disarms) fault injection on
+// every subsequently admitted request. Each request derives a unique
+// seed so Prob-mode chaos decorrelates across requests.
+func (s *Server) SetFaultPlan(p budget.FaultPlan) {
+	if p == (budget.FaultPlan{}) {
+		s.plan.Store(nil)
+		return
+	}
+	s.plan.Store(&p)
+}
+
+// Drain stops admitting work and waits for in-flight requests to
+// finish, or for ctx to expire. New requests are answered 503.
+func (s *Server) Drain(ctx context.Context) error {
+	s.draining.Store(true)
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("powerd: drain interrupted: %w", ctx.Err())
+	}
+}
+
+// Breaker exposes a subsystem's breaker (nil for unknown names) so
+// tests and operators can inspect state and counters.
+func (s *Server) Breaker(name string) *resilience.Breaker { return s.breakers[name] }
+
+// Stats is the service-level counter snapshot served at /v1/stats.
+type Stats struct {
+	Served      int64                              `json:"served"`
+	Rejected    int64                              `json:"rejected"`
+	Shed        int64                              `json:"shed"`
+	Waiting     int64                              `json:"waiting"`
+	Draining    bool                               `json:"draining"`
+	Breakers    map[string]resilience.BreakerStats `json:"breakers"`
+	Transitions []Transition                       `json:"transitions"`
+}
+
+// Snapshot returns the current counters.
+func (s *Server) Snapshot() Stats {
+	st := Stats{
+		Served:   s.served.Load(),
+		Rejected: s.rejected.Load(),
+		Shed:     s.shed.Load(),
+		Waiting:  s.waiting.Load(),
+		Draining: s.draining.Load(),
+		Breakers: make(map[string]resilience.BreakerStats, len(s.breakers)),
+	}
+	for name, b := range s.breakers {
+		st.Breakers[name] = b.Stats()
+	}
+	s.mu.Lock()
+	st.Transitions = append(st.Transitions, s.transitions...)
+	s.mu.Unlock()
+	return st
+}
+
+func (s *Server) recordTransition(name string, from, to resilience.BreakerState, at time.Time) {
+	s.mu.Lock()
+	s.transitions = append(s.transitions, Transition{
+		Breaker: name, From: from.String(), To: to.String(), At: at,
+	})
+	s.mu.Unlock()
+}
+
+// ---------------------------------------------------------------------
+// Admission control.
+
+// admit implements bounded-queue admission: a request either takes a
+// worker slot immediately, waits while fewer than QueueDepth requests
+// are already waiting, or is shed. The returned release function must
+// be called exactly once when admission succeeded.
+func (s *Server) admit(w http.ResponseWriter, r *http.Request) (release func(), ok bool) {
+	if s.draining.Load() {
+		s.reject(w, http.StatusServiceUnavailable, "draining", s.cfg.RequestTimeout)
+		return nil, false
+	}
+	s.inflight.Add(1)
+	// Re-check after joining the in-flight group so Drain cannot miss
+	// a request that slipped past the first check.
+	if s.draining.Load() {
+		s.inflight.Done()
+		s.reject(w, http.StatusServiceUnavailable, "draining", s.cfg.RequestTimeout)
+		return nil, false
+	}
+	select {
+	case s.slots <- struct{}{}: // fast path: free worker
+	default:
+		if s.waiting.Add(1) > int64(s.cfg.QueueDepth) {
+			s.waiting.Add(-1)
+			s.inflight.Done()
+			s.shed.Add(1)
+			s.reject(w, http.StatusTooManyRequests, "queue full", s.retryAfterHint())
+			return nil, false
+		}
+		select {
+		case s.slots <- struct{}{}:
+			s.waiting.Add(-1)
+		case <-r.Context().Done():
+			s.waiting.Add(-1)
+			s.inflight.Done()
+			s.reject(w, http.StatusServiceUnavailable, "client gone while queued", 0)
+			return nil, false
+		}
+	}
+	return func() {
+		<-s.slots
+		s.inflight.Done()
+	}, true
+}
+
+// retryAfterHint estimates how long a shed client should wait: one
+// request timeout spread across the worker pool.
+func (s *Server) retryAfterHint() time.Duration {
+	d := s.cfg.RequestTimeout / time.Duration(s.cfg.Workers)
+	if d < time.Second {
+		d = time.Second
+	}
+	return d
+}
+
+// ---------------------------------------------------------------------
+// Resilient execution.
+
+// newBudget builds the per-attempt budget: request deadline, step
+// allowance, and — when chaos is armed — a per-request fault plan with
+// a derived seed.
+func (s *Server) newBudget(ctx context.Context) *budget.Budget {
+	opts := []budget.Option{
+		budget.WithContext(ctx),
+		budget.WithTimeout(s.cfg.RequestTimeout),
+		budget.WithCheckInterval(s.cfg.CheckInterval),
+	}
+	if s.cfg.MaxSteps > 0 {
+		opts = append(opts, budget.WithMaxSteps(s.cfg.MaxSteps))
+	}
+	if p := s.plan.Load(); p != nil {
+		plan := *p
+		if plan.Prob > 0 {
+			plan.Seed += s.reqSeq.Add(1)
+		}
+		opts = append(opts, budget.WithFaultPlan(plan))
+	}
+	return budget.New(opts...)
+}
+
+// execute runs one estimation op behind the named subsystem's breaker,
+// inside the retry loop, with a fresh budget per attempt (budgets are
+// sticky, so a tripped one must never be reused). Input errors are
+// marked Permanent so they neither trip the breaker nor burn retries;
+// an open breaker is also Permanent so callers fail fast to 503.
+func (s *Server) execute(ctx context.Context, name string, op func(b *budget.Budget) (any, error)) (any, error) {
+	br := s.breakers[name]
+	var result any
+	err := s.cfg.Retry.Do(ctx, s.clock, func(attempt int) error {
+		if err := br.Allow(); err != nil {
+			return resilience.Permanent(err)
+		}
+		v, err := resilience.SafeValue(func() (any, error) {
+			return op(s.newBudget(ctx))
+		})
+		if err != nil && hlerr.IsInput(err) {
+			err = resilience.Permanent(err)
+		}
+		br.Record(err)
+		if err == nil {
+			result = v
+		}
+		return err
+	})
+	return result, err
+}
+
+// ---------------------------------------------------------------------
+// HTTP plumbing.
+
+type errorBody struct {
+	Error     string `json:"error"`
+	Kind      string `json:"kind"`
+	Breaker   string `json:"breaker,omitempty"`
+	Attempted string `json:"attempted,omitempty"`
+}
+
+// reject writes a JSON error with an optional Retry-After hint.
+func (s *Server) reject(w http.ResponseWriter, code int, msg string, retryAfter time.Duration) {
+	s.rejected.Add(1)
+	if retryAfter > 0 {
+		secs := int(retryAfter / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+	}
+	writeJSON(w, code, errorBody{Error: msg, Kind: kindForCode(code)})
+}
+
+func kindForCode(code int) string {
+	switch code {
+	case http.StatusTooManyRequests:
+		return "shed"
+	case http.StatusServiceUnavailable:
+		return "unavailable"
+	case http.StatusBadRequest:
+		return "input"
+	default:
+		return "internal"
+	}
+}
+
+// fail maps an estimation error onto an HTTP status: input errors are
+// the client's fault (400), an open breaker or exhausted budget is a
+// temporary capacity condition (503 + Retry-After), anything else is a
+// 500.
+func (s *Server) fail(w http.ResponseWriter, err error) {
+	var open *resilience.OpenError
+	switch {
+	case errors.As(err, &open):
+		s.rejected.Add(1)
+		ra := open.RetryAfter
+		if ra < time.Second {
+			ra = time.Second
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(int(ra/time.Second)))
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{
+			Error: err.Error(), Kind: "breaker-open", Breaker: open.Name,
+		})
+	case hlerr.IsInput(err):
+		s.reject(w, http.StatusBadRequest, err.Error(), 0)
+	case errors.Is(err, budget.ErrExceeded):
+		s.rejected.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{
+			Error: err.Error(), Kind: "budget-exceeded",
+		})
+	default:
+		s.reject(w, http.StatusInternalServerError, err.Error(), 0)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// decode parses a JSON request body, bounding its size.
+func decode(r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return hlerr.Errorf("powerd.decode", "bad request body: %v", err)
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------
+// Health endpoints.
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleReady reports ready only when the server is accepting work:
+// not draining, and at least one breaker is not open.
+func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	for _, b := range s.breakers {
+		if b.State() != resilience.Open {
+			writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+			return
+		}
+	}
+	writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "all breakers open"})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.Snapshot())
+}

@@ -1,0 +1,191 @@
+package resilience
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// transitionLog records breaker transitions with their fake-clock
+// timestamps, so two identical runs can be compared exactly.
+type transitionLog struct {
+	mu      sync.Mutex
+	entries []string
+}
+
+func (l *transitionLog) hook() func(string, BreakerState, BreakerState, time.Time) {
+	return func(name string, from, to BreakerState, at time.Time) {
+		l.mu.Lock()
+		defer l.mu.Unlock()
+		l.entries = append(l.entries, fmt.Sprintf("%s %v->%v @%d", name, from, to, at.UnixNano()))
+	}
+}
+
+func (l *transitionLog) all() []string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]string(nil), l.entries...)
+}
+
+// driveBreaker runs the canonical failure/recovery scenario against a
+// fresh breaker on a fresh fake clock and returns the transition log.
+func driveBreaker(t *testing.T) []string {
+	t.Helper()
+	clock := NewFake(time.Unix(100, 0))
+	log := &transitionLog{}
+	b := NewBreaker(BreakerConfig{
+		Name:             "sim",
+		FailureThreshold: 3,
+		OpenTimeout:      50 * time.Millisecond,
+		HalfOpenProbes:   2,
+		Clock:            clock,
+		OnTransition:     log.hook(),
+	})
+
+	// Two failures stay closed; the third opens.
+	for i := 0; i < 2; i++ {
+		if err := b.Do(func() error { return errBoom }); err == nil {
+			t.Fatal("op error swallowed")
+		}
+		if b.State() != Closed {
+			t.Fatalf("opened after %d failures, threshold is 3", i+1)
+		}
+	}
+	if err := b.Do(func() error { return errBoom }); err == nil {
+		t.Fatal("op error swallowed")
+	}
+	if b.State() != Open {
+		t.Fatal("not open after reaching the failure threshold")
+	}
+
+	// Open fast-fails with the remaining window as Retry-After.
+	clock.Advance(20 * time.Millisecond)
+	err := b.Allow()
+	var oe *OpenError
+	if !errors.As(err, &oe) || !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("open breaker admitted a call: %v", err)
+	}
+	if oe.RetryAfter != 30*time.Millisecond {
+		t.Fatalf("RetryAfter = %v, want the remaining 30ms window", oe.RetryAfter)
+	}
+
+	// After the timeout a single probe is admitted (half-open) and
+	// concurrent calls are still rejected.
+	clock.Advance(30 * time.Millisecond)
+	if err := b.Allow(); err != nil {
+		t.Fatalf("probe rejected after open timeout: %v", err)
+	}
+	if b.State() != HalfOpen {
+		t.Fatal("first post-timeout Allow should half-open")
+	}
+	if err := b.Allow(); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("second concurrent probe admitted: %v", err)
+	}
+	b.Record(nil) // probe 1 succeeds; still needs one more
+	if b.State() != HalfOpen {
+		t.Fatal("closed before HalfOpenProbes successes")
+	}
+	if err := b.Do(func() error { return nil }); err != nil {
+		t.Fatalf("probe 2 failed: %v", err)
+	}
+	if b.State() != Closed {
+		t.Fatal("not closed after enough probe successes")
+	}
+
+	st := b.Stats()
+	if st.Opened != 1 || st.HalfOpened != 1 || st.ClosedFromHalfOpen != 1 {
+		t.Fatalf("transition counters = %+v, want 1/1/1", st)
+	}
+	if st.Rejected != 2 {
+		t.Fatalf("rejected = %d, want 2", st.Rejected)
+	}
+	return log.all()
+}
+
+// TestBreakerTransitionsDeterministic is acceptance criterion (d) for
+// the breaker: the full open/half-open/closed sequence, with
+// timestamps, is identical across runs under the fake clock.
+func TestBreakerTransitionsDeterministic(t *testing.T) {
+	first := driveBreaker(t)
+	second := driveBreaker(t)
+	if len(first) != 3 {
+		t.Fatalf("want 3 transitions (open, half-open, close), got %v", first)
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("runs diverge at transition %d: %q vs %q", i, first[i], second[i])
+		}
+	}
+}
+
+func TestBreakerProbeFailureReopens(t *testing.T) {
+	clock := NewFake(time.Unix(0, 0))
+	b := NewBreaker(BreakerConfig{Name: "x", FailureThreshold: 1, OpenTimeout: 10 * time.Millisecond, Clock: clock})
+	b.Do(func() error { return errBoom })
+	if b.State() != Open {
+		t.Fatal("threshold 1 should open on first failure")
+	}
+	clock.Advance(11 * time.Millisecond)
+	if err := b.Do(func() error { return errBoom }); err == nil {
+		t.Fatal("probe error swallowed")
+	}
+	if b.State() != Open {
+		t.Fatal("failed probe must reopen")
+	}
+	if got := b.Stats().Opened; got != 2 {
+		t.Fatalf("opened counter = %d, want 2", got)
+	}
+	// The reopened window restarts from the probe failure.
+	if err := b.Allow(); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("reopened breaker admitted a call: %v", err)
+	}
+}
+
+func TestBreakerSuccessResetsFailureStreak(t *testing.T) {
+	b := NewBreaker(BreakerConfig{Name: "x", FailureThreshold: 2, Clock: NewFake(time.Unix(0, 0))})
+	b.Do(func() error { return errBoom })
+	b.Do(func() error { return nil })
+	b.Do(func() error { return errBoom })
+	if b.State() != Closed {
+		t.Fatal("non-consecutive failures must not open")
+	}
+}
+
+func TestBreakerPermanentErrorsDoNotTrip(t *testing.T) {
+	b := NewBreaker(BreakerConfig{Name: "x", FailureThreshold: 1, Clock: NewFake(time.Unix(0, 0))})
+	for i := 0; i < 5; i++ {
+		b.Do(func() error { return Permanent(errBoom) })
+	}
+	if b.State() != Closed {
+		t.Fatal("input rejections (Permanent) counted as subsystem failures")
+	}
+	if st := b.Stats(); st.Successes != 5 || st.Failures != 0 {
+		t.Fatalf("stats = %+v, want 5 successes", st)
+	}
+}
+
+func TestBreakerConcurrentUse(t *testing.T) {
+	b := NewBreaker(BreakerConfig{Name: "x", FailureThreshold: 3, OpenTimeout: time.Millisecond})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				b.Do(func() error {
+					if (w+i)%3 == 0 {
+						return errBoom
+					}
+					return nil
+				})
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := b.Stats()
+	if st.Successes+st.Failures+st.Rejected != 8*200 {
+		t.Fatalf("accounting lost calls: %+v", st)
+	}
+}

@@ -1,0 +1,79 @@
+package resilience
+
+import (
+	"context"
+	"time"
+)
+
+// hedgeOutcome carries one attempt's result to the selector.
+type hedgeOutcome[T any] struct {
+	val     T
+	err     error
+	attempt int
+}
+
+// Hedge runs op and, if it has not finished within delay, launches one
+// backup attempt of the same operation; the first success wins and the
+// loser is cancelled through its context. Only use it for idempotent
+// operations (power estimates are pure functions of their request).
+// When every launched attempt fails, the primary attempt's error is
+// returned — deterministic regardless of which attempt failed first.
+// The result channel is buffered, so a straggling loser never leaks a
+// goroutine even if it ignores cancellation.
+//
+// A nonpositive delay disables hedging and runs op inline. Hedging uses
+// a real timer for the trigger: the race it resolves is physical
+// (straggling goroutines), unlike retry backoff whose schedule tests
+// pin with a fake clock.
+func Hedge[T any](ctx context.Context, delay time.Duration, op func(ctx context.Context, attempt int) (T, error)) (T, int, error) {
+	if delay <= 0 {
+		v, err := op(ctx, 0)
+		return v, 0, err
+	}
+	hctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	results := make(chan hedgeOutcome[T], 2)
+	launch := func(attempt int) {
+		go func() {
+			v, err := SafeValue(func() (T, error) { return op(hctx, attempt) })
+			results <- hedgeOutcome[T]{val: v, err: err, attempt: attempt}
+		}()
+	}
+	launch(0)
+	launched := 1
+	timer := time.NewTimer(delay)
+	defer timer.Stop()
+
+	var primaryErr error
+	failed := 0
+	for {
+		select {
+		case <-timer.C:
+			if launched == 1 {
+				launch(1)
+				launched = 2
+			}
+		case out := <-results:
+			if out.err == nil {
+				return out.val, out.attempt, nil
+			}
+			if out.attempt == 0 {
+				primaryErr = out.err
+			}
+			failed++
+			if failed == launched {
+				// Everything launched has failed. If only the primary ran,
+				// its error is the answer; otherwise prefer the primary's
+				// error for determinism.
+				if primaryErr == nil {
+					primaryErr = out.err
+				}
+				var zero T
+				return zero, 0, primaryErr
+			}
+		case <-ctx.Done():
+			var zero T
+			return zero, 0, ctx.Err()
+		}
+	}
+}

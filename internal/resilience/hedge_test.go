@@ -1,0 +1,111 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+)
+
+func TestHedgeFastPrimaryWins(t *testing.T) {
+	v, attempt, err := Hedge(context.Background(), time.Hour, func(ctx context.Context, attempt int) (int, error) {
+		return 7, nil
+	})
+	if err != nil || v != 7 || attempt != 0 {
+		t.Fatalf("got (%d, %d, %v), want primary success", v, attempt, err)
+	}
+}
+
+func TestHedgeBackupRescuesStraggler(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	v, attempt, err := Hedge(context.Background(), time.Millisecond, func(ctx context.Context, attempt int) (int, error) {
+		if attempt == 0 {
+			select { // straggle until cancelled or the test ends
+			case <-ctx.Done():
+				return 0, ctx.Err()
+			case <-release:
+				return 0, errors.New("too late")
+			}
+		}
+		return 42, nil
+	})
+	if err != nil || v != 42 || attempt != 1 {
+		t.Fatalf("got (%d, %d, %v), want backup success", v, attempt, err)
+	}
+}
+
+func TestHedgeAllFailReturnsPrimaryError(t *testing.T) {
+	primary := errors.New("primary failure")
+	_, _, err := Hedge(context.Background(), time.Microsecond, func(ctx context.Context, attempt int) (int, error) {
+		if attempt == 0 {
+			time.Sleep(5 * time.Millisecond) // ensure the backup launches
+			return 0, primary
+		}
+		return 0, errors.New("backup failure")
+	})
+	if !errors.Is(err, primary) {
+		t.Fatalf("got %v, want the primary attempt's error", err)
+	}
+}
+
+func TestHedgeZeroDelayRunsInline(t *testing.T) {
+	before := runtime.NumGoroutine()
+	v, attempt, err := Hedge(context.Background(), 0, func(ctx context.Context, attempt int) (string, error) {
+		return "inline", nil
+	})
+	if err != nil || v != "inline" || attempt != 0 {
+		t.Fatalf("got (%q, %d, %v)", v, attempt, err)
+	}
+	if after := runtime.NumGoroutine(); after > before+1 {
+		t.Fatalf("inline hedge spawned goroutines: %d -> %d", before, after)
+	}
+}
+
+func TestHedgePanicContained(t *testing.T) {
+	_, _, err := Hedge(context.Background(), time.Hour, func(ctx context.Context, attempt int) (int, error) {
+		panic("estimator bug")
+	})
+	if err == nil {
+		t.Fatal("panic in hedged op must surface as an error")
+	}
+}
+
+// TestHedgeNoGoroutineLeak verifies a straggling loser that honours its
+// context exits after the winner returns.
+func TestHedgeNoGoroutineLeak(t *testing.T) {
+	base := runtime.NumGoroutine()
+	for i := 0; i < 20; i++ {
+		Hedge(context.Background(), 100*time.Microsecond, func(ctx context.Context, attempt int) (int, error) {
+			if attempt == 0 {
+				<-ctx.Done()
+				return 0, ctx.Err()
+			}
+			return 1, nil
+		})
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > base+2 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > base+2 {
+		t.Fatalf("goroutines leaked: %d at start, %d after", base, n)
+	}
+}
+
+func TestSafeContainsPanics(t *testing.T) {
+	if err := Safe(func() error { panic("boom") }); err == nil {
+		t.Fatal("Safe let a panic escape as nil")
+	}
+	if err := Safe(func() error { return nil }); err != nil {
+		t.Fatalf("Safe invented an error: %v", err)
+	}
+	v, err := SafeValue(func() (int, error) { return 3, nil })
+	if v != 3 || err != nil {
+		t.Fatalf("SafeValue = (%d, %v)", v, err)
+	}
+	if _, err := SafeValue(func() (int, error) { panic("boom") }); err == nil {
+		t.Fatal("SafeValue let a panic escape")
+	}
+}

@@ -1,0 +1,140 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+)
+
+var errBoom = errors.New("boom")
+
+// runSchedule drives a policy to exhaustion under a fake clock and
+// returns the recorded backoff sequence.
+func runSchedule(t *testing.T, p RetryPolicy) []time.Duration {
+	t.Helper()
+	clock := NewFake(time.Unix(0, 0))
+	attempts := 0
+	err := p.Do(context.Background(), clock, func(int) error {
+		attempts++
+		return errBoom
+	})
+	if !errors.Is(err, errBoom) {
+		t.Fatalf("exhausted retry should return the last error, got %v", err)
+	}
+	if attempts != p.MaxAttempts {
+		t.Fatalf("made %d attempts, want %d", attempts, p.MaxAttempts)
+	}
+	return clock.Slept()
+}
+
+// TestRetryBackoffDeterministic is acceptance criterion (d) for retry:
+// for a fixed seed the full-jitter schedule is identical run to run,
+// and every delay falls inside its exponential ceiling.
+func TestRetryBackoffDeterministic(t *testing.T) {
+	p := RetryPolicy{
+		MaxAttempts: 6,
+		BaseDelay:   10 * time.Millisecond,
+		MaxDelay:    80 * time.Millisecond,
+		Multiplier:  2,
+		Seed:        42,
+	}
+	first := runSchedule(t, p)
+	second := runSchedule(t, p)
+	if !reflect.DeepEqual(first, second) {
+		t.Fatalf("same seed produced different schedules:\n%v\n%v", first, second)
+	}
+	if len(first) != p.MaxAttempts-1 {
+		t.Fatalf("got %d sleeps, want %d", len(first), p.MaxAttempts-1)
+	}
+	for i, d := range first {
+		ceiling := p.Backoff(i)
+		if d < 0 || d >= ceiling {
+			t.Errorf("sleep %d = %v outside [0, %v)", i, d, ceiling)
+		}
+	}
+	// A different seed draws a different schedule (overwhelmingly likely
+	// for 5 uniform draws; pinned here for these constants).
+	p2 := p
+	p2.Seed = 43
+	if reflect.DeepEqual(first, runSchedule(t, p2)) {
+		t.Fatal("different seeds produced identical jitter")
+	}
+}
+
+func TestBackoffCeilingGrowthAndCap(t *testing.T) {
+	p := RetryPolicy{BaseDelay: 10 * time.Millisecond, MaxDelay: 35 * time.Millisecond, Multiplier: 2}
+	want := []time.Duration{
+		10 * time.Millisecond,
+		20 * time.Millisecond,
+		35 * time.Millisecond, // capped: 40 > 35
+		35 * time.Millisecond,
+	}
+	for i, w := range want {
+		if got := p.Backoff(i); got != w {
+			t.Errorf("Backoff(%d) = %v, want %v", i, got, w)
+		}
+	}
+}
+
+func TestRetryStopsOnSuccess(t *testing.T) {
+	clock := NewFake(time.Unix(0, 0))
+	p := RetryPolicy{MaxAttempts: 5, BaseDelay: time.Millisecond}
+	calls := 0
+	err := p.Do(context.Background(), clock, func(int) error {
+		calls++
+		if calls < 3 {
+			return errBoom
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Fatalf("err=%v calls=%d, want success on third attempt", err, calls)
+	}
+	if got := len(clock.Slept()); got != 2 {
+		t.Fatalf("slept %d times, want 2", got)
+	}
+}
+
+func TestRetryPermanentStopsImmediately(t *testing.T) {
+	clock := NewFake(time.Unix(0, 0))
+	p := RetryPolicy{MaxAttempts: 5, BaseDelay: time.Millisecond}
+	calls := 0
+	cause := errors.New("malformed request")
+	err := p.Do(context.Background(), clock, func(int) error {
+		calls++
+		return Permanent(cause)
+	})
+	if calls != 1 {
+		t.Fatalf("permanent error retried: %d calls", calls)
+	}
+	if !errors.Is(err, cause) || !IsPermanent(err) {
+		t.Fatalf("got %v, want permanent wrapping of cause", err)
+	}
+	if Permanent(nil) != nil {
+		t.Fatal("Permanent(nil) must stay nil")
+	}
+}
+
+func TestRetryContextCancelDuringBackoff(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	p := RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond}
+	err := p.Do(ctx, NewFake(time.Unix(0, 0)), func(int) error { return errBoom })
+	if !errors.Is(err, context.Canceled) || !errors.Is(err, errBoom) {
+		t.Fatalf("want joined context+attempt error, got %v", err)
+	}
+}
+
+func TestWallSleepRespectsContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	if err := (Wall{}).Sleep(ctx, time.Hour); !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("cancelled sleep blocked")
+	}
+}

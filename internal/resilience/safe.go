@@ -1,0 +1,19 @@
+package resilience
+
+import "hlpower/internal/hlerr"
+
+// Safe runs op as a panic-safe work unit: any panic — typed hlerr
+// throws and genuine bugs alike — comes back as the unit's error, the
+// same containment policy the par worker pool and the hlpower facade
+// apply. Service handlers wrap every estimation call in it so one bad
+// request can never take the daemon down.
+func Safe(op func() error) (err error) {
+	defer hlerr.RecoverAll(&err)
+	return op()
+}
+
+// SafeValue is Safe for value-returning operations.
+func SafeValue[T any](op func() (T, error)) (v T, err error) {
+	defer hlerr.RecoverAll(&err)
+	return op()
+}

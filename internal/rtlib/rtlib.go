@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"hlpower/internal/bitutil"
+	"hlpower/internal/budget"
 	"hlpower/internal/logic"
 	"hlpower/internal/sim"
 )
@@ -257,6 +258,13 @@ func (m *Module) OutputWord(out []bool) uint64 {
 // SimulateStream runs the module over paired operand streams and returns
 // the simulation result under the given delay model.
 func (m *Module) SimulateStream(aStream, bStream []uint64, model sim.DelayModel) (*sim.Result, error) {
+	return m.SimulateStreamBudget(nil, aStream, bStream, model) // nil budget never trips
+}
+
+// SimulateStreamBudget is SimulateStream governed by a resource budget,
+// so characterization streams respect deadlines, cancellation, and
+// injected faults like every other estimation stage.
+func (m *Module) SimulateStreamBudget(bud *budget.Budget, aStream, bStream []uint64, model sim.DelayModel) (*sim.Result, error) {
 	if len(bStream) > 0 && len(aStream) != len(bStream) {
 		return nil, fmt.Errorf("rtlib: stream lengths differ (%d vs %d)", len(aStream), len(bStream))
 	}
@@ -267,7 +275,7 @@ func (m *Module) SimulateStream(aStream, bStream []uint64, model sim.DelayModel)
 		}
 		return m.InputVector(aStream[c], b)
 	}
-	return sim.Run(m.Net, prov, len(aStream), sim.Options{Model: model})
+	return sim.RunBudget(bud, m.Net, prov, len(aStream), sim.Options{Model: model})
 }
 
 // EnergyPerPair measures the average switched capacitance per input pair

@@ -33,6 +33,18 @@ type ParallelOptions struct {
 	MinShard int
 }
 
+// Serial-fallback reasons reported in Result.Fallback when RunParallel
+// degrades to one shard.
+const (
+	// FallbackSequential: the netlist carries state across cycles, so
+	// vector sharding would be unsound (see CanShard).
+	FallbackSequential = "sequential-netlist"
+	// FallbackShortRun: the run could not be cut into at least two
+	// MinShard-sized shards for the available workers, so parallelism
+	// would cost more than it buys.
+	FallbackShortRun = "short-run"
+)
+
 // CanShard reports whether a netlist is eligible for vector-sharded
 // simulation. Monte Carlo sharding replays the previous vector to
 // rebuild each shard's transition baseline, which is only sound when
@@ -58,7 +70,8 @@ func CanShard(n *logic.Netlist) bool {
 // count. The input provider must be safe for concurrent use
 // (VectorInputs is). Netlists with sequential elements (see CanShard)
 // and runs too short to shard take the serial path inside this call —
-// same results, one goroutine.
+// same results, one goroutine — and the degradation is observable:
+// Result.Fallback names the reason and Result.Shards reports 1.
 func RunParallel(b *budget.Budget, n *logic.Netlist, inputs InputProvider, cycles int, opts ParallelOptions) (res *Result, err error) {
 	defer hlerr.Recover(&err)
 	e, err := prepare(n, inputs, cycles, opts.Options)
@@ -79,7 +92,13 @@ func RunParallel(b *budget.Budget, n *logic.Netlist, inputs InputProvider, cycle
 		if err != nil {
 			return nil, err
 		}
-		return merge(e, cycles, []*shard{sh}), nil
+		res := merge(e, cycles, []*shard{sh})
+		if e.sequential {
+			res.Fallback = FallbackSequential
+		} else {
+			res.Fallback = FallbackShortRun
+		}
+		return res, nil
 	}
 	spans := par.Shards(cycles, parts)
 	shards, err := par.Map(b, workers, len(spans), func(i int, wb *budget.Budget) (*shard, error) {

@@ -154,6 +154,57 @@ func TestParallelSequentialFallsBackToSerial(t *testing.T) {
 	sameResult(t, serial, parallel, "sequential-fallback")
 }
 
+// TestParallelFallbackObservable pins the observability contract: a
+// degraded (serial) RunParallel names its reason in Result.Fallback and
+// reports one shard, while a genuinely sharded run reports neither.
+func TestParallelFallbackObservable(t *testing.T) {
+	// Sequential netlist: fallback with the sequential reason.
+	n := logic.New()
+	in := n.AddInput("d")
+	n.MarkOutput(n.Add(logic.DFF, in))
+	vectors := make([][]bool, 200)
+	for c := range vectors {
+		vectors[c] = []bool{c%3 == 0}
+	}
+	res, err := RunParallel(nil, n, VectorInputs(vectors), 200, ParallelOptions{Workers: 8, MinShard: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fallback != FallbackSequential || res.Shards != 1 {
+		t.Fatalf("sequential netlist: Fallback=%q Shards=%d, want %q/1", res.Fallback, res.Shards, FallbackSequential)
+	}
+
+	// Run shorter than two shards: fallback with the short-run reason.
+	comb, inputs := mcNetlist(t, 8, 40, 2)
+	res, err = RunParallel(nil, comb, inputs, 40, ParallelOptions{Workers: 8, MinShard: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fallback != FallbackShortRun || res.Shards != 1 {
+		t.Fatalf("short run: Fallback=%q Shards=%d, want %q/1", res.Fallback, res.Shards, FallbackShortRun)
+	}
+
+	// A shardable run reports its shard count and no fallback.
+	comb, inputs = mcNetlist(t, 8, 400, 2)
+	res, err = RunParallel(nil, comb, inputs, 400, ParallelOptions{Workers: 4, MinShard: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fallback != "" || res.Shards < 2 {
+		t.Fatalf("sharded run: Fallback=%q Shards=%d, want \"\" and >=2", res.Fallback, res.Shards)
+	}
+
+	// The serial entry point reports one shard and no fallback (it never
+	// promised parallelism).
+	res, err = Run(comb, inputs, 400, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fallback != "" || res.Shards != 1 {
+		t.Fatalf("serial run: Fallback=%q Shards=%d, want \"\"/1", res.Fallback, res.Shards)
+	}
+}
+
 func TestCanShard(t *testing.T) {
 	comb, _ := mcNetlist(t, 8, 1, 1)
 	if !CanShard(comb) {

@@ -60,7 +60,15 @@ type Result struct {
 	Final       []bool             // settled values after the last cycle
 	Outputs     [][]bool           // per-cycle settled primary outputs
 	PerCycleCap []float64          // switched capacitance per cycle
-	vdd, freq   float64
+	// Shards is how many vector shards actually ran (1 on the serial
+	// entry points and on RunParallel's serial fallback).
+	Shards int
+	// Fallback is non-empty when RunParallel degraded to the serial
+	// engine, naming why (FallbackSequential or FallbackShortRun), so
+	// callers that requested parallelism can observe the degradation
+	// instead of silently paying serial latency.
+	Fallback  string
+	vdd, freq float64
 }
 
 // Power converts the accumulated switched capacitance into average
@@ -360,6 +368,7 @@ func merge(e *env, cycles int, shards []*shard) *Result {
 		Toggles:     make([]int64, len(e.n.Gates)),
 		PerCycleCap: make([]float64, 0, cycles),
 		Outputs:     make([][]bool, 0, cycles),
+		Shards:      len(shards),
 		vdd:         e.opts.Vdd,
 		freq:        e.opts.Freq,
 	}
