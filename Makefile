@@ -2,7 +2,7 @@
 
 FUZZTIME ?= 10s
 
-.PHONY: all check ci fmt-check build test bench bench-json repro vet cover fuzz soak clean
+.PHONY: all check ci fmt-check build test bench bench-json bench-compare repro vet cover fuzz soak clean
 
 all: check
 
@@ -40,6 +40,15 @@ bench:
 # BENCH_<date>.json (see cmd/benchjson); CI runs it non-blocking.
 bench-json:
 	go run ./cmd/benchjson -short
+
+# bench-compare measures a fresh candidate snapshot and diffs it
+# against the newest checked-in BENCH_*.json (see cmd/benchcompare).
+# Never fails: regressions >10% are annotated, not gated, because
+# shared-runner timings are too noisy for a hard gate.
+BENCH_NEW ?= /tmp/hlpower_bench_new.json
+bench-compare:
+	go run ./cmd/benchjson -short -out $(BENCH_NEW)
+	go run ./cmd/benchcompare -new $(BENCH_NEW)
 
 repro:
 	go run ./cmd/repro -j 8

@@ -1,0 +1,150 @@
+// Command benchcompare diffs two BENCH_<date>.json snapshots (see
+// cmd/benchjson) and reports per-benchmark deltas, flagging regressions
+// beyond a threshold. It is a trend annotator, not a gate: the exit
+// code is 0 even when regressions are found (benchmark noise on shared
+// CI runners would make a hard gate flaky), so CI runs it non-blocking
+// and the regressions surface in the job summary instead.
+//
+// Usage:
+//
+//	benchcompare                    # two newest BENCH_*.json in the cwd
+//	benchcompare -old A.json -new B.json
+//	benchcompare -threshold 15      # regression cutoff in percent
+//
+// When GITHUB_STEP_SUMMARY is set (GitHub Actions), the markdown table
+// is also appended there.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+type entry struct {
+	Name        string  `json:"name"`
+	Variant     string  `json:"variant"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	Speedup     float64 `json:"speedup_vs_serial"`
+}
+
+type snapshot struct {
+	Date       string  `json:"date"`
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	Short      bool    `json:"short_workload"`
+	Note       string  `json:"note"`
+	Results    []entry `json:"results"`
+}
+
+func main() {
+	oldPath := flag.String("old", "", "baseline snapshot (default: second-newest BENCH_*.json)")
+	newPath := flag.String("new", "", "candidate snapshot (default: newest BENCH_*.json)")
+	threshold := flag.Float64("threshold", 10, "regression threshold in percent")
+	flag.Parse()
+
+	if *oldPath == "" || *newPath == "" {
+		files, _ := filepath.Glob("BENCH_*.json")
+		sort.Strings(files) // dates are ISO, lexical == chronological
+		// With -new given, the baseline defaults to the newest checked-in
+		// snapshot; with neither flag, compare the two newest snapshots.
+		need := 1
+		if *newPath == "" {
+			need = 2
+		}
+		if len(files) < need {
+			// Too few snapshots is the normal state of a fresh
+			// checkout — nothing to compare, nothing to report.
+			fmt.Println("benchcompare: not enough BENCH_*.json snapshots, nothing to compare")
+			return
+		}
+		if *newPath == "" {
+			*newPath = files[len(files)-1]
+			files = files[:len(files)-1]
+		}
+		if *oldPath == "" {
+			*oldPath = files[len(files)-1]
+		}
+	}
+	oldSnap, err := load(*oldPath)
+	if err != nil {
+		fatal(err)
+	}
+	newSnap, err := load(*newPath)
+	if err != nil {
+		fatal(err)
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "### Benchmark compare: %s → %s\n\n", filepath.Base(*oldPath), filepath.Base(*newPath))
+	if oldSnap.Short != newSnap.Short || oldSnap.GOMAXPROCS != newSnap.GOMAXPROCS {
+		fmt.Fprintf(&b, "> ⚠️ snapshots differ in workload/host shape (short %v→%v, gomaxprocs %d→%d); deltas are indicative only\n\n",
+			oldSnap.Short, newSnap.Short, oldSnap.GOMAXPROCS, newSnap.GOMAXPROCS)
+	}
+	b.WriteString("| benchmark | old ns/op | new ns/op | delta | allocs old→new | |\n")
+	b.WriteString("|---|---:|---:|---:|---:|---|\n")
+
+	oldBy := make(map[string]entry, len(oldSnap.Results))
+	for _, e := range oldSnap.Results {
+		oldBy[e.Name] = e
+	}
+	regressions := 0
+	for _, ne := range newSnap.Results {
+		oe, ok := oldBy[ne.Name]
+		if !ok {
+			fmt.Fprintf(&b, "| %s | — | %.0f | new | — | 🆕 |\n", ne.Name, ne.NsPerOp)
+			continue
+		}
+		deltaPct := 0.0
+		if oe.NsPerOp > 0 {
+			deltaPct = (ne.NsPerOp - oe.NsPerOp) / oe.NsPerOp * 100
+		}
+		flag := ""
+		switch {
+		case deltaPct > *threshold:
+			flag = fmt.Sprintf("🔺 regression >%g%%", *threshold)
+			regressions++
+		case deltaPct < -*threshold:
+			flag = "🟢 improvement"
+		}
+		fmt.Fprintf(&b, "| %s | %.0f | %.0f | %+.1f%% | %d→%d | %s |\n",
+			ne.Name, oe.NsPerOp, ne.NsPerOp, deltaPct, oe.AllocsPerOp, ne.AllocsPerOp, flag)
+	}
+	if newSnap.Note != "" {
+		fmt.Fprintf(&b, "\n> %s\n", newSnap.Note)
+	}
+	if regressions > 0 {
+		fmt.Fprintf(&b, "\n**%d benchmark(s) regressed more than %g%%.** Non-blocking; investigate before the trend compounds.\n", regressions, *threshold)
+	}
+
+	out := b.String()
+	fmt.Print(out)
+	if path := os.Getenv("GITHUB_STEP_SUMMARY"); path != "" {
+		f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+		if err == nil {
+			_, _ = f.WriteString(out + "\n")
+			_ = f.Close()
+		}
+	}
+}
+
+func load(path string) (*snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &s, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchcompare:", err)
+	os.Exit(1)
+}

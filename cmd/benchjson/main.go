@@ -31,22 +31,34 @@ import (
 
 // Entry is one benchmark measurement.
 type Entry struct {
-	Name    string  `json:"name"`
-	Iters   int     `json:"iterations"`
-	NsPerOp float64 `json:"ns_per_op"`
+	Name  string `json:"name"`
+	Iters int    `json:"iterations"`
+	// Variant classifies the execution engine: "serial" (interpreted,
+	// one goroutine), "packed" (64-lane bit-packed kernel, one
+	// goroutine), or "parallel" (sharded worker pool).
+	Variant     string  `json:"variant,omitempty"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	// MBPerSec is workload throughput in lane-evaluations (one bit per
+	// gate per cycle), comparable across kernels of the same workload.
+	MBPerSec float64 `json:"mb_per_sec,omitempty"`
 	// Speedup is ns_per_op(serial baseline) / ns_per_op(this), present
-	// on parallel variants.
+	// on packed and parallel variants.
 	Speedup float64 `json:"speedup_vs_serial,omitempty"`
 }
 
 // Snapshot is the whole BENCH_<date>.json document.
 type Snapshot struct {
-	Date       string  `json:"date"`
-	GoVersion  string  `json:"go_version"`
-	GOMAXPROCS int     `json:"gomaxprocs"`
-	NumCPU     int     `json:"num_cpu"`
-	Short      bool    `json:"short_workload"`
-	Results    []Entry `json:"results"`
+	Date       string `json:"date"`
+	GoVersion  string `json:"go_version"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+	Short      bool   `json:"short_workload"`
+	// Note flags readings that need interpretation — e.g. on a
+	// GOMAXPROCS=1 host the parallel variants necessarily read ≈1.0×,
+	// which is a property of the machine, not a regression.
+	Note    string  `json:"note,omitempty"`
+	Results []Entry `json:"results"`
 }
 
 func main() {
@@ -66,23 +78,46 @@ func main() {
 		NumCPU:     runtime.NumCPU(),
 		Short:      *short,
 	}
+	if snap.GOMAXPROCS == 1 {
+		snap.Note = "gomaxprocs=1: parallel speedup_vs_serial ≈1.0x is expected on this host " +
+			"(no cores to shard across), not a regression; the packed variant is the " +
+			"single-thread speedup to watch"
+	}
 	path := *out
 	if path == "" {
 		path = "BENCH_" + snap.Date + ".json"
 	}
 
 	simNet, simInputs := mcWorkload(width, cycles)
-	serialSim := measure("sim/serial", func(b *testing.B) {
+	simBytes := int64(cycles) * int64(len(simNet.Gates)) / 8
+	serialSim := measure("sim/serial", simBytes, func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			if _, err := sim.Run(simNet, simInputs, cycles, sim.Options{}); err != nil {
 				fatal(err)
 			}
 		}
 	})
+	serialSim.Variant = "serial"
 	snap.Results = append(snap.Results, serialSim)
+
+	packedSim := measure("sim/packed", simBytes, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := sim.RunPacked(simNet, simInputs, cycles, sim.Options{})
+			if err != nil {
+				fatal(err)
+			}
+			if res.Kernel != sim.KernelPacked {
+				fatal(fmt.Errorf("packed run fell back: %q", res.Fallback))
+			}
+		}
+	})
+	packedSim.Variant = "packed"
+	packedSim.Speedup = round3(serialSim.NsPerOp / packedSim.NsPerOp)
+	snap.Results = append(snap.Results, packedSim)
+
 	for _, w := range []int{2, 4, 8} {
 		w := w
-		e := measure(fmt.Sprintf("sim/parallel/w%d", w), func(b *testing.B) {
+		e := measure(fmt.Sprintf("sim/parallel/w%d", w), simBytes, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				_, err := sim.RunParallel(nil, simNet, simInputs, cycles, sim.ParallelOptions{Workers: w})
 				if err != nil {
@@ -90,28 +125,31 @@ func main() {
 				}
 			}
 		})
+		e.Variant = "parallel"
 		e.Speedup = round3(serialSim.NsPerOp / e.NsPerOp)
 		snap.Results = append(snap.Results, e)
 	}
 
 	candidates := rankCandidates(cands, width, cycles/8)
-	serialRank := measure("rank/serial", func(b *testing.B) {
+	serialRank := measure("rank/serial", 0, func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			if _, err := core.RankBudget(nil, candidates).Best(); err != nil {
 				fatal(err)
 			}
 		}
 	})
+	serialRank.Variant = "serial"
 	snap.Results = append(snap.Results, serialRank)
 	for _, w := range []int{2, 4, 8} {
 		w := w
-		e := measure(fmt.Sprintf("rank/parallel/w%d", w), func(b *testing.B) {
+		e := measure(fmt.Sprintf("rank/parallel/w%d", w), 0, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if _, err := core.RankParallel(nil, w, candidates).Best(); err != nil {
 					fatal(err)
 				}
 			}
 		})
+		e.Variant = "parallel"
 		e.Speedup = round3(serialRank.NsPerOp / e.NsPerOp)
 		snap.Results = append(snap.Results, e)
 	}
@@ -127,21 +165,35 @@ func main() {
 	fmt.Printf("wrote %s (%d benchmarks, GOMAXPROCS=%d)\n", path, len(snap.Results), snap.GOMAXPROCS)
 	for _, e := range snap.Results {
 		if e.Speedup > 0 {
-			fmt.Printf("  %-20s %12.0f ns/op  %5.2fx\n", e.Name, e.NsPerOp, e.Speedup)
+			fmt.Printf("  %-20s %12.0f ns/op %8d allocs/op  %5.2fx\n", e.Name, e.NsPerOp, e.AllocsPerOp, e.Speedup)
 		} else {
-			fmt.Printf("  %-20s %12.0f ns/op\n", e.Name, e.NsPerOp)
+			fmt.Printf("  %-20s %12.0f ns/op %8d allocs/op\n", e.Name, e.NsPerOp, e.AllocsPerOp)
 		}
+	}
+	if snap.Note != "" {
+		fmt.Println("note:", snap.Note)
 	}
 }
 
-// measure runs one benchmark function in-process.
-func measure(name string, fn func(b *testing.B)) Entry {
-	r := testing.Benchmark(fn)
-	return Entry{
-		Name:    name,
-		Iters:   r.N,
-		NsPerOp: float64(r.T.Nanoseconds()) / float64(r.N),
+// measure runs one benchmark function in-process. bytes is the data
+// volume one op processes (0 to skip throughput reporting).
+func measure(name string, bytes int64, fn func(b *testing.B)) Entry {
+	r := testing.Benchmark(func(b *testing.B) {
+		if bytes > 0 {
+			b.SetBytes(bytes)
+		}
+		fn(b)
+	})
+	e := Entry{
+		Name:        name,
+		Iters:       r.N,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: r.AllocsPerOp(),
 	}
+	if bytes > 0 && r.NsPerOp() > 0 {
+		e.MBPerSec = round3(float64(bytes) / float64(r.NsPerOp()) * 1e9 / (1 << 20))
+	}
+	return e
 }
 
 // mcWorkload builds the Monte Carlo simulation workload: a

@@ -28,21 +28,16 @@ type nodeData struct {
 	lo, hi Node
 }
 
-type triple struct {
-	level  int32
-	lo, hi Node
-}
-
-type iteKey struct{ f, g, h Node }
-
 const terminalLevel = math.MaxInt32
 
 // Manager owns the node store and hash tables for one BDD universe with
-// a fixed variable order (level i = i-th variable in the order).
+// a fixed variable order (level i = i-th variable in the order). The
+// unique and ITE computed tables are open-addressing tables with an
+// integer-mix hash (see tables.go); Stats reports their traffic.
 type Manager struct {
 	nodes    []nodeData
-	unique   map[triple]Node
-	iteCache map[iteKey]Node
+	unique   *uniqueTable
+	iteCache *iteTable
 	nvars    int
 	budget   *budget.Budget
 }
@@ -67,10 +62,16 @@ func (m *Manager) Apply(fn func() Node) (n Node, err error) {
 }
 
 // New returns a manager with nvars variables, ordered by index.
-func New(nvars int) *Manager {
+func New(nvars int) *Manager { return NewSized(nvars, 0) }
+
+// NewSized returns a manager whose unique and ITE tables are
+// preallocated for roughly sizeHint nodes, skipping the incremental
+// growth steps when the final size is known (or well estimated) up
+// front. A nonpositive hint gives the small default tables.
+func NewSized(nvars, sizeHint int) *Manager {
 	m := &Manager{
-		unique:   make(map[triple]Node),
-		iteCache: make(map[iteKey]Node),
+		unique:   newUniqueTable(sizeHint),
+		iteCache: newITETable(sizeHint),
 		nvars:    nvars,
 	}
 	// Index 0 = False, 1 = True.
@@ -78,6 +79,12 @@ func New(nvars int) *Manager {
 		nodeData{level: terminalLevel},
 		nodeData{level: terminalLevel})
 	return m
+}
+
+// Stats returns the manager's cumulative unique-table and ITE
+// computed-table statistics (lookups, hits, misses, occupancy).
+func (m *Manager) Stats() Stats {
+	return Stats{Unique: m.unique.stats(), ITE: m.iteCache.stats()}
 }
 
 // NumVars returns the number of variables in the manager.
@@ -112,14 +119,16 @@ func (m *Manager) mk(level int32, lo, hi Node) Node {
 	if lo == hi {
 		return lo
 	}
-	k := triple{level, lo, hi}
-	if n, ok := m.unique[k]; ok {
+	n, idx := m.unique.lookup(level, lo, hi)
+	if n != 0 {
 		return n
 	}
+	// idx stays valid: nothing below touches the unique table before
+	// insert (CheckNodes can only panic, which abandons the slot).
 	m.budget.CheckNodes(1)
-	n := Node(len(m.nodes))
+	n = Node(len(m.nodes))
 	m.nodes = append(m.nodes, nodeData{level: level, lo: lo, hi: hi})
-	m.unique[k] = n
+	m.unique.insert(idx, level, lo, hi, n)
 	return n
 }
 
@@ -136,8 +145,7 @@ func (m *Manager) ITE(f, g, h Node) Node {
 	case g == True && h == False:
 		return f
 	}
-	key := iteKey{f, g, h}
-	if r, ok := m.iteCache[key]; ok {
+	if r, ok := m.iteCache.lookup(f, g, h); ok {
 		return r
 	}
 	m.budget.Check(1)
@@ -153,7 +161,7 @@ func (m *Manager) ITE(f, g, h Node) Node {
 	g0, g1 := m.cofactors(g, top)
 	h0, h1 := m.cofactors(h, top)
 	r := m.mk(top, m.ITE(f0, g0, h0), m.ITE(f1, g1, h1))
-	m.iteCache[key] = r
+	m.iteCache.insert(f, g, h, r)
 	return r
 }
 
@@ -394,6 +402,11 @@ func SizeEstimate(b *budget.Budget, tt []bool, n int) (nodes int, degraded bool,
 	}
 	return sampledSize(tt, n), true, nil
 }
+
+// SampledSize is the sampled (degraded) ROBDD size estimate on its own:
+// callers that manage their own Manager and budget (e.g. powerd's BDD
+// handler) use it to degrade after an exact build was cut off.
+func SampledSize(tt []bool, n int) int { return sampledSize(tt, n) }
 
 // sampledSize estimates the ROBDD size of tt by sampling: the width of
 // level i is the number of distinct cofactor columns tt[p + k·2^i]

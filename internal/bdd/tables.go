@@ -1,0 +1,209 @@
+// Hash tables specialized for the manager's two hot paths: the unique
+// table that hash-conses nodes and the ITE computed table. Both used to
+// be Go maps keyed by structs, which pay interface-free but still
+// substantial costs — per-key hashing through runtime reflection-ish
+// type hashers, bucket chasing, and write-barrier traffic. These are
+// exact (never lossy) open-addressing tables with power-of-two
+// capacity, linear probing, and a cheap integer-mix hash over the key
+// words. Losing a cached ITE result would only cost recompute time, but
+// for the deep recursions the reordering heuristics drive, "only" is
+// exponential — so entries are never evicted; tables grow at 3/4 load.
+package bdd
+
+// mix3 hashes three key words with splitmix64-style finalization — a
+// few multiplies and shifts, no memory traffic.
+func mix3(a, b, c uint64) uint64 {
+	h := a*0x9e3779b97f4a7c15 + b*0xbf58476d1ce4e5b9 + c*0x94d049bb133111eb
+	h ^= h >> 29
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 32
+	return h
+}
+
+// TableStats reports cumulative traffic on one manager hash table.
+// Hits+Misses always equals Lookups; Entries/Cap describe current
+// occupancy.
+type TableStats struct {
+	Lookups int64 `json:"lookups"`
+	Hits    int64 `json:"hits"`
+	Misses  int64 `json:"misses"`
+	Entries int   `json:"entries"`
+	Cap     int   `json:"cap"`
+}
+
+// Stats bundles the per-table statistics of one manager.
+type Stats struct {
+	Unique TableStats `json:"unique"`
+	ITE    TableStats `json:"ite"`
+}
+
+// tableCap rounds a size hint up to the smallest power of two that
+// keeps the table under 3/4 load, with a floor small enough that the
+// reordering heuristics can rebuild throwaway managers cheaply.
+func tableCap(hint int) int {
+	c := 16
+	for c*3 < hint*4 {
+		c <<= 1
+	}
+	return c
+}
+
+// uniqueEntry is one hash-consed node: key (level, lo, hi), value val.
+// val == 0 marks an empty slot — node ids 0 and 1 are the terminals and
+// are never interned, so every stored value is >= 2.
+type uniqueEntry struct {
+	level  int32
+	lo, hi Node
+	val    Node
+}
+
+type uniqueTable struct {
+	entries []uniqueEntry
+	mask    uint64
+	n       int
+	lookups int64
+	hits    int64
+}
+
+func newUniqueTable(hint int) *uniqueTable {
+	c := tableCap(hint)
+	return &uniqueTable{entries: make([]uniqueEntry, c), mask: uint64(c - 1)}
+}
+
+// lookup probes for (level, lo, hi). On a hit it returns the interned
+// node and -1; on a miss it returns 0 and the slot index where insert
+// must place the new node. The index stays valid only while the table
+// is untouched — mk's lookup→insert window performs no other table
+// operations.
+func (t *uniqueTable) lookup(level int32, lo, hi Node) (Node, int) {
+	t.lookups++
+	i := mix3(uint64(uint32(level)), uint64(lo), uint64(hi)) & t.mask
+	for {
+		e := &t.entries[i]
+		if e.val == 0 {
+			return 0, int(i)
+		}
+		if e.level == level && e.lo == lo && e.hi == hi {
+			t.hits++
+			return e.val, -1
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+// insert fills the empty slot lookup reported and grows past 3/4 load.
+func (t *uniqueTable) insert(idx int, level int32, lo, hi, val Node) {
+	t.entries[idx] = uniqueEntry{level: level, lo: lo, hi: hi, val: val}
+	t.n++
+	if t.n*4 >= len(t.entries)*3 {
+		t.grow()
+	}
+}
+
+func (t *uniqueTable) grow() {
+	old := t.entries
+	t.entries = make([]uniqueEntry, len(old)*2)
+	t.mask = uint64(len(t.entries) - 1)
+	for _, e := range old {
+		if e.val == 0 {
+			continue
+		}
+		i := mix3(uint64(uint32(e.level)), uint64(e.lo), uint64(e.hi)) & t.mask
+		for t.entries[i].val != 0 {
+			i = (i + 1) & t.mask
+		}
+		t.entries[i] = e
+	}
+}
+
+func (t *uniqueTable) stats() TableStats {
+	return TableStats{
+		Lookups: t.lookups,
+		Hits:    t.hits,
+		Misses:  t.lookups - t.hits,
+		Entries: t.n,
+		Cap:     len(t.entries),
+	}
+}
+
+// iteEntry caches ITE(f, g, h) = val. f == 0 marks an empty slot: the
+// terminal cases return before the cache, so every cached f is an
+// internal node (>= 2). val may legitimately be a terminal.
+type iteEntry struct {
+	f, g, h Node
+	val     Node
+}
+
+type iteTable struct {
+	entries []iteEntry
+	mask    uint64
+	n       int
+	lookups int64
+	hits    int64
+}
+
+func newITETable(hint int) *iteTable {
+	c := tableCap(hint)
+	return &iteTable{entries: make([]iteEntry, c), mask: uint64(c - 1)}
+}
+
+// lookup probes for (f, g, h): (result, true) on a hit. Unlike the
+// unique table it does not hand out a slot index — ITE recurses between
+// lookup and insert, and those recursive calls move slots around.
+func (t *iteTable) lookup(f, g, h Node) (Node, bool) {
+	t.lookups++
+	i := mix3(uint64(f), uint64(g), uint64(h)) & t.mask
+	for {
+		e := &t.entries[i]
+		if e.f == 0 {
+			return 0, false
+		}
+		if e.f == f && e.g == g && e.h == h {
+			t.hits++
+			return e.val, true
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+// insert stores ITE(f, g, h) = val, re-probing from scratch (see
+// lookup) and growing past 3/4 load. Keys are never inserted twice:
+// ITE only inserts after a miss, and the recursion between miss and
+// insert computes strictly smaller subproblems.
+func (t *iteTable) insert(f, g, h, val Node) {
+	i := mix3(uint64(f), uint64(g), uint64(h)) & t.mask
+	for t.entries[i].f != 0 {
+		i = (i + 1) & t.mask
+	}
+	t.entries[i] = iteEntry{f: f, g: g, h: h, val: val}
+	t.n++
+	if t.n*4 >= len(t.entries)*3 {
+		t.grow()
+	}
+}
+
+func (t *iteTable) grow() {
+	old := t.entries
+	t.entries = make([]iteEntry, len(old)*2)
+	t.mask = uint64(len(t.entries) - 1)
+	for _, e := range old {
+		if e.f == 0 {
+			continue
+		}
+		i := mix3(uint64(e.f), uint64(e.g), uint64(e.h)) & t.mask
+		for t.entries[i].f != 0 {
+			i = (i + 1) & t.mask
+		}
+		t.entries[i] = e
+	}
+}
+
+func (t *iteTable) stats() TableStats {
+	return TableStats{
+		Lookups: t.lookups,
+		Hits:    t.hits,
+		Misses:  t.lookups - t.hits,
+		Entries: t.n,
+		Cap:     len(t.entries),
+	}
+}

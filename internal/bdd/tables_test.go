@@ -1,0 +1,141 @@
+package bdd
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randTT returns a random truth table over n variables.
+func randTT(rng *rand.Rand, n int) []bool {
+	tt := make([]bool, 1<<uint(n))
+	for i := range tt {
+		tt[i] = rng.Intn(2) == 1
+	}
+	return tt
+}
+
+// TestTableStatsInvariant: on both manager tables, every lookup is
+// exactly one hit or one miss, and the entry count matches what the
+// misses interned (for the unique table, one node per miss).
+func TestTableStatsInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for _, nvars := range []int{4, 8, 11} {
+		m := New(nvars)
+		root, err := m.BuildTT(randTT(rng, nvars), nvars)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Drive the ITE table too.
+		if _, err := m.Apply(func() Node {
+			return m.Xor(root, m.And(m.Var(0), m.Var(nvars-1)))
+		}); err != nil {
+			t.Fatal(err)
+		}
+		st := m.Stats()
+		for _, tc := range []struct {
+			name string
+			ts   TableStats
+		}{{"unique", st.Unique}, {"ite", st.ITE}} {
+			if tc.ts.Lookups == 0 {
+				t.Fatalf("%s: no lookups recorded", tc.name)
+			}
+			if tc.ts.Hits+tc.ts.Misses != tc.ts.Lookups {
+				t.Fatalf("%s: hits %d + misses %d != lookups %d",
+					tc.name, tc.ts.Hits, tc.ts.Misses, tc.ts.Lookups)
+			}
+			if tc.ts.Entries > tc.ts.Cap {
+				t.Fatalf("%s: entries %d exceed cap %d", tc.name, tc.ts.Entries, tc.ts.Cap)
+			}
+		}
+		// Every unique-table miss interned exactly one node (beyond the
+		// two terminals).
+		if got := int64(m.Size() - 2); got != st.Unique.Misses {
+			t.Fatalf("unique misses %d but %d interned nodes", st.Unique.Misses, got)
+		}
+	}
+}
+
+// TestRehashedTablesSameBDDs: the open-addressing tables are a pure
+// representation change — managers with different initial table sizes
+// (hence different hash layouts and growth histories) must build
+// structurally identical BDDs: same node counts, same SizeEstimate,
+// same signature probabilities, same evaluations.
+func TestRehashedTablesSameBDDs(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	const nvars = 10
+	tt := randTT(rng, nvars)
+
+	p := make([]float64, nvars)
+	for i := range p {
+		p[i] = rng.Float64()
+	}
+
+	build := func(m *Manager) (Node, int, float64) {
+		root, err := m.BuildTT(tt, nvars)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return root, m.NodeCount(root), m.Probability(root, p)
+	}
+
+	small := New(nvars)
+	rootS, countS, probS := build(small)
+	big := NewSized(nvars, 1<<16)
+	rootB, countB, probB := build(big)
+
+	if countS != countB {
+		t.Fatalf("node counts differ across table sizes: %d vs %d", countS, countB)
+	}
+	if probS != probB {
+		t.Fatalf("signature probabilities differ: %v vs %v", probS, probB)
+	}
+	// Canonicity within each manager: same function, same root.
+	if again, _ := small.BuildTT(tt, nvars); again != rootS {
+		t.Fatalf("rebuild in same manager returned different root")
+	}
+	if again, _ := big.BuildTT(tt, nvars); again != rootB {
+		t.Fatalf("rebuild in sized manager returned different root")
+	}
+	// Pointwise agreement on a sample of assignments.
+	for k := 0; k < 200; k++ {
+		assign := make([]bool, nvars)
+		idx := 0
+		for i := range assign {
+			assign[i] = rng.Intn(2) == 1
+			if assign[i] {
+				idx |= 1 << uint(i)
+			}
+		}
+		want := tt[idx]
+		if small.Eval(rootS, assign) != want || big.Eval(rootB, assign) != want {
+			t.Fatalf("evaluation disagrees with truth table at %v", assign)
+		}
+	}
+
+	// SizeEstimate goes through its own manager; it must agree with the
+	// exact builds above.
+	nodes, degraded, err := SizeEstimate(nil, tt, nvars)
+	if err != nil || degraded {
+		t.Fatalf("SizeEstimate: nodes=%d degraded=%v err=%v", nodes, degraded, err)
+	}
+	if nodes != countS {
+		t.Fatalf("SizeEstimate %d != NodeCount %d", nodes, countS)
+	}
+}
+
+// TestNewSizedHint: a size hint preallocates capacity and changes no
+// observable behavior beyond that.
+func TestNewSizedHint(t *testing.T) {
+	m := NewSized(6, 10_000)
+	st := m.Stats()
+	if st.Unique.Cap < 10_000 || st.ITE.Cap < 10_000 {
+		t.Fatalf("hinted caps too small: %+v", st)
+	}
+	x := m.Var(2)
+	if !m.Eval(x, []bool{false, false, true, false, false, false}) {
+		t.Fatal("Var(2) should evaluate true when bit 2 set")
+	}
+	if m.Stats().Unique.Cap != st.Unique.Cap {
+		t.Fatal("tiny build should not grow a hinted table")
+	}
+}

@@ -27,12 +27,15 @@ func (e *GateLevelEstimator) Name() string { return "gate-simulation" }
 // Level reports the abstraction level.
 func (e *GateLevelEstimator) Level() Level { return Gate }
 
-// Estimate runs the simulation and returns average power.
+// Estimate runs the simulation and returns average power. It uses the
+// bit-packed kernel when the workload allows (RunPacked degrades to the
+// scalar engine for sequential netlists and event-driven runs, with
+// identical results either way).
 func (e *GateLevelEstimator) Estimate() (float64, error) {
 	if e.Net == nil || e.Inputs == nil || e.Cycles <= 0 {
 		return 0, errors.New("core: gate estimator needs a netlist, inputs, and cycles")
 	}
-	res, err := sim.Run(e.Net, e.Inputs, e.Cycles, e.Opts)
+	res, err := sim.RunPacked(e.Net, e.Inputs, e.Cycles, e.Opts)
 	if err != nil {
 		return 0, err
 	}

@@ -1,0 +1,129 @@
+// Compilation of combinational netlists into a flat instruction stream.
+// The interpreted simulator walks Netlist.Gates through interface-ish
+// dispatch every cycle; Compile performs that walk once, levelizes the
+// gates, and emits a dense gate-kind/fanin-index program that a kernel
+// (notably the 64-lane bit-packed simulator in internal/sim) can execute
+// with nothing but array indexing and bitwise ops in its inner loop.
+package logic
+
+import "hlpower/internal/hlerr"
+
+// Program is the compiled, levelized form of a combinational netlist:
+// one instruction per non-input gate, in an order where every
+// instruction's fanins are written before it executes (levels ascend;
+// ids break ties, so the layout is deterministic for a fixed netlist).
+// Fields are flat parallel arrays so execution engines index them
+// directly; Args for instruction i are Args[ArgOff[i]:ArgOff[i+1]].
+type Program struct {
+	Kinds  []Kind  // instruction opcode (the gate's cell kind)
+	Outs   []int32 // destination signal id
+	ArgOff []int32 // len(Kinds)+1 offsets into Args
+	Args   []int32 // flattened fanin signal ids
+	Levels []int32 // levelization depth of each instruction
+
+	nGates  int
+	nLevels int
+}
+
+// NumInstrs returns the number of compiled instructions (the netlist's
+// non-input gates).
+func (p *Program) NumInstrs() int { return len(p.Kinds) }
+
+// NumGates returns the gate count of the source netlist, which is the
+// size of the value array an executor must allocate.
+func (p *Program) NumGates() int { return p.nGates }
+
+// NumLevels returns the number of distinct levelization depths.
+func (p *Program) NumLevels() int { return p.nLevels }
+
+// Compile levelizes a combinational netlist into a Program. Sequential
+// cells (DFF, EnDFF, Latch) are a typed input error: their cross-cycle
+// state breaks the pure-dataflow contract the compiled kernels rely on,
+// and callers are expected to keep those netlists on the interpreted
+// path. Construction errors and combinational cycles propagate from the
+// netlist exactly as TopoOrder reports them.
+func Compile(n *Netlist) (*Program, error) {
+	if n == nil {
+		return nil, hlerr.Errorf("logic.Compile", "nil netlist")
+	}
+	if err := n.Err(); err != nil {
+		return nil, err
+	}
+	if _, err := n.TopoOrder(); err != nil {
+		return nil, err
+	}
+	for id, g := range n.Gates {
+		if g.Kind.IsSequential() || g.Kind == Latch {
+			return nil, hlerr.Errorf("logic.Compile", "gate %d (%v) is sequential; only combinational netlists compile", id, g.Kind)
+		}
+	}
+
+	// Levelize: inputs and constants sit at level 0; a gate sits one
+	// past its deepest fanin. Iterating ids in TopoOrder is unnecessary
+	// here — combinational fanins always have smaller levels, and a
+	// single ascending-id pass suffices only when fanins precede their
+	// readers, which AddG guarantees (fanin ids must already exist).
+	level := make([]int32, len(n.Gates))
+	maxLevel := int32(0)
+	for id, g := range n.Gates {
+		if g.Kind == Input || g.Kind == Const0 || g.Kind == Const1 {
+			continue
+		}
+		l := int32(0)
+		for _, f := range g.Fanin {
+			if level[f] > l {
+				l = level[f]
+			}
+		}
+		level[id] = l + 1
+		if level[id] > maxLevel {
+			maxLevel = level[id]
+		}
+	}
+
+	// Bucket instructions by level (counting sort keeps the pass linear
+	// and the within-level order ascending by id).
+	counts := make([]int32, maxLevel+2)
+	nInstr, nArgs := 0, 0
+	for id, g := range n.Gates {
+		if g.Kind == Input {
+			continue
+		}
+		counts[level[id]+1]++
+		nInstr++
+		nArgs += len(g.Fanin)
+	}
+	for l := 1; l < len(counts); l++ {
+		counts[l] += counts[l-1]
+	}
+	order := make([]int32, nInstr)
+	pos := append([]int32(nil), counts[:maxLevel+1]...)
+	for id, g := range n.Gates {
+		if g.Kind == Input {
+			continue
+		}
+		order[pos[level[id]]] = int32(id)
+		pos[level[id]]++
+	}
+
+	p := &Program{
+		Kinds:   make([]Kind, 0, nInstr),
+		Outs:    make([]int32, 0, nInstr),
+		ArgOff:  make([]int32, 1, nInstr+1),
+		Args:    make([]int32, 0, nArgs),
+		Levels:  make([]int32, 0, nInstr),
+		nGates:  len(n.Gates),
+		nLevels: int(maxLevel) + 1,
+	}
+	for _, id := range order {
+		g := &n.Gates[id]
+		p.Kinds = append(p.Kinds, g.Kind)
+		p.Outs = append(p.Outs, id)
+		p.Levels = append(p.Levels, level[id])
+		for _, f := range g.Fanin {
+			p.Args = append(p.Args, int32(f))
+		}
+		p.ArgOff = append(p.ArgOff, int32(len(p.Args)))
+	}
+	return p, nil
+}

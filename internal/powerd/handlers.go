@@ -2,6 +2,7 @@ package powerd
 
 import (
 	"context"
+	"errors"
 	"math/rand"
 	"net/http"
 
@@ -73,7 +74,10 @@ type simulateResponse struct {
 	Power       float64 `json:"power"`
 	Shards      int     `json:"shards"`
 	Fallback    string  `json:"fallback,omitempty"`
-	Hedged      bool    `json:"hedged"`
+	// Kernel is "packed" when the 64-lane bit-packed kernel served the
+	// request, empty when the interpreted scalar engine ran.
+	Kernel string `json:"kernel,omitempty"`
+	Hedged bool   `json:"hedged"`
 }
 
 func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
@@ -100,6 +104,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		Power:       res.Power(),
 		Shards:      res.Shards,
 		Fallback:    res.Fallback,
+		Kernel:      res.Kernel,
 		Hedged:      hedgeAttempt > 0,
 	})
 }
@@ -292,22 +297,25 @@ func (s *Server) handleBDD(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			return nil, err
 		}
+		// The handler owns the manager (rather than delegating to
+		// bdd.SizeEstimate) so its unique/ITE table traffic can be folded
+		// into the /v1/stats counters — including partial builds that a
+		// budget trip abandoned.
+		m := bdd.New(req.Vars)
+		m.SetBudget(b)
+		root, err := m.BuildTT(tt, req.Vars)
+		s.recordBDDStats(m.Stats())
 		var (
 			nodes    int
 			degraded bool
 		)
-		if req.AllowDegraded {
-			nodes, degraded, err = bdd.SizeEstimate(b, tt, req.Vars)
-		} else {
-			m := bdd.New(req.Vars)
-			m.SetBudget(b)
-			var root bdd.Node
-			root, err = m.BuildTT(tt, req.Vars)
-			if err == nil {
-				nodes = m.NodeCount(root)
-			}
-		}
-		if err != nil {
+		switch {
+		case err == nil:
+			nodes = m.NodeCount(root)
+		case req.AllowDegraded && errors.Is(err, budget.ErrExceeded):
+			nodes = bdd.SampledSize(tt, req.Vars)
+			degraded = true
+		default:
 			return nil, err
 		}
 		return bddResponse{Function: req.Function, Vars: req.Vars, Nodes: nodes, Degraded: degraded}, nil

@@ -23,6 +23,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"hlpower/internal/bdd"
 	"hlpower/internal/budget"
 	"hlpower/internal/hlerr"
 	"hlpower/internal/resilience"
@@ -141,6 +142,7 @@ type Server struct {
 
 	mu          sync.Mutex
 	transitions []Transition
+	bddTables   bdd.Stats // cumulative manager table traffic (under mu)
 
 	mux *http.ServeMux
 }
@@ -219,6 +221,10 @@ type Stats struct {
 	Draining    bool                               `json:"draining"`
 	Breakers    map[string]resilience.BreakerStats `json:"breakers"`
 	Transitions []Transition                       `json:"transitions"`
+	// BDDTables aggregates unique-table and ITE computed-table traffic
+	// (lookups, hits, misses) across every BDD request the server has
+	// run, so operators can watch hash-consing effectiveness live.
+	BDDTables bdd.Stats `json:"bdd_tables"`
 }
 
 // Snapshot returns the current counters.
@@ -236,8 +242,27 @@ func (s *Server) Snapshot() Stats {
 	}
 	s.mu.Lock()
 	st.Transitions = append(st.Transitions, s.transitions...)
+	st.BDDTables = s.bddTables
 	s.mu.Unlock()
 	return st
+}
+
+// recordBDDStats folds one manager's table traffic into the service
+// totals. Entries/Cap describe a single manager, so only the traffic
+// counters accumulate meaningfully; the occupancy fields keep the last
+// manager's values as a recent-size sample.
+func (s *Server) recordBDDStats(st bdd.Stats) {
+	s.mu.Lock()
+	acc := &s.bddTables
+	acc.Unique.Lookups += st.Unique.Lookups
+	acc.Unique.Hits += st.Unique.Hits
+	acc.Unique.Misses += st.Unique.Misses
+	acc.Unique.Entries, acc.Unique.Cap = st.Unique.Entries, st.Unique.Cap
+	acc.ITE.Lookups += st.ITE.Lookups
+	acc.ITE.Hits += st.ITE.Hits
+	acc.ITE.Misses += st.ITE.Misses
+	acc.ITE.Entries, acc.ITE.Cap = st.ITE.Entries, st.ITE.Cap
+	s.mu.Unlock()
 }
 
 func (s *Server) recordTransition(name string, from, to resilience.BreakerState, at time.Time) {

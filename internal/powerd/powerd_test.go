@@ -343,3 +343,62 @@ func ExampleServer() {
 	fmt.Println(resp.StatusCode, out.Circuit, out.Cycles)
 	// Output: 200 adder 100
 }
+
+// TestStatsSurfaceBDDTables: serving BDD requests must accumulate the
+// manager's unique/ITE table counters into /v1/stats, with the
+// hits+misses == lookups invariant intact, and the simulate endpoint
+// must report which kernel served it.
+func TestStatsSurfaceBDDTables(t *testing.T) {
+	s := NewServer(testConfig())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, out := post(t, ts, "/v1/simulate", simulateRequest{Circuit: "multiplier", Width: 6, Cycles: 500, Seed: 4})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("simulate: %d %v", resp.StatusCode, out)
+	}
+	if out["kernel"] != "packed" {
+		t.Fatalf("combinational zero-delay simulate served by kernel %v, want packed", out["kernel"])
+	}
+
+	for i := 0; i < 3; i++ {
+		resp, out = post(t, ts, "/v1/bdd", bddRequest{Function: "parity", Vars: 8})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("bdd: %d %v", resp.StatusCode, out)
+		}
+	}
+	st := s.Snapshot().BDDTables
+	// Truth-table builds hash-cons through the unique table; the ITE
+	// computed table only sees traffic from boolean operations, so its
+	// counters may legitimately be zero here — the invariant must hold
+	// for both either way.
+	if st.Unique.Lookups == 0 {
+		t.Fatal("unique: no lookups accumulated in /v1/stats")
+	}
+	if st.Unique.Hits+st.Unique.Misses != st.Unique.Lookups {
+		t.Fatalf("unique: hits %d + misses %d != lookups %d", st.Unique.Hits, st.Unique.Misses, st.Unique.Lookups)
+	}
+	if st.ITE.Hits+st.ITE.Misses != st.ITE.Lookups {
+		t.Fatalf("ite: hits %d + misses %d != lookups %d", st.ITE.Hits, st.ITE.Misses, st.ITE.Lookups)
+	}
+
+	// The JSON endpoint exposes the same counters.
+	httpResp, err := ts.Client().Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer httpResp.Body.Close()
+	var body struct {
+		BDDTables struct {
+			Unique struct {
+				Lookups int64 `json:"lookups"`
+			} `json:"unique"`
+		} `json:"bdd_tables"`
+	}
+	if err := json.NewDecoder(httpResp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body.BDDTables.Unique.Lookups != st.Unique.Lookups {
+		t.Fatalf("JSON stats lookups %d != snapshot %d", body.BDDTables.Unique.Lookups, st.Unique.Lookups)
+	}
+}

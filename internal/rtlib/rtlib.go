@@ -275,7 +275,11 @@ func (m *Module) SimulateStreamBudget(bud *budget.Budget, aStream, bStream []uin
 		}
 		return m.InputVector(aStream[c], b)
 	}
-	return sim.RunBudget(bud, m.Net, prov, len(aStream), sim.Options{Model: model})
+	// The packed entry point auto-selects: rtlib modules are
+	// combinational, so zero-delay streams ride the 64-lane kernel and
+	// event-driven streams fall back to the scalar engine, with
+	// bit-identical results and step accounting either way.
+	return sim.RunPackedBudget(bud, m.Net, prov, len(aStream), sim.Options{Model: model})
 }
 
 // EnergyPerPair measures the average switched capacitance per input pair

@@ -1,0 +1,276 @@
+// 64-lane bit-packed Monte Carlo simulation. Zero-delay switched-
+// capacitance estimation evaluates the same combinational netlist over
+// thousands of statistically independent vectors; the classic compiled
+// simulation trick (Burch/Najm-style Monte Carlo) packs 64 of those
+// vectors into one machine word per net, so each gate costs a handful
+// of bitwise ops per 64 cycles instead of 64 interpreted evaluations.
+// Toggles fall out of popcounts on prev^next words, and the switched-
+// capacitance floats are still accumulated in the canonical per-cycle,
+// ascending-net order, so the packed result is bit-identical to the
+// serial zero-delay engine — the property the equivalence fuzz tests
+// pin. Glitch-aware (event-driven) runs and stateful netlists keep the
+// interpreted path; entry points report that degradation through
+// Result.Fallback exactly like RunParallel does.
+package sim
+
+import (
+	"math/bits"
+
+	"hlpower/internal/budget"
+	"hlpower/internal/hlerr"
+	"hlpower/internal/logic"
+)
+
+// KernelPacked in Result.Kernel marks a run (or every shard of a run)
+// executed by the 64-lane bit-packed kernel; an empty Kernel means the
+// interpreted scalar engine ran.
+const KernelPacked = "packed"
+
+// FallbackEventDriven in Result.Fallback: the packed kernel was
+// requested but the event-driven delay model needs per-event timing the
+// bit-parallel evaluation cannot express, so the scalar engine ran.
+const FallbackEventDriven = "event-driven-model"
+
+// CanPack reports whether a netlist is eligible for the bit-packed
+// kernel: packing evaluates each cycle as pure dataflow, so exactly the
+// netlists that can vector-shard (no cross-cycle state) can pack.
+func CanPack(n *logic.Netlist) bool { return CanShard(n) }
+
+// RunPacked is Run on the 64-lane bit-packed kernel: bit-identical
+// results at a fraction of the cost for combinational netlists under
+// the zero-delay model. Ineligible workloads (sequential netlists,
+// event-driven runs) degrade to the scalar engine with the reason in
+// Result.Fallback, so callers always get the serial-equivalent answer.
+func RunPacked(n *logic.Netlist, inputs InputProvider, cycles int, opts Options) (*Result, error) {
+	return RunPackedBudget(nil, n, inputs, cycles, opts)
+}
+
+// RunPackedBudget is RunPacked governed by a resource budget. The
+// packed kernel charges the budget identically to the scalar engine —
+// one step per gate per simulated cycle — just in 64-cycle increments,
+// so step accounting and exhaustion behavior match the serial path.
+func RunPackedBudget(b *budget.Budget, n *logic.Netlist, inputs InputProvider, cycles int, opts Options) (res *Result, err error) {
+	defer hlerr.Recover(&err)
+	e, err := prepare(n, inputs, cycles, opts)
+	if err != nil {
+		return nil, err
+	}
+	reason := ""
+	switch {
+	case opts.Model == EventDriven:
+		reason = FallbackEventDriven
+	case e.sequential:
+		reason = FallbackSequential
+	}
+	if reason != "" {
+		sh, err := runShard(b, e, inputs, 0, cycles)
+		if err != nil {
+			return nil, err
+		}
+		res := merge(e, cycles, []*shard{sh})
+		res.Fallback = reason
+		return res, nil
+	}
+	prog, err := logic.Compile(n)
+	if err != nil {
+		return nil, err
+	}
+	sh, err := runShardPacked(b, e, prog, inputs, 0, cycles)
+	if err != nil {
+		return nil, err
+	}
+	res = merge(e, cycles, []*shard{sh})
+	res.Kernel = KernelPacked
+	return res, nil
+}
+
+// execPacked runs the compiled instruction stream over the packed value
+// words: words[id] holds 64 cycles of net id, one cycle per bit. Lanes
+// beyond the valid count compute garbage that every consumer masks off.
+func execPacked(p *logic.Program, words []uint64) {
+	kinds, outs, argOff, args := p.Kinds, p.Outs, p.ArgOff, p.Args
+	for i := range kinds {
+		a := args[argOff[i]:argOff[i+1]]
+		var w uint64
+		switch kinds[i] {
+		case logic.Const0:
+			w = 0
+		case logic.Const1:
+			w = ^uint64(0)
+		case logic.Buf:
+			w = words[a[0]]
+		case logic.Not:
+			w = ^words[a[0]]
+		case logic.And:
+			w = words[a[0]] & words[a[1]]
+			for _, f := range a[2:] {
+				w &= words[f]
+			}
+		case logic.Or:
+			w = words[a[0]] | words[a[1]]
+			for _, f := range a[2:] {
+				w |= words[f]
+			}
+		case logic.Nand:
+			w = words[a[0]] & words[a[1]]
+			for _, f := range a[2:] {
+				w &= words[f]
+			}
+			w = ^w
+		case logic.Nor:
+			w = words[a[0]] | words[a[1]]
+			for _, f := range a[2:] {
+				w |= words[f]
+			}
+			w = ^w
+		case logic.Xor:
+			w = words[a[0]] ^ words[a[1]]
+		case logic.Xnor:
+			w = ^(words[a[0]] ^ words[a[1]])
+		case logic.Mux:
+			sel := words[a[0]]
+			w = (^sel & words[a[1]]) | (sel & words[a[2]])
+		default:
+			hlerr.Throwf("sim.execPacked", "uncompilable kind %v", kinds[i])
+		}
+		words[outs[i]] = w
+	}
+}
+
+// runShardPacked simulates cycles [lo, hi) on the bit-packed kernel.
+// Lane layout: word k of the shard covers cycles lo+64k .. lo+64k+63,
+// cycle c in bit c-lo-64k; the final word's tail lanes are masked out
+// of every toggle count. The transition baseline is rebuilt exactly as
+// the scalar shard does — by settling the previous vector (vector 0 for
+// the first shard) — so shard boundaries and cycle 0 count transitions
+// identically to a serial run.
+func runShardPacked(b *budget.Budget, e *env, prog *logic.Program, inputs InputProvider, lo, hi int) (sh *shard, err error) {
+	defer hlerr.Recover(&err)
+	n := e.n
+	cycles := hi - lo
+	ng := len(e.groups)
+	nOut := len(n.Outputs)
+	sh = &shard{
+		lo: lo, hi: hi,
+		toggles:  make([]int64, len(n.Gates)),
+		capByCyc: make([]float64, cycles),
+		grpByCyc: make([][]float64, cycles),
+		outputs:  make([][]bool, 0, cycles),
+	}
+	grpFlat := make([]float64, cycles*ng)
+	for i := range sh.grpByCyc {
+		sh.grpByCyc[i] = grpFlat[i*ng : (i+1)*ng]
+	}
+	outFlat := make([]bool, cycles*nOut)
+
+	fetch := func(cycle int) ([]bool, error) {
+		vec := inputs(cycle)
+		if len(vec) != len(n.Inputs) {
+			return nil, hlerr.Errorf("sim.Run", "input vector width %d, want %d", len(vec), len(n.Inputs))
+		}
+		return vec, nil
+	}
+
+	words := make([]uint64, len(n.Gates))
+	carry := make([]uint64, len(n.Gates))
+
+	// Baseline: settle the pre-shard vector in lane 0 and seed the
+	// per-net carry bits from it, mirroring the scalar shard's baseline
+	// settle (cycle 0 of the run therefore counts zero transitions).
+	base := lo - 1
+	if base < 0 {
+		base = 0
+	}
+	vec, err := fetch(base)
+	if err != nil {
+		return nil, err
+	}
+	for i, sig := range n.Inputs {
+		if vec[i] {
+			words[sig] = 1
+		}
+	}
+	execPacked(prog, words)
+	for id, w := range words {
+		carry[id] = w & 1
+	}
+
+	perCycle := int64(len(e.order)) + 1
+	for w0 := 0; w0 < cycles; w0 += 64 {
+		lanes := cycles - w0
+		if lanes > 64 {
+			lanes = 64
+		}
+		b.Check(int64(lanes) * perCycle)
+
+		// Gather: bit j of each input word is that input's value in
+		// cycle lo+w0+j.
+		for _, sig := range n.Inputs {
+			words[sig] = 0
+		}
+		for j := 0; j < lanes; j++ {
+			vec, err := fetch(lo + w0 + j)
+			if err != nil {
+				return nil, err
+			}
+			bit := uint64(1) << uint(j)
+			for i, sig := range n.Inputs {
+				if vec[i] {
+					words[sig] |= bit
+				}
+			}
+		}
+
+		execPacked(prog, words)
+
+		mask := ^uint64(0)
+		if lanes < 64 {
+			mask = uint64(1)<<uint(lanes) - 1
+		}
+		// Toggle extraction. cur^(cur<<1 | carry) has a 1 wherever a
+		// cycle's settled value differs from the previous cycle's; the
+		// carry chains bit 63 across words (and the baseline into bit
+		// 0). The net loop ascends ids, so for any fixed cycle the
+		// float accumulations below land in exactly the order the
+		// scalar engine's record() applies them — that ordering is what
+		// makes the packed sums bit-identical, not just close.
+		capByCyc := sh.capByCyc[w0:]
+		for id := range words {
+			cur := words[id]
+			t := (cur ^ (cur<<1 | carry[id])) & mask
+			carry[id] = cur >> 63
+			if t == 0 {
+				continue
+			}
+			sh.toggles[id] += int64(bits.OnesCount64(t))
+			load := e.loads[id]
+			if load == 0 {
+				continue // adding ±0.0 never changes a nonnegative sum's bits
+			}
+			gi := e.groupOf[id]
+			for ; t != 0; t &= t - 1 {
+				j := bits.TrailingZeros64(t)
+				capByCyc[j] += load
+				grpFlat[(w0+j)*ng+gi] += load
+			}
+		}
+
+		// Per-cycle primary outputs, rows sliced from one flat buffer.
+		for j := 0; j < lanes; j++ {
+			row := outFlat[(w0+j)*nOut : (w0+j+1)*nOut : (w0+j+1)*nOut]
+			for i, o := range n.Outputs {
+				row[i] = words[o]>>uint(j)&1 == 1
+			}
+			sh.outputs = append(sh.outputs, row)
+		}
+	}
+
+	// Final settled values live in the top valid lane of the last word.
+	final := make([]bool, len(n.Gates))
+	last := uint((cycles - 1) % 64)
+	for id, w := range words {
+		final[id] = w>>last&1 == 1
+	}
+	sh.final = final
+	return sh, nil
+}

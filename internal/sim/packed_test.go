@@ -1,0 +1,234 @@
+package sim
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"hlpower/internal/budget"
+	"hlpower/internal/logic"
+)
+
+// randComb builds a random combinational DAG exercising every packed
+// opcode: multi-input And/Or/Nand/Nor, Xor/Xnor, Not/Buf, Mux, and
+// constants, spread across a few accounting groups.
+func randComb(rng *rand.Rand, nInputs, nGates int) *logic.Netlist {
+	n := logic.New()
+	var sigs []int
+	for i := 0; i < nInputs; i++ {
+		sigs = append(sigs, n.AddInput("x"))
+	}
+	sigs = append(sigs, n.Add(logic.Const0), n.Add(logic.Const1))
+	groups := []string{"exec", "ctrl", "misc"}
+	pick := func() int { return sigs[rng.Intn(len(sigs))] }
+	for g := 0; g < nGates; g++ {
+		grp := groups[rng.Intn(len(groups))]
+		var id int
+		switch rng.Intn(8) {
+		case 0:
+			id = n.AddG(logic.Not, grp, pick())
+		case 1:
+			id = n.AddG(logic.Buf, grp, pick())
+		case 2:
+			id = n.AddG(logic.Xor, grp, pick(), pick())
+		case 3:
+			id = n.AddG(logic.Xnor, grp, pick(), pick())
+		case 4:
+			id = n.AddG(logic.Mux, grp, pick(), pick(), pick())
+		case 5:
+			// 3-input gate: exercises the multi-fanin fold.
+			kinds := []logic.Kind{logic.And, logic.Or, logic.Nand, logic.Nor}
+			id = n.AddG(kinds[rng.Intn(len(kinds))], grp, pick(), pick(), pick())
+		default:
+			kinds := []logic.Kind{logic.And, logic.Or, logic.Nand, logic.Nor}
+			id = n.AddG(kinds[rng.Intn(len(kinds))], grp, pick(), pick())
+		}
+		sigs = append(sigs, id)
+	}
+	n.MarkOutput(sigs[len(sigs)-1])
+	n.MarkOutput(sigs[len(sigs)/2])
+	return n
+}
+
+func randVectors(rng *rand.Rand, cycles, width int) InputProvider {
+	vectors := make([][]bool, cycles)
+	for c := range vectors {
+		v := make([]bool, width)
+		for i := range v {
+			v[i] = rng.Intn(2) == 1
+		}
+		vectors[c] = v
+	}
+	return VectorInputs(vectors)
+}
+
+// TestPackedBitIdenticalToSerial is the packed kernel's core property:
+// over random netlists and cycle counts straddling word boundaries —
+// including counts not divisible by 64, which keep tail-lane masking on
+// the hot path — every field of the result is bit-identical to the
+// serial zero-delay engine.
+func TestPackedBitIdenticalToSerial(t *testing.T) {
+	cycleCounts := []int{1, 2, 63, 64, 65, 127, 128, 130, 320, 333}
+	for trial := 0; trial < 8; trial++ {
+		rng := rand.New(rand.NewSource(int64(1000 + trial)))
+		n := randComb(rng, 3+rng.Intn(6), 5+rng.Intn(40))
+		for _, cycles := range cycleCounts {
+			inputs := randVectors(rng, cycles, len(n.Inputs))
+			serial, err := Run(n, inputs, cycles, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			packed, err := RunPacked(n, inputs, cycles, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if packed.Kernel != KernelPacked || packed.Fallback != "" {
+				t.Fatalf("trial %d cycles %d: Kernel=%q Fallback=%q, want packed/\"\"",
+					trial, cycles, packed.Kernel, packed.Fallback)
+			}
+			sameResult(t, serial, packed, "packed")
+		}
+	}
+}
+
+// TestPackedSequentialFallback: stateful netlists cannot bit-pack, so
+// RunPacked must degrade to the scalar engine, say so, and still return
+// the exact serial result.
+func TestPackedSequentialFallback(t *testing.T) {
+	n := logic.New()
+	a := n.AddInput("a")
+	q := n.Add(logic.DFF, a)
+	n.MarkOutput(n.Add(logic.Xor, a, q))
+	rng := rand.New(rand.NewSource(7))
+	inputs := randVectors(rng, 100, 1)
+
+	serial, err := Run(n, inputs, 100, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	packed, err := RunPacked(n, inputs, 100, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if packed.Fallback != FallbackSequential || packed.Kernel != "" {
+		t.Fatalf("Fallback=%q Kernel=%q, want %q/\"\"", packed.Fallback, packed.Kernel, FallbackSequential)
+	}
+	sameResult(t, serial, packed, "sequential-fallback")
+}
+
+// TestPackedEventDrivenFallback: glitch-aware timing needs per-event
+// ordering the bit-parallel evaluation cannot express.
+func TestPackedEventDrivenFallback(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	n := randComb(rng, 4, 20)
+	inputs := randVectors(rng, 80, 4)
+
+	serial, err := Run(n, inputs, 80, Options{Model: EventDriven})
+	if err != nil {
+		t.Fatal(err)
+	}
+	packed, err := RunPacked(n, inputs, 80, Options{Model: EventDriven})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if packed.Fallback != FallbackEventDriven || packed.Kernel != "" {
+		t.Fatalf("Fallback=%q Kernel=%q, want %q/\"\"", packed.Fallback, packed.Kernel, FallbackEventDriven)
+	}
+	sameResult(t, serial, packed, "event-driven-fallback")
+}
+
+// TestParallelUsesPackedKernel: RunParallel rides the packed kernel by
+// default for eligible workloads, reports it, and stays bit-identical;
+// the Scalar opt-out forces the interpreted kernel.
+func TestParallelUsesPackedKernel(t *testing.T) {
+	n, inputs := mcNetlist(t, 12, 2000, 42)
+	serial, err := Run(n, inputs, 2000, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	packed, err := RunParallel(nil, n, inputs, 2000, ParallelOptions{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if packed.Kernel != KernelPacked {
+		t.Fatalf("parallel Kernel=%q, want %q", packed.Kernel, KernelPacked)
+	}
+	sameResult(t, serial, packed, "parallel-packed")
+
+	scalar, err := RunParallel(nil, n, inputs, 2000, ParallelOptions{Workers: 4, Scalar: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scalar.Kernel != "" {
+		t.Fatalf("Scalar run reported Kernel=%q, want \"\"", scalar.Kernel)
+	}
+	sameResult(t, serial, scalar, "parallel-scalar")
+}
+
+// TestPackedBudgetAccounting: the packed kernel charges one step per
+// gate per cycle exactly like the scalar engine, just in word-sized
+// increments, so governed runs stay comparable across kernels.
+func TestPackedBudgetAccounting(t *testing.T) {
+	n, inputs := mcNetlist(t, 12, 1000, 5)
+	bs := budget.New(budget.WithMaxSteps(1 << 40))
+	if _, err := RunBudget(bs, n, inputs, 1000, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	bp := budget.New(budget.WithMaxSteps(1 << 40))
+	if _, err := RunPackedBudget(bp, n, inputs, 1000, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if bs.StepsUsed() != bp.StepsUsed() {
+		t.Fatalf("packed charged %d steps, serial %d", bp.StepsUsed(), bs.StepsUsed())
+	}
+}
+
+// TestPackedBudgetExhaustion: a too-small step allowance trips the
+// typed budget error through the packed path.
+func TestPackedBudgetExhaustion(t *testing.T) {
+	n, inputs := mcNetlist(t, 12, 5000, 9)
+	b := budget.New(budget.WithMaxSteps(200), budget.WithCheckInterval(1))
+	_, err := RunPackedBudget(b, n, inputs, 5000, Options{})
+	if !errors.Is(err, budget.ErrExceeded) {
+		t.Fatalf("err = %v, want budget.ErrExceeded", err)
+	}
+}
+
+// TestPackedInputWidthMismatch: a wrong-width vector is the same typed
+// input error the scalar engine reports.
+func TestPackedInputWidthMismatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := randComb(rng, 4, 10)
+	bad := func(int) []bool { return make([]bool, 1) }
+	if _, err := RunPacked(n, bad, 10, Options{}); err == nil {
+		t.Fatal("want width-mismatch error")
+	}
+}
+
+// FuzzPackedEquivalence drives the bit-identity property from fuzzed
+// corners: arbitrary seeds, netlist shapes, and cycle counts (the
+// generator keeps them small; the interesting structure is cycles%64
+// and the random DAG).
+func FuzzPackedEquivalence(f *testing.F) {
+	f.Add(int64(1), uint8(5), uint8(20), uint16(65))
+	f.Add(int64(2), uint8(1), uint8(1), uint16(1))
+	f.Add(int64(3), uint8(8), uint8(60), uint16(257))
+	f.Add(int64(99), uint8(3), uint8(12), uint16(64))
+	f.Fuzz(func(t *testing.T, seed int64, nIn, nGates uint8, cyc uint16) {
+		nInputs := 1 + int(nIn)%8
+		gates := 1 + int(nGates)%48
+		cycles := 1 + int(cyc)%300
+		rng := rand.New(rand.NewSource(seed))
+		n := randComb(rng, nInputs, gates)
+		inputs := randVectors(rng, cycles, nInputs)
+		serial, err := Run(n, inputs, cycles, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		packed, err := RunPacked(n, inputs, cycles, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameResult(t, serial, packed, "fuzz-packed")
+	})
+}

@@ -31,6 +31,11 @@ type ParallelOptions struct {
 	// (DefaultMinShard when zero). Runs shorter than two shards fall
 	// back to the serial path.
 	MinShard int
+	// Scalar forces the interpreted scalar kernel inside each shard
+	// even when the workload is eligible for the 64-lane bit-packed
+	// kernel. Benchmarks use it to measure sharding and bit-packing
+	// separately; results are bit-identical either way.
+	Scalar bool
 }
 
 // Serial-fallback reasons reported in Result.Fallback when RunParallel
@@ -78,6 +83,22 @@ func RunParallel(b *budget.Budget, n *logic.Netlist, inputs InputProvider, cycle
 	if err != nil {
 		return nil, err
 	}
+	// Shards run on the bit-packed kernel whenever the workload allows
+	// (combinational netlist, zero-delay model): same bit-identical
+	// results, a fraction of the per-gate cost. The compiled program is
+	// built once and shared read-only by every worker.
+	var prog *logic.Program
+	if !opts.Scalar && !e.sequential && opts.Model == ZeroDelay {
+		if prog, err = logic.Compile(n); err != nil {
+			return nil, err
+		}
+	}
+	run := func(wb *budget.Budget, lo, hi int) (*shard, error) {
+		if prog != nil {
+			return runShardPacked(wb, e, prog, inputs, lo, hi)
+		}
+		return runShard(wb, e, inputs, lo, hi)
+	}
 	minShard := opts.MinShard
 	if minShard <= 0 {
 		minShard = DefaultMinShard
@@ -88,7 +109,7 @@ func RunParallel(b *budget.Budget, n *logic.Netlist, inputs InputProvider, cycle
 		parts = workers
 	}
 	if e.sequential || parts < 2 {
-		sh, err := runShard(b, e, inputs, 0, cycles)
+		sh, err := run(b, 0, cycles)
 		if err != nil {
 			return nil, err
 		}
@@ -98,14 +119,21 @@ func RunParallel(b *budget.Budget, n *logic.Netlist, inputs InputProvider, cycle
 		} else {
 			res.Fallback = FallbackShortRun
 		}
+		if prog != nil {
+			res.Kernel = KernelPacked
+		}
 		return res, nil
 	}
 	spans := par.Shards(cycles, parts)
 	shards, err := par.Map(b, workers, len(spans), func(i int, wb *budget.Budget) (*shard, error) {
-		return runShard(wb, e, inputs, spans[i].Lo, spans[i].Hi)
+		return run(wb, spans[i].Lo, spans[i].Hi)
 	})
 	if err != nil {
 		return nil, err
 	}
-	return merge(e, cycles, shards), nil
+	res = merge(e, cycles, shards)
+	if prog != nil {
+		res.Kernel = KernelPacked
+	}
+	return res, nil
 }

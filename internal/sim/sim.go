@@ -67,7 +67,11 @@ type Result struct {
 	// engine, naming why (FallbackSequential or FallbackShortRun), so
 	// callers that requested parallelism can observe the degradation
 	// instead of silently paying serial latency.
-	Fallback  string
+	Fallback string
+	// Kernel names the execution engine that produced the result:
+	// KernelPacked when the 64-lane bit-packed kernel ran (every shard,
+	// for parallel runs), empty for the interpreted scalar engine.
+	Kernel    string
 	vdd, freq float64
 }
 
@@ -222,6 +226,9 @@ func runShard(b *budget.Budget, e *env, inputs InputProvider, lo, hi int) (sh *s
 	for i := range sh.grpByCyc {
 		sh.grpByCyc[i] = grpFlat[i*len(e.groups) : (i+1)*len(e.groups)]
 	}
+	// Per-cycle output rows are views into one flat backing array; the
+	// hot loop must not allocate per cycle.
+	outFlat := make([]bool, (hi-lo)*len(n.Outputs))
 
 	values := make([]bool, len(n.Gates)) // settled values
 	state := make([]bool, len(n.Gates))  // DFF/EnDFF/Latch state
@@ -292,6 +299,10 @@ func runShard(b *budget.Budget, e *env, inputs InputProvider, lo, hi int) (sh *s
 	evalSettled()
 
 	prev := make([]bool, len(n.Gates))
+	var ed *edScratch
+	if e.opts.Model == EventDriven {
+		ed = newEDScratch()
+	}
 	for cycle := lo; cycle < hi; cycle++ {
 		b.Check(int64(len(e.order)) + 1)
 		cur = cycle - lo
@@ -337,7 +348,7 @@ func runShard(b *budget.Budget, e *env, inputs InputProvider, lo, hi int) (sh *s
 		}
 
 		if e.opts.Model == EventDriven {
-			simulateEventDriven(b, n, e.order, e.fanouts, values, state, prev, record)
+			simulateEventDriven(b, n, e.fanouts, values, state, prev, record, ed)
 		} else {
 			evalSettled()
 			for id := range values {
@@ -347,7 +358,7 @@ func runShard(b *budget.Budget, e *env, inputs InputProvider, lo, hi int) (sh *s
 			}
 		}
 
-		out := make([]bool, len(n.Outputs))
+		out := outFlat[cur*len(n.Outputs) : (cur+1)*len(n.Outputs) : (cur+1)*len(n.Outputs)]
 		for i, o := range n.Outputs {
 			out[i] = values[o]
 		}
@@ -399,22 +410,50 @@ func merge(e *env, cycles int, shards []*shard) *Result {
 	return res
 }
 
+// edScratch is the per-shard scratch of the event-driven engine. The
+// simulator used to rebuild all of this every cycle — a pending map,
+// its per-time gate sets, the sorted time list, the fanin and commit
+// buffers — which dominated the allocation profile of glitch-aware
+// runs. One instance now lives for a whole shard: maps are emptied and
+// recycled through a free list, slices are truncated and regrown only
+// past their high-water mark.
+type edScratch struct {
+	pending  map[int]map[int]bool // time -> set of gates awaiting eval
+	free     []map[int]bool       // drained gate sets, ready for reuse
+	times    []int
+	ids      []int
+	faninBuf []bool
+	commits  []edCommit
+}
+
+type edCommit struct {
+	gate int
+	val  bool
+}
+
+func newEDScratch() *edScratch {
+	return &edScratch{
+		pending:  make(map[int]map[int]bool),
+		faninBuf: make([]bool, 0, 8),
+	}
+}
+
 // simulateEventDriven settles one clock cycle under per-gate delays,
 // counting every output change (functional transitions and glitches).
 // values holds the new source values (inputs and FF outputs already
-// updated); prev holds last cycle's settled values.
-func simulateEventDriven(b *budget.Budget, n *logic.Netlist, order []int, fanouts [][]int, values, state, prev []bool, record func(int)) {
-	// Pending evaluation times per gate, processed in time order.
-	type event struct {
-		time int
-		gate int
-	}
-	pending := map[int]map[int]bool{} // time -> set of gates
+// updated); prev holds last cycle's settled values. s carries reusable
+// scratch across cycles and must not be shared between shards.
+func simulateEventDriven(b *budget.Budget, n *logic.Netlist, fanouts [][]int, values, state, prev []bool, record func(int), s *edScratch) {
 	schedule := func(t, g int) {
-		m, ok := pending[t]
+		m, ok := s.pending[t]
 		if !ok {
-			m = make(map[int]bool)
-			pending[t] = m
+			if k := len(s.free); k > 0 {
+				m = s.free[k-1]
+				s.free = s.free[:k-1]
+			} else {
+				m = make(map[int]bool)
+			}
+			s.pending[t] = m
 		}
 		m[g] = true
 	}
@@ -435,27 +474,29 @@ func simulateEventDriven(b *budget.Budget, n *logic.Netlist, order []int, fanout
 			}
 		}
 	}
-	faninBuf := make([]bool, 0, 8)
-	type commit struct {
-		gate int
-		val  bool
-	}
-	var commits []commit
-	for len(pending) > 0 {
+	for len(s.pending) > 0 {
 		b.Check(1)
 		// Pop the earliest time.
-		times := make([]int, 0, len(pending))
-		for t := range pending {
-			times = append(times, t)
+		s.times = s.times[:0]
+		for t := range s.pending {
+			s.times = append(s.times, t)
 		}
-		sort.Ints(times)
-		t := times[0]
-		gates := pending[t]
-		delete(pending, t)
+		sort.Ints(s.times)
+		t := s.times[0]
+		gates := s.pending[t]
+		delete(s.pending, t)
 		// Phase 1: evaluate every gate scheduled at t against the values
 		// as of time t (no in-step visibility, or glitches are lost).
-		commits = commits[:0]
+		// Gates are processed in ascending id order — iterating the set
+		// directly would commit (and accumulate capacitance) in map
+		// order, making the floating-point totals vary run to run.
+		s.ids = s.ids[:0]
 		for id := range gates {
+			s.ids = append(s.ids, id)
+		}
+		sort.Ints(s.ids)
+		s.commits = s.commits[:0]
+		for _, id := range s.ids {
 			g := &n.Gates[id]
 			if g.Kind == logic.Input || g.Kind.IsSequential() ||
 				g.Kind == logic.Const0 || g.Kind == logic.Const1 {
@@ -469,18 +510,23 @@ func simulateEventDriven(b *budget.Budget, n *logic.Netlist, order []int, fanout
 				}
 				newVal = v
 			} else {
-				faninBuf = faninBuf[:0]
+				s.faninBuf = s.faninBuf[:0]
 				for _, f := range g.Fanin {
-					faninBuf = append(faninBuf, values[f])
+					s.faninBuf = append(s.faninBuf, values[f])
 				}
-				newVal = logic.EvalGate(g.Kind, faninBuf)
+				newVal = logic.EvalGate(g.Kind, s.faninBuf)
 			}
 			if newVal != values[id] {
-				commits = append(commits, commit{id, newVal})
+				s.commits = append(s.commits, edCommit{id, newVal})
 			}
 		}
-		// Phase 2: commit changes, count transitions, schedule fanouts.
-		for _, c := range commits {
+		// Recycle the drained gate set (range-delete compiles to a map
+		// clear) and commit phase 2: count transitions, schedule fanouts.
+		for g := range gates {
+			delete(gates, g)
+		}
+		s.free = append(s.free, gates)
+		for _, c := range s.commits {
 			values[c.gate] = c.val
 			if n.Gates[c.gate].Kind == logic.Latch {
 				state[c.gate] = c.val

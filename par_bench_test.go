@@ -36,26 +36,60 @@ func benchMCWorkload(width, cycles int) (*Netlist, sim.InputProvider) {
 	return n, sim.VectorInputs(vectors)
 }
 
-// BenchmarkSimSerial is the single-goroutine Monte Carlo baseline.
+// benchSimCycles is the vector count of the standard Monte Carlo
+// simulation benchmark: ~10k vectors, deliberately not a multiple of 64
+// so the packed kernel's tail-lane masking is always on the hot path.
+const benchSimCycles = 10240
+
+// benchSimBytes reports the workload's data volume as lane-evaluations
+// in bytes (one bit per gate per cycle), so ns/op readings translate
+// into a throughput all three kernels share a scale for.
+func benchSimBytes(n *Netlist) int64 {
+	return int64(benchSimCycles) * int64(len(n.Gates)) / 8
+}
+
+// BenchmarkSimSerial is the single-goroutine interpreted Monte Carlo
+// baseline.
 func BenchmarkSimSerial(b *testing.B) {
-	n, inputs := benchMCWorkload(8, 4096)
+	n, inputs := benchMCWorkload(8, benchSimCycles)
 	b.ReportAllocs()
+	b.SetBytes(benchSimBytes(n))
 	for i := 0; i < b.N; i++ {
-		if _, err := sim.Run(n, inputs, 4096, sim.Options{}); err != nil {
+		if _, err := sim.Run(n, inputs, benchSimCycles, sim.Options{}); err != nil {
 			b.Fatal(err)
 		}
 	}
 }
 
+// BenchmarkSimPacked runs the same workload on the compiled 64-lane
+// bit-packed kernel (one goroutine); compare against BenchmarkSimSerial
+// for the packing speedup alone, with no threading in the picture.
+func BenchmarkSimPacked(b *testing.B) {
+	n, inputs := benchMCWorkload(8, benchSimCycles)
+	b.ReportAllocs()
+	b.SetBytes(benchSimBytes(n))
+	for i := 0; i < b.N; i++ {
+		res, err := sim.RunPacked(n, inputs, benchSimCycles, sim.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Kernel != sim.KernelPacked {
+			b.Fatalf("Kernel=%q, want %q (fallback: %q)", res.Kernel, sim.KernelPacked, res.Fallback)
+		}
+	}
+}
+
 // BenchmarkSimParallel shards the same workload across worker pools of
-// increasing width; compare against BenchmarkSimSerial for speedup.
+// increasing width (packed kernel inside each shard); compare against
+// BenchmarkSimPacked for the sharding speedup on top of packing.
 func BenchmarkSimParallel(b *testing.B) {
-	n, inputs := benchMCWorkload(8, 4096)
+	n, inputs := benchMCWorkload(8, benchSimCycles)
 	for _, workers := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("w%d", workers), func(b *testing.B) {
 			b.ReportAllocs()
+			b.SetBytes(benchSimBytes(n))
 			for i := 0; i < b.N; i++ {
-				_, err := sim.RunParallel(nil, n, inputs, 4096, sim.ParallelOptions{Workers: workers})
+				_, err := sim.RunParallel(nil, n, inputs, benchSimCycles, sim.ParallelOptions{Workers: workers})
 				if err != nil {
 					b.Fatal(err)
 				}
