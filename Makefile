@@ -2,7 +2,7 @@
 
 FUZZTIME ?= 10s
 
-.PHONY: all check ci fmt-check build test bench bench-json bench-compare repro vet cover fuzz soak clean
+.PHONY: all check ci fmt-check build test bench bench-json bench-compare repro vet cover fuzz soak vulncheck clean
 
 all: check
 
@@ -56,13 +56,15 @@ repro:
 cover:
 	go test -cover ./internal/... .
 
-# fuzz gives each bus round-trip fuzz target a budget of FUZZTIME
-# (override with e.g. `make fuzz FUZZTIME=5s` for CI smoke runs).
+# fuzz gives each bus round-trip fuzz target and the memo canonical-key
+# target a budget of FUZZTIME (override with e.g. `make fuzz
+# FUZZTIME=5s` for CI smoke runs).
 fuzz:
 	for f in FuzzBusInvertRoundTrip FuzzT0RoundTrip FuzzGrayRoundTrip \
 	         FuzzT0BIRoundTrip FuzzWorkingZoneRoundTrip FuzzBeachRoundTrip; do \
 		go test -run "^$$f$$" -fuzz "^$$f$$" -fuzztime $(FUZZTIME) ./internal/bus/ || exit 1; \
 	done
+	go test -run '^FuzzCanonicalKey$$' -fuzz '^FuzzCanonicalKey$$' -fuzztime $(FUZZTIME) ./internal/memo/
 
 # soak runs the powerd chaos harness under the race detector: >= 1000
 # requests with fault injection in the sim/rank/bdd paths, asserting
@@ -71,6 +73,12 @@ fuzz:
 SOAKCOUNT ?= 1
 soak:
 	go test -race -run TestChaosSoak -count=$(SOAKCOUNT) -v ./internal/powerd/
+
+# vulncheck scans the module against the Go vulnerability database.
+# The tool is fetched on demand (it is not a module dependency) and the
+# CI job that runs this is non-blocking: findings are advisory.
+vulncheck:
+	go run golang.org/x/vuln/cmd/govulncheck@latest ./...
 
 clean:
 	go clean ./...

@@ -22,11 +22,14 @@ import (
 	"testing"
 	"time"
 
+	"hlpower"
 	"hlpower/internal/budget"
 	"hlpower/internal/core"
+	"hlpower/internal/isa"
 	"hlpower/internal/logic"
 	"hlpower/internal/rtlib"
 	"hlpower/internal/sim"
+	"hlpower/internal/trace"
 )
 
 // Entry is one benchmark measurement.
@@ -153,6 +156,70 @@ func main() {
 		e.Speedup = round3(serialRank.NsPerOp / e.NsPerOp)
 		snap.Results = append(snap.Results, e)
 	}
+
+	// Content-addressed memoization on the simulate path: memo/miss
+	// computes under a unique key every op, memo/hit replays one warm
+	// entry (key derivation + lookup + defensive clone). The hit entry's
+	// speedup field is miss/hit — the factor a repeated request saves.
+	memoMod := rtlib.NewMultiplier(6)
+	const memoCycles = 512
+	memoProv := func(salt uint64) func(int) []bool {
+		rng := rand.New(rand.NewSource(int64(salt)))
+		as := trace.Uniform(memoCycles, 6, rng)
+		bs := trace.Uniform(memoCycles, 6, rng)
+		return func(c int) []bool { return memoMod.InputVector(as[c], bs[c]) }
+	}
+	memoCache := hlpower.NewEstimateCache(hlpower.EstimateCacheOptions{})
+	salt := uint64(2)
+	missEntry := measure("memo/miss", 0, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			prov := memoProv(salt)
+			salt++
+			if _, err := hlpower.SimulateMemo(memoCache, nil, memoMod.Net, prov, memoCycles, hlpower.SimOptions{}); err != nil {
+				fatal(err)
+			}
+		}
+	})
+	missEntry.Variant = "miss"
+	snap.Results = append(snap.Results, missEntry)
+	warmProv := memoProv(1)
+	if _, err := hlpower.SimulateMemo(memoCache, nil, memoMod.Net, warmProv, memoCycles, hlpower.SimOptions{}); err != nil {
+		fatal(err)
+	}
+	hitEntry := measure("memo/hit", 0, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := hlpower.SimulateMemo(memoCache, nil, memoMod.Net, warmProv, memoCycles, hlpower.SimOptions{}); err != nil {
+				fatal(err)
+			}
+		}
+	})
+	hitEntry.Variant = "hit"
+	hitEntry.Speedup = round3(missEntry.NsPerOp / hitEntry.NsPerOp)
+	snap.Results = append(snap.Results, hitEntry)
+
+	// Architectural simulator per-step cost over the predecoded
+	// dispatch tables; ns_per_op here is per retired instruction, not
+	// per program run.
+	prog, err := isa.DotProduct(64)
+	if err != nil {
+		fatal(err)
+	}
+	isaCfg := isa.DefaultConfig()
+	warmMachine := isa.NewMachine(isaCfg)
+	isaState, _, err := warmMachine.Run(prog, false)
+	if err != nil {
+		fatal(err)
+	}
+	isaEntry := measure("isa/step", 0, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			m := isa.NewMachine(isaCfg)
+			if _, _, err := m.Run(prog, false); err != nil {
+				fatal(err)
+			}
+		}
+	})
+	isaEntry.NsPerOp = round3(isaEntry.NsPerOp / float64(isaState.Instructions))
+	snap.Results = append(snap.Results, isaEntry)
 
 	data, err := json.MarshalIndent(snap, "", "  ")
 	if err != nil {

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // registered on the default mux, served only when -pprof is set
 	"os"
 	"os/signal"
 	"syscall"
@@ -38,6 +39,8 @@ func main() {
 		faultProb = flag.Float64("fault-prob", 0, "chaos: per-check fault injection probability")
 		faultSeed = flag.Int64("fault-seed", 1, "chaos: fault plan seed")
 		drainWait = flag.Duration("drain-wait", 30*time.Second, "max time to wait for in-flight requests on shutdown")
+		memoBytes = flag.Int64("memo-bytes", 0, "estimate-cache byte budget (0 = 64 MiB default, negative = disable memoization)")
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty = off)")
 	)
 	flag.Parse()
 
@@ -49,6 +52,20 @@ func main() {
 	cfg.RequestTimeout = *timeout
 	cfg.MaxSteps = *maxSteps
 	cfg.HedgeDelay = *hedge
+	cfg.MemoMaxBytes = *memoBytes
+
+	if *pprofAddr != "" {
+		// Importing net/http/pprof registers its handlers on the default
+		// mux only; the estimation mux stays clean, and the profiler is
+		// reachable solely on its own (typically loopback) listener.
+		go func() {
+			psrv := &http.Server{Addr: *pprofAddr, Handler: http.DefaultServeMux, ReadHeaderTimeout: 5 * time.Second}
+			log.Printf("pprof listening on %s", *pprofAddr)
+			if err := psrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("pprof serve: %v", err)
+			}
+		}()
+	}
 
 	srv := powerd.NewServer(cfg)
 	if *faultProb > 0 {

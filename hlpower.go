@@ -10,6 +10,7 @@ import (
 	"hlpower/internal/dpm"
 	"hlpower/internal/hlerr"
 	"hlpower/internal/logic"
+	"hlpower/internal/memo"
 	"hlpower/internal/par"
 	"hlpower/internal/powerd"
 	"hlpower/internal/resilience"
@@ -104,6 +105,15 @@ func RankParallel(b *Budget, workers int, candidates []Candidate) Ranking {
 	return core.RankParallel(b, workers, candidates)
 }
 
+// RankParallelMemo is RankParallel with per-candidate estimate
+// memoization: candidates carrying a MemoKey reuse previously computed
+// power figures, so re-ranking an overlapping candidate set only
+// evaluates the new designs. Degraded and failed estimates are never
+// stored, and a nil cache degrades to RankParallel.
+func RankParallelMemo(b *Budget, workers int, c *EstimateCache, candidates []Candidate) Ranking {
+	return core.RankParallelMemo(b, workers, c, candidates)
+}
+
 // Gate-level substrate.
 type (
 	// Netlist is a synchronous gate-level circuit.
@@ -165,6 +175,72 @@ type SimParallelOptions = sim.ParallelOptions
 func SimulateParallel(b *Budget, n *Netlist, inputs func(cycle int) []bool, cycles int, opts SimParallelOptions) (res *SimResult, err error) {
 	defer hlerr.RecoverAll(&err)
 	return sim.RunParallel(b, n, inputs, cycles, opts)
+}
+
+// Content-addressed memoization. An EstimateCache keys results on a
+// canonical encoding of everything that determines them — netlist
+// structure, simulation options, cycle count, the input vectors — so a
+// repeated estimate is answered in O(hash) and N concurrent identical
+// requests collapse onto one computation.
+type (
+	// EstimateCache is a sharded LRU of estimation results keyed by
+	// content, with singleflight request collapsing.
+	EstimateCache = memo.Cache
+	// EstimateCacheOptions sizes an EstimateCache.
+	EstimateCacheOptions = memo.Options
+	// EstimateCacheStats is a counter snapshot (hits, misses, collapsed
+	// waiters, evictions, bytes).
+	EstimateCacheStats = memo.Stats
+	// EstimateKey is a 128-bit content key.
+	EstimateKey = memo.Key
+)
+
+// NewEstimateCache builds a cache; the zero options get production
+// defaults (64 MiB, 16 shards).
+func NewEstimateCache(o EstimateCacheOptions) *EstimateCache { return memo.New(o) }
+
+// SimulateMemo is SimulateBudget fronted by a content-addressed cache:
+// the result is keyed on the netlist structure, the options, and the
+// materialized input vectors, a repeat is replayed bit-identically
+// without simulating, and concurrent identical calls share one run.
+// Every caller — on a hit, a collapse, or the computing call itself —
+// receives its own deep copy, so mutating a returned result can never
+// poison the cache. Input errors are negative-cached; budget trips and
+// runs under an armed fault-injection plan are never stored (the
+// latter are not even looked up, so chaos always exercises the real
+// path). With a nil cache it is exactly SimulateBudget.
+func SimulateMemo(c *EstimateCache, b *Budget, n *Netlist, inputs func(cycle int) []bool, cycles int, opts SimOptions) (res *SimResult, err error) {
+	defer hlerr.RecoverAll(&err)
+	if c == nil || b.FaultArmed() {
+		return sim.RunBudget(b, n, inputs, cycles, opts)
+	}
+	enc := memo.NewEnc()
+	enc.String("hlpower/simulate/v1")
+	if n == nil {
+		enc.Bool(false)
+	} else {
+		enc.Bool(true)
+		memo.HashNetlist(enc, n)
+	}
+	memo.HashSimOptions(enc, opts)
+	if inputs == nil || cycles <= 0 {
+		enc.Bool(false)
+		enc.Int(cycles)
+	} else {
+		enc.Bool(true)
+		memo.HashInputs(enc, inputs, cycles)
+	}
+	v, _, err := c.Do(enc.Key(), func() (any, int64, bool, error) {
+		r, err := sim.RunBudget(b, n, inputs, cycles, opts)
+		if err != nil {
+			return nil, 0, false, err
+		}
+		return r, r.SizeBytes(), true, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*sim.Result).Clone(), nil
 }
 
 // Bus encoding (§III-G).

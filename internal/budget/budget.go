@@ -154,6 +154,13 @@ func (b *Budget) Err() error {
 // Ok reports whether the budget still holds. nil-safe.
 func (b *Budget) Ok() bool { return b.Err() == nil }
 
+// FaultArmed reports whether a fault-injection plan is armed on this
+// budget. Memoization layers consult it before caching: a result
+// computed under injected chaos must never be stored as a fresh
+// estimate, and lookups are bypassed so the injected fault always
+// reaches the real estimation path. nil-safe.
+func (b *Budget) FaultArmed() bool { return b != nil && b.fault != nil }
+
 // StepsUsed returns the consumed step count. nil-safe.
 func (b *Budget) StepsUsed() int64 {
 	if b == nil {

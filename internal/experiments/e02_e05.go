@@ -10,6 +10,7 @@ import (
 	"hlpower/internal/dpm"
 	"hlpower/internal/isa"
 	"hlpower/internal/memmodel"
+	"hlpower/internal/memo"
 	"hlpower/internal/par"
 	"hlpower/internal/stats"
 )
@@ -214,10 +215,15 @@ func runE4() (*Report, error) {
 	return &Report{Text: text, Figures: figures}, nil
 }
 
+// e5Memo caches the Tiwari characterization across runE5 invocations:
+// the model depends only on (MachineConfig, EnergyParams), so repeated
+// experiment sweeps skip the few hundred characterization runs.
+var e5Memo = memo.New(memo.Options{MaxBytes: 1 << 20, Shards: 1})
+
 func runE5() (*Report, error) {
 	cfg := isa.DefaultConfig()
 	ep := isa.DefaultEnergyParams()
-	model, err := isa.CharacterizeTiwari(cfg, ep)
+	model, err := isa.CharacterizeTiwariCached(e5Memo, cfg, ep)
 	if err != nil {
 		return nil, err
 	}

@@ -84,13 +84,22 @@ func RecoverAll(errp *error) {
 	if *errp != nil {
 		return
 	}
+	*errp = FromPanic(r)
+}
+
+// FromPanic converts a recovered panic value into an error, unwrapping
+// Throw-originated typed panics to their underlying error. It exists
+// for layers that capture a panic once and deliver it to multiple
+// waiters (the memoization singleflight group) rather than rethrowing
+// it on one goroutine.
+func FromPanic(r any) error {
 	switch v := r.(type) {
 	case failure:
-		*errp = v.err
+		return v.err
 	case error:
-		*errp = fmt.Errorf("hlpower: internal panic: %w", v)
+		return fmt.Errorf("hlpower: internal panic: %w", v)
 	default:
-		*errp = fmt.Errorf("hlpower: internal panic: %v", v)
+		return fmt.Errorf("hlpower: internal panic: %v", v)
 	}
 }
 

@@ -159,6 +159,36 @@ func (m *Machine) Run(p Program, keepTrace bool) (*Stats, []TraceEntry, error) {
 	return m.RunBudget(nil, p, keepTrace)
 }
 
+// predecoded is the per-instruction data the hot loop would otherwise
+// recompute on every executed step: the encoded bus word, the read-set
+// (at most two registers), and the written register. A program is
+// decoded once per run instead of once per dynamic instruction — the
+// same instruction inside a loop body executes millions of times.
+type predecoded struct {
+	word   uint64
+	reads  [2]int8 // register indices; only the first nReads are valid
+	nReads int8
+	writes int8 // written register, or -1
+}
+
+// predecode precomputes the static per-instruction tables for p.
+func predecode(p Program) []predecoded {
+	d := make([]predecoded, len(p))
+	for i, ins := range p {
+		pd := predecoded{word: ins.Encode(), writes: int8(ins.Writes())}
+		switch ins.Op {
+		case ADD, SUB, MUL, AND, OR, XOR, SHL, SHR, ST, BEQ, BNE:
+			pd.reads = [2]int8{int8(ins.Rs1), int8(ins.Rs2)}
+			pd.nReads = 2
+		case ADDI, LD:
+			pd.reads[0] = int8(ins.Rs1)
+			pd.nReads = 1
+		}
+		d[i] = pd
+	}
+	return d
+}
+
 // RunBudget is Run governed by a resource budget: each executed
 // instruction charges one step, so deadlines and cancellation cut off
 // runaway programs. On exhaustion the stats and trace accumulated so
@@ -168,11 +198,12 @@ func (m *Machine) RunBudget(b *budget.Budget, p Program, keepTrace bool) (*Stats
 		return nil, nil, err
 	}
 	st := &Stats{PairCounts: make(map[[2]Op]int64)}
+	dec := predecode(p)
 	var trace []TraceEntry
 	pc := 0
 	var prevOp Op = NOP
 	var prevWord uint64
-	var prevWrote = -1
+	var prevWrote int8 = -1
 	first := true
 	for pc < len(p) {
 		if st.Instructions >= m.Cfg.MaxInstructions {
@@ -185,7 +216,8 @@ func (m *Machine) RunBudget(b *budget.Budget, p Program, keepTrace bool) (*Stats
 		if ins.Op == HALT {
 			break
 		}
-		e := TraceEntry{PC: pc, Instr: ins, EncWord: ins.Encode()}
+		pd := &dec[pc]
+		e := TraceEntry{PC: pc, Instr: ins, EncWord: pd.word}
 
 		// Fetch.
 		if !m.icache.access(int64(pc)) {
@@ -199,8 +231,8 @@ func (m *Machine) RunBudget(b *budget.Budget, p Program, keepTrace bool) (*Stats
 		}
 		// Load-use hazard: previous instruction loaded a register we read.
 		if prevOp == LD && prevWrote >= 0 {
-			for _, r := range ins.Reads() {
-				if r == prevWrote {
+			for j := int8(0); j < pd.nReads; j++ {
+				if pd.reads[j] == prevWrote {
 					e.LoadUse = true
 					st.LoadUseStall++
 					st.Cycles += int64(m.Cfg.LoadUsePenalty)
@@ -302,8 +334,8 @@ func (m *Machine) RunBudget(b *budget.Budget, p Program, keepTrace bool) (*Stats
 			trace = append(trace, e)
 		}
 		prevOp = ins.Op
-		prevWord = e.EncWord
-		prevWrote = ins.Writes()
+		prevWord = pd.word
+		prevWrote = pd.writes
 		first = false
 		pc = nextPC
 	}

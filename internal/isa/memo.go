@@ -1,0 +1,68 @@
+package isa
+
+import (
+	"hlpower/internal/memo"
+)
+
+// hashMachineConfig writes every MachineConfig field that changes a
+// characterization or simulation outcome.
+func hashMachineConfig(e *memo.Enc, cfg MachineConfig) {
+	e.String("isa/machine-config/v1")
+	e.Int(cfg.ICache.Lines)
+	e.Int(cfg.ICache.LineSize)
+	e.Int(cfg.DCache.Lines)
+	e.Int(cfg.DCache.LineSize)
+	e.Int(cfg.ICacheMissPenalty)
+	e.Int(cfg.DCacheMissPenalty)
+	e.Int(cfg.BranchMissPenalty)
+	e.Int(cfg.LoadUsePenalty)
+	e.Int(cfg.MemSize)
+	e.Int64(cfg.MaxInstructions)
+}
+
+// hashEnergyParams writes the full ground-truth cost table.
+func hashEnergyParams(e *memo.Enc, p EnergyParams) {
+	e.String("isa/energy-params/v1")
+	for _, b := range p.Base {
+		e.Float64(b)
+	}
+	e.Float64(p.StateFactor)
+	e.Float64(p.DataFactor)
+	e.Float64(p.StallEnergy)
+	e.Float64(p.IMissEnergy)
+	e.Float64(p.DMissEnergy)
+	e.Float64(p.BMissEnergy)
+}
+
+// CharacterizeTiwariCached is CharacterizeTiwari behind a
+// content-addressed cache: the characterization — hundreds of
+// straightline and alternating-pair machine runs — is keyed on the
+// machine configuration and the energy parameter table, so repeated
+// model builds for the same simulated core are answered in O(hash) and
+// concurrent builds collapse onto one. The returned model is the shared
+// cached instance and must be treated as read-only (every production
+// caller only invokes Predict, which does not mutate).
+//
+// With a nil cache it degenerates to CharacterizeTiwari.
+func CharacterizeTiwariCached(c *memo.Cache, cfg MachineConfig, p EnergyParams) (*TiwariModel, error) {
+	if c == nil {
+		return CharacterizeTiwari(cfg, p)
+	}
+	e := memo.NewEnc()
+	e.String("isa/tiwari/v1")
+	hashMachineConfig(e, cfg)
+	hashEnergyParams(e, p)
+	v, _, err := c.Do(e.Key(), func() (any, int64, bool, error) {
+		m, err := CharacterizeTiwari(cfg, p)
+		if err != nil {
+			return nil, 0, false, err
+		}
+		// Base table + state map entries + other-effect scalars.
+		size := int64(NumOps)*8 + int64(len(m.State))*32 + 64
+		return m, size, true, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*TiwariModel), nil
+}

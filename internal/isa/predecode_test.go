@@ -1,0 +1,68 @@
+package isa
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestPredecodeMatchesInstrMethods checks the predecoded tables against
+// the Instr methods they replace in the hot loop, over every opcode and
+// random operand fields.
+func TestPredecodeMatchesInstrMethods(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var prog Program
+	for op := Op(0); op < Op(NumOps); op++ {
+		for i := 0; i < 16; i++ {
+			prog = append(prog, Instr{
+				Op:  op,
+				Rd:  rng.Intn(NumRegs),
+				Rs1: rng.Intn(NumRegs),
+				Rs2: rng.Intn(NumRegs),
+				Imm: int64(rng.Intn(512) - 256),
+			})
+		}
+	}
+	dec := predecode(prog)
+	for i, ins := range prog {
+		pd := dec[i]
+		if pd.word != ins.Encode() {
+			t.Fatalf("instr %d (%v): predecoded word %x != Encode() %x", i, ins, pd.word, ins.Encode())
+		}
+		if int(pd.writes) != ins.Writes() {
+			t.Fatalf("instr %d (%v): predecoded writes %d != Writes() %d", i, ins, pd.writes, ins.Writes())
+		}
+		want := ins.Reads()
+		if int(pd.nReads) != len(want) {
+			t.Fatalf("instr %d (%v): predecoded %d reads, Reads() has %d", i, ins, pd.nReads, len(want))
+		}
+		for j, r := range want {
+			if int(pd.reads[j]) != r {
+				t.Fatalf("instr %d (%v): read[%d] = %d, want %d", i, ins, j, pd.reads[j], r)
+			}
+		}
+	}
+}
+
+// BenchmarkISAStep measures the architectural simulator's per-step cost
+// on a representative loop-heavy workload.
+func BenchmarkISAStep(b *testing.B) {
+	prog, err := DotProduct(64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	warm := NewMachine(cfg)
+	st, _, err := warm.Run(prog, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := NewMachine(cfg)
+		if _, _, err := m.Run(prog, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(st.Instructions), "ns/step")
+}

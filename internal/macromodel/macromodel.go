@@ -15,6 +15,7 @@ import (
 	"hlpower/internal/bitutil"
 	"hlpower/internal/budget"
 	"hlpower/internal/logic"
+	"hlpower/internal/memo"
 	"hlpower/internal/rtlib"
 	"hlpower/internal/sim"
 	"hlpower/internal/stats"
@@ -67,6 +68,40 @@ func GroundTruthBudget(b *budget.Budget, mod *rtlib.Module, as, bs []uint64, mod
 		return nil, errors.New("macromodel: stream too short")
 	}
 	return res.PerCycleCap[1:], nil
+}
+
+// GroundTruthMemo is GroundTruthBudget with content-addressed
+// memoization: the per-cycle capacitance trace is keyed on the module's
+// netlist structure, the delay model, and the exact operand streams, so
+// characterizing several macro-models against the same module and
+// training set performs one gate-level simulation instead of one per
+// model. Each call — hit or miss — returns its own copy of the trace,
+// so callers may mutate the result freely.
+//
+// With a nil cache, or while a fault-injection plan is armed on the
+// budget, it falls through to GroundTruthBudget: chaos results are
+// never stored and never served.
+func GroundTruthMemo(c *memo.Cache, b *budget.Budget, mod *rtlib.Module, as, bs []uint64, model sim.DelayModel) ([]float64, error) {
+	if c == nil || b.FaultArmed() {
+		return GroundTruthBudget(b, mod, as, bs, model)
+	}
+	enc := memo.NewEnc()
+	enc.String("macromodel/ground-truth/v1")
+	memo.HashNetlist(enc, mod.Net)
+	enc.Int(int(model))
+	enc.Uint64s(as)
+	enc.Uint64s(bs)
+	v, _, err := c.Do(enc.Key(), func() (any, int64, bool, error) {
+		truth, err := GroundTruthBudget(b, mod, as, bs, model)
+		if err != nil {
+			return nil, 0, false, err
+		}
+		return truth, int64(len(truth))*8 + 24, true, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return append([]float64(nil), v.([]float64)...), nil
 }
 
 // MeanAbs returns the mean of xs (handy for averaging ground truth).

@@ -1,0 +1,304 @@
+package memo
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"hlpower/internal/hlerr"
+)
+
+// Options sizes a Cache. The zero value gets production defaults.
+type Options struct {
+	// MaxBytes is the total byte budget across all shards; when an
+	// insertion would exceed a shard's share, least-recently-used
+	// entries are evicted first. 0 means DefaultMaxBytes.
+	MaxBytes int64
+	// Shards is the number of independently locked cache segments,
+	// rounded up to a power of two. 0 means DefaultShards.
+	Shards int
+}
+
+// Defaults for Options' zero values.
+const (
+	DefaultMaxBytes = 64 << 20
+	DefaultShards   = 16
+)
+
+// Stats is a point-in-time counter snapshot of a Cache.
+type Stats struct {
+	// Hits counts lookups answered from a stored entry; Collapsed
+	// counts requests that attached to an identical in-flight
+	// computation and shared its result; Misses counts computations
+	// actually performed.
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Collapsed int64 `json:"collapsed"`
+	// Stores and NegStores count successful-value and negative
+	// (input-error) insertions; Evictions counts LRU removals forced by
+	// the byte budget.
+	Stores    int64 `json:"stores"`
+	NegStores int64 `json:"neg_stores"`
+	Evictions int64 `json:"evictions"`
+	// Entries and Bytes describe current occupancy against MaxBytes.
+	Entries  int64 `json:"entries"`
+	Bytes    int64 `json:"bytes"`
+	MaxBytes int64 `json:"max_bytes"`
+}
+
+// HitRate returns the fraction of lookups served without computing —
+// stored hits plus collapsed waiters over all lookups — or 0 before
+// any traffic.
+func (s Stats) HitRate() float64 {
+	served := s.Hits + s.Collapsed
+	total := served + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(served) / float64(total)
+}
+
+// entry is one cached result, linked into its shard's LRU list. Either
+// val (a successful, immutable-by-convention result) or err (a
+// negative-cached input error) is set.
+type entry struct {
+	key        Key
+	val        any
+	err        error
+	size       int64
+	prev, next *entry
+}
+
+// call is one in-flight computation that concurrent identical requests
+// attach to.
+type call struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+// shard is one independently locked cache segment: a map plus an LRU
+// list under a byte budget, and the singleflight table for keys
+// currently being computed.
+type shard struct {
+	mu       sync.Mutex
+	items    map[Key]*entry
+	flight   map[Key]*call
+	head     *entry // most recently used
+	tail     *entry // least recently used
+	bytes    int64
+	maxBytes int64
+}
+
+// Cache is the sharded content-addressed memoization layer. Create
+// with New; it is safe for concurrent use.
+type Cache struct {
+	shards []*shard
+	mask   uint64
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	collapsed atomic.Int64
+	stores    atomic.Int64
+	negStores atomic.Int64
+	evictions atomic.Int64
+	entries   atomic.Int64
+	bytes     atomic.Int64
+	maxBytes  int64
+}
+
+// New builds a cache.
+func New(o Options) *Cache {
+	if o.MaxBytes <= 0 {
+		o.MaxBytes = DefaultMaxBytes
+	}
+	if o.Shards <= 0 {
+		o.Shards = DefaultShards
+	}
+	n := 1
+	for n < o.Shards {
+		n <<= 1
+	}
+	c := &Cache{
+		shards:   make([]*shard, n),
+		mask:     uint64(n - 1),
+		maxBytes: o.MaxBytes,
+	}
+	per := o.MaxBytes / int64(n)
+	if per < 1 {
+		per = 1
+	}
+	for i := range c.shards {
+		c.shards[i] = &shard{
+			items:    make(map[Key]*entry),
+			flight:   make(map[Key]*call),
+			maxBytes: per,
+		}
+	}
+	return c
+}
+
+func (c *Cache) shard(k Key) *shard { return c.shards[k.Lo&c.mask] }
+
+// Stats snapshots the counters.
+func (c *Cache) Stats() Stats {
+	return Stats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Collapsed: c.collapsed.Load(),
+		Stores:    c.stores.Load(),
+		NegStores: c.negStores.Load(),
+		Evictions: c.evictions.Load(),
+		Entries:   c.entries.Load(),
+		Bytes:     c.bytes.Load(),
+		MaxBytes:  c.maxBytes,
+	}
+}
+
+// Do returns the value stored under k, or computes it. compute returns
+// the value, its approximate in-memory size in bytes, whether the value
+// may be stored (degraded or otherwise non-replayable results say
+// false), and an error.
+//
+// Concurrent Do calls with the same key collapse: one caller computes,
+// the rest block and share the outcome — value and error alike — so N
+// identical requests perform one evaluation. A panicking computation is
+// captured and delivered to every waiter (and the computing caller) as
+// an error; typed hlerr panics keep their identity. Errors matching
+// hlerr.IsInput are negative-cached: the same malformed input fails
+// again in O(hash) without re-entering the engine. Other errors are
+// never stored.
+//
+// The returned shared flag is true when the value came from the cache
+// or from another caller's in-flight computation rather than from this
+// call's own compute. Shared values are the stored originals: treat
+// them as immutable, or clone before mutating.
+func (c *Cache) Do(k Key, compute func() (val any, size int64, cacheable bool, err error)) (val any, shared bool, err error) {
+	sh := c.shard(k)
+	sh.mu.Lock()
+	if e, ok := sh.items[k]; ok {
+		sh.moveFront(e)
+		sh.mu.Unlock()
+		c.hits.Add(1)
+		return e.val, true, e.err
+	}
+	if fl, ok := sh.flight[k]; ok {
+		sh.mu.Unlock()
+		c.collapsed.Add(1)
+		<-fl.done
+		return fl.val, true, fl.err
+	}
+	fl := &call{done: make(chan struct{})}
+	sh.flight[k] = fl
+	sh.mu.Unlock()
+	c.misses.Add(1)
+
+	val, size, cacheable, err := safeCompute(compute)
+	fl.val, fl.err = val, err
+
+	sh.mu.Lock()
+	delete(sh.flight, k)
+	switch {
+	case err == nil && cacheable:
+		if sh.store(c, &entry{key: k, val: val, size: size}) {
+			c.stores.Add(1)
+		}
+	case err != nil && hlerr.IsInput(err):
+		if sh.store(c, &entry{key: k, err: err, size: int64(len(err.Error())) + 64}) {
+			c.negStores.Add(1)
+		}
+	}
+	sh.mu.Unlock()
+	close(fl.done)
+	return val, false, err
+}
+
+// Get looks k up without computing on miss.
+func (c *Cache) Get(k Key) (val any, ok bool, err error) {
+	sh := c.shard(k)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	e, ok := sh.items[k]
+	if !ok {
+		return nil, false, nil
+	}
+	sh.moveFront(e)
+	c.hits.Add(1)
+	return e.val, true, e.err
+}
+
+// safeCompute contains panics so a crashing computation resolves the
+// singleflight call instead of leaving waiters blocked forever.
+func safeCompute(compute func() (any, int64, bool, error)) (val any, size int64, cacheable bool, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			val, size, cacheable = nil, 0, false
+			err = hlerr.FromPanic(r)
+		}
+	}()
+	return compute()
+}
+
+// store inserts e as most recently used and evicts from the cold end
+// until the shard fits its byte budget again. Entries larger than the
+// whole shard budget are not stored at all. Caller holds sh.mu.
+func (sh *shard) store(c *Cache, e *entry) bool {
+	if e.size > sh.maxBytes {
+		return false
+	}
+	if old, ok := sh.items[e.key]; ok {
+		sh.unlink(old)
+		sh.bytes -= old.size
+		c.bytes.Add(-old.size)
+		c.entries.Add(-1)
+		delete(sh.items, old.key)
+	}
+	sh.items[e.key] = e
+	sh.pushFront(e)
+	sh.bytes += e.size
+	c.bytes.Add(e.size)
+	c.entries.Add(1)
+	for sh.bytes > sh.maxBytes && sh.tail != nil && sh.tail != e {
+		victim := sh.tail
+		sh.unlink(victim)
+		delete(sh.items, victim.key)
+		sh.bytes -= victim.size
+		c.bytes.Add(-victim.size)
+		c.entries.Add(-1)
+		c.evictions.Add(1)
+	}
+	return true
+}
+
+func (sh *shard) pushFront(e *entry) {
+	e.prev = nil
+	e.next = sh.head
+	if sh.head != nil {
+		sh.head.prev = e
+	}
+	sh.head = e
+	if sh.tail == nil {
+		sh.tail = e
+	}
+}
+
+func (sh *shard) unlink(e *entry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		sh.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		sh.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (sh *shard) moveFront(e *entry) {
+	if sh.head == e {
+		return
+	}
+	sh.unlink(e)
+	sh.pushFront(e)
+}

@@ -3,6 +3,7 @@ package powerd
 import (
 	"context"
 	"errors"
+	"fmt"
 	"math/rand"
 	"net/http"
 
@@ -11,6 +12,7 @@ import (
 	"hlpower/internal/core"
 	"hlpower/internal/hlerr"
 	"hlpower/internal/macromodel"
+	"hlpower/internal/memo"
 	"hlpower/internal/resilience"
 	"hlpower/internal/rtlib"
 	"hlpower/internal/sim"
@@ -56,6 +58,23 @@ func operandStreams(cycles, width int, seed int64) (as, bs []uint64) {
 	return trace.Uniform(cycles, width, rng), trace.Uniform(cycles, width, rng)
 }
 
+// keyEnc starts an endpoint's content key: a versioned endpoint tag
+// plus the server options that can change a response. The step
+// allowance is budget-relevant — it decides which requests trip or
+// degrade — so two servers configured differently never share entries
+// through a snapshot, and reconfiguring a server cannot replay results
+// the new limits would have rejected. Request fields are appended by
+// the caller; they fully determine the derived netlist and operand
+// streams (moduleFor and operandStreams are deterministic), which makes
+// the raw fields a canonical content encoding one level above the
+// netlist hash the library layers use.
+func (s *Server) keyEnc(endpoint string) *memo.Enc {
+	e := memo.NewEnc()
+	e.String("powerd/" + endpoint + "/v1")
+	e.Int64(s.cfg.MaxSteps)
+	return e
+}
+
 // ---------------------------------------------------------------------
 // POST /v1/simulate — gate-level Monte Carlo power of one circuit.
 
@@ -78,6 +97,24 @@ type simulateResponse struct {
 	// request, empty when the interpreted scalar engine ran.
 	Kernel string `json:"kernel,omitempty"`
 	Hedged bool   `json:"hedged"`
+	// Cached reports the response was replayed from the estimate cache
+	// (or shared with a concurrent identical request) — bit-identical to
+	// a recomputation, including the Shards/Fallback/Kernel metadata of
+	// the run that produced it.
+	Cached bool `json:"cached"`
+}
+
+// simulateKey derives the content key of a simulate request. Workers is
+// included because it changes the Shards metadata the response replays
+// (the power figures themselves are bit-identical at any worker count).
+func (s *Server) simulateKey(req simulateRequest) memo.Key {
+	e := s.keyEnc("simulate")
+	e.String(req.Circuit)
+	e.Int(req.Width)
+	e.Int(req.Cycles)
+	e.Int64(req.Seed)
+	e.Int(req.Workers)
+	return e.Key()
 }
 
 func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
@@ -91,22 +128,34 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, err)
 		return
 	}
-	res, hedgeAttempt, err := s.simulateHedged(r, req)
+	// Hedging is a property of this request's execution, never replayed
+	// from the cache; the stored response always carries Hedged=false.
+	var hedged bool
+	v, cached, err := s.memoDo(s.simulateKey(req), func() (any, int64, bool, error) {
+		res, hedgeAttempt, err := s.simulateHedged(r, req)
+		if err != nil {
+			return nil, 0, false, err
+		}
+		hedged = hedgeAttempt > 0
+		return simulateResponse{
+			Circuit:     req.Circuit,
+			Cycles:      res.Cycles,
+			SwitchedCap: res.SwitchedCap,
+			Power:       res.Power(),
+			Shards:      res.Shards,
+			Fallback:    res.Fallback,
+			Kernel:      res.Kernel,
+		}, 160, true, nil
+	})
 	if err != nil {
 		s.fail(w, err)
 		return
 	}
+	resp := v.(simulateResponse)
+	resp.Hedged = hedged
+	resp.Cached = cached
 	s.served.Add(1)
-	writeJSON(w, http.StatusOK, simulateResponse{
-		Circuit:     req.Circuit,
-		Cycles:      res.Cycles,
-		SwitchedCap: res.SwitchedCap,
-		Power:       res.Power(),
-		Shards:      res.Shards,
-		Fallback:    res.Fallback,
-		Kernel:      res.Kernel,
-		Hedged:      hedgeAttempt > 0,
-	})
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // simulateHedged runs the simulate op through hedging (when armed) and
@@ -161,12 +210,40 @@ type rankedEntry struct {
 	Power    float64 `json:"power"`
 	Model    string  `json:"model"`
 	Degraded bool    `json:"degraded"`
-	Err      string  `json:"error,omitempty"`
+	// Cached marks a candidate whose power figure was reused from a
+	// previous evaluation rather than simulated by this request.
+	Cached bool   `json:"cached,omitempty"`
+	Err    string `json:"error,omitempty"`
 }
 
 type rankResponse struct {
 	Best    string        `json:"best"`
 	Ranking []rankedEntry `json:"ranking"`
+	// Cached reports the whole response was replayed from the estimate
+	// cache; per-entry Cached flags then describe the computation that
+	// originally produced it.
+	Cached bool `json:"cached"`
+}
+
+// rankKey is the whole-response content key; rankCandKey identifies one
+// candidate's (design, workload) pair, so overlapping candidate sets
+// reuse per-candidate simulations even when the endpoint key misses.
+func (s *Server) rankKey(req rankRequest) memo.Key {
+	e := s.keyEnc("rank")
+	e.Int(req.Width)
+	e.Int(req.Cycles)
+	e.Int64(req.Seed)
+	return e.Key()
+}
+
+func (s *Server) rankCandKey(name string, req rankRequest) *memo.Key {
+	e := s.keyEnc("rank-cand")
+	e.String(name)
+	e.Int(req.Width)
+	e.Int(req.Cycles)
+	e.Int64(req.Seed)
+	k := e.Key()
+	return &k
 }
 
 func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
@@ -180,29 +257,63 @@ func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, err)
 		return
 	}
-	v, err := s.execute(r.Context(), "rank", func(b *budget.Budget) (any, error) {
+	v, cached, err := s.memoDo(s.rankKey(req), func() (any, int64, bool, error) {
+		resp, err := s.rankCompute(r.Context(), req)
+		if err != nil {
+			return nil, 0, false, err
+		}
+		// Only an all-exact ranking is replayable as fresh: a degraded
+		// or partially failed one reflects transient conditions (budget
+		// pressure, injected faults) a recomputation might not repeat.
+		cacheable := true
+		for _, e := range resp.Ranking {
+			if e.Degraded || e.Err != "" {
+				cacheable = false
+				break
+			}
+		}
+		return resp, int64(64 + 96*len(resp.Ranking)), cacheable, nil
+	})
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	resp := v.(rankResponse)
+	resp.Cached = cached
+	s.served.Add(1)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// rankCompute runs one improvement-loop turn through the resilient
+// execute path, with per-candidate estimate memoization.
+func (s *Server) rankCompute(ctx context.Context, req rankRequest) (rankResponse, error) {
+	v, err := s.execute(ctx, "rank", func(b *budget.Budget) (any, error) {
 		if err := checkCycles(req.Cycles); err != nil {
 			return nil, err
 		}
 		as, bs := operandStreams(req.Cycles, req.Width, req.Seed)
 		cand := func(name string) core.Candidate {
-			return core.Candidate{Name: name, Estimator: core.FuncB{
-				EstimatorName:  "gate-mc:" + name,
-				EstimatorLevel: core.Gate,
-				Fn: func(cb *budget.Budget) (float64, bool, error) {
-					mod, err := moduleFor(name, req.Width)
-					if err != nil {
-						return 0, false, err
-					}
-					res, err := mod.SimulateStreamBudget(cb, as, bs, sim.ZeroDelay)
-					if err != nil {
-						return 0, false, err
-					}
-					return res.Power(), false, nil
+			return core.Candidate{
+				Name:    name,
+				MemoKey: s.rankCandKey(name, req),
+				Estimator: core.FuncB{
+					EstimatorName:  "gate-mc:" + name,
+					EstimatorLevel: core.Gate,
+					Fn: func(cb *budget.Budget) (float64, bool, error) {
+						mod, err := moduleFor(name, req.Width)
+						if err != nil {
+							return 0, false, err
+						}
+						res, err := mod.SimulateStreamBudget(cb, as, bs, sim.ZeroDelay)
+						if err != nil {
+							return 0, false, err
+						}
+						return res.Power(), false, nil
+					},
 				},
-			}}
+			}
 		}
-		ranking := core.RankBudget(b, []core.Candidate{
+		ranking := core.RankParallelMemo(b, 1, s.estimateCache(), []core.Candidate{
 			cand("adder"), cand("carry-select"), cand("subtractor"),
 		})
 		best, err := ranking.Best()
@@ -219,6 +330,7 @@ func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
 				Power:    rk.Estimate.Power,
 				Model:    rk.Estimate.Model,
 				Degraded: rk.Estimate.Degraded,
+				Cached:   rk.Cached,
 			}
 			if rk.Err != nil {
 				e.Err = rk.Err.Error()
@@ -228,11 +340,9 @@ func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
 		return resp, nil
 	})
 	if err != nil {
-		s.fail(w, err)
-		return
+		return rankResponse{}, err
 	}
-	s.served.Add(1)
-	writeJSON(w, http.StatusOK, v)
+	return v.(rankResponse), nil
 }
 
 // ---------------------------------------------------------------------
@@ -252,6 +362,28 @@ type bddResponse struct {
 	Vars     int    `json:"vars"`
 	Nodes    int    `json:"nodes"`
 	Degraded bool   `json:"degraded"`
+	// Cached reports the node count was replayed from the estimate
+	// cache. Degraded (sampled) estimates are never cached, so a cached
+	// response is always an exact build.
+	Cached bool `json:"cached"`
+}
+
+// bddVal is the cached outcome of one BDD size estimate.
+type bddVal struct {
+	Nodes    int
+	Degraded bool
+}
+
+// bddKey hashes the materialized truth table rather than the function
+// name, so any two requests naming the same boolean function share one
+// entry ("majority" and "and" over one variable, say). AllowDegraded is
+// deliberately excluded: it changes failure handling, not the exact
+// result, and degraded outcomes are never stored.
+func (s *Server) bddKey(tt []bool, vars int) memo.Key {
+	e := s.keyEnc("bdd")
+	e.Int(vars)
+	e.Bools(tt)
+	return e.Key()
 }
 
 // truthTable materializes the named function over n variables.
@@ -292,11 +424,47 @@ func (s *Server) handleBDD(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, err)
 		return
 	}
-	v, err := s.execute(r.Context(), "bdd", func(b *budget.Budget) (any, error) {
-		tt, err := truthTable(req.Function, req.Vars)
+	// Materializing the table is also the request validation, so it runs
+	// before the cache lookup and bad requests fail without a key.
+	tt, err := truthTable(req.Function, req.Vars)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	v, cached, err := s.memoDo(s.bddKey(tt, req.Vars), func() (any, int64, bool, error) {
+		val, err := s.bddCompute(r.Context(), req, tt)
 		if err != nil {
-			return nil, err
+			return nil, 0, false, err
 		}
+		// A sampled estimate reflects a budget trip this run; an exact
+		// rebuild might succeed, so only exact counts are replayable.
+		return val, 32, !val.Degraded, nil
+	})
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	val := v.(bddVal)
+	// A caller that demanded an exact count can collapse onto a
+	// concurrent identical request whose leader accepted degradation;
+	// surface the underlying budget trip instead of a result this
+	// caller's contract forbids. (Degraded values are never stored, so
+	// this only arises from in-flight sharing.)
+	if val.Degraded && !req.AllowDegraded {
+		s.fail(w, fmt.Errorf("powerd: exact build cut off by budget: %w", budget.ErrExceeded))
+		return
+	}
+	s.served.Add(1)
+	writeJSON(w, http.StatusOK, bddResponse{
+		Function: req.Function, Vars: req.Vars,
+		Nodes: val.Nodes, Degraded: val.Degraded, Cached: cached,
+	})
+}
+
+// bddCompute builds the BDD through the resilient execute path and
+// returns the exact or (when allowed) sampled node count.
+func (s *Server) bddCompute(ctx context.Context, req bddRequest, tt []bool) (bddVal, error) {
+	v, err := s.execute(ctx, "bdd", func(b *budget.Budget) (any, error) {
 		// The handler owns the manager (rather than delegating to
 		// bdd.SizeEstimate) so its unique/ITE table traffic can be folded
 		// into the /v1/stats counters — including partial builds that a
@@ -305,27 +473,19 @@ func (s *Server) handleBDD(w http.ResponseWriter, r *http.Request) {
 		m.SetBudget(b)
 		root, err := m.BuildTT(tt, req.Vars)
 		s.recordBDDStats(m.Stats())
-		var (
-			nodes    int
-			degraded bool
-		)
 		switch {
 		case err == nil:
-			nodes = m.NodeCount(root)
+			return bddVal{Nodes: m.NodeCount(root)}, nil
 		case req.AllowDegraded && errors.Is(err, budget.ErrExceeded):
-			nodes = bdd.SampledSize(tt, req.Vars)
-			degraded = true
+			return bddVal{Nodes: bdd.SampledSize(tt, req.Vars), Degraded: true}, nil
 		default:
 			return nil, err
 		}
-		return bddResponse{Function: req.Function, Vars: req.Vars, Nodes: nodes, Degraded: degraded}, nil
 	})
 	if err != nil {
-		s.fail(w, err)
-		return
+		return bddVal{}, err
 	}
-	s.served.Add(1)
-	writeJSON(w, http.StatusOK, v)
+	return v.(bddVal), nil
 }
 
 // ---------------------------------------------------------------------
@@ -346,6 +506,19 @@ type predictResponse struct {
 	Predicted float64 `json:"predicted"`
 	Measured  float64 `json:"measured"`
 	AbsErrPct float64 `json:"abs_err_pct"`
+	// Cached reports the response was replayed from the estimate cache.
+	Cached bool `json:"cached"`
+}
+
+func (s *Server) predictKey(req predictRequest) memo.Key {
+	e := s.keyEnc("predict")
+	e.String(req.Circuit)
+	e.Int(req.Width)
+	e.String(req.Model)
+	e.Int(req.Train)
+	e.Int(req.Eval)
+	e.Int64(req.Seed)
+	return e.Key()
 }
 
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
@@ -359,7 +532,30 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, err)
 		return
 	}
-	v, err := s.execute(r.Context(), "predict", func(b *budget.Budget) (any, error) {
+	v, cached, err := s.memoDo(s.predictKey(req), func() (any, int64, bool, error) {
+		resp, err := s.predictCompute(r.Context(), req)
+		if err != nil {
+			return nil, 0, false, err
+		}
+		return resp, 128, true, nil
+	})
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	resp := v.(predictResponse)
+	resp.Cached = cached
+	s.served.Add(1)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// predictCompute fits the requested macro-model and compares it against
+// budgeted ground truth. The ground-truth trace of the evaluation
+// stream is itself memoized (keyed on the module's netlist structure
+// and the exact streams), so requesting the four model types for one
+// circuit performs one evaluation simulation, not four.
+func (s *Server) predictCompute(ctx context.Context, req predictRequest) (predictResponse, error) {
+	v, err := s.execute(ctx, "predict", func(b *budget.Budget) (any, error) {
 		mod, err := moduleFor(req.Circuit, req.Width)
 		if err != nil {
 			return nil, err
@@ -388,7 +584,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			return nil, err
 		}
-		truth, err := macromodel.GroundTruthBudget(b, mod, evalA, evalB, sim.ZeroDelay)
+		truth, err := macromodel.GroundTruthMemo(s.estimateCache(), b, mod, evalA, evalB, sim.ZeroDelay)
 		if err != nil {
 			return nil, err
 		}
@@ -404,11 +600,9 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		}, nil
 	})
 	if err != nil {
-		s.fail(w, err)
-		return
+		return predictResponse{}, err
 	}
-	s.served.Add(1)
-	writeJSON(w, http.StatusOK, v)
+	return v.(predictResponse), nil
 }
 
 func abs(x float64) float64 {

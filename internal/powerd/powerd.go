@@ -26,6 +26,7 @@ import (
 	"hlpower/internal/bdd"
 	"hlpower/internal/budget"
 	"hlpower/internal/hlerr"
+	"hlpower/internal/memo"
 	"hlpower/internal/resilience"
 )
 
@@ -59,6 +60,12 @@ type Config struct {
 	// HedgeDelay, when positive, arms a hedged backup attempt for
 	// idempotent simulation requests that straggle past the delay.
 	HedgeDelay time.Duration
+	// MemoMaxBytes sizes the content-addressed estimate cache: 0 means
+	// the memo package default (64 MiB), negative disables memoization
+	// entirely.
+	MemoMaxBytes int64
+	// MemoShards is the estimate cache's shard count (0 = default).
+	MemoShards int
 	// Clock drives retry backoff and breaker timeouts; tests swap in
 	// resilience.Fake for deterministic schedules.
 	Clock resilience.Clock
@@ -135,6 +142,7 @@ type Server struct {
 	breakers map[string]*resilience.Breaker
 	plan     atomic.Pointer[budget.FaultPlan]
 	reqSeq   atomic.Int64
+	memo     *memo.Cache // nil when Config.MemoMaxBytes < 0
 
 	served   atomic.Int64 // requests answered 200
 	rejected atomic.Int64 // requests answered 4xx/5xx
@@ -155,6 +163,9 @@ func NewServer(cfg Config) *Server {
 		clock:    cfg.Clock,
 		slots:    make(chan struct{}, cfg.Workers),
 		breakers: make(map[string]*resilience.Breaker, len(Subsystems)),
+	}
+	if cfg.MemoMaxBytes >= 0 {
+		s.memo = memo.New(memo.Options{MaxBytes: cfg.MemoMaxBytes, Shards: cfg.MemoShards})
 	}
 	for _, name := range Subsystems {
 		s.breakers[name] = resilience.NewBreaker(resilience.BreakerConfig{
@@ -212,6 +223,32 @@ func (s *Server) Drain(ctx context.Context) error {
 // tests and operators can inspect state and counters.
 func (s *Server) Breaker(name string) *resilience.Breaker { return s.breakers[name] }
 
+// estimateCache returns the content-addressed estimate cache, or nil
+// when memoization is disabled — including the whole time a fault plan
+// is armed. Bypassing (not just skipping stores) while chaos is active
+// keeps two promises at once: an injected fault can never be laundered
+// into a cached "fresh" result, and chaos traffic always exercises the
+// real estimation path rather than being absorbed by earlier hits.
+func (s *Server) estimateCache() *memo.Cache {
+	if s.plan.Load() != nil {
+		return nil
+	}
+	return s.memo
+}
+
+// memoDo runs compute through the estimate cache under key k, or
+// directly when memoization is off. The returned flag reports whether
+// the value was replayed from the cache (or shared with a concurrent
+// identical computation) rather than computed by this call.
+func (s *Server) memoDo(k memo.Key, compute func() (val any, size int64, cacheable bool, err error)) (any, bool, error) {
+	c := s.estimateCache()
+	if c == nil {
+		v, _, _, err := compute()
+		return v, false, err
+	}
+	return c.Do(k, compute)
+}
+
 // Stats is the service-level counter snapshot served at /v1/stats.
 type Stats struct {
 	Served      int64                              `json:"served"`
@@ -225,6 +262,13 @@ type Stats struct {
 	// (lookups, hits, misses) across every BDD request the server has
 	// run, so operators can watch hash-consing effectiveness live.
 	BDDTables bdd.Stats `json:"bdd_tables"`
+	// MemoEnabled reports whether the content-addressed estimate cache
+	// is configured; Memo carries its gauges (hits, misses, collapsed
+	// waiters, stores, evictions, bytes) and MemoHitRate the fraction of
+	// lookups served without computing.
+	MemoEnabled bool       `json:"memo_enabled"`
+	Memo        memo.Stats `json:"memo"`
+	MemoHitRate float64    `json:"memo_hit_rate"`
 }
 
 // Snapshot returns the current counters.
@@ -239,6 +283,11 @@ func (s *Server) Snapshot() Stats {
 	}
 	for name, b := range s.breakers {
 		st.Breakers[name] = b.Stats()
+	}
+	if s.memo != nil {
+		st.MemoEnabled = true
+		st.Memo = s.memo.Stats()
+		st.MemoHitRate = st.Memo.HitRate()
 	}
 	s.mu.Lock()
 	st.Transitions = append(st.Transitions, s.transitions...)

@@ -204,6 +204,13 @@ func TestChaosSoak(t *testing.T) {
 		t.Fatalf("%d shed responses, only %d carried Retry-After", shedCount.Load(), shedWithHint.Load())
 	}
 
+	// Phases 1-3 all ran under an armed fault plan, so the estimate
+	// cache must have been bypassed completely: no lookups absorbed
+	// chaos traffic, and no fault-shaped result was stored.
+	if m := s.Snapshot().Memo; m.Hits != 0 || m.Misses != 0 || m.Collapsed != 0 || m.Stores != 0 || m.NegStores != 0 {
+		t.Fatalf("estimate cache touched while a fault plan was armed: %+v", m)
+	}
+
 	// --- Phase 4: recovery. With the plan cleared, every breaker must
 	// come back through a half-open probe to closed, and requests
 	// succeed again.
@@ -228,6 +235,20 @@ func TestChaosSoak(t *testing.T) {
 		if st.HalfOpened < 1 || st.ClosedFromHalfOpen < 1 {
 			t.Errorf("breaker %s never recovered half-open -> closed: %+v", name, st)
 		}
+	}
+
+	// With the plan cleared, caching resumes: the recovery successes
+	// above stored entries, and re-firing a recovered request now hits.
+	m := s.Snapshot().Memo
+	if m.Stores == 0 {
+		t.Fatalf("recovery phase stored nothing in the estimate cache: %+v", m)
+	}
+	hitsBefore := m.Hits
+	if code, _ := fire(specs[0]); code != http.StatusOK {
+		t.Fatalf("post-recovery refire answered %d, want 200", code)
+	}
+	if m2 := s.Snapshot().Memo; m2.Hits <= hitsBefore {
+		t.Fatalf("post-recovery refire did not hit the estimate cache: %+v", m2)
 	}
 
 	// --- Phase 5: drain. No in-flight work remains, so Drain returns

@@ -87,6 +87,53 @@ func (r *Result) Power() float64 {
 // Energy returns total switched energy 0.5·V²·ΣC.
 func (r *Result) Energy() float64 { return 0.5 * r.vdd * r.vdd * r.SwitchedCap }
 
+// Clone deep-copies the result, including the private electrical
+// parameters, so memoization layers can hand each caller an isolated
+// value while keeping the stored original immutable.
+func (r *Result) Clone() *Result {
+	if r == nil {
+		return nil
+	}
+	cp := *r
+	if r.ByGroup != nil {
+		cp.ByGroup = make(map[string]float64, len(r.ByGroup))
+		for k, v := range r.ByGroup {
+			cp.ByGroup[k] = v
+		}
+	}
+	cp.Toggles = append([]int64(nil), r.Toggles...)
+	cp.Final = append([]bool(nil), r.Final...)
+	cp.PerCycleCap = append([]float64(nil), r.PerCycleCap...)
+	if r.Outputs != nil {
+		cp.Outputs = make([][]bool, len(r.Outputs))
+		for i, o := range r.Outputs {
+			cp.Outputs[i] = append([]bool(nil), o...)
+		}
+	}
+	return &cp
+}
+
+// SizeBytes approximates the result's in-memory footprint for cache
+// byte accounting. It intentionally overcounts a little (map and slice
+// headers) rather than under: eviction pressure should err toward
+// keeping the cache below its budget.
+func (r *Result) SizeBytes() int64 {
+	if r == nil {
+		return 0
+	}
+	size := int64(256) // struct, map header, slice headers
+	size += int64(len(r.Toggles)) * 8
+	size += int64(len(r.Final))
+	size += int64(len(r.PerCycleCap)) * 8
+	for k := range r.ByGroup {
+		size += int64(len(k)) + 48
+	}
+	for _, o := range r.Outputs {
+		size += int64(len(o)) + 24
+	}
+	return size
+}
+
 // InputProvider yields the primary-input assignment for each cycle.
 type InputProvider func(cycle int) []bool
 

@@ -1,0 +1,127 @@
+package hlpower
+
+// Benchmarks for the content-addressed estimate cache on the simulate
+// path. BenchmarkMemoHit measures the full replay cost — key
+// derivation (netlist + input hashing), lookup, and the defensive
+// result clone — which must stay well over an order of magnitude
+// cheaper than the simulation it displaces (BenchmarkMemoMiss).
+// BenchmarkMemoMissParallel drives all-unique keys through the sharded
+// store path under contention.
+
+import (
+	"math/rand"
+	"sync/atomic"
+	"testing"
+
+	"hlpower/internal/rtlib"
+	"hlpower/internal/trace"
+)
+
+const (
+	memoBenchWidth  = 6
+	memoBenchCycles = 512
+)
+
+// memoBenchProvider returns a deterministic input stream for the bench
+// multiplier; distinct salts yield distinct streams and therefore
+// distinct cache keys for identical simulation work.
+func memoBenchProvider(mod *rtlib.Module, salt uint64) func(int) []bool {
+	rng := rand.New(rand.NewSource(int64(salt)))
+	as := trace.Uniform(memoBenchCycles, memoBenchWidth, rng)
+	bs := trace.Uniform(memoBenchCycles, memoBenchWidth, rng)
+	return func(c int) []bool { return mod.InputVector(as[c], bs[c]) }
+}
+
+func BenchmarkMemoHit(b *testing.B) {
+	mod := rtlib.NewMultiplier(memoBenchWidth)
+	prov := memoBenchProvider(mod, 1)
+	c := NewEstimateCache(EstimateCacheOptions{})
+	if _, err := SimulateMemo(c, nil, mod.Net, prov, memoBenchCycles, SimOptions{}); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SimulateMemo(c, nil, mod.Net, prov, memoBenchCycles, SimOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if st := c.Stats(); st.Hits < int64(b.N) {
+		b.Fatalf("hit benchmark missed: %d hits for %d iterations (%+v)", st.Hits, b.N, st)
+	}
+}
+
+func BenchmarkMemoMiss(b *testing.B) {
+	mod := rtlib.NewMultiplier(memoBenchWidth)
+	c := NewEstimateCache(EstimateCacheOptions{})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		prov := memoBenchProvider(mod, uint64(i)+2) // salt 1 is the hit benchmark's
+		if _, err := SimulateMemo(c, nil, mod.Net, prov, memoBenchCycles, SimOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if st := c.Stats(); st.Misses < int64(b.N) {
+		b.Fatalf("miss benchmark hit: %d misses for %d iterations (%+v)", st.Misses, b.N, st)
+	}
+}
+
+func BenchmarkMemoMissParallel(b *testing.B) {
+	mod := rtlib.NewMultiplier(memoBenchWidth)
+	c := NewEstimateCache(EstimateCacheOptions{})
+	var salt atomic.Uint64
+	salt.Store(1 << 32) // disjoint from the serial benchmarks' salts
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			prov := memoBenchProvider(mod, salt.Add(1))
+			if _, err := SimulateMemo(c, nil, mod.Net, prov, memoBenchCycles, SimOptions{}); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}
+
+// TestMemoHitSpeedup pins the acceptance floor directly: a cache hit
+// must be at least 10x cheaper than the simulation it replaces. The
+// benchmarks above report the precise ratio; this test fails loudly if
+// the replay path ever gets slow enough to defeat its purpose.
+func TestMemoHitSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test skipped in -short mode")
+	}
+	miss := testing.Benchmark(func(b *testing.B) {
+		mod := rtlib.NewMultiplier(memoBenchWidth)
+		c := NewEstimateCache(EstimateCacheOptions{})
+		for i := 0; i < b.N; i++ {
+			prov := memoBenchProvider(mod, uint64(i)+2)
+			if _, err := SimulateMemo(c, nil, mod.Net, prov, memoBenchCycles, SimOptions{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	hit := testing.Benchmark(func(b *testing.B) {
+		mod := rtlib.NewMultiplier(memoBenchWidth)
+		prov := memoBenchProvider(mod, 1)
+		c := NewEstimateCache(EstimateCacheOptions{})
+		if _, err := SimulateMemo(c, nil, mod.Net, prov, memoBenchCycles, SimOptions{}); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := SimulateMemo(c, nil, mod.Net, prov, memoBenchCycles, SimOptions{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	ratio := float64(miss.NsPerOp()) / float64(hit.NsPerOp())
+	t.Logf("memo miss %d ns/op, hit %d ns/op, speedup %.1fx", miss.NsPerOp(), hit.NsPerOp(), ratio)
+	if ratio < 10 {
+		t.Errorf("cache hit only %.1fx faster than miss, want >= 10x", ratio)
+	}
+}
