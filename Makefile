@@ -2,7 +2,7 @@
 
 FUZZTIME ?= 10s
 
-.PHONY: all check ci fmt-check build test bench bench-json bench-compare repro vet cover fuzz soak vulncheck clean
+.PHONY: all check ci fmt-check build test bench bench-json bench-compare repro vet cover fuzz soak soak-cluster vulncheck clean
 
 all: check
 
@@ -73,6 +73,14 @@ fuzz:
 SOAKCOUNT ?= 1
 soak:
 	go test -race -run TestChaosSoak -count=$(SOAKCOUNT) -v ./internal/powerd/
+
+# soak-cluster runs the multi-node chaos harness under the race
+# detector: a 4-node in-process powerd ring under partitions, a node
+# kill, an injected slow peer, and clock-skewed gossip, asserting no
+# lost requests, ring-wide request collapsing, bit-identical results
+# vs a single-node reference, and leak-free drain.
+soak-cluster:
+	go test -race -run TestClusterChaosSoak -count=$(SOAKCOUNT) -v ./internal/powerd/
 
 # vulncheck scans the module against the Go vulnerability database.
 # The tool is fetched on demand (it is not a module dependency) and the

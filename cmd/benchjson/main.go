@@ -39,7 +39,13 @@ type Entry struct {
 	// Variant classifies the execution engine: "serial" (interpreted,
 	// one goroutine), "packed" (64-lane bit-packed kernel, one
 	// goroutine), or "parallel" (sharded worker pool).
-	Variant     string  `json:"variant,omitempty"`
+	Variant string `json:"variant,omitempty"`
+	// GOMAXPROCS is the scheduler width this entry was measured under.
+	// Parallel variants are always recorded pinned to 1 (the scheduling
+	// floor, comparable across hosts) and, when the host has more than
+	// one CPU, again at the real core count under a "/mp" name suffix —
+	// the pair separates algorithmic overhead from actual scaling.
+	GOMAXPROCS  int     `json:"gomaxprocs,omitempty"`
 	NsPerOp     float64 `json:"ns_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	// MBPerSec is workload throughput in lane-evaluations (one bit per
@@ -81,10 +87,16 @@ func main() {
 		NumCPU:     runtime.NumCPU(),
 		Short:      *short,
 	}
-	if snap.GOMAXPROCS == 1 {
-		snap.Note = "gomaxprocs=1: parallel speedup_vs_serial ≈1.0x is expected on this host " +
-			"(no cores to shard across), not a regression; the packed variant is the " +
-			"single-thread speedup to watch"
+	// Parallel variants are measured pinned to gomaxprocs=1 and, when
+	// the host has real cores, again at full width ("/mp" entries).
+	multiProcs := 0
+	if n := runtime.NumCPU(); n > 1 {
+		multiProcs = n
+	}
+	if multiProcs == 0 {
+		snap.Note = "single-cpu host: the multi-core (\"/mp\") pass is skipped and parallel " +
+			"speedup_vs_serial ≈1.0x is expected (no cores to shard across), not a " +
+			"regression; the packed variant is the single-thread speedup to watch"
 	}
 	path := *out
 	if path == "" {
@@ -120,17 +132,19 @@ func main() {
 
 	for _, w := range []int{2, 4, 8} {
 		w := w
-		e := measure(fmt.Sprintf("sim/parallel/w%d", w), simBytes, func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				_, err := sim.RunParallel(nil, simNet, simInputs, cycles, sim.ParallelOptions{Workers: w})
-				if err != nil {
-					fatal(err)
+		for _, procs := range procsPasses(multiProcs) {
+			e := measureAt(procs, mpName(fmt.Sprintf("sim/parallel/w%d", w), procs, multiProcs), simBytes, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					_, err := sim.RunParallel(nil, simNet, simInputs, cycles, sim.ParallelOptions{Workers: w})
+					if err != nil {
+						fatal(err)
+					}
 				}
-			}
-		})
-		e.Variant = "parallel"
-		e.Speedup = round3(serialSim.NsPerOp / e.NsPerOp)
-		snap.Results = append(snap.Results, e)
+			})
+			e.Variant = "parallel"
+			e.Speedup = round3(serialSim.NsPerOp / e.NsPerOp)
+			snap.Results = append(snap.Results, e)
+		}
 	}
 
 	candidates := rankCandidates(cands, width, cycles/8)
@@ -145,16 +159,18 @@ func main() {
 	snap.Results = append(snap.Results, serialRank)
 	for _, w := range []int{2, 4, 8} {
 		w := w
-		e := measure(fmt.Sprintf("rank/parallel/w%d", w), 0, func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				if _, err := core.RankParallel(nil, w, candidates).Best(); err != nil {
-					fatal(err)
+		for _, procs := range procsPasses(multiProcs) {
+			e := measureAt(procs, mpName(fmt.Sprintf("rank/parallel/w%d", w), procs, multiProcs), 0, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := core.RankParallel(nil, w, candidates).Best(); err != nil {
+						fatal(err)
+					}
 				}
-			}
-		})
-		e.Variant = "parallel"
-		e.Speedup = round3(serialRank.NsPerOp / e.NsPerOp)
-		snap.Results = append(snap.Results, e)
+			})
+			e.Variant = "parallel"
+			e.Speedup = round3(serialRank.NsPerOp / e.NsPerOp)
+			snap.Results = append(snap.Results, e)
+		}
 	}
 
 	// Content-addressed memoization on the simulate path: memo/miss
@@ -240,6 +256,36 @@ func main() {
 	if snap.Note != "" {
 		fmt.Println("note:", snap.Note)
 	}
+}
+
+// procsPasses lists the scheduler widths to measure a parallel variant
+// under: always the pinned gomaxprocs=1 floor, plus the host's real
+// core count when it has one (multiProcs=0 means single-cpu host).
+func procsPasses(multiProcs int) []int {
+	if multiProcs > 1 {
+		return []int{1, multiProcs}
+	}
+	return []int{1}
+}
+
+// mpName suffixes the multi-core pass so both passes coexist in one
+// snapshot and benchcompare diffs them by like-for-like name.
+func mpName(base string, procs, multiProcs int) string {
+	if procs == multiProcs && procs > 1 {
+		return base + "/mp"
+	}
+	return base
+}
+
+// measureAt runs one benchmark pinned to the given GOMAXPROCS,
+// restoring the ambient value afterwards, and records the width on the
+// entry.
+func measureAt(procs int, name string, bytes int64, fn func(b *testing.B)) Entry {
+	prev := runtime.GOMAXPROCS(procs)
+	defer runtime.GOMAXPROCS(prev)
+	e := measure(name, bytes, fn)
+	e.GOMAXPROCS = procs
+	return e
 }
 
 // measure runs one benchmark function in-process. bytes is the data

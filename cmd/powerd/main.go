@@ -9,6 +9,16 @@
 //
 // Chaos testing: -fault-prob injects random budget trips into every
 // request's estimation path, exercising the breakers end to end.
+//
+// Cluster mode: give every node an identity and the full member list
+// (its own entry included — all nodes can share one list):
+//
+//	powerd -addr :8433 -node n0=http://host0:8433 \
+//	    -peers n0=http://host0:8433,n1=http://host1:8433,n2=http://host2:8433
+//
+// Nodes forward each request to the consistent-hash owner of its
+// content key, so the ring shares one logical estimate cache; a dead
+// or slow owner sheds cleanly to local compute.
 package main
 
 import (
@@ -21,10 +31,12 @@ import (
 	_ "net/http/pprof" // registered on the default mux, served only when -pprof is set
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"hlpower/internal/budget"
+	"hlpower/internal/cluster"
 	"hlpower/internal/powerd"
 )
 
@@ -38,10 +50,14 @@ func main() {
 		hedge     = flag.Duration("hedge", 0, "hedged-backup delay for simulate requests (0 = off)")
 		faultProb = flag.Float64("fault-prob", 0, "chaos: per-check fault injection probability")
 		faultSeed = flag.Int64("fault-seed", 1, "chaos: fault plan seed")
-		drainWait = flag.Duration("drain-wait", 30*time.Second, "max time to wait for in-flight requests on shutdown")
 		memoBytes = flag.Int64("memo-bytes", 0, "estimate-cache byte budget (0 = 64 MiB default, negative = disable memoization)")
 		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty = off)")
+		nodeSpec  = flag.String("node", "", "cluster mode: this node's id=url (empty = single-node)")
+		peerSpec  = flag.String("peers", "", "cluster mode: comma-separated id=url member list (may include this node)")
 	)
+	var drainTimeout time.Duration
+	flag.DurationVar(&drainTimeout, "drain-timeout", 30*time.Second, "graceful-drain window: max wait for in-flight requests on shutdown, and the Retry-After hint sent mid-drain")
+	flag.DurationVar(&drainTimeout, "drain-wait", 30*time.Second, "deprecated alias for -drain-timeout")
 	flag.Parse()
 
 	cfg := powerd.DefaultConfig()
@@ -53,6 +69,7 @@ func main() {
 	cfg.MaxSteps = *maxSteps
 	cfg.HedgeDelay = *hedge
 	cfg.MemoMaxBytes = *memoBytes
+	cfg.DrainTimeout = drainTimeout
 
 	if *pprofAddr != "" {
 		// Importing net/http/pprof registers its handlers on the default
@@ -68,6 +85,22 @@ func main() {
 	}
 
 	srv := powerd.NewServer(cfg)
+	if *nodeSpec != "" {
+		self, err := parsePeer(*nodeSpec)
+		if err != nil {
+			log.Fatalf("-node: %v", err)
+		}
+		peers, err := parsePeers(*peerSpec)
+		if err != nil {
+			log.Fatalf("-peers: %v", err)
+		}
+		if err := srv.EnableCluster(cluster.Config{Self: self, Peers: peers}); err != nil {
+			log.Fatalf("cluster: %v", err)
+		}
+		log.Printf("cluster mode: node %s, ring %v", self.ID, srv.Cluster().Members())
+	} else if *peerSpec != "" {
+		log.Fatal("-peers requires -node")
+	}
 	if *faultProb > 0 {
 		srv.SetFaultPlan(budget.FaultPlan{Prob: *faultProb, Seed: *faultSeed})
 		log.Printf("chaos armed: fault probability %.3f (seed %d)", *faultProb, *faultSeed)
@@ -93,8 +126,8 @@ func main() {
 	case <-ctx.Done():
 	}
 
-	log.Printf("signal received; draining (max %s)", *drainWait)
-	drainCtx, cancel := context.WithTimeout(context.Background(), *drainWait)
+	log.Printf("signal received; draining (max %s)", drainTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
 	defer cancel()
 	// Stop admitting estimation work first, then close listeners: late
 	// arrivals between the two get a clean 503 instead of a reset.
@@ -107,4 +140,29 @@ func main() {
 		os.Exit(1)
 	}
 	log.Printf("drained cleanly")
+}
+
+// parsePeer parses one id=url member spec.
+func parsePeer(spec string) (cluster.Peer, error) {
+	id, url, ok := strings.Cut(spec, "=")
+	if !ok || id == "" || url == "" {
+		return cluster.Peer{}, fmt.Errorf("want id=url, got %q", spec)
+	}
+	return cluster.Peer{ID: id, URL: strings.TrimSuffix(url, "/")}, nil
+}
+
+// parsePeers parses the comma-separated member list.
+func parsePeers(spec string) ([]cluster.Peer, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var peers []cluster.Peer
+	for _, part := range strings.Split(spec, ",") {
+		p, err := parsePeer(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		peers = append(peers, p)
+	}
+	return peers, nil
 }

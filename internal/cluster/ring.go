@@ -1,0 +1,110 @@
+// Package cluster scales powerd past one process: a consistent-hash
+// ring assigns every content-addressed estimate key (internal/memo) an
+// owning node, requests are forwarded to their owner — whose estimate
+// cache and singleflight then collapse identical work ring-wide — and
+// a gossip-based health view plus per-peer circuit breakers shed a
+// dead, slow, or partitioned owner cleanly to local compute. The
+// failover direction is deliberately local: estimation is a pure
+// function of the request, so any node can always compute any answer;
+// the ring only decides where caching and collapsing concentrate.
+//
+// Liveness is judged exclusively from locally observed progress
+// (heartbeat sequence numbers advancing, direct transport successes),
+// never from timestamps other nodes report — so clock skew between
+// nodes cannot fail a healthy peer or resurrect a dead one.
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sort"
+	"strconv"
+
+	"hlpower/internal/memo"
+)
+
+// DefaultVNodes is the virtual-node count per member: enough points
+// that a 3–5 node ring balances within a few percent, cheap enough
+// that rebuilding a ring is trivial.
+const DefaultVNodes = 64
+
+// ringPoint is one virtual node's position.
+type ringPoint struct {
+	hash uint64
+	id   string
+}
+
+// Ring is an immutable consistent-hash ring over member IDs. All nodes
+// constructing a Ring from the same member set (in any order) compute
+// identical ownership — the property cluster routing depends on.
+type Ring struct {
+	points []ringPoint
+	ids    []string // distinct members, sorted
+}
+
+// NewRing builds a ring with vnodes virtual points per member
+// (nonpositive means DefaultVNodes). Duplicate IDs collapse; an empty
+// member list yields a ring that owns nothing.
+func NewRing(ids []string, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	seen := make(map[string]bool, len(ids))
+	var distinct []string
+	for _, id := range ids {
+		if id != "" && !seen[id] {
+			seen[id] = true
+			distinct = append(distinct, id)
+		}
+	}
+	sort.Strings(distinct)
+	r := &Ring{ids: distinct}
+	r.points = make([]ringPoint, 0, len(distinct)*vnodes)
+	for _, id := range distinct {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{hash: pointHash(id, v), id: id})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].id < r.points[j].id
+	})
+	return r
+}
+
+// pointHash positions one virtual node: SHA-256 keeps placement
+// uniform and identical on every node regardless of architecture.
+func pointHash(id string, vnode int) uint64 {
+	sum := sha256.Sum256([]byte("hlpower/ring/" + id + "/" + strconv.Itoa(vnode)))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// Members returns the distinct member IDs, sorted.
+func (r *Ring) Members() []string {
+	out := make([]string, len(r.ids))
+	copy(out, r.ids)
+	return out
+}
+
+// position maps a content key onto the ring. Keys are SHA-256 derived
+// (memo.Enc.Key), so Hi alone is uniform; the ring deliberately uses
+// different key bits than the memo cache's shard selector (Lo) so
+// ring placement and shard placement stay independent.
+func position(k memo.Key) uint64 { return k.Hi }
+
+// Owner returns the member owning key k: the first virtual node at or
+// clockwise of the key's position. An empty ring owns nothing and
+// returns "".
+func (r *Ring) Owner(k memo.Key) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	pos := position(k)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= pos })
+	if i == len(r.points) {
+		i = 0 // wrap past the highest point
+	}
+	return r.points[i].id
+}

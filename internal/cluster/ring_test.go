@@ -1,0 +1,108 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+
+	"hlpower/internal/memo"
+)
+
+func testKey(i int) memo.Key {
+	e := memo.NewEnc()
+	e.String("ring-test")
+	e.Int(i)
+	return e.Key()
+}
+
+// Ownership must be a pure function of the member set: any node
+// building the ring from any ordering of the same members routes
+// identically, or forwarding would ping-pong.
+func TestRingOwnerDeterministicAcrossOrderings(t *testing.T) {
+	a := NewRing([]string{"n0", "n1", "n2", "n3"}, 0)
+	b := NewRing([]string{"n3", "n1", "n0", "n2", "n1"}, 0) // shuffled + dup
+	for i := 0; i < 500; i++ {
+		k := testKey(i)
+		if a.Owner(k) != b.Owner(k) {
+			t.Fatalf("key %d: owner %q vs %q across orderings", i, a.Owner(k), b.Owner(k))
+		}
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	ids := []string{"n0", "n1", "n2", "n3"}
+	r := NewRing(ids, 0)
+	counts := map[string]int{}
+	const keys = 4000
+	for i := 0; i < keys; i++ {
+		counts[r.Owner(testKey(i))]++
+	}
+	for _, id := range ids {
+		share := float64(counts[id]) / keys
+		// With 64 vnodes per member a 4-node ring balances well; the wide
+		// tolerance just guards against a catastrophic hashing bug (one
+		// node owning everything or nothing).
+		if share < 0.10 || share > 0.45 {
+			t.Errorf("member %s owns %.1f%% of keys, want roughly 25%%", id, 100*share)
+		}
+	}
+}
+
+// Removing one member must only move the keys it owned: consistent
+// hashing's defining property, and what keeps a node death from
+// invalidating the whole cluster's cache placement.
+func TestRingStabilityUnderMembershipChange(t *testing.T) {
+	full := NewRing([]string{"n0", "n1", "n2", "n3"}, 0)
+	without := NewRing([]string{"n0", "n1", "n3"}, 0)
+	const keys = 2000
+	moved := 0
+	for i := 0; i < keys; i++ {
+		k := testKey(i)
+		was, now := full.Owner(k), without.Owner(k)
+		if was == "n2" {
+			if now == "n2" {
+				t.Fatalf("key %d still owned by removed member", i)
+			}
+			continue // these must move
+		}
+		if was != now {
+			moved++
+		}
+	}
+	if moved != 0 {
+		t.Errorf("%d keys not owned by the removed member changed owner; want 0", moved)
+	}
+}
+
+func TestRingEmptyAndSingle(t *testing.T) {
+	if got := NewRing(nil, 0).Owner(testKey(1)); got != "" {
+		t.Errorf("empty ring owner = %q, want \"\"", got)
+	}
+	solo := NewRing([]string{"only"}, 0)
+	for i := 0; i < 50; i++ {
+		if got := solo.Owner(testKey(i)); got != "only" {
+			t.Fatalf("single-member ring owner = %q", got)
+		}
+	}
+}
+
+// The wraparound branch (key position above the highest virtual node)
+// must route to the ring's first point, not fall off the end.
+func TestRingWraparound(t *testing.T) {
+	r := NewRing([]string{"n0", "n1"}, 4)
+	top := r.points[len(r.points)-1].hash
+	if top == ^uint64(0) {
+		t.Skip("highest vnode at max hash; wraparound untestable with this member set")
+	}
+	k := memo.Key{Hi: top + 1, Lo: 0}
+	if got, want := r.Owner(k), r.points[0].id; got != want {
+		t.Errorf("wraparound owner = %q, want first point's member %q", got, want)
+	}
+}
+
+func TestRingMembers(t *testing.T) {
+	r := NewRing([]string{"b", "a", "b", ""}, 0)
+	got := fmt.Sprintf("%v", r.Members())
+	if got != "[a b]" {
+		t.Errorf("Members() = %s, want [a b]", got)
+	}
+}

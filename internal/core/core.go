@@ -188,10 +188,12 @@ func RankParallel(b *budget.Budget, workers int, candidates []Candidate) Ranking
 	return out
 }
 
-// cachedEstimate is what RankParallelMemo stores per candidate: the
+// CandidateEstimate is what RankParallelMemo stores per candidate: the
 // scalar outcome of one estimator evaluation. It is immutable by
-// construction (two plain fields, copied on read).
-type cachedEstimate struct {
+// construction (two plain fields, copied on read). It is exported so
+// other serving layers (the cluster candidate endpoint) can store and
+// read the same cache entries under the same content keys.
+type CandidateEstimate struct {
 	Power    float64
 	Degraded bool
 }
@@ -229,7 +231,7 @@ func RankParallelMemo(b *budget.Budget, workers int, cache *memo.Cache, candidat
 			if r.Err != nil {
 				return nil, 0, false, r.Err
 			}
-			return cachedEstimate{Power: r.Estimate.Power, Degraded: r.Estimate.Degraded},
+			return CandidateEstimate{Power: r.Estimate.Power, Degraded: r.Estimate.Degraded},
 				32, !r.Estimate.Degraded, nil
 		})
 		if computed {
@@ -247,7 +249,7 @@ func RankParallelMemo(b *budget.Budget, workers int, cache *memo.Cache, candidat
 			out[i].Cached = true
 			return nil
 		}
-		ce := v.(cachedEstimate)
+		ce := v.(CandidateEstimate)
 		out[i] = Ranked{
 			Candidate: c,
 			Estimate: Estimate{

@@ -2,120 +2,32 @@ package powerd
 
 import (
 	"context"
-	"errors"
 	"fmt"
-	"math/rand"
 	"net/http"
 
-	"hlpower/internal/bdd"
 	"hlpower/internal/budget"
-	"hlpower/internal/core"
-	"hlpower/internal/hlerr"
-	"hlpower/internal/macromodel"
-	"hlpower/internal/memo"
 	"hlpower/internal/resilience"
-	"hlpower/internal/rtlib"
+	"hlpower/internal/service"
 	"hlpower/internal/sim"
-	"hlpower/internal/trace"
 )
 
-const (
-	maxWidth  = 16
-	maxCycles = 200_000
+// The wire types are owned by the transport-agnostic service layer;
+// the aliases keep this package's handlers and tests reading naturally.
+type (
+	simulateRequest  = service.SimulateRequest
+	simulateResponse = service.SimulateResponse
+	rankRequest      = service.RankRequest
+	rankedEntry      = service.RankedEntry
+	rankResponse     = service.RankResponse
+	bddRequest       = service.BDDRequest
+	bddResponse      = service.BDDResponse
+	bddVal           = service.BDDOutcome
+	predictRequest   = service.PredictRequest
+	predictResponse  = service.PredictResponse
 )
-
-// moduleFor builds the requested RT-library circuit, or an input error.
-func moduleFor(circuit string, width int) (*rtlib.Module, error) {
-	if width < 2 || width > maxWidth {
-		return nil, hlerr.Errorf("powerd.module", "width %d out of range [2,%d]", width, maxWidth)
-	}
-	switch circuit {
-	case "adder":
-		return rtlib.NewAdder(width), nil
-	case "carry-select":
-		return rtlib.NewCarrySelectAdder(width), nil
-	case "multiplier":
-		return rtlib.NewMultiplier(width), nil
-	case "subtractor":
-		return rtlib.NewSubtractor(width), nil
-	case "comparator":
-		return rtlib.NewComparator(width), nil
-	default:
-		return nil, hlerr.Errorf("powerd.module", "unknown circuit %q", circuit)
-	}
-}
-
-func checkCycles(cycles int) error {
-	if cycles < 2 || cycles > maxCycles {
-		return hlerr.Errorf("powerd.cycles", "cycles %d out of range [2,%d]", cycles, maxCycles)
-	}
-	return nil
-}
-
-// operandStreams draws the Monte Carlo operand pair for a module.
-func operandStreams(cycles, width int, seed int64) (as, bs []uint64) {
-	rng := rand.New(rand.NewSource(seed))
-	return trace.Uniform(cycles, width, rng), trace.Uniform(cycles, width, rng)
-}
-
-// keyEnc starts an endpoint's content key: a versioned endpoint tag
-// plus the server options that can change a response. The step
-// allowance is budget-relevant — it decides which requests trip or
-// degrade — so two servers configured differently never share entries
-// through a snapshot, and reconfiguring a server cannot replay results
-// the new limits would have rejected. Request fields are appended by
-// the caller; they fully determine the derived netlist and operand
-// streams (moduleFor and operandStreams are deterministic), which makes
-// the raw fields a canonical content encoding one level above the
-// netlist hash the library layers use.
-func (s *Server) keyEnc(endpoint string) *memo.Enc {
-	e := memo.NewEnc()
-	e.String("powerd/" + endpoint + "/v1")
-	e.Int64(s.cfg.MaxSteps)
-	return e
-}
 
 // ---------------------------------------------------------------------
 // POST /v1/simulate — gate-level Monte Carlo power of one circuit.
-
-type simulateRequest struct {
-	Circuit string `json:"circuit"`
-	Width   int    `json:"width"`
-	Cycles  int    `json:"cycles"`
-	Seed    int64  `json:"seed"`
-	Workers int    `json:"workers"`
-}
-
-type simulateResponse struct {
-	Circuit     string  `json:"circuit"`
-	Cycles      int     `json:"cycles"`
-	SwitchedCap float64 `json:"switched_cap"`
-	Power       float64 `json:"power"`
-	Shards      int     `json:"shards"`
-	Fallback    string  `json:"fallback,omitempty"`
-	// Kernel is "packed" when the 64-lane bit-packed kernel served the
-	// request, empty when the interpreted scalar engine ran.
-	Kernel string `json:"kernel,omitempty"`
-	Hedged bool   `json:"hedged"`
-	// Cached reports the response was replayed from the estimate cache
-	// (or shared with a concurrent identical request) — bit-identical to
-	// a recomputation, including the Shards/Fallback/Kernel metadata of
-	// the run that produced it.
-	Cached bool `json:"cached"`
-}
-
-// simulateKey derives the content key of a simulate request. Workers is
-// included because it changes the Shards metadata the response replays
-// (the power figures themselves are bit-identical at any worker count).
-func (s *Server) simulateKey(req simulateRequest) memo.Key {
-	e := s.keyEnc("simulate")
-	e.String(req.Circuit)
-	e.Int(req.Width)
-	e.Int(req.Cycles)
-	e.Int64(req.Seed)
-	e.Int(req.Workers)
-	return e.Key()
-}
 
 func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	release, ok := s.admit(w, r)
@@ -128,10 +40,13 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, err)
 		return
 	}
+	if s.tryForward(w, r, "/v1/simulate", s.keys.Simulate(req), req) {
+		return
+	}
 	// Hedging is a property of this request's execution, never replayed
 	// from the cache; the stored response always carries Hedged=false.
 	var hedged bool
-	v, cached, err := s.memoDo(s.simulateKey(req), func() (any, int64, bool, error) {
+	v, cached, err := s.memoDo(s.keys.Simulate(req), func() (any, int64, bool, error) {
 		res, hedgeAttempt, err := s.simulateHedged(r, req)
 		if err != nil {
 			return nil, 0, false, err
@@ -166,19 +81,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 func (s *Server) simulateHedged(r *http.Request, req simulateRequest) (*sim.Result, int, error) {
 	op := func(ctx context.Context) (any, error) {
 		return s.execute(ctx, "sim", func(b *budget.Budget) (any, error) {
-			mod, err := moduleFor(req.Circuit, req.Width)
-			if err != nil {
-				return nil, err
-			}
-			if err := checkCycles(req.Cycles); err != nil {
-				return nil, err
-			}
-			as, bs := operandStreams(req.Cycles, req.Width, req.Seed)
-			prov := func(c int) []bool { return mod.InputVector(as[c], bs[c]) }
-			return sim.RunParallel(b, mod.Net, prov, req.Cycles, sim.ParallelOptions{
-				Options: sim.Options{Vdd: 1, Freq: 1},
-				Workers: req.Workers,
-			})
+			return s.svc.Simulate(ctx, b, req)
 		})
 	}
 	if s.cfg.HedgeDelay <= 0 {
@@ -198,53 +101,11 @@ func (s *Server) simulateHedged(r *http.Request, req simulateRequest) (*sim.Resu
 
 // ---------------------------------------------------------------------
 // POST /v1/rank — one improvement-loop turn over adder alternatives.
-
-type rankRequest struct {
-	Width  int   `json:"width"`
-	Cycles int   `json:"cycles"`
-	Seed   int64 `json:"seed"`
-}
-
-type rankedEntry struct {
-	Name     string  `json:"name"`
-	Power    float64 `json:"power"`
-	Model    string  `json:"model"`
-	Degraded bool    `json:"degraded"`
-	// Cached marks a candidate whose power figure was reused from a
-	// previous evaluation rather than simulated by this request.
-	Cached bool   `json:"cached,omitempty"`
-	Err    string `json:"error,omitempty"`
-}
-
-type rankResponse struct {
-	Best    string        `json:"best"`
-	Ranking []rankedEntry `json:"ranking"`
-	// Cached reports the whole response was replayed from the estimate
-	// cache; per-entry Cached flags then describe the computation that
-	// originally produced it.
-	Cached bool `json:"cached"`
-}
-
-// rankKey is the whole-response content key; rankCandKey identifies one
-// candidate's (design, workload) pair, so overlapping candidate sets
-// reuse per-candidate simulations even when the endpoint key misses.
-func (s *Server) rankKey(req rankRequest) memo.Key {
-	e := s.keyEnc("rank")
-	e.Int(req.Width)
-	e.Int(req.Cycles)
-	e.Int64(req.Seed)
-	return e.Key()
-}
-
-func (s *Server) rankCandKey(name string, req rankRequest) *memo.Key {
-	e := s.keyEnc("rank-cand")
-	e.String(name)
-	e.Int(req.Width)
-	e.Int(req.Cycles)
-	e.Int64(req.Seed)
-	k := e.Key()
-	return &k
-}
+//
+// Rank is a fan-out job, so cluster mode does not forward the whole
+// request: the node that received it aggregates, and each candidate's
+// evaluation is routed to that candidate key's owner (see remoteCand),
+// which is where cross-node singleflight collapses duplicates.
 
 func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
 	release, ok := s.admit(w, r)
@@ -257,7 +118,7 @@ func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, err)
 		return
 	}
-	v, cached, err := s.memoDo(s.rankKey(req), func() (any, int64, bool, error) {
+	v, cached, err := s.memoDo(s.keys.Rank(req), func() (any, int64, bool, error) {
 		resp, err := s.rankCompute(r.Context(), req)
 		if err != nil {
 			return nil, 0, false, err
@@ -285,57 +146,13 @@ func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
 }
 
 // rankCompute runs one improvement-loop turn through the resilient
-// execute path, with per-candidate estimate memoization.
+// execute path, with per-candidate estimate memoization (and, in
+// cluster mode, ownership-aware candidate distribution).
 func (s *Server) rankCompute(ctx context.Context, req rankRequest) (rankResponse, error) {
 	v, err := s.execute(ctx, "rank", func(b *budget.Budget) (any, error) {
-		if err := checkCycles(req.Cycles); err != nil {
-			return nil, err
-		}
-		as, bs := operandStreams(req.Cycles, req.Width, req.Seed)
-		cand := func(name string) core.Candidate {
-			return core.Candidate{
-				Name:    name,
-				MemoKey: s.rankCandKey(name, req),
-				Estimator: core.FuncB{
-					EstimatorName:  "gate-mc:" + name,
-					EstimatorLevel: core.Gate,
-					Fn: func(cb *budget.Budget) (float64, bool, error) {
-						mod, err := moduleFor(name, req.Width)
-						if err != nil {
-							return 0, false, err
-						}
-						res, err := mod.SimulateStreamBudget(cb, as, bs, sim.ZeroDelay)
-						if err != nil {
-							return 0, false, err
-						}
-						return res.Power(), false, nil
-					},
-				},
-			}
-		}
-		ranking := core.RankParallelMemo(b, 1, s.estimateCache(), []core.Candidate{
-			cand("adder"), cand("carry-select"), cand("subtractor"),
-		})
-		best, err := ranking.Best()
+		resp, err := s.svc.Rank(ctx, b, req)
 		if err != nil {
-			// Every candidate failed; surface the first failure so the
-			// breaker and retry loop see the real cause (e.g. an
-			// injected budget fault), not a generic message.
-			return nil, ranking[0].Err
-		}
-		resp := rankResponse{Best: best.Candidate.Name}
-		for _, rk := range ranking {
-			e := rankedEntry{
-				Name:     rk.Candidate.Name,
-				Power:    rk.Estimate.Power,
-				Model:    rk.Estimate.Model,
-				Degraded: rk.Estimate.Degraded,
-				Cached:   rk.Cached,
-			}
-			if rk.Err != nil {
-				e.Err = rk.Err.Error()
-			}
-			resp.Ranking = append(resp.Ranking, e)
+			return nil, err
 		}
 		return resp, nil
 	})
@@ -347,71 +164,6 @@ func (s *Server) rankCompute(ctx context.Context, req rankRequest) (rankResponse
 
 // ---------------------------------------------------------------------
 // POST /v1/bdd — BDD size estimate of a named boolean function.
-
-type bddRequest struct {
-	Function string `json:"function"` // "parity" | "majority" | "and"
-	Vars     int    `json:"vars"`
-	// AllowDegraded accepts a sampled size estimate when the budget
-	// cuts off the exact BDD build; without it, a budget trip is an
-	// error (and counts against the bdd breaker).
-	AllowDegraded bool `json:"allow_degraded"`
-}
-
-type bddResponse struct {
-	Function string `json:"function"`
-	Vars     int    `json:"vars"`
-	Nodes    int    `json:"nodes"`
-	Degraded bool   `json:"degraded"`
-	// Cached reports the node count was replayed from the estimate
-	// cache. Degraded (sampled) estimates are never cached, so a cached
-	// response is always an exact build.
-	Cached bool `json:"cached"`
-}
-
-// bddVal is the cached outcome of one BDD size estimate.
-type bddVal struct {
-	Nodes    int
-	Degraded bool
-}
-
-// bddKey hashes the materialized truth table rather than the function
-// name, so any two requests naming the same boolean function share one
-// entry ("majority" and "and" over one variable, say). AllowDegraded is
-// deliberately excluded: it changes failure handling, not the exact
-// result, and degraded outcomes are never stored.
-func (s *Server) bddKey(tt []bool, vars int) memo.Key {
-	e := s.keyEnc("bdd")
-	e.Int(vars)
-	e.Bools(tt)
-	return e.Key()
-}
-
-// truthTable materializes the named function over n variables.
-func truthTable(function string, n int) ([]bool, error) {
-	if n < 1 || n > 16 {
-		return nil, hlerr.Errorf("powerd.bdd", "vars %d out of range [1,16]", n)
-	}
-	tt := make([]bool, 1<<uint(n))
-	for i := range tt {
-		ones := 0
-		for b := 0; b < n; b++ {
-			if i>>uint(b)&1 == 1 {
-				ones++
-			}
-		}
-		switch function {
-		case "parity":
-			tt[i] = ones%2 == 1
-		case "majority":
-			tt[i] = 2*ones > n
-		case "and":
-			tt[i] = ones == n
-		default:
-			return nil, hlerr.Errorf("powerd.bdd", "unknown function %q", function)
-		}
-	}
-	return tt, nil
-}
 
 func (s *Server) handleBDD(w http.ResponseWriter, r *http.Request) {
 	release, ok := s.admit(w, r)
@@ -426,12 +178,15 @@ func (s *Server) handleBDD(w http.ResponseWriter, r *http.Request) {
 	}
 	// Materializing the table is also the request validation, so it runs
 	// before the cache lookup and bad requests fail without a key.
-	tt, err := truthTable(req.Function, req.Vars)
+	tt, err := service.TruthTable(req.Function, req.Vars)
 	if err != nil {
 		s.fail(w, err)
 		return
 	}
-	v, cached, err := s.memoDo(s.bddKey(tt, req.Vars), func() (any, int64, bool, error) {
+	if s.tryForward(w, r, "/v1/bdd", s.keys.BDD(tt, req.Vars), req) {
+		return
+	}
+	v, cached, err := s.memoDo(s.keys.BDD(tt, req.Vars), func() (any, int64, bool, error) {
 		val, err := s.bddCompute(r.Context(), req, tt)
 		if err != nil {
 			return nil, 0, false, err
@@ -465,22 +220,11 @@ func (s *Server) handleBDD(w http.ResponseWriter, r *http.Request) {
 // returns the exact or (when allowed) sampled node count.
 func (s *Server) bddCompute(ctx context.Context, req bddRequest, tt []bool) (bddVal, error) {
 	v, err := s.execute(ctx, "bdd", func(b *budget.Budget) (any, error) {
-		// The handler owns the manager (rather than delegating to
-		// bdd.SizeEstimate) so its unique/ITE table traffic can be folded
-		// into the /v1/stats counters — including partial builds that a
-		// budget trip abandoned.
-		m := bdd.New(req.Vars)
-		m.SetBudget(b)
-		root, err := m.BuildTT(tt, req.Vars)
-		s.recordBDDStats(m.Stats())
-		switch {
-		case err == nil:
-			return bddVal{Nodes: m.NodeCount(root)}, nil
-		case req.AllowDegraded && errors.Is(err, budget.ErrExceeded):
-			return bddVal{Nodes: bdd.SampledSize(tt, req.Vars), Degraded: true}, nil
-		default:
+		val, err := s.svc.BDD(ctx, b, req, tt)
+		if err != nil {
 			return nil, err
 		}
+		return val, nil
 	})
 	if err != nil {
 		return bddVal{}, err
@@ -490,36 +234,6 @@ func (s *Server) bddCompute(ctx context.Context, req bddRequest, tt []bool) (bdd
 
 // ---------------------------------------------------------------------
 // POST /v1/predict — macro-model prediction vs budgeted ground truth.
-
-type predictRequest struct {
-	Circuit string `json:"circuit"`
-	Width   int    `json:"width"`
-	Model   string `json:"model"` // "pfa" | "dbt" | "bitwise" | "io"
-	Train   int    `json:"train"`
-	Eval    int    `json:"eval"`
-	Seed    int64  `json:"seed"`
-}
-
-type predictResponse struct {
-	Circuit   string  `json:"circuit"`
-	Model     string  `json:"model"`
-	Predicted float64 `json:"predicted"`
-	Measured  float64 `json:"measured"`
-	AbsErrPct float64 `json:"abs_err_pct"`
-	// Cached reports the response was replayed from the estimate cache.
-	Cached bool `json:"cached"`
-}
-
-func (s *Server) predictKey(req predictRequest) memo.Key {
-	e := s.keyEnc("predict")
-	e.String(req.Circuit)
-	e.Int(req.Width)
-	e.String(req.Model)
-	e.Int(req.Train)
-	e.Int(req.Eval)
-	e.Int64(req.Seed)
-	return e.Key()
-}
 
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	release, ok := s.admit(w, r)
@@ -532,7 +246,10 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, err)
 		return
 	}
-	v, cached, err := s.memoDo(s.predictKey(req), func() (any, int64, bool, error) {
+	if s.tryForward(w, r, "/v1/predict", s.keys.Predict(req), req) {
+		return
+	}
+	v, cached, err := s.memoDo(s.keys.Predict(req), func() (any, int64, bool, error) {
 		resp, err := s.predictCompute(r.Context(), req)
 		if err != nil {
 			return nil, 0, false, err
@@ -549,65 +266,18 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// predictCompute fits the requested macro-model and compares it against
-// budgeted ground truth. The ground-truth trace of the evaluation
-// stream is itself memoized (keyed on the module's netlist structure
-// and the exact streams), so requesting the four model types for one
-// circuit performs one evaluation simulation, not four.
+// predictCompute fits the requested macro-model through the resilient
+// execute path.
 func (s *Server) predictCompute(ctx context.Context, req predictRequest) (predictResponse, error) {
 	v, err := s.execute(ctx, "predict", func(b *budget.Budget) (any, error) {
-		mod, err := moduleFor(req.Circuit, req.Width)
+		resp, err := s.svc.Predict(ctx, b, req)
 		if err != nil {
 			return nil, err
 		}
-		if err := checkCycles(req.Train); err != nil {
-			return nil, err
-		}
-		if err := checkCycles(req.Eval); err != nil {
-			return nil, err
-		}
-		trainA, trainB := operandStreams(req.Train, req.Width, req.Seed)
-		evalA, evalB := operandStreams(req.Eval, req.Width, req.Seed+1)
-		var m macromodel.Model
-		switch req.Model {
-		case "pfa":
-			m, err = macromodel.FitPFA(mod, trainA, trainB, sim.ZeroDelay)
-		case "dbt":
-			m, err = macromodel.FitDBT(mod, trainA, trainB, sim.ZeroDelay)
-		case "bitwise":
-			m, err = macromodel.FitBitwise(mod, trainA, trainB, sim.ZeroDelay)
-		case "io":
-			m, err = macromodel.FitIO(mod, trainA, trainB, sim.ZeroDelay)
-		default:
-			return nil, hlerr.Errorf("powerd.predict", "unknown model %q", req.Model)
-		}
-		if err != nil {
-			return nil, err
-		}
-		truth, err := macromodel.GroundTruthMemo(s.estimateCache(), b, mod, evalA, evalB, sim.ZeroDelay)
-		if err != nil {
-			return nil, err
-		}
-		measured := macromodel.MeanAbs(truth)
-		predicted := m.PredictStream(evalA, evalB)
-		errPct := 0.0
-		if measured != 0 {
-			errPct = 100 * abs(predicted-measured) / measured
-		}
-		return predictResponse{
-			Circuit: req.Circuit, Model: req.Model,
-			Predicted: predicted, Measured: measured, AbsErrPct: errPct,
-		}, nil
+		return resp, nil
 	})
 	if err != nil {
 		return predictResponse{}, err
 	}
 	return v.(predictResponse), nil
-}
-
-func abs(x float64) float64 {
-	if x < 0 {
-		return -x
-	}
-	return x
 }

@@ -25,9 +25,11 @@ import (
 
 	"hlpower/internal/bdd"
 	"hlpower/internal/budget"
+	"hlpower/internal/cluster"
 	"hlpower/internal/hlerr"
 	"hlpower/internal/memo"
 	"hlpower/internal/resilience"
+	"hlpower/internal/service"
 )
 
 // Subsystems is the set of breaker-guarded estimation engines, one per
@@ -66,6 +68,10 @@ type Config struct {
 	MemoMaxBytes int64
 	// MemoShards is the estimate cache's shard count (0 = default).
 	MemoShards int
+	// DrainTimeout bounds graceful shutdown: how long Drain waits for
+	// in-flight requests, and the Retry-After hint handed to requests
+	// arriving mid-drain (0 = DefaultConfig's 30s).
+	DrainTimeout time.Duration
 	// Clock drives retry backoff and breaker timeouts; tests swap in
 	// resilience.Fake for deterministic schedules.
 	Clock resilience.Clock
@@ -83,6 +89,7 @@ func DefaultConfig() Config {
 		FailureThreshold: 5,
 		OpenTimeout:      time.Second,
 		HalfOpenProbes:   1,
+		DrainTimeout:     30 * time.Second,
 		Clock:            resilience.Wall{},
 	}
 }
@@ -116,6 +123,9 @@ func (c Config) withDefaults() Config {
 	if c.HalfOpenProbes <= 0 {
 		c.HalfOpenProbes = d.HalfOpenProbes
 	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = d.DrainTimeout
+	}
 	if c.Clock == nil {
 		c.Clock = d.Clock
 	}
@@ -144,9 +154,23 @@ type Server struct {
 	reqSeq   atomic.Int64
 	memo     *memo.Cache // nil when Config.MemoMaxBytes < 0
 
-	served   atomic.Int64 // requests answered 200
-	rejected atomic.Int64 // requests answered 4xx/5xx
-	shed     atomic.Int64 // subset of rejected: 429 load-shed
+	// keys and svc are the transport-agnostic estimation layer: keys
+	// derives content identities, svc computes responses. The handlers
+	// in this package only decode, admit, cache, and route.
+	keys service.Keys
+	svc  *service.Local
+	// cluster is this server's ring membership, nil in single-node mode.
+	// Written once by EnableCluster before serving starts.
+	cluster *cluster.Node
+
+	drainAt atomic.Int64 // drain deadline, unix nanos (0 = not draining)
+
+	served     atomic.Int64 // requests answered 200
+	rejected   atomic.Int64 // requests answered 4xx/5xx
+	shed       atomic.Int64 // subset of rejected: 429 load-shed
+	forwarded  atomic.Int64 // requests answered by a peer's response
+	fallbacks  atomic.Int64 // forward attempts shed to local compute
+	peerServed atomic.Int64 // candidate evaluations served for peers
 
 	mu          sync.Mutex
 	transitions []Transition
@@ -177,6 +201,13 @@ func NewServer(cfg Config) *Server {
 			OnTransition:     s.recordTransition,
 		})
 	}
+	s.keys = service.Keys{MaxSteps: cfg.MaxSteps}
+	s.svc = &service.Local{
+		Keys:       s.keys,
+		Cache:      s.estimateCache,
+		OnBDDStats: s.recordBDDStats,
+		RemoteCand: s.remoteCand,
+	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /readyz", s.handleReady)
@@ -203,9 +234,21 @@ func (s *Server) SetFaultPlan(p budget.FaultPlan) {
 }
 
 // Drain stops admitting work and waits for in-flight requests to
-// finish, or for ctx to expire. New requests are answered 503.
+// finish, or for ctx to expire. New requests are answered 503 with
+// Connection: close and a Retry-After spanning the remaining drain
+// window (taken from ctx's deadline, or Config.DrainTimeout without
+// one). In cluster mode the gossip loop stops first, so peers suspect
+// this node and stop forwarding to it while it finishes up.
 func (s *Server) Drain(ctx context.Context) error {
+	deadline, ok := ctx.Deadline()
+	if !ok {
+		deadline = s.clock.Now().Add(s.cfg.DrainTimeout)
+	}
+	s.drainAt.Store(deadline.UnixNano())
 	s.draining.Store(true)
+	if s.cluster != nil {
+		s.cluster.Stop()
+	}
 	done := make(chan struct{})
 	go func() {
 		s.inflight.Wait()
@@ -269,6 +312,16 @@ type Stats struct {
 	MemoEnabled bool       `json:"memo_enabled"`
 	Memo        memo.Stats `json:"memo"`
 	MemoHitRate float64    `json:"memo_hit_rate"`
+	// Cluster fields, present only when cluster mode is enabled:
+	// Forwarded counts requests answered with a peer owner's response,
+	// Fallbacks counts forward attempts that shed to local compute
+	// (dead owner, open breaker, transport failure, or an overloaded
+	// owner), and PeerServed counts candidate evaluations this node
+	// computed on behalf of peers' rank fan-outs.
+	Forwarded  int64          `json:"forwarded,omitempty"`
+	Fallbacks  int64          `json:"fallbacks,omitempty"`
+	PeerServed int64          `json:"peer_served,omitempty"`
+	Cluster    *cluster.Stats `json:"cluster,omitempty"`
 }
 
 // Snapshot returns the current counters.
@@ -288,6 +341,13 @@ func (s *Server) Snapshot() Stats {
 		st.MemoEnabled = true
 		st.Memo = s.memo.Stats()
 		st.MemoHitRate = st.Memo.HitRate()
+	}
+	if s.cluster != nil {
+		cs := s.cluster.Stats()
+		st.Cluster = &cs
+		st.Forwarded = s.forwarded.Load()
+		st.Fallbacks = s.fallbacks.Load()
+		st.PeerServed = s.peerServed.Load()
 	}
 	s.mu.Lock()
 	st.Transitions = append(st.Transitions, s.transitions...)
@@ -331,7 +391,7 @@ func (s *Server) recordTransition(name string, from, to resilience.BreakerState,
 // be called exactly once when admission succeeded.
 func (s *Server) admit(w http.ResponseWriter, r *http.Request) (release func(), ok bool) {
 	if s.draining.Load() {
-		s.reject(w, http.StatusServiceUnavailable, "draining", s.cfg.RequestTimeout)
+		s.rejectDraining(w)
 		return nil, false
 	}
 	s.inflight.Add(1)
@@ -339,7 +399,7 @@ func (s *Server) admit(w http.ResponseWriter, r *http.Request) (release func(), 
 	// a request that slipped past the first check.
 	if s.draining.Load() {
 		s.inflight.Done()
-		s.reject(w, http.StatusServiceUnavailable, "draining", s.cfg.RequestTimeout)
+		s.rejectDraining(w)
 		return nil, false
 	}
 	select {
@@ -366,6 +426,24 @@ func (s *Server) admit(w http.ResponseWriter, r *http.Request) (release func(), 
 		<-s.slots
 		s.inflight.Done()
 	}, true
+}
+
+// rejectDraining answers a request that arrived mid-drain: 503 with
+// Connection: close — this server's listener is about to go away, so
+// the client must not reuse the connection — and a Retry-After
+// covering the rest of the drain window, after which a restarted
+// listener (or a load balancer's next backend) can take the retry.
+func (s *Server) rejectDraining(w http.ResponseWriter) {
+	w.Header().Set("Connection", "close")
+	ra := s.cfg.RequestTimeout
+	if at := s.drainAt.Load(); at > 0 {
+		if rem := time.Unix(0, at).Sub(s.clock.Now()); rem > 0 {
+			ra = rem
+		} else {
+			ra = time.Second
+		}
+	}
+	s.reject(w, http.StatusServiceUnavailable, "draining", ra)
 }
 
 // retryAfterHint estimates how long a shed client should wait: one

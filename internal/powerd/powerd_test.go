@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"sync"
 	"testing"
 	"time"
@@ -251,6 +252,47 @@ func TestDrainRejectsNewWorkAndWaits(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusServiceUnavailable {
 		t.Fatalf("readyz while draining = %d, want 503", resp.StatusCode)
+	}
+}
+
+// Mid-drain requests must tell the client two things: do not reuse
+// this connection (it is going away), and how long to wait before
+// retrying — the rest of the drain window, after which a restarted
+// listener can serve the retry.
+func TestDrainMidDrainHeaders(t *testing.T) {
+	cfg := testConfig()
+	cfg.DrainTimeout = 45 * time.Second
+	s := NewServer(cfg)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	buf, _ := json.Marshal(simulateRequest{Circuit: "adder", Width: 4, Cycles: 100})
+	resp, err := ts.Client().Post(ts.URL+"/v1/simulate", "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("mid-drain request = %d, want 503", resp.StatusCode)
+	}
+	if !resp.Close {
+		t.Error("mid-drain response did not carry Connection: close")
+	}
+	ra := resp.Header.Get("Retry-After")
+	if ra == "" {
+		t.Fatal("mid-drain response has no Retry-After")
+	}
+	secs, err := strconv.Atoi(ra)
+	if err != nil {
+		t.Fatalf("Retry-After %q not an integer", ra)
+	}
+	// The hint is the remaining drain window: a little under the full
+	// 45s by the time the request lands, never the 2s request timeout.
+	if secs < 40 || secs > 45 {
+		t.Errorf("Retry-After = %ds, want within the 45s drain window", secs)
 	}
 }
 

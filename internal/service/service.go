@@ -1,0 +1,461 @@
+// Package service is the transport-agnostic estimation service layer:
+// the Simulate/Rank/BDD/Predict operations powerd exposes over HTTP,
+// expressed as plain Go interfaces over internal/core and the engine
+// packages. Extracting it from the HTTP handlers lets any transport —
+// the local HTTP daemon, a cluster peer endpoint, a test harness —
+// invoke the same computations with the same validation, the same
+// typed input errors, and the same content keys, without dragging in
+// admission control, breakers, or JSON plumbing.
+//
+// The split is deliberate: everything that determines a response's
+// bytes (circuit construction, operand streams, simulation, ranking,
+// model fitting) lives here; everything that determines whether and
+// how a request runs (budgets, retries, breakers, caching policy,
+// cluster routing) stays with the caller. That is what makes cluster
+// mode safe — a request forwarded to a peer and a request computed
+// locally run the exact same code and produce bit-identical figures.
+package service
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+
+	"hlpower/internal/bdd"
+	"hlpower/internal/budget"
+	"hlpower/internal/core"
+	"hlpower/internal/hlerr"
+	"hlpower/internal/macromodel"
+	"hlpower/internal/memo"
+	"hlpower/internal/rtlib"
+	"hlpower/internal/sim"
+	"hlpower/internal/trace"
+)
+
+// Request limits shared by every transport.
+const (
+	MaxWidth   = 16
+	MaxCycles  = 200_000
+	MaxBDDVars = 16
+)
+
+// SimulateRequest asks for the gate-level Monte Carlo power of one
+// RT-library circuit.
+type SimulateRequest struct {
+	Circuit string `json:"circuit"`
+	Width   int    `json:"width"`
+	Cycles  int    `json:"cycles"`
+	Seed    int64  `json:"seed"`
+	Workers int    `json:"workers"`
+}
+
+// SimulateResponse is the simulate wire type. Hedged and Cached are
+// execution metadata owned by the serving layer; the remaining fields
+// are pure functions of the request.
+type SimulateResponse struct {
+	Circuit     string  `json:"circuit"`
+	Cycles      int     `json:"cycles"`
+	SwitchedCap float64 `json:"switched_cap"`
+	Power       float64 `json:"power"`
+	Shards      int     `json:"shards"`
+	Fallback    string  `json:"fallback,omitempty"`
+	// Kernel is "packed" when the 64-lane bit-packed kernel served the
+	// request, empty when the interpreted scalar engine ran.
+	Kernel string `json:"kernel,omitempty"`
+	Hedged bool   `json:"hedged"`
+	// Cached reports the response was replayed from the estimate cache
+	// (or shared with a concurrent identical request) — bit-identical to
+	// a recomputation, including the Shards/Fallback/Kernel metadata of
+	// the run that produced it.
+	Cached bool `json:"cached"`
+}
+
+// RankRequest asks for one improvement-loop turn over the adder
+// alternatives.
+type RankRequest struct {
+	Width  int   `json:"width"`
+	Cycles int   `json:"cycles"`
+	Seed   int64 `json:"seed"`
+}
+
+// RankedEntry is one candidate's evaluated line in a RankResponse.
+type RankedEntry struct {
+	Name     string  `json:"name"`
+	Power    float64 `json:"power"`
+	Model    string  `json:"model"`
+	Degraded bool    `json:"degraded"`
+	// Cached marks a candidate whose power figure was reused from a
+	// previous evaluation rather than simulated by this request.
+	Cached bool   `json:"cached,omitempty"`
+	Err    string `json:"error,omitempty"`
+}
+
+// RankResponse is the rank wire type.
+type RankResponse struct {
+	Best    string        `json:"best"`
+	Ranking []RankedEntry `json:"ranking"`
+	// Cached reports the whole response was replayed from the estimate
+	// cache; per-entry Cached flags then describe the computation that
+	// originally produced it.
+	Cached bool `json:"cached"`
+}
+
+// BDDRequest asks for the BDD size of a named boolean function.
+type BDDRequest struct {
+	Function string `json:"function"` // "parity" | "majority" | "and"
+	Vars     int    `json:"vars"`
+	// AllowDegraded accepts a sampled size estimate when the budget
+	// cuts off the exact BDD build; without it, a budget trip is an
+	// error (and counts against the bdd breaker).
+	AllowDegraded bool `json:"allow_degraded"`
+}
+
+// BDDResponse is the bdd wire type.
+type BDDResponse struct {
+	Function string `json:"function"`
+	Vars     int    `json:"vars"`
+	Nodes    int    `json:"nodes"`
+	Degraded bool   `json:"degraded"`
+	// Cached reports the node count was replayed from the estimate
+	// cache. Degraded (sampled) estimates are never cached, so a cached
+	// response is always an exact build.
+	Cached bool `json:"cached"`
+}
+
+// BDDOutcome is the computed (pre-wire) outcome of one BDD size
+// estimate: the node count and whether it is a sampled fallback.
+type BDDOutcome struct {
+	Nodes    int
+	Degraded bool
+}
+
+// PredictRequest asks for a macro-model prediction checked against
+// budgeted ground truth.
+type PredictRequest struct {
+	Circuit string `json:"circuit"`
+	Width   int    `json:"width"`
+	Model   string `json:"model"` // "pfa" | "dbt" | "bitwise" | "io"
+	Train   int    `json:"train"`
+	Eval    int    `json:"eval"`
+	Seed    int64  `json:"seed"`
+}
+
+// PredictResponse is the predict wire type.
+type PredictResponse struct {
+	Circuit   string  `json:"circuit"`
+	Model     string  `json:"model"`
+	Predicted float64 `json:"predicted"`
+	Measured  float64 `json:"measured"`
+	AbsErrPct float64 `json:"abs_err_pct"`
+	// Cached reports the response was replayed from the estimate cache.
+	Cached bool `json:"cached"`
+}
+
+// CandEstimate is one rank candidate's evaluated power figure as it
+// travels between cluster nodes: the scalar outcome plus the flags a
+// requester needs to decide cacheability.
+type CandEstimate struct {
+	Power    float64 `json:"power"`
+	Degraded bool    `json:"degraded"`
+	// Cached reports the owner answered from its estimate cache (or an
+	// in-flight identical evaluation) rather than simulating.
+	Cached bool `json:"cached"`
+}
+
+// Service is the estimation service: every operation takes the
+// caller's context (for remote hops the implementation may make) and a
+// resource budget governing the computation. Implementations must be
+// deterministic — two calls with equal requests and ample budgets
+// return bit-identical figures — and must surface malformed requests
+// as hlerr input errors.
+type Service interface {
+	Simulate(ctx context.Context, b *budget.Budget, req SimulateRequest) (*sim.Result, error)
+	Rank(ctx context.Context, b *budget.Budget, req RankRequest) (RankResponse, error)
+	BDD(ctx context.Context, b *budget.Budget, req BDDRequest, tt []bool) (BDDOutcome, error)
+	Predict(ctx context.Context, b *budget.Budget, req PredictRequest) (PredictResponse, error)
+}
+
+// Local computes every operation in-process over internal/core and the
+// engine packages. The zero value works; the optional hooks let a
+// serving layer observe engine internals and graft in caching and
+// cluster routing without this package knowing about either.
+type Local struct {
+	// Keys derives the content keys Rank uses for per-candidate
+	// memoization; it must match the serving layer's key schema.
+	Keys Keys
+	// Cache, when set, supplies the estimate cache for per-candidate
+	// rank memoization and predict ground-truth sharing. It is a
+	// function, not a field, because the serving layer disables caching
+	// dynamically (e.g. while a fault plan is armed); nil — or a nil
+	// return — means no caching.
+	Cache func() *memo.Cache
+	// OnBDDStats, when set, observes each BDD manager's unique/ITE
+	// table traffic, including partial builds abandoned by a budget
+	// trip.
+	OnBDDStats func(bdd.Stats)
+	// RemoteCand, when set, may answer one rank candidate's estimate
+	// from elsewhere (another node's cache or compute). Returning
+	// ok=false falls back to local evaluation; errors are the remote
+	// layer's to absorb, never to surface here.
+	RemoteCand func(ctx context.Context, name string, req RankRequest) (CandEstimate, bool)
+}
+
+// Enforce the interface.
+var _ Service = (*Local)(nil)
+
+func (l *Local) cache() *memo.Cache {
+	if l.Cache == nil {
+		return nil
+	}
+	return l.Cache()
+}
+
+// ModuleFor builds the requested RT-library circuit, or an input error.
+func ModuleFor(circuit string, width int) (*rtlib.Module, error) {
+	if width < 2 || width > MaxWidth {
+		return nil, hlerr.Errorf("service.module", "width %d out of range [2,%d]", width, MaxWidth)
+	}
+	switch circuit {
+	case "adder":
+		return rtlib.NewAdder(width), nil
+	case "carry-select":
+		return rtlib.NewCarrySelectAdder(width), nil
+	case "multiplier":
+		return rtlib.NewMultiplier(width), nil
+	case "subtractor":
+		return rtlib.NewSubtractor(width), nil
+	case "comparator":
+		return rtlib.NewComparator(width), nil
+	default:
+		return nil, hlerr.Errorf("service.module", "unknown circuit %q", circuit)
+	}
+}
+
+// CheckCycles validates a cycle count against the shared limits.
+func CheckCycles(cycles int) error {
+	if cycles < 2 || cycles > MaxCycles {
+		return hlerr.Errorf("service.cycles", "cycles %d out of range [2,%d]", cycles, MaxCycles)
+	}
+	return nil
+}
+
+// OperandStreams draws the Monte Carlo operand pair for a module.
+// Deterministic for a fixed (cycles, width, seed) triple — the basis
+// for content-addressing requests by their raw fields.
+func OperandStreams(cycles, width int, seed int64) (as, bs []uint64) {
+	rng := rand.New(rand.NewSource(seed))
+	return trace.Uniform(cycles, width, rng), trace.Uniform(cycles, width, rng)
+}
+
+// TruthTable materializes the named boolean function over n variables.
+func TruthTable(function string, n int) ([]bool, error) {
+	if n < 1 || n > MaxBDDVars {
+		return nil, hlerr.Errorf("service.bdd", "vars %d out of range [1,%d]", n, MaxBDDVars)
+	}
+	tt := make([]bool, 1<<uint(n))
+	for i := range tt {
+		ones := 0
+		for b := 0; b < n; b++ {
+			if i>>uint(b)&1 == 1 {
+				ones++
+			}
+		}
+		switch function {
+		case "parity":
+			tt[i] = ones%2 == 1
+		case "majority":
+			tt[i] = 2*ones > n
+		case "and":
+			tt[i] = ones == n
+		default:
+			return nil, hlerr.Errorf("service.bdd", "unknown function %q", function)
+		}
+	}
+	return tt, nil
+}
+
+// Simulate runs the gate-level Monte Carlo estimate under b.
+func (l *Local) Simulate(_ context.Context, b *budget.Budget, req SimulateRequest) (*sim.Result, error) {
+	mod, err := ModuleFor(req.Circuit, req.Width)
+	if err != nil {
+		return nil, err
+	}
+	if err := CheckCycles(req.Cycles); err != nil {
+		return nil, err
+	}
+	as, bs := OperandStreams(req.Cycles, req.Width, req.Seed)
+	prov := func(c int) []bool { return mod.InputVector(as[c], bs[c]) }
+	return sim.RunParallel(b, mod.Net, prov, req.Cycles, sim.ParallelOptions{
+		Options: sim.Options{Vdd: 1, Freq: 1},
+		Workers: req.Workers,
+	})
+}
+
+// EvalCand evaluates one rank candidate — (design, workload) pair —
+// under b. It is the unit of work cluster mode distributes by key
+// ownership, so it must stay a pure function of its arguments.
+func (l *Local) EvalCand(b *budget.Budget, name string, req RankRequest) (power float64, degraded bool, err error) {
+	if err := CheckCycles(req.Cycles); err != nil {
+		return 0, false, err
+	}
+	as, bs := OperandStreams(req.Cycles, req.Width, req.Seed)
+	return evalCandStreams(b, name, req.Width, as, bs)
+}
+
+// evalCandStreams is EvalCand with the operand streams precomputed, so
+// Rank derives them once per request rather than once per candidate.
+func evalCandStreams(b *budget.Budget, name string, width int, as, bs []uint64) (float64, bool, error) {
+	mod, err := ModuleFor(name, width)
+	if err != nil {
+		return 0, false, err
+	}
+	res, err := mod.SimulateStreamBudget(b, as, bs, sim.ZeroDelay)
+	if err != nil {
+		return 0, false, err
+	}
+	return res.Power(), false, nil
+}
+
+// Rank runs one improvement-loop turn over the adder alternatives,
+// with per-candidate memoization (when a cache is supplied) and
+// optional remote candidate evaluation (when RemoteCand is set). The
+// top-level Cached flag is left false — it belongs to the serving
+// layer's whole-response cache.
+func (l *Local) Rank(ctx context.Context, b *budget.Budget, req RankRequest) (RankResponse, error) {
+	if err := CheckCycles(req.Cycles); err != nil {
+		return RankResponse{}, err
+	}
+	as, bs := OperandStreams(req.Cycles, req.Width, req.Seed)
+	cand := func(name string) core.Candidate {
+		return core.Candidate{
+			Name:    name,
+			MemoKey: l.Keys.RankCand(name, req),
+			Estimator: core.FuncB{
+				EstimatorName:  "gate-mc:" + name,
+				EstimatorLevel: core.Gate,
+				Fn: func(cb *budget.Budget) (float64, bool, error) {
+					if l.RemoteCand != nil {
+						if est, ok := l.RemoteCand(ctx, name, req); ok {
+							return est.Power, est.Degraded, nil
+						}
+					}
+					return evalCandStreams(cb, name, req.Width, as, bs)
+				},
+			},
+		}
+	}
+	ranking := core.RankParallelMemo(b, 1, l.cache(), []core.Candidate{
+		cand("adder"), cand("carry-select"), cand("subtractor"),
+	})
+	best, err := ranking.Best()
+	if err != nil {
+		// Every candidate failed; surface the first failure so the
+		// caller's breaker and retry loop see the real cause (e.g. an
+		// injected budget fault), not a generic message.
+		return RankResponse{}, ranking[0].Err
+	}
+	resp := RankResponse{Best: best.Candidate.Name}
+	for _, rk := range ranking {
+		e := RankedEntry{
+			Name:     rk.Candidate.Name,
+			Power:    rk.Estimate.Power,
+			Model:    rk.Estimate.Model,
+			Degraded: rk.Estimate.Degraded,
+			Cached:   rk.Cached,
+		}
+		if rk.Err != nil {
+			e.Err = rk.Err.Error()
+		}
+		resp.Ranking = append(resp.Ranking, e)
+	}
+	return resp, nil
+}
+
+// BDD builds the function's BDD under b and returns the exact node
+// count, or — when the request allows it — a sampled estimate after a
+// budget trip. tt must be the materialized table of req (callers
+// validate and key on it first); a nil tt is materialized here.
+func (l *Local) BDD(_ context.Context, b *budget.Budget, req BDDRequest, tt []bool) (BDDOutcome, error) {
+	if tt == nil {
+		var err error
+		if tt, err = TruthTable(req.Function, req.Vars); err != nil {
+			return BDDOutcome{}, err
+		}
+	}
+	// The service owns the manager (rather than delegating to
+	// bdd.SizeEstimate) so its unique/ITE table traffic can be observed
+	// by the serving layer — including partial builds that a budget trip
+	// abandoned.
+	m := bdd.New(req.Vars)
+	m.SetBudget(b)
+	root, err := m.BuildTT(tt, req.Vars)
+	if l.OnBDDStats != nil {
+		l.OnBDDStats(m.Stats())
+	}
+	switch {
+	case err == nil:
+		return BDDOutcome{Nodes: m.NodeCount(root)}, nil
+	case req.AllowDegraded && errors.Is(err, budget.ErrExceeded):
+		return BDDOutcome{Nodes: bdd.SampledSize(tt, req.Vars), Degraded: true}, nil
+	default:
+		return BDDOutcome{}, err
+	}
+}
+
+// Predict fits the requested macro-model and compares it against
+// budgeted ground truth. The ground-truth trace of the evaluation
+// stream is memoized when a cache is supplied (keyed on the module's
+// netlist structure and the exact streams), so requesting the four
+// model types for one circuit performs one evaluation simulation, not
+// four.
+func (l *Local) Predict(_ context.Context, b *budget.Budget, req PredictRequest) (PredictResponse, error) {
+	mod, err := ModuleFor(req.Circuit, req.Width)
+	if err != nil {
+		return PredictResponse{}, err
+	}
+	if err := CheckCycles(req.Train); err != nil {
+		return PredictResponse{}, err
+	}
+	if err := CheckCycles(req.Eval); err != nil {
+		return PredictResponse{}, err
+	}
+	trainA, trainB := OperandStreams(req.Train, req.Width, req.Seed)
+	evalA, evalB := OperandStreams(req.Eval, req.Width, req.Seed+1)
+	var m macromodel.Model
+	switch req.Model {
+	case "pfa":
+		m, err = macromodel.FitPFA(mod, trainA, trainB, sim.ZeroDelay)
+	case "dbt":
+		m, err = macromodel.FitDBT(mod, trainA, trainB, sim.ZeroDelay)
+	case "bitwise":
+		m, err = macromodel.FitBitwise(mod, trainA, trainB, sim.ZeroDelay)
+	case "io":
+		m, err = macromodel.FitIO(mod, trainA, trainB, sim.ZeroDelay)
+	default:
+		return PredictResponse{}, hlerr.Errorf("service.predict", "unknown model %q", req.Model)
+	}
+	if err != nil {
+		return PredictResponse{}, err
+	}
+	truth, err := macromodel.GroundTruthMemo(l.cache(), b, mod, evalA, evalB, sim.ZeroDelay)
+	if err != nil {
+		return PredictResponse{}, err
+	}
+	measured := macromodel.MeanAbs(truth)
+	predicted := m.PredictStream(evalA, evalB)
+	errPct := 0.0
+	if measured != 0 {
+		errPct = 100 * abs(predicted-measured) / measured
+	}
+	return PredictResponse{
+		Circuit: req.Circuit, Model: req.Model,
+		Predicted: predicted, Measured: measured, AbsErrPct: errPct,
+	}, nil
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,334 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+
+	"hlpower/internal/budget"
+	"hlpower/internal/hlerr"
+	"hlpower/internal/memo"
+)
+
+func ctxBG() context.Context { return context.Background() }
+
+// Two calls with equal requests must be bit-identical — the property
+// cluster mode's whole-request forwarding relies on.
+func TestSimulateDeterministic(t *testing.T) {
+	var svc Local
+	req := SimulateRequest{Circuit: "adder", Width: 6, Cycles: 200, Seed: 11}
+	a, err := svc.Simulate(ctxBG(), nil, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := svc.Simulate(ctxBG(), nil, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(a.Power()) != math.Float64bits(b.Power()) {
+		t.Fatalf("repeat simulate diverged: %v vs %v", a.Power(), b.Power())
+	}
+	if a.Power() <= 0 {
+		t.Fatalf("power %v, want > 0", a.Power())
+	}
+}
+
+// The power figure must not depend on the worker count — only response
+// metadata (Shards) may differ. Cluster nodes with different worker
+// configurations would otherwise disagree on forwarded results.
+func TestSimulateWorkerCountInvariant(t *testing.T) {
+	var svc Local
+	base := SimulateRequest{Circuit: "multiplier", Width: 4, Cycles: 160, Seed: 7}
+	var powers []float64
+	for _, w := range []int{1, 2, 4} {
+		req := base
+		req.Workers = w
+		res, err := svc.Simulate(ctxBG(), nil, req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		powers = append(powers, res.Power())
+	}
+	for i := 1; i < len(powers); i++ {
+		if math.Float64bits(powers[i]) != math.Float64bits(powers[0]) {
+			t.Fatalf("worker count changed the figure: %v vs %v", powers[i], powers[0])
+		}
+	}
+}
+
+// Malformed requests surface as hlerr input errors from every
+// operation, so each transport maps them to its 400-equivalent the
+// same way.
+func TestInputErrors(t *testing.T) {
+	var svc Local
+	cases := []struct {
+		name string
+		call func() error
+	}{
+		{"unknown circuit", func() error {
+			_, err := svc.Simulate(ctxBG(), nil, SimulateRequest{Circuit: "nand-farm", Width: 4, Cycles: 16})
+			return err
+		}},
+		{"width too small", func() error {
+			_, err := svc.Simulate(ctxBG(), nil, SimulateRequest{Circuit: "adder", Width: 1, Cycles: 16})
+			return err
+		}},
+		{"width too large", func() error {
+			_, err := svc.Simulate(ctxBG(), nil, SimulateRequest{Circuit: "adder", Width: MaxWidth + 1, Cycles: 16})
+			return err
+		}},
+		{"cycles out of range", func() error {
+			_, err := svc.Simulate(ctxBG(), nil, SimulateRequest{Circuit: "adder", Width: 4, Cycles: MaxCycles + 1})
+			return err
+		}},
+		{"rank cycles", func() error {
+			_, err := svc.Rank(ctxBG(), nil, RankRequest{Width: 4, Cycles: 0})
+			return err
+		}},
+		{"bdd unknown function", func() error {
+			_, err := svc.BDD(ctxBG(), nil, BDDRequest{Function: "xor3", Vars: 3}, nil)
+			return err
+		}},
+		{"bdd vars out of range", func() error {
+			_, err := svc.BDD(ctxBG(), nil, BDDRequest{Function: "parity", Vars: MaxBDDVars + 1}, nil)
+			return err
+		}},
+		{"predict unknown model", func() error {
+			_, err := svc.Predict(ctxBG(), nil, PredictRequest{Circuit: "adder", Width: 4, Model: "oracle", Train: 16, Eval: 16})
+			return err
+		}},
+		{"predict bad circuit", func() error {
+			_, err := svc.Predict(ctxBG(), nil, PredictRequest{Circuit: "flux", Width: 4, Model: "pfa", Train: 16, Eval: 16})
+			return err
+		}},
+	}
+	for _, tc := range cases {
+		err := tc.call()
+		if err == nil {
+			t.Errorf("%s: no error", tc.name)
+			continue
+		}
+		var ie *hlerr.InputError
+		if !errors.As(err, &ie) {
+			t.Errorf("%s: %v is not an input error", tc.name, err)
+		}
+	}
+}
+
+// Rank evaluates the fixed candidate set, picks the lowest power, and
+// is deterministic across calls.
+func TestRankDeterministicAndOrdered(t *testing.T) {
+	var svc Local
+	req := RankRequest{Width: 5, Cycles: 120, Seed: 3}
+	a, err := svc.Rank(ctxBG(), nil, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Ranking) != 3 {
+		t.Fatalf("ranking has %d entries, want 3", len(a.Ranking))
+	}
+	for i := 1; i < len(a.Ranking); i++ {
+		if a.Ranking[i].Power < a.Ranking[i-1].Power {
+			t.Fatalf("ranking not sorted: %v", a.Ranking)
+		}
+	}
+	if a.Best != a.Ranking[0].Name {
+		t.Fatalf("best %q != first-ranked %q", a.Best, a.Ranking[0].Name)
+	}
+	b, err := svc.Rank(ctxBG(), nil, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Ranking {
+		if math.Float64bits(a.Ranking[i].Power) != math.Float64bits(b.Ranking[i].Power) {
+			t.Fatalf("repeat rank diverged at %s", a.Ranking[i].Name)
+		}
+	}
+}
+
+// With a cache supplied, a second Rank replays every candidate from
+// the per-candidate entries; the figures stay bit-identical.
+func TestRankPerCandidateMemo(t *testing.T) {
+	cache := memo.New(memo.Options{MaxBytes: 1 << 20})
+	svc := Local{Keys: Keys{MaxSteps: 1 << 40}, Cache: func() *memo.Cache { return cache }}
+	req := RankRequest{Width: 4, Cycles: 100, Seed: 9}
+	cold, err := svc.Rank(ctxBG(), nil, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range cold.Ranking {
+		if e.Cached {
+			t.Fatalf("cold rank entry %s already cached", e.Name)
+		}
+	}
+	warm, err := svc.Rank(ctxBG(), nil, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, e := range warm.Ranking {
+		if !e.Cached {
+			t.Fatalf("warm rank entry %s not cached", e.Name)
+		}
+		if math.Float64bits(e.Power) != math.Float64bits(cold.Ranking[i].Power) {
+			t.Fatalf("cached figure diverged for %s", e.Name)
+		}
+	}
+}
+
+// The RemoteCand hook substitutes for local evaluation when it answers
+// ok=true, and falls back transparently when it declines — the exact
+// contract the cluster's candidate routing depends on.
+func TestRankRemoteCandHook(t *testing.T) {
+	req := RankRequest{Width: 4, Cycles: 100, Seed: 5}
+	var baseline Local
+	local, err := baseline.Rank(ctxBG(), nil, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	localPower := map[string]float64{}
+	for _, e := range local.Ranking {
+		localPower[e.Name] = e.Power
+	}
+
+	// Decline every candidate: results must equal pure-local evaluation.
+	declined := 0
+	svc := Local{RemoteCand: func(_ context.Context, name string, r RankRequest) (CandEstimate, bool) {
+		declined++
+		return CandEstimate{}, false
+	}}
+	viaFallback, err := svc.Rank(ctxBG(), nil, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if declined != 3 {
+		t.Fatalf("hook consulted %d times, want 3", declined)
+	}
+	for _, e := range viaFallback.Ranking {
+		if math.Float64bits(e.Power) != math.Float64bits(localPower[e.Name]) {
+			t.Fatalf("fallback diverged from local for %s", e.Name)
+		}
+	}
+
+	// Answer one candidate remotely with the true local figure (as a
+	// well-behaved peer would): ranking must be unchanged and the hook's
+	// answer used verbatim.
+	svc = Local{RemoteCand: func(_ context.Context, name string, r RankRequest) (CandEstimate, bool) {
+		if name == "subtractor" {
+			return CandEstimate{Power: localPower[name]}, true
+		}
+		return CandEstimate{}, false
+	}}
+	viaRemote, err := svc.Rank(ctxBG(), nil, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if viaRemote.Best != local.Best {
+		t.Fatalf("remote answer changed best: %q vs %q", viaRemote.Best, local.Best)
+	}
+	for _, e := range viaRemote.Ranking {
+		if math.Float64bits(e.Power) != math.Float64bits(localPower[e.Name]) {
+			t.Fatalf("remote-answered ranking diverged for %s", e.Name)
+		}
+	}
+}
+
+// BDD returns the exact node count when the budget allows, a sampled
+// degraded estimate when the request permits it, and a budget error
+// otherwise. Degraded outcomes are flagged so callers never cache them.
+func TestBDDDegradedContract(t *testing.T) {
+	var svc Local
+	req := BDDRequest{Function: "majority", Vars: 9}
+	exact, err := svc.BDD(ctxBG(), nil, req, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact.Degraded || exact.Nodes <= 0 {
+		t.Fatalf("exact build: %+v", exact)
+	}
+
+	tight := func() *budget.Budget {
+		return budget.New(budget.WithMaxNodes(4), budget.WithCheckInterval(1))
+	}
+	if _, err := svc.BDD(ctxBG(), tight(), req, nil); !errors.Is(err, budget.ErrExceeded) {
+		t.Fatalf("strict request under tight budget: %v, want ErrExceeded", err)
+	}
+	req.AllowDegraded = true
+	deg, err := svc.BDD(ctxBG(), tight(), req, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !deg.Degraded || deg.Nodes <= 0 {
+		t.Fatalf("degraded build: %+v", deg)
+	}
+}
+
+// Predict's error metric is consistent: AbsErrPct recomputes from the
+// predicted and measured figures it reports.
+func TestPredictSelfConsistent(t *testing.T) {
+	var svc Local
+	resp, err := svc.Predict(ctxBG(), nil, PredictRequest{
+		Circuit: "adder", Width: 4, Model: "pfa", Train: 64, Eval: 64, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Measured <= 0 {
+		t.Fatalf("measured %v, want > 0", resp.Measured)
+	}
+	want := 100 * math.Abs(resp.Predicted-resp.Measured) / resp.Measured
+	if math.Abs(resp.AbsErrPct-want) > 1e-9 {
+		t.Fatalf("abs_err_pct %v inconsistent with predicted/measured (want %v)", resp.AbsErrPct, want)
+	}
+}
+
+// Content keys separate everything budget- or result-relevant: every
+// request field, the endpoint, and the server's step allowance.
+func TestKeysSensitivity(t *testing.T) {
+	k := Keys{MaxSteps: 1000}
+	base := SimulateRequest{Circuit: "adder", Width: 4, Cycles: 64, Seed: 1, Workers: 2}
+	keys := map[memo.Key]string{k.Simulate(base): "base"}
+	add := func(name string, key memo.Key) {
+		if prev, dup := keys[key]; dup {
+			t.Errorf("%s collides with %s", name, prev)
+		}
+		keys[key] = name
+	}
+	for _, m := range []struct {
+		name string
+		req  SimulateRequest
+	}{
+		{"circuit", SimulateRequest{Circuit: "subtractor", Width: 4, Cycles: 64, Seed: 1, Workers: 2}},
+		{"width", SimulateRequest{Circuit: "adder", Width: 5, Cycles: 64, Seed: 1, Workers: 2}},
+		{"cycles", SimulateRequest{Circuit: "adder", Width: 4, Cycles: 65, Seed: 1, Workers: 2}},
+		{"seed", SimulateRequest{Circuit: "adder", Width: 4, Cycles: 64, Seed: 2, Workers: 2}},
+		{"workers", SimulateRequest{Circuit: "adder", Width: 4, Cycles: 64, Seed: 1, Workers: 3}},
+	} {
+		add("simulate/"+m.name, k.Simulate(m.req))
+	}
+	// A reconfigured server is a different service: MaxSteps is keyed.
+	add("maxsteps", Keys{MaxSteps: 2000}.Simulate(base))
+
+	rr := RankRequest{Width: 4, Cycles: 64, Seed: 1}
+	add("rank", k.Rank(rr))
+	add("rank-cand/adder", *k.RankCand("adder", rr))
+	add("rank-cand/subtractor", *k.RankCand("subtractor", rr))
+
+	// Same (tt, vars) → same key regardless of the function name that
+	// produced it; different vars → different key.
+	ttMaj, err := TruthTable("majority", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ttAnd, err := TruthTable("and", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.BDD(ttMaj, 1) != k.BDD(ttAnd, 1) {
+		t.Error("equivalent truth tables keyed differently")
+	}
+	add("bdd", k.BDD(ttMaj, 1))
+
+	add("predict", k.Predict(PredictRequest{Circuit: "adder", Width: 4, Model: "pfa", Train: 16, Eval: 16, Seed: 1}))
+	add("predict/model", k.Predict(PredictRequest{Circuit: "adder", Width: 4, Model: "dbt", Train: 16, Eval: 16, Seed: 1}))
+}
