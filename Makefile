@@ -2,7 +2,7 @@
 
 FUZZTIME ?= 10s
 
-.PHONY: all check ci fmt-check build test bench bench-json bench-compare repro vet cover fuzz soak soak-cluster vulncheck clean
+.PHONY: all check ci fmt-check build test bench bench-json bench-compare repro vet lint cover fuzz soak soak-cluster vulncheck clean
 
 all: check
 
@@ -30,6 +30,13 @@ build:
 vet:
 	go vet ./...
 
+# lint runs staticcheck at a pinned release so local runs and the
+# blocking CI lint job agree on the rule set (config in
+# staticcheck.conf). The tool is fetched on demand; it is not a module
+# dependency.
+lint:
+	go run honnef.co/go/tools/cmd/staticcheck@2025.1.1 ./...
+
 test:
 	go test ./...
 
@@ -43,28 +50,31 @@ bench-json:
 
 # bench-compare measures a fresh candidate snapshot and diffs it
 # against the newest checked-in BENCH_*.json (see cmd/benchcompare).
-# Never fails: regressions >10% are annotated, not gated, because
-# shared-runner timings are too noisy for a hard gate.
+# It runs the full workload so the candidate matches the committed
+# snapshot's shape: with equal shapes, allocs_per_op increases >10%
+# fail the target (allocations are deterministic); timing deltas stay
+# advisory because shared-runner timings are too noisy for a hard gate.
 BENCH_NEW ?= /tmp/hlpower_bench_new.json
 bench-compare:
-	go run ./cmd/benchjson -short -out $(BENCH_NEW)
+	go run ./cmd/benchjson -out $(BENCH_NEW)
 	go run ./cmd/benchcompare -new $(BENCH_NEW)
 
 repro:
 	go run ./cmd/repro -j 8
 
 cover:
-	go test -cover ./internal/... .
+	go test -cover ./internal/... ./cmd/... .
 
-# fuzz gives each bus round-trip fuzz target and the memo canonical-key
-# target a budget of FUZZTIME (override with e.g. `make fuzz
-# FUZZTIME=5s` for CI smoke runs).
+# fuzz gives each bus round-trip fuzz target, the memo canonical-key
+# target, and the batch decode/partition target a budget of FUZZTIME
+# (override with e.g. `make fuzz FUZZTIME=5s` for CI smoke runs).
 fuzz:
 	for f in FuzzBusInvertRoundTrip FuzzT0RoundTrip FuzzGrayRoundTrip \
 	         FuzzT0BIRoundTrip FuzzWorkingZoneRoundTrip FuzzBeachRoundTrip; do \
 		go test -run "^$$f$$" -fuzz "^$$f$$" -fuzztime $(FUZZTIME) ./internal/bus/ || exit 1; \
 	done
 	go test -run '^FuzzCanonicalKey$$' -fuzz '^FuzzCanonicalKey$$' -fuzztime $(FUZZTIME) ./internal/memo/
+	go test -run '^FuzzBatchRequest$$' -fuzz '^FuzzBatchRequest$$' -fuzztime $(FUZZTIME) ./internal/service/
 
 # soak runs the powerd chaos harness under the race detector: >= 1000
 # requests with fault injection in the sim/rank/bdd paths, asserting
@@ -83,10 +93,12 @@ soak-cluster:
 	go test -race -run TestClusterChaosSoak -count=$(SOAKCOUNT) -v ./internal/powerd/
 
 # vulncheck scans the module against the Go vulnerability database.
-# The tool is fetched on demand (it is not a module dependency) and the
-# CI job that runs this is non-blocking: findings are advisory.
+# The tool is pinned (and fetched on demand — it is not a module
+# dependency) so a govulncheck release cannot silently change what CI
+# runs; the CI job is non-blocking: findings are advisory.
 vulncheck:
-	go run golang.org/x/vuln/cmd/govulncheck@latest ./...
+	go run golang.org/x/vuln/cmd/govulncheck@v1.1.4 ./...
 
 clean:
 	go clean ./...
+	rm -f $(BENCH_NEW)

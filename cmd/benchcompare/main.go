@@ -1,9 +1,11 @@
 // Command benchcompare diffs two BENCH_<date>.json snapshots (see
 // cmd/benchjson) and reports per-benchmark deltas, flagging regressions
-// beyond a threshold. It is a trend annotator, not a gate: the exit
-// code is 0 even when regressions are found (benchmark noise on shared
-// CI runners would make a hard gate flaky), so CI runs it non-blocking
-// and the regressions surface in the job summary instead.
+// beyond a threshold. Timing deltas are advisory only — shared-runner
+// timings are too noisy for a hard gate — but allocations are
+// deterministic: when the two snapshots cover the same workload shape
+// (equal short_workload and gomaxprocs), an allocs_per_op increase
+// beyond the threshold fails the run with exit code 1. A timing
+// regression never does.
 //
 // Usage:
 //
@@ -81,8 +83,9 @@ func main() {
 
 	var b strings.Builder
 	fmt.Fprintf(&b, "### Benchmark compare: %s → %s\n\n", filepath.Base(*oldPath), filepath.Base(*newPath))
-	if oldSnap.Short != newSnap.Short || oldSnap.GOMAXPROCS != newSnap.GOMAXPROCS {
-		fmt.Fprintf(&b, "> ⚠️ snapshots differ in workload/host shape (short %v→%v, gomaxprocs %d→%d); deltas are indicative only\n\n",
+	comparable := oldSnap.Short == newSnap.Short && oldSnap.GOMAXPROCS == newSnap.GOMAXPROCS
+	if !comparable {
+		fmt.Fprintf(&b, "> ⚠️ snapshots differ in workload/host shape (short %v→%v, gomaxprocs %d→%d); deltas are indicative only and the alloc gate is off\n\n",
 			oldSnap.Short, newSnap.Short, oldSnap.GOMAXPROCS, newSnap.GOMAXPROCS)
 	}
 	b.WriteString("| benchmark | old ns/op | new ns/op | delta | allocs old→new | |\n")
@@ -92,7 +95,7 @@ func main() {
 	for _, e := range oldSnap.Results {
 		oldBy[e.Name] = e
 	}
-	regressions := 0
+	regressions, allocRegressions := 0, 0
 	for _, ne := range newSnap.Results {
 		oe, ok := oldBy[ne.Name]
 		if !ok {
@@ -103,22 +106,37 @@ func main() {
 		if oe.NsPerOp > 0 {
 			deltaPct = (ne.NsPerOp - oe.NsPerOp) / oe.NsPerOp * 100
 		}
-		flag := ""
+		allocPct := 0.0
+		if oe.AllocsPerOp > 0 {
+			allocPct = float64(ne.AllocsPerOp-oe.AllocsPerOp) / float64(oe.AllocsPerOp) * 100
+		}
+		mark := ""
 		switch {
+		case allocPct > *threshold:
+			mark = fmt.Sprintf("❌ allocs +%.1f%%", allocPct)
+			allocRegressions++
 		case deltaPct > *threshold:
-			flag = fmt.Sprintf("🔺 regression >%g%%", *threshold)
+			mark = fmt.Sprintf("🔺 regression >%g%%", *threshold)
 			regressions++
 		case deltaPct < -*threshold:
-			flag = "🟢 improvement"
+			mark = "🟢 improvement"
 		}
 		fmt.Fprintf(&b, "| %s | %.0f | %.0f | %+.1f%% | %d→%d | %s |\n",
-			ne.Name, oe.NsPerOp, ne.NsPerOp, deltaPct, oe.AllocsPerOp, ne.AllocsPerOp, flag)
+			ne.Name, oe.NsPerOp, ne.NsPerOp, deltaPct, oe.AllocsPerOp, ne.AllocsPerOp, mark)
 	}
 	if newSnap.Note != "" {
 		fmt.Fprintf(&b, "\n> %s\n", newSnap.Note)
 	}
 	if regressions > 0 {
-		fmt.Fprintf(&b, "\n**%d benchmark(s) regressed more than %g%%.** Non-blocking; investigate before the trend compounds.\n", regressions, *threshold)
+		fmt.Fprintf(&b, "\n**%d benchmark(s) regressed more than %g%% in time.** Advisory; investigate before the trend compounds.\n", regressions, *threshold)
+	}
+	gate := allocRegressions > 0 && comparable
+	if allocRegressions > 0 {
+		if gate {
+			fmt.Fprintf(&b, "\n**%d benchmark(s) allocate more than %g%% more per op — failing.** Allocations are deterministic; this is a real regression, not runner noise.\n", allocRegressions, *threshold)
+		} else {
+			fmt.Fprintf(&b, "\n**%d benchmark(s) allocate more than %g%% more per op.** Snapshot shapes differ, so the alloc gate is advisory here.\n", allocRegressions, *threshold)
+		}
 	}
 
 	out := b.String()
@@ -129,6 +147,9 @@ func main() {
 			_, _ = f.WriteString(out + "\n")
 			_ = f.Close()
 		}
+	}
+	if gate {
+		os.Exit(1)
 	}
 }
 

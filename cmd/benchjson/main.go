@@ -13,10 +13,13 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
+	"net/http/httptest"
 	"os"
 	"runtime"
 	"testing"
@@ -27,7 +30,9 @@ import (
 	"hlpower/internal/core"
 	"hlpower/internal/isa"
 	"hlpower/internal/logic"
+	"hlpower/internal/powerd"
 	"hlpower/internal/rtlib"
+	"hlpower/internal/service"
 	"hlpower/internal/sim"
 	"hlpower/internal/trace"
 )
@@ -212,6 +217,88 @@ func main() {
 	hitEntry.Variant = "hit"
 	hitEntry.Speedup = round3(missEntry.NsPerOp / hitEntry.NsPerOp)
 	snap.Results = append(snap.Results, hitEntry)
+
+	// Batched pipeline vs looped single calls, over a live in-process
+	// powerd server with memoization disabled so both sides pay the real
+	// estimation path every time. The workload is the design-space-sweep
+	// shape the batch API exists for: gate-level Monte Carlo items
+	// fanned across three circuits and three cycle depths with distinct
+	// seeds (so nothing collapses to a cache hit). Looped, every request
+	// rebuilds and recompiles its netlist before simulating; fused, the
+	// three (circuit, width) groups compile once and the items ride the
+	// shared artifact. batch/looped fires one HTTP request per item
+	// while batch/fused submits the identical items as one /v1/batch.
+	// The speedup field on the fused entry is the requests-per-second
+	// factor the batch pipeline buys — the >10x acceptance gate of the
+	// batched-pipeline work.
+	batchN := 1024
+	if *short {
+		batchN = 256
+	}
+	batchSrv := powerd.NewServer(powerd.Config{
+		QueueDepth:     256,
+		RequestTimeout: time.Minute,
+		MemoMaxBytes:   -1,
+	})
+	batchTS := httptest.NewServer(batchSrv.Handler())
+	batchClient := batchTS.Client()
+	batchCircuits := []struct {
+		name  string
+		width int
+	}{{"adder", 6}, {"multiplier", 6}, {"subtractor", 6}}
+	batchCycles := []int{16, 32, 64}
+	batchItems := make([]service.BatchItem, batchN)
+	for i := range batchItems {
+		c := batchCircuits[i%len(batchCircuits)]
+		batchItems[i] = service.BatchItem{Op: service.OpSimulate, Simulate: &service.SimulateRequest{
+			Circuit: c.name, Width: c.width, Cycles: batchCycles[(i/len(batchCircuits))%len(batchCycles)], Seed: int64(i),
+		}}
+	}
+	batchPost := func(path string, body any) []byte {
+		buf, err := json.Marshal(body)
+		if err != nil {
+			fatal(err)
+		}
+		resp, err := batchClient.Post(batchTS.URL+path, "application/json", bytes.NewReader(buf))
+		if err != nil {
+			fatal(err)
+		}
+		data, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			fatal(err)
+		}
+		if resp.StatusCode != 200 {
+			fatal(fmt.Errorf("%s: status %d: %s", path, resp.StatusCode, data))
+		}
+		return data
+	}
+	// Sanity-check the fused path answers every item before timing it.
+	var fusedResp service.BatchResponse
+	if err := json.Unmarshal(batchPost("/v1/batch", service.BatchRequest{Items: batchItems}), &fusedResp); err != nil {
+		fatal(err)
+	}
+	if len(fusedResp.Items) != batchN || fusedResp.Failed != 0 {
+		fatal(fmt.Errorf("batch warmup: %d items, %d failed", len(fusedResp.Items), fusedResp.Failed))
+	}
+	loopedEntry := measure("batch/looped", 0, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, it := range batchItems {
+				batchPost("/v1/simulate", it.Simulate)
+			}
+		}
+	})
+	loopedEntry.Variant = "looped"
+	snap.Results = append(snap.Results, loopedEntry)
+	fusedEntry := measure("batch/fused", 0, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			batchPost("/v1/batch", service.BatchRequest{Items: batchItems})
+		}
+	})
+	fusedEntry.Variant = "fused"
+	fusedEntry.Speedup = round3(loopedEntry.NsPerOp / fusedEntry.NsPerOp)
+	snap.Results = append(snap.Results, fusedEntry)
+	batchTS.Close()
 
 	// Architectural simulator per-step cost over the predecoded
 	// dispatch tables; ns_per_op here is per retired instruction, not

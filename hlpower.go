@@ -177,6 +177,24 @@ func SimulateParallel(b *Budget, n *Netlist, inputs func(cycle int) []bool, cycl
 	return sim.RunParallel(b, n, inputs, cycles, opts)
 }
 
+// Compiled simulation. A CompiledSim is a netlist's reusable execution
+// artifact — environment tables, the packed-kernel instruction stream,
+// and a concurrency-safe pool of kernel scratch — so a batch of runs
+// over one netlist pays compilation once instead of once per call.
+type (
+	// CompiledSim is a netlist compiled for repeated simulation runs.
+	CompiledSim = sim.Compiled
+	// CompiledRunOptions configures one run of a CompiledSim.
+	CompiledRunOptions = sim.RunOptions
+)
+
+// CompileSim compiles a netlist once for any number of Run calls.
+// Each Run is bit-identical to SimulateParallel with the same workload
+// and options — including the Shards/Fallback/Kernel metadata.
+func CompileSim(n *Netlist, opts SimOptions) (*CompiledSim, error) {
+	return sim.Compile(n, opts)
+}
+
 // Content-addressed memoization. An EstimateCache keys results on a
 // canonical encoding of everything that determines them — netlist
 // structure, simulation options, cycle count, the input vectors — so a

@@ -72,6 +72,16 @@ type Config struct {
 	// in-flight requests, and the Retry-After hint handed to requests
 	// arriving mid-drain (0 = DefaultConfig's 30s).
 	DrainTimeout time.Duration
+	// BatchTimeout bounds one whole /v1/batch request, buffered or
+	// streamed; each item inside it still runs under a fresh
+	// RequestTimeout/MaxSteps budget of its own (0 = DefaultConfig's 2m).
+	BatchTimeout time.Duration
+	// BatchSteps is the aggregate step ceiling across one batch's
+	// locally computed items: once the batch's summed StepsUsed reaches
+	// it, every remaining item fails with a typed budget error (0 =
+	// DefaultConfig's 64 requests' worth of MaxSteps; negative =
+	// unlimited).
+	BatchSteps int64
 	// Clock drives retry backoff and breaker timeouts; tests swap in
 	// resilience.Fake for deterministic schedules.
 	Clock resilience.Clock
@@ -90,6 +100,8 @@ func DefaultConfig() Config {
 		OpenTimeout:      time.Second,
 		HalfOpenProbes:   1,
 		DrainTimeout:     30 * time.Second,
+		BatchTimeout:     2 * time.Minute,
+		BatchSteps:       64 * 50_000_000,
 		Clock:            resilience.Wall{},
 	}
 }
@@ -125,6 +137,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.DrainTimeout <= 0 {
 		c.DrainTimeout = d.DrainTimeout
+	}
+	if c.BatchTimeout <= 0 {
+		c.BatchTimeout = d.BatchTimeout
+	}
+	if c.BatchSteps == 0 {
+		c.BatchSteps = d.BatchSteps
 	}
 	if c.Clock == nil {
 		c.Clock = d.Clock
@@ -171,6 +189,8 @@ type Server struct {
 	forwarded  atomic.Int64 // requests answered by a peer's response
 	fallbacks  atomic.Int64 // forward attempts shed to local compute
 	peerServed atomic.Int64 // candidate evaluations served for peers
+	batches    atomic.Int64 // batch requests served (buffered + streamed)
+	batchItems atomic.Int64 // items carried by those batches
 
 	mu          sync.Mutex
 	transitions []Transition
@@ -216,6 +236,8 @@ func NewServer(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/rank", s.handleRank)
 	s.mux.HandleFunc("POST /v1/bdd", s.handleBDD)
 	s.mux.HandleFunc("POST /v1/predict", s.handlePredict)
+	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	s.mux.HandleFunc("POST /v1/batch/stream", s.handleBatchStream)
 	return s
 }
 
@@ -312,6 +334,10 @@ type Stats struct {
 	MemoEnabled bool       `json:"memo_enabled"`
 	Memo        memo.Stats `json:"memo"`
 	MemoHitRate float64    `json:"memo_hit_rate"`
+	// Batches counts /v1/batch requests served (buffered or streamed);
+	// BatchItems is how many items those batches carried.
+	Batches    int64 `json:"batches"`
+	BatchItems int64 `json:"batch_items"`
 	// Cluster fields, present only when cluster mode is enabled:
 	// Forwarded counts requests answered with a peer owner's response,
 	// Fallbacks counts forward attempts that shed to local compute
@@ -342,6 +368,8 @@ func (s *Server) Snapshot() Stats {
 		st.Memo = s.memo.Stats()
 		st.MemoHitRate = st.Memo.HitRate()
 	}
+	st.Batches = s.batches.Load()
+	st.BatchItems = s.batchItems.Load()
 	if s.cluster != nil {
 		cs := s.cluster.Stats()
 		st.Cluster = &cs
@@ -580,9 +608,15 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-// decode parses a JSON request body, bounding its size.
+// decode parses a JSON request body under the single-request size cap.
 func decode(r *http.Request, v any) error {
-	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 1<<20))
+	return decodeLimit(r, v, 1<<20)
+}
+
+// decodeLimit parses a JSON request body, bounding its size to limit
+// bytes.
+func decodeLimit(r *http.Request, v any, limit int64) error {
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, limit))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
 		return hlerr.Errorf("powerd.decode", "bad request body: %v", err)

@@ -250,6 +250,19 @@ func (m *Module) InputVector(a, b uint64) []bool {
 	return vec
 }
 
+// InputWord packs operand words into one input word — bit i holds the
+// value InputVector would put at position i — for the packed kernel's
+// WordInputs fast path. The two must stay in lockstep: sim feeds both
+// against the same primary-input order, and the batch pipeline's
+// bit-identity rests on them agreeing.
+func (m *Module) InputWord(a, b uint64) uint64 {
+	w := a & bitutil.Mask(len(m.A))
+	if len(m.B) > 0 {
+		w |= (b & bitutil.Mask(len(m.B))) << uint(len(m.A))
+	}
+	return w
+}
+
 // OutputWord decodes the module's settled output bus into an integer.
 func (m *Module) OutputWord(out []bool) uint64 {
 	return bitutil.FromBits(out)

@@ -76,6 +76,21 @@ func (k Keys) BDD(tt []bool, vars int) memo.Key {
 	return e.Key()
 }
 
+// Group derives the routing key of one batch partition group: the
+// group's shared-artifact identity (op plus netlist or function), one
+// level above the per-item keys. Cluster mode hashes it onto the ring
+// so every item over one netlist lands on the owner of that netlist's
+// compiled artifacts and cache entries.
+func (k Keys) Group(g BatchGroup) memo.Key {
+	e := k.enc("batch-group")
+	e.String(g.Op)
+	e.String(g.Circuit)
+	e.Int(g.Width)
+	e.String(g.Function)
+	e.Int(g.Vars)
+	return e.Key()
+}
+
 // Predict derives the content key of a predict request.
 func (k Keys) Predict(req PredictRequest) memo.Key {
 	e := k.enc("predict")

@@ -19,9 +19,9 @@ package service
 import (
 	"context"
 	"errors"
-	"math/rand"
 
 	"hlpower/internal/bdd"
+	"hlpower/internal/bitutil"
 	"hlpower/internal/budget"
 	"hlpower/internal/core"
 	"hlpower/internal/hlerr"
@@ -29,7 +29,6 @@ import (
 	"hlpower/internal/memo"
 	"hlpower/internal/rtlib"
 	"hlpower/internal/sim"
-	"hlpower/internal/trace"
 )
 
 // Request limits shared by every transport.
@@ -241,10 +240,26 @@ func CheckCycles(cycles int) error {
 
 // OperandStreams draws the Monte Carlo operand pair for a module.
 // Deterministic for a fixed (cycles, width, seed) triple — the basis
-// for content-addressing requests by their raw fields.
+// for content-addressing requests by their raw fields. The generator
+// is an inlined splitmix64: constant-time seeding and a couple of
+// multiplies per word, where math/rand's lagged-Fibonacci source paid
+// a ~10µs seed scramble per call — for batch items that setup cost
+// dwarfed the 64-lane kernel itself. Every estimation path (single
+// handlers, batch groups, rank candidates) funnels through this one
+// function, so the streams — whatever their bits — are identical
+// everywhere by construction.
 func OperandStreams(cycles, width int, seed int64) (as, bs []uint64) {
-	rng := rand.New(rand.NewSource(seed))
-	return trace.Uniform(cycles, width, rng), trace.Uniform(cycles, width, rng)
+	mask := bitutil.Mask(width)
+	buf := make([]uint64, 2*cycles)
+	x := uint64(seed)
+	for i := range buf {
+		x += 0x9e3779b97f4a7c15
+		z := x
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		buf[i] = (z ^ (z >> 31)) & mask
+	}
+	return buf[:cycles:cycles], buf[cycles:]
 }
 
 // TruthTable materializes the named boolean function over n variables.
@@ -413,6 +428,12 @@ func (l *Local) Predict(_ context.Context, b *budget.Budget, req PredictRequest)
 	if err != nil {
 		return PredictResponse{}, err
 	}
+	return l.predictWith(b, mod, req)
+}
+
+// predictWith is Predict with the module already built, so a batch
+// group fitting many models over one circuit constructs it once.
+func (l *Local) predictWith(b *budget.Budget, mod *rtlib.Module, req PredictRequest) (PredictResponse, error) {
 	if err := CheckCycles(req.Train); err != nil {
 		return PredictResponse{}, err
 	}
@@ -422,6 +443,7 @@ func (l *Local) Predict(_ context.Context, b *budget.Budget, req PredictRequest)
 	trainA, trainB := OperandStreams(req.Train, req.Width, req.Seed)
 	evalA, evalB := OperandStreams(req.Eval, req.Width, req.Seed+1)
 	var m macromodel.Model
+	var err error
 	switch req.Model {
 	case "pfa":
 		m, err = macromodel.FitPFA(mod, trainA, trainB, sim.ZeroDelay)

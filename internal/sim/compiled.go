@@ -1,0 +1,190 @@
+// Compiled simulation artifacts. A single estimation request pays the
+// whole netlist setup cost — validation, topological ordering, load and
+// fanout tables, levelized compilation into the struct-of-arrays
+// Program — before the first cycle simulates. A batched pipeline
+// amortizes that cost: Compile performs the setup once and the
+// resulting Compiled value runs any number of workloads (different
+// cycle counts, seeds, worker counts) over the shared tables, reusing
+// the packed kernel's word-plane scratch across runs through a pool.
+// Every run is bit-identical to the corresponding one-shot entry point
+// (Run/RunParallel/RunPacked) — the compiled artifact changes where the
+// work happens, never what it computes.
+package sim
+
+import (
+	"sync"
+
+	"hlpower/internal/budget"
+	"hlpower/internal/hlerr"
+	"hlpower/internal/logic"
+	"hlpower/internal/par"
+)
+
+// Compiled is a netlist prepared once for repeated simulation runs
+// under fixed electrical options: the shared environment tables plus —
+// for combinational netlists under the zero-delay model — the levelized
+// struct-of-arrays program the 64-lane packed kernel executes. Safe for
+// concurrent use: the tables and program are read-only after Compile,
+// and the mutable kernel scratch is pooled per run.
+type Compiled struct {
+	e    *env
+	prog *logic.Program // nil: scalar-only (sequential or event-driven)
+
+	// scratch pools the packed kernel's word planes (one words + one
+	// carry lane block per concurrent shard) so a batch of thousands of
+	// runs over one netlist allocates the planes a handful of times, not
+	// once per run.
+	scratch sync.Pool
+}
+
+// Compile prepares a netlist for repeated runs under opts. Sequential
+// netlists and event-driven options compile to a scalar-only artifact
+// (runs degrade exactly like RunParallel, with the reason in
+// Result.Fallback); combinational zero-delay netlists additionally get
+// the levelized packed-kernel program. Netlist construction errors and
+// combinational cycles surface here, once, rather than on every run.
+func Compile(n *logic.Netlist, opts Options) (c *Compiled, err error) {
+	defer hlerr.Recover(&err)
+	return compileNet(n, opts, true)
+}
+
+// compileNet builds the shared environment and, when wantProg allows it
+// and the workload is eligible, the packed-kernel program.
+func compileNet(n *logic.Netlist, opts Options, wantProg bool) (*Compiled, error) {
+	e, err := prepareNet(n, opts)
+	if err != nil {
+		return nil, err
+	}
+	c := &Compiled{e: e}
+	if wantProg && !e.sequential && opts.Model == ZeroDelay {
+		if c.prog, err = logic.Compile(n); err != nil {
+			return nil, err
+		}
+	}
+	nGates := len(n.Gates)
+	c.scratch.New = func() any { return newPackedScratch(nGates) }
+	return c, nil
+}
+
+// NumGates returns the gate count of the compiled netlist.
+func (c *Compiled) NumGates() int { return len(c.e.n.Gates) }
+
+// Packed reports whether runs may execute on the 64-lane bit-packed
+// kernel (combinational netlist, zero-delay model).
+func (c *Compiled) Packed() bool { return c.prog != nil }
+
+// WordInputs supplies a cycle's input vector pre-packed into one word:
+// bit i holds the value of netlist input i. For callers whose operands
+// already live in words (the service's Monte Carlo streams), this skips
+// the per-cycle []bool round trip the InputProvider interface forces —
+// the packed kernel reads the same bits either way.
+type WordInputs func(cycle int) uint64
+
+// RunOptions are the per-run execution knobs of a compiled netlist; the
+// electrical options were fixed at Compile time.
+type RunOptions struct {
+	// Workers bounds the shard worker pool exactly as
+	// ParallelOptions.Workers does.
+	Workers int
+	// MinShard is the minimum cycles per shard (DefaultMinShard if 0).
+	MinShard int
+	// Scalar forces the interpreted scalar kernel inside each shard.
+	Scalar bool
+	// Words, when non-nil, feeds the packed kernel pre-packed input
+	// words instead of calling the InputProvider per cycle. It MUST
+	// agree bit for bit with the provider — the provider remains the
+	// source of truth for validation and for every scalar path (Scalar
+	// option, sequential fallback), so a mismatch would silently break
+	// the packed/scalar equivalence. Ignored when the netlist has more
+	// than 64 inputs or the packed kernel is not running.
+	Words WordInputs
+	// Lean skips materializing the per-cycle output vectors, the
+	// per-group energy attribution, and the final settled values —
+	// Result.Outputs, Result.ByGroup, and Result.Final come back empty.
+	// Everything a power figure is built from (SwitchedCap, Power,
+	// PerCycleCap, Toggles, Shards/Fallback/Kernel) is computed in the
+	// exact same canonical order and is bit-identical to a full run.
+	Lean bool
+}
+
+// Run simulates one workload over the compiled netlist. It is
+// bit-identical to RunParallel over the same netlist, options, and
+// workload — including the Shards/Fallback/Kernel metadata — with the
+// per-request setup already paid.
+func (c *Compiled) Run(b *budget.Budget, inputs InputProvider, cycles int, opts RunOptions) (res *Result, err error) {
+	defer hlerr.Recover(&err)
+	if err := checkRun(inputs, cycles); err != nil {
+		return nil, err
+	}
+	e := c.e
+	prog := c.prog
+	if opts.Scalar {
+		prog = nil
+	}
+	words := opts.Words
+	if len(e.n.Inputs) > 64 {
+		words = nil
+	}
+	run := func(wb *budget.Budget, lo, hi int) (*shard, error) {
+		if prog != nil {
+			sc := c.scratch.Get().(*packedScratch)
+			defer c.scratch.Put(sc)
+			return runShardPackedOpt(wb, e, prog, inputs, words, opts.Lean, lo, hi, sc)
+		}
+		return runShard(wb, e, inputs, lo, hi)
+	}
+	minShard := opts.MinShard
+	if minShard <= 0 {
+		minShard = DefaultMinShard
+	}
+	workers := par.Workers(opts.Workers)
+	parts := cycles / minShard
+	if parts > workers {
+		parts = workers
+	}
+	if e.sequential || parts < 2 {
+		sh, err := run(b, 0, cycles)
+		if err != nil {
+			return nil, err
+		}
+		res := merge(e, cycles, []*shard{sh})
+		if e.sequential {
+			res.Fallback = FallbackSequential
+		} else {
+			res.Fallback = FallbackShortRun
+		}
+		if prog != nil {
+			res.Kernel = KernelPacked
+		}
+		return res, nil
+	}
+	spans := par.Shards(cycles, parts)
+	shards, err := par.Map(b, workers, len(spans), func(i int, wb *budget.Budget) (*shard, error) {
+		return run(wb, spans[i].Lo, spans[i].Hi)
+	})
+	if err != nil {
+		return nil, err
+	}
+	res = merge(e, cycles, shards)
+	if prog != nil {
+		res.Kernel = KernelPacked
+	}
+	return res, nil
+}
+
+// packedScratch is the packed kernel's per-shard mutable state: one
+// 64-lane word plane of current values, one of cross-word carry bits,
+// and a one-block buffer of cycle input words for the WordInputs
+// gather. All fully rewritten by every run (so pooling them is safe).
+type packedScratch struct {
+	words []uint64
+	carry []uint64
+	cyc   [64]uint64
+}
+
+func newPackedScratch(nGates int) *packedScratch {
+	return &packedScratch{
+		words: make([]uint64, nGates),
+		carry: make([]uint64, nGates),
+	}
+}

@@ -75,7 +75,7 @@ func RunPackedBudget(b *budget.Budget, n *logic.Netlist, inputs InputProvider, c
 	if err != nil {
 		return nil, err
 	}
-	sh, err := runShardPacked(b, e, prog, inputs, 0, cycles)
+	sh, err := runShardPacked(b, e, prog, inputs, 0, cycles, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -143,8 +143,22 @@ func execPacked(p *logic.Program, words []uint64) {
 // of every toggle count. The transition baseline is rebuilt exactly as
 // the scalar shard does — by settling the previous vector (vector 0 for
 // the first shard) — so shard boundaries and cycle 0 count transitions
-// identically to a serial run.
-func runShardPacked(b *budget.Budget, e *env, prog *logic.Program, inputs InputProvider, lo, hi int) (sh *shard, err error) {
+// identically to a serial run. sc, when non-nil, supplies reusable word
+// planes (every entry is rewritten before it is read, so recycled
+// planes cannot leak state between runs); nil allocates fresh ones.
+func runShardPacked(b *budget.Budget, e *env, prog *logic.Program, inputs InputProvider, lo, hi int, sc *packedScratch) (*shard, error) {
+	return runShardPackedOpt(b, e, prog, inputs, nil, false, lo, hi, sc)
+}
+
+// runShardPackedOpt is runShardPacked with the batch pipeline's two
+// accelerators: words (optional) feeds input cycles as pre-packed words
+// — same bits as the provider, no per-cycle []bool — and lean skips the
+// per-cycle outputs, group attribution, and final-value materialization
+// that dominate per-run allocations when the caller only wants a power
+// figure. Neither knob touches the toggle or capacitance accumulation
+// paths, so the numbers that survive into the Result are bit-identical
+// to a full run.
+func runShardPackedOpt(b *budget.Budget, e *env, prog *logic.Program, inputs InputProvider, words64 WordInputs, lean bool, lo, hi int, sc *packedScratch) (sh *shard, err error) {
 	defer hlerr.Recover(&err)
 	n := e.n
 	cycles := hi - lo
@@ -154,14 +168,18 @@ func runShardPacked(b *budget.Budget, e *env, prog *logic.Program, inputs InputP
 		lo: lo, hi: hi,
 		toggles:  make([]int64, len(n.Gates)),
 		capByCyc: make([]float64, cycles),
-		grpByCyc: make([][]float64, cycles),
-		outputs:  make([][]bool, 0, cycles),
 	}
-	grpFlat := make([]float64, cycles*ng)
-	for i := range sh.grpByCyc {
-		sh.grpByCyc[i] = grpFlat[i*ng : (i+1)*ng]
+	var grpFlat []float64
+	var outFlat []bool
+	if !lean {
+		sh.grpByCyc = make([][]float64, cycles)
+		sh.outputs = make([][]bool, 0, cycles)
+		grpFlat = make([]float64, cycles*ng)
+		for i := range sh.grpByCyc {
+			sh.grpByCyc[i] = grpFlat[i*ng : (i+1)*ng]
+		}
+		outFlat = make([]bool, cycles*nOut)
 	}
-	outFlat := make([]bool, cycles*nOut)
 
 	fetch := func(cycle int) ([]bool, error) {
 		vec := inputs(cycle)
@@ -171,23 +189,36 @@ func runShardPacked(b *budget.Budget, e *env, prog *logic.Program, inputs InputP
 		return vec, nil
 	}
 
-	words := make([]uint64, len(n.Gates))
-	carry := make([]uint64, len(n.Gates))
+	if sc == nil {
+		sc = newPackedScratch(len(n.Gates))
+	}
+	words, carry := sc.words, sc.carry
 
 	// Baseline: settle the pre-shard vector in lane 0 and seed the
 	// per-net carry bits from it, mirroring the scalar shard's baseline
 	// settle (cycle 0 of the run therefore counts zero transitions).
+	// Input words are written unconditionally — the planes may be
+	// recycled from a previous run and carry stale bits.
 	base := lo - 1
 	if base < 0 {
 		base = 0
 	}
-	vec, err := fetch(base)
-	if err != nil {
-		return nil, err
-	}
-	for i, sig := range n.Inputs {
-		if vec[i] {
-			words[sig] = 1
+	if words64 != nil {
+		w := words64(base)
+		for i, sig := range n.Inputs {
+			words[sig] = w >> uint(i) & 1
+		}
+	} else {
+		vec, err := fetch(base)
+		if err != nil {
+			return nil, err
+		}
+		for i, sig := range n.Inputs {
+			var w uint64
+			if vec[i] {
+				w = 1
+			}
+			words[sig] = w
 		}
 	}
 	execPacked(prog, words)
@@ -205,18 +236,35 @@ func runShardPacked(b *budget.Budget, e *env, prog *logic.Program, inputs InputP
 
 		// Gather: bit j of each input word is that input's value in
 		// cycle lo+w0+j.
-		for _, sig := range n.Inputs {
-			words[sig] = 0
-		}
-		for j := 0; j < lanes; j++ {
-			vec, err := fetch(lo + w0 + j)
-			if err != nil {
-				return nil, err
+		if words64 != nil {
+			// Word inputs: buffer the block's cycle words, then build
+			// each input plane branchlessly in a register — a strided
+			// bit transpose instead of per-cycle read-modify-writes.
+			cyc := &sc.cyc
+			for j := 0; j < lanes; j++ {
+				cyc[j] = words64(lo + w0 + j)
 			}
-			bit := uint64(1) << uint(j)
 			for i, sig := range n.Inputs {
-				if vec[i] {
-					words[sig] |= bit
+				var w uint64
+				for j := 0; j < lanes; j++ {
+					w |= (cyc[j] >> uint(i) & 1) << uint(j)
+				}
+				words[sig] = w
+			}
+		} else {
+			for _, sig := range n.Inputs {
+				words[sig] = 0
+			}
+			for j := 0; j < lanes; j++ {
+				vec, err := fetch(lo + w0 + j)
+				if err != nil {
+					return nil, err
+				}
+				bit := uint64(1) << uint(j)
+				for i, sig := range n.Inputs {
+					if vec[i] {
+						words[sig] |= bit
+					}
 				}
 			}
 		}
@@ -247,6 +295,12 @@ func runShardPacked(b *budget.Budget, e *env, prog *logic.Program, inputs InputP
 			if load == 0 {
 				continue // adding ±0.0 never changes a nonnegative sum's bits
 			}
+			if lean {
+				for ; t != 0; t &= t - 1 {
+					capByCyc[bits.TrailingZeros64(t)] += load
+				}
+				continue
+			}
 			gi := e.groupOf[id]
 			for ; t != 0; t &= t - 1 {
 				j := bits.TrailingZeros64(t)
@@ -255,6 +309,9 @@ func runShardPacked(b *budget.Budget, e *env, prog *logic.Program, inputs InputP
 			}
 		}
 
+		if lean {
+			continue
+		}
 		// Per-cycle primary outputs, rows sliced from one flat buffer.
 		for j := 0; j < lanes; j++ {
 			row := outFlat[(w0+j)*nOut : (w0+j+1)*nOut : (w0+j+1)*nOut]
@@ -265,6 +322,9 @@ func runShardPacked(b *budget.Budget, e *env, prog *logic.Program, inputs InputP
 		}
 	}
 
+	if lean {
+		return sh, nil
+	}
 	// Final settled values live in the top valid lane of the last word.
 	final := make([]bool, len(n.Gates))
 	last := uint((cycles - 1) % 64)

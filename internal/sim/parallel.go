@@ -11,7 +11,6 @@ import (
 	"hlpower/internal/budget"
 	"hlpower/internal/hlerr"
 	"hlpower/internal/logic"
-	"hlpower/internal/par"
 )
 
 // DefaultMinShard is the smallest cycle block worth handing to a
@@ -79,61 +78,25 @@ func CanShard(n *logic.Netlist) bool {
 // Result.Fallback names the reason and Result.Shards reports 1.
 func RunParallel(b *budget.Budget, n *logic.Netlist, inputs InputProvider, cycles int, opts ParallelOptions) (res *Result, err error) {
 	defer hlerr.Recover(&err)
-	e, err := prepare(n, inputs, cycles, opts.Options)
-	if err != nil {
+	if n == nil {
+		return nil, hlerr.Errorf("sim.Run", "nil netlist")
+	}
+	if err := n.Err(); err != nil {
+		return nil, err
+	}
+	if err := checkRun(inputs, cycles); err != nil {
 		return nil, err
 	}
 	// Shards run on the bit-packed kernel whenever the workload allows
 	// (combinational netlist, zero-delay model): same bit-identical
-	// results, a fraction of the per-gate cost. The compiled program is
-	// built once and shared read-only by every worker.
-	var prog *logic.Program
-	if !opts.Scalar && !e.sequential && opts.Model == ZeroDelay {
-		if prog, err = logic.Compile(n); err != nil {
-			return nil, err
-		}
-	}
-	run := func(wb *budget.Budget, lo, hi int) (*shard, error) {
-		if prog != nil {
-			return runShardPacked(wb, e, prog, inputs, lo, hi)
-		}
-		return runShard(wb, e, inputs, lo, hi)
-	}
-	minShard := opts.MinShard
-	if minShard <= 0 {
-		minShard = DefaultMinShard
-	}
-	workers := par.Workers(opts.Workers)
-	parts := cycles / minShard
-	if parts > workers {
-		parts = workers
-	}
-	if e.sequential || parts < 2 {
-		sh, err := run(b, 0, cycles)
-		if err != nil {
-			return nil, err
-		}
-		res := merge(e, cycles, []*shard{sh})
-		if e.sequential {
-			res.Fallback = FallbackSequential
-		} else {
-			res.Fallback = FallbackShortRun
-		}
-		if prog != nil {
-			res.Kernel = KernelPacked
-		}
-		return res, nil
-	}
-	spans := par.Shards(cycles, parts)
-	shards, err := par.Map(b, workers, len(spans), func(i int, wb *budget.Budget) (*shard, error) {
-		return run(wb, spans[i].Lo, spans[i].Hi)
-	})
+	// results, a fraction of the per-gate cost. Compilation — tables and
+	// the levelized program, shared read-only by every worker — is the
+	// one-shot form of what sim.Compile amortizes across a batch.
+	c, err := compileNet(n, opts.Options, !opts.Scalar)
 	if err != nil {
 		return nil, err
 	}
-	res = merge(e, cycles, shards)
-	if prog != nil {
-		res.Kernel = KernelPacked
-	}
-	return res, nil
+	return c.Run(b, inputs, cycles, RunOptions{
+		Workers: opts.Workers, MinShard: opts.MinShard, Scalar: opts.Scalar,
+	})
 }

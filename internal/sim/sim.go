@@ -191,11 +191,33 @@ func prepare(n *logic.Netlist, inputs InputProvider, cycles int, opts Options) (
 	if err := n.Err(); err != nil {
 		return nil, err
 	}
+	if err := checkRun(inputs, cycles); err != nil {
+		return nil, err
+	}
+	return prepareNet(n, opts)
+}
+
+// checkRun validates the per-run arguments (the parts of a run not
+// fixed by a compiled netlist).
+func checkRun(inputs InputProvider, cycles int) error {
 	if cycles <= 0 {
-		return nil, hlerr.Errorf("sim.Run", "cycle count %d must be positive", cycles)
+		return hlerr.Errorf("sim.Run", "cycle count %d must be positive", cycles)
 	}
 	if inputs == nil {
-		return nil, hlerr.Errorf("sim.Run", "nil input provider")
+		return hlerr.Errorf("sim.Run", "nil input provider")
+	}
+	return nil
+}
+
+// prepareNet builds the netlist-derived environment — the read-only
+// tables every run over this netlist shares. Split from prepare so
+// Compile can pay this once for a whole batch of runs.
+func prepareNet(n *logic.Netlist, opts Options) (*env, error) {
+	if n == nil {
+		return nil, hlerr.Errorf("sim.Run", "nil netlist")
+	}
+	if err := n.Err(); err != nil {
+		return nil, err
 	}
 	if opts.Vdd == 0 {
 		opts.Vdd = 1
@@ -420,17 +442,24 @@ func runShard(b *budget.Budget, e *env, inputs InputProvider, lo, hi int) (sh *s
 // shard-completion or per-load order — so the outcome is independent of
 // how the run was sharded, including the 1-shard serial case.
 func merge(e *env, cycles int, shards []*shard) *Result {
+	// Lean shards (RunOptions.Lean) never materialized group rows or
+	// output vectors; skip their Result fields rather than allocating
+	// empties. Every numeric reduction below is untouched by leanness.
+	lean := len(shards) > 0 && shards[0].grpByCyc == nil && cycles > 0
 	res := &Result{
 		Cycles:      cycles,
-		ByGroup:     make(map[string]float64),
 		Toggles:     make([]int64, len(e.n.Gates)),
 		PerCycleCap: make([]float64, 0, cycles),
-		Outputs:     make([][]bool, 0, cycles),
 		Shards:      len(shards),
 		vdd:         e.opts.Vdd,
 		freq:        e.opts.Freq,
 	}
-	grpTotal := make([]float64, len(e.groups))
+	var grpTotal []float64
+	if !lean {
+		res.ByGroup = make(map[string]float64)
+		res.Outputs = make([][]bool, 0, cycles)
+		grpTotal = make([]float64, len(e.groups))
+	}
 	for _, sh := range shards {
 		for id, tgl := range sh.toggles {
 			res.Toggles[id] += tgl
@@ -441,7 +470,9 @@ func merge(e *env, cycles int, shards []*shard) *Result {
 				grpTotal[gi] += v
 			}
 		}
-		res.Outputs = append(res.Outputs, sh.outputs...)
+		if !lean {
+			res.Outputs = append(res.Outputs, sh.outputs...)
+		}
 	}
 	for _, c := range res.PerCycleCap {
 		res.SwitchedCap += c
