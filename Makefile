@@ -2,7 +2,7 @@
 
 FUZZTIME ?= 10s
 
-.PHONY: all check ci fmt-check build test bench bench-json bench-compare repro vet lint cover fuzz soak soak-cluster vulncheck clean
+.PHONY: all check ci fmt-check build test bench bench-json bench-compare repro vet lint cover fuzz soak soak-cluster soak-jobs soak-all vulncheck clean
 
 all: check
 
@@ -66,7 +66,8 @@ cover:
 	go test -cover ./internal/... ./cmd/... .
 
 # fuzz gives each bus round-trip fuzz target, the memo canonical-key
-# target, and the batch decode/partition target a budget of FUZZTIME
+# target, the batch decode/partition target, and the job-engine wire
+# target (optimize request + checkpoint snapshot) a budget of FUZZTIME
 # (override with e.g. `make fuzz FUZZTIME=5s` for CI smoke runs).
 fuzz:
 	for f in FuzzBusInvertRoundTrip FuzzT0RoundTrip FuzzGrayRoundTrip \
@@ -75,6 +76,7 @@ fuzz:
 	done
 	go test -run '^FuzzCanonicalKey$$' -fuzz '^FuzzCanonicalKey$$' -fuzztime $(FUZZTIME) ./internal/memo/
 	go test -run '^FuzzBatchRequest$$' -fuzz '^FuzzBatchRequest$$' -fuzztime $(FUZZTIME) ./internal/service/
+	go test -run '^FuzzRecipeWire$$' -fuzz '^FuzzRecipeWire$$' -fuzztime $(FUZZTIME) ./internal/jobs/
 
 # soak runs the powerd chaos harness under the race detector: >= 1000
 # requests with fault injection in the sim/rank/bdd paths, asserting
@@ -91,6 +93,17 @@ soak:
 # vs a single-node reference, and leak-free drain.
 soak-cluster:
 	go test -race -run TestClusterChaosSoak -count=$(SOAKCOUNT) -v ./internal/powerd/
+
+# soak-jobs runs the durable-job-engine chaos harness under the race
+# detector: 100 optimization jobs under deterministic fault injection
+# with a mid-fleet drain + restart over a shared checkpoint store,
+# asserting zero lost/duplicated jobs, bit-identical resume vs an
+# uninterrupted reference fleet, and leak-free drain.
+soak-jobs:
+	go test -race -run TestJobsSoak -count=$(SOAKCOUNT) -v ./internal/jobs/
+
+# soak-all runs every soak harness back to back.
+soak-all: soak soak-cluster soak-jobs
 
 # vulncheck scans the module against the Go vulnerability database.
 # The tool is pinned (and fetched on demand — it is not a module

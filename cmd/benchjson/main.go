@@ -14,6 +14,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -29,8 +30,10 @@ import (
 	"hlpower/internal/budget"
 	"hlpower/internal/core"
 	"hlpower/internal/isa"
+	"hlpower/internal/jobs"
 	"hlpower/internal/logic"
 	"hlpower/internal/powerd"
+	"hlpower/internal/recipe"
 	"hlpower/internal/rtlib"
 	"hlpower/internal/service"
 	"hlpower/internal/sim"
@@ -299,6 +302,50 @@ func main() {
 	fusedEntry.Speedup = round3(loopedEntry.NsPerOp / fusedEntry.NsPerOp)
 	snap.Results = append(snap.Results, fusedEntry)
 	batchTS.Close()
+
+	// Durable-job engine: per-candidate cost of one recipe-search step
+	// through the full engine path — candidate derivation, pass
+	// application, functional-equivalence verification, power
+	// evaluation, and amortized checkpointing. Each op runs a complete
+	// job under a distinct seed (content-keyed ids would otherwise
+	// replay); ns_per_op is per candidate, not per job.
+	optCands := cands
+	optMgr := jobs.New(jobs.Config{Workers: 1, QueueDepth: 4, CheckpointEvery: 4})
+	optSeed := int64(1)
+	optEntry := measure("optimize/recipe-step", 0, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			st, err := optMgr.Submit(jobs.Params{
+				Spec:          recipe.Spec{Kind: recipe.KindCircuit, Circuit: "adder", Width: 4},
+				Seed:          optSeed,
+				Candidates:    optCands,
+				EvalCycles:    128,
+				VerifyCycles:  64,
+				MaxRecipeLen:  4,
+				EvalSteps:     50_000_000,
+				CheckInterval: 256,
+			})
+			if err != nil {
+				fatal(err)
+			}
+			optSeed++
+			ch, ok := optMgr.Done(st.ID)
+			if !ok {
+				fatal(fmt.Errorf("job %s not attached", st.ID))
+			}
+			<-ch
+			final, _ := optMgr.Get(st.ID)
+			if final == nil || final.Phase != jobs.PhaseDone {
+				fatal(fmt.Errorf("job %s did not complete: %+v", st.ID, final))
+			}
+		}
+	})
+	optEntry.NsPerOp = round3(optEntry.NsPerOp / float64(optCands))
+	snap.Results = append(snap.Results, optEntry)
+	drainCtx, cancelDrain := context.WithTimeout(context.Background(), time.Minute)
+	if err := optMgr.Drain(drainCtx); err != nil {
+		fatal(err)
+	}
+	cancelDrain()
 
 	// Architectural simulator per-step cost over the predecoded
 	// dispatch tables; ns_per_op here is per retired instruction, not

@@ -37,6 +37,7 @@ import (
 
 	"hlpower/internal/budget"
 	"hlpower/internal/cluster"
+	"hlpower/internal/jobs"
 	"hlpower/internal/powerd"
 )
 
@@ -54,6 +55,14 @@ func main() {
 		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty = off)")
 		nodeSpec  = flag.String("node", "", "cluster mode: this node's id=url (empty = single-node)")
 		peerSpec  = flag.String("peers", "", "cluster mode: comma-separated id=url member list (may include this node)")
+
+		jobDir      = flag.String("job-dir", "", "directory for optimization-job checkpoints (empty = in-memory, lost on restart)")
+		jobWorkers  = flag.Int("job-workers", 0, "concurrent optimization jobs (0 = default 2)")
+		jobQueue    = flag.Int("job-queue", 0, "queued optimization jobs before shedding with 429 (0 = default 16)")
+		jobStall    = flag.Duration("job-stall", 0, "per-candidate watchdog timeout (0 = default 30s)")
+		jobCkpt     = flag.Int("job-checkpoint-every", 0, "candidates between job checkpoints (0 = default 8)")
+		jobSteps    = flag.Int64("job-steps", 0, "per-candidate step budget (0 = -max-steps)")
+		jobMaxSteps = flag.Int64("job-total-steps", 0, "aggregate step ceiling per job (0 = unlimited)")
 	)
 	var drainTimeout time.Duration
 	flag.DurationVar(&drainTimeout, "drain-timeout", 30*time.Second, "graceful-drain window: max wait for in-flight requests on shutdown, and the Retry-After hint sent mid-drain")
@@ -70,6 +79,19 @@ func main() {
 	cfg.HedgeDelay = *hedge
 	cfg.MemoMaxBytes = *memoBytes
 	cfg.DrainTimeout = drainTimeout
+	cfg.JobWorkers = *jobWorkers
+	cfg.JobQueueDepth = *jobQueue
+	cfg.JobStallTimeout = *jobStall
+	cfg.JobCheckpointEvery = *jobCkpt
+	cfg.JobEvalSteps = *jobSteps
+	cfg.JobMaxTotalSteps = *jobMaxSteps
+	if *jobDir != "" {
+		store, err := jobs.NewFileStore(*jobDir)
+		if err != nil {
+			log.Fatalf("-job-dir: %v", err)
+		}
+		cfg.JobStore = store
+	}
 
 	if *pprofAddr != "" {
 		// Importing net/http/pprof registers its handlers on the default

@@ -1,0 +1,47 @@
+package bus
+
+import (
+	"fmt"
+	"sort"
+)
+
+// NewCoder constructs a named encoder/decoder pair over the given
+// address width — the constructor registry the recipe layer's bus
+// passes select from. Beach is deliberately absent: it must be trained
+// on a trace, so it is not constructible from (name, width) alone.
+func NewCoder(name string, width int) (Encoder, Decoder, error) {
+	if width < 1 || width > 64 {
+		return nil, nil, fmt.Errorf("bus: width %d out of range [1,64]", width)
+	}
+	switch name {
+	case "binary":
+		r := &Raw{Width: width}
+		return r, r, nil
+	case "bus-invert":
+		return &BusInvert{Width: width}, &BusInvertDecoder{Width: width}, nil
+	case "gray":
+		return &GrayCode{Width: width}, &GrayDecoder{Width: width}, nil
+	case "t0":
+		return &T0{Width: width}, &T0Decoder{Width: width}, nil
+	case "t0-bi":
+		return &T0BI{Width: width}, &T0BIDecoder{Width: width}, nil
+	case "working-zone":
+		ob := 4
+		if ob > width-1 {
+			ob = width - 1
+		}
+		if ob < 1 {
+			return nil, nil, fmt.Errorf("bus: width %d too narrow for working-zone", width)
+		}
+		return NewWorkingZone(width, 2, ob), NewWorkingZoneDecoder(width, 2, ob), nil
+	default:
+		return nil, nil, fmt.Errorf("bus: unknown coder %q", name)
+	}
+}
+
+// CoderNames lists the constructible coder names in sorted order.
+func CoderNames() []string {
+	names := []string{"binary", "bus-invert", "gray", "t0", "t0-bi", "working-zone"}
+	sort.Strings(names)
+	return names
+}

@@ -178,6 +178,13 @@ func (n *Node) Owner(k memo.Key) (Peer, bool) {
 // what the status means. The response body is fully read so the
 // connection is reusable.
 func (n *Node) Forward(ctx context.Context, peer Peer, path string, body []byte, hdr map[string]string) (int, []byte, http.Header, error) {
+	return n.ForwardMethod(ctx, peer, http.MethodPost, path, body, hdr)
+}
+
+// ForwardMethod is Forward for an arbitrary HTTP method — GET and
+// DELETE callers (job status and cancellation routing) pass a nil
+// body. Same breaker, retry, and liveness bookkeeping as Forward.
+func (n *Node) ForwardMethod(ctx context.Context, peer Peer, method, path string, body []byte, hdr map[string]string) (int, []byte, http.Header, error) {
 	br := n.brks[peer.ID]
 	if br == nil {
 		return 0, nil, nil, fmt.Errorf("cluster: unknown peer %q", peer.ID)
@@ -191,7 +198,7 @@ func (n *Node) Forward(ctx context.Context, peer Peer, path string, body []byte,
 		if err := br.Allow(); err != nil {
 			return resilience.Permanent(err) // open breaker: fail fast, no retry
 		}
-		s, b, h, err := n.post(ctx, peer, path, body, hdr)
+		s, b, h, err := n.do(ctx, peer, method, path, body, hdr)
 		br.Record(err)
 		if err != nil {
 			n.forwardErr.Add(1)
@@ -208,15 +215,21 @@ func (n *Node) Forward(ctx context.Context, peer Peer, path string, body []byte,
 	return status, respBody, respHdr, nil
 }
 
-// post performs one forward attempt under the per-attempt deadline.
-func (n *Node) post(ctx context.Context, peer Peer, path string, body []byte, hdr map[string]string) (int, []byte, http.Header, error) {
+// do performs one forward attempt under the per-attempt deadline.
+func (n *Node) do(ctx context.Context, peer Peer, method, path string, body []byte, hdr map[string]string) (int, []byte, http.Header, error) {
 	actx, cancel := context.WithTimeout(ctx, n.cfg.ForwardTimeout)
 	defer cancel()
-	req, err := http.NewRequestWithContext(actx, http.MethodPost, peer.URL+path, bytes.NewReader(body))
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(actx, method, peer.URL+path, rd)
 	if err != nil {
 		return 0, nil, nil, err
 	}
-	req.Header.Set("Content-Type", "application/json")
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
 	for k, v := range hdr {
 		req.Header.Set(k, v)
 	}
@@ -298,7 +311,7 @@ func (n *Node) GossipNow() {
 			// Gossip deliberately bypasses the data-path breakers: probe
 			// slots there are scarce and heartbeats must keep flowing to
 			// detect recovery.
-			s, _, _, err := n.post(ctx, p, "/cluster/v1/gossip", body, nil)
+			s, _, _, err := n.do(ctx, p, http.MethodPost, "/cluster/v1/gossip", body, nil)
 			if err != nil || s != http.StatusNoContent {
 				n.gossipFail.Add(1)
 				return

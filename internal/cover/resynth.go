@@ -1,0 +1,25 @@
+package cover
+
+import (
+	"fmt"
+
+	"hlpower/internal/budget"
+)
+
+// MinimizeTTBudget minimizes the function given by its truth table —
+// the adapter for re-synthesis passes that start from an extracted
+// table rather than a minterm list. Budget-governed like
+// MinimizeBudget: when the budget trips mid-minimization the result
+// degrades to the greedy reducer and degraded is true.
+func MinimizeTTBudget(b *budget.Budget, tt []bool, n int) (*Cover, bool, error) {
+	if len(tt) != 1<<uint(n) {
+		return nil, false, fmt.Errorf("cover: truth table size %d, want %d", len(tt), 1<<uint(n))
+	}
+	var on []uint64
+	for i, v := range tt {
+		if v {
+			on = append(on, uint64(i))
+		}
+	}
+	return MinimizeBudget(b, on, n)
+}

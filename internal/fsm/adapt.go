@@ -1,0 +1,36 @@
+package fsm
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// EncodingByName constructs a named state encoding for the machine —
+// the adapter the recipe layer's re-encoding passes select from.
+// Seeded encodings ("random", "low-power") draw from rng; the rest
+// ignore it. "low-power" anneals against the machine's uniform-input
+// transition probabilities (§III-H).
+func EncodingByName(f *FSM, name string, rng *rand.Rand) (*Encoding, error) {
+	switch name {
+	case "binary":
+		return BinaryEncoding(f.NumStates), nil
+	case "gray":
+		return GrayEncoding(f.NumStates), nil
+	case "one-hot":
+		return OneHotEncoding(f.NumStates), nil
+	case "random":
+		return RandomEncoding(f.NumStates, minWidth(f.NumStates), rng)
+	case "low-power":
+		uniform := make([]float64, f.NumSymbols())
+		for i := range uniform {
+			uniform[i] = 1 / float64(len(uniform))
+		}
+		p, err := f.TransitionProbabilities(uniform)
+		if err != nil {
+			return nil, err
+		}
+		return LowPowerEncoding(f, p, 200, rng), nil
+	default:
+		return nil, fmt.Errorf("fsm: unknown encoding %q", name)
+	}
+}

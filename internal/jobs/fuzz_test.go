@@ -1,0 +1,77 @@
+package jobs
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"reflect"
+	"testing"
+
+	"hlpower/internal/service"
+)
+
+// FuzzRecipeWire fuzzes the two wire formats of the job engine: the
+// /v1/optimize request body and the checkpoint-snapshot envelope.
+// Invariants: neither decoder ever panics; a corrupt or truncated
+// snapshot fails closed with a typed *SnapshotError; anything
+// DecodeState does accept survives an encode/decode round trip
+// byte-identically (the canonical encoding admits exactly one
+// representation per state, so a resumed node can never "almost"
+// agree with the checkpoint it wrote).
+func FuzzRecipeWire(f *testing.F) {
+	p := testParams(11, 9)
+	running := &State{ID: p.Key().String(), Params: p, Phase: PhaseRunning,
+		BaselineDone: true, BaseScore: 12.5, BestScore: 11, BestRecipe: []string{"guard", "retime"},
+		Step: 4, Evaluated: 4, StepsUsed: 5000}
+	f.Add(EncodeState(running))
+	f.Add(EncodeState(&State{ID: p.Key().String(), Params: p, Phase: PhaseDone}))
+	f.Add([]byte(snapMagic))
+	f.Add([]byte(`{"kind":"circuit","circuit":"adder","width":4,"seed":1}`))
+	f.Add([]byte(`{"kind":"fsm","states":6,"inputs":2,"outputs":2,"seed":-3,"candidates":10}`))
+	f.Add([]byte(`{"kind":"bus","width":12,"token":"abc"}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		st, err := DecodeState(data)
+		if err != nil {
+			var se *SnapshotError
+			if !errors.As(err, &se) {
+				t.Fatalf("snapshot decode failure not typed: %v", err)
+			}
+		} else {
+			re := EncodeState(st)
+			if !bytes.Equal(re, data) {
+				t.Fatalf("accepted snapshot is not canonical:\n in %x\nout %x", data, re)
+			}
+			st2, err := DecodeState(re)
+			if err != nil {
+				t.Fatalf("round trip rejected: %v", err)
+			}
+			if !reflect.DeepEqual(st, st2) {
+				t.Fatalf("round trip changed state: %+v vs %+v", st, st2)
+			}
+		}
+
+		var req service.OptimizeRequest
+		if json.Unmarshal(data, &req) != nil {
+			return
+		}
+		req.Normalize()
+		if req.Validate() != nil {
+			return
+		}
+		// A valid request must map onto params the engine accepts, with a
+		// stable content identity.
+		pr := Params{
+			Spec: req.Spec(), Token: req.Token, Seed: req.Seed,
+			Candidates: req.Candidates, EvalCycles: req.EvalCycles,
+			VerifyCycles: req.VerifyCycles, MaxRecipeLen: req.MaxRecipeLen,
+			EvalSteps: 1 << 20, CheckInterval: 256,
+		}
+		if err := pr.Spec.Validate(); err != nil {
+			t.Fatalf("validated request has invalid spec: %v", err)
+		}
+		if pr.Key() != pr.Key() {
+			t.Fatal("params key not deterministic")
+		}
+	})
+}

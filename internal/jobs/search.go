@@ -1,0 +1,261 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"hlpower/internal/budget"
+	"hlpower/internal/memo"
+	"hlpower/internal/recipe"
+)
+
+// ErrStalled matches stall errors via errors.Is.
+var ErrStalled = errors.New("jobs: pass stalled")
+
+// StallError is the typed timeout the per-job watchdog raises when a
+// candidate's evaluation stops making progress. It degrades the
+// candidate; the job carries on.
+type StallError struct {
+	Recipe  []string
+	Timeout time.Duration
+}
+
+func (e *StallError) Error() string {
+	return fmt.Sprintf("jobs: recipe %v stalled past %v", e.Recipe, e.Timeout)
+}
+
+func (e *StallError) Is(target error) bool { return target == ErrStalled }
+
+// mix is a splitmix64-style finalizer used to derive every random
+// draw of the search as a pure function of its inputs — never of call
+// order — so a resumed job regenerates exactly the candidates an
+// uninterrupted run would have seen.
+func mix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// hashStrings folds a string list into the seed stream.
+func hashStrings(x uint64, names []string) uint64 {
+	for _, s := range names {
+		x = mix(x ^ uint64(len(s)))
+		for i := 0; i < len(s); i++ {
+			x = mix(x ^ uint64(s[i]))
+		}
+	}
+	return x
+}
+
+// drawRNG is a tiny deterministic generator over the mix stream.
+type drawRNG struct{ x uint64 }
+
+func (r *drawRNG) next() uint64 { r.x = mix(r.x); return r.x }
+func (r *drawRNG) intn(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(r.next() % uint64(n))
+}
+
+// candidateRecipe generates the candidate for one search step: a pure
+// function of (job seed, step, best-so-far recipe, vocabulary). Even
+// steps with a non-empty best-so-far memory mutate it (replace /
+// insert / delete one pass); everything else draws a fresh random
+// recipe. This is the explore/exploit loop of recipe search, shaped so
+// checkpoint resume is trivially bit-identical.
+func candidateRecipe(seed int64, step int, best []string, vocab []string, maxLen int) []string {
+	if len(vocab) == 0 {
+		return nil
+	}
+	if maxLen < 1 {
+		maxLen = 1
+	}
+	r := &drawRNG{x: hashStrings(mix(uint64(seed)^uint64(step)), best)}
+	if len(best) > 0 && r.intn(2) == 0 {
+		// Exploit: mutate the best-so-far recipe.
+		out := append([]string(nil), best...)
+		switch op := r.intn(3); {
+		case op == 0: // replace
+			out[r.intn(len(out))] = vocab[r.intn(len(vocab))]
+		case op == 1 && len(out) < maxLen: // insert
+			at := r.intn(len(out) + 1)
+			out = append(out[:at], append([]string{vocab[r.intn(len(vocab))]}, out[at:]...)...)
+		default: // delete
+			at := r.intn(len(out))
+			out = append(out[:at], out[at+1:]...)
+		}
+		if len(out) > 0 {
+			return out
+		}
+		// Deleting the last pass leaves the empty recipe; fall through
+		// to exploration so the step still evaluates something new.
+	}
+	out := make([]string, 1+r.intn(maxLen))
+	for i := range out {
+		out[i] = vocab[r.intn(len(vocab))]
+	}
+	return out
+}
+
+// passSeed derives the RNG seed of one pass application from the job
+// seed and the recipe prefix *content* ending at that pass. Prefix
+// content — not step number or position alone — so two recipes sharing
+// a prefix produce identical intermediate designs, which is what makes
+// prefix-level memoization sound.
+func passSeed(seed int64, prefix []string) uint64 {
+	return mix(hashStrings(uint64(seed), prefix))
+}
+
+// prefixKey is the memo-cache key of the design produced by applying a
+// recipe prefix to the job's baseline. It includes every field that
+// shapes the resulting design bits: the spec and seed (baseline +
+// workload + pass seeds), the cycle counts (verification stimulus),
+// and the per-candidate budget limits (budget-governed passes degrade
+// deterministically at fixed limits).
+func prefixKey(p Params, prefix []string) memo.Key {
+	e := memo.NewEnc()
+	e.String("jobs/prefix/v1")
+	p.Spec.EncodeTo(e)
+	e.Int64(p.Seed)
+	e.Int(p.EvalCycles)
+	e.Int(p.VerifyCycles)
+	e.Int64(p.EvalSteps)
+	e.Int64(p.CheckInterval)
+	e.Int(len(prefix))
+	for _, name := range prefix {
+		e.String(name)
+	}
+	return e.Key()
+}
+
+// cachedDesign is the prefix-cache value: the transformed design plus
+// the budget steps its computation charged, replayed on every cache
+// hit so hit and miss runs follow bit-identical budget trajectories
+// (the resume guarantee cannot depend on cache warmth).
+type cachedDesign struct {
+	d     *recipe.Design
+	steps int64
+}
+
+// evalResult carries one candidate evaluation's outcome.
+type evalResult struct {
+	score float64
+	used  int64
+	hits  int64
+	err   error
+}
+
+// evaluate applies the candidate recipe pass by pass (through the
+// prefix cache when one is installed) and scores the final design.
+// The budget is fresh per candidate: EvalSteps governs all pass
+// application, verification, and scoring, and the context carries
+// cancellation from the job and the watchdog.
+func (m *Manager) evaluate(ctx context.Context, p Params, d *recipe.Design, w *recipe.Workload, names []string, plan *budget.FaultPlan) evalResult {
+	opts := []budget.Option{
+		budget.WithMaxSteps(p.EvalSteps),
+		budget.WithCheckInterval(p.CheckInterval),
+		budget.WithContext(ctx),
+	}
+	if plan != nil {
+		opts = append(opts, budget.WithFaultPlan(*plan))
+	}
+	b := budget.New(opts...)
+	used := func(err error) int64 {
+		// On a budget trip the exact used count depends on where the
+		// trip was noticed (mid-pass vs replayed charge), so account
+		// the full allowance; successful evaluations charge their exact
+		// deterministic cost.
+		if errors.Is(err, budget.ErrExceeded) {
+			return p.EvalSteps
+		}
+		return b.StepsUsed()
+	}
+
+	cache := m.cache()
+	if b.FaultArmed() {
+		// An armed plan can degrade any pass; degraded artifacts must
+		// never be shared, so bypass the cache entirely (the same
+		// honesty invariant the estimation endpoints follow).
+		cache = nil
+	}
+	var hits int64
+	cur := d
+	for i := range names {
+		prefix := names[:i+1]
+		seed := passSeed(p.Seed, prefix)
+		var next *recipe.Design
+		var err error
+		if cache == nil {
+			next, err = recipe.Apply(b, cur, w, names[i], seed)
+		} else {
+			before := b.StepsUsed()
+			in := cur
+			val, shared, cerr := cache.Do(prefixKey(p, prefix), func() (any, int64, bool, error) {
+				nd, aerr := recipe.Apply(b, in, w, names[i], seed)
+				if aerr != nil {
+					return nil, 0, false, aerr
+				}
+				return &cachedDesign{d: nd, steps: b.StepsUsed() - before}, nd.SizeBytes(), true, nil
+			})
+			if cerr != nil {
+				err = cerr
+			} else {
+				cd := val.(*cachedDesign)
+				next = cd.d
+				if shared {
+					hits++
+					// Replay the charge the fresh computation made.
+					err = b.Step(cd.steps)
+				}
+			}
+		}
+		if err != nil {
+			return evalResult{used: used(err), hits: hits, err: err}
+		}
+		cur = next
+	}
+	score, err := recipe.Score(b, cur, w)
+	if err != nil {
+		return evalResult{used: used(err), hits: hits, err: err}
+	}
+	return evalResult{score: score, used: b.StepsUsed(), hits: hits}
+}
+
+// evalCandidate wraps evaluate with the per-job watchdog: a candidate
+// that makes no progress within StallTimeout is cancelled through its
+// budget context and failed with a typed *StallError. The watchdog
+// waits for the evaluation goroutine to unwind (budget-governed passes
+// notice cancellation at their next check point) so stalled candidates
+// do not leak goroutines; a pass that ignores its budget entirely is
+// abandoned after a second grace period.
+func (m *Manager) evalCandidate(j *job, p Params, d *recipe.Design, w *recipe.Workload, names []string, plan *budget.FaultPlan) evalResult {
+	ctx, cancel := context.WithCancel(j.ctx)
+	defer cancel()
+	ch := make(chan evalResult, 1)
+	go func() {
+		ch <- m.evaluate(ctx, p, d, w, names, plan)
+	}()
+	stall := m.cfg.StallTimeout
+	timer := time.NewTimer(stall)
+	defer timer.Stop()
+	select {
+	case r := <-ch:
+		return r
+	case <-timer.C:
+	}
+	cancel()
+	grace := time.NewTimer(stall)
+	defer grace.Stop()
+	select {
+	case r := <-ch:
+		return evalResult{used: r.used, err: &StallError{Recipe: names, Timeout: stall}}
+	case <-grace.C:
+		// The pass is ignoring its budget; abandon the goroutine rather
+		// than hang the whole job.
+		return evalResult{err: &StallError{Recipe: names, Timeout: stall}}
+	}
+}

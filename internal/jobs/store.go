@@ -1,0 +1,177 @@
+package jobs
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Store persists checkpoint snapshots by job id. Implementations must
+// make Save atomic: a reader never observes a half-written snapshot
+// (the CRC envelope backstops whatever the filesystem still manages to
+// tear). Load reports ok=false for an unknown id, reserving errors for
+// real I/O failures.
+type Store interface {
+	Save(id string, snap []byte) error
+	Load(id string) (snap []byte, ok bool, err error)
+	List() ([]string, error)
+	Delete(id string) error
+}
+
+// MemStore is the in-process Store: survives drain/restart cycles that
+// share the store value (as the soak harness does), not the process.
+type MemStore struct {
+	mu    sync.Mutex
+	snaps map[string][]byte
+}
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore { return &MemStore{snaps: map[string][]byte{}} }
+
+func (s *MemStore) Save(id string, snap []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.snaps[id] = append([]byte(nil), snap...)
+	return nil
+}
+
+func (s *MemStore) Load(id string) ([]byte, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	snap, ok := s.snaps[id]
+	if !ok {
+		return nil, false, nil
+	}
+	return append([]byte(nil), snap...), true, nil
+}
+
+func (s *MemStore) List() ([]string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ids := make([]string, 0, len(s.snaps))
+	for id := range s.snaps {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids, nil
+}
+
+func (s *MemStore) Delete(id string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.snaps, id)
+	return nil
+}
+
+// FileStore persists snapshots as <dir>/<id>.snap via write-to-temp +
+// atomic rename, so a crash mid-checkpoint leaves either the previous
+// snapshot or the new one — never a torn file. Job ids are validated
+// against a conservative character set before touching the
+// filesystem; anything else is rejected, which also makes path
+// traversal structurally impossible.
+type FileStore struct {
+	Dir string
+}
+
+// NewFileStore creates the directory if needed.
+func NewFileStore(dir string) (*FileStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("jobs: store dir: %w", err)
+	}
+	return &FileStore{Dir: dir}, nil
+}
+
+const snapExt = ".snap"
+
+func validID(id string) error {
+	if id == "" || len(id) > 128 {
+		return fmt.Errorf("jobs: bad snapshot id %q", id)
+	}
+	for _, r := range id {
+		switch {
+		case r >= '0' && r <= '9', r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '-', r == '_':
+		default:
+			return fmt.Errorf("jobs: bad snapshot id %q", id)
+		}
+	}
+	return nil
+}
+
+func (s *FileStore) Save(id string, snap []byte) error {
+	if err := validID(id); err != nil {
+		return err
+	}
+	final := filepath.Join(s.Dir, id+snapExt)
+	tmp, err := os.CreateTemp(s.Dir, ".tmp-"+id+"-*")
+	if err != nil {
+		return fmt.Errorf("jobs: checkpoint: %w", err)
+	}
+	name := tmp.Name()
+	if _, err := tmp.Write(snap); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return fmt.Errorf("jobs: checkpoint: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return fmt.Errorf("jobs: checkpoint: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(name)
+		return fmt.Errorf("jobs: checkpoint: %w", err)
+	}
+	if err := os.Rename(name, final); err != nil {
+		os.Remove(name)
+		return fmt.Errorf("jobs: checkpoint: %w", err)
+	}
+	return nil
+}
+
+func (s *FileStore) Load(id string) ([]byte, bool, error) {
+	if err := validID(id); err != nil {
+		return nil, false, err
+	}
+	snap, err := os.ReadFile(filepath.Join(s.Dir, id+snapExt))
+	if os.IsNotExist(err) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, fmt.Errorf("jobs: load snapshot: %w", err)
+	}
+	return snap, true, nil
+}
+
+func (s *FileStore) List() ([]string, error) {
+	entries, err := os.ReadDir(s.Dir)
+	if err != nil {
+		return nil, fmt.Errorf("jobs: list snapshots: %w", err)
+	}
+	var ids []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, snapExt) {
+			continue
+		}
+		id := strings.TrimSuffix(name, snapExt)
+		if validID(id) == nil {
+			ids = append(ids, id)
+		}
+	}
+	sort.Strings(ids)
+	return ids, nil
+}
+
+func (s *FileStore) Delete(id string) error {
+	if err := validID(id); err != nil {
+		return err
+	}
+	err := os.Remove(filepath.Join(s.Dir, id+snapExt))
+	if os.IsNotExist(err) {
+		return nil
+	}
+	return err
+}

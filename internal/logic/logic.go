@@ -131,6 +131,29 @@ func New() *Netlist {
 	}
 }
 
+// Clone deep-copies the netlist: gates (including fanin slices),
+// input/output lists, the capacitance model, and the sticky error.
+// Mutating the clone never affects the original, which is what lets
+// optimization passes derive candidate circuits from a shared baseline.
+func (n *Netlist) Clone() *Netlist {
+	out := &Netlist{
+		InputCap:         n.InputCap,
+		WireCapPerFanout: n.WireCapPerFanout,
+		OutputLoad:       n.OutputLoad,
+		ClockCap:         n.ClockCap,
+		err:              n.err,
+	}
+	out.Gates = make([]Gate, len(n.Gates))
+	for i, g := range n.Gates {
+		ng := g
+		ng.Fanin = append([]int(nil), g.Fanin...)
+		out.Gates[i] = ng
+	}
+	out.Inputs = append([]int(nil), n.Inputs...)
+	out.Outputs = append([]int(nil), n.Outputs...)
+	return out
+}
+
 // DefaultGroup is the accounting group assigned when none is given.
 const DefaultGroup = "logic"
 

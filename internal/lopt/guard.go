@@ -130,19 +130,4 @@ func insertGuards(n *logic.Netlist, cone map[int]bool, enable int) bool {
 }
 
 // cloneNetlist deep-copies a netlist.
-func cloneNetlist(n *logic.Netlist) *logic.Netlist {
-	out := logic.New()
-	out.InputCap = n.InputCap
-	out.WireCapPerFanout = n.WireCapPerFanout
-	out.OutputLoad = n.OutputLoad
-	out.ClockCap = n.ClockCap
-	out.Gates = make([]logic.Gate, len(n.Gates))
-	for i, g := range n.Gates {
-		ng := g
-		ng.Fanin = append([]int(nil), g.Fanin...)
-		out.Gates[i] = ng
-	}
-	out.Inputs = append([]int(nil), n.Inputs...)
-	out.Outputs = append([]int(nil), n.Outputs...)
-	return out
-}
+func cloneNetlist(n *logic.Netlist) *logic.Netlist { return n.Clone() }

@@ -1,0 +1,145 @@
+package lopt
+
+import (
+	"math/rand"
+	"testing"
+
+	"hlpower/internal/logic"
+	"hlpower/internal/sim"
+)
+
+// randomNetlist builds a random combinational DAG: nIn primary inputs
+// feeding nGates gates of random kinds with fanin drawn from earlier
+// signals, and a few random outputs. This is the metamorphic-test
+// input space — structurally arbitrary circuits nothing in the rtlib
+// generators would produce.
+func randomNetlist(rng *rand.Rand, nIn, nGates, nOut int) *logic.Netlist {
+	n := logic.New()
+	for i := 0; i < nIn; i++ {
+		n.AddInput("i")
+	}
+	kinds1 := []logic.Kind{logic.Buf, logic.Not}
+	kinds2 := []logic.Kind{logic.And, logic.Or, logic.Nand, logic.Nor, logic.Xor, logic.Xnor}
+	for g := 0; g < nGates; g++ {
+		limit := nIn + g
+		pick := func() int { return rng.Intn(limit) }
+		switch rng.Intn(10) {
+		case 0, 1:
+			n.Add(kinds1[rng.Intn(len(kinds1))], pick())
+		case 2:
+			n.Add(logic.Mux, pick(), pick(), pick())
+		default:
+			n.Add(kinds2[rng.Intn(len(kinds2))], pick(), pick())
+		}
+	}
+	total := nIn + nGates
+	for o := 0; o < nOut; o++ {
+		n.MarkOutput(total - 1 - rng.Intn(nGates))
+	}
+	return n
+}
+
+func randomVectors(rng *rand.Rand, cycles, width int) [][]bool {
+	vecs := make([][]bool, cycles)
+	for c := range vecs {
+		vecs[c] = make([]bool, width)
+		for i := range vecs[c] {
+			vecs[c][i] = rng.Intn(2) == 0
+		}
+	}
+	return vecs
+}
+
+// TestMetamorphicPassesPreserveFunction is the property test behind
+// the recipe registry's safety story: across many random circuits and
+// seeds, every lopt netlist transform produces a circuit that computes
+// the same function as its input — exactly for latency-0 transforms,
+// shifted by the added latency for pipelining.
+func TestMetamorphicPassesPreserveFunction(t *testing.T) {
+	const cycles = 48
+	for seed := int64(0); seed < 30; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		nIn := 2 + rng.Intn(5)
+		n := randomNetlist(rng, nIn, 3+rng.Intn(20), 1+rng.Intn(3))
+		if n.Err() != nil {
+			t.Fatalf("seed %d: bad random netlist: %v", seed, n.Err())
+		}
+		vecs := randomVectors(rng, cycles, nIn)
+		ref, err := sim.Run(n, sim.VectorInputs(vecs), cycles, sim.Options{})
+		if err != nil {
+			t.Fatalf("seed %d: reference sim: %v", seed, err)
+		}
+
+		// Guarding: zero latency, cycle-exact equivalence.
+		guarded, nGuards := GuardEvaluation(n)
+		got, err := sim.Run(guarded, sim.VectorInputs(vecs), cycles, sim.Options{})
+		if err != nil {
+			t.Fatalf("seed %d: guarded sim: %v", seed, err)
+		}
+		for c := 0; c < cycles; c++ {
+			for o := range ref.Outputs[c] {
+				if got.Outputs[c][o] != ref.Outputs[c][o] {
+					t.Fatalf("seed %d: guard (%d guards) diverges at cycle %d output %d", seed, nGuards, c, o)
+				}
+			}
+		}
+
+		// Pipelining at every feasible depth: latency 1, shifted
+		// equivalence from cycle 1 on.
+		depth := n.Depth()
+		for cut := 1; cut < depth; cut++ {
+			piped, err := PipelineCut(n, cut)
+			if err != nil {
+				t.Fatalf("seed %d: cut %d: %v", seed, cut, err)
+			}
+			got, err := sim.Run(piped, sim.VectorInputs(vecs), cycles, sim.Options{})
+			if err != nil {
+				t.Fatalf("seed %d: piped sim: %v", seed, err)
+			}
+			for c := 0; c+1 < cycles; c++ {
+				for o := range ref.Outputs[c] {
+					if got.Outputs[c+1][o] != ref.Outputs[c][o] {
+						t.Fatalf("seed %d: cut %d diverges at cycle %d output %d", seed, cut, c, o)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestMetamorphicGuardThenPipeline chains the two transforms, the
+// shape recipe search actually produces, and checks the composition
+// still preserves the function.
+func TestMetamorphicGuardThenPipeline(t *testing.T) {
+	const cycles = 40
+	for seed := int64(100); seed < 115; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		nIn := 3 + rng.Intn(4)
+		n := randomNetlist(rng, nIn, 8+rng.Intn(16), 2)
+		vecs := randomVectors(rng, cycles, nIn)
+		ref, err := sim.Run(n, sim.VectorInputs(vecs), cycles, sim.Options{})
+		if err != nil {
+			t.Fatalf("seed %d: reference sim: %v", seed, err)
+		}
+		guarded, _ := GuardEvaluation(n)
+		depth := guarded.Depth()
+		if depth < 2 {
+			continue
+		}
+		piped, err := PipelineCut(guarded, 1+rng.Intn(depth-1))
+		if err != nil {
+			t.Fatalf("seed %d: cut: %v", seed, err)
+		}
+		got, err := sim.Run(piped, sim.VectorInputs(vecs), cycles, sim.Options{})
+		if err != nil {
+			t.Fatalf("seed %d: composed sim: %v", seed, err)
+		}
+		for c := 0; c+1 < cycles; c++ {
+			for o := range ref.Outputs[c] {
+				if got.Outputs[c+1][o] != ref.Outputs[c][o] {
+					t.Fatalf("seed %d: composition diverges at cycle %d output %d", seed, c, o)
+				}
+			}
+		}
+	}
+}

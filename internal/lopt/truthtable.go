@@ -1,0 +1,74 @@
+package lopt
+
+import (
+	"fmt"
+
+	"hlpower/internal/budget"
+	"hlpower/internal/logic"
+)
+
+// IsCombinational reports whether the netlist is purely combinational:
+// no flip-flops and no latches, so its outputs are a function of the
+// current input vector alone.
+func IsCombinational(n *logic.Netlist) bool {
+	for _, g := range n.Gates {
+		if g.Kind.IsSequential() || g.Kind == logic.Latch {
+			return false
+		}
+	}
+	return true
+}
+
+// TruthTables exhaustively extracts the truth table of every primary
+// output of a purely combinational netlist, in output order with the
+// variable order of n.Inputs (input i is bit i of the row index). The
+// enumeration is the bridge from structural netlists back to the
+// two-level domain, where re-minimization (cover) and precomputation
+// (Precompute) operate. The budget is charged one step per evaluated
+// gate, so oversized extractions trip instead of stalling.
+func TruthTables(b *budget.Budget, n *logic.Netlist, maxInputs int) ([][]bool, error) {
+	if err := n.Err(); err != nil {
+		return nil, err
+	}
+	if !IsCombinational(n) {
+		return nil, fmt.Errorf("lopt: truth-table extraction needs a combinational netlist")
+	}
+	nIn := len(n.Inputs)
+	if nIn > maxInputs {
+		return nil, fmt.Errorf("lopt: %d inputs exceed extraction limit %d", nIn, maxInputs)
+	}
+	order, err := n.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	rows := 1 << uint(nIn)
+	tts := make([][]bool, len(n.Outputs))
+	for i := range tts {
+		tts[i] = make([]bool, rows)
+	}
+	vals := make([]bool, len(n.Gates))
+	var in []bool
+	for idx := 0; idx < rows; idx++ {
+		for i, id := range n.Inputs {
+			vals[id] = idx>>uint(i)&1 == 1
+		}
+		for _, id := range order {
+			g := n.Gates[id]
+			if g.Kind == logic.Input {
+				continue
+			}
+			in = in[:0]
+			for _, f := range g.Fanin {
+				in = append(in, vals[f])
+			}
+			vals[id] = logic.EvalGate(g.Kind, in)
+		}
+		if err := b.Step(int64(len(order))); err != nil {
+			return nil, err
+		}
+		for o, id := range n.Outputs {
+			tts[o][idx] = vals[id]
+		}
+	}
+	return tts, nil
+}

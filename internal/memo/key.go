@@ -39,6 +39,33 @@ type Key struct{ Hi, Lo uint64 }
 // String renders the key as 32 hex digits.
 func (k Key) String() string { return fmt.Sprintf("%016x%016x", k.Hi, k.Lo) }
 
+// ParseKey inverts String: 32 lowercase hex digits back into a Key.
+// ok is false for anything else. Useful where a key's hex form is used
+// as an external identifier (job ids) and must be mapped back onto the
+// ring.
+func ParseKey(s string) (Key, bool) {
+	if len(s) != 32 {
+		return Key{}, false
+	}
+	var words [2]uint64
+	for w := 0; w < 2; w++ {
+		for i := 0; i < 16; i++ {
+			c := s[w*16+i]
+			var v uint64
+			switch {
+			case c >= '0' && c <= '9':
+				v = uint64(c - '0')
+			case c >= 'a' && c <= 'f':
+				v = uint64(c-'a') + 10
+			default:
+				return Key{}, false
+			}
+			words[w] = words[w]<<4 | v
+		}
+	}
+	return Key{Hi: words[0], Lo: words[1]}, true
+}
+
 // Type tags make the canonical encoding injective: every primitive is
 // written as a tag byte followed by a fixed-width or length-prefixed
 // payload, so no concatenation of values can collide with a different
@@ -146,6 +173,11 @@ func (e *Enc) Bools(vs []bool) {
 // Len reports the canonical encoding's size in bytes.
 func (e *Enc) Len() int { return len(e.buf) }
 
+// Data returns a copy of the canonical encoding, for callers that
+// persist the bytes themselves (checkpoint snapshots) rather than
+// hashing them into a key.
+func (e *Enc) Data() []byte { return append([]byte(nil), e.buf...) }
+
 // Key hashes the canonical encoding to the 128-bit content key. The
 // encoder remains usable; appending more fields and calling Key again
 // yields the key of the extended encoding.
@@ -168,6 +200,11 @@ type Dec struct {
 
 // NewDec wraps an encoder's accumulated bytes for decoding.
 func NewDec(e *Enc) *Dec { return &Dec{buf: e.buf} }
+
+// DecBytes wraps raw canonical-encoding bytes for decoding — the read
+// side of Data. Every read validates its type tag, so feeding
+// corrupted or truncated bytes yields a sticky error, never a panic.
+func DecBytes(b []byte) *Dec { return &Dec{buf: b} }
 
 // Err returns the sticky decode error, or nil.
 func (d *Dec) Err() error { return d.err }

@@ -27,6 +27,7 @@ import (
 	"hlpower/internal/budget"
 	"hlpower/internal/cluster"
 	"hlpower/internal/hlerr"
+	"hlpower/internal/jobs"
 	"hlpower/internal/memo"
 	"hlpower/internal/resilience"
 	"hlpower/internal/service"
@@ -82,6 +83,25 @@ type Config struct {
 	// DefaultConfig's 64 requests' worth of MaxSteps; negative =
 	// unlimited).
 	BatchSteps int64
+	// JobWorkers is the number of optimization jobs run concurrently
+	// (default 2); JobQueueDepth bounds queued-but-unstarted jobs before
+	// /v1/optimize sheds with 429 (default 16).
+	JobWorkers    int
+	JobQueueDepth int
+	// JobCheckpointEvery is how many candidate evaluations may elapse
+	// between periodic checkpoints (default 8); JobStallTimeout is the
+	// per-candidate watchdog limit (default 30s).
+	JobCheckpointEvery int
+	JobStallTimeout    time.Duration
+	// JobEvalSteps is the per-candidate step budget (0 = MaxSteps);
+	// JobMaxTotalSteps caps one job's aggregate steps across all its
+	// candidates (0 = unlimited).
+	JobEvalSteps     int64
+	JobMaxTotalSteps int64
+	// JobStore persists job checkpoints. nil means in-memory (jobs
+	// survive drain within the process, not a restart); cmd/powerd
+	// passes a file-backed store for crash recovery.
+	JobStore jobs.Store
 	// Clock drives retry backoff and breaker timeouts; tests swap in
 	// resilience.Fake for deterministic schedules.
 	Clock resilience.Clock
@@ -147,6 +167,9 @@ func (c Config) withDefaults() Config {
 	if c.Clock == nil {
 		c.Clock = d.Clock
 	}
+	if c.JobEvalSteps == 0 {
+		c.JobEvalSteps = c.MaxSteps
+	}
 	return c
 }
 
@@ -180,6 +203,8 @@ type Server struct {
 	// cluster is this server's ring membership, nil in single-node mode.
 	// Written once by EnableCluster before serving starts.
 	cluster *cluster.Node
+	// jobsMgr is the durable optimization-job engine behind /v1/optimize.
+	jobsMgr *jobs.Manager
 
 	drainAt atomic.Int64 // drain deadline, unix nanos (0 = not draining)
 
@@ -228,6 +253,20 @@ func NewServer(cfg Config) *Server {
 		OnBDDStats: s.recordBDDStats,
 		RemoteCand: s.remoteCand,
 	}
+	s.jobsMgr = jobs.New(jobs.Config{
+		Workers:         cfg.JobWorkers,
+		QueueDepth:      cfg.JobQueueDepth,
+		CheckpointEvery: cfg.JobCheckpointEvery,
+		StallTimeout:    cfg.JobStallTimeout,
+		Store:           cfg.JobStore,
+		Cache:           s.estimateCache,
+		Plan:            s.plan.Load,
+	})
+	// Pick up whatever non-terminal checkpoints the store already holds
+	// (a restarted node, or snapshots inherited from a dead ring peer).
+	// Corrupt snapshots are skipped fail-closed and surface through the
+	// engine's save_errors counter.
+	_, _ = s.jobsMgr.Recover()
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /readyz", s.handleReady)
@@ -238,6 +277,9 @@ func NewServer(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/predict", s.handlePredict)
 	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	s.mux.HandleFunc("POST /v1/batch/stream", s.handleBatchStream)
+	s.mux.HandleFunc("POST /v1/optimize", s.handleOptimize)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	return s
 }
 
@@ -271,6 +313,11 @@ func (s *Server) Drain(ctx context.Context) error {
 	if s.cluster != nil {
 		s.cluster.Stop()
 	}
+	// Drain the job engine alongside the request drain: each running job
+	// checkpoints at its next candidate boundary and hands off through
+	// the store, while in-flight HTTP requests finish normally.
+	jobsDone := make(chan error, 1)
+	go func() { jobsDone <- s.jobsMgr.Drain(ctx) }()
 	done := make(chan struct{})
 	go func() {
 		s.inflight.Wait()
@@ -278,10 +325,13 @@ func (s *Server) Drain(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
-		return nil
 	case <-ctx.Done():
 		return fmt.Errorf("powerd: drain interrupted: %w", ctx.Err())
 	}
+	if err := <-jobsDone; err != nil {
+		return fmt.Errorf("powerd: job drain interrupted: %w", err)
+	}
+	return nil
 }
 
 // Breaker exposes a subsystem's breaker (nil for unknown names) so
@@ -338,6 +388,10 @@ type Stats struct {
 	// BatchItems is how many items those batches carried.
 	Batches    int64 `json:"batches"`
 	BatchItems int64 `json:"batch_items"`
+	// Jobs carries the optimization-job engine's gauges and totals:
+	// queued/running jobs, completions by outcome, checkpoints written,
+	// checkpoint resumes, watchdog stalls, and shed submissions.
+	Jobs jobs.Counters `json:"jobs"`
 	// Cluster fields, present only when cluster mode is enabled:
 	// Forwarded counts requests answered with a peer owner's response,
 	// Fallbacks counts forward attempts that shed to local compute
@@ -370,6 +424,7 @@ func (s *Server) Snapshot() Stats {
 	}
 	st.Batches = s.batches.Load()
 	st.BatchItems = s.batchItems.Load()
+	st.Jobs = s.jobsMgr.Counters()
 	if s.cluster != nil {
 		cs := s.cluster.Stats()
 		st.Cluster = &cs

@@ -1,0 +1,197 @@
+package recipe
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"hlpower/internal/budget"
+	"hlpower/internal/hlerr"
+	"hlpower/internal/logic"
+)
+
+func testBudget() *budget.Budget {
+	return budget.New(budget.WithMaxSteps(50_000_000), budget.WithCheckInterval(256))
+}
+
+func specs() []Spec {
+	return []Spec{
+		{Kind: KindCircuit, Circuit: "adder", Width: 4},
+		{Kind: KindCircuit, Circuit: "comparator", Width: 4},
+		{Kind: KindFSM, States: 5, Inputs: 2, Outputs: 2},
+		{Kind: KindBus, Width: 8},
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	bad := []Spec{
+		{Kind: "netlist"},
+		{Kind: KindCircuit, Circuit: "adder", Width: 1},
+		{Kind: KindCircuit, Circuit: "alu", Width: 4},
+		{Kind: KindFSM, States: 1, Inputs: 1, Outputs: 1},
+		{Kind: KindFSM, States: 4, Inputs: 9, Outputs: 1},
+		{Kind: KindBus, Width: 64},
+	}
+	for _, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("spec %+v: want error", s)
+		} else if !hlerr.IsInput(err) {
+			t.Errorf("spec %+v: error %v not typed input", s, err)
+		}
+	}
+	for _, s := range specs() {
+		if err := s.Validate(); err != nil {
+			t.Errorf("spec %+v: unexpected %v", s, err)
+		}
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	for _, s := range specs() {
+		d1, w1, err := Build(s, 7, 128, 64)
+		if err != nil {
+			t.Fatalf("build %+v: %v", s, err)
+		}
+		d2, w2, err := Build(s, 7, 128, 64)
+		if err != nil {
+			t.Fatalf("rebuild %+v: %v", s, err)
+		}
+		s1, err := Score(testBudget(), d1, w1)
+		if err != nil {
+			t.Fatalf("score %+v: %v", s, err)
+		}
+		s2, err := Score(testBudget(), d2, w2)
+		if err != nil {
+			t.Fatalf("rescore %+v: %v", s, err)
+		}
+		if math.Float64bits(s1) != math.Float64bits(s2) {
+			t.Errorf("spec %+v: baseline score %v != %v", s, s1, s2)
+		}
+		if s1 <= 0 {
+			t.Errorf("spec %+v: suspicious baseline score %v", s, s1)
+		}
+	}
+}
+
+// TestApplyAllPassesVerified applies every registered pass of each
+// kind to its baseline design across several seeds: a pass either
+// succeeds (with equivalence verified inside Apply, and the result
+// scorable) or reports a typed not-applicable/pass error — it never
+// panics and never silently corrupts behaviour.
+func TestApplyAllPassesVerified(t *testing.T) {
+	for _, s := range specs() {
+		d, w, err := Build(s, 11, 96, 64)
+		if err != nil {
+			t.Fatalf("build %+v: %v", s, err)
+		}
+		applied := 0
+		for _, name := range Vocabulary(s.Kind) {
+			for seed := uint64(0); seed < 3; seed++ {
+				out, err := Apply(testBudget(), d, w, name, seed)
+				if err != nil {
+					var pe *PassError
+					if !errors.As(err, &pe) {
+						t.Errorf("%s on %+v: untyped error %v", name, s, err)
+					}
+					continue
+				}
+				applied++
+				if _, err := Score(testBudget(), out, w); err != nil {
+					t.Errorf("%s on %+v: result unscorable: %v", name, s, err)
+				}
+			}
+		}
+		if applied == 0 {
+			t.Errorf("spec %+v: no pass applicable", s)
+		}
+	}
+}
+
+// TestApplySecondLevel chains a pass onto an already-transformed
+// design (including latency-adding passes), exercising the shifted
+// lockstep equivalence check.
+func TestApplySecondLevel(t *testing.T) {
+	s := Spec{Kind: KindCircuit, Circuit: "adder", Width: 3}
+	d, w, err := Build(s, 3, 96, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	retimed, err := Apply(testBudget(), d, w, "retime", 5)
+	if err != nil {
+		t.Fatalf("retime: %v", err)
+	}
+	if retimed.Latency != 1 {
+		t.Fatalf("retime latency = %d, want 1", retimed.Latency)
+	}
+	if _, err := Apply(testBudget(), retimed, w, "guard", 6); err != nil {
+		var pe *PassError
+		if !errors.As(err, &pe) || !errors.Is(err, ErrNotApplicable) {
+			t.Fatalf("guard on retimed: %v", err)
+		}
+	}
+}
+
+func TestApplyUnknownAndWrongKind(t *testing.T) {
+	s := Spec{Kind: KindBus, Width: 8}
+	d, w, err := Build(s, 1, 64, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Apply(testBudget(), d, w, "no-such-pass", 0); err == nil {
+		t.Fatal("unknown pass: want error")
+	}
+	if _, err := Apply(testBudget(), d, w, "retime", 0); !errors.Is(err, ErrNotApplicable) {
+		t.Fatalf("kind mismatch: got %v, want ErrNotApplicable", err)
+	}
+}
+
+func TestApplyPanicContained(t *testing.T) {
+	Register(Pass{Name: "zz-test-panic", Kind: KindBus,
+		Apply: func(b *budget.Budget, d *Design, rng *rand.Rand) (*Design, error) {
+			panic("poisoned pass")
+		}})
+	d, w, err := Build(Spec{Kind: KindBus, Width: 8}, 1, 64, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Apply(testBudget(), d, w, "zz-test-panic", 0)
+	var pe *PassError
+	if !errors.As(err, &pe) {
+		t.Fatalf("panic not converted to PassError: %v", err)
+	}
+}
+
+// TestVerifyCatchesBrokenPass registers a pass that silently inverts
+// an output and checks the built-in equivalence gate rejects it.
+func TestVerifyCatchesBrokenPass(t *testing.T) {
+	Register(Pass{Name: "zz-test-broken", Kind: KindCircuit,
+		Apply: func(b *budget.Budget, d *Design, rng *rand.Rand) (*Design, error) {
+			out := *d
+			net := d.Net.Clone()
+			net.Outputs[0] = net.Add(logic.Not, net.Outputs[0])
+			out.Net = net
+			return &out, nil
+		}})
+	d, w, err := Build(Spec{Kind: KindCircuit, Circuit: "adder", Width: 3}, 2, 64, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Apply(testBudget(), d, w, "zz-test-broken", 0)
+	var ve *VerifyError
+	if !errors.As(err, &ve) {
+		t.Fatalf("broken pass not caught by verification: %v", err)
+	}
+}
+
+func TestBudgetTripDegradesPass(t *testing.T) {
+	d, w, err := Build(Spec{Kind: KindCircuit, Circuit: "adder", Width: 4}, 2, 96, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := budget.New(budget.WithMaxSteps(10), budget.WithCheckInterval(4))
+	_, err = Apply(b, d, w, "retime", 1)
+	if !errors.Is(err, budget.ErrExceeded) {
+		t.Fatalf("tiny budget: got %v, want budget.ErrExceeded", err)
+	}
+}

@@ -1,0 +1,91 @@
+package service
+
+import (
+	"hlpower/internal/hlerr"
+	"hlpower/internal/recipe"
+)
+
+// Optimization-job limits. Candidate evaluations re-simulate the
+// design, so the cycle limits sit far below the single-shot MaxCycles.
+const (
+	MaxJobCandidates   = 2000
+	MaxJobCycles       = 8192
+	MaxJobRecipeLen    = 8
+	MaxJobTokenLen     = 128
+	DefaultCandidates  = 32
+	DefaultEvalCycles  = 256
+	DefaultVerifyCycle = 128
+	DefaultRecipeLen   = 4
+)
+
+// OptimizeRequest submits a recipe-search job over one design. Kind
+// selects the design class; the per-class fields mirror recipe.Spec.
+// Token is the client's idempotency key: resubmitting the same token
+// with the same body always lands on the same job.
+type OptimizeRequest struct {
+	Token   string `json:"token,omitempty"`
+	Kind    string `json:"kind"`
+	Circuit string `json:"circuit,omitempty"`
+	Width   int    `json:"width,omitempty"`
+	States  int    `json:"states,omitempty"`
+	Inputs  int    `json:"inputs,omitempty"`
+	Outputs int    `json:"outputs,omitempty"`
+
+	Seed         int64 `json:"seed"`
+	Candidates   int   `json:"candidates,omitempty"`
+	EvalCycles   int   `json:"eval_cycles,omitempty"`
+	VerifyCycles int   `json:"verify_cycles,omitempty"`
+	MaxRecipeLen int   `json:"max_recipe_len,omitempty"`
+}
+
+// Normalize fills defaulted fields in place.
+func (r *OptimizeRequest) Normalize() {
+	if r.Candidates == 0 {
+		r.Candidates = DefaultCandidates
+	}
+	if r.EvalCycles == 0 {
+		r.EvalCycles = DefaultEvalCycles
+	}
+	if r.VerifyCycles == 0 {
+		r.VerifyCycles = DefaultVerifyCycle
+	}
+	if r.MaxRecipeLen == 0 {
+		r.MaxRecipeLen = DefaultRecipeLen
+	}
+}
+
+// Spec maps the request onto the recipe layer's design descriptor.
+func (r OptimizeRequest) Spec() recipe.Spec {
+	return recipe.Spec{
+		Kind:    r.Kind,
+		Circuit: r.Circuit,
+		Width:   r.Width,
+		States:  r.States,
+		Inputs:  r.Inputs,
+		Outputs: r.Outputs,
+	}
+}
+
+// Validate checks a normalized request; violations are typed input
+// errors (HTTP 400).
+func (r OptimizeRequest) Validate() error {
+	if err := r.Spec().Validate(); err != nil {
+		return err
+	}
+	if len(r.Token) > MaxJobTokenLen {
+		return hlerr.Errorf("service.optimize", "token longer than %d bytes", MaxJobTokenLen)
+	}
+	if r.Candidates < 1 || r.Candidates > MaxJobCandidates {
+		return hlerr.Errorf("service.optimize", "candidates %d out of range [1,%d]", r.Candidates, MaxJobCandidates)
+	}
+	if r.EvalCycles < 2 || r.EvalCycles > MaxJobCycles {
+		return hlerr.Errorf("service.optimize", "eval_cycles %d out of range [2,%d]", r.EvalCycles, MaxJobCycles)
+	}
+	if r.VerifyCycles < 2 || r.VerifyCycles > MaxJobCycles {
+		return hlerr.Errorf("service.optimize", "verify_cycles %d out of range [2,%d]", r.VerifyCycles, MaxJobCycles)
+	}
+	if r.MaxRecipeLen < 1 || r.MaxRecipeLen > MaxJobRecipeLen {
+		return hlerr.Errorf("service.optimize", "max_recipe_len %d out of range [1,%d]", r.MaxRecipeLen, MaxJobRecipeLen)
+	}
+	return nil
+}
