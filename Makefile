@@ -2,7 +2,7 @@
 
 FUZZTIME ?= 10s
 
-.PHONY: all check ci fmt-check build test bench bench-json bench-compare repro vet lint cover fuzz soak soak-cluster soak-jobs soak-all vulncheck clean
+.PHONY: all check ci fmt-check build test bench bench-json bench-compare profile repro vet lint cover fuzz soak soak-cluster soak-jobs soak-all vulncheck clean
 
 all: check
 
@@ -59,6 +59,16 @@ bench-compare:
 	go run ./cmd/benchjson -out $(BENCH_NEW)
 	go run ./cmd/benchcompare -new $(BENCH_NEW)
 
+# profile captures CPU and allocation profiles of the packed-kernel
+# serving workload (the fused compiled tier over pooled scratch) for
+# pprof inspection:
+#   go tool pprof /tmp/hlpower_cpu.pprof
+#   go tool pprof -sample_index=alloc_objects /tmp/hlpower_mem.pprof
+profile:
+	go test -run '^$$' -bench '^BenchmarkPackedKernelWorkload$$' -benchmem \
+		-cpuprofile /tmp/hlpower_cpu.pprof -memprofile /tmp/hlpower_mem.pprof \
+		./internal/sim/
+
 repro:
 	go run ./cmd/repro -j 8
 
@@ -66,9 +76,11 @@ cover:
 	go test -cover ./internal/... ./cmd/... .
 
 # fuzz gives each bus round-trip fuzz target, the memo canonical-key
-# target, the batch decode/partition target, and the job-engine wire
-# target (optimize request + checkpoint snapshot) a budget of FUZZTIME
-# (override with e.g. `make fuzz FUZZTIME=5s` for CI smoke runs).
+# target, the batch decode/partition target, the job-engine wire
+# target (optimize request + checkpoint snapshot), and the fused-kernel
+# equivalence target (fused vs unfused bit-identity, including budget
+# exhaustion) a budget of FUZZTIME (override with e.g.
+# `make fuzz FUZZTIME=5s` for CI smoke runs).
 fuzz:
 	for f in FuzzBusInvertRoundTrip FuzzT0RoundTrip FuzzGrayRoundTrip \
 	         FuzzT0BIRoundTrip FuzzWorkingZoneRoundTrip FuzzBeachRoundTrip; do \
@@ -77,6 +89,7 @@ fuzz:
 	go test -run '^FuzzCanonicalKey$$' -fuzz '^FuzzCanonicalKey$$' -fuzztime $(FUZZTIME) ./internal/memo/
 	go test -run '^FuzzBatchRequest$$' -fuzz '^FuzzBatchRequest$$' -fuzztime $(FUZZTIME) ./internal/service/
 	go test -run '^FuzzRecipeWire$$' -fuzz '^FuzzRecipeWire$$' -fuzztime $(FUZZTIME) ./internal/jobs/
+	go test -run '^FuzzFusedEquivalence$$' -fuzz '^FuzzFusedEquivalence$$' -fuzztime $(FUZZTIME) ./internal/sim/
 
 # soak runs the powerd chaos harness under the race detector: >= 1000
 # requests with fault injection in the sim/rank/bdd paths, asserting

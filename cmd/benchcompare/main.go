@@ -124,6 +124,32 @@ func main() {
 		fmt.Fprintf(&b, "| %s | %.0f | %.0f | %+.1f%% | %d→%d | %s |\n",
 			ne.Name, oe.NsPerOp, ne.NsPerOp, deltaPct, oe.AllocsPerOp, ne.AllocsPerOp, mark)
 	}
+	// Entries present in the baseline but absent from the candidate are
+	// annotated, never gated: a benchmark disappearing usually means the
+	// workload set changed on purpose, but a silent drop would otherwise
+	// read as "no regression". The "/mp" multi-core entries deserve their
+	// own wording — they exist only on multi-core hosts, so their absence
+	// on a single-core runner means scaling went unmeasured, not that it
+	// regressed.
+	newNames := make(map[string]bool, len(newSnap.Results))
+	for _, e := range newSnap.Results {
+		newNames[e.Name] = true
+	}
+	for _, oe := range oldSnap.Results {
+		if newNames[oe.Name] {
+			continue
+		}
+		if strings.HasSuffix(oe.Name, "/mp") {
+			fmt.Fprintf(&b, "| %s | %.0f | — | gone | — | ⚠️ multi-core pass absent (single-core host?) — scaling unmeasured, not regressed |\n",
+				oe.Name, oe.NsPerOp)
+		} else {
+			fmt.Fprintf(&b, "| %s | %.0f | — | gone | — | ⚠️ vanished from new snapshot |\n", oe.Name, oe.NsPerOp)
+		}
+	}
+	// Timing deltas from shared runners jitter run to run; allocation
+	// counts do not. Keep readers from acting on noise.
+	fmt.Fprintf(&b, "\n> Variance note: ns/op deltas within ±%g%% are indistinguishable from run-to-run noise on shared runners "+
+		"(benchstat would call them ~). Treat only larger, repeated timing moves as real; allocs_per_op is deterministic and is what the gate enforces.\n", *threshold)
 	if newSnap.Note != "" {
 		fmt.Fprintf(&b, "\n> %s\n", newSnap.Note)
 	}

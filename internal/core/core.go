@@ -300,16 +300,21 @@ func evaluate(b *budget.Budget, c Candidate) Ranked {
 // sortRanking orders candidates cheapest first, successful before
 // failed, exact before degraded on power ties. The sort is stable over
 // candidate order, so rankings are deterministic for a fixed input.
-func sortRanking(out Ranking) {
-	sort.SliceStable(out, func(i, j int) bool {
-		if (out[i].Err == nil) != (out[j].Err == nil) {
-			return out[i].Err == nil
-		}
-		if out[i].Estimate.Power != out[j].Estimate.Power {
-			return out[i].Estimate.Power < out[j].Estimate.Power
-		}
-		return !out[i].Estimate.Degraded && out[j].Estimate.Degraded
-	})
+// Ranking implements sort.Interface directly: sort.SliceStable's
+// closure forces the slice header to escape on every rank call, which
+// matters on the serving hot path.
+func sortRanking(out Ranking) { sort.Stable(out) }
+
+func (r Ranking) Len() int      { return len(r) }
+func (r Ranking) Swap(i, j int) { r[i], r[j] = r[j], r[i] }
+func (r Ranking) Less(i, j int) bool {
+	if (r[i].Err == nil) != (r[j].Err == nil) {
+		return r[i].Err == nil
+	}
+	if r[i].Estimate.Power != r[j].Estimate.Power {
+		return r[i].Estimate.Power < r[j].Estimate.Power
+	}
+	return !r[i].Estimate.Degraded && r[j].Estimate.Degraded
 }
 
 // safeEstimate contains estimator panics: whatever escapes the

@@ -288,17 +288,24 @@ func (n *Netlist) Fanouts() [][]int {
 
 // Loads returns the capacitive load driven by each signal: one InputCap
 // per fanout pin, the statistical wire load, and OutputLoad for primary
-// outputs.
+// outputs. Only pin counts matter here, so the counts are accumulated
+// in place instead of materializing the Fanouts reader lists.
 func (n *Netlist) Loads() []float64 {
 	loads := make([]float64, len(n.Gates))
-	fo := n.Fanouts()
+	for _, g := range n.Gates {
+		for _, f := range g.Fanin {
+			loads[f]++ // exact integer counts; converted to loads below
+		}
+	}
+	for id := range loads {
+		nf := loads[id]
+		loads[id] = nf*n.InputCap + nf*n.WireCapPerFanout
+	}
 	isOut := make([]bool, len(n.Gates))
 	for _, o := range n.Outputs {
 		isOut[o] = true
 	}
-	for id := range n.Gates {
-		nf := len(fo[id])
-		loads[id] = float64(nf)*n.InputCap + float64(nf)*n.WireCapPerFanout
+	for id := range loads {
 		if isOut[id] {
 			loads[id] += n.OutputLoad
 		}
@@ -324,12 +331,19 @@ func (n *Netlist) TopoOrder() ([]int, error) {
 	if n.err != nil {
 		return nil, n.err
 	}
-	deps := make([][]int, len(n.Gates)) // combinational dependency edges
-	indeg := make([]int, len(n.Gates))
+	nGates := len(n.Gates)
 	isSource := func(id int) bool {
 		k := n.Gates[id].Kind
 		return k == Input || k == Const0 || k == Const1 || k.IsSequential()
 	}
+	// Combinational dependency edges in CSR form: per-signal reader
+	// lists built with a counting pass instead of per-signal appends,
+	// which used to dominate the allocation profile of every prepare
+	// and compile. Edge order matches the old append construction
+	// exactly (readers ascend), so the emitted order is unchanged.
+	indeg := make([]int, nGates)
+	offs := make([]int32, nGates+1)
+	nEdges := 0
 	for id, g := range n.Gates {
 		if isSource(id) {
 			continue
@@ -338,12 +352,30 @@ func (n *Netlist) TopoOrder() ([]int, error) {
 			if isSource(f) {
 				continue
 			}
-			deps[f] = append(deps[f], id)
+			offs[f+1]++
 			indeg[id]++
+			nEdges++
 		}
 	}
-	order := make([]int, 0, len(n.Gates))
-	queue := make([]int, 0, len(n.Gates))
+	for i := 0; i < nGates; i++ {
+		offs[i+1] += offs[i]
+	}
+	edges := make([]int32, nEdges)
+	cursor := append([]int32(nil), offs[:nGates]...)
+	for id, g := range n.Gates {
+		if isSource(id) {
+			continue
+		}
+		for _, f := range g.Fanin {
+			if isSource(f) {
+				continue
+			}
+			edges[cursor[f]] = int32(id)
+			cursor[f]++
+		}
+	}
+	order := make([]int, 0, nGates)
+	queue := make([]int, 0, nGates)
 	// Sources first, then zero-indegree combinational gates.
 	for id := range n.Gates {
 		if isSource(id) {
@@ -356,14 +388,14 @@ func (n *Netlist) TopoOrder() ([]int, error) {
 		id := queue[0]
 		queue = queue[1:]
 		order = append(order, id)
-		for _, s := range deps[id] {
+		for _, s := range edges[offs[id]:offs[id+1]] {
 			indeg[s]--
 			if indeg[s] == 0 {
-				queue = append(queue, s)
+				queue = append(queue, int(s))
 			}
 		}
 	}
-	if len(order) != len(n.Gates) {
+	if len(order) != nGates {
 		return nil, errors.New("logic: combinational cycle detected")
 	}
 	return order, nil

@@ -392,6 +392,10 @@ type Stats struct {
 	// queued/running jobs, completions by outcome, checkpoints written,
 	// checkpoint resumes, watchdog stalls, and shed submissions.
 	Jobs jobs.Counters `json:"jobs"`
+	// Kernel carries the fused-kernel gauges: compiled artifacts, the
+	// fused-op mix and absorbed-dispatch totals, and scratch-pool hit
+	// rate — the observability for the superinstruction tier.
+	Kernel service.KernelStats `json:"kernel"`
 	// Cluster fields, present only when cluster mode is enabled:
 	// Forwarded counts requests answered with a peer owner's response,
 	// Fallbacks counts forward attempts that shed to local compute
@@ -425,6 +429,7 @@ func (s *Server) Snapshot() Stats {
 	st.Batches = s.batches.Load()
 	st.BatchItems = s.batchItems.Load()
 	st.Jobs = s.jobsMgr.Counters()
+	st.Kernel = s.svc.KernelStats()
 	if s.cluster != nil {
 		cs := s.cluster.Stats()
 		st.Cluster = &cs

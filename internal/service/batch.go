@@ -299,18 +299,21 @@ func (l *Local) NewGroupRunner(g BatchGroup) (*GroupRunner, error) {
 	var err error
 	switch g.Op {
 	case OpSimulate:
-		if r.mod, err = ModuleFor(g.Circuit, g.Width); err != nil {
-			return nil, err
+		// The shared artifact cache makes group compilation a map hit on
+		// hot netlists: the compiled (fused) program and its scratch pool
+		// persist across batches and are shared with the single-request
+		// and rank paths.
+		art, aerr := l.artifactFor(g.Circuit, g.Width)
+		if aerr != nil {
+			return nil, aerr
 		}
-		// The same electrical options Local.Simulate passes to
-		// sim.RunParallel, fixed at compile time for the whole group.
-		if r.comp, err = sim.Compile(r.mod.Net, sim.Options{Vdd: 1, Freq: 1}); err != nil {
-			return nil, err
-		}
+		r.mod, r.comp = art.mod, art.comp
 	case OpPredict:
-		if r.mod, err = ModuleFor(g.Circuit, g.Width); err != nil {
-			return nil, err
+		art, aerr := l.artifactFor(g.Circuit, g.Width)
+		if aerr != nil {
+			return nil, aerr
 		}
+		r.mod = art.mod
 	case OpBDD:
 		if r.tt, err = TruthTable(g.Function, g.Vars); err != nil {
 			return nil, err

@@ -19,6 +19,7 @@ package service
 import (
 	"context"
 	"errors"
+	"sync"
 
 	"hlpower/internal/bdd"
 	"hlpower/internal/bitutil"
@@ -197,6 +198,104 @@ type Local struct {
 	// ok=false falls back to local evaluation; errors are the remote
 	// layer's to absorb, never to surface here.
 	RemoteCand func(ctx context.Context, name string, req RankRequest) (CandEstimate, bool)
+
+	// artifacts caches compiled simulation artifacts per (circuit,
+	// width): the RT-library module plus its sim.Compiled (levelized +
+	// fused program, pooled kernel scratch). The domain is bounded by
+	// construction — ModuleFor admits 5 circuit names and widths in
+	// [2,MaxWidth] — so the cache never needs eviction.
+	artMu     sync.RWMutex
+	artifacts map[artifactKey]*artifact
+}
+
+// artifactKey identifies one compiled serving artifact.
+type artifactKey struct {
+	circuit string
+	width   int
+}
+
+// artifact is the per-(circuit,width) hot-path state every estimation
+// reuses: construction, levelization, fusion, and scratch pooling are
+// paid once per netlist shape, not once per request.
+type artifact struct {
+	mod  *rtlib.Module
+	comp *sim.Compiled
+}
+
+// artifactFor returns the compiled artifact for a circuit, building and
+// caching it on first use. Double-checked under an RWMutex: the hot
+// path is one shared-lock map hit; concurrent first requests may both
+// build, with one build winning and the other discarded.
+func (l *Local) artifactFor(circuit string, width int) (*artifact, error) {
+	key := artifactKey{circuit, width}
+	l.artMu.RLock()
+	a := l.artifacts[key]
+	l.artMu.RUnlock()
+	if a != nil {
+		return a, nil
+	}
+	mod, err := ModuleFor(circuit, width)
+	if err != nil {
+		return nil, err
+	}
+	comp, err := sim.Compile(mod.Net, sim.Options{Vdd: 1, Freq: 1})
+	if err != nil {
+		return nil, err
+	}
+	a = &artifact{mod: mod, comp: comp}
+	l.artMu.Lock()
+	defer l.artMu.Unlock()
+	if prev := l.artifacts[key]; prev != nil {
+		return prev, nil
+	}
+	if l.artifacts == nil {
+		l.artifacts = make(map[artifactKey]*artifact)
+	}
+	l.artifacts[key] = a
+	return a, nil
+}
+
+// KernelStats aggregates the fused-kernel and scratch-pool gauges over
+// every compiled artifact this service has built. The serving layer
+// surfaces it under /v1/stats.
+type KernelStats struct {
+	// Artifacts is the number of (circuit,width) shapes compiled so far.
+	Artifacts int `json:"artifacts"`
+	// FusedGroups and FusedAbsorbed sum, over artifacts, the fused
+	// dispatch count per settle and the instructions fusion absorbed.
+	FusedGroups   int `json:"fused_groups"`
+	FusedAbsorbed int `json:"fused_absorbed"`
+	// FusedMix is the summed fused-opcode mix across artifacts.
+	FusedMix map[string]int64 `json:"fused_mix,omitempty"`
+	// ScratchGets/ScratchNews count kernel scratch acquisitions and the
+	// ones that had to allocate; HitRate is (gets−news)/gets.
+	ScratchGets    int64   `json:"scratch_gets"`
+	ScratchNews    int64   `json:"scratch_news"`
+	ScratchHitRate float64 `json:"scratch_hit_rate"`
+}
+
+// KernelStats snapshots the fused-kernel observability gauges.
+func (l *Local) KernelStats() KernelStats {
+	l.artMu.RLock()
+	defer l.artMu.RUnlock()
+	st := KernelStats{Artifacts: len(l.artifacts)}
+	for _, a := range l.artifacts {
+		st.FusedGroups += a.comp.FusedGroups()
+		st.FusedAbsorbed += a.comp.FusedAbsorbed()
+		for op, c := range a.comp.FusedMix() {
+			if st.FusedMix == nil {
+				st.FusedMix = make(map[string]int64)
+			}
+			st.FusedMix[op] += c
+		}
+		gets, news := a.comp.ScratchStats()
+		st.ScratchGets += gets
+		st.ScratchNews += news
+	}
+	if st.ScratchGets > 0 {
+		st.ScratchHitRate = float64(st.ScratchGets-st.ScratchNews) / float64(st.ScratchGets)
+	}
+	return st
 }
 
 // Enforce the interface.
@@ -289,9 +388,15 @@ func TruthTable(function string, n int) ([]bool, error) {
 	return tt, nil
 }
 
-// Simulate runs the gate-level Monte Carlo estimate under b.
+// Simulate runs the gate-level Monte Carlo estimate under b. Requests
+// execute over the cached compiled artifact — fused kernel, pooled
+// scratch, pre-packed input words, lean accumulation — so steady-state
+// serving of a hot netlist does no per-request setup. The power figure
+// is bit-identical to the former RunParallel path; the response is lean
+// (no per-cycle outputs or group attribution), which the wire type
+// never exposed anyway.
 func (l *Local) Simulate(_ context.Context, b *budget.Budget, req SimulateRequest) (*sim.Result, error) {
-	mod, err := ModuleFor(req.Circuit, req.Width)
+	art, err := l.artifactFor(req.Circuit, req.Width)
 	if err != nil {
 		return nil, err
 	}
@@ -299,10 +404,12 @@ func (l *Local) Simulate(_ context.Context, b *budget.Budget, req SimulateReques
 		return nil, err
 	}
 	as, bs := OperandStreams(req.Cycles, req.Width, req.Seed)
+	mod := art.mod
 	prov := func(c int) []bool { return mod.InputVector(as[c], bs[c]) }
-	return sim.RunParallel(b, mod.Net, prov, req.Cycles, sim.ParallelOptions{
-		Options: sim.Options{Vdd: 1, Freq: 1},
+	return art.comp.Run(b, prov, req.Cycles, sim.RunOptions{
 		Workers: req.Workers,
+		Words:   func(c int) uint64 { return mod.InputWord(as[c], bs[c]) },
+		Lean:    true,
 	})
 }
 
@@ -314,17 +421,28 @@ func (l *Local) EvalCand(b *budget.Budget, name string, req RankRequest) (power 
 		return 0, false, err
 	}
 	as, bs := OperandStreams(req.Cycles, req.Width, req.Seed)
-	return evalCandStreams(b, name, req.Width, as, bs)
+	return l.evalCandStreams(b, name, req.Width, as, bs)
 }
 
 // evalCandStreams is EvalCand with the operand streams precomputed, so
 // Rank derives them once per request rather than once per candidate.
-func evalCandStreams(b *budget.Budget, name string, width int, as, bs []uint64) (float64, bool, error) {
-	mod, err := ModuleFor(name, width)
+// Candidates run over the cached compiled artifact with Workers: 1,
+// which forces the single-shard path — the caller's budget is charged
+// directly, exactly as the former one-shot RunPackedBudget call did —
+// while the fused kernel and pooled scratch keep the evaluation free of
+// per-candidate setup allocations.
+func (l *Local) evalCandStreams(b *budget.Budget, name string, width int, as, bs []uint64) (float64, bool, error) {
+	art, err := l.artifactFor(name, width)
 	if err != nil {
 		return 0, false, err
 	}
-	res, err := mod.SimulateStreamBudget(b, as, bs, sim.ZeroDelay)
+	mod := art.mod
+	prov := func(c int) []bool { return mod.InputVector(as[c], bs[c]) }
+	res, err := art.comp.Run(b, prov, len(as), sim.RunOptions{
+		Workers: 1,
+		Words:   func(c int) uint64 { return mod.InputWord(as[c], bs[c]) },
+		Lean:    true,
+	})
 	if err != nil {
 		return 0, false, err
 	}
@@ -354,7 +472,7 @@ func (l *Local) Rank(ctx context.Context, b *budget.Budget, req RankRequest) (Ra
 							return est.Power, est.Degraded, nil
 						}
 					}
-					return evalCandStreams(cb, name, req.Width, as, bs)
+					return l.evalCandStreams(cb, name, req.Width, as, bs)
 				},
 			},
 		}
@@ -424,11 +542,11 @@ func (l *Local) BDD(_ context.Context, b *budget.Budget, req BDDRequest, tt []bo
 // model types for one circuit performs one evaluation simulation, not
 // four.
 func (l *Local) Predict(_ context.Context, b *budget.Budget, req PredictRequest) (PredictResponse, error) {
-	mod, err := ModuleFor(req.Circuit, req.Width)
+	art, err := l.artifactFor(req.Circuit, req.Width)
 	if err != nil {
 		return PredictResponse{}, err
 	}
-	return l.predictWith(b, mod, req)
+	return l.predictWith(b, art.mod, req)
 }
 
 // predictWith is Predict with the module already built, so a batch

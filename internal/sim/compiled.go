@@ -13,6 +13,7 @@ package sim
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"hlpower/internal/budget"
 	"hlpower/internal/hlerr"
@@ -23,18 +24,25 @@ import (
 // Compiled is a netlist prepared once for repeated simulation runs
 // under fixed electrical options: the shared environment tables plus —
 // for combinational netlists under the zero-delay model — the levelized
-// struct-of-arrays program the 64-lane packed kernel executes. Safe for
-// concurrent use: the tables and program are read-only after Compile,
-// and the mutable kernel scratch is pooled per run.
+// struct-of-arrays program the 64-lane packed kernel executes, and its
+// fused-superinstruction form (logic.Fuse) that runs get by default.
+// Safe for concurrent use: the tables and programs are read-only after
+// Compile, and the mutable kernel scratch is pooled per run.
 type Compiled struct {
-	e    *env
-	prog *logic.Program // nil: scalar-only (sequential or event-driven)
+	e     *env
+	prog  *logic.Program      // nil: scalar-only (sequential or event-driven)
+	fused *logic.FusedProgram // fused form of prog (nil when prog is nil)
 
-	// scratch pools the packed kernel's word planes (one words + one
-	// carry lane block per concurrent shard) so a batch of thousands of
-	// runs over one netlist allocates the planes a handful of times, not
-	// once per run.
+	// scratch pools the packed kernel's per-shard mutable state — word
+	// planes plus the shard's numeric accumulators — so steady-state
+	// runs over a hot netlist allocate nothing in the kernel. Scratch
+	// is returned only after merge has copied the accumulators out.
 	scratch sync.Pool
+
+	// Pool observability: Gets counts scratch acquisitions, News counts
+	// the ones the pool had to allocate; Gets-News is the hit count.
+	scratchGets atomic.Int64
+	scratchNews atomic.Int64
 }
 
 // Compile prepares a netlist for repeated runs under opts. Sequential
@@ -60,10 +68,20 @@ func compileNet(n *logic.Netlist, opts Options, wantProg bool) (*Compiled, error
 		if c.prog, err = logic.Compile(n); err != nil {
 			return nil, err
 		}
+		c.fused = logic.Fuse(c.prog)
 	}
 	nGates := len(n.Gates)
-	c.scratch.New = func() any { return newPackedScratch(nGates) }
+	c.scratch.New = func() any {
+		c.scratchNews.Add(1)
+		return newPackedScratch(nGates)
+	}
 	return c, nil
+}
+
+// getScratch acquires pooled kernel scratch, counting the acquisition.
+func (c *Compiled) getScratch() *packedScratch {
+	c.scratchGets.Add(1)
+	return c.scratch.Get().(*packedScratch)
 }
 
 // NumGates returns the gate count of the compiled netlist.
@@ -72,6 +90,39 @@ func (c *Compiled) NumGates() int { return len(c.e.n.Gates) }
 // Packed reports whether runs may execute on the 64-lane bit-packed
 // kernel (combinational netlist, zero-delay model).
 func (c *Compiled) Packed() bool { return c.prog != nil }
+
+// FusedMix returns the fused program's opcode mix — instruction count
+// per fused-op name — or nil for scalar-only artifacts.
+func (c *Compiled) FusedMix() map[string]int64 {
+	if c.fused == nil {
+		return nil
+	}
+	return c.fused.Mix()
+}
+
+// FusedGroups returns the fused instruction count (dispatches per
+// settle), 0 for scalar-only artifacts.
+func (c *Compiled) FusedGroups() int {
+	if c.fused == nil {
+		return 0
+	}
+	return c.fused.NumGroups()
+}
+
+// FusedAbsorbed returns how many source instructions fusion absorbed
+// into superinstructions, 0 for scalar-only artifacts.
+func (c *Compiled) FusedAbsorbed() int {
+	if c.fused == nil {
+		return 0
+	}
+	return c.fused.Absorbed()
+}
+
+// ScratchStats reports pool traffic: total scratch acquisitions and how
+// many of them allocated (gets − news is the pool hit count).
+func (c *Compiled) ScratchStats() (gets, news int64) {
+	return c.scratchGets.Load(), c.scratchNews.Load()
+}
 
 // WordInputs supplies a cycle's input vector pre-packed into one word:
 // bit i holds the value of netlist input i. For callers whose operands
@@ -118,18 +169,26 @@ func (c *Compiled) Run(b *budget.Budget, inputs InputProvider, cycles int, opts 
 	}
 	e := c.e
 	prog := c.prog
+	fused := c.fused
 	if opts.Scalar {
-		prog = nil
+		prog, fused = nil, nil
 	}
 	words := opts.Words
 	if len(e.n.Inputs) > 64 {
 		words = nil
 	}
-	run := func(wb *budget.Budget, lo, hi int) (*shard, error) {
+	// Shard accumulators live on pooled scratch, which merge reads;
+	// every acquired scratch is therefore returned only at function
+	// exit, after merge has copied the values into the Result.
+	var scratches []*packedScratch
+	defer func() {
+		for _, sc := range scratches {
+			c.scratch.Put(sc)
+		}
+	}()
+	run := func(wb *budget.Budget, lo, hi int, sc *packedScratch) (*shard, error) {
 		if prog != nil {
-			sc := c.scratch.Get().(*packedScratch)
-			defer c.scratch.Put(sc)
-			return runShardPackedOpt(wb, e, prog, inputs, words, opts.Lean, lo, hi, sc)
+			return runShardPackedOpt(wb, e, prog, fused, inputs, words, opts.Lean, lo, hi, sc)
 		}
 		return runShard(wb, e, inputs, lo, hi)
 	}
@@ -143,7 +202,12 @@ func (c *Compiled) Run(b *budget.Budget, inputs InputProvider, cycles int, opts 
 		parts = workers
 	}
 	if e.sequential || parts < 2 {
-		sh, err := run(b, 0, cycles)
+		var sc *packedScratch
+		if prog != nil {
+			sc = c.getScratch()
+			scratches = append(scratches, sc)
+		}
+		sh, err := run(b, 0, cycles, sc)
 		if err != nil {
 			return nil, err
 		}
@@ -159,8 +223,20 @@ func (c *Compiled) Run(b *budget.Budget, inputs InputProvider, cycles int, opts 
 		return res, nil
 	}
 	spans := par.Shards(cycles, parts)
+	if prog != nil {
+		// Pre-acquire one scratch per shard: workers must never share
+		// scratch, and acquisition inside the worker would race the pool.
+		scratches = make([]*packedScratch, len(spans))
+		for i := range scratches {
+			scratches[i] = c.getScratch()
+		}
+	}
 	shards, err := par.Map(b, workers, len(spans), func(i int, wb *budget.Budget) (*shard, error) {
-		return run(wb, spans[i].Lo, spans[i].Hi)
+		var sc *packedScratch
+		if scratches != nil {
+			sc = scratches[i]
+		}
+		return run(wb, spans[i].Lo, spans[i].Hi, sc)
 	})
 	if err != nil {
 		return nil, err
@@ -172,14 +248,23 @@ func (c *Compiled) Run(b *budget.Budget, inputs InputProvider, cycles int, opts 
 	return res, nil
 }
 
-// packedScratch is the packed kernel's per-shard mutable state: one
-// 64-lane word plane of current values, one of cross-word carry bits,
-// and a one-block buffer of cycle input words for the WordInputs
-// gather. All fully rewritten by every run (so pooling them is safe).
+// packedScratch is the packed kernel's per-shard mutable state: the
+// 64-lane word and carry planes, the one-block cycle-word buffer for
+// the WordInputs gather, and the shard's numeric accumulators (toggle
+// counts, per-cycle capacitance, flat group rows). Planes are fully
+// rewritten before they are read; accumulators are zeroed on
+// acquisition — so recycled scratch cannot leak state between runs.
+// Buffers grow to the largest request seen and are resliced per run:
+// the word plane in particular must be exactly nGates long, because the
+// toggle-extraction loop ranges over it.
 type packedScratch struct {
-	words []uint64
-	carry []uint64
-	cyc   [64]uint64
+	words    []uint64
+	carry    []uint64
+	cyc      [64]uint64
+	toggles  []int64
+	capByCyc []float64
+	grpFlat  []float64
+	grpRows  [][]float64
 }
 
 func newPackedScratch(nGates int) *packedScratch {
@@ -187,4 +272,54 @@ func newPackedScratch(nGates int) *packedScratch {
 		words: make([]uint64, nGates),
 		carry: make([]uint64, nGates),
 	}
+}
+
+// planes returns the word and carry planes sized exactly to nGates.
+func (sc *packedScratch) planes(nGates int) (words, carry []uint64) {
+	if cap(sc.words) < nGates {
+		sc.words = make([]uint64, nGates)
+	}
+	if cap(sc.carry) < nGates {
+		sc.carry = make([]uint64, nGates)
+	}
+	sc.words, sc.carry = sc.words[:nGates], sc.carry[:nGates]
+	return sc.words, sc.carry
+}
+
+// togglesFor returns the zeroed per-net toggle accumulator.
+func (sc *packedScratch) togglesFor(nGates int) []int64 {
+	if cap(sc.toggles) < nGates {
+		sc.toggles = make([]int64, nGates)
+	}
+	sc.toggles = sc.toggles[:nGates]
+	clear(sc.toggles)
+	return sc.toggles
+}
+
+// capFor returns the zeroed per-cycle capacitance accumulator.
+func (sc *packedScratch) capFor(cycles int) []float64 {
+	if cap(sc.capByCyc) < cycles {
+		sc.capByCyc = make([]float64, cycles)
+	}
+	sc.capByCyc = sc.capByCyc[:cycles]
+	clear(sc.capByCyc)
+	return sc.capByCyc
+}
+
+// grpFor returns the zeroed flat per-cycle-per-group accumulator and
+// its per-cycle row views.
+func (sc *packedScratch) grpFor(cycles, ng int) ([]float64, [][]float64) {
+	if cap(sc.grpFlat) < cycles*ng {
+		sc.grpFlat = make([]float64, cycles*ng)
+	}
+	sc.grpFlat = sc.grpFlat[:cycles*ng]
+	clear(sc.grpFlat)
+	if cap(sc.grpRows) < cycles {
+		sc.grpRows = make([][]float64, cycles)
+	}
+	sc.grpRows = sc.grpRows[:cycles]
+	for i := range sc.grpRows {
+		sc.grpRows[i] = sc.grpFlat[i*ng : (i+1)*ng]
+	}
+	return sc.grpFlat, sc.grpRows
 }

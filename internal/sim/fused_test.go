@@ -1,0 +1,285 @@
+package sim
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"hlpower/internal/budget"
+	"hlpower/internal/logic"
+)
+
+// buildMul constructs a w×w array multiplier from primitive gates —
+// the serving workload's gate mix (AND partial products, XOR/AND-OR
+// full-adder cells) without importing rtlib, which would cycle back
+// into sim. Returns the netlist and the input ids of a then b.
+func buildMul(w int) (*logic.Netlist, []int) {
+	n := logic.New()
+	ins := make([]int, 0, 2*w)
+	a := make([]int, w)
+	b := make([]int, w)
+	for i := range a {
+		a[i] = n.AddInput("a")
+		ins = append(ins, a[i])
+	}
+	for i := range b {
+		b[i] = n.AddInput("b")
+		ins = append(ins, b[i])
+	}
+	fullAdd := func(x, y, cin int) (sum, cout int) {
+		axy := n.Add(logic.Xor, x, y)
+		sum = n.Add(logic.Xor, axy, cin)
+		cout = n.Add(logic.Or, n.Add(logic.And, x, y), n.Add(logic.And, axy, cin))
+		return
+	}
+	zero := n.Add(logic.Const0)
+	// acc holds the running sum of shifted partial-product rows.
+	acc := make([]int, 2*w)
+	for j := range acc {
+		acc[j] = zero
+	}
+	for j := 0; j < w; j++ {
+		acc[j] = n.Add(logic.And, a[0], b[j])
+	}
+	for i := 1; i < w; i++ {
+		carry := zero
+		for j := 0; j < w; j++ {
+			pp := n.Add(logic.And, a[i], b[j])
+			acc[i+j], carry = fullAdd(acc[i+j], pp, carry)
+		}
+		acc[i+w] = carry
+	}
+	for _, o := range acc {
+		n.MarkOutput(o)
+	}
+	return n, ins
+}
+
+// mulWorkload pairs the multiplier with a seeded operand stream in both
+// provider and packed-word form (bit i of the word is input i).
+func mulWorkload(w, cycles int, seed int64) (*logic.Netlist, InputProvider, WordInputs) {
+	n, ins := buildMul(w)
+	rng := rand.New(rand.NewSource(seed))
+	words := make([]uint64, cycles)
+	for c := range words {
+		words[c] = rng.Uint64() & (uint64(1)<<uint(len(ins)) - 1)
+	}
+	vectors := make([][]bool, cycles)
+	for c := range vectors {
+		v := make([]bool, len(ins))
+		for i := range v {
+			v[i] = words[c]>>uint(i)&1 == 1
+		}
+		vectors[c] = v
+	}
+	return n, VectorInputs(vectors), func(c int) uint64 { return words[c] }
+}
+
+// TestFusedBitIdentity is the fused tier's core property: across random
+// netlists and cycle counts straddling word boundaries, a Compiled run
+// (which executes the logic.Fuse form) is bit-identical in every result
+// field to the serial engine and to the unfused one-shot packed kernel.
+func TestFusedBitIdentity(t *testing.T) {
+	cycleCounts := []int{1, 2, 63, 64, 65, 127, 128, 130, 333}
+	sawFusion := false
+	for trial := 0; trial < 8; trial++ {
+		rng := rand.New(rand.NewSource(int64(4000 + trial)))
+		n := randComb(rng, 3+rng.Intn(6), 5+rng.Intn(40))
+		c, err := Compile(n, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.FusedAbsorbed() > 0 {
+			sawFusion = true
+		}
+		for _, cycles := range cycleCounts {
+			inputs := randVectors(rng, cycles, len(n.Inputs))
+			serial, err := Run(n, inputs, cycles, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			unfused, err := RunPacked(n, inputs, cycles, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			fused, err := c.Run(nil, inputs, cycles, RunOptions{Workers: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fused.Kernel != KernelPacked {
+				t.Fatalf("trial %d cycles %d: Kernel=%q, want packed", trial, cycles, fused.Kernel)
+			}
+			sameResult(t, serial, fused, "fused-vs-serial")
+			sameResult(t, unfused, fused, "fused-vs-unfused")
+		}
+	}
+	if !sawFusion {
+		t.Fatal("no trial produced any fused superinstruction; generator too narrow")
+	}
+}
+
+// TestFusedMultiplierWorkload pins the serving workload: the array
+// multiplier's carry cells must actually fuse (AO22-dominated mix), and
+// the fused lean+words run — the exact shape powerd serves — must agree
+// with the unfused kernel to the bit on the power figure.
+func TestFusedMultiplierWorkload(t *testing.T) {
+	const w, cycles = 8, 1000
+	n, inputs, words := mulWorkload(w, cycles, 77)
+	c, err := Compile(n, Options{Vdd: 1, Freq: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.FusedAbsorbed() == 0 {
+		t.Fatal("multiplier fused nothing")
+	}
+	mix := c.FusedMix()
+	if mix["ao22"] == 0 {
+		t.Fatalf("mix = %v, want ao22 carry cells", mix)
+	}
+	unfused, err := RunPacked(n, inputs, cycles, Options{Vdd: 1, Freq: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fused, err := c.Run(nil, inputs, cycles, RunOptions{Workers: 1, Words: words, Lean: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(unfused.Power()) != math.Float64bits(fused.Power()) {
+		t.Fatalf("Power differs: unfused %v fused %v", unfused.Power(), fused.Power())
+	}
+	if math.Float64bits(unfused.SwitchedCap) != math.Float64bits(fused.SwitchedCap) {
+		t.Fatalf("SwitchedCap differs")
+	}
+	gets, news := c.ScratchStats()
+	if gets == 0 || news > gets {
+		t.Fatalf("scratch stats gets=%d news=%d", gets, news)
+	}
+}
+
+// TestFusedBudgetBoundary: budget charging ignores fusion (steps count
+// source-program gates), so exhaustion trips at exactly the same point
+// fused and unfused — including the boundary where the allowance covers
+// the run precisely.
+func TestFusedBudgetBoundary(t *testing.T) {
+	const w, cycles = 4, 500
+	n, inputs, _ := mulWorkload(w, cycles, 9)
+	c, err := Compile(n, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := budget.New(budget.WithMaxSteps(1 << 40))
+	if _, err := RunPackedBudget(ref, n, inputs, cycles, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	need := ref.StepsUsed()
+
+	exact := budget.New(budget.WithMaxSteps(need), budget.WithCheckInterval(1))
+	if _, err := c.Run(exact, inputs, cycles, RunOptions{Workers: 1}); err != nil {
+		t.Fatalf("exact budget failed: %v", err)
+	}
+	if exact.StepsUsed() != need {
+		t.Fatalf("fused charged %d steps, unfused %d", exact.StepsUsed(), need)
+	}
+
+	short := budget.New(budget.WithMaxSteps(need-1), budget.WithCheckInterval(1))
+	if _, err := c.Run(short, inputs, cycles, RunOptions{Workers: 1}); !errors.Is(err, budget.ErrExceeded) {
+		t.Fatalf("err = %v, want budget.ErrExceeded", err)
+	}
+	shortU := budget.New(budget.WithMaxSteps(need-1), budget.WithCheckInterval(1))
+	if _, err := RunPackedBudget(shortU, n, inputs, cycles, Options{}); !errors.Is(err, budget.ErrExceeded) {
+		t.Fatalf("unfused err = %v, want budget.ErrExceeded", err)
+	}
+}
+
+// TestFusedScratchReuseNoAliasing: results must never alias pooled
+// scratch — a Result obtained from one run has to stay byte-stable
+// while later runs recycle the pool, including the one-shot pool.
+func TestFusedScratchReuseNoAliasing(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	n := randComb(rng, 5, 30)
+	c, err := Compile(n, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := c.Run(nil, randVectors(rng, 200, 5), 200, RunOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := first.Clone()
+	for i := 0; i < 5; i++ {
+		if _, err := c.Run(nil, randVectors(rng, 200, 5), 200, RunOptions{Workers: 1}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := RunPacked(n, randVectors(rng, 200, 5), 200, Options{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sameResult(t, snap, first, "result-aliasing")
+	for c := range snap.Outputs {
+		for i := range snap.Outputs[c] {
+			if snap.Outputs[c][i] != first.Outputs[c][i] {
+				t.Fatalf("Outputs[%d][%d] mutated by later pooled runs", c, i)
+			}
+		}
+	}
+}
+
+// FuzzFusedEquivalence drives the fused/unfused bit-identity property
+// from fuzzed corners: arbitrary netlist shapes, cycle counts around
+// word boundaries, and budget allowances that may exhaust mid-run — in
+// which case both tiers must fail identically.
+func FuzzFusedEquivalence(f *testing.F) {
+	f.Add(int64(1), uint8(5), uint8(20), uint16(65), uint32(0))
+	f.Add(int64(2), uint8(1), uint8(1), uint16(1), uint32(0))
+	f.Add(int64(3), uint8(8), uint8(60), uint16(257), uint32(0))
+	f.Add(int64(42), uint8(4), uint8(30), uint16(128), uint32(500))
+	f.Fuzz(func(t *testing.T, seed int64, nIn, nGates uint8, cyc uint16, maxSteps uint32) {
+		nInputs := 1 + int(nIn)%8
+		gates := 1 + int(nGates)%48
+		cycles := 1 + int(cyc)%300
+		rng := rand.New(rand.NewSource(seed))
+		n := randComb(rng, nInputs, gates)
+		inputs := randVectors(rng, cycles, nInputs)
+		c, err := Compile(n, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var bu, bf *budget.Budget
+		if maxSteps > 0 {
+			bu = budget.New(budget.WithMaxSteps(int64(maxSteps)), budget.WithCheckInterval(1))
+			bf = budget.New(budget.WithMaxSteps(int64(maxSteps)), budget.WithCheckInterval(1))
+		}
+		unfused, errU := RunPackedBudget(bu, n, inputs, cycles, Options{})
+		fused, errF := c.Run(bf, inputs, cycles, RunOptions{Workers: 1})
+		if (errU == nil) != (errF == nil) {
+			t.Fatalf("error divergence: unfused=%v fused=%v", errU, errF)
+		}
+		if errU != nil {
+			if !errors.Is(errU, budget.ErrExceeded) || !errors.Is(errF, budget.ErrExceeded) {
+				t.Fatalf("unexpected errors: %v / %v", errU, errF)
+			}
+			return
+		}
+		sameResult(t, unfused, fused, "fuzz-fused")
+	})
+}
+
+// BenchmarkPackedKernelWorkload is the profile target (`make profile`):
+// the serving-shaped fused run — hot multiplier, pre-packed words, lean
+// — over the pooled compiled artifact.
+func BenchmarkPackedKernelWorkload(b *testing.B) {
+	const w, cycles = 8, 4096
+	n, inputs, words := mulWorkload(w, cycles, 123)
+	c, err := Compile(n, Options{Vdd: 1, Freq: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Run(nil, inputs, cycles, RunOptions{Workers: 1, Words: words, Lean: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -15,6 +15,7 @@ package sim
 
 import (
 	"math/bits"
+	"sync"
 
 	"hlpower/internal/budget"
 	"hlpower/internal/hlerr"
@@ -75,14 +76,26 @@ func RunPackedBudget(b *budget.Budget, n *logic.Netlist, inputs InputProvider, c
 	if err != nil {
 		return nil, err
 	}
-	sh, err := runShardPacked(b, e, prog, inputs, 0, cycles, nil)
+	// One-shot runs borrow scratch from a package pool shared across
+	// netlists (planes grow to the largest gate count seen). The pool is
+	// returned only after merge has copied every accumulator value out
+	// of the shard, so recycled memory can never alias a live Result.
+	sc := oneShotScratch.Get().(*packedScratch)
+	sh, err := runShardPacked(b, e, prog, inputs, 0, cycles, sc)
 	if err != nil {
+		oneShotScratch.Put(sc)
 		return nil, err
 	}
 	res = merge(e, cycles, []*shard{sh})
+	oneShotScratch.Put(sc)
 	res.Kernel = KernelPacked
 	return res, nil
 }
+
+// oneShotScratch pools packed-kernel scratch for the one-shot entry
+// points (RunPacked/RunPackedBudget), which have no Compiled artifact to
+// hang a per-netlist pool off. Scratch is sized lazily per run.
+var oneShotScratch = sync.Pool{New: func() any { return &packedScratch{} }}
 
 // execPacked runs the compiled instruction stream over the packed value
 // words: words[id] holds 64 cycles of net id, one cycle per bit. Lanes
@@ -147,37 +160,60 @@ func execPacked(p *logic.Program, words []uint64) {
 // planes (every entry is rewritten before it is read, so recycled
 // planes cannot leak state between runs); nil allocates fresh ones.
 func runShardPacked(b *budget.Budget, e *env, prog *logic.Program, inputs InputProvider, lo, hi int, sc *packedScratch) (*shard, error) {
-	return runShardPackedOpt(b, e, prog, inputs, nil, false, lo, hi, sc)
+	return runShardPackedOpt(b, e, prog, nil, inputs, nil, false, lo, hi, sc)
 }
 
 // runShardPackedOpt is runShardPacked with the batch pipeline's two
-// accelerators: words (optional) feeds input cycles as pre-packed words
-// — same bits as the provider, no per-cycle []bool — and lean skips the
-// per-cycle outputs, group attribution, and final-value materialization
-// that dominate per-run allocations when the caller only wants a power
-// figure. Neither knob touches the toggle or capacitance accumulation
-// paths, so the numbers that survive into the Result are bit-identical
-// to a full run.
-func runShardPackedOpt(b *budget.Budget, e *env, prog *logic.Program, inputs InputProvider, words64 WordInputs, lean bool, lo, hi int, sc *packedScratch) (sh *shard, err error) {
+// accelerators — words (optional) feeds input cycles as pre-packed words
+// and lean skips the per-cycle outputs, group attribution, and
+// final-value materialization — plus the fused-superinstruction tier:
+// when fused is non-nil, the fused form of prog executes with one
+// dispatch per fused group. Neither knob nor the fused tier touches the
+// toggle or capacitance accumulation paths (fusion still writes every
+// net's word), so the numbers that survive into the Result are
+// bit-identical to a full unfused run. Budget charging also ignores
+// fusion — steps count source-program gates — so exhaustion boundaries
+// are identical. The shard's numeric accumulators (toggles, per-cycle
+// cap, group rows) live on the scratch and are only valid until the
+// scratch is recycled; merge must copy them out before the caller Puts
+// sc back in a pool. Output rows and final values escape into the
+// Result, so they are always freshly allocated.
+// transpose64 transposes the 64×64 bit matrix held in a (row k = a[k],
+// bit j of row k = column j) in place, so that afterwards bit j of row
+// i is the old bit i of row j. Classic butterfly: six stages of
+// block swaps between rows 2^s apart, each exchanging the high half-
+// block of one row with the low half-block of its partner.
+func transpose64(a *[64]uint64) {
+	m := uint64(0x00000000FFFFFFFF)
+	for j := 32; j != 0; j >>= 1 {
+		for k := 0; k < 64; k = (k + j + 1) &^ j {
+			t := (a[k]>>uint(j) ^ a[k+j]) & m
+			a[k+j] ^= t
+			a[k] ^= t << uint(j)
+		}
+		m ^= m << uint(j>>1)
+	}
+}
+
+func runShardPackedOpt(b *budget.Budget, e *env, prog *logic.Program, fused *logic.FusedProgram, inputs InputProvider, words64 WordInputs, lean bool, lo, hi int, sc *packedScratch) (sh *shard, err error) {
 	defer hlerr.Recover(&err)
 	n := e.n
 	cycles := hi - lo
 	ng := len(e.groups)
 	nOut := len(n.Outputs)
+	if sc == nil {
+		sc = newPackedScratch(len(n.Gates))
+	}
 	sh = &shard{
 		lo: lo, hi: hi,
-		toggles:  make([]int64, len(n.Gates)),
-		capByCyc: make([]float64, cycles),
+		toggles:  sc.togglesFor(len(n.Gates)),
+		capByCyc: sc.capFor(cycles),
 	}
 	var grpFlat []float64
 	var outFlat []bool
 	if !lean {
-		sh.grpByCyc = make([][]float64, cycles)
+		grpFlat, sh.grpByCyc = sc.grpFor(cycles, ng)
 		sh.outputs = make([][]bool, 0, cycles)
-		grpFlat = make([]float64, cycles*ng)
-		for i := range sh.grpByCyc {
-			sh.grpByCyc[i] = grpFlat[i*ng : (i+1)*ng]
-		}
 		outFlat = make([]bool, cycles*nOut)
 	}
 
@@ -189,10 +225,14 @@ func runShardPackedOpt(b *budget.Budget, e *env, prog *logic.Program, inputs Inp
 		return vec, nil
 	}
 
-	if sc == nil {
-		sc = newPackedScratch(len(n.Gates))
+	words, carry := sc.planes(len(n.Gates))
+	settle := func() {
+		if fused != nil {
+			execFused(fused, words)
+		} else {
+			execPacked(prog, words)
+		}
 	}
-	words, carry := sc.words, sc.carry
 
 	// Baseline: settle the pre-shard vector in lane 0 and seed the
 	// per-net carry bits from it, mirroring the scalar shard's baseline
@@ -221,12 +261,13 @@ func runShardPackedOpt(b *budget.Budget, e *env, prog *logic.Program, inputs Inp
 			words[sig] = w
 		}
 	}
-	execPacked(prog, words)
+	settle()
 	for id, w := range words {
 		carry[id] = w & 1
 	}
 
 	perCycle := int64(len(e.order)) + 1
+	var capBuf [64]float64
 	for w0 := 0; w0 < cycles; w0 += 64 {
 		lanes := cycles - w0
 		if lanes > 64 {
@@ -237,19 +278,33 @@ func runShardPackedOpt(b *budget.Budget, e *env, prog *logic.Program, inputs Inp
 		// Gather: bit j of each input word is that input's value in
 		// cycle lo+w0+j.
 		if words64 != nil {
-			// Word inputs: buffer the block's cycle words, then build
-			// each input plane branchlessly in a register — a strided
-			// bit transpose instead of per-cycle read-modify-writes.
+			// Word inputs: buffer the block's cycle words, then turn
+			// them into input planes. Input i's plane is column i of
+			// the 64×64 bit matrix of cycle words; with enough inputs
+			// a butterfly transpose (log₂64 block-swap stages over the
+			// whole matrix) beats extracting each column bit by bit.
 			cyc := &sc.cyc
 			for j := 0; j < lanes; j++ {
 				cyc[j] = words64(lo + w0 + j)
 			}
-			for i, sig := range n.Inputs {
-				var w uint64
-				for j := 0; j < lanes; j++ {
-					w |= (cyc[j] >> uint(i) & 1) << uint(j)
+			if len(n.Inputs) >= 8 {
+				// Dead tail lanes must transpose to zero bits, exactly
+				// as the per-column loop leaves them.
+				for j := lanes; j < 64; j++ {
+					cyc[j] = 0
 				}
-				words[sig] = w
+				transpose64(cyc)
+				for i, sig := range n.Inputs {
+					words[sig] = cyc[i]
+				}
+			} else {
+				for i, sig := range n.Inputs {
+					var w uint64
+					for j := 0; j < lanes; j++ {
+						w |= (cyc[j] >> uint(i) & 1) << uint(j)
+					}
+					words[sig] = w
+				}
 			}
 		} else {
 			for _, sig := range n.Inputs {
@@ -269,7 +324,7 @@ func runShardPackedOpt(b *budget.Budget, e *env, prog *logic.Program, inputs Inp
 			}
 		}
 
-		execPacked(prog, words)
+		settle()
 
 		mask := ^uint64(0)
 		if lanes < 64 {
@@ -282,32 +337,45 @@ func runShardPackedOpt(b *budget.Budget, e *env, prog *logic.Program, inputs Inp
 		// float accumulations below land in exactly the order the
 		// scalar engine's record() applies them — that ordering is what
 		// makes the packed sums bit-identical, not just close.
-		capByCyc := sh.capByCyc[w0:]
+		//
+		// A cycle's accumulator is only ever touched by its own word
+		// block, so the scatter lands in a block-local [64]float64 —
+		// masked array indexing the compiler need not bounds-check, the
+		// hottest loop in the kernel — and is copied (not added) into
+		// the shard slice afterwards: same adds, same order, same bits.
+		// The toggle/carry/load lookups are resliced to the word-plane
+		// length up front so the id-indexed accesses drop their bounds
+		// checks too.
+		capBuf = [64]float64{}
+		tog := sh.toggles[:len(words)]
+		cb := carry[:len(words)]
+		loads := e.loads[:len(words)]
 		for id := range words {
 			cur := words[id]
-			t := (cur ^ (cur<<1 | carry[id])) & mask
-			carry[id] = cur >> 63
+			t := (cur ^ (cur<<1 | cb[id])) & mask
+			cb[id] = cur >> 63
 			if t == 0 {
 				continue
 			}
-			sh.toggles[id] += int64(bits.OnesCount64(t))
-			load := e.loads[id]
+			tog[id] += int64(bits.OnesCount64(t))
+			load := loads[id]
 			if load == 0 {
 				continue // adding ±0.0 never changes a nonnegative sum's bits
 			}
 			if lean {
 				for ; t != 0; t &= t - 1 {
-					capByCyc[bits.TrailingZeros64(t)] += load
+					capBuf[bits.TrailingZeros64(t)&63] += load
 				}
 				continue
 			}
 			gi := e.groupOf[id]
 			for ; t != 0; t &= t - 1 {
-				j := bits.TrailingZeros64(t)
-				capByCyc[j] += load
+				j := bits.TrailingZeros64(t) & 63
+				capBuf[j] += load
 				grpFlat[(w0+j)*ng+gi] += load
 			}
 		}
+		copy(sh.capByCyc[w0:], capBuf[:lanes])
 
 		if lean {
 			continue

@@ -233,10 +233,15 @@ func prepareNet(n *logic.Netlist, opts Options) (*env, error) {
 		n:       n,
 		order:   order,
 		loads:   n.Loads(),
-		fanouts: n.Fanouts(),
 		groupOf: make([]int, len(n.Gates)),
 		clockGI: -1,
 		opts:    opts,
+	}
+	// Fanout adjacency is only read by the event-driven engine
+	// (simulateEventDriven); zero-delay runs skip the per-gate slice
+	// build, which dominated their setup allocations.
+	if opts.Model == EventDriven {
+		e.fanouts = n.Fanouts()
 	}
 	idx := map[string]int{}
 	for id, g := range n.Gates {
