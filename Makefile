@@ -77,10 +77,10 @@ cover:
 
 # fuzz gives each bus round-trip fuzz target, the memo canonical-key
 # target, the batch decode/partition target, the job-engine wire
-# target (optimize request + checkpoint snapshot), and the fused-kernel
-# equivalence target (fused vs unfused bit-identity, including budget
-# exhaustion) a budget of FUZZTIME (override with e.g.
-# `make fuzz FUZZTIME=5s` for CI smoke runs).
+# target (optimize request + checkpoint snapshot), and the kernel
+# equivalence targets (fused vs unfused, and codegen vs fused,
+# bit-identity including budget exhaustion) a budget of FUZZTIME
+# (override with e.g. `make fuzz FUZZTIME=5s` for CI smoke runs).
 fuzz:
 	for f in FuzzBusInvertRoundTrip FuzzT0RoundTrip FuzzGrayRoundTrip \
 	         FuzzT0BIRoundTrip FuzzWorkingZoneRoundTrip FuzzBeachRoundTrip; do \
@@ -90,6 +90,7 @@ fuzz:
 	go test -run '^FuzzBatchRequest$$' -fuzz '^FuzzBatchRequest$$' -fuzztime $(FUZZTIME) ./internal/service/
 	go test -run '^FuzzRecipeWire$$' -fuzz '^FuzzRecipeWire$$' -fuzztime $(FUZZTIME) ./internal/jobs/
 	go test -run '^FuzzFusedEquivalence$$' -fuzz '^FuzzFusedEquivalence$$' -fuzztime $(FUZZTIME) ./internal/sim/
+	go test -run '^FuzzCodegenEquivalence$$' -fuzz '^FuzzCodegenEquivalence$$' -fuzztime $(FUZZTIME) ./internal/sim/
 
 # soak runs the powerd chaos harness under the race detector: >= 1000
 # requests with fault injection in the sim/rank/bdd paths, asserting

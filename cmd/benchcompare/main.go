@@ -99,7 +99,7 @@ func main() {
 	for _, ne := range newSnap.Results {
 		oe, ok := oldBy[ne.Name]
 		if !ok {
-			fmt.Fprintf(&b, "| %s | — | %.0f | new | — | 🆕 |\n", ne.Name, ne.NsPerOp)
+			fmt.Fprintf(&b, "| %s | — | %.0f | new | —→%d | 🆕 |\n", ne.Name, ne.NsPerOp, ne.AllocsPerOp)
 			continue
 		}
 		deltaPct := 0.0

@@ -63,6 +63,8 @@ func main() {
 		jobCkpt     = flag.Int("job-checkpoint-every", 0, "candidates between job checkpoints (0 = default 8)")
 		jobSteps    = flag.Int64("job-steps", 0, "per-candidate step budget (0 = -max-steps)")
 		jobMaxSteps = flag.Int64("job-total-steps", 0, "aggregate step ceiling per job (0 = unlimited)")
+
+		codegenAfter = flag.Int("codegen-after", 0, "requests before a hot netlist is promoted to the specialized codegen kernel (0 = default 8, negative = disable)")
 	)
 	var drainTimeout time.Duration
 	flag.DurationVar(&drainTimeout, "drain-timeout", 30*time.Second, "graceful-drain window: max wait for in-flight requests on shutdown, and the Retry-After hint sent mid-drain")
@@ -85,6 +87,7 @@ func main() {
 	cfg.JobCheckpointEvery = *jobCkpt
 	cfg.JobEvalSteps = *jobSteps
 	cfg.JobMaxTotalSteps = *jobMaxSteps
+	cfg.CodegenAfter = *codegenAfter
 	if *jobDir != "" {
 		store, err := jobs.NewFileStore(*jobDir)
 		if err != nil {

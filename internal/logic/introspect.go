@@ -1,0 +1,45 @@
+// Fused-program introspection for downstream code generators. The
+// FusedProgram CSR arrays are exported for the interpreter's hot loop,
+// but a generator walking the program wants per-instruction views and
+// the static shape of each opcode (so it can lay out contiguous operand
+// slabs with constant strides). These helpers are the supported way to
+// do that without re-deriving the CSR conventions.
+package logic
+
+// Instr returns instruction i's opcode and its argument and output
+// views into the program's CSR arrays. The views alias the program and
+// must not be mutated.
+func (fp *FusedProgram) Instr(i int) (op FusedOp, args, outs []int32) {
+	return fp.Ops[i], fp.Args[fp.ArgOff[i]:fp.ArgOff[i+1]], fp.Outs[fp.OutOff[i]:fp.OutOff[i+1]]
+}
+
+// Shape returns the opcode's fixed argument and output counts. For the
+// variadic ops (FAndN/FOrN/FNandN/FNorN) arity is per-instruction:
+// fixed is false and args is 0, but outs is still exact (variadic ops
+// write one net). Shape is what lets a code generator constant-fold
+// arities: every fixed-shape opcode's operands can be packed into flat
+// slabs walked with compile-time strides, no per-instruction offsets.
+func (op FusedOp) Shape() (args, outs int, fixed bool) {
+	switch op {
+	case FConst0, FConst1:
+		return 0, 1, true
+	case FBuf, FNot:
+		return 1, 1, true
+	case FAnd2, FOr2, FNand2, FNor2, FXor2, FXnor2:
+		return 2, 1, true
+	case FMux:
+		return 3, 1, true
+	case FAndN, FOrN, FNandN, FNorN:
+		return 0, 1, false
+	case FAnd3, FOr3, FXor3, FAO21, FOA21, FAOI21, FOAI21:
+		return 3, 2, true
+	case FAnd4, FOr4, FXor4:
+		return 4, 3, true
+	case FAO22, FOA22, FAOI22, FOAI22:
+		return 4, 3, true
+	case FAndNot, FOrNot, FXorNot:
+		return 2, 2, true
+	default:
+		return 0, 0, false
+	}
+}

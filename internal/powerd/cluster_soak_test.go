@@ -156,6 +156,11 @@ func TestClusterChaosSoak(t *testing.T) {
 		FailureThreshold: 3,
 		OpenTimeout:      100 * time.Millisecond,
 		HalfOpenProbes:   1,
+		// Codegen promotion is warmth-dependent per node; this soak
+		// asserts forwarded responses match the reference server's
+		// Kernel metadata exactly, so it pins every node to the fused
+		// tier. TestPromotionChaosSoak covers promotion under faults.
+		CodegenAfter: -1,
 	}
 
 	// Reference: one plain single-node server with identical config.

@@ -102,6 +102,11 @@ type Config struct {
 	// survive drain within the process, not a restart); cmd/powerd
 	// passes a file-backed store for crash recovery.
 	JobStore jobs.Store
+	// CodegenAfter is the artifact hotness threshold after which a hot
+	// netlist's compiled artifact is promoted to the specialized
+	// (codegen) kernel tier, built off the request path. Zero means
+	// service.DefaultCodegenAfter; negative disables promotion.
+	CodegenAfter int
 	// Clock drives retry backoff and breaker timeouts; tests swap in
 	// resilience.Fake for deterministic schedules.
 	Clock resilience.Clock
@@ -248,10 +253,11 @@ func NewServer(cfg Config) *Server {
 	}
 	s.keys = service.Keys{MaxSteps: cfg.MaxSteps}
 	s.svc = &service.Local{
-		Keys:       s.keys,
-		Cache:      s.estimateCache,
-		OnBDDStats: s.recordBDDStats,
-		RemoteCand: s.remoteCand,
+		Keys:         s.keys,
+		Cache:        s.estimateCache,
+		OnBDDStats:   s.recordBDDStats,
+		RemoteCand:   s.remoteCand,
+		CodegenAfter: cfg.CodegenAfter,
 	}
 	s.jobsMgr = jobs.New(jobs.Config{
 		Workers:         cfg.JobWorkers,

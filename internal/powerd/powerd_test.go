@@ -399,8 +399,8 @@ func TestStatsSurfaceBDDTables(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("simulate: %d %v", resp.StatusCode, out)
 	}
-	if out["kernel"] != "packed" {
-		t.Fatalf("combinational zero-delay simulate served by kernel %v, want packed", out["kernel"])
+	if out["kernel"] != "fused" {
+		t.Fatalf("combinational zero-delay simulate served by kernel %v, want fused", out["kernel"])
 	}
 
 	for i := 0; i < 3; i++ {

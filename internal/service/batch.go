@@ -286,6 +286,7 @@ type GroupRunner struct {
 	g    BatchGroup
 	mod  *rtlib.Module // simulate, predict
 	comp *sim.Compiled // simulate
+	art  *artifact     // simulate: promotion hotness accounting
 	tt   []bool        // bdd
 }
 
@@ -307,7 +308,7 @@ func (l *Local) NewGroupRunner(g BatchGroup) (*GroupRunner, error) {
 		if aerr != nil {
 			return nil, aerr
 		}
-		r.mod, r.comp = art.mod, art.comp
+		r.mod, r.comp, r.art = art.mod, art.comp, art
 	case OpPredict:
 		art, aerr := l.artifactFor(g.Circuit, g.Width)
 		if aerr != nil {
@@ -348,7 +349,9 @@ func (r *GroupRunner) Simulate(b *budget.Budget, req SimulateRequest) (*sim.Resu
 	// same bits as prov without the per-cycle []bool, and Lean skips
 	// Result fields the batch response never reads. Power, SwitchedCap,
 	// and the execution metadata stay bit-identical to Local.Simulate.
-	return r.comp.Run(b, prov, req.Cycles, sim.RunOptions{
+	// Routing through runArtifact makes batch items count toward — and
+	// benefit from — codegen promotion exactly like single requests.
+	return r.l.runArtifact(b, r.art, prov, req.Cycles, sim.RunOptions{
 		Workers: req.Workers,
 		Words:   func(c int) uint64 { return r.mod.InputWord(as[c], bs[c]) },
 		Lean:    true,

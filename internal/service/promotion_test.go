@@ -1,0 +1,242 @@
+package service
+
+import (
+	"errors"
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"hlpower/internal/budget"
+	"hlpower/internal/sim"
+)
+
+// waitFor polls until cond holds or the deadline lapses — promotion
+// builds run on a background goroutine, so tests observing them must
+// wait for the swap-in rather than assume it.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestArtifactSingleflight: concurrent first requests for one shape
+// must compile it exactly once — the losing racers block on the
+// singleflight entry instead of duplicating construction+fusion work —
+// and every caller gets the same artifact.
+func TestArtifactSingleflight(t *testing.T) {
+	var svc Local
+	const racers = 16
+	arts := make([]*artifact, racers)
+	errs := make([]error, racers)
+	var start, done sync.WaitGroup
+	start.Add(1)
+	done.Add(racers)
+	for i := 0; i < racers; i++ {
+		go func(i int) {
+			defer done.Done()
+			start.Wait()
+			arts[i], errs[i] = svc.artifactFor("multiplier", 8)
+		}(i)
+	}
+	start.Done()
+	done.Wait()
+	for i := 0; i < racers; i++ {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+		if arts[i] != arts[0] {
+			t.Fatalf("racer %d got a different artifact", i)
+		}
+	}
+	if got := svc.artifactBuilds.Load(); got != 1 {
+		t.Fatalf("%d concurrent cold requests compiled %d times, want exactly 1", racers, got)
+	}
+	// A different shape is a fresh build; repeating it is not.
+	if _, err := svc.artifactFor("multiplier", 6); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.artifactFor("multiplier", 6); err != nil {
+		t.Fatal(err)
+	}
+	if got := svc.artifactBuilds.Load(); got != 2 {
+		t.Fatalf("artifactBuilds = %d, want 2", got)
+	}
+	// Malformed requests never leave entries behind.
+	if _, err := svc.artifactFor("no-such-circuit", 8); err == nil {
+		t.Fatal("unknown circuit accepted")
+	}
+	if _, err := svc.artifactFor("adder", MaxWidth+1); err == nil {
+		t.Fatal("oversized width accepted")
+	}
+	svc.artMu.RLock()
+	n := len(svc.artifacts)
+	svc.artMu.RUnlock()
+	if n != 2 {
+		t.Fatalf("cache holds %d entries, want 2 (invalid requests must not insert)", n)
+	}
+}
+
+// TestPromotionLifecycle drives an artifact across the hotness
+// threshold and pins the whole ladder: fused serves until the
+// background build lands, the swap-in changes only the kernel tag —
+// the power figures stay Float64bits-identical — and the stats
+// counters tell the story.
+func TestPromotionLifecycle(t *testing.T) {
+	svc := Local{CodegenAfter: 3}
+	req := SimulateRequest{Circuit: "multiplier", Width: 6, Cycles: 400, Seed: 7}
+
+	var fusedPower, fusedCap float64
+	for i := 0; i < 2; i++ {
+		res, err := svc.Simulate(ctxBG(), nil, req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Kernel != sim.KernelFused {
+			t.Fatalf("run %d: Kernel=%q, want fused below threshold", i, res.Kernel)
+		}
+		fusedPower, fusedCap = res.Power(), res.SwitchedCap
+	}
+	st := svc.KernelStats()
+	if st.Hotness["multiplier/6"] != 2 {
+		t.Fatalf("Hotness = %v, want multiplier/6: 2", st.Hotness)
+	}
+	if st.Promotions != 0 || st.CodegenArtifacts != 0 {
+		t.Fatalf("premature promotion: %+v", st)
+	}
+
+	// Third serve crosses the threshold; the build is asynchronous.
+	if _, err := svc.Simulate(ctxBG(), nil, req); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "promotion", func() bool { return svc.KernelStats().Promotions == 1 })
+
+	res, err := svc.Simulate(ctxBG(), nil, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Kernel != sim.KernelCodegen {
+		t.Fatalf("post-promotion Kernel=%q, want codegen", res.Kernel)
+	}
+	if math.Float64bits(res.Power()) != math.Float64bits(fusedPower) ||
+		math.Float64bits(res.SwitchedCap) != math.Float64bits(fusedCap) {
+		t.Fatalf("promotion changed the numbers: %v/%v vs %v/%v",
+			res.Power(), res.SwitchedCap, fusedPower, fusedCap)
+	}
+
+	st = svc.KernelStats()
+	if st.CodegenBuilds != 1 || st.CodegenFailures != 0 || st.CodegenArtifacts != 1 {
+		t.Fatalf("stats after promotion: %+v", st)
+	}
+	if st.Tiers["fused"] < 3 || st.Tiers["codegen"] < 1 {
+		t.Fatalf("tier counters %v, want ≥3 fused and ≥1 codegen", st.Tiers)
+	}
+}
+
+// TestPromotionDisabled: a negative threshold turns the ladder off —
+// no hotness accounting, no builds, fused forever.
+func TestPromotionDisabled(t *testing.T) {
+	svc := Local{CodegenAfter: -1}
+	req := SimulateRequest{Circuit: "adder", Width: 6, Cycles: 300, Seed: 1}
+	for i := 0; i < DefaultCodegenAfter+4; i++ {
+		res, err := svc.Simulate(ctxBG(), nil, req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Kernel != sim.KernelFused {
+			t.Fatalf("Kernel=%q with promotion disabled", res.Kernel)
+		}
+	}
+	st := svc.KernelStats()
+	if st.CodegenBuilds != 0 || len(st.Hotness) != 0 {
+		t.Fatalf("disabled promotion still accounted: %+v", st)
+	}
+}
+
+// TestPromotionBuildFailure: a failed background build must degrade
+// the artifact to the fused tier permanently and silently — requests
+// keep succeeding, the build is never retried, and only the failure
+// counter records it.
+func TestPromotionBuildFailure(t *testing.T) {
+	svc := Local{CodegenAfter: 1}
+	svc.buildCodegen = func(*sim.Compiled) error { return errors.New("injected build failure") }
+	req := SimulateRequest{Circuit: "subtractor", Width: 5, Cycles: 250, Seed: 3}
+
+	if _, err := svc.Simulate(ctxBG(), nil, req); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "failed build", func() bool { return svc.KernelStats().CodegenFailures == 1 })
+
+	for i := 0; i < 5; i++ {
+		res, err := svc.Simulate(ctxBG(), nil, req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Kernel != sim.KernelFused {
+			t.Fatalf("Kernel=%q after failed build, want permanent fused fallback", res.Kernel)
+		}
+	}
+	st := svc.KernelStats()
+	if st.CodegenBuilds != 1 {
+		t.Fatalf("failed build retried: builds=%d", st.CodegenBuilds)
+	}
+	if st.Promotions != 0 || st.CodegenArtifacts != 0 {
+		t.Fatalf("failed build counted as promotion: %+v", st)
+	}
+}
+
+// TestFaultArmedNeverPromotes: chaos-degraded requests are invisible
+// to the promotion ladder — they advance no hotness, trigger no build,
+// and after a healthy promotion they are still served by the fused
+// tier, so injected faults always exercise the unpromoted path.
+func TestFaultArmedNeverPromotes(t *testing.T) {
+	svc := Local{CodegenAfter: 1}
+	req := SimulateRequest{Circuit: "comparator", Width: 6, Cycles: 300, Seed: 9}
+	// Armed but never tripping: FailAtCheck far beyond the run's checks.
+	armed := func() *budget.Budget {
+		return budget.New(budget.WithFaultPlan(budget.FaultPlan{FailAtCheck: 1 << 40}))
+	}
+
+	for i := 0; i < 4; i++ {
+		res, err := svc.Simulate(ctxBG(), armed(), req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Kernel != sim.KernelFused {
+			t.Fatalf("fault-armed Kernel=%q, want fused", res.Kernel)
+		}
+	}
+	st := svc.KernelStats()
+	if st.CodegenBuilds != 0 || len(st.Hotness) != 0 {
+		t.Fatalf("fault-armed requests advanced promotion: %+v", st)
+	}
+
+	// One healthy request promotes (threshold 1) …
+	if _, err := svc.Simulate(ctxBG(), nil, req); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "promotion", func() bool { return svc.KernelStats().Promotions == 1 })
+	res, err := svc.Simulate(ctxBG(), nil, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Kernel != sim.KernelCodegen {
+		t.Fatalf("healthy Kernel=%q, want codegen", res.Kernel)
+	}
+	// … and a fault-armed request still refuses the promoted tier.
+	faulted, err := svc.Simulate(ctxBG(), armed(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if faulted.Kernel != sim.KernelFused {
+		t.Fatalf("fault-armed post-promotion Kernel=%q, want fused", faulted.Kernel)
+	}
+	if math.Float64bits(faulted.Power()) != math.Float64bits(res.Power()) {
+		t.Fatalf("tier changed the numbers: %v vs %v", faulted.Power(), res.Power())
+	}
+}

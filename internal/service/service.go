@@ -19,7 +19,9 @@ package service
 import (
 	"context"
 	"errors"
+	"strconv"
 	"sync"
+	"sync/atomic"
 
 	"hlpower/internal/bdd"
 	"hlpower/internal/bitutil"
@@ -198,15 +200,42 @@ type Local struct {
 	// ok=false falls back to local evaluation; errors are the remote
 	// layer's to absorb, never to surface here.
 	RemoteCand func(ctx context.Context, name string, req RankRequest) (CandEstimate, bool)
+	// CodegenAfter is the artifact hotness threshold: after this many
+	// non-degraded serves of one (circuit,width) shape, the service
+	// builds its specialized (codegen) evaluator off the request path
+	// and atomically swaps it in. Zero means DefaultCodegenAfter;
+	// negative disables promotion entirely.
+	CodegenAfter int
 
 	// artifacts caches compiled simulation artifacts per (circuit,
 	// width): the RT-library module plus its sim.Compiled (levelized +
 	// fused program, pooled kernel scratch). The domain is bounded by
-	// construction — ModuleFor admits 5 circuit names and widths in
-	// [2,MaxWidth] — so the cache never needs eviction.
+	// construction — artifactFor validates the 5 circuit names and the
+	// width range before inserting — so the cache never needs eviction.
+	// Each entry is singleflighted: exactly one goroutine compiles a
+	// shape, concurrent first requests wait for it.
 	artMu     sync.RWMutex
-	artifacts map[artifactKey]*artifact
+	artifacts map[artifactKey]*artifactEntry
+
+	// buildCodegen builds an artifact's specialized evaluator; nil means
+	// (*sim.Compiled).BuildCodegen. Tests inject failures through it.
+	buildCodegen func(*sim.Compiled) error
+
+	// Promotion and tier-ladder observability counters (KernelStats).
+	artifactBuilds atomic.Int64
+	codegenBuilds  atomic.Int64
+	codegenFails   atomic.Int64
+	promotions     atomic.Int64
+	tierScalar     atomic.Int64
+	tierPacked     atomic.Int64
+	tierFused      atomic.Int64
+	tierCodegen    atomic.Int64
 }
+
+// DefaultCodegenAfter is the artifact hotness threshold at which the
+// service promotes a fused artifact to the codegen tier when the
+// caller didn't configure one.
+const DefaultCodegenAfter = 8
 
 // artifactKey identifies one compiled serving artifact.
 type artifactKey struct {
@@ -214,45 +243,164 @@ type artifactKey struct {
 	width   int
 }
 
+// artifactEntry singleflights one artifact's compilation: the first
+// goroutine to reach the entry builds under once, everyone else blocks
+// on once and reads the settled result. Errors settle too — the
+// circuit/width domain is validated before an entry is created, so a
+// cached error is deterministic, not transient.
+type artifactEntry struct {
+	once sync.Once
+	art  *artifact
+	err  error
+}
+
 // artifact is the per-(circuit,width) hot-path state every estimation
 // reuses: construction, levelization, fusion, and scratch pooling are
-// paid once per netlist shape, not once per request.
+// paid once per netlist shape, not once per request. hits counts
+// non-degraded serves toward codegen promotion; promoting guards the
+// single background build; promoteFailed pins the artifact to the
+// fused tier after a failed build.
 type artifact struct {
-	mod  *rtlib.Module
-	comp *sim.Compiled
+	mod           *rtlib.Module
+	comp          *sim.Compiled
+	hits          atomic.Int64
+	promoting     atomic.Bool
+	promoteFailed atomic.Bool
+}
+
+// checkModule validates a (circuit,width) pair without building it.
+func checkModule(circuit string, width int) error {
+	if width < 2 || width > MaxWidth {
+		return hlerr.Errorf("service.module", "width %d out of range [2,%d]", width, MaxWidth)
+	}
+	switch circuit {
+	case "adder", "carry-select", "multiplier", "subtractor", "comparator":
+		return nil
+	default:
+		return hlerr.Errorf("service.module", "unknown circuit %q", circuit)
+	}
 }
 
 // artifactFor returns the compiled artifact for a circuit, building and
-// caching it on first use. Double-checked under an RWMutex: the hot
-// path is one shared-lock map hit; concurrent first requests may both
-// build, with one build winning and the other discarded.
+// caching it on first use. The hot path is one shared-lock map hit;
+// first requests insert a singleflight entry under the write lock and
+// compile under the entry's once, so concurrent cold requests for one
+// shape perform exactly one construction+levelization+fusion.
 func (l *Local) artifactFor(circuit string, width int) (*artifact, error) {
+	// Validate before touching the cache: the key domain stays bounded
+	// by construction and malformed requests leave no entry behind.
+	if err := checkModule(circuit, width); err != nil {
+		return nil, err
+	}
 	key := artifactKey{circuit, width}
 	l.artMu.RLock()
-	a := l.artifacts[key]
+	e := l.artifacts[key]
 	l.artMu.RUnlock()
-	if a != nil {
-		return a, nil
+	if e == nil {
+		l.artMu.Lock()
+		if e = l.artifacts[key]; e == nil {
+			if l.artifacts == nil {
+				l.artifacts = make(map[artifactKey]*artifactEntry)
+			}
+			e = &artifactEntry{}
+			l.artifacts[key] = e
+		}
+		l.artMu.Unlock()
 	}
-	mod, err := ModuleFor(circuit, width)
-	if err != nil {
-		return nil, err
+	e.once.Do(func() {
+		l.artifactBuilds.Add(1)
+		mod, err := ModuleFor(circuit, width)
+		if err != nil {
+			e.err = err
+			return
+		}
+		comp, err := sim.Compile(mod.Net, sim.Options{Vdd: 1, Freq: 1})
+		if err != nil {
+			e.err = err
+			return
+		}
+		e.art = &artifact{mod: mod, comp: comp}
+	})
+	return e.art, e.err
+}
+
+// codegenThreshold resolves the configured promotion threshold; zero
+// means promotion is disabled.
+func (l *Local) codegenThreshold() int64 {
+	switch {
+	case l.CodegenAfter < 0:
+		return 0
+	case l.CodegenAfter == 0:
+		return DefaultCodegenAfter
+	default:
+		return int64(l.CodegenAfter)
 	}
-	comp, err := sim.Compile(mod.Net, sim.Options{Vdd: 1, Freq: 1})
-	if err != nil {
-		return nil, err
+}
+
+// noteServe advances an artifact's promotion hotness and kicks off the
+// background codegen build when it crosses the threshold. It returns
+// whether this request must avoid the codegen tier: fault-armed
+// (chaos-degraded) requests never use — or advance toward — a promoted
+// evaluator, so injected faults always exercise the tier a cold server
+// would serve, and promotion can never launder a faulted result into
+// the steady state.
+func (l *Local) noteServe(a *artifact, faultArmed bool) (noCodegen bool) {
+	thr := l.codegenThreshold()
+	if faultArmed || thr == 0 {
+		return true
 	}
-	a = &artifact{mod: mod, comp: comp}
-	l.artMu.Lock()
-	defer l.artMu.Unlock()
-	if prev := l.artifacts[key]; prev != nil {
-		return prev, nil
+	if a.comp.HasCodegen() || a.promoteFailed.Load() {
+		return false
 	}
-	if l.artifacts == nil {
-		l.artifacts = make(map[artifactKey]*artifact)
+	if a.hits.Add(1) >= thr && a.promoting.CompareAndSwap(false, true) {
+		go l.promote(a)
 	}
-	l.artifacts[key] = a
-	return a, nil
+	return false
+}
+
+// promote builds an artifact's specialized evaluator off the request
+// path. Success swaps the evaluator in atomically — in-flight runs
+// finish on the fused tier, the next run picks up codegen. Failure is
+// silent and permanent for the artifact: it keeps serving the fused
+// interpreter, and only the stats counters record the attempt.
+func (l *Local) promote(a *artifact) {
+	l.codegenBuilds.Add(1)
+	build := l.buildCodegen
+	if build == nil {
+		build = (*sim.Compiled).BuildCodegen
+	}
+	if err := build(a.comp); err != nil {
+		a.promoteFailed.Store(true)
+		l.codegenFails.Add(1)
+		return
+	}
+	l.promotions.Add(1)
+}
+
+// noteTier records which kernel tier actually served a run.
+func (l *Local) noteTier(kernel string) {
+	switch kernel {
+	case sim.KernelCodegen:
+		l.tierCodegen.Add(1)
+	case sim.KernelFused:
+		l.tierFused.Add(1)
+	case sim.KernelPacked:
+		l.tierPacked.Add(1)
+	default:
+		l.tierScalar.Add(1)
+	}
+}
+
+// runArtifact executes one estimation over a cached artifact with the
+// promotion lifecycle applied: hotness accounting, the fault-armed
+// codegen bypass, and per-tier serve counters on success.
+func (l *Local) runArtifact(b *budget.Budget, a *artifact, prov sim.InputProvider, cycles int, opts sim.RunOptions) (*sim.Result, error) {
+	opts.NoCodegen = l.noteServe(a, b.FaultArmed())
+	res, err := a.comp.Run(b, prov, cycles, opts)
+	if err == nil {
+		l.noteTier(res.Kernel)
+	}
+	return res, err
 }
 
 // KernelStats aggregates the fused-kernel and scratch-pool gauges over
@@ -272,14 +420,59 @@ type KernelStats struct {
 	ScratchGets    int64   `json:"scratch_gets"`
 	ScratchNews    int64   `json:"scratch_news"`
 	ScratchHitRate float64 `json:"scratch_hit_rate"`
+	// ArtifactBuilds counts artifact compilations — with the
+	// singleflighted cache, at most one per (circuit,width) shape for
+	// the process lifetime, however many requests race the cold start.
+	ArtifactBuilds int64 `json:"artifact_builds"`
+	// Tiers counts estimation runs served per kernel tier ("scalar",
+	// "packed", "fused", "codegen") across every artifact path —
+	// single requests, batch items, and rank candidates.
+	Tiers map[string]int64 `json:"tiers,omitempty"`
+	// Codegen promotion lifecycle: background specialized-evaluator
+	// builds started, builds that failed (the artifact then serves the
+	// fused tier forever), successful promotions, and the number of
+	// artifacts currently holding a promoted evaluator.
+	CodegenBuilds    int64 `json:"codegen_builds"`
+	CodegenFailures  int64 `json:"codegen_failures"`
+	Promotions       int64 `json:"promotions"`
+	CodegenArtifacts int   `json:"codegen_artifacts"`
+	// Hotness is each artifact's promotion hit counter, keyed
+	// "circuit/width". Counting stops once an artifact is promoted (or
+	// its build failed), so a steady-state value near the threshold is
+	// expected.
+	Hotness map[string]int64 `json:"hotness,omitempty"`
 }
 
 // KernelStats snapshots the fused-kernel observability gauges.
 func (l *Local) KernelStats() KernelStats {
 	l.artMu.RLock()
 	defer l.artMu.RUnlock()
-	st := KernelStats{Artifacts: len(l.artifacts)}
-	for _, a := range l.artifacts {
+	st := KernelStats{
+		ArtifactBuilds:  l.artifactBuilds.Load(),
+		CodegenBuilds:   l.codegenBuilds.Load(),
+		CodegenFailures: l.codegenFails.Load(),
+		Promotions:      l.promotions.Load(),
+	}
+	for name, c := range map[string]int64{
+		"scalar":  l.tierScalar.Load(),
+		"packed":  l.tierPacked.Load(),
+		"fused":   l.tierFused.Load(),
+		"codegen": l.tierCodegen.Load(),
+	} {
+		if c == 0 {
+			continue
+		}
+		if st.Tiers == nil {
+			st.Tiers = make(map[string]int64)
+		}
+		st.Tiers[name] = c
+	}
+	for key, e := range l.artifacts {
+		a := e.art
+		if a == nil {
+			continue // still building, or a settled error entry
+		}
+		st.Artifacts++
 		st.FusedGroups += a.comp.FusedGroups()
 		st.FusedAbsorbed += a.comp.FusedAbsorbed()
 		for op, c := range a.comp.FusedMix() {
@@ -291,6 +484,15 @@ func (l *Local) KernelStats() KernelStats {
 		gets, news := a.comp.ScratchStats()
 		st.ScratchGets += gets
 		st.ScratchNews += news
+		if a.comp.HasCodegen() {
+			st.CodegenArtifacts++
+		}
+		if h := a.hits.Load(); h > 0 {
+			if st.Hotness == nil {
+				st.Hotness = make(map[string]int64)
+			}
+			st.Hotness[key.circuit+"/"+strconv.Itoa(key.width)] = h
+		}
 	}
 	if st.ScratchGets > 0 {
 		st.ScratchHitRate = float64(st.ScratchGets-st.ScratchNews) / float64(st.ScratchGets)
@@ -406,7 +608,7 @@ func (l *Local) Simulate(_ context.Context, b *budget.Budget, req SimulateReques
 	as, bs := OperandStreams(req.Cycles, req.Width, req.Seed)
 	mod := art.mod
 	prov := func(c int) []bool { return mod.InputVector(as[c], bs[c]) }
-	return art.comp.Run(b, prov, req.Cycles, sim.RunOptions{
+	return l.runArtifact(b, art, prov, req.Cycles, sim.RunOptions{
 		Workers: req.Workers,
 		Words:   func(c int) uint64 { return mod.InputWord(as[c], bs[c]) },
 		Lean:    true,
@@ -438,7 +640,7 @@ func (l *Local) evalCandStreams(b *budget.Budget, name string, width int, as, bs
 	}
 	mod := art.mod
 	prov := func(c int) []bool { return mod.InputVector(as[c], bs[c]) }
-	res, err := art.comp.Run(b, prov, len(as), sim.RunOptions{
+	res, err := l.runArtifact(b, art, prov, len(as), sim.RunOptions{
 		Workers: 1,
 		Words:   func(c int) uint64 { return mod.InputWord(as[c], bs[c]) },
 		Lean:    true,

@@ -33,6 +33,12 @@ type Compiled struct {
 	prog  *logic.Program      // nil: scalar-only (sequential or event-driven)
 	fused *logic.FusedProgram // fused form of prog (nil when prog is nil)
 
+	// codegen holds the specialized evaluator once BuildCodegen has run.
+	// An atomic pointer so a serving layer can swap it in off the request
+	// path while runs are in flight: a run observes either nil (fused
+	// tier) or a fully built program, never a partial one.
+	codegen atomic.Pointer[codegenProgram]
+
 	// scratch pools the packed kernel's per-shard mutable state — word
 	// planes plus the shard's numeric accumulators — so steady-state
 	// runs over a hot netlist allocate nothing in the kernel. Scratch
@@ -124,6 +130,38 @@ func (c *Compiled) ScratchStats() (gets, news int64) {
 	return c.scratchGets.Load(), c.scratchNews.Load()
 }
 
+// BuildCodegen builds the specialized (code-generated) evaluator for
+// this artifact and atomically swaps it in: runs that start after the
+// swap execute on the codegen tier (unless RunOptions.NoCodegen), runs
+// already in flight finish on the fused tier — both produce Float64bits-
+// identical results. Scalar-only artifacts (sequential netlists,
+// event-driven options) have no fused program to specialize and return
+// an error; callers are expected to keep serving the existing tier on
+// any error. Safe for concurrent use; the last build wins.
+func (c *Compiled) BuildCodegen() (err error) {
+	defer hlerr.Recover(&err)
+	if c.fused == nil {
+		return hlerr.Errorf("sim.Codegen", "scalar-only artifact: no fused program to specialize")
+	}
+	c.codegen.Store(newCodegenProgram(c.fused, c.e))
+	return nil
+}
+
+// HasCodegen reports whether the specialized evaluator is built and
+// live for this artifact.
+func (c *Compiled) HasCodegen() bool { return c.codegen.Load() != nil }
+
+// CodegenStats reports the specialized evaluator's shape — number of
+// (level, opcode) runs (indirect calls per settle) and dependency
+// levels — or zeros when it is not built.
+func (c *Compiled) CodegenStats() (runs, levels int) {
+	cg := c.codegen.Load()
+	if cg == nil {
+		return 0, 0
+	}
+	return cg.runs, cg.levels
+}
+
 // WordInputs supplies a cycle's input vector pre-packed into one word:
 // bit i holds the value of netlist input i. For callers whose operands
 // already live in words (the service's Monte Carlo streams), this skips
@@ -141,6 +179,11 @@ type RunOptions struct {
 	MinShard int
 	// Scalar forces the interpreted scalar kernel inside each shard.
 	Scalar bool
+	// NoCodegen forces the fused interpreter even when the specialized
+	// evaluator is built. Serving layers use it to keep fault-armed
+	// requests off the promoted tier; results are bit-identical either
+	// way, only Result.Kernel differs.
+	NoCodegen bool
 	// Words, when non-nil, feeds the packed kernel pre-packed input
 	// words instead of calling the InputProvider per cycle. It MUST
 	// agree bit for bit with the provider — the provider remains the
@@ -170,8 +213,22 @@ func (c *Compiled) Run(b *budget.Budget, inputs InputProvider, cycles int, opts 
 	e := c.e
 	prog := c.prog
 	fused := c.fused
+	var cg *codegenProgram
+	if prog != nil && !opts.NoCodegen {
+		cg = c.codegen.Load()
+	}
 	if opts.Scalar {
-		prog, fused = nil, nil
+		prog, fused, cg = nil, nil, nil
+	}
+	// Kernel names the tier that actually executes: the specialized
+	// evaluator when promoted, else the fused interpreter, else (for
+	// scalar runs) the interpreted engine's empty tag.
+	kernel := ""
+	switch {
+	case cg != nil:
+		kernel = KernelCodegen
+	case prog != nil:
+		kernel = KernelFused
 	}
 	words := opts.Words
 	if len(e.n.Inputs) > 64 {
@@ -187,6 +244,9 @@ func (c *Compiled) Run(b *budget.Budget, inputs InputProvider, cycles int, opts 
 		}
 	}()
 	run := func(wb *budget.Budget, lo, hi int, sc *packedScratch) (*shard, error) {
+		if cg != nil {
+			return runShardCodegen(wb, e, cg, inputs, words, opts.Lean, lo, hi, sc)
+		}
 		if prog != nil {
 			return runShardPackedOpt(wb, e, prog, fused, inputs, words, opts.Lean, lo, hi, sc)
 		}
@@ -217,9 +277,7 @@ func (c *Compiled) Run(b *budget.Budget, inputs InputProvider, cycles int, opts 
 		} else {
 			res.Fallback = FallbackShortRun
 		}
-		if prog != nil {
-			res.Kernel = KernelPacked
-		}
+		res.Kernel = kernel
 		return res, nil
 	}
 	spans := par.Shards(cycles, parts)
@@ -242,9 +300,7 @@ func (c *Compiled) Run(b *budget.Budget, inputs InputProvider, cycles int, opts 
 		return nil, err
 	}
 	res = merge(e, cycles, shards)
-	if prog != nil {
-		res.Kernel = KernelPacked
-	}
+	res.Kernel = kernel
 	return res, nil
 }
 

@@ -90,7 +90,7 @@ func TestCompiledScalarOption(t *testing.T) {
 		t.Fatal(err)
 	}
 	sameResult(t, packed, scalar, "scalar-option")
-	if packed.Kernel != KernelPacked || scalar.Kernel != "" {
+	if packed.Kernel != KernelFused || scalar.Kernel != "" {
 		t.Fatalf("Kernel tags: packed=%q scalar=%q", packed.Kernel, scalar.Kernel)
 	}
 }

@@ -16,6 +16,12 @@ import (
 	"hlpower/internal/logic"
 )
 
+// KernelFused in Result.Kernel marks a run executed by the fused-
+// superinstruction interpreter — the default tier for compiled
+// artifacts, between "packed" (unfused 64-lane interpreter) and
+// "codegen" (specialized evaluator) on the kernel ladder.
+const KernelFused = "fused"
+
 // execFused runs the fused instruction stream over the packed value
 // words, writing the identical word to every net that execPacked writes
 // for the source program. Lanes beyond the valid count compute garbage

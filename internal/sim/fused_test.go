@@ -107,8 +107,8 @@ func TestFusedBitIdentity(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			if fused.Kernel != KernelPacked {
-				t.Fatalf("trial %d cycles %d: Kernel=%q, want packed", trial, cycles, fused.Kernel)
+			if fused.Kernel != KernelFused {
+				t.Fatalf("trial %d cycles %d: Kernel=%q, want fused", trial, cycles, fused.Kernel)
 			}
 			sameResult(t, serial, fused, "fused-vs-serial")
 			sameResult(t, unfused, fused, "fused-vs-unfused")

@@ -150,8 +150,8 @@ func TestParallelUsesPackedKernel(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if packed.Kernel != KernelPacked {
-		t.Fatalf("parallel Kernel=%q, want %q", packed.Kernel, KernelPacked)
+	if packed.Kernel != KernelFused {
+		t.Fatalf("parallel Kernel=%q, want %q", packed.Kernel, KernelFused)
 	}
 	sameResult(t, serial, packed, "parallel-packed")
 

@@ -68,9 +68,13 @@ type Result struct {
 	// callers that requested parallelism can observe the degradation
 	// instead of silently paying serial latency.
 	Fallback string
-	// Kernel names the execution engine that produced the result:
-	// KernelPacked when the 64-lane bit-packed kernel ran (every shard,
-	// for parallel runs), empty for the interpreted scalar engine.
+	// Kernel names the execution tier that produced the result (every
+	// shard, for parallel runs): KernelPacked for the unfused 64-lane
+	// interpreter, KernelFused for the fused-superinstruction
+	// interpreter, KernelCodegen for the specialized evaluator of a
+	// promoted netlist, empty for the interpreted scalar engine. All
+	// tiers are Float64bits-identical; the tag reports where the cycles
+	// were spent, never a different answer.
 	Kernel    string
 	vdd, freq float64
 }
